@@ -1,0 +1,227 @@
+//! High-level analysis API.
+//!
+//! [`Analysis`] bundles the whole Arcade pipeline: elaborate the model,
+//! run compositional aggregation for the *availability* configuration
+//! (repairs active) and for the *reliability* configuration (no repairs,
+//! following the paper's definition for Table 1), and expose the measures.
+
+use ctmc::measures;
+use ioimc::Stats;
+
+use crate::ast::SystemDef;
+use crate::build::observer::DOWN_BIT;
+use crate::engine::{aggregate, Aggregation, EngineOptions};
+use crate::error::ArcadeError;
+use crate::model::SystemModel;
+
+/// A configured analysis of one system definition.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    def: SystemDef,
+    opts: EngineOptions,
+}
+
+impl Analysis {
+    /// Creates an analysis with default engine options. Validates the
+    /// definition eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::Invalid`] for inconsistent definitions.
+    pub fn new(def: &SystemDef) -> Result<Self, ArcadeError> {
+        crate::model::validate(def)?;
+        if def.system_down.is_none() {
+            return Err(ArcadeError::invalid("SYSTEM DOWN criterion missing"));
+        }
+        Ok(Self {
+            def: def.clone(),
+            opts: EngineOptions::new(),
+        })
+    }
+
+    /// Overrides the engine options.
+    pub fn with_options(mut self, opts: EngineOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs aggregation for both the availability model (repairs active)
+    /// and the reliability model (repairs stripped, §5.1.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn run(&self) -> Result<AnalysisReport, ArcadeError> {
+        let model = SystemModel::build(&self.def)?;
+        let availability = aggregate(&model, &self.opts)?;
+        let no_repair_def = self.def.without_repair();
+        let no_repair_model = SystemModel::build(&no_repair_def)?;
+        let reliability = aggregate(&no_repair_model, &self.opts)?;
+        Ok(AnalysisReport {
+            availability,
+            reliability,
+        })
+    }
+
+    /// Runs aggregation for the availability model only (faster when
+    /// reliability is not needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn run_availability_only(&self) -> Result<Aggregation, ArcadeError> {
+        let model = SystemModel::build(&self.def)?;
+        aggregate(&model, &self.opts)
+    }
+}
+
+/// The measures of a completed analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Aggregation of the model with repairs (availability measures).
+    pub availability: Aggregation,
+    /// Aggregation of the model without any repair (reliability measures,
+    /// the paper's Table 1 definition).
+    pub reliability: Aggregation,
+}
+
+impl AnalysisReport {
+    /// Long-run availability `A`.
+    pub fn steady_state_availability(&self) -> f64 {
+        measures::steady_state_availability(&self.availability.ctmc, DOWN_BIT)
+    }
+
+    /// Long-run unavailability `1 - A` (computed directly for precision).
+    pub fn steady_state_unavailability(&self) -> f64 {
+        measures::steady_state_unavailability(&self.availability.ctmc, DOWN_BIT)
+    }
+
+    /// Point availability `A(t)`.
+    pub fn point_availability(&self, t: f64) -> f64 {
+        measures::point_availability(&self.availability.ctmc, DOWN_BIT, t)
+    }
+
+    /// Point unavailability `1 - A(t)`.
+    pub fn point_unavailability(&self, t: f64) -> f64 {
+        measures::point_unavailability(&self.availability.ctmc, DOWN_BIT, t)
+    }
+
+    /// Reliability `R(t)` with **no repairs at all** — the definition used
+    /// for the DDS case study (§5.1.2, following \[19\]).
+    pub fn reliability(&self, t: f64) -> f64 {
+        measures::reliability(&self.reliability.ctmc, DOWN_BIT, t)
+    }
+
+    /// Unreliability `1 - R(t)` of the no-repair model.
+    pub fn unreliability(&self, t: f64) -> f64 {
+        measures::unreliability(&self.reliability.ctmc, DOWN_BIT, t)
+    }
+
+    /// First-passage unreliability **with component repairs active** —
+    /// the definition used for the RCS case study (§5.2.2): components
+    /// keep being repaired, but the first system-level failure counts.
+    pub fn unreliability_with_repair(&self, t: f64) -> f64 {
+        measures::unreliability(&self.availability.ctmc, DOWN_BIT, t)
+    }
+
+    /// Mean time to the first system failure (repairs active).
+    pub fn mttf(&self) -> f64 {
+        measures::mttf(&self.availability.ctmc, DOWN_BIT)
+    }
+
+    /// Interval availability: expected fraction of `[0, t]` the system is
+    /// up (a CSL-layer measure, §6 future work).
+    pub fn interval_availability(&self, t: f64) -> f64 {
+        1.0 - ctmc::csl::interval_down_fraction(
+            &self.availability.ctmc,
+            &ctmc::csl::StateFormula::down(),
+            t,
+        )
+    }
+
+    /// Evaluates `P[Φ U≤t Ψ]` on the availability CTMC (CSL layer, §6
+    /// future work). Atomic propositions are label formulas;
+    /// [`ctmc::csl::StateFormula::down`] is the system-down bit.
+    pub fn until_bounded(
+        &self,
+        phi: &ctmc::csl::StateFormula,
+        psi: &ctmc::csl::StateFormula,
+        t: f64,
+    ) -> f64 {
+        ctmc::csl::until_bounded(&self.availability.ctmc, phi, psi, t)
+    }
+
+    /// Size of the final availability CTMC.
+    pub fn ctmc_stats(&self) -> Stats {
+        self.availability.ctmc_stats
+    }
+
+    /// Largest intermediate I/O-IMC of the availability aggregation.
+    pub fn largest_intermediate(&self) -> Stats {
+        self.availability.largest_intermediate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, RepairStrategy, RuDef};
+    use crate::dist::Dist;
+    use crate::expr::Expr;
+
+    fn series_pair() -> SystemDef {
+        let mut def = SystemDef::new("series");
+        def.add_component(BcDef::new("a", Dist::exp(0.01), Dist::exp(1.0)));
+        def.add_component(BcDef::new("b", Dist::exp(0.02), Dist::exp(2.0)));
+        def.add_repair_unit(RuDef::new("ra", ["a"], RepairStrategy::Dedicated));
+        def.add_repair_unit(RuDef::new("rb", ["b"], RepairStrategy::Dedicated));
+        def.set_system_down(Expr::or([Expr::down("a"), Expr::down("b")]));
+        def
+    }
+
+    #[test]
+    fn series_system_closed_forms() {
+        let report = Analysis::new(&series_pair()).unwrap().run().unwrap();
+        // independent dedicated repair: A = Π µ/(λ+µ)
+        let expected_a = (1.0 / 1.01) * (2.0 / 2.02);
+        let a = report.steady_state_availability();
+        assert!((a - expected_a).abs() < 1e-10, "{a} vs {expected_a}");
+        // no repair: R(t) = e^{-(λ1+λ2)t}
+        let t = 7.0;
+        let r = report.reliability(t);
+        assert!((r - (-0.03f64 * t).exp()).abs() < 1e-9);
+        // unavailability + availability = 1
+        assert!((report.steady_state_unavailability() + a - 1.0).abs() < 1e-12);
+        // point availability starts at 1 and decreases toward steady state
+        assert!((report.point_availability(0.0) - 1.0).abs() < 1e-12);
+        assert!(report.point_unavailability(1000.0) > 0.0);
+        // MTTF of a series system: 1/(λ1+λ2) (both dedicated repairs can't
+        // prevent the first failure)
+        assert!((report.mttf() - 1.0 / 0.03).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_system_down_rejected() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("a", Dist::exp(0.01), Dist::exp(1.0)));
+        assert!(Analysis::new(&def).is_err());
+    }
+
+    #[test]
+    fn first_passage_differs_from_no_repair_reliability() {
+        // redundant pair with repair: first-passage unreliability is much
+        // smaller than the no-repair unreliability
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("a", Dist::exp(0.1), Dist::exp(5.0)));
+        def.add_component(BcDef::new("b", Dist::exp(0.1), Dist::exp(5.0)));
+        def.add_repair_unit(RuDef::new("ra", ["a"], RepairStrategy::Dedicated));
+        def.add_repair_unit(RuDef::new("rb", ["b"], RepairStrategy::Dedicated));
+        def.set_system_down(Expr::and([Expr::down("a"), Expr::down("b")]));
+        let report = Analysis::new(&def).unwrap().run().unwrap();
+        let t = 10.0;
+        let with_repair = report.unreliability_with_repair(t);
+        let without = report.unreliability(t);
+        assert!(with_repair < without);
+        assert!(with_repair > 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Analytic (static fault tree) evaluation — the Galileo-role baseline.
+//!
+//! The paper cross-checks the DDS reliability against the Galileo DFT tool
+//! in a *static* configuration: without repair, the components fail
+//! independently, so the system unreliability is the fault-tree expression
+//! evaluated over per-component failure probabilities. That computation is
+//! exactly reproducible analytically, which is what this module does — it
+//! is both a baseline column for Table 1 and an independent oracle for the
+//! I/O-IMC pipeline.
+//!
+//! **Validity.** The combinatorial evaluation assumes (a) no repair, (b)
+//! no stochastic coupling between components (no load-sharing triggers, no
+//! destructive dependencies, spares failing at the same rate in both
+//! modes), and (c) every component appearing at most once in the
+//! criterion. [`static_unreliability`] rejects models that violate these
+//! conditions instead of silently returning a wrong number.
+
+use std::collections::HashSet;
+
+use crate::ast::SystemDef;
+use crate::error::ArcadeError;
+use crate::expr::{Expr, Literal, ModeRef};
+
+/// System unreliability at time `t` without repair, by combinatorial
+/// fault-tree evaluation over independent components.
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] if the model has stochastic coupling
+/// that invalidates the independence assumption (see module docs).
+pub fn static_unreliability(def: &SystemDef, t: f64) -> Result<f64, ArcadeError> {
+    let down = def
+        .system_down
+        .as_ref()
+        .ok_or_else(|| ArcadeError::invalid("SYSTEM DOWN criterion missing"))?;
+    check_independence(def, down)?;
+    let prob = |lit: &Literal| -> f64 {
+        let bc = def.component(&lit.component).expect("validated");
+        // Without activation signals a spare stays in its first-listed
+        // mode; without trigger events all expression-driven groups stay
+        // in mode 0. Operational state 0 is therefore the static one.
+        let cdf = bc.ttf[0].cdf(t);
+        match &lit.mode {
+            ModeRef::Any => cdf,
+            ModeRef::Mode(k) => cdf * bc.failure_mode_probs[(*k - 1) as usize],
+            ModeRef::Df => 0.0, // rejected by check_independence
+        }
+    };
+    Ok(down.probability(&prob))
+}
+
+/// System reliability at `t` without repair (complement of
+/// [`static_unreliability`]).
+///
+/// # Errors
+///
+/// Same conditions as [`static_unreliability`].
+pub fn static_reliability(def: &SystemDef, t: f64) -> Result<f64, ArcadeError> {
+    Ok(1.0 - static_unreliability(def, t)?)
+}
+
+/// Steady-state system unavailability assuming *independent* component
+/// repair: each component alternates between MTTF and an effective MTTR
+/// (failure-mode-weighted), giving `u = MTTR / (MTTF + MTTR)`.
+///
+/// This is exact for dedicated repair and an approximation for shared
+/// (FCFS/priority) repair units — repair queueing correlates the
+/// components; the experiments report it next to the exact engine result
+/// to show how small the gap is for lightly-loaded repair shops like the
+/// DDS.
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] under the same coupling conditions as
+/// [`static_unreliability`], except that repair is of course allowed.
+pub fn independent_unavailability(def: &SystemDef) -> Result<f64, ArcadeError> {
+    let down = def
+        .system_down
+        .as_ref()
+        .ok_or_else(|| ArcadeError::invalid("SYSTEM DOWN criterion missing"))?;
+    check_independence(def, down)?;
+    let repaired: HashSet<&str> = def
+        .repair_units
+        .iter()
+        .flat_map(|ru| ru.components.iter().map(String::as_str))
+        .collect();
+    let prob = |lit: &Literal| -> f64 {
+        let bc = def.component(&lit.component).expect("validated");
+        if !repaired.contains(lit.component.as_str()) {
+            return 1.0; // never repaired: down in the long run
+        }
+        let mttf = bc.ttf[0].mean();
+        let mttr: f64 = bc
+            .failure_mode_probs
+            .iter()
+            .zip(&bc.ttr)
+            .map(|(p, d)| p * d.mean())
+            .sum();
+        let u = mttr / (mttf + mttr);
+        match &lit.mode {
+            ModeRef::Any => u,
+            ModeRef::Mode(k) => {
+                let pk = bc.failure_mode_probs[(*k - 1) as usize];
+                (pk * bc.ttr[(*k - 1) as usize].mean()) / (mttf + mttr)
+            }
+            ModeRef::Df => 0.0,
+        }
+    };
+    Ok(down.probability(&prob))
+}
+
+/// Steady-state availability under the independence assumption.
+///
+/// # Errors
+///
+/// Same conditions as [`independent_unavailability`].
+pub fn independent_availability(def: &SystemDef) -> Result<f64, ArcadeError> {
+    Ok(1.0 - independent_unavailability(def)?)
+}
+
+fn check_independence(def: &SystemDef, down: &Expr) -> Result<(), ArcadeError> {
+    for bc in &def.components {
+        if bc.df.is_some() {
+            return Err(ArcadeError::invalid(format!(
+                "static evaluation: component `{}` has a destructive dependency",
+                bc.name
+            )));
+        }
+        for g in &bc.om_groups {
+            if g.trigger().is_some() {
+                return Err(ArcadeError::invalid(format!(
+                    "static evaluation: component `{}` has an expression-driven mode group",
+                    bc.name
+                )));
+            }
+        }
+        // A spare is acceptable only if its rates do not depend on the mode
+        // (activation timing then does not matter for its failure law).
+        if bc.has_active_inactive() && bc.ttf.windows(2).any(|w| w[0] != w[1]) {
+            return Err(ArcadeError::invalid(format!(
+                "static evaluation: spare `{}` has mode-dependent failure rates",
+                bc.name
+            )));
+        }
+    }
+    let mut seen = HashSet::new();
+    check_distinct(down, &mut seen)
+}
+
+/// Every literal occurrence must name a distinct component (literals()
+/// deduplicates, so walk the tree directly).
+fn check_distinct<'e>(e: &'e Expr, seen: &mut HashSet<&'e str>) -> Result<(), ArcadeError> {
+    match e {
+        Expr::Lit(l) => {
+            if !seen.insert(l.component.as_str()) {
+                return Err(ArcadeError::invalid(format!(
+                    "static evaluation: component `{}` appears more than once in SYSTEM DOWN",
+                    l.component
+                )));
+            }
+            Ok(())
+        }
+        Expr::Pand(_) => Err(ArcadeError::invalid(
+            "static evaluation: PAND gates are order-dependent and have no \
+             combinatorial evaluation",
+        )),
+        Expr::And(cs) | Expr::Or(cs) | Expr::KofN(_, cs) => {
+            cs.iter().try_for_each(|c| check_distinct(c, seen))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, RepairStrategy, RuDef};
+    use crate::dist::Dist;
+
+    fn pair(and: bool) -> SystemDef {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("a", Dist::exp(0.1), Dist::exp(1.0)));
+        def.add_component(BcDef::new("b", Dist::exp(0.2), Dist::exp(1.0)));
+        let e = if and {
+            Expr::and([Expr::down("a"), Expr::down("b")])
+        } else {
+            Expr::or([Expr::down("a"), Expr::down("b")])
+        };
+        def.set_system_down(e);
+        def
+    }
+
+    #[test]
+    fn unreliability_of_parallel_pair() {
+        let def = pair(true);
+        let t = 3.0;
+        let pa = 1.0 - (-0.1f64 * t).exp();
+        let pb = 1.0 - (-0.2f64 * t).exp();
+        let u = static_unreliability(&def, t).unwrap();
+        assert!((u - pa * pb).abs() < 1e-12);
+        assert!((static_reliability(&def, t).unwrap() + u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unavailability_with_dedicated_repair() {
+        let mut def = pair(false);
+        def.add_repair_unit(RuDef::new("ra", ["a"], RepairStrategy::Dedicated));
+        def.add_repair_unit(RuDef::new("rb", ["b"], RepairStrategy::Dedicated));
+        let ua = (1.0 / 1.0) / (10.0 + 1.0);
+        let ub = (1.0 / 1.0) / (5.0 + 1.0);
+        let u = independent_unavailability(&def).unwrap();
+        let expected = 1.0 - (1.0 - ua) * (1.0 - ub);
+        assert!((u - expected).abs() < 1e-12, "{u} vs {expected}");
+        assert!((independent_availability(&def).unwrap() + u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_is_rejected() {
+        let mut def = pair(true);
+        def.components[1] = BcDef::new("b", Dist::exp(0.2), Dist::exp(1.0))
+            .with_df(Expr::down("a"), Dist::exp(1.0));
+        assert!(static_unreliability(&def, 1.0).is_err());
+    }
+
+    #[test]
+    fn repeated_component_rejected() {
+        let mut def = pair(true);
+        def.set_system_down(Expr::and([Expr::down("a"), Expr::down("a")]));
+        assert!(static_unreliability(&def, 1.0).is_err());
+    }
+
+    #[test]
+    fn mode_literal_scales_by_probability() {
+        let mut def = SystemDef::new("t");
+        def.add_component(
+            BcDef::new("v", Dist::exp(0.1), Dist::exp(1.0))
+                .with_failure_modes([0.25, 0.75], [Dist::exp(1.0), Dist::exp(1.0)]),
+        );
+        def.set_system_down(Expr::down_mode("v", 2));
+        let t = 2.0;
+        let u = static_unreliability(&def, t).unwrap();
+        let cdf = 1.0 - (-0.1f64 * t).exp();
+        assert!((u - 0.75 * cdf).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! The abstract syntax of Arcade models (paper §3.5).
+
+use crate::dist::Dist;
+use crate::expr::Expr;
+
+/// An operational-mode group of a basic component (§3.1.1).
+///
+/// Except for `ActiveInactive` (driven by an SMU's activate/deactivate
+/// signals), every group switches modes when its trigger expression over
+/// *other* components' failure modes changes value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OmGroup {
+    /// `active`/`inactive` — spare management; mode switched by SMU
+    /// signals. Initial mode is `inactive` when the component is listed as
+    /// a spare (the paper writes the group as "(inactive, active)").
+    ActiveInactive,
+    /// `on`/`off` — switches to `off` while the expression holds (e.g.
+    /// power failed); failure rates are typically zero in `off`.
+    OnOff(Expr),
+    /// `accessible`/`inaccessible` — non-destructive functional dependency;
+    /// switches to `inaccessible` while the expression holds.
+    AccessibleInaccessible(Expr),
+    /// `normal`/`degraded` — e.g. load sharing; switches to `degraded`
+    /// while the expression holds (and back on repair).
+    NormalDegraded(Expr),
+}
+
+impl OmGroup {
+    /// Number of modes in the group (always 2 in the current syntax).
+    pub fn num_modes(&self) -> usize {
+        2
+    }
+
+    /// The trigger expression, if the group is expression-driven.
+    pub fn trigger(&self) -> Option<&Expr> {
+        match self {
+            Self::ActiveInactive => None,
+            Self::OnOff(e) | Self::AccessibleInaccessible(e) | Self::NormalDegraded(e) => Some(e),
+        }
+    }
+
+    /// The group's name in the textual syntax.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::ActiveInactive => "(inactive, active)",
+            Self::OnOff(_) => "(on, off)",
+            Self::AccessibleInaccessible(_) => "(accessible, inaccessible)",
+            Self::NormalDegraded(_) => "(normal, degraded)",
+        }
+    }
+}
+
+/// A basic component definition (§3.5.1).
+///
+/// `ttf` lists one time-to-failure distribution per *operational state*
+/// (the cross product of the OM groups, in the order the groups are
+/// listed; see §3.5.1 footnote 9). `ttr` lists one time-to-repair
+/// distribution per inherent failure mode, plus one for the destructive
+/// functional dependency if `df` is present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcDef {
+    /// Unique component name.
+    pub name: String,
+    /// Operational-mode groups (may be empty).
+    pub om_groups: Vec<OmGroup>,
+    /// Whether the environment sees inaccessibility as a failure (§3.1.1).
+    pub inaccessible_means_down: bool,
+    /// Time-to-failure distribution per operational state. All entries
+    /// must have the same number of phases ([`Dist::Never`] is allowed for
+    /// `off` states).
+    pub ttf: Vec<Dist>,
+    /// Probabilities of the inherent failure modes (must sum to 1); a
+    /// single-mode component has `vec![1.0]`.
+    pub failure_mode_probs: Vec<f64>,
+    /// Time-to-repair distribution per inherent failure mode.
+    pub ttr: Vec<Dist>,
+    /// Time-to-repair for the destructive functional dependency failure.
+    pub ttr_df: Option<Dist>,
+    /// Destructive functional dependency trigger (§3.1.2).
+    pub df: Option<Expr>,
+}
+
+impl BcDef {
+    /// A plain component: no operational modes, one failure mode with
+    /// time-to-failure `ttf` and time-to-repair `ttr`.
+    pub fn new(name: impl Into<String>, ttf: Dist, ttr: Dist) -> Self {
+        Self {
+            name: name.into(),
+            om_groups: Vec::new(),
+            inaccessible_means_down: false,
+            ttf: vec![ttf],
+            failure_mode_probs: vec![1.0],
+            ttr: vec![ttr],
+            ttr_df: None,
+            df: None,
+        }
+    }
+
+    /// Adds an OM group (builder style). Remember to extend
+    /// [`BcDef::ttf`] to cover the enlarged operational-state space.
+    pub fn with_om_group(mut self, group: OmGroup) -> Self {
+        self.om_groups.push(group);
+        self
+    }
+
+    /// Sets the per-operational-state time-to-failure distributions.
+    pub fn with_ttf(mut self, ttf: impl Into<Vec<Dist>>) -> Self {
+        self.ttf = ttf.into();
+        self
+    }
+
+    /// Declares `n` failure modes with the given probabilities and repair
+    /// distributions.
+    pub fn with_failure_modes(
+        mut self,
+        probs: impl Into<Vec<f64>>,
+        ttr: impl Into<Vec<Dist>>,
+    ) -> Self {
+        self.failure_mode_probs = probs.into();
+        self.ttr = ttr.into();
+        self
+    }
+
+    /// Sets the destructive functional dependency and its repair
+    /// distribution.
+    pub fn with_df(mut self, df: Expr, ttr_df: Dist) -> Self {
+        self.df = Some(df);
+        self.ttr_df = Some(ttr_df);
+        self
+    }
+
+    /// Marks inaccessibility as environment-visible failure.
+    pub fn with_inaccessible_means_down(mut self, yes: bool) -> Self {
+        self.inaccessible_means_down = yes;
+        self
+    }
+
+    /// Number of operational states (product of OM group sizes).
+    pub fn num_operational_states(&self) -> usize {
+        self.om_groups.iter().map(OmGroup::num_modes).product()
+    }
+
+    /// Number of inherent failure modes.
+    pub fn num_failure_modes(&self) -> usize {
+        self.failure_mode_probs.len()
+    }
+
+    /// Whether the component has an `active`/`inactive` group (i.e. can be
+    /// managed as a spare).
+    pub fn has_active_inactive(&self) -> bool {
+        self.om_groups
+            .iter()
+            .any(|g| matches!(g, OmGroup::ActiveInactive))
+    }
+}
+
+/// Repair strategies (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepairStrategy {
+    /// One repair unit dedicated to a single component.
+    Dedicated,
+    /// First come, first served over the unit's components.
+    Fcfs,
+    /// FCFS with preemptive priorities: a higher-priority failure
+    /// interrupts the repair in progress (the interrupted repair resumes
+    /// its phase later).
+    PreemptivePriority,
+    /// FCFS with non-preemptive priorities: the repair in progress
+    /// finishes, then the highest-priority waiting component is served.
+    NonPreemptivePriority,
+}
+
+impl RepairStrategy {
+    /// The strategy's keyword in the textual syntax.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Self::Dedicated => "DEDICATED",
+            Self::Fcfs => "FCFS",
+            Self::PreemptivePriority => "PP",
+            Self::NonPreemptivePriority => "PNP",
+        }
+    }
+}
+
+/// A repair unit definition (§3.5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuDef {
+    /// Unique unit name.
+    pub name: String,
+    /// Names of the components this unit repairs.
+    pub components: Vec<String>,
+    /// The repair strategy.
+    pub strategy: RepairStrategy,
+    /// Priority per component (higher value = served first); required for
+    /// the priority strategies, ignored otherwise.
+    pub priorities: Vec<u32>,
+}
+
+impl RuDef {
+    /// Creates a repair unit over the given components.
+    pub fn new(
+        name: impl Into<String>,
+        components: impl IntoIterator<Item = impl Into<String>>,
+        strategy: RepairStrategy,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            components: components.into_iter().map(Into::into).collect(),
+            strategy,
+            priorities: Vec::new(),
+        }
+    }
+
+    /// Sets component priorities (same order as `components`).
+    pub fn with_priorities(mut self, priorities: impl Into<Vec<u32>>) -> Self {
+        self.priorities = priorities.into();
+        self
+    }
+}
+
+/// A spare management unit definition (§3.5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmuDef {
+    /// Unique unit name.
+    pub name: String,
+    /// The primary component (always active; not managed by the SMU).
+    pub primary: String,
+    /// Spare components in activation order; each must have an
+    /// `active`/`inactive` OM group.
+    pub spares: Vec<String>,
+    /// Optional failover delay (§3.6 extension, Fig. 9): the time to
+    /// detect a primary failure and activate the spare.
+    pub failover: Option<Dist>,
+}
+
+impl SmuDef {
+    /// Creates an SMU with one primary and the given spares.
+    pub fn new(
+        name: impl Into<String>,
+        primary: impl Into<String>,
+        spares: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            primary: primary.into(),
+            spares: spares.into_iter().map(Into::into).collect(),
+            failover: None,
+        }
+    }
+
+    /// Adds an exponential/phase-type failover time.
+    pub fn with_failover(mut self, failover: Dist) -> Self {
+        self.failover = Some(failover);
+        self
+    }
+}
+
+/// A complete Arcade system definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemDef {
+    /// Model name (used in reports).
+    pub name: String,
+    /// The basic components.
+    pub components: Vec<BcDef>,
+    /// The repair units.
+    pub repair_units: Vec<RuDef>,
+    /// The spare management units.
+    pub smus: Vec<SmuDef>,
+    /// The `SYSTEM DOWN` criterion (§3.5.4).
+    pub system_down: Option<Expr>,
+}
+
+impl SystemDef {
+    /// Creates an empty system.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            components: Vec::new(),
+            repair_units: Vec::new(),
+            smus: Vec::new(),
+            system_down: None,
+        }
+    }
+
+    /// Adds a basic component.
+    pub fn add_component(&mut self, bc: BcDef) -> &mut Self {
+        self.components.push(bc);
+        self
+    }
+
+    /// Adds a repair unit.
+    pub fn add_repair_unit(&mut self, ru: RuDef) -> &mut Self {
+        self.repair_units.push(ru);
+        self
+    }
+
+    /// Adds a spare management unit.
+    pub fn add_smu(&mut self, smu: SmuDef) -> &mut Self {
+        self.smus.push(smu);
+        self
+    }
+
+    /// Sets the system failure criterion.
+    pub fn set_system_down(&mut self, expr: Expr) -> &mut Self {
+        self.system_down = Some(expr);
+        self
+    }
+
+    /// Looks up a component definition by name.
+    pub fn component(&self, name: &str) -> Option<&BcDef> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// The reliability variant of the model: all repair units removed, so
+    /// no component is ever repaired. This is the configuration under which
+    /// the paper computes the DDS reliability numbers of Table 1 (§5.1.2).
+    pub fn without_repair(&self) -> Self {
+        let mut out = self.clone();
+        out.name = format!("{}-norepair", self.name);
+        out.repair_units.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bc_builder_covers_fields() {
+        let bc = BcDef::new("db", Dist::exp(0.01), Dist::exp(1.0))
+            .with_om_group(OmGroup::OnOff(Expr::down("psu")))
+            .with_ttf([Dist::exp(0.01), Dist::Never])
+            .with_inaccessible_means_down(true);
+        assert_eq!(bc.num_operational_states(), 2);
+        assert_eq!(bc.num_failure_modes(), 1);
+        assert!(!bc.has_active_inactive());
+        assert!(bc.inaccessible_means_down);
+    }
+
+    #[test]
+    fn spare_has_active_inactive() {
+        let bc = BcDef::new("ps", Dist::exp(0.0005), Dist::exp(1.0))
+            .with_om_group(OmGroup::ActiveInactive)
+            .with_ttf([Dist::exp(0.0005), Dist::exp(0.0005)]);
+        assert!(bc.has_active_inactive());
+        assert_eq!(OmGroup::ActiveInactive.num_modes(), 2);
+        assert!(OmGroup::ActiveInactive.trigger().is_none());
+    }
+
+    #[test]
+    fn system_accessors() {
+        let mut sys = SystemDef::new("s");
+        sys.add_component(BcDef::new("a", Dist::exp(1.0), Dist::exp(1.0)));
+        sys.add_repair_unit(RuDef::new("r", ["a"], RepairStrategy::Dedicated));
+        sys.set_system_down(Expr::down("a"));
+        assert!(sys.component("a").is_some());
+        assert!(sys.component("zz").is_none());
+        let nr = sys.without_repair();
+        assert!(nr.repair_units.is_empty());
+        assert!(!sys.repair_units.is_empty());
+        assert!(nr.name.contains("norepair"));
+    }
+
+    #[test]
+    fn strategy_keywords() {
+        assert_eq!(RepairStrategy::Fcfs.keyword(), "FCFS");
+        assert_eq!(RepairStrategy::Dedicated.keyword(), "DEDICATED");
+        assert_eq!(RepairStrategy::PreemptivePriority.keyword(), "PP");
+        assert_eq!(RepairStrategy::NonPreemptivePriority.keyword(), "PNP");
+    }
+
+    #[test]
+    fn smu_with_failover() {
+        let smu = SmuDef::new("m", "pp", ["ps"]).with_failover(Dist::exp(10.0));
+        assert_eq!(smu.primary, "pp");
+        assert_eq!(smu.spares, vec!["ps"]);
+        assert!(smu.failover.is_some());
+    }
+
+    #[test]
+    fn om_group_names() {
+        assert!(OmGroup::OnOff(Expr::down("x")).name().contains("on"));
+        assert!(OmGroup::NormalDegraded(Expr::down("x"))
+            .trigger()
+            .is_some());
+    }
+}

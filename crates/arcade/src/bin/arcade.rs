@@ -1,0 +1,184 @@
+//! `arcade` — command-line dependability evaluation.
+//!
+//! ```text
+//! arcade analyze  <model.arcade> [--time T]...     measures (engine)
+//! arcade modular  <model.arcade> [--time T]...     measures (modularized)
+//! arcade simulate <model.arcade> --time T [--reps N] [--seed S]
+//! arcade check    <model.arcade>                   validate only
+//! arcade blocks   <model.arcade>                   block automaton sizes
+//! arcade dot      <model.arcade> <block>           Graphviz of one block
+//! arcade format   <model.arcade>                   re-print canonically
+//! ```
+
+use std::process::ExitCode;
+
+use arcade::analysis::Analysis;
+use arcade::engine::EngineOptions;
+use arcade::model::SystemModel;
+use arcade::modular::modular_analysis;
+use arcade::parser::parse_system;
+use arcade::printer::to_arcade_text;
+use arcade::sim;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let file = args.get(1).ok_or_else(usage)?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let def = parse_system(&text).map_err(|e| e.to_string())?;
+
+    match cmd.as_str() {
+        "check" => {
+            arcade::model::validate(&def).map_err(|e| e.to_string())?;
+            println!(
+                "ok: {} components, {} repair units, {} SMUs",
+                def.components.len(),
+                def.repair_units.len(),
+                def.smus.len()
+            );
+            Ok(())
+        }
+        "format" => {
+            print!("{}", to_arcade_text(&def));
+            Ok(())
+        }
+        "blocks" => {
+            let model = SystemModel::build(&def).map_err(|e| e.to_string())?;
+            println!("{:<20} {:>8} {:>12}", "block", "states", "transitions");
+            for b in &model.blocks {
+                println!(
+                    "{:<20} {:>8} {:>12}",
+                    b.name,
+                    b.imc.num_states(),
+                    b.imc.num_transitions()
+                );
+            }
+            Ok(())
+        }
+        "dot" => {
+            let block_name = args.get(2).ok_or("dot needs a block name")?;
+            let model = SystemModel::build(&def).map_err(|e| e.to_string())?;
+            let block = model
+                .block(block_name)
+                .ok_or_else(|| format!("no block named `{block_name}`"))?;
+            print!(
+                "{}",
+                ioimc::dot::to_dot(&block.imc, &model.alphabet, block_name)
+            );
+            Ok(())
+        }
+        "analyze" => {
+            let times = flag_values(args, "--time")?;
+            let report = Analysis::new(&def)
+                .map_err(|e| e.to_string())?
+                .run()
+                .map_err(|e| e.to_string())?;
+            println!("final CTMC: {}", report.ctmc_stats());
+            println!("largest intermediate: {}", report.largest_intermediate());
+            println!();
+            println!(
+                "steady-state availability:   {:.10}",
+                report.steady_state_availability()
+            );
+            println!(
+                "steady-state unavailability: {:.6e}",
+                report.steady_state_unavailability()
+            );
+            println!("MTTF:                        {:.6e}", report.mttf());
+            for &t in &times {
+                println!();
+                println!("t = {t}:");
+                println!("  reliability (no repair):   {:.10}", report.reliability(t));
+                println!(
+                    "  unreliability w/ repair:   {:.6e}",
+                    report.unreliability_with_repair(t)
+                );
+                println!(
+                    "  point unavailability:      {:.6e}",
+                    report.point_unavailability(t)
+                );
+            }
+            Ok(())
+        }
+        "modular" => {
+            let times = flag_values(args, "--time")?;
+            let m = modular_analysis(&def, &EngineOptions::new()).map_err(|e| e.to_string())?;
+            for module in &m.modules {
+                println!(
+                    "{}: {} components, CTMC {}",
+                    module.name,
+                    module.components.len(),
+                    module.report.ctmc_stats()
+                );
+            }
+            println!();
+            println!(
+                "steady-state availability:   {:.10}",
+                m.steady_state_availability()
+            );
+            for &t in &times {
+                println!("R({t}) = {:.10}   unreliability w/ repair = {:.6e}",
+                    m.reliability(t), m.unreliability_with_repair(t));
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let times = flag_values(args, "--time")?;
+            let t = *times.first().ok_or("simulate needs --time T")?;
+            let reps = flag_values(args, "--reps")?
+                .first()
+                .map_or(10_000, |r| *r as usize);
+            let seed = flag_values(args, "--seed")?.first().map_or(1, |s| *s as u64);
+            let no_rep = sim::simulate_unreliability(&def, t, reps, seed, false)
+                .map_err(|e| e.to_string())?;
+            let with_rep = sim::simulate_unreliability(&def, t, reps, seed + 1, true)
+                .map_err(|e| e.to_string())?;
+            println!("Monte-Carlo, {reps} replications, seed {seed}:");
+            println!(
+                "  R({t}) (no repair)        = {:.6} ± {:.6}",
+                1.0 - no_rep.mean,
+                no_rep.half_width
+            );
+            println!(
+                "  unreliability w/ repair  = {:.6e} ± {:.2e}",
+                with_rep.mean, with_rep.half_width
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn flag_values(args: &[String], flag: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{flag}: {e}"))?;
+            out.push(v);
+        }
+    }
+    Ok(out)
+}
+
+fn usage() -> String {
+    "usage: arcade <analyze|modular|simulate|check|blocks|dot|format> <model.arcade> \
+     [--time T]... [--reps N] [--seed S]"
+        .to_owned()
+}

@@ -1,0 +1,124 @@
+//! The distributed database system (paper §5.1, after \[19\]).
+//!
+//! Two processors (one spare managed by an SMU, shared FCFS repair), four
+//! disk controllers in two sets (FCFS repair per set), and 24 disks in six
+//! clusters of four (FCFS repair per cluster). The system is down iff all
+//! processors are down, or some controller set is wholly down, or some
+//! cluster has lost two or more disks.
+
+use crate::ast::{BcDef, OmGroup, RepairStrategy, RuDef, SmuDef, SystemDef};
+use crate::dist::Dist;
+use crate::expr::Expr;
+
+/// Failure rate of processors and disk controllers (per hour).
+pub const PROC_RATE: f64 = 1.0 / 2000.0;
+/// Failure rate of disks (per hour).
+pub const DISK_RATE: f64 = 1.0 / 6000.0;
+/// Repair rate of every component (per hour).
+pub const REPAIR_RATE: f64 = 1.0;
+/// The paper's mission time: 5 weeks, in hours.
+pub const FIVE_WEEKS_H: f64 = 5.0 * 7.0 * 24.0;
+
+/// Builds the full DDS model (6 disk clusters, as in the paper).
+pub fn dds() -> SystemDef {
+    dds_scaled(6)
+}
+
+/// Builds a DDS variant with `clusters` disk clusters (used by the scaling
+/// sweep; `clusters == 6` is the paper's configuration).
+pub fn dds_scaled(clusters: usize) -> SystemDef {
+    let mut def = SystemDef::new(format!("dds-{clusters}cl"));
+
+    // Processors: pp primary, ps spare (same rates in both modes, §5.1.1).
+    def.add_component(BcDef::new(
+        "pp",
+        Dist::exp(PROC_RATE),
+        Dist::exp(REPAIR_RATE),
+    ));
+    def.add_component(
+        BcDef::new("ps", Dist::exp(PROC_RATE), Dist::exp(REPAIR_RATE))
+            .with_om_group(OmGroup::ActiveInactive)
+            .with_ttf([Dist::exp(PROC_RATE), Dist::exp(PROC_RATE)]),
+    );
+    def.add_smu(SmuDef::new("p.smu", "pp", ["ps"]));
+    def.add_repair_unit(RuDef::new("p.rep", ["pp", "ps"], RepairStrategy::Fcfs));
+
+    // Disk controllers: two sets of two, one FCFS repair unit per set.
+    for i in 1..=4usize {
+        def.add_component(BcDef::new(
+            format!("dc_{i}"),
+            Dist::exp(PROC_RATE),
+            Dist::exp(REPAIR_RATE),
+        ));
+    }
+    def.add_repair_unit(RuDef::new(
+        "cs1.rep",
+        ["dc_1", "dc_2"],
+        RepairStrategy::Fcfs,
+    ));
+    def.add_repair_unit(RuDef::new(
+        "cs2.rep",
+        ["dc_3", "dc_4"],
+        RepairStrategy::Fcfs,
+    ));
+
+    // Disks: `clusters` clusters of four, one FCFS repair unit per cluster.
+    for c in 0..clusters {
+        let names: Vec<String> = (1..=4).map(|k| format!("d_{}", c * 4 + k)).collect();
+        for n in &names {
+            def.add_component(BcDef::new(
+                n,
+                Dist::exp(DISK_RATE),
+                Dist::exp(REPAIR_RATE),
+            ));
+        }
+        def.add_repair_unit(RuDef::new(
+            format!("cluster{}.rep", c + 1),
+            names,
+            RepairStrategy::Fcfs,
+        ));
+    }
+
+    // SYSTEM DOWN (§5.1.1).
+    let mut branches = vec![
+        Expr::and([Expr::down("pp"), Expr::down("ps")]),
+        Expr::and([Expr::down("dc_1"), Expr::down("dc_2")]),
+        Expr::and([Expr::down("dc_3"), Expr::down("dc_4")]),
+    ];
+    for c in 0..clusters {
+        branches.push(Expr::k_of_n(
+            2,
+            (1..=4).map(|k| Expr::down(format!("d_{}", c * 4 + k))),
+        ));
+    }
+    def.set_system_down(Expr::Or(branches));
+    def
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate;
+
+    #[test]
+    fn dds_shape() {
+        let def = dds();
+        assert_eq!(def.components.len(), 2 + 4 + 24);
+        assert_eq!(def.repair_units.len(), 1 + 2 + 6);
+        assert_eq!(def.smus.len(), 1);
+        validate(&def).unwrap();
+        match def.system_down.as_ref().unwrap() {
+            Expr::Or(cs) => assert_eq!(cs.len(), 9),
+            _ => panic!("top must be OR"),
+        }
+    }
+
+    #[test]
+    fn scaled_variants_validate() {
+        for k in 1..=3 {
+            let def = dds_scaled(k);
+            assert_eq!(def.components.len(), 6 + 4 * k);
+            validate(&def).unwrap();
+        }
+    }
+}

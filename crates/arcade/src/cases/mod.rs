@@ -1,0 +1,7 @@
+//! The paper's two case studies as ready-made model constructors.
+
+pub mod dds;
+pub mod rcs;
+
+pub use dds::{dds, dds_scaled};
+pub use rcs::rcs;

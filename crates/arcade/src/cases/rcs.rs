@@ -1,0 +1,194 @@
+//! The reactor cooling system (paper §5.2, after \[22, 7\]).
+//!
+//! Two parallel pump lines (pump + filter + inlet/outlet control valves),
+//! a heat exchanger unit (exchanger + filter + two valves) with a bypass
+//! of two motor-driven valves. Pumps load-share: when one fails the other
+//! runs degraded at twice the phase rate (Erlang-2 failure and repair,
+//! shared FCFS repair unit). Valves have two equiprobable failure modes,
+//! stuck-open (m1) and stuck-closed (m2); only stuck-closed breaks a pump
+//! line. All other components have dedicated repair.
+//!
+//! The paper (and its source \[7\]) does not enumerate the exact number of
+//! control valves ("a number of control valves"); this reconstruction uses
+//! two per pump line, two in the heat-exchanger unit and two motor-driven
+//! bypass valves — the substitution is documented in DESIGN.md.
+
+use crate::ast::{BcDef, OmGroup, RepairStrategy, RuDef, SystemDef};
+use crate::dist::Dist;
+use crate::expr::Expr;
+
+/// Pump Erlang-2 phase rate, normal mode (per hour, §5.2.1).
+pub const PUMP_PHASE_RATE: f64 = 5.44e-6;
+/// Pump Erlang-2 phase rate in degraded (load-sharing) mode.
+pub const PUMP_PHASE_RATE_DEGRADED: f64 = 10.88e-6;
+/// Pump Erlang-2 repair phase rate.
+pub const PUMP_REPAIR_PHASE_RATE: f64 = 0.1;
+/// Valve total failure rate (two modes at 4.2e-8 each).
+pub const VALVE_RATE: f64 = 8.4e-8;
+/// Filter failure rate.
+pub const FILTER_RATE: f64 = 2.19e-6;
+/// Heat exchanger failure rate.
+pub const HX_RATE: f64 = 1.14e-6;
+/// Repair rate of valves, filters and the heat exchanger.
+pub const COMMON_REPAIR_RATE: f64 = 0.1;
+
+fn valve(name: &str) -> BcDef {
+    BcDef::new(name, Dist::exp(VALVE_RATE), Dist::exp(COMMON_REPAIR_RATE)).with_failure_modes(
+        [0.5, 0.5],
+        [
+            Dist::exp(COMMON_REPAIR_RATE),
+            Dist::exp(COMMON_REPAIR_RATE),
+        ],
+    )
+}
+
+fn dedicated(def: &mut SystemDef, comp: &str) {
+    def.add_repair_unit(RuDef::new(
+        format!("{comp}.rep"),
+        [comp],
+        RepairStrategy::Dedicated,
+    ));
+}
+
+/// Builds the full RCS model (2 control valves per pump line — see the
+/// inventory note in the module docs).
+pub fn rcs() -> SystemDef {
+    rcs_with_valves(2)
+}
+
+/// Builds an RCS variant with `valves_per_line` control valves per pump
+/// line. The paper's source \[7\] says only "a number of control valves";
+/// the `exp_rcs_inventory` experiment sweeps this parameter to show how
+/// the published numbers pin it down.
+///
+/// # Panics
+///
+/// Panics if `valves_per_line` is 0.
+pub fn rcs_with_valves(valves_per_line: usize) -> SystemDef {
+    assert!(valves_per_line > 0, "a pump line needs at least one valve");
+    let mut def = SystemDef::new(format!("rcs-{valves_per_line}v"));
+
+    // Pumps with load sharing: P1 degrades when P2 is down and vice versa.
+    for (me, other) in [("P1", "P2"), ("P2", "P1")] {
+        def.add_component(
+            BcDef::new(
+                me,
+                Dist::erlang(2, PUMP_PHASE_RATE),
+                Dist::erlang(2, PUMP_REPAIR_PHASE_RATE),
+            )
+            .with_om_group(OmGroup::NormalDegraded(Expr::down(other)))
+            .with_ttf([
+                Dist::erlang(2, PUMP_PHASE_RATE),
+                Dist::erlang(2, PUMP_PHASE_RATE_DEGRADED),
+            ]),
+        );
+    }
+    def.add_repair_unit(RuDef::new("P.rep", ["P1", "P2"], RepairStrategy::Fcfs));
+
+    // Pump lines: filter + inlet/outlet valves.
+    for line in 1..=2 {
+        let f = format!("FP{line}");
+        def.add_component(BcDef::new(
+            &f,
+            Dist::exp(FILTER_RATE),
+            Dist::exp(COMMON_REPAIR_RATE),
+        ));
+        dedicated(&mut def, &f);
+        for k in 0..valves_per_line {
+            let v = match k {
+                0 => format!("VIP{line}"),
+                1 => format!("VOP{line}"),
+                n => format!("VC{line}_{n}"),
+            };
+            def.add_component(valve(&v));
+            dedicated(&mut def, &v);
+        }
+    }
+
+    // Heat exchanger unit: HX + filter + two valves.
+    def.add_component(BcDef::new(
+        "HX",
+        Dist::exp(HX_RATE),
+        Dist::exp(COMMON_REPAIR_RATE),
+    ));
+    dedicated(&mut def, "HX");
+    def.add_component(BcDef::new(
+        "FHX",
+        Dist::exp(FILTER_RATE),
+        Dist::exp(COMMON_REPAIR_RATE),
+    ));
+    dedicated(&mut def, "FHX");
+    for v in ["VHX1", "VHX2"] {
+        def.add_component(valve(v));
+        dedicated(&mut def, v);
+    }
+
+    // Bypass: two motor-driven valves.
+    for v in ["MDV1", "MDV2"] {
+        def.add_component(valve(v));
+        dedicated(&mut def, v);
+    }
+
+    // A pump line is down if its pump, filter, or a stuck-closed valve is
+    // down; the HX unit if anything in it fails; the bypass if an MDV is
+    // stuck closed (§5.2).
+    let line = |i: u32| {
+        let mut parts = vec![
+            Expr::down(format!("P{i}")),
+            Expr::down(format!("FP{i}")),
+            Expr::down_mode(format!("VIP{i}"), 2),
+        ];
+        if valves_per_line >= 2 {
+            parts.push(Expr::down_mode(format!("VOP{i}"), 2));
+        }
+        for n in 2..valves_per_line {
+            parts.push(Expr::down_mode(format!("VC{i}_{n}"), 2));
+        }
+        Expr::Or(parts)
+    };
+    let hx_unit = Expr::or([
+        Expr::down("HX"),
+        Expr::down("FHX"),
+        Expr::down("VHX1"),
+        Expr::down("VHX2"),
+    ]);
+    let bypass = Expr::or([Expr::down_mode("MDV1", 2), Expr::down_mode("MDV2", 2)]);
+    def.set_system_down(Expr::or([
+        Expr::and([line(1), line(2)]),
+        Expr::and([hx_unit, bypass]),
+    ]));
+    def
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate;
+
+    #[test]
+    fn rcs_shape() {
+        let def = rcs();
+        // 2 pumps + 2*(filter+2 valves) + HX + FHX + 2 VHX + 2 MDV = 14
+        assert_eq!(def.components.len(), 14);
+        // 1 shared pump RU + 12 dedicated
+        assert_eq!(def.repair_units.len(), 13);
+        validate(&def).unwrap();
+    }
+
+    #[test]
+    fn valve_sweep_validates() {
+        for v in 1..=4 {
+            let def = rcs_with_valves(v);
+            crate::model::validate(&def).unwrap();
+            assert_eq!(def.components.len(), 2 + 2 * (1 + v) + 4 + 2);
+        }
+    }
+
+    #[test]
+    fn pumps_load_share() {
+        let def = rcs();
+        let p1 = def.component("P1").unwrap();
+        assert_eq!(p1.num_operational_states(), 2);
+        assert_eq!(p1.ttf[1], Dist::erlang(2, PUMP_PHASE_RATE_DEGRADED));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type of the Arcade crate.
+
+use std::fmt;
+
+/// All the ways building or analyzing an Arcade model can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArcadeError {
+    /// A parse error in the textual syntax, with 1-based line number.
+    Parse {
+        /// Line where the error occurred.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The model definition is inconsistent (dangling names, arity
+    /// mismatches, …).
+    Invalid(String),
+    /// Internal consistency failure while building the I/O-IMC semantics.
+    Build(String),
+    /// The composed model is not weakly deterministic (no underlying CTMC).
+    Nondeterministic(String),
+    /// A numerical analysis failed.
+    Analysis(String),
+}
+
+impl ArcadeError {
+    /// Convenience constructor for [`ArcadeError::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Self::Invalid(msg.into())
+    }
+
+    /// Convenience constructor for [`ArcadeError::Build`].
+    pub fn build(msg: impl Into<String>) -> Self {
+        Self::Build(msg.into())
+    }
+}
+
+impl fmt::Display for ArcadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            Self::Invalid(m) => write!(f, "invalid model: {m}"),
+            Self::Build(m) => write!(f, "semantics construction failed: {m}"),
+            Self::Nondeterministic(m) => write!(f, "model is not weakly deterministic: {m}"),
+            Self::Analysis(m) => write!(f, "analysis failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArcadeError {}
+
+impl From<ioimc::ValidationError> for ArcadeError {
+    fn from(e: ioimc::ValidationError) -> Self {
+        Self::Build(e.to_string())
+    }
+}
+
+impl From<ioimc::compose::ComposeError> for ArcadeError {
+    fn from(e: ioimc::compose::ComposeError) -> Self {
+        Self::Build(e.to_string())
+    }
+}
+
+impl From<bisim::NondeterminismError> for ArcadeError {
+    fn from(e: bisim::NondeterminismError) -> Self {
+        Self::Nondeterministic(e.to_string())
+    }
+}
+
+impl From<ctmc::CtmcError> for ArcadeError {
+    fn from(e: ctmc::CtmcError) -> Self {
+        Self::Analysis(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArcadeError::Parse {
+            line: 12,
+            message: "expected COMPONENT".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        assert!(ArcadeError::invalid("x").to_string().contains("invalid"));
+        assert!(ArcadeError::build("y").to_string().contains("y"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Boolean failure expressions.
+//!
+//! Arcade uses AND/OR expressions (plus the `K of N` shorthand) over
+//! component failure modes in several places: the `SYSTEM DOWN` criterion,
+//! mode-switch triggers (`ON-TO-OFF`, `ACCESSIBLE-TO-INACCESSIBLE`,
+//! `NORMAL-TO-DEGRADED`) and the destructive functional dependency
+//! (`DESTRUCTIVE FDEP`).
+
+use std::fmt;
+
+/// Which failure modes of a component a literal refers to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ModeRef {
+    /// `x.down` — the component is down for any reason.
+    Any,
+    /// `x.down.mK` — down with inherent failure mode `K` (1-based).
+    Mode(u32),
+    /// `x.down.df` — down due to its destructive functional dependency.
+    Df,
+}
+
+/// A literal: "component `component` is down (with the given mode)".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The component name.
+    pub component: String,
+    /// Which failure modes count.
+    pub mode: ModeRef,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.mode {
+            ModeRef::Any => write!(f, "{}.down", self.component),
+            ModeRef::Mode(k) => write!(f, "{}.down.m{k}", self.component),
+            ModeRef::Df => write!(f, "{}.down.df", self.component),
+        }
+    }
+}
+
+/// An AND/OR/K-of-N expression over failure literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A single literal.
+    Lit(Literal),
+    /// True iff all children are true.
+    And(Vec<Expr>),
+    /// True iff any child is true.
+    Or(Vec<Expr>),
+    /// True iff at least `k` children are true (the paper's `2of4` shorthand).
+    KofN(u32, Vec<Expr>),
+    /// Priority-AND (the extension the paper's footnote 8 suggests, after
+    /// the dynamic fault tree gate of \[10\]): true iff all children are
+    /// true *and* they became true in left-to-right order. Only the gate
+    /// semantics observes the order; the stateless [`Expr::eval`] treats
+    /// it as an AND (callers that cannot track order reject it — see
+    /// [`crate::model::validate`]).
+    Pand(Vec<Expr>),
+}
+
+impl Expr {
+    /// Literal `component.down` (any failure mode).
+    pub fn down(component: impl Into<String>) -> Self {
+        Self::Lit(Literal {
+            component: component.into(),
+            mode: ModeRef::Any,
+        })
+    }
+
+    /// Literal `component.down.mK` (1-based inherent failure mode).
+    pub fn down_mode(component: impl Into<String>, k: u32) -> Self {
+        Self::Lit(Literal {
+            component: component.into(),
+            mode: ModeRef::Mode(k),
+        })
+    }
+
+    /// Literal `component.down.df` (destructive functional dependency).
+    pub fn down_df(component: impl Into<String>) -> Self {
+        Self::Lit(Literal {
+            component: component.into(),
+            mode: ModeRef::Df,
+        })
+    }
+
+    /// Conjunction of the children.
+    pub fn and(children: impl IntoIterator<Item = Expr>) -> Self {
+        Self::And(children.into_iter().collect())
+    }
+
+    /// Disjunction of the children.
+    pub fn or(children: impl IntoIterator<Item = Expr>) -> Self {
+        Self::Or(children.into_iter().collect())
+    }
+
+    /// At least `k` of the children.
+    pub fn k_of_n(k: u32, children: impl IntoIterator<Item = Expr>) -> Self {
+        Self::KofN(k, children.into_iter().collect())
+    }
+
+    /// Priority-AND over the children (failure in left-to-right order).
+    pub fn pand(children: impl IntoIterator<Item = Expr>) -> Self {
+        Self::Pand(children.into_iter().collect())
+    }
+
+    /// Whether the expression contains a Priority-AND anywhere.
+    pub fn contains_pand(&self) -> bool {
+        match self {
+            Self::Lit(_) => false,
+            Self::Pand(_) => true,
+            Self::And(cs) | Self::Or(cs) | Self::KofN(_, cs) => {
+                cs.iter().any(Expr::contains_pand)
+            }
+        }
+    }
+
+    /// All literals of the expression, in depth-first order, without
+    /// duplicates.
+    pub fn literals(&self) -> Vec<&Literal> {
+        let mut out: Vec<&Literal> = Vec::new();
+        self.visit_literals(&mut |l| {
+            if !out.contains(&l) {
+                out.push(l);
+            }
+        });
+        out
+    }
+
+    fn visit_literals<'a>(&'a self, f: &mut impl FnMut(&'a Literal)) {
+        match self {
+            Self::Lit(l) => f(l),
+            Self::And(cs) | Self::Or(cs) | Self::KofN(_, cs) | Self::Pand(cs) => {
+                for c in cs {
+                    c.visit_literals(f);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression given a truth assignment for literals.
+    pub fn eval(&self, truth: &impl Fn(&Literal) -> bool) -> bool {
+        match self {
+            Self::Lit(l) => truth(l),
+            // Order-insensitive approximation; order-aware callers use the
+            // gate semantics instead (see the variant docs).
+            Self::Pand(cs) => cs.iter().all(|c| c.eval(truth)),
+            Self::And(cs) => cs.iter().all(|c| c.eval(truth)),
+            Self::Or(cs) => cs.iter().any(|c| c.eval(truth)),
+            Self::KofN(k, cs) => cs.iter().filter(|c| c.eval(truth)).count() >= *k as usize,
+        }
+    }
+
+    /// Probability that the expression is true, assuming the direct
+    /// children are *statistically independent* and each child's
+    /// probability is given by `prob`. Used by the analytic (Galileo-style)
+    /// evaluator; the caller is responsible for the independence
+    /// precondition (e.g. children over disjoint component sets).
+    pub fn probability(&self, prob: &impl Fn(&Literal) -> f64) -> f64 {
+        match self {
+            Self::Lit(l) => prob(l),
+            // Order-insensitive upper bound; the analytic evaluator rejects
+            // PAND models outright.
+            Self::Pand(cs) => cs.iter().map(|c| c.probability(prob)).product(),
+            Self::And(cs) => cs.iter().map(|c| c.probability(prob)).product(),
+            Self::Or(cs) => {
+                1.0 - cs
+                    .iter()
+                    .map(|c| 1.0 - c.probability(prob))
+                    .product::<f64>()
+            }
+            Self::KofN(k, cs) => {
+                // dp[j] = P(exactly j of the children so far are true),
+                // with j capped at k ("k or more").
+                let k = *k as usize;
+                let mut dp = vec![0.0f64; k + 1];
+                dp[0] = 1.0;
+                for c in cs {
+                    let p = c.probability(prob);
+                    let mut next = vec![0.0f64; k + 1];
+                    for j in 0..=k {
+                        next[j] += dp[j] * (1.0 - p);
+                        next[(j + 1).min(k)] += dp[j] * p;
+                    }
+                    dp = next;
+                }
+                dp[k]
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Self::Lit(_) => 1,
+            Self::And(cs) | Self::Or(cs) | Self::KofN(_, cs) | Self::Pand(cs) => {
+                1 + cs.iter().map(Expr::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lit(l) => write!(f, "{l}"),
+            Self::And(cs) => write_joined(f, cs, " AND "),
+            Self::Pand(cs) => {
+                write!(f, "PAND(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Self::Or(cs) => write_joined(f, cs, " OR "),
+            Self::KofN(k, cs) => {
+                write!(f, "{k}of{}(", cs.len())?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn write_joined(f: &mut fmt::Formatter<'_>, cs: &[Expr], sep: &str) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, c) in cs.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        write!(f, "{c}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn down(name: &str) -> Expr {
+        Expr::down(name)
+    }
+
+    #[test]
+    fn eval_basic_gates() {
+        let e = Expr::and([down("a"), Expr::or([down("b"), down("c")])]);
+        let t = |l: &Literal| l.component == "a" || l.component == "c";
+        assert!(e.eval(&t));
+        let t2 = |l: &Literal| l.component == "a";
+        assert!(!e.eval(&t2));
+    }
+
+    #[test]
+    fn eval_k_of_n() {
+        let e = Expr::k_of_n(2, [down("a"), down("b"), down("c"), down("d")]);
+        let two = |l: &Literal| l.component == "a" || l.component == "c";
+        assert!(e.eval(&two));
+        let one = |l: &Literal| l.component == "a";
+        assert!(!e.eval(&one));
+    }
+
+    #[test]
+    fn literals_dedup_in_order() {
+        let e = Expr::or([down("x"), Expr::and([down("y"), down("x")])]);
+        let lits: Vec<String> = e.literals().iter().map(|l| l.to_string()).collect();
+        assert_eq!(lits, vec!["x.down", "y.down"]);
+    }
+
+    #[test]
+    fn probability_of_or_and() {
+        let p = |_: &Literal| 0.1;
+        assert!((down("a").probability(&p) - 0.1).abs() < 1e-12);
+        let e = Expr::and([down("a"), down("b")]);
+        assert!((e.probability(&p) - 0.01).abs() < 1e-12);
+        let e = Expr::or([down("a"), down("b")]);
+        assert!((e.probability(&p) - 0.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_of_k_of_n_matches_binomial() {
+        let p = |_: &Literal| 0.2;
+        let e = Expr::k_of_n(2, [down("a"), down("b"), down("c"), down("d")]);
+        // P(X >= 2), X ~ Bin(4, 0.2)
+        let q: f64 = 0.8;
+        let expected = 1.0 - q.powi(4) - 4.0 * 0.2 * q.powi(3);
+        assert!((e.probability(&p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let e = Expr::or([
+            Expr::and([down("pp"), down("ps")]),
+            Expr::k_of_n(2, [down("d1"), down("d2"), down("d3"), down("d4")]),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("pp.down AND ps.down"));
+        assert!(s.contains("2of4("));
+        assert_eq!(Expr::down_mode("x", 2).to_string(), "x.down.m2");
+        assert_eq!(Expr::down_df("x").to_string(), "x.down.df");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::and([down("a"), down("b")]);
+        assert_eq!(e.size(), 3);
+    }
+}

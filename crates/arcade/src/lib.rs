@@ -1,0 +1,79 @@
+//! **Arcade** — architectural dependability evaluation.
+//!
+//! A from-scratch reproduction of *"Architectural dependability evaluation
+//! with Arcade"* (Boudali, Crouzen, Haverkort, Kuntz, Stoelinga — DSN 2008).
+//!
+//! Arcade models a system as interacting building blocks:
+//!
+//! * **Basic components** ([`ast::BcDef`]) with operational-mode groups
+//!   (active/inactive, on/off, accessible/inaccessible, normal/degraded),
+//!   phase-type failure distributions, multiple failure modes and
+//!   destructive functional dependencies,
+//! * **Repair units** ([`ast::RuDef`]) with dedicated, FCFS, and
+//!   priority-based (preemptive/non-preemptive) strategies,
+//! * **Spare management units** ([`ast::SmuDef`]) with optional exponential
+//!   failover times,
+//! * a **system failure criterion** ([`expr::Expr`]) — a fault-tree style
+//!   AND/OR/K-of-N expression over component failure modes.
+//!
+//! Every block has a formal semantics as an Input/Output Interactive Markov
+//! Chain (crate [`ioimc`]); the [`engine`] composes the blocks pairwise,
+//! hides signals that no remaining block listens to, and minimizes modulo
+//! branching bisimulation (crate [`bisim`]) after every step — the
+//! *compositional aggregation* that keeps the state space small. The final
+//! closed model becomes a labelled CTMC (crate [`ctmc`]) from which
+//! availability, reliability and MTTF are computed.
+//!
+//! # Quick start
+//!
+//! Two redundant processors sharing an FCFS repair unit:
+//!
+//! ```
+//! use arcade::prelude::*;
+//!
+//! let mut sys = SystemDef::new("redundant-pair");
+//! for name in ["p1", "p2"] {
+//!     sys.add_component(BcDef::new(name, Dist::exp(0.001), Dist::exp(0.5)));
+//! }
+//! sys.add_repair_unit(RuDef::new("rep", ["p1", "p2"], RepairStrategy::Fcfs));
+//! sys.set_system_down(Expr::and([Expr::down("p1"), Expr::down("p2")]));
+//!
+//! let analysis = Analysis::new(&sys)?.run()?;
+//! let a = analysis.steady_state_availability();
+//! assert!(a > 0.99999 && a < 1.0);
+//! # Ok::<(), arcade::ArcadeError>(())
+//! ```
+//!
+//! The same model can be written in the paper's textual syntax and parsed
+//! with [`parser::parse_system`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod analytic;
+pub mod ast;
+pub mod build;
+pub mod cases;
+pub mod dist;
+pub mod engine;
+pub mod error;
+pub mod expr;
+pub mod model;
+pub mod modular;
+pub mod order;
+pub mod parser;
+pub mod printer;
+pub mod sim;
+
+pub use analysis::Analysis;
+pub use error::ArcadeError;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::analysis::Analysis;
+    pub use crate::ast::{BcDef, OmGroup, RepairStrategy, RuDef, SmuDef, SystemDef};
+    pub use crate::dist::Dist;
+    pub use crate::error::ArcadeError;
+    pub use crate::expr::Expr;
+}

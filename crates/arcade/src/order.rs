@@ -1,0 +1,413 @@
+//! Composition-order policies and composition plans.
+//!
+//! The paper leaves the composition order to the user ("The order in which
+//! the I/O-IMC models are composed is given by the user", §4). The order
+//! matters enormously for the size of the intermediate models — the
+//! `exp_ablation` experiment quantifies this — so besides user-given
+//! orders we provide automatic policies, the best of which
+//! ([`OrderPolicy::BottomUp`]) produces *hierarchical* composition plans:
+//! each fault-tree module is aggregated in isolation, where everything
+//! internal can be hidden immediately, and only the module's tiny quotient
+//! joins the system-level fold.
+
+use std::collections::HashSet;
+
+use ioimc::ActionId;
+
+use crate::error::ArcadeError;
+use crate::expr::Expr;
+use crate::model::SystemModel;
+
+/// How to order the blocks for composition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum OrderPolicy {
+    /// Hierarchical bottom-up plan along the fault tree (default): every
+    /// gate subtree (components, then covering units, then the gate)
+    /// becomes a group aggregated standalone; at the top level the top
+    /// gate and observer are composed right after the first module so
+    /// completed modules are hidden — and structurally identical sibling
+    /// modules lumped — as they arrive.
+    #[default]
+    BottomUp,
+    /// Greedy signal-affinity clustering (flat order): repeatedly compose
+    /// the block that shares the most signals with what has been composed
+    /// so far.
+    Affinity,
+    /// Declaration order (components, then units, then gates, observer).
+    Declaration,
+    /// Reverse declaration order — a deliberately bad order used by the
+    /// ordering ablation.
+    Reverse,
+    /// Explicit flat order by block name (the paper's user-given order).
+    Custom(Vec<String>),
+}
+
+/// A composition plan: either a single block or a group composed (and
+/// reduced) in isolation before joining its parent group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// One block (index into `model.blocks`).
+    Block(usize),
+    /// A sub-composition evaluated standalone.
+    Group(Vec<Plan>),
+}
+
+impl Plan {
+    /// All block indices in the plan, in fold order.
+    pub fn blocks(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<usize>) {
+        match self {
+            Plan::Block(i) => out.push(*i),
+            Plan::Group(items) => {
+                for item in items {
+                    item.collect(out);
+                }
+            }
+        }
+    }
+}
+
+/// Resolves `policy` to a composition [`Plan`].
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] if a custom order misses or duplicates
+/// blocks.
+pub fn resolve_plan(model: &SystemModel, policy: &OrderPolicy) -> Result<Plan, ArcadeError> {
+    match policy {
+        OrderPolicy::BottomUp => Ok(bottom_up_plan(model)),
+        other => Ok(Plan::Group(
+            resolve_order(model, other)?
+                .into_iter()
+                .map(Plan::Block)
+                .collect(),
+        )),
+    }
+}
+
+/// Resolves `policy` to a flat permutation of block indices (hierarchical
+/// plans are flattened).
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] if a custom order misses or duplicates
+/// blocks.
+pub fn resolve_order(model: &SystemModel, policy: &OrderPolicy) -> Result<Vec<usize>, ArcadeError> {
+    let n = model.blocks.len();
+    match policy {
+        OrderPolicy::BottomUp => Ok(bottom_up_plan(model).blocks()),
+        OrderPolicy::Declaration => Ok((0..n).collect()),
+        OrderPolicy::Reverse => Ok((0..n).rev().collect()),
+        OrderPolicy::Custom(names) => {
+            if names.len() != n {
+                return Err(ArcadeError::invalid(format!(
+                    "custom order lists {} blocks, model has {n}",
+                    names.len()
+                )));
+            }
+            let mut seen = HashSet::new();
+            let mut order = Vec::with_capacity(n);
+            for name in names {
+                let idx = model
+                    .blocks
+                    .iter()
+                    .position(|b| &b.name == name)
+                    .ok_or_else(|| {
+                        ArcadeError::invalid(format!("custom order: unknown block `{name}`"))
+                    })?;
+                if !seen.insert(idx) {
+                    return Err(ArcadeError::invalid(format!(
+                        "custom order lists `{name}` twice"
+                    )));
+                }
+                order.push(idx);
+            }
+            Ok(order)
+        }
+        OrderPolicy::Affinity => Ok(affinity_order(model)),
+    }
+}
+
+/// Builder state for [`bottom_up_plan`].
+struct PlanBuilder<'m> {
+    model: &'m SystemModel,
+    placed: Vec<bool>,
+    /// Post-order gate numbers per pre-order node index.
+    numbers: Vec<(usize, usize)>,
+}
+
+impl PlanBuilder<'_> {
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.model.blocks.iter().position(|b| b.name == name)
+    }
+
+    fn take(&mut self, name: &str, out: &mut Vec<Plan>) {
+        if let Some(i) = self.index_of(name) {
+            if !self.placed[i] {
+                self.placed[i] = true;
+                out.push(Plan::Block(i));
+            }
+        }
+    }
+
+    /// Places a component plus the components its trigger/DF expressions
+    /// depend on (its automaton listens to their signals).
+    fn take_component(&mut self, root: &str, out: &mut Vec<Plan>) {
+        let mut stack = vec![root.to_owned()];
+        while let Some(name) = stack.pop() {
+            if let Some(bc) = self.model.def.component(&name) {
+                for e in bc
+                    .om_groups
+                    .iter()
+                    .filter_map(|g| g.trigger())
+                    .chain(bc.df.as_ref())
+                {
+                    for l in e.literals() {
+                        let dep = l.component.clone();
+                        if self.index_of(&dep).is_some_and(|i| !self.placed[i]) {
+                            stack.push(dep);
+                        }
+                    }
+                }
+            }
+            self.take(&name, out);
+        }
+    }
+
+    /// Units become placeable once all their components are placed.
+    fn take_ready_units(&mut self, out: &mut Vec<Plan>) {
+        let mut ready: Vec<String> = Vec::new();
+        {
+            let placed_comp = |c: &String| self.index_of(c).is_some_and(|i| self.placed[i]);
+            for ru in &self.model.def.repair_units {
+                if ru.components.iter().all(placed_comp) {
+                    ready.push(ru.name.clone());
+                }
+            }
+            for smu in &self.model.def.smus {
+                if placed_comp(&smu.primary) && smu.spares.iter().all(placed_comp) {
+                    ready.push(smu.name.clone());
+                }
+            }
+        }
+        for name in ready {
+            self.take(&name, out);
+        }
+    }
+
+    /// Plan items for one expression node. Composite nodes become groups:
+    /// `[child plans…, ready units…, own gate]`; at the top level the gate
+    /// and observer come right after the first child instead.
+    fn subtree(&mut self, expr: &Expr, pre: &mut usize, is_top: bool) -> Vec<Plan> {
+        let my_pre = *pre;
+        *pre += 1;
+        match expr {
+            Expr::Lit(lit) => {
+                let mut items = Vec::new();
+                self.take_component(&lit.component, &mut items);
+                items
+            }
+            Expr::And(cs) | Expr::Or(cs) | Expr::KofN(_, cs) | Expr::Pand(cs) => {
+                let gate_no = self
+                    .numbers
+                    .iter()
+                    .find(|(p, _)| *p == my_pre)
+                    .map(|(_, g)| *g)
+                    .expect("numbered in first pass");
+                let mut items = Vec::new();
+                for (k, c) in cs.iter().enumerate() {
+                    let sub = self.subtree(c, pre, false);
+                    if matches!(c, Expr::Lit(_)) || sub.len() <= 1 {
+                        items.extend(sub);
+                    } else {
+                        items.push(Plan::Group(sub));
+                    }
+                    self.take_ready_units(&mut items);
+                    if is_top && k == 0 {
+                        self.take(&format!("gate{gate_no}"), &mut items);
+                        self.take("observer", &mut items);
+                    }
+                }
+                if !is_top {
+                    self.take(&format!("gate{gate_no}"), &mut items);
+                }
+                items
+            }
+        }
+    }
+}
+
+/// Post-order gate numbering matching `build_gate_tree`.
+fn assign_numbers(expr: &Expr, pre: &mut usize, post: &mut usize, numbers: &mut Vec<(usize, usize)>) {
+    let my_pre = *pre;
+    *pre += 1;
+    match expr {
+        Expr::Lit(_) => {}
+        Expr::And(cs) | Expr::Or(cs) | Expr::KofN(_, cs) | Expr::Pand(cs) => {
+            for c in cs {
+                assign_numbers(c, pre, post, numbers);
+            }
+            numbers.push((my_pre, *post));
+            *post += 1;
+        }
+    }
+}
+
+fn bottom_up_plan(model: &SystemModel) -> Plan {
+    let n = model.blocks.len();
+    let mut builder = PlanBuilder {
+        model,
+        placed: vec![false; n],
+        numbers: Vec::new(),
+    };
+    let mut items = Vec::new();
+    if let Some(down) = &model.def.system_down {
+        let (mut pre, mut post) = (0usize, 0usize);
+        assign_numbers(down, &mut pre, &mut post, &mut builder.numbers);
+        let mut pre = 0usize;
+        items = builder.subtree(down, &mut pre, true);
+    }
+    // Stragglers (blocks not reachable from the tree; also the wrapper
+    // gate when SYSTEM DOWN is a bare literal), observer last.
+    for i in 0..n {
+        if !builder.placed[i] && model.blocks[i].name != "observer" {
+            builder.placed[i] = true;
+            items.push(Plan::Block(i));
+        }
+    }
+    if let Some(obs) = model.blocks.iter().position(|b| b.name == "observer") {
+        if !builder.placed[obs] {
+            items.push(Plan::Block(obs));
+        }
+    }
+    Plan::Group(items)
+}
+
+/// Visible signals (inputs + outputs) of block `i`.
+fn visible_signals(model: &SystemModel, i: usize) -> HashSet<ActionId> {
+    let imc = &model.blocks[i].imc;
+    imc.inputs().iter().chain(imc.outputs()).copied().collect()
+}
+
+fn affinity_order(model: &SystemModel) -> Vec<usize> {
+    let n = model.blocks.len();
+    let sigs: Vec<HashSet<ActionId>> = (0..n).map(|i| visible_signals(model, i)).collect();
+    let mut order = vec![0usize];
+    let mut placed = vec![false; n];
+    placed[0] = true;
+    let mut frontier: HashSet<ActionId> = sigs[0].clone();
+    for _ in 1..n {
+        let best = (0..n)
+            .filter(|&i| !placed[i])
+            .max_by_key(|&i| {
+                let shared = sigs[i].intersection(&frontier).count();
+                let new = sigs[i].len().saturating_sub(shared);
+                // prefer many shared signals, then few new ones, then
+                // declaration order (stable tie-break via reversed index)
+                (shared * 1000 + 999usize.saturating_sub(new), usize::MAX - i)
+            })
+            .expect("unplaced block exists");
+        placed[best] = true;
+        frontier.extend(sigs[best].iter().copied());
+        order.push(best);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, RepairStrategy, RuDef, SystemDef};
+    use crate::dist::Dist;
+
+    fn model() -> SystemModel {
+        let mut def = SystemDef::new("t");
+        for n in ["a", "b", "c", "d"] {
+            def.add_component(BcDef::new(n, Dist::exp(0.01), Dist::exp(1.0)));
+        }
+        def.add_repair_unit(RuDef::new("rab", ["a", "b"], RepairStrategy::Fcfs));
+        def.add_repair_unit(RuDef::new("rcd", ["c", "d"], RepairStrategy::Fcfs));
+        def.set_system_down(Expr::or([
+            Expr::and([Expr::down("a"), Expr::down("b")]),
+            Expr::and([Expr::down("c"), Expr::down("d")]),
+        ]));
+        SystemModel::build(&def).unwrap()
+    }
+
+    #[test]
+    fn declaration_and_reverse() {
+        let m = model();
+        let d = resolve_order(&m, &OrderPolicy::Declaration).unwrap();
+        assert_eq!(d[0], 0);
+        let r = resolve_order(&m, &OrderPolicy::Reverse).unwrap();
+        assert_eq!(r[0], m.blocks.len() - 1);
+    }
+
+    #[test]
+    fn affinity_groups_modules() {
+        let m = model();
+        let order = resolve_order(&m, &OrderPolicy::Affinity).unwrap();
+        let names: Vec<&str> = order.iter().map(|&i| m.blocks[i].name.as_str()).collect();
+        // block 0 is `a`; its repair unit and partner `b` must come before
+        // the unrelated c/d module
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("b") < pos("c"));
+        assert!(pos("rab") < pos("c"));
+        assert!(pos("rab") < pos("rcd"));
+    }
+
+    #[test]
+    fn custom_order_validated() {
+        let m = model();
+        let all: Vec<String> = m.blocks.iter().map(|b| b.name.clone()).collect();
+        assert!(resolve_order(&m, &OrderPolicy::Custom(all.clone())).is_ok());
+        let mut dup = all.clone();
+        dup[1] = dup[0].clone();
+        assert!(resolve_order(&m, &OrderPolicy::Custom(dup)).is_err());
+        assert!(resolve_order(&m, &OrderPolicy::Custom(vec!["a".into()])).is_err());
+    }
+
+    #[test]
+    fn bottom_up_plan_covers_all_blocks_once() {
+        let m = model();
+        let plan = resolve_plan(&m, &OrderPolicy::BottomUp).unwrap();
+        let mut blocks = plan.blocks();
+        blocks.sort_unstable();
+        let expected: Vec<usize> = (0..m.blocks.len()).collect();
+        assert_eq!(blocks, expected);
+    }
+
+    #[test]
+    fn bottom_up_groups_modules_and_places_observer_early() {
+        let m = model();
+        let Plan::Group(items) = resolve_plan(&m, &OrderPolicy::BottomUp).unwrap() else {
+            panic!("top plan is a group");
+        };
+        // first item: the a/b module group (a, b, rab, gate0)
+        let Plan::Group(first) = &items[0] else {
+            panic!("first item should be a module group, got {:?}", items[0]);
+        };
+        let names: Vec<&str> = first
+            .iter()
+            .map(|p| match p {
+                Plan::Block(i) => m.blocks[*i].name.as_str(),
+                Plan::Group(_) => "<group>",
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "b", "rab", "gate0"]);
+        // top gate + observer come right after the first module
+        let flat: Vec<&str> = items
+            .iter()
+            .flat_map(|p| p.blocks())
+            .map(|i| m.blocks[i].name.as_str())
+            .collect();
+        let pos = |n: &str| flat.iter().position(|x| *x == n).unwrap();
+        assert!(pos("gate2") < pos("c"), "top gate before second module: {flat:?}");
+        assert!(pos("observer") < pos("c"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Serialization of a [`SystemDef`] back to the paper's textual syntax.
+//!
+//! `parse_system(&to_arcade_text(def))` reproduces `def` — the round trip
+//! is checked by property tests. Useful for exporting programmatically
+//! built models (e.g. the DDS/RCS case studies) as `.arcade` files.
+
+use std::fmt::Write as _;
+
+use crate::ast::{OmGroup, RepairStrategy, SystemDef};
+use crate::dist::Dist;
+
+/// Renders `def` in the §3.5 textual syntax.
+pub fn to_arcade_text(def: &SystemDef) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", def.name);
+    for bc in &def.components {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "COMPONENT: {}", bc.name);
+        if !bc.om_groups.is_empty() {
+            let groups: Vec<&str> = bc.om_groups.iter().map(OmGroup::name).collect();
+            let _ = writeln!(out, "OPERATIONAL MODES: {}", groups.join(" "));
+        }
+        for g in &bc.om_groups {
+            match g {
+                OmGroup::ActiveInactive => {}
+                OmGroup::OnOff(e) => {
+                    let _ = writeln!(out, "ON-TO-OFF: {e}");
+                }
+                OmGroup::AccessibleInaccessible(e) => {
+                    let _ = writeln!(out, "ACCESSIBLE-TO-INACCESSIBLE: {e}");
+                }
+                OmGroup::NormalDegraded(e) => {
+                    let _ = writeln!(out, "NORMAL-TO-DEGRADED: {e}");
+                }
+            }
+        }
+        if bc.inaccessible_means_down {
+            let _ = writeln!(out, "INACCESSIBLE MEANS DOWN: YES");
+        }
+        let _ = writeln!(out, "TIME-TO-FAILURES: {}", dists(&bc.ttf));
+        if bc.failure_mode_probs.len() > 1 {
+            let probs: Vec<String> = bc.failure_mode_probs.iter().map(f64::to_string).collect();
+            let _ = writeln!(out, "FAILURE MODE PROBABILITIES: {}", probs.join(", "));
+        }
+        // With a DF, the last repair entry is µ_df (§3.5.1 line (9)).
+        let mut ttr = bc.ttr.clone();
+        if let Some(df_ttr) = &bc.ttr_df {
+            ttr.push(df_ttr.clone());
+        }
+        let _ = writeln!(out, "TIME-TO-REPAIRS: {}", dists(&ttr));
+        if let Some(df) = &bc.df {
+            let _ = writeln!(out, "DESTRUCTIVE FDEP: {df}");
+        }
+    }
+    for ru in &def.repair_units {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "REPAIR UNIT: {}", ru.name);
+        let _ = writeln!(out, "COMPONENTS: {}", ru.components.join(", "));
+        let _ = writeln!(out, "REPAIR STRATEGY: {}", ru.strategy.keyword());
+        if matches!(
+            ru.strategy,
+            RepairStrategy::PreemptivePriority | RepairStrategy::NonPreemptivePriority
+        ) {
+            let prios: Vec<String> = ru.priorities.iter().map(u32::to_string).collect();
+            let _ = writeln!(out, "PRIORITIES: {}", prios.join(", "));
+        }
+    }
+    for smu in &def.smus {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "SMU: {}", smu.name);
+        let comps: Vec<&str> = std::iter::once(smu.primary.as_str())
+            .chain(smu.spares.iter().map(String::as_str))
+            .collect();
+        let _ = writeln!(out, "COMPONENTS: {}", comps.join(", "));
+        if let Some(f) = &smu.failover {
+            let _ = writeln!(out, "FAILOVER-TIME: {f}");
+        }
+    }
+    if let Some(down) = &def.system_down {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "SYSTEM DOWN: {down}");
+    }
+    out
+}
+
+fn dists(ds: &[Dist]) -> String {
+    ds.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, RuDef, SmuDef};
+    use crate::expr::Expr;
+    use crate::parser::parse_system;
+
+    fn round_trip(def: &SystemDef) -> SystemDef {
+        let text = to_arcade_text(def);
+        parse_system(&text).unwrap_or_else(|e| panic!("round trip failed: {e}\n{text}"))
+    }
+
+    #[test]
+    fn round_trips_the_dds() {
+        let def = crate::cases::dds::dds();
+        let back = round_trip(&def);
+        assert_eq!(back.components, def.components);
+        assert_eq!(back.repair_units, def.repair_units);
+        assert_eq!(back.smus, def.smus);
+        assert_eq!(back.system_down, def.system_down);
+    }
+
+    #[test]
+    fn round_trips_the_rcs() {
+        let def = crate::cases::rcs::rcs();
+        let back = round_trip(&def);
+        assert_eq!(back.components, def.components);
+        assert_eq!(back.repair_units, def.repair_units);
+        assert_eq!(back.system_down, def.system_down);
+    }
+
+    #[test]
+    fn round_trips_df_and_failover() {
+        let mut def = SystemDef::new("x");
+        def.add_component(BcDef::new("fan", Dist::exp(0.001), Dist::exp(1.0)));
+        def.add_component(
+            BcDef::new("cpu", Dist::exp(1e-4), Dist::exp(1.0))
+                .with_df(Expr::down("fan"), Dist::exp(0.5)),
+        );
+        def.add_component(
+            BcDef::new("sp", Dist::exp(1e-4), Dist::exp(1.0))
+                .with_om_group(OmGroup::ActiveInactive)
+                .with_ttf([Dist::Never, Dist::exp(1e-4)]),
+        );
+        def.add_repair_unit(
+            RuDef::new("r", ["fan", "cpu"], RepairStrategy::PreemptivePriority)
+                .with_priorities([1, 2]),
+        );
+        def.add_smu(SmuDef::new("m", "cpu", ["sp"]).with_failover(Dist::erlang(2, 5.0)));
+        def.set_system_down(Expr::pand([Expr::down("fan"), Expr::down("cpu")]));
+        let back = round_trip(&def);
+        assert_eq!(back.components, def.components);
+        assert_eq!(back.repair_units, def.repair_units);
+        assert_eq!(back.smus, def.smus);
+        assert_eq!(back.system_down, def.system_down);
+    }
+}

@@ -1,0 +1,667 @@
+//! Monte-Carlo discrete-event simulation of Arcade models.
+//!
+//! This is an *independent* implementation of the Arcade semantics — it
+//! never touches the I/O-IMC pipeline — used in two roles:
+//!
+//! 1. as the second-tool column of Table 1 (the paper compared against a
+//!    SAN model solved in UltraSAN; that tool is closed-source, so an
+//!    independent estimator plays its role), and
+//! 2. as a cross-validation oracle in the test suite: the engine's exact
+//!    measures must fall inside the simulator's confidence intervals.
+//!
+//! Because every distribution is a chain of exponential phases, the
+//! simulator advances phase-by-phase with the standard race semantics;
+//! mode switches that change a rate mid-phase are exact thanks to
+//! memorylessness. Instantaneous cascades (destructive dependencies, SMU
+//! activation, repair-refail loops) are settled after every event.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ast::{OmGroup, RepairStrategy, SystemDef};
+use crate::dist::Dist;
+use crate::error::ArcadeError;
+use crate::expr::{Expr, Literal, ModeRef};
+
+/// A Monte-Carlo estimate with a 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95% confidence half-width.
+    pub half_width: f64,
+    /// Number of replications.
+    pub reps: usize,
+}
+
+impl McEstimate {
+    /// Whether `value` lies inside the confidence interval (with a small
+    /// numerical cushion).
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width + 1e-12
+    }
+}
+
+/// Estimates the probability that the system goes down before time `t`.
+///
+/// With `with_repair = false` this is the paper's DDS reliability
+/// definition (§5.1.2, complemented); with `with_repair = true` it is the
+/// RCS first-passage unreliability (§5.2.2).
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] for inconsistent definitions.
+pub fn simulate_unreliability(
+    def: &SystemDef,
+    t: f64,
+    reps: usize,
+    seed: u64,
+    with_repair: bool,
+) -> Result<McEstimate, ArcadeError> {
+    crate::model::validate(def)?;
+    let stripped;
+    let def = if with_repair {
+        def
+    } else {
+        stripped = def.without_repair();
+        &stripped
+    };
+    let sim = Sim::new(def)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0usize;
+    for _ in 0..reps {
+        if sim.first_passage_before(t, &mut rng) {
+            failures += 1;
+        }
+    }
+    let p = failures as f64 / reps as f64;
+    Ok(McEstimate {
+        mean: p,
+        half_width: 1.96 * (p * (1.0 - p) / reps as f64).sqrt(),
+        reps,
+    })
+}
+
+/// Estimates the long-run unavailability as the time-average fraction of
+/// down time over `horizon`, averaged over `reps` replications.
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] for inconsistent definitions.
+pub fn simulate_unavailability(
+    def: &SystemDef,
+    horizon: f64,
+    reps: usize,
+    seed: u64,
+) -> Result<McEstimate, ArcadeError> {
+    crate::model::validate(def)?;
+    let sim = Sim::new(def)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| sim.downtime_fraction(horizon, &mut rng))
+        .collect();
+    let mean = samples.iter().sum::<f64>() / reps as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        / (reps.saturating_sub(1).max(1)) as f64;
+    Ok(McEstimate {
+        mean,
+        half_width: 1.96 * (var / reps as f64).sqrt(),
+        reps,
+    })
+}
+
+/// The component failure position (mirror of the engine's micro-state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fail {
+    Up { phase: u16 },
+    DownM { mode: u8 },
+    DownDf,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RepairItem {
+    comp: usize,
+    mode: usize,
+    phase: u16,
+}
+
+/// Static simulation tables.
+struct Sim<'a> {
+    def: &'a SystemDef,
+    /// Per component, per operational state: TTF phase rates.
+    ttf_rates: Vec<Vec<Vec<f64>>>,
+    /// Per component, per failure mode (inherent + df last): repair rates.
+    ttr_rates: Vec<Vec<Vec<f64>>>,
+    /// Component name -> index.
+    index: HashMap<&'a str, usize>,
+    /// Component -> repair unit index.
+    ru_of: Vec<Option<usize>>,
+    /// SMU spare/primary component indices.
+    smu_primary: Vec<usize>,
+    smu_spares: Vec<Vec<usize>>,
+    smu_failover: Vec<Vec<f64>>,
+    /// Component -> managing SMU (as a spare).
+    down_expr: &'a Expr,
+}
+
+/// Dynamic simulation state.
+struct State {
+    fail: Vec<Fail>,
+    /// Per RU: outstanding repairs in arrival order.
+    queue: Vec<Vec<RepairItem>>,
+    /// Per SMU: active spare (index into `smu_spares[s]`).
+    active: Vec<Option<usize>>,
+    failover_phase: Vec<Option<u16>>,
+    /// Cached per-component visible-down status.
+    visible: Vec<bool>,
+}
+
+#[allow(clippy::enum_variant_names)] // the shared suffix is the point: phase steps
+enum Event {
+    CompPhase(usize),
+    RuPhase(usize),
+    SmuPhase(usize),
+}
+
+impl<'a> Sim<'a> {
+    fn new(def: &'a SystemDef) -> Result<Self, ArcadeError> {
+        let index: HashMap<&str, usize> = def
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.as_str(), i))
+            .collect();
+        let mut ru_of = vec![None; def.components.len()];
+        for (ri, ru) in def.repair_units.iter().enumerate() {
+            for c in &ru.components {
+                ru_of[index[c.as_str()]] = Some(ri);
+            }
+        }
+        let ttf_rates = def
+            .components
+            .iter()
+            .map(|c| c.ttf.iter().map(Dist::phase_rates).collect())
+            .collect();
+        let ttr_rates = def
+            .components
+            .iter()
+            .map(|c| {
+                let mut v: Vec<Vec<f64>> = c.ttr.iter().map(Dist::phase_rates).collect();
+                v.push(c.ttr_df.as_ref().map(Dist::phase_rates).unwrap_or_default());
+                v
+            })
+            .collect();
+        let down_expr = def
+            .system_down
+            .as_ref()
+            .ok_or_else(|| ArcadeError::invalid("SYSTEM DOWN criterion missing"))?;
+        if down_expr.contains_pand() {
+            return Err(ArcadeError::invalid(
+                "the simulator evaluates SYSTEM DOWN statelessly and cannot \
+                 track PAND failure order; use the I/O-IMC engine",
+            ));
+        }
+        Ok(Self {
+            down_expr,
+            ttf_rates,
+            ttr_rates,
+            smu_primary: def
+                .smus
+                .iter()
+                .map(|s| index[s.primary.as_str()])
+                .collect(),
+            smu_spares: def
+                .smus
+                .iter()
+                .map(|s| s.spares.iter().map(|n| index[n.as_str()]).collect())
+                .collect(),
+            smu_failover: def
+                .smus
+                .iter()
+                .map(|s| s.failover.as_ref().map(Dist::phase_rates).unwrap_or_default())
+                .collect(),
+            index,
+            ru_of,
+            def,
+        })
+    }
+
+    fn fresh(&self) -> State {
+        State {
+            fail: vec![Fail::Up { phase: 0 }; self.def.components.len()],
+            queue: vec![Vec::new(); self.def.repair_units.len()],
+            active: vec![None; self.def.smus.len()],
+            failover_phase: vec![None; self.def.smus.len()],
+            visible: vec![false; self.def.components.len()],
+        }
+    }
+
+    /// Literal truth over the current state.
+    fn literal(&self, st: &State, l: &Literal) -> bool {
+        let c = self.index[l.component.as_str()];
+        match &l.mode {
+            ModeRef::Any => st.visible[c],
+            ModeRef::Mode(k) => matches!(st.fail[c], Fail::DownM { mode } if mode as u32 + 1 == *k),
+            ModeRef::Df => matches!(st.fail[c], Fail::DownDf),
+        }
+    }
+
+    fn eval(&self, st: &State, e: &Expr) -> bool {
+        e.eval(&|l| self.literal(st, l))
+    }
+
+    /// Recomputes visible statuses to a fixpoint (inaccessibility can
+    /// cascade through trigger expressions).
+    fn refresh_visible(&self, st: &mut State) {
+        for (c, f) in st.fail.iter().enumerate() {
+            st.visible[c] = !matches!(f, Fail::Up { .. });
+        }
+        for _ in 0..self.def.components.len().max(1) {
+            let mut changed = false;
+            for (c, bc) in self.def.components.iter().enumerate() {
+                if !bc.inaccessible_means_down || !matches!(st.fail[c], Fail::Up { .. }) {
+                    continue;
+                }
+                let inacc = bc.om_groups.iter().any(|g| match g {
+                    OmGroup::AccessibleInaccessible(e) => self.eval(st, e),
+                    _ => false,
+                });
+                let vis = inacc; // fail part is Up here
+                if st.visible[c] != vis {
+                    st.visible[c] = vis;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Settles instantaneous cascades: destructive dependencies, then SMU
+    /// reconciliation.
+    fn settle(&self, st: &mut State) {
+        self.refresh_visible(st);
+        loop {
+            let mut changed = false;
+            for (c, bc) in self.def.components.iter().enumerate() {
+                if !matches!(st.fail[c], Fail::Up { .. }) {
+                    continue;
+                }
+                if let Some(d) = &bc.df {
+                    if self.eval(st, d) {
+                        st.fail[c] = Fail::DownDf;
+                        self.enqueue_repair(st, c, self.df_mode(c));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            self.refresh_visible(st);
+        }
+        // SMU reconciliation (instant activation changes rates only).
+        for s in 0..self.smu_primary.len() {
+            let desired = if st.visible[self.smu_primary[s]] {
+                self.smu_spares[s]
+                    .iter()
+                    .position(|&sp| !st.visible[sp])
+            } else {
+                None
+            };
+            if st.active[s] == desired {
+                st.failover_phase[s] = None;
+                continue;
+            }
+            if st.active[s].is_some() && st.active[s] != desired {
+                st.active[s] = None;
+            }
+            if let Some(i) = desired {
+                if self.smu_failover[s].is_empty() {
+                    st.active[s] = Some(i);
+                    st.failover_phase[s] = None;
+                } else if st.failover_phase[s].is_none() {
+                    st.failover_phase[s] = Some(0);
+                }
+            } else {
+                st.failover_phase[s] = None;
+            }
+        }
+    }
+
+    fn df_mode(&self, c: usize) -> usize {
+        self.def.components[c].failure_mode_probs.len()
+    }
+
+    fn enqueue_repair(&self, st: &mut State, c: usize, mode: usize) {
+        if let Some(ri) = self.ru_of[c] {
+            if !st.queue[ri].iter().any(|it| it.comp == c) {
+                st.queue[ri].push(RepairItem {
+                    comp: c,
+                    mode,
+                    phase: 0,
+                });
+            }
+        }
+    }
+
+    /// The operational-state index of component `c`.
+    fn op_state(&self, st: &State, c: usize) -> usize {
+        let bc = &self.def.components[c];
+        let mut idx = 0usize;
+        for g in &bc.om_groups {
+            let mode = match g {
+                OmGroup::ActiveInactive => {
+                    let active = self
+                        .smu_spares
+                        .iter()
+                        .enumerate()
+                        .any(|(s, spares)| {
+                            st.active[s].is_some_and(|i| spares[i] == c)
+                        });
+                    usize::from(active)
+                }
+                OmGroup::OnOff(e)
+                | OmGroup::AccessibleInaccessible(e)
+                | OmGroup::NormalDegraded(e) => usize::from(self.eval(st, e)),
+            };
+            idx = idx * 2 + mode;
+        }
+        idx
+    }
+
+    /// Which item is in service at RU `ri`, if any.
+    fn served(&self, st: &State, ri: usize) -> Option<usize> {
+        let q = &st.queue[ri];
+        if q.is_empty() {
+            return None;
+        }
+        match self.def.repair_units[ri].strategy {
+            RepairStrategy::PreemptivePriority => {
+                let prio = |it: &RepairItem| {
+                    let ru = &self.def.repair_units[ri];
+                    let k = ru
+                        .components
+                        .iter()
+                        .position(|n| self.index[n.as_str()] == it.comp)
+                        .expect("component belongs to ru");
+                    ru.priorities.get(k).copied().unwrap_or(0)
+                };
+                q.iter()
+                    .enumerate()
+                    .max_by_key(|(pos, it)| (prio(it), usize::MAX - pos))
+                    .map(|(pos, _)| pos)
+            }
+            _ => Some(0),
+        }
+    }
+
+    fn select_next(&self, st: &mut State, ri: usize) {
+        let ru = &self.def.repair_units[ri];
+        if ru.strategy == RepairStrategy::NonPreemptivePriority && st.queue[ri].len() > 1 {
+            let prio = |it: &RepairItem| {
+                let k = ru
+                    .components
+                    .iter()
+                    .position(|n| self.index[n.as_str()] == it.comp)
+                    .expect("component belongs to ru");
+                ru.priorities.get(k).copied().unwrap_or(0)
+            };
+            let best = st.queue[ri]
+                .iter()
+                .enumerate()
+                .max_by_key(|(pos, it)| (prio(it), usize::MAX - pos))
+                .map(|(pos, _)| pos)
+                .expect("non-empty");
+            let item = st.queue[ri].remove(best);
+            st.queue[ri].insert(0, item);
+        }
+    }
+
+    /// Collects the enabled exponential races.
+    fn races(&self, st: &State, out: &mut Vec<(f64, Event)>) {
+        out.clear();
+        for c in 0..self.def.components.len() {
+            if let Fail::Up { phase } = st.fail[c] {
+                let rates = &self.ttf_rates[c][self.op_state(st, c)];
+                if !rates.is_empty() {
+                    out.push((rates[phase as usize], Event::CompPhase(c)));
+                }
+            }
+        }
+        for ri in 0..st.queue.len() {
+            if let Some(pos) = self.served(st, ri) {
+                let it = st.queue[ri][pos];
+                let rates = &self.ttr_rates[it.comp][it.mode];
+                out.push((rates[it.phase as usize], Event::RuPhase(ri)));
+            }
+        }
+        for s in 0..st.failover_phase.len() {
+            if let Some(ph) = st.failover_phase[s] {
+                out.push((self.smu_failover[s][ph as usize], Event::SmuPhase(s)));
+            }
+        }
+    }
+
+    /// Executes one sampled event.
+    fn execute(&self, st: &mut State, ev: &Event, rng: &mut StdRng) {
+        match *ev {
+            Event::CompPhase(c) => {
+                let Fail::Up { phase } = st.fail[c] else {
+                    return;
+                };
+                let rates = &self.ttf_rates[c][self.op_state(st, c)];
+                if (phase as usize) + 1 < rates.len() {
+                    st.fail[c] = Fail::Up { phase: phase + 1 };
+                } else {
+                    let bc = &self.def.components[c];
+                    let mut u: f64 = rng.gen();
+                    let mut mode = bc.failure_mode_probs.len() - 1;
+                    for (j, &p) in bc.failure_mode_probs.iter().enumerate() {
+                        if u < p {
+                            mode = j;
+                            break;
+                        }
+                        u -= p;
+                    }
+                    st.fail[c] = Fail::DownM { mode: mode as u8 };
+                    self.enqueue_repair(st, c, mode);
+                }
+            }
+            Event::RuPhase(ri) => {
+                let pos = self.served(st, ri).expect("event only when serving");
+                let it = st.queue[ri][pos];
+                let rates = &self.ttr_rates[it.comp][it.mode];
+                if (it.phase as usize) + 1 < rates.len() {
+                    st.queue[ri][pos].phase += 1;
+                } else {
+                    st.queue[ri].remove(pos);
+                    st.fail[it.comp] = Fail::Up { phase: 0 };
+                    self.select_next(st, ri);
+                    // A repair under an active destructive dependency
+                    // re-fails instantly — settle() handles it.
+                }
+            }
+            Event::SmuPhase(s) => {
+                let ph = st.failover_phase[s].expect("event only when pending");
+                if (ph as usize) + 1 < self.smu_failover[s].len() {
+                    st.failover_phase[s] = Some(ph + 1);
+                } else {
+                    st.failover_phase[s] = None;
+                    let desired = if st.visible[self.smu_primary[s]] {
+                        self.smu_spares[s]
+                            .iter()
+                            .position(|&sp| !st.visible[sp])
+                    } else {
+                        None
+                    };
+                    st.active[s] = desired;
+                }
+            }
+        }
+    }
+
+    /// Whether the system hits a down state before `t`.
+    fn first_passage_before(&self, t: f64, rng: &mut StdRng) -> bool {
+        let mut st = self.fresh();
+        self.settle(&mut st);
+        let mut races = Vec::new();
+        let mut now = 0.0;
+        loop {
+            if self.eval(&st, self.down_expr) {
+                return true;
+            }
+            self.races(&st, &mut races);
+            let total: f64 = races.iter().map(|(r, _)| r).sum();
+            if total <= 0.0 {
+                return false;
+            }
+            now += exp_sample(total, rng);
+            if now >= t {
+                return false;
+            }
+            let ev = pick(&races, total, rng);
+            self.execute(&mut st, ev, rng);
+            self.settle(&mut st);
+        }
+    }
+
+    /// Fraction of `[0, horizon]` spent with the system down.
+    fn downtime_fraction(&self, horizon: f64, rng: &mut StdRng) -> f64 {
+        let mut st = self.fresh();
+        self.settle(&mut st);
+        let mut races = Vec::new();
+        let mut now = 0.0;
+        let mut down_time = 0.0;
+        loop {
+            let down = self.eval(&st, self.down_expr);
+            self.races(&st, &mut races);
+            let total: f64 = races.iter().map(|(r, _)| r).sum();
+            let dt = if total <= 0.0 {
+                horizon - now
+            } else {
+                exp_sample(total, rng).min(horizon - now)
+            };
+            if down {
+                down_time += dt;
+            }
+            now += dt;
+            if now >= horizon {
+                return down_time / horizon;
+            }
+            let ev = pick(&races, total, rng);
+            self.execute(&mut st, ev, rng);
+            self.settle(&mut st);
+        }
+    }
+}
+
+fn exp_sample(rate: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+fn pick<'e>(races: &'e [(f64, Event)], total: f64, rng: &mut StdRng) -> &'e Event {
+    let mut x: f64 = rng.gen_range(0.0..total);
+    for (r, e) in races {
+        if x < *r {
+            return e;
+        }
+        x -= r;
+    }
+    &races.last().expect("non-empty races").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, RuDef, SmuDef};
+
+    #[test]
+    fn single_component_unreliability_matches_exponential() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("x", Dist::exp(0.1), Dist::exp(1.0)));
+        def.set_system_down(Expr::down("x"));
+        let t = 5.0;
+        let est = simulate_unreliability(&def, t, 20_000, 7, false).unwrap();
+        let exact = 1.0 - (-0.1f64 * t).exp();
+        assert!(est.contains(exact), "{est:?} vs {exact}");
+    }
+
+    #[test]
+    fn redundant_pair_unreliability() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("a", Dist::exp(0.1), Dist::exp(1.0)));
+        def.add_component(BcDef::new("b", Dist::exp(0.1), Dist::exp(1.0)));
+        def.set_system_down(Expr::and([Expr::down("a"), Expr::down("b")]));
+        let t = 8.0;
+        let est = simulate_unreliability(&def, t, 20_000, 11, false).unwrap();
+        let p = 1.0 - (-0.1f64 * t).exp();
+        assert!(est.contains(p * p), "{est:?} vs {}", p * p);
+    }
+
+    #[test]
+    fn unavailability_of_repairable_machine() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("x", Dist::exp(0.2), Dist::exp(2.0)));
+        def.add_repair_unit(RuDef::new("r", ["x"], RepairStrategy::Dedicated));
+        def.set_system_down(Expr::down("x"));
+        let est = simulate_unavailability(&def, 5_000.0, 60, 3).unwrap();
+        let exact = 0.2 / 2.2;
+        assert!(est.contains(exact), "{est:?} vs {exact}");
+    }
+
+    #[test]
+    fn first_passage_with_repair_is_rarer() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("a", Dist::exp(0.1), Dist::exp(5.0)));
+        def.add_component(BcDef::new("b", Dist::exp(0.1), Dist::exp(5.0)));
+        def.add_repair_unit(RuDef::new("ra", ["a"], RepairStrategy::Dedicated));
+        def.add_repair_unit(RuDef::new("rb", ["b"], RepairStrategy::Dedicated));
+        def.set_system_down(Expr::and([Expr::down("a"), Expr::down("b")]));
+        let t = 20.0;
+        let with = simulate_unreliability(&def, t, 10_000, 5, true).unwrap();
+        let without = simulate_unreliability(&def, t, 10_000, 5, false).unwrap();
+        assert!(with.mean < without.mean);
+    }
+
+    #[test]
+    fn spare_activation_changes_rates() {
+        // Spare that cannot fail while inactive: system much more reliable
+        // than with an always-hot spare.
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("pp", Dist::exp(0.1), Dist::exp(1.0)));
+        def.add_component(
+            BcDef::new("ps", Dist::exp(0.1), Dist::exp(1.0))
+                .with_om_group(OmGroup::ActiveInactive)
+                .with_ttf([Dist::Never, Dist::exp(0.1)]),
+        );
+        def.add_smu(SmuDef::new("m", "pp", ["ps"]));
+        def.set_system_down(Expr::and([Expr::down("pp"), Expr::down("ps")]));
+        let t = 10.0;
+        let est = simulate_unreliability(&def, t, 20_000, 13, false).unwrap();
+        // cold spare: system failure = pp fails, then ps fails:
+        // hypoexponential(0.1, 0.1) cdf
+        let x = 0.1 * t;
+        let exact = 1.0 - (-x).exp() * (1.0 + x);
+        assert!(est.contains(exact), "{est:?} vs {exact}");
+    }
+
+    #[test]
+    fn df_cascade_counts_as_down() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("fan", Dist::exp(0.2), Dist::exp(1.0)));
+        def.add_component(
+            BcDef::new("cpu", Dist::exp(0.0), Dist::exp(1.0))
+                .with_df(Expr::down("fan"), Dist::exp(1.0)),
+        );
+        def.set_system_down(Expr::down_df("cpu"));
+        let t = 5.0;
+        let est = simulate_unreliability(&def, t, 20_000, 17, false).unwrap();
+        let exact = 1.0 - (-0.2f64 * t).exp();
+        assert!(est.contains(exact), "{est:?} vs {exact}");
+    }
+}

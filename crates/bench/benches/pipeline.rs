@@ -1,0 +1,111 @@
+//! Criterion benchmarks of the pipeline stages: block construction,
+//! parallel composition, bisimulation reduction and CTMC solving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arcade::ast::{BcDef, RepairStrategy, RuDef, SystemDef};
+use arcade::dist::Dist;
+use arcade::expr::Expr;
+use arcade::model::SystemModel;
+use bisim::pipeline::{reduce, ReduceOptions, Strategy};
+use ctmc::{measures, Ctmc};
+use ioimc::compose::parallel_all;
+
+/// A chain of n repairable components sharing one FCFS repair unit, failing
+/// as a k-of-n system — a tunable stress model.
+fn chain(n: usize) -> SystemDef {
+    let mut def = SystemDef::new(format!("chain{n}"));
+    let names: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+    for name in &names {
+        def.add_component(BcDef::new(name, Dist::exp(0.01), Dist::exp(1.0)));
+    }
+    def.add_repair_unit(RuDef::new("shop", names.clone(), RepairStrategy::Fcfs));
+    def.set_system_down(Expr::k_of_n(
+        (n as u32).div_ceil(2),
+        names.iter().map(|n| Expr::down(n.clone())),
+    ));
+    def
+}
+
+fn bench_block_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block-construction");
+    for n in [2usize, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("elaborate-chain", n), &n, |b, &n| {
+            let def = chain(n);
+            b.iter(|| SystemModel::build(&def).expect("build"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composition");
+    for n in [2usize, 3, 4] {
+        let model = SystemModel::build(&chain(n)).expect("build");
+        let automata: Vec<ioimc::IoImc> = model.blocks.iter().map(|b| b.imc.clone()).collect();
+        g.bench_with_input(BenchmarkId::new("parallel-all", n), &n, |b, _| {
+            b.iter(|| parallel_all(&automata).expect("compose"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction");
+    let model = SystemModel::build(&chain(3)).expect("build");
+    let automata: Vec<ioimc::IoImc> = model.blocks.iter().map(|b| b.imc.clone()).collect();
+    let flat = parallel_all(&automata).expect("compose");
+    for strategy in [Strategy::Strong, Strategy::Branching] {
+        g.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                let opts = ReduceOptions {
+                    strategy,
+                    tau: model.tau,
+                };
+                b.iter(|| reduce(&flat, &opts));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctmc-solvers");
+    // Birth-death chain of 500 states.
+    let n = 500u32;
+    let rows: Vec<Vec<(f64, u32)>> = (0..n)
+        .map(|i| {
+            let mut row = Vec::new();
+            if i + 1 < n {
+                row.push((0.4, i + 1));
+            }
+            if i > 0 {
+                row.push((1.0, i - 1));
+            }
+            row
+        })
+        .collect();
+    let labels: Vec<u64> = (0..n).map(|i| u64::from(i > n / 2)).collect();
+    let chain = Ctmc::new(rows, labels, 0).expect("ctmc");
+    g.bench_function("steady-state-500", |b| {
+        b.iter(|| measures::steady_state_availability(&chain, 1));
+    });
+    g.bench_function("transient-500-t100", |b| {
+        b.iter(|| measures::point_availability(&chain, 1, 100.0));
+    });
+    g.bench_function("first-passage-500-t100", |b| {
+        b.iter(|| measures::unreliability(&chain, 1, 100.0));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_construction,
+    bench_composition,
+    bench_reduction,
+    bench_solvers
+);
+criterion_main!(benches);

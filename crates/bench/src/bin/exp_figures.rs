@@ -1,0 +1,244 @@
+//! Experiments F1–F9 — regenerates the building-block I/O-IMCs of the
+//! paper's Figures 1–9 and reports their state/transition counts (and DOT
+//! renderings on request with `--dot`).
+//!
+//! Run: `cargo run --release -p arcade-bench --bin exp_figures [--dot]`
+
+use arcade::ast::{BcDef, OmGroup, RepairStrategy, RuDef, SmuDef, SystemDef};
+use arcade::dist::Dist;
+use arcade::expr::Expr;
+use arcade::model::SystemModel;
+use arcade_bench::Table;
+use ioimc::builder::IoImcBuilder;
+use ioimc::{Alphabet, IoImc};
+
+struct Fig {
+    id: &'static str,
+    what: &'static str,
+    imc: IoImc,
+    alphabet: Alphabet,
+    paper_note: &'static str,
+}
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    let figs = build_figures();
+    let mut table = Table::new(&["figure", "block", "states", "transitions", "paper shows"]);
+    for f in &figs {
+        table.row(&[
+            f.id.into(),
+            f.what.into(),
+            f.imc.num_states().to_string(),
+            f.imc.num_transitions().to_string(),
+            f.paper_note.into(),
+        ]);
+    }
+    println!("Building-block I/O-IMCs (Figs. 1-9 of the paper)");
+    println!("{}", table.render());
+    println!("counts include the input self-loops the paper omits \"for readability\"");
+    println!("and the explicit emission micro-states of this implementation.");
+    if dot {
+        for f in &figs {
+            println!();
+            println!("// --- {} : {} ---", f.id, f.what);
+            println!("{}", ioimc::dot::to_dot(&f.imc, &f.alphabet, f.what));
+        }
+    }
+}
+
+fn build_figures() -> Vec<Fig> {
+    let mut figs = Vec::new();
+
+    // Fig. 1: the didactic 5-state I/O-IMC, built directly.
+    {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let mut bld = IoImcBuilder::new();
+        bld.set_inputs([a]).set_outputs([b]);
+        let s: Vec<_> = (0..5).map(|_| bld.add_state()).collect();
+        bld.markovian(s[0], 1.0, s[1])
+            .interactive(s[0], a, s[2])
+            .markovian(s[2], 2.0, s[3])
+            .interactive(s[3], b, s[4]);
+        let imc = bld.complete_inputs().build().expect("fig1");
+        figs.push(Fig {
+            id: "Fig 1",
+            what: "example I/O-IMC",
+            imc,
+            alphabet: ab,
+            paper_note: "5 states",
+        });
+    }
+
+    // Figs. 2/5: BC with (inactive,active) x (on,off) OM groups.
+    {
+        let (imc, ab) = bc_automaton(
+            BcDef::new("bc", Dist::exp(0.001), Dist::exp(1.0))
+                .with_om_group(OmGroup::ActiveInactive)
+                .with_om_group(OmGroup::OnOff(Expr::down("power")))
+                .with_ttf([
+                    Dist::exp(0.001),
+                    Dist::Never,
+                    Dist::exp(0.002),
+                    Dist::Never,
+                ]),
+            &["power"],
+        );
+        figs.push(Fig {
+            id: "Fig 2/5",
+            what: "BC, 2 OM groups + failure model",
+            imc,
+            alphabet: ab,
+            paper_note: "4 op states + failure model",
+        });
+    }
+
+    // Fig. 3: BC failure model with a destructive functional dependency.
+    {
+        let (imc, ab) = bc_automaton(
+            BcDef::new("bc", Dist::exp(0.001), Dist::exp(1.0))
+                .with_df(Expr::down("dep"), Dist::exp(1.0)),
+            &["dep"],
+        );
+        figs.push(Fig {
+            id: "Fig 3",
+            what: "BC failure model with DF",
+            imc,
+            alphabet: ab,
+            paper_note: "9 states (UP,1-6,DOWN_M,DOWN_DF)",
+        });
+    }
+
+    // Fig. 4: two failure modes.
+    {
+        let (imc, ab) = bc_automaton(
+            BcDef::new("bc", Dist::exp(0.001), Dist::exp(1.0)).with_failure_modes(
+                [0.3, 0.7],
+                [Dist::exp(1.0), Dist::exp(2.0)],
+            ),
+            &[],
+        );
+        figs.push(Fig {
+            id: "Fig 4",
+            what: "BC, two failure modes",
+            imc,
+            alphabet: ab,
+            paper_note: "rate split 1-p / p",
+        });
+    }
+
+    // Fig. 6(a): dedicated RU, single failure mode.
+    {
+        let (imc, ab) = ru_automaton(1, 1);
+        figs.push(Fig {
+            id: "Fig 6a",
+            what: "dedicated RU, 1 mode",
+            imc,
+            alphabet: ab,
+            paper_note: "3 states",
+        });
+    }
+    // Fig. 6(b): dedicated RU, two failure modes.
+    {
+        let (imc, ab) = ru_automaton(1, 2);
+        figs.push(Fig {
+            id: "Fig 6b",
+            what: "dedicated RU, 2 modes",
+            imc,
+            alphabet: ab,
+            paper_note: "µ_m and µ_df branches",
+        });
+    }
+    // Fig. 7: FCFS RU over two components.
+    {
+        let (imc, ab) = ru_automaton(2, 1);
+        figs.push(Fig {
+            id: "Fig 7",
+            what: "FCFS RU, 2 components",
+            imc,
+            alphabet: ab,
+            paper_note: "tracks arrival order",
+        });
+    }
+
+    // Fig. 8: SMU, instantaneous activation.
+    {
+        let (imc, ab) = smu_automaton(None);
+        figs.push(Fig {
+            id: "Fig 8",
+            what: "SMU (instant)",
+            imc,
+            alphabet: ab,
+            paper_note: "activate/deactivate loop",
+        });
+    }
+    // Fig. 9: SMU with exponential failover time.
+    {
+        let (imc, ab) = smu_automaton(Some(Dist::exp(10.0)));
+        figs.push(Fig {
+            id: "Fig 9",
+            what: "SMU (failover exp)",
+            imc,
+            alphabet: ab,
+            paper_note: "extra delay state",
+        });
+    }
+    figs
+}
+
+/// Builds the named component's automaton inside a minimal system that
+/// provides the referenced foreign components.
+fn bc_automaton(bc: BcDef, foreign: &[&str]) -> (IoImc, Alphabet) {
+    let mut def = SystemDef::new("fig");
+    let name = bc.name.clone();
+    for f in foreign {
+        def.add_component(BcDef::new(*f, Dist::exp(0.001), Dist::exp(1.0)));
+    }
+    def.add_component(bc);
+    def.set_system_down(Expr::down(name.clone()));
+    let model = SystemModel::build(&def).expect("model");
+    let block = model.block(&name).expect("block").clone();
+    (block.imc, model.alphabet)
+}
+
+fn ru_automaton(comps: usize, modes: usize) -> (IoImc, Alphabet) {
+    let mut def = SystemDef::new("fig");
+    let names: Vec<String> = (0..comps).map(|i| format!("c{i}")).collect();
+    for n in &names {
+        let mut bc = BcDef::new(n, Dist::exp(0.001), Dist::exp(1.0));
+        if modes == 2 {
+            bc = bc.with_failure_modes([0.5, 0.5], [Dist::exp(1.0), Dist::exp(2.0)]);
+        }
+        def.add_component(bc);
+    }
+    let strategy = if comps == 1 {
+        RepairStrategy::Dedicated
+    } else {
+        RepairStrategy::Fcfs
+    };
+    def.add_repair_unit(RuDef::new("ru", names, strategy));
+    def.set_system_down(Expr::down("c0"));
+    let model = SystemModel::build(&def).expect("model");
+    let block = model.block("ru").expect("block").clone();
+    (block.imc, model.alphabet)
+}
+
+fn smu_automaton(failover: Option<Dist>) -> (IoImc, Alphabet) {
+    let mut def = SystemDef::new("fig");
+    def.add_component(BcDef::new("pp", Dist::exp(0.001), Dist::exp(1.0)));
+    def.add_component(
+        BcDef::new("ps", Dist::exp(0.001), Dist::exp(1.0))
+            .with_om_group(OmGroup::ActiveInactive)
+            .with_ttf([Dist::exp(0.001), Dist::exp(0.001)]),
+    );
+    let mut smu = SmuDef::new("smu", "pp", ["ps"]);
+    if let Some(f) = failover {
+        smu = smu.with_failover(f);
+    }
+    def.add_smu(smu);
+    def.set_system_down(Expr::and([Expr::down("pp"), Expr::down("ps")]));
+    let model = SystemModel::build(&def).expect("model");
+    let block = model.block("smu").expect("block").clone();
+    (block.imc, model.alphabet)
+}

@@ -1,0 +1,50 @@
+//! Experiment A3 — quantifies the paper's §3.2 remark that "the I/O-IMC
+//! models of the FCFS, PP, and PNP can get quite large with increasing
+//! number of components … the RU needs to keep track of the failing
+//! components and the order in which the failures occurred".
+//!
+//! Run: `cargo run --release -p arcade-bench --bin exp_ru_growth`
+
+use arcade::ast::{BcDef, RepairStrategy, RuDef, SystemDef};
+use arcade::dist::Dist;
+use arcade::expr::Expr;
+use arcade::model::SystemModel;
+use arcade_bench::Table;
+
+fn ru_states(n: usize, strategy: RepairStrategy) -> usize {
+    let mut def = SystemDef::new("growth");
+    let names: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+    for name in &names {
+        def.add_component(BcDef::new(name, Dist::exp(0.01), Dist::exp(1.0)));
+    }
+    let mut ru = RuDef::new("ru", names, strategy);
+    if matches!(
+        strategy,
+        RepairStrategy::PreemptivePriority | RepairStrategy::NonPreemptivePriority
+    ) {
+        ru = ru.with_priorities((1..=n as u32).collect::<Vec<_>>());
+    }
+    def.add_repair_unit(ru);
+    def.set_system_down(Expr::down("c0"));
+    let model = SystemModel::build(&def).expect("model");
+    model.block("ru").expect("ru block").imc.num_states()
+}
+
+fn main() {
+    println!("repair unit I/O-IMC size vs number of served components (§3.2):");
+    println!();
+    let mut table = Table::new(&["n", "FCFS", "PNP", "PP", "n dedicated units"]);
+    for n in 1..=6usize {
+        table.row(&[
+            n.to_string(),
+            ru_states(n, RepairStrategy::Fcfs).to_string(),
+            ru_states(n, RepairStrategy::NonPreemptivePriority).to_string(),
+            ru_states(n, RepairStrategy::PreemptivePriority).to_string(),
+            (n * ru_states(1, RepairStrategy::Dedicated)).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("FCFS/PNP grow like ordered subsets (sum_k n!/(n-k)!); PP grows like");
+    println!("subsets with a phase per member; dedicated units stay linear — the");
+    println!("trade-off the paper points out when discussing Fig. 7.");
+}

@@ -1,0 +1,103 @@
+//! Benchmarks and experiment drivers for the Arcade reproduction.
+//!
+//! Each `exp_*` binary regenerates one table or figure of the paper (see
+//! the experiment index in `DESIGN.md`); the Criterion benches under
+//! `benches/` measure the runtime of the pipeline stages. Shared helpers
+//! live here.
+
+use arcade::ast::SystemDef;
+use arcade::engine::{aggregate, Aggregation, EngineOptions};
+use arcade::error::ArcadeError;
+use arcade::model::SystemModel;
+
+/// Builds and aggregates `def` with the given options, returning the
+/// aggregation result.
+///
+/// # Errors
+///
+/// Propagates any model/engine error.
+pub fn run_engine(def: &SystemDef, opts: &EngineOptions) -> Result<Aggregation, ArcadeError> {
+    let model = SystemModel::build(def)?;
+    aggregate(&model, opts)
+}
+
+/// Formats a float in the paper's style (6 decimals).
+pub fn fmt6(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// A plain-text table writer for experiment outputs.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["availability".into(), "0.999997".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("0.999997"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn fmt6_rounds() {
+        assert_eq!(fmt6(0.4020184), "0.402018");
+    }
+}

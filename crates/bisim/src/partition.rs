@@ -1,0 +1,108 @@
+//! State partitions.
+
+use ioimc::{IoImc, StateId, StateLabel};
+use std::collections::HashMap;
+
+/// A partition of the states of an automaton into blocks `0..num_blocks`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    block: Vec<u32>,
+    num_blocks: usize,
+}
+
+impl Partition {
+    /// The trivial partition: all states in block 0.
+    pub fn trivial(num_states: usize) -> Self {
+        Self {
+            block: vec![0; num_states],
+            num_blocks: if num_states == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// The initial partition for label-respecting reduction: one block per
+    /// distinct state label.
+    pub fn by_label(imc: &IoImc) -> Self {
+        let mut ids: HashMap<StateLabel, u32> = HashMap::new();
+        let block = imc
+            .labels()
+            .iter()
+            .map(|&l| {
+                let next = ids.len() as u32;
+                *ids.entry(l).or_insert(next)
+            })
+            .collect();
+        Self {
+            block,
+            num_blocks: ids.len(),
+        }
+    }
+
+    /// Builds a partition from explicit block ids (must be dense `0..k`).
+    pub fn from_blocks(block: Vec<u32>, num_blocks: usize) -> Self {
+        debug_assert!(block.iter().all(|&b| (b as usize) < num_blocks));
+        Self { block, num_blocks }
+    }
+
+    /// The block of state `s`.
+    pub fn block_of(&self, s: StateId) -> u32 {
+        self.block[s as usize]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.block.len()
+    }
+
+    /// The block id of every state.
+    pub fn blocks(&self) -> &[u32] {
+        &self.block
+    }
+
+    /// Groups the states of each block: `result[b]` lists the members of
+    /// block `b`.
+    pub fn members(&self) -> Vec<Vec<StateId>> {
+        let mut m = vec![Vec::new(); self.num_blocks];
+        for (s, &b) in self.block.iter().enumerate() {
+            m[b as usize].push(s as StateId);
+        }
+        m
+    }
+
+    /// Whether two states are in the same block.
+    pub fn same_block(&self, a: StateId, b: StateId) -> bool {
+        self.block[a as usize] == self.block[b as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioimc::builder::IoImcBuilder;
+
+    #[test]
+    fn by_label_separates_labels() {
+        let mut b = IoImcBuilder::new();
+        b.add_labeled_state(0);
+        b.add_labeled_state(1);
+        b.add_labeled_state(0);
+        let imc = b.build().unwrap();
+        let p = Partition::by_label(&imc);
+        assert_eq!(p.num_blocks(), 2);
+        assert!(p.same_block(0, 2));
+        assert!(!p.same_block(0, 1));
+        assert_eq!(p.members()[p.block_of(1) as usize], vec![1]);
+    }
+
+    #[test]
+    fn trivial_is_one_block() {
+        let p = Partition::trivial(5);
+        assert_eq!(p.num_blocks(), 1);
+        assert!(p.same_block(0, 4));
+        assert_eq!(p.num_states(), 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Quotient construction.
+
+use std::collections::HashMap;
+
+use ioimc::{ActionId, IoImc, StateId};
+
+use crate::partition::Partition;
+use crate::signature::{SigEntry, Signature};
+
+/// Builds the quotient automaton of `imc` under the fixpoint `part` with
+/// per-state `sigs` (as returned by the refiners).
+///
+/// * Interactive transitions come from the block signature: `Act` entries
+///   keep their action, `Tau` entries are emitted with the canonical `tau`
+///   action.
+/// * Markovian transitions are the lumped rates of a member that carries
+///   rates (after the maximal-progress cut all such members agree up to
+///   quantization).
+/// * The label of a block is the label of its members (label-respecting
+///   refinement guarantees they agree; we OR them defensively).
+///
+/// # Panics
+///
+/// Panics if `tau` is a visible (input/output) action of `imc`.
+pub fn quotient(imc: &IoImc, part: &Partition, sigs: &[Signature], tau: ActionId) -> IoImc {
+    assert!(
+        !imc.is_visible(tau),
+        "canonical tau action must not be visible"
+    );
+    let members = part.members();
+    let k = part.num_blocks();
+
+    let mut interactive: Vec<Vec<(ActionId, StateId)>> = Vec::with_capacity(k);
+    let mut markovian: Vec<Vec<(f64, StateId)>> = Vec::with_capacity(k);
+    let mut labels: Vec<u64> = Vec::with_capacity(k);
+    let mut uses_tau = false;
+
+    #[allow(clippy::needless_range_loop)] // `b` is also the block id
+    for b in 0..k {
+        let rep = members[b][0];
+        // Interactive edges from the representative's fixpoint signature.
+        let mut inter = Vec::new();
+        for &entry in &sigs[rep as usize] {
+            match entry {
+                SigEntry::Act { action, block } => inter.push((action, block as StateId)),
+                SigEntry::Tau { block } => {
+                    uses_tau = true;
+                    inter.push((tau, block as StateId));
+                }
+                SigEntry::Rate { .. } => {}
+            }
+        }
+        // Markovian edges: exact lumped rates from a rate-carrying member.
+        // Intra-block rates are dropped — they would be self-loops of the
+        // quotient, which a CTMC generator cancels (and the refinement
+        // accordingly never constrained them).
+        let mut rates: HashMap<u32, f64> = HashMap::new();
+        if let Some(&carrier) = members[b]
+            .iter()
+            .find(|&&s| !imc.markovian_from(s).is_empty())
+        {
+            for &(r, t) in imc.markovian_from(carrier) {
+                if part.block_of(t) != b as u32 {
+                    *rates.entry(part.block_of(t)).or_insert(0.0) += r;
+                }
+            }
+        }
+        let mark: Vec<(f64, StateId)> = rates.into_iter().map(|(t, r)| (r, t as StateId)).collect();
+
+        let label = members[b].iter().fold(0u64, |acc, &s| acc | imc.label(s));
+        interactive.push(inter);
+        markovian.push(mark);
+        labels.push(label);
+    }
+
+    let mut internals = if uses_tau { vec![tau] } else { Vec::new() };
+    internals.sort_unstable();
+    let mut out = IoImc::from_parts_unchecked(
+        part.block_of(imc.initial()) as StateId,
+        imc.inputs().to_vec(),
+        imc.outputs().to_vec(),
+        internals,
+        interactive,
+        markovian,
+        labels,
+    );
+    out.normalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branching::refine_branching;
+    use crate::strong::refine_strong;
+    use ioimc::builder::IoImcBuilder;
+    use ioimc::Alphabet;
+
+    #[test]
+    fn quotient_of_symmetric_diamond() {
+        let mut ab = Alphabet::new();
+        let tau = ab.intern("tau");
+        let mut b = IoImcBuilder::new();
+        // s3 labeled so the chain structure is observable
+        let s: Vec<_> = (0..4).map(|i| b.add_labeled_state(u64::from(i == 3))).collect();
+        b.markovian(s[0], 1.0, s[1])
+            .markovian(s[0], 1.0, s[2])
+            .markovian(s[1], 2.0, s[3])
+            .markovian(s[2], 2.0, s[3]);
+        let imc = b.build().unwrap();
+        let (p, sigs) = refine_strong(&imc, Partition::by_label(&imc));
+        let q = quotient(&imc, &p, &sigs, tau);
+        assert_eq!(q.num_states(), 3);
+        // initial block moves at total rate 2 into the merged middle block
+        let init_rates = q.markovian_from(q.initial());
+        assert_eq!(init_rates.len(), 1);
+        assert!((init_rates[0].0 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quotient_rewrites_internals_to_tau() {
+        let mut ab = Alphabet::new();
+        let t1 = ab.intern("some.hidden.signal");
+        let tau = ab.intern("tau");
+        let mut b = IoImcBuilder::new();
+        b.set_internals([t1]);
+        let s0 = b.add_labeled_state(0);
+        let s1 = b.add_labeled_state(1); // label forces the tau to stay
+        b.interactive(s0, t1, s1);
+        let imc = b.build().unwrap();
+        let (p, sigs) = refine_branching(&imc, Partition::by_label(&imc));
+        let q = quotient(&imc, &p, &sigs, tau);
+        assert_eq!(q.num_states(), 2);
+        assert_eq!(q.internals(), &[tau]);
+        assert_eq!(q.iter_interactive().count(), 1);
+        let (_, a, _) = q.iter_interactive().next().unwrap();
+        assert_eq!(a, tau);
+    }
+
+    #[test]
+    fn quotient_preserves_visible_signature() {
+        let mut ab = Alphabet::new();
+        let tau = ab.intern("tau");
+        let inp = ab.intern("go");
+        let out = ab.intern("done");
+        let mut b = IoImcBuilder::new();
+        b.set_inputs([inp]).set_outputs([out]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.interactive(s0, inp, s1).interactive(s1, out, s0);
+        let imc = b.complete_inputs().build().unwrap();
+        let (p, sigs) = refine_branching(&imc, Partition::by_label(&imc));
+        let q = quotient(&imc, &p, &sigs, tau);
+        assert_eq!(q.inputs(), &[inp]);
+        assert_eq!(q.outputs(), &[out]);
+        assert!(ioimc::validate::validate(&q).is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+//! Signature entries for partition refinement.
+
+use ioimc::ActionId;
+
+/// Number of low mantissa bits dropped when comparing Markovian rate sums.
+///
+/// Summation order can perturb the last few bits of a rate sum; dropping 20
+/// bits (~2⁻³² relative, i.e. agreement to ~9 decimal digits) makes states
+/// with mathematically equal rate sums hash identically while still
+/// distinguishing genuinely different rates.
+const RATE_DROP_BITS: u32 = 20;
+
+/// Quantizes a rate for hashing/equality in signatures.
+pub fn quantize_rate(r: f64) -> u64 {
+    debug_assert!(r.is_finite());
+    let bits = r.to_bits();
+    let half = 1u64 << (RATE_DROP_BITS - 1);
+    ((bits.saturating_add(half)) >> RATE_DROP_BITS) << RATE_DROP_BITS
+}
+
+/// One observation a state can make about the current partition.
+///
+/// Signatures are sorted, deduplicated `Vec<SigEntry>`; two states get the
+/// same refined block iff they are in the same current block and have equal
+/// signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SigEntry {
+    /// A visible interactive step `--a-->` into block `b`.
+    Act {
+        /// The action taken.
+        action: ActionId,
+        /// The target block.
+        block: u32,
+    },
+    /// An internal step into a *different* block (inert steps are elided).
+    /// All internal actions are interchangeable, hence no action id.
+    Tau {
+        /// The target block.
+        block: u32,
+    },
+    /// A Markovian move into block `b` with the quantized total rate.
+    Rate {
+        /// The target block.
+        block: u32,
+        /// Quantized rate sum (see [`quantize_rate`]).
+        qrate: u64,
+    },
+}
+
+/// A state's full signature: sorted and deduplicated entries.
+pub type Signature = Vec<SigEntry>;
+
+/// Sorts and deduplicates `sig` in place.
+pub fn canonicalize(sig: &mut Signature) {
+    sig.sort_unstable();
+    sig.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_merges_nearby() {
+        let a = 0.1 + 0.2; // 0.30000000000000004
+        let b = 0.3;
+        assert_eq!(quantize_rate(a), quantize_rate(b));
+    }
+
+    #[test]
+    fn quantize_distinguishes_distinct() {
+        assert_ne!(quantize_rate(1.0), quantize_rate(1.0001));
+        assert_ne!(quantize_rate(5.44e-6), quantize_rate(10.88e-6));
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let mut sig = vec![
+            SigEntry::Tau { block: 2 },
+            SigEntry::Act {
+                action: ActionId(1),
+                block: 0,
+            },
+            SigEntry::Tau { block: 2 },
+        ];
+        canonicalize(&mut sig);
+        assert_eq!(sig.len(), 2);
+        assert!(sig.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the partition-refinement engine on random
+//! automata.
+
+use proptest::prelude::*;
+
+
+use bisim::partition::Partition;
+use bisim::pipeline::{reduce, ReduceOptions, Strategy as Equivalence};
+use bisim::strong::refine_strong;
+use ioimc::builder::IoImcBuilder;
+use ioimc::{ActionId, IoImc};
+
+fn arb_automaton() -> impl Strategy<Value = IoImc> {
+    (
+        2usize..7,
+        proptest::collection::vec((0u32..7, 0u32..3, 0u32..7), 0..14),
+        proptest::collection::vec((0u32..7, 1u32..5, 0u32..7), 0..8),
+        proptest::collection::vec(0u64..2, 7),
+    )
+        .prop_map(|(n, inter, mark, labels)| {
+            let act = ActionId(0); // visible output
+            let tau = ActionId(1); // internal
+            let inp = ActionId(2); // input
+            let mut b = IoImcBuilder::new();
+            b.set_outputs([act]).set_internals([tau]).set_inputs([inp]);
+            for &label in labels.iter().take(n) {
+                b.add_labeled_state(label);
+            }
+            let n = n as u32;
+            for (s, a, t) in inter {
+                let a = match a {
+                    0 => act,
+                    1 => tau,
+                    _ => inp,
+                };
+                b.interactive(s % n, a, t % n);
+            }
+            for (s, r, t) in mark {
+                b.markovian(s % n, f64::from(r), t % n);
+            }
+            b.complete_inputs().build().expect("valid")
+        })
+}
+
+fn opts(strategy: Equivalence) -> ReduceOptions {
+    ReduceOptions {
+        strategy,
+        tau: ActionId(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The refined partition never merges states with different labels.
+    #[test]
+    fn refinement_respects_labels(a in arb_automaton()) {
+        let (p, _) = refine_strong(&a, Partition::by_label(&a));
+        for s in 0..a.num_states() as u32 {
+            for t in 0..a.num_states() as u32 {
+                if p.same_block(s, t) {
+                    prop_assert_eq!(a.label(s), a.label(t));
+                }
+            }
+        }
+    }
+
+    /// Strong bisimilarity implies matching lumped rate sums into every
+    /// *other* block (ordinary lumpability; intra-block rates are
+    /// unobservable quotient self-loops).
+    #[test]
+    fn strong_partition_lumps_rates(a in arb_automaton()) {
+        let (p, _) = refine_strong(&a, Partition::by_label(&a));
+        for s in 0..a.num_states() as u32 {
+            for t in (s + 1)..a.num_states() as u32 {
+                if !p.same_block(s, t) {
+                    continue;
+                }
+                for block in (0..p.num_blocks() as u32).filter(|&b| b != p.block_of(s)) {
+                    let sum = |x: u32| -> f64 {
+                        a.markovian_from(x)
+                            .iter()
+                            .filter(|&&(_, tgt)| p.block_of(tgt) == block)
+                            .map(|&(r, _)| r)
+                            .sum()
+                    };
+                    prop_assert!((sum(s) - sum(t)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The branching partition is never finer than needed: refining its
+    /// own quotient again yields no further splits (fixpoint).
+    #[test]
+    fn branching_reaches_fixpoint(a in arb_automaton()) {
+        let r1 = reduce(&a, &opts(Equivalence::Branching)).imc;
+        let r2 = reduce(&r1, &opts(Equivalence::Branching)).imc;
+        prop_assert_eq!(r1.num_states(), r2.num_states());
+    }
+
+    /// Strong refines branching: the branching quotient is never larger.
+    #[test]
+    fn branching_coarser_than_strong(a in arb_automaton()) {
+        let s = reduce(&a, &opts(Equivalence::Strong)).imc;
+        let b = reduce(&a, &opts(Equivalence::Branching)).imc;
+        prop_assert!(b.num_states() <= s.num_states());
+    }
+
+    /// Quotients are valid automata (signature intact, input-enabled).
+    #[test]
+    fn quotient_is_valid(a in arb_automaton()) {
+        for strategy in [Equivalence::Strong, Equivalence::Branching] {
+            let r = reduce(&a, &opts(strategy)).imc;
+            prop_assert!(ioimc::validate::validate(&r).is_ok());
+            prop_assert_eq!(r.inputs(), a.inputs());
+            prop_assert_eq!(r.outputs(), a.outputs());
+        }
+    }
+
+    /// The branching refinement of the disjoint union puts each state in
+    /// the same block as itself-in-the-copy (reflexivity across union).
+    #[test]
+    fn union_self_equivalence(a in arb_automaton()) {
+        let opts = opts(Equivalence::Branching);
+        prop_assert!(bisim::pipeline::equivalent(&a, &a, &opts));
+    }
+
+    /// Relabeling a state differently must split it from its old block.
+    /// (Uses the strong refiner: `refine_branching` requires the
+    /// tau-acyclic form that `reduce` prepares, and the preparation would
+    /// merge the relabeled state away.)
+    #[test]
+    fn label_change_splits(a in arb_automaton()) {
+        if a.num_states() < 2 {
+            return Ok(());
+        }
+        let mut labels = a.labels().to_vec();
+        labels[0] = 7; // unique label
+        let relabeled = a.clone().with_labels(labels);
+        let (p, _) = refine_strong(&relabeled, Partition::by_label(&relabeled));
+        for t in 1..relabeled.num_states() as u32 {
+            prop_assert!(!p.same_block(0, t));
+        }
+    }
+
+    /// `reduce` (which collapses tau cycles first) accepts any automaton
+    /// and respects labels modulo tau-cycle merging.
+    #[test]
+    fn reduce_handles_tau_cycles(a in arb_automaton()) {
+        let r = reduce(&a, &opts(Equivalence::Branching)).imc;
+        prop_assert!(r.num_states() >= 1);
+        prop_assert!(ioimc::validate::validate(&r).is_ok());
+    }
+}

@@ -1,0 +1,178 @@
+//! Absorbing-state analyses: first passage and mean time to failure.
+
+use crate::chain::Ctmc;
+use crate::transient::transient;
+
+/// Probability of having *reached* any state in `targets` by time `t`
+/// (first-passage probability).
+///
+/// The target states are made absorbing, so re-entering an up state after a
+/// visit does not count as recovery — this is the "unreliability" measure
+/// of the paper's RCS case study (§5.2.2), where components keep being
+/// repaired but the first system-level failure is what matters.
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite.
+pub fn first_passage_probability(ctmc: &Ctmc, targets: &[u32], t: f64) -> f64 {
+    let absorbing = ctmc.make_absorbing(targets.iter().copied());
+    let pi = transient(&absorbing, t);
+    targets
+        .iter()
+        .map(|&s| pi[s as usize])
+        .sum::<f64>()
+        .min(1.0)
+}
+
+/// Mean time until any state in `targets` is first entered (MTTF when the
+/// targets are the system-down states).
+///
+/// Solves `Q_T x = -1` on the transient (non-target) states by dense
+/// Gaussian elimination; `x[initial]` is returned. Returns `f64::INFINITY`
+/// if the targets are unreachable from the initial state.
+///
+/// # Panics
+///
+/// Panics if the initial state is itself a target (MTTF is 0 — degenerate).
+pub fn mean_time_to_absorption(ctmc: &Ctmc, targets: &[u32]) -> f64 {
+    let n = ctmc.num_states();
+    let mut is_target = vec![false; n];
+    for &s in targets {
+        is_target[s as usize] = true;
+    }
+    assert!(
+        !is_target[ctmc.initial() as usize],
+        "initial state is already a target"
+    );
+    // Index the transient states.
+    let mut idx = vec![usize::MAX; n];
+    let mut transient_states = Vec::new();
+    for s in 0..n {
+        if !is_target[s] {
+            idx[s] = transient_states.len();
+            transient_states.push(s as u32);
+        }
+    }
+    let m = transient_states.len();
+    // Dense system A x = b with A = Q restricted to transient states,
+    // b = -1.
+    let mut a = vec![0.0f64; m * m];
+    let mut b = vec![-1.0f64; m];
+    let mut reaches_target = vec![false; m];
+    for (i, &s) in transient_states.iter().enumerate() {
+        let mut exit = 0.0;
+        for &(r, tgt) in ctmc.row(s) {
+            exit += r;
+            if is_target[tgt as usize] {
+                reaches_target[i] = true;
+            } else {
+                a[i * m + idx[tgt as usize]] += r;
+            }
+        }
+        a[i * m + i] -= exit;
+        if exit == 0.0 {
+            // Absorbing non-target state: never reaches the target.
+            b[i] = 0.0;
+            a[i * m + i] = 1.0;
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..m {
+        let pivot_row = (col..m)
+            .max_by(|&i, &j| a[i * m + col].abs().total_cmp(&a[j * m + col].abs()))
+            .expect("non-empty");
+        if a[pivot_row * m + col].abs() < f64::MIN_POSITIVE {
+            return f64::INFINITY; // singular: target unreachable somewhere
+        }
+        if pivot_row != col {
+            for j in 0..m {
+                a.swap(col * m + j, pivot_row * m + j);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * m + col];
+        for row in col + 1..m {
+            let factor = a[row * m + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..m {
+                a[row * m + j] -= factor * a[col * m + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; m];
+    for row in (0..m).rev() {
+        let mut rhs = b[row];
+        for j in row + 1..m {
+            rhs -= a[row * m + j] * x[j];
+        }
+        x[row] = rhs / a[row * m + row];
+    }
+    x[idx[ctmc.initial() as usize]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_passage_of_pure_death() {
+        let l = 0.05;
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(99.0, 0)]], vec![0, 1], 0).unwrap();
+        // With state 1 absorbing, the repair rate 99 must not matter.
+        let p = first_passage_probability(&c, &[1], 10.0);
+        assert!((p - (1.0 - (-l * 10.0f64).exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mttf_of_exponential() {
+        let l = 0.25;
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![]], vec![0, 1], 0).unwrap();
+        let mttf = mean_time_to_absorption(&c, &[1]);
+        assert!((mttf - 1.0 / l).abs() < 1e-10);
+    }
+
+    /// MTTF of a 2-unit parallel system without repair: 3/(2λ).
+    #[test]
+    fn mttf_parallel_redundancy() {
+        let l = 0.1;
+        // states: 0 = both up, 1 = one up, 2 = none up
+        let c = Ctmc::new(
+            vec![vec![(2.0 * l, 1)], vec![(l, 2)], vec![]],
+            vec![0, 0, 1],
+            0,
+        )
+        .unwrap();
+        let mttf = mean_time_to_absorption(&c, &[2]);
+        assert!((mttf - 1.5 / l).abs() < 1e-9);
+    }
+
+    /// Repair extends MTTF: 2-unit system with repair µ has
+    /// MTTF = (3λ + µ) / (2λ²).
+    #[test]
+    fn mttf_with_repair() {
+        let (l, m) = (0.1, 2.0);
+        let c = Ctmc::new(
+            vec![vec![(2.0 * l, 1)], vec![(l, 2), (m, 0)], vec![]],
+            vec![0, 0, 1],
+            0,
+        )
+        .unwrap();
+        let mttf = mean_time_to_absorption(&c, &[2]);
+        let expected = (3.0 * l + m) / (2.0 * l * l);
+        assert!((mttf - expected).abs() / expected < 1e-10);
+    }
+
+    #[test]
+    fn unreachable_target_gives_infinite_mttf() {
+        let c = Ctmc::new(
+            vec![vec![(1.0, 1)], vec![(1.0, 0)], vec![]],
+            vec![0, 0, 1],
+            0,
+        )
+        .unwrap();
+        assert_eq!(mean_time_to_absorption(&c, &[2]), f64::INFINITY);
+    }
+}

@@ -1,0 +1,294 @@
+//! The labelled CTMC type.
+
+use std::fmt;
+
+use ioimc::{IoImc, StateLabel};
+
+/// Errors when constructing a [`Ctmc`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// The chain has no states.
+    Empty,
+    /// A rate is not finite and strictly positive.
+    BadRate {
+        /// Source state of the offending transition.
+        state: u32,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A transition target is out of range.
+    BadTarget {
+        /// Source state of the offending transition.
+        state: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// The initial state is out of range.
+    BadInitial(u32),
+    /// The source I/O-IMC still has interactive transitions (it is not a
+    /// CTMC yet — run the reduction/vanishing-elimination pipeline first).
+    NotMarkovian {
+        /// A state with a leftover interactive transition.
+        state: u32,
+    },
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "chain has no states"),
+            Self::BadRate { state, rate } => write!(f, "state {state} has invalid rate {rate}"),
+            Self::BadTarget { state, target } => {
+                write!(f, "state {state} has transition to invalid state {target}")
+            }
+            Self::BadInitial(s) => write!(f, "initial state {s} out of range"),
+            Self::NotMarkovian { state } => write!(
+                f,
+                "state {state} still has interactive transitions; reduce the model first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+/// A labelled continuous-time Markov chain.
+///
+/// Stored as per-state outgoing `(rate, target)` lists (self-loops are
+/// dropped — they do not affect the stochastic process). Labels are the
+/// same proposition bitmasks as in [`ioimc`]; Arcade uses bit 0 for
+/// "system down".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    rows: Vec<Vec<(f64, u32)>>,
+    labels: Vec<StateLabel>,
+    initial: u32,
+}
+
+impl Ctmc {
+    /// Creates a CTMC from outgoing transition lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CtmcError`] for empty chains, invalid rates/targets or an
+    /// out-of-range initial state.
+    pub fn new(
+        rows: Vec<Vec<(f64, u32)>>,
+        labels: Vec<StateLabel>,
+        initial: u32,
+    ) -> Result<Self, CtmcError> {
+        let n = rows.len();
+        if n == 0 {
+            return Err(CtmcError::Empty);
+        }
+        assert_eq!(labels.len(), n, "one label per state required");
+        if initial as usize >= n {
+            return Err(CtmcError::BadInitial(initial));
+        }
+        let mut clean: Vec<Vec<(f64, u32)>> = Vec::with_capacity(n);
+        for (s, row) in rows.into_iter().enumerate() {
+            let mut out = Vec::with_capacity(row.len());
+            for (r, t) in row {
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(CtmcError::BadRate {
+                        state: s as u32,
+                        rate: r,
+                    });
+                }
+                if t as usize >= n {
+                    return Err(CtmcError::BadTarget {
+                        state: s as u32,
+                        target: t,
+                    });
+                }
+                if t as usize != s {
+                    out.push((r, t));
+                }
+            }
+            // merge parallel edges
+            out.sort_unstable_by_key(|a| a.1);
+            let mut merged: Vec<(f64, u32)> = Vec::with_capacity(out.len());
+            for (r, t) in out {
+                match merged.last_mut() {
+                    Some(last) if last.1 == t => last.0 += r,
+                    _ => merged.push((r, t)),
+                }
+            }
+            clean.push(merged);
+        }
+        Ok(Self {
+            rows: clean,
+            labels,
+            initial,
+        })
+    }
+
+    /// Converts a purely Markovian I/O-IMC (e.g. the output of
+    /// `bisim::vanishing::eliminate_vanishing`) into a CTMC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NotMarkovian`] if any interactive transition
+    /// remains.
+    pub fn from_ioimc(imc: &IoImc) -> Result<Self, CtmcError> {
+        for s in 0..imc.num_states() as u32 {
+            if !imc.interactive_from(s).is_empty() {
+                return Err(CtmcError::NotMarkovian { state: s });
+            }
+        }
+        let rows = (0..imc.num_states() as u32)
+            .map(|s| imc.markovian_from(s).to_vec())
+            .collect();
+        Self::new(rows, imc.labels().to_vec(), imc.initial())
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of (merged) transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// Outgoing transitions of `s`.
+    pub fn row(&self, s: u32) -> &[(f64, u32)] {
+        &self.rows[s as usize]
+    }
+
+    /// Total exit rate of `s`.
+    pub fn exit_rate(&self, s: u32) -> f64 {
+        self.rows[s as usize].iter().map(|&(r, _)| r).sum()
+    }
+
+    /// Maximum exit rate over all states (the uniformization constant base).
+    pub fn max_exit_rate(&self) -> f64 {
+        (0..self.num_states() as u32)
+            .map(|s| self.exit_rate(s))
+            .fold(0.0, f64::max)
+    }
+
+    /// The label of `s`.
+    pub fn label(&self, s: u32) -> StateLabel {
+        self.labels[s as usize]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[StateLabel] {
+        &self.labels
+    }
+
+    /// States whose label has all bits of `mask` set.
+    pub fn states_with_label(&self, mask: StateLabel) -> impl Iterator<Item = u32> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(move |(_, &l)| l & mask == mask)
+            .map(|(s, _)| s as u32)
+    }
+
+    /// Returns a copy where the given states are absorbing (all outgoing
+    /// transitions removed). Used for first-passage ("unreliability")
+    /// analysis.
+    pub fn make_absorbing(&self, states: impl IntoIterator<Item = u32>) -> Self {
+        let mut out = self.clone();
+        for s in states {
+            out.rows[s as usize].clear();
+        }
+        out
+    }
+
+    /// The initial distribution as a dense vector (unit mass on
+    /// [`Ctmc::initial`]).
+    pub fn initial_distribution(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.num_states()];
+        d[self.initial as usize] = 1.0;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioimc::builder::IoImcBuilder;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(Ctmc::new(vec![], vec![], 0), Err(CtmcError::Empty));
+        assert!(matches!(
+            Ctmc::new(vec![vec![(0.0, 0)]], vec![0], 0),
+            Err(CtmcError::BadRate { .. })
+        ));
+        assert!(matches!(
+            Ctmc::new(vec![vec![(1.0, 5)]], vec![0], 0),
+            Err(CtmcError::BadTarget { .. })
+        ));
+        assert_eq!(
+            Ctmc::new(vec![vec![]], vec![0], 3),
+            Err(CtmcError::BadInitial(3))
+        );
+    }
+
+    #[test]
+    fn drops_self_loops_and_merges_parallel() {
+        let c = Ctmc::new(
+            vec![vec![(1.0, 0), (2.0, 1), (3.0, 1)], vec![]],
+            vec![0, 0],
+            0,
+        )
+        .unwrap();
+        assert_eq!(c.row(0), &[(5.0, 1)]);
+        assert!((c.exit_rate(0) - 5.0).abs() < 1e-12);
+        assert_eq!(c.num_transitions(), 1);
+    }
+
+    #[test]
+    fn from_ioimc_requires_markovian_only() {
+        let mut ab = ioimc::Alphabet::new();
+        let a = ab.intern("a");
+        let mut b = IoImcBuilder::new();
+        b.set_outputs([a]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.interactive(s0, a, s1);
+        let imc = b.build().unwrap();
+        assert!(matches!(
+            Ctmc::from_ioimc(&imc),
+            Err(CtmcError::NotMarkovian { state: 0 })
+        ));
+    }
+
+    #[test]
+    fn from_ioimc_copies_structure() {
+        let mut b = IoImcBuilder::new();
+        let s0 = b.add_labeled_state(0);
+        let s1 = b.add_labeled_state(1);
+        b.markovian(s0, 0.25, s1).markovian(s1, 4.0, s0);
+        let imc = b.build().unwrap();
+        let c = Ctmc::from_ioimc(&imc).unwrap();
+        assert_eq!(c.num_states(), 2);
+        assert_eq!(c.label(1), 1);
+        assert_eq!(c.states_with_label(1).collect::<Vec<_>>(), vec![1]);
+        assert!((c.max_exit_rate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn make_absorbing_clears_rows() {
+        let c = Ctmc::new(vec![vec![(1.0, 1)], vec![(1.0, 0)]], vec![0, 1], 0).unwrap();
+        let a = c.make_absorbing([1]);
+        assert!(a.row(1).is_empty());
+        assert_eq!(a.row(0), c.row(0));
+    }
+
+    #[test]
+    fn initial_distribution_is_unit_mass() {
+        let c = Ctmc::new(vec![vec![(1.0, 1)], vec![]], vec![0, 0], 1).unwrap();
+        assert_eq!(c.initial_distribution(), vec![0.0, 1.0]);
+    }
+}

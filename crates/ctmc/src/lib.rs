@@ -1,0 +1,44 @@
+//! Continuous-time Markov chain representation and solvers.
+//!
+//! The last stage of the Arcade pipeline converts the fully composed and
+//! reduced I/O-IMC into a labelled CTMC ([`Ctmc::from_ioimc`]) and computes
+//! dependability measures on it:
+//!
+//! * [`steady::steady_state`] — long-run distribution (dense Gaussian
+//!   elimination for small chains, Gauss–Seidel for large ones), giving the
+//!   steady-state availability of Table 1,
+//! * [`transient::transient`] — uniformization with Fox–Glynn-style Poisson
+//!   truncation, giving point availability,
+//! * [`absorbing`] — first-passage ("unreliability") analysis by making the
+//!   down states absorbing, and mean time to failure,
+//! * [`measures`] — the dependability measures expressed over state labels.
+//!
+//! # Example
+//!
+//! The classic two-state machine (failure rate λ, repair rate µ) has
+//! steady-state availability µ/(λ+µ):
+//!
+//! ```
+//! use ctmc::{Ctmc, measures};
+//! let (lambda, mu) = (0.001, 0.5);
+//! let ctmc = Ctmc::new(
+//!     vec![vec![(lambda, 1)], vec![(mu, 0)]],
+//!     vec![0, 1], // bit 0 marks "down"
+//!     0,
+//! ).unwrap();
+//! let a = measures::steady_state_availability(&ctmc, 1);
+//! assert!((a - mu / (lambda + mu)).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absorbing;
+pub mod chain;
+pub mod csl;
+pub mod measures;
+pub mod poisson;
+pub mod steady;
+pub mod transient;
+
+pub use chain::{Ctmc, CtmcError};

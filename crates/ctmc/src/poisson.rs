@@ -1,0 +1,124 @@
+//! Truncated Poisson weights for uniformization.
+//!
+//! A lightweight version of the Fox–Glynn algorithm: weights are computed
+//! outward from the mode by the multiplicative recurrence, truncated once
+//! they fall below a relative threshold, and normalized. This avoids both
+//! overflow (weights are scaled relative to the mode) and underflow of the
+//! naive `e^{-λ} λ^k / k!` evaluation for large `λ`.
+
+/// Truncated, normalized Poisson probabilities for parameter `lambda`.
+///
+/// Returns `(left, weights)` such that `weights[i]` approximates
+/// `Poisson(lambda)[left + i]` and the weights sum to 1. The truncated tail
+/// mass is below `1e-15`.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+pub fn poisson_weights(lambda: f64) -> (usize, Vec<f64>) {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative and finite, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return (0, vec![1.0]);
+    }
+    const REL_CUTOFF: f64 = 1e-18;
+    let mode = lambda.floor() as usize;
+
+    // Unnormalized weights relative to the mode (weight 1 there).
+    // Downward: w[k-1] = w[k] * k / lambda.
+    let mut below: Vec<f64> = Vec::new();
+    {
+        let mut w = 1.0;
+        let mut k = mode;
+        while k > 0 {
+            w *= k as f64 / lambda;
+            if w < REL_CUTOFF {
+                break;
+            }
+            below.push(w);
+            k -= 1;
+        }
+    }
+    // Upward: w[k+1] = w[k] * lambda / (k+1).
+    let mut above: Vec<f64> = Vec::new();
+    {
+        let mut w = 1.0;
+        let mut k = mode;
+        loop {
+            w *= lambda / (k + 1) as f64;
+            if w < REL_CUTOFF {
+                break;
+            }
+            above.push(w);
+            k += 1;
+        }
+    }
+
+    let left = mode - below.len();
+    let mut weights: Vec<f64> = below.into_iter().rev().collect();
+    weights.push(1.0);
+    weights.extend(above);
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    (left, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_poisson(lambda: f64, k: usize) -> f64 {
+        // Stable for the small parameters used in tests.
+        let mut p = (-lambda).exp();
+        for i in 1..=k {
+            p *= lambda / i as f64;
+        }
+        p
+    }
+
+    #[test]
+    fn zero_lambda_is_point_mass() {
+        assert_eq!(poisson_weights(0.0), (0, vec![1.0]));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for &l in &[0.1, 1.0, 7.3, 100.0, 5000.0] {
+            let (_, w) = poisson_weights(l);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "lambda={l}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_small_lambda() {
+        let lambda = 3.5;
+        let (left, w) = poisson_weights(lambda);
+        for (i, &wi) in w.iter().enumerate() {
+            let exact = exact_poisson(lambda, left + i);
+            assert!((wi - exact).abs() < 1e-12, "k={}: {wi} vs {exact}", left + i);
+        }
+    }
+
+    #[test]
+    fn large_lambda_mean_is_right() {
+        let lambda = 2500.0;
+        let (left, w) = poisson_weights(lambda);
+        let mean: f64 = w
+            .iter()
+            .enumerate()
+            .map(|(i, &wi)| (left + i) as f64 * wi)
+            .sum();
+        assert!((mean - lambda).abs() < 1e-6 * lambda);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lambda_panics() {
+        let _ = poisson_weights(-1.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Steady-state distribution.
+//!
+//! Solves the global balance equations `πQ = 0`, `Σπ = 1`. Small chains use
+//! dense Gaussian elimination with partial pivoting (exact up to rounding,
+//! robust for the stiff chains dependability models produce — failure rates
+//! of 1e-8 next to repair rates of 1e-1). Larger chains fall back to
+//! Gauss–Seidel sweeps over the balance equations.
+
+use crate::chain::Ctmc;
+
+/// Chains up to this size are solved directly (dense elimination).
+const DENSE_LIMIT: usize = 3000;
+
+/// Computes the steady-state distribution of an irreducible CTMC.
+///
+/// For reducible chains the result is the stationary distribution reachable
+/// from the chain's structure and should not be relied on; Arcade models
+/// with repair are irreducible by construction.
+pub fn steady_state(ctmc: &Ctmc) -> Vec<f64> {
+    if ctmc.num_states() == 1 {
+        return vec![1.0];
+    }
+    if ctmc.num_states() <= DENSE_LIMIT {
+        dense_solve(ctmc)
+    } else {
+        gauss_seidel(ctmc)
+    }
+}
+
+/// Dense solve of `Q^T π = 0` with the last equation replaced by the
+/// normalization constraint.
+fn dense_solve(ctmc: &Ctmc) -> Vec<f64> {
+    let n = ctmc.num_states();
+    // Build A = Q^T (column j of Q: rates out of j; diagonal -exit).
+    let mut a = vec![0.0f64; n * n];
+    for s in 0..n as u32 {
+        let mut exit = 0.0;
+        for &(r, t) in ctmc.row(s) {
+            // Q[s][t] = r contributes to A[t][s] (transposed)
+            a[t as usize * n + s as usize] += r;
+            exit += r;
+        }
+        a[s as usize * n + s as usize] -= exit;
+    }
+    // Replace last row with normalization Σπ = 1.
+    for j in 0..n {
+        a[(n - 1) * n + j] = 1.0;
+    }
+    let mut b = vec![0.0f64; n];
+    b[n - 1] = 1.0;
+
+    // Gaussian elimination with partial pivoting.
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i * n + col].abs().total_cmp(&a[j * n + col].abs()))
+            .expect("non-empty range");
+        if a[pivot_row * n + col].abs() < f64::MIN_POSITIVE {
+            continue; // singular direction; normalization row fixes scale
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot_row * n + j);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut rhs = b[row];
+        for j in row + 1..n {
+            rhs -= a[row * n + j] * x[j];
+        }
+        let d = a[row * n + row];
+        x[row] = if d.abs() < f64::MIN_POSITIVE { 0.0 } else { rhs / d };
+    }
+    // Clean tiny negatives from rounding and renormalize.
+    for v in &mut x {
+        if *v < 0.0 && *v > -1e-9 {
+            *v = 0.0;
+        }
+    }
+    let total: f64 = x.iter().sum();
+    if total > 0.0 {
+        for v in &mut x {
+            *v /= total;
+        }
+    }
+    x
+}
+
+/// Gauss–Seidel iteration on `π_i · exit_i = Σ_j π_j q_{ji}`.
+fn gauss_seidel(ctmc: &Ctmc) -> Vec<f64> {
+    let n = ctmc.num_states();
+    // Incoming adjacency.
+    let mut incoming: Vec<Vec<(f64, u32)>> = vec![Vec::new(); n];
+    for s in 0..n as u32 {
+        for &(r, t) in ctmc.row(s) {
+            incoming[t as usize].push((r, s));
+        }
+    }
+    let exit: Vec<f64> = (0..n as u32).map(|s| ctmc.exit_rate(s)).collect();
+    let mut pi = vec![1.0 / n as f64; n];
+    const MAX_SWEEPS: usize = 200_000;
+    const TOL: f64 = 1e-14;
+    for _ in 0..MAX_SWEEPS {
+        let mut max_rel = 0.0f64;
+        for i in 0..n {
+            if exit[i] <= 0.0 {
+                continue; // absorbing state keeps its mass (not expected here)
+            }
+            let inflow: f64 = incoming[i].iter().map(|&(r, j)| r * pi[j as usize]).sum();
+            let new = inflow / exit[i];
+            let denom = new.abs().max(1e-300);
+            max_rel = max_rel.max((new - pi[i]).abs() / denom);
+            pi[i] = new;
+        }
+        let total: f64 = pi.iter().sum();
+        if total > 0.0 {
+            for v in &mut pi {
+                *v /= total;
+            }
+        }
+        if max_rel < TOL {
+            break;
+        }
+    }
+    pi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state machine: π_up = µ/(λ+µ).
+    #[test]
+    fn two_state_machine() {
+        let (l, m) = (0.01, 2.0);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let pi = steady_state(&c);
+        assert!((pi[0] - m / (l + m)).abs() < 1e-12);
+        assert!((pi[1] - l / (l + m)).abs() < 1e-12);
+    }
+
+    /// M/M/1/K queue: π_k ∝ ρ^k.
+    #[test]
+    fn mm1k_queue() {
+        let (lambda, mu, k) = (0.7, 1.0, 6usize);
+        let rows: Vec<Vec<(f64, u32)>> = (0..=k)
+            .map(|i| {
+                let mut row = Vec::new();
+                if i < k {
+                    row.push((lambda, (i + 1) as u32));
+                }
+                if i > 0 {
+                    row.push((mu, (i - 1) as u32));
+                }
+                row
+            })
+            .collect();
+        let c = Ctmc::new(rows, vec![0; k + 1], 0).unwrap();
+        let pi = steady_state(&c);
+        let rho: f64 = lambda / mu;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for (i, &p) in pi.iter().enumerate() {
+            let expected = rho.powi(i as i32) / norm;
+            assert!((p - expected).abs() < 1e-12, "state {i}: {p} vs {expected}");
+        }
+    }
+
+    /// A stiff repairable system (rates spanning 7 orders of magnitude).
+    #[test]
+    fn stiff_chain() {
+        let (l, m) = (1e-7, 0.1);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let pi = steady_state(&c);
+        let expected = l / (l + m);
+        assert!((pi[1] - expected).abs() / expected < 1e-10);
+    }
+
+    /// Gauss–Seidel path agrees with the dense path.
+    #[test]
+    fn gs_matches_dense() {
+        let (lambda, mu, k) = (0.3, 1.0, 9usize);
+        let rows: Vec<Vec<(f64, u32)>> = (0..=k)
+            .map(|i| {
+                let mut row = Vec::new();
+                if i < k {
+                    row.push((lambda, (i + 1) as u32));
+                }
+                if i > 0 {
+                    row.push((mu, (i - 1) as u32));
+                }
+                row
+            })
+            .collect();
+        let c = Ctmc::new(rows, vec![0; k + 1], 0).unwrap();
+        let dense = dense_solve(&c);
+        let gs = gauss_seidel(&c);
+        for (a, b) in dense.iter().zip(&gs) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_state_is_trivial() {
+        let c = Ctmc::new(vec![vec![]], vec![0], 0).unwrap();
+        assert_eq!(steady_state(&c), vec![1.0]);
+    }
+}

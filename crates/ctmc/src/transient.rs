@@ -1,0 +1,158 @@
+//! Transient analysis by uniformization.
+//!
+//! The distribution at time `t` is
+//! `π(t) = Σ_k Poisson(Λt)[k] · π(0) Pᵏ` where `P = I + Q/Λ` is the
+//! uniformized DTMC and `Λ ≥ max exit rate`. Poisson weights come from
+//! [`crate::poisson::poisson_weights`].
+
+use crate::chain::Ctmc;
+use crate::poisson::poisson_weights;
+
+/// Computes the state distribution at time `t` starting from the chain's
+/// initial state.
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite.
+pub fn transient(ctmc: &Ctmc, t: f64) -> Vec<f64> {
+    transient_from(ctmc, &ctmc.initial_distribution(), t)
+}
+
+/// Computes the state distribution at time `t` from an arbitrary initial
+/// distribution `pi0`.
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite, or if `pi0` has the wrong
+/// length.
+pub fn transient_from(ctmc: &Ctmc, pi0: &[f64], t: f64) -> Vec<f64> {
+    assert!(t.is_finite() && t >= 0.0, "time must be non-negative, got {t}");
+    assert_eq!(pi0.len(), ctmc.num_states(), "distribution length mismatch");
+    if t == 0.0 {
+        return pi0.to_vec();
+    }
+    let max_exit = ctmc.max_exit_rate();
+    if max_exit == 0.0 {
+        return pi0.to_vec(); // no transitions at all
+    }
+    // A little head-room keeps the DTMC aperiodic (self-loop mass > 0).
+    let unif = max_exit * 1.02;
+    let (left, weights) = poisson_weights(unif * t);
+
+    let n = ctmc.num_states();
+    let mut cur = pi0.to_vec();
+    let mut result = vec![0.0f64; n];
+    // Steps 0..left-1: only advance the power; steps left..: accumulate.
+    for (k, _) in weights.iter().enumerate().take(0) {
+        let _ = k; // (loop retained for clarity; accumulation happens below)
+    }
+    let mut step = 0usize;
+    let total_steps = left + weights.len();
+    while step < total_steps {
+        if step >= left {
+            let w = weights[step - left];
+            for i in 0..n {
+                result[i] += w * cur[i];
+            }
+        }
+        step += 1;
+        if step < total_steps {
+            cur = dtmc_step(ctmc, &cur, unif);
+        }
+    }
+    result
+}
+
+/// One step of the uniformized DTMC: `out = cur · (I + Q/Λ)`.
+fn dtmc_step(ctmc: &Ctmc, cur: &[f64], unif: f64) -> Vec<f64> {
+    let n = ctmc.num_states();
+    let mut out = vec![0.0f64; n];
+    for s in 0..n as u32 {
+        let mass = cur[s as usize];
+        if mass == 0.0 {
+            continue;
+        }
+        let exit = ctmc.exit_rate(s);
+        out[s as usize] += mass * (1.0 - exit / unif);
+        for &(r, tgt) in ctmc.row(s) {
+            out[tgt as usize] += mass * r / unif;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state machine point availability:
+    /// A(t) = µ/(λ+µ) + λ/(λ+µ)·e^{-(λ+µ)t}.
+    #[test]
+    fn two_state_transient_matches_closed_form() {
+        let (l, m) = (0.2, 1.5);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        for &t in &[0.0, 0.1, 1.0, 5.0, 50.0] {
+            let pi = transient(&c, t);
+            let a = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
+            assert!((pi[0] - a).abs() < 1e-10, "t={t}: {} vs {a}", pi[0]);
+        }
+    }
+
+    /// Pure death process: P(absorbed by t) = 1 - e^{-λt}.
+    #[test]
+    fn exponential_absorption() {
+        let l = 0.37;
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![]], vec![0, 1], 0).unwrap();
+        let pi = transient(&c, 2.0);
+        assert!((pi[1] - (1.0 - (-l * 2.0f64).exp())).abs() < 1e-12);
+    }
+
+    /// Erlang-3 absorption time: P(done by t) follows the Erlang CDF.
+    #[test]
+    fn erlang_chain() {
+        let r = 2.0;
+        let c = Ctmc::new(
+            vec![vec![(r, 1)], vec![(r, 2)], vec![(r, 3)], vec![]],
+            vec![0, 0, 0, 1],
+            0,
+        )
+        .unwrap();
+        let t = 1.3;
+        let pi = transient(&c, t);
+        // Erlang-3 CDF = 1 - e^{-rt}(1 + rt + (rt)^2/2)
+        let x = r * t;
+        let expected = 1.0 - (-x).exp() * (1.0 + x + x * x / 2.0);
+        assert!((pi[3] - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn long_horizon_converges_to_steady_state() {
+        let (l, m) = (0.2, 1.5);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let pi = transient(&c, 1e4);
+        let steady = crate::steady::steady_state(&c);
+        assert!((pi[0] - steady[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_stays_normalized() {
+        let c = Ctmc::new(
+            vec![vec![(1.0, 1), (2.0, 2)], vec![(0.5, 2)], vec![(3.0, 0)]],
+            vec![0, 0, 0],
+            0,
+        )
+        .unwrap();
+        for &t in &[0.3, 3.0, 30.0] {
+            let pi = transient(&c, t);
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let c = Ctmc::new(vec![vec![]], vec![0], 0).unwrap();
+        let _ = transient(&c, -1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Interned action names.
+//!
+//! All automata of one model share a single [`Alphabet`] so that action
+//! identity (used for synchronization in parallel composition) is a cheap
+//! integer comparison.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an action interned in an [`Alphabet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(pub u32);
+
+impl ActionId {
+    /// The raw index of the action.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An interner mapping action names to dense [`ActionId`]s and back.
+///
+/// # Example
+///
+/// ```
+/// use ioimc::Alphabet;
+/// let mut ab = Alphabet::new();
+/// let a = ab.intern("pp.failed");
+/// assert_eq!(ab.intern("pp.failed"), a);
+/// assert_eq!(ab.name(a), "pp.failed");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, ActionId>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing id if already interned).
+    pub fn intern(&mut self, name: &str) -> ActionId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = ActionId(
+            u32::try_from(self.names.len()).expect("more than u32::MAX actions interned"),
+        );
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned action by name.
+    pub fn lookup(&self, name: &str) -> Option<ActionId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this alphabet.
+    pub fn name(&self, id: ActionId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned actions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no action has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (ActionId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ActionId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(ab.intern("a"), a);
+        assert_eq!(ab.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut ab = Alphabet::new();
+        let id = ab.intern("x.failed.m1");
+        assert_eq!(ab.name(id), "x.failed.m1");
+        assert_eq!(ab.lookup("x.failed.m1"), Some(id));
+        assert_eq!(ab.lookup("nope"), None);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut ab = Alphabet::new();
+        ab.intern("a");
+        ab.intern("b");
+        let names: Vec<_> = ab.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(!ab.is_empty());
+    }
+}

@@ -1,0 +1,320 @@
+//! The I/O-IMC automaton type.
+
+use crate::alphabet::ActionId;
+
+/// Index of a state in an [`IoImc`].
+pub type StateId = u32;
+
+/// A state label: a bitmask of atomic propositions.
+///
+/// Arcade uses bit 0 for "system down" (set by the observer component);
+/// other bits are free for user-defined propositions. Labels of composed
+/// states are the bitwise OR of the component labels.
+pub type StateLabel = u64;
+
+/// The three kinds of interactive actions of an I/O-IMC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// `a?` — controlled by the environment; input-enabled in every state.
+    Input,
+    /// `a!` — controlled by the automaton; cannot be delayed (urgent).
+    Output,
+    /// `a;` — invisible; cannot be delayed (urgent).
+    Internal,
+}
+
+/// An Input/Output Interactive Markov Chain.
+///
+/// Immutable after construction (see [`crate::builder::IoImcBuilder`]); the
+/// transformation functions in this crate ([`crate::compose::parallel`],
+/// [`crate::hide::hide_outputs`], …) return new automata.
+///
+/// Invariants (checked by [`crate::validate::validate`]):
+///
+/// * the input, output and internal action sets are disjoint and sorted,
+/// * every transition's action belongs to the signature,
+/// * every state has at least one transition for every input action
+///   (input-enabledness),
+/// * all Markovian rates are finite and strictly positive,
+/// * all transition targets are valid states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoImc {
+    pub(crate) initial: StateId,
+    pub(crate) inputs: Vec<ActionId>,
+    pub(crate) outputs: Vec<ActionId>,
+    pub(crate) internals: Vec<ActionId>,
+    /// Per-state interactive transitions `(action, target)`, sorted.
+    pub(crate) interactive: Vec<Vec<(ActionId, StateId)>>,
+    /// Per-state Markovian transitions `(rate, target)`.
+    pub(crate) markovian: Vec<Vec<(f64, StateId)>>,
+    pub(crate) labels: Vec<StateLabel>,
+}
+
+impl IoImc {
+    /// Assembles an I/O-IMC from parts without validation.
+    ///
+    /// Prefer [`crate::builder::IoImcBuilder`]; this is the escape hatch used
+    /// by the transformation passes. Signature sets must be sorted and
+    /// disjoint and `interactive`, `markovian`, `labels` must have one entry
+    /// per state.
+    pub fn from_parts_unchecked(
+        initial: StateId,
+        inputs: Vec<ActionId>,
+        outputs: Vec<ActionId>,
+        internals: Vec<ActionId>,
+        interactive: Vec<Vec<(ActionId, StateId)>>,
+        markovian: Vec<Vec<(f64, StateId)>>,
+        labels: Vec<StateLabel>,
+    ) -> Self {
+        debug_assert_eq!(interactive.len(), markovian.len());
+        debug_assert_eq!(interactive.len(), labels.len());
+        Self {
+            initial,
+            inputs,
+            outputs,
+            internals,
+            interactive,
+            markovian,
+            labels,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.interactive.len()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Sorted input action set.
+    pub fn inputs(&self) -> &[ActionId] {
+        &self.inputs
+    }
+
+    /// Sorted output action set.
+    pub fn outputs(&self) -> &[ActionId] {
+        &self.outputs
+    }
+
+    /// Sorted internal action set.
+    pub fn internals(&self) -> &[ActionId] {
+        &self.internals
+    }
+
+    /// The kind of `a` in this automaton's signature, if present.
+    pub fn kind_of(&self, a: ActionId) -> Option<ActionKind> {
+        if self.inputs.binary_search(&a).is_ok() {
+            Some(ActionKind::Input)
+        } else if self.outputs.binary_search(&a).is_ok() {
+            Some(ActionKind::Output)
+        } else if self.internals.binary_search(&a).is_ok() {
+            Some(ActionKind::Internal)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `a` is a *visible* action (input or output) of this automaton.
+    ///
+    /// Visible actions are the ones that synchronize in parallel composition.
+    pub fn is_visible(&self, a: ActionId) -> bool {
+        matches!(
+            self.kind_of(a),
+            Some(ActionKind::Input) | Some(ActionKind::Output)
+        )
+    }
+
+    /// Whether `a` is urgent (output or internal): urgent actions cannot be
+    /// delayed, so an enabled urgent action preempts Markovian transitions
+    /// (maximal progress).
+    pub fn is_urgent(&self, a: ActionId) -> bool {
+        matches!(
+            self.kind_of(a),
+            Some(ActionKind::Output) | Some(ActionKind::Internal)
+        )
+    }
+
+    /// Interactive transitions of `s` as `(action, target)` pairs.
+    pub fn interactive_from(&self, s: StateId) -> &[(ActionId, StateId)] {
+        &self.interactive[s as usize]
+    }
+
+    /// Markovian transitions of `s` as `(rate, target)` pairs.
+    pub fn markovian_from(&self, s: StateId) -> &[(f64, StateId)] {
+        &self.markovian[s as usize]
+    }
+
+    /// The label of state `s`.
+    pub fn label(&self, s: StateId) -> StateLabel {
+        self.labels[s as usize]
+    }
+
+    /// All state labels.
+    pub fn labels(&self) -> &[StateLabel] {
+        &self.labels
+    }
+
+    /// Whether state `s` has an enabled urgent (output or internal)
+    /// transition. Such states are *unstable*: time cannot pass in them.
+    pub fn is_unstable(&self, s: StateId) -> bool {
+        self.interactive[s as usize]
+            .iter()
+            .any(|&(a, _)| self.is_urgent(a))
+    }
+
+    /// Total exit rate of state `s` (sum of Markovian rates).
+    pub fn exit_rate(&self, s: StateId) -> f64 {
+        self.markovian[s as usize].iter().map(|&(r, _)| r).sum()
+    }
+
+    /// Total number of interactive transitions.
+    pub fn num_interactive(&self) -> usize {
+        self.interactive.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of Markovian transitions.
+    pub fn num_markovian(&self) -> usize {
+        self.markovian.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of transitions (interactive + Markovian).
+    pub fn num_transitions(&self) -> usize {
+        self.num_interactive() + self.num_markovian()
+    }
+
+    /// Iterates over all interactive transitions as `(src, action, tgt)`.
+    pub fn iter_interactive(&self) -> impl Iterator<Item = (StateId, ActionId, StateId)> + '_ {
+        self.interactive
+            .iter()
+            .enumerate()
+            .flat_map(|(s, ts)| ts.iter().map(move |&(a, t)| (s as StateId, a, t)))
+    }
+
+    /// Iterates over all Markovian transitions as `(src, rate, tgt)`.
+    pub fn iter_markovian(&self) -> impl Iterator<Item = (StateId, f64, StateId)> + '_ {
+        self.markovian
+            .iter()
+            .enumerate()
+            .flat_map(|(s, ts)| ts.iter().map(move |&(r, t)| (s as StateId, r, t)))
+    }
+
+    /// Returns a copy with the given state labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != self.num_states()`.
+    pub fn with_labels(mut self, labels: Vec<StateLabel>) -> Self {
+        assert_eq!(labels.len(), self.num_states(), "label count mismatch");
+        self.labels = labels;
+        self
+    }
+
+    /// Normalizes transition storage: deduplicates identical interactive
+    /// transitions, merges parallel Markovian transitions to the same
+    /// target by summing their rates, and drops Markovian self-loops
+    /// (an exponential race against oneself is unobservable — CTMC
+    /// generators cancel self-loops).
+    pub fn normalize(&mut self) {
+        for ts in &mut self.interactive {
+            ts.sort_unstable();
+            ts.dedup();
+        }
+        for (s, ts) in self.markovian.iter_mut().enumerate() {
+            ts.retain(|&(_, t)| t as usize != s);
+            ts.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.total_cmp(&b.0)));
+            let mut out: Vec<(f64, StateId)> = Vec::with_capacity(ts.len());
+            for &(r, t) in ts.iter() {
+                match out.last_mut() {
+                    Some(last) if last.1 == t => last.0 += r,
+                    _ => out.push((r, t)),
+                }
+            }
+            *ts = out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IoImcBuilder;
+    use crate::Alphabet;
+
+    fn two_state() -> (Alphabet, IoImc) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let mut bld = IoImcBuilder::new();
+        bld.set_inputs([a]).set_outputs([b]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        bld.interactive(s0, a, s1)
+            .interactive(s1, b, s0)
+            .markovian(s0, 2.5, s1);
+        let imc = bld.complete_inputs().build().unwrap();
+        (ab, imc)
+    }
+
+    #[test]
+    fn signature_queries() {
+        let (mut ab, imc) = two_state();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let c = ab.intern("c");
+        assert_eq!(imc.kind_of(a), Some(ActionKind::Input));
+        assert_eq!(imc.kind_of(b), Some(ActionKind::Output));
+        assert_eq!(imc.kind_of(c), None);
+        assert!(imc.is_visible(a) && imc.is_visible(b));
+        assert!(imc.is_urgent(b) && !imc.is_urgent(a));
+    }
+
+    #[test]
+    fn stability_and_rates() {
+        let (_, imc) = two_state();
+        assert!(!imc.is_unstable(0)); // only input + markovian enabled
+        assert!(imc.is_unstable(1)); // output b! enabled
+        assert!((imc.exit_rate(0) - 2.5).abs() < 1e-12);
+        assert_eq!(imc.exit_rate(1), 0.0);
+    }
+
+    #[test]
+    fn counts_and_iterators() {
+        let (_, imc) = two_state();
+        // a-self-loop added on s1 by complete_inputs
+        assert_eq!(imc.num_interactive(), 3);
+        assert_eq!(imc.num_markovian(), 1);
+        assert_eq!(imc.num_transitions(), 4);
+        assert_eq!(imc.iter_interactive().count(), 3);
+        assert_eq!(imc.iter_markovian().count(), 1);
+    }
+
+    #[test]
+    fn normalize_merges_parallel_markovian() {
+        let mut ab = Alphabet::new();
+        let _ = ab.intern("x");
+        let mut bld = IoImcBuilder::new();
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        bld.markovian(s0, 1.0, s1).markovian(s0, 2.0, s1);
+        let mut imc = bld.build().unwrap();
+        imc.normalize();
+        assert_eq!(imc.markovian_from(0), &[(3.0, 1)]);
+    }
+
+    #[test]
+    fn with_labels_replaces() {
+        let (_, imc) = two_state();
+        let relabeled = imc.with_labels(vec![0, 1]);
+        assert_eq!(relabeled.label(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn with_labels_wrong_len_panics() {
+        let (_, imc) = two_state();
+        let _ = imc.with_labels(vec![0]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Graphviz (DOT) export.
+//!
+//! The rendering conventions mirror the paper's figures: Markovian
+//! transitions dashed, interactive transitions solid, input actions suffixed
+//! `?`, outputs `!`, internals `;`.
+
+use std::fmt::Write as _;
+
+use crate::alphabet::Alphabet;
+use crate::automaton::{ActionKind, IoImc};
+
+/// Renders `imc` to DOT. `name` becomes the digraph name; state labels with
+/// bit 0 set (Arcade's "down" proposition) are drawn shaded.
+pub fn to_dot(imc: &IoImc, alphabet: &Alphabet, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR; node [shape=circle];");
+    let _ = writeln!(out, "  init [shape=point];");
+    let _ = writeln!(out, "  init -> s{};", imc.initial());
+    for s in 0..imc.num_states() as u32 {
+        let style = if imc.label(s) & 1 != 0 {
+            " style=filled fillcolor=lightgray"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  s{s} [label=\"{s}\"{style}];");
+    }
+    for (s, a, t) in imc.iter_interactive() {
+        let suffix = match imc.kind_of(a) {
+            Some(ActionKind::Input) => "?",
+            Some(ActionKind::Output) => "!",
+            Some(ActionKind::Internal) => ";",
+            None => "",
+        };
+        let _ = writeln!(
+            out,
+            "  s{s} -> s{t} [label=\"{}{suffix}\"];",
+            alphabet.name(a)
+        );
+    }
+    for (s, r, t) in imc.iter_markovian() {
+        let _ = writeln!(out, "  s{s} -> s{t} [label=\"{r}\", style=dashed];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IoImcBuilder;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("fail");
+        let mut b = IoImcBuilder::new();
+        b.set_outputs([a]);
+        let s0 = b.add_state();
+        let s1 = b.add_labeled_state(1);
+        b.markovian(s0, 2.0, s1).interactive(s1, a, s0);
+        let imc = b.build().unwrap();
+        let dot = to_dot(&imc, &ab, "test");
+        assert!(dot.contains("digraph \"test\""));
+        assert!(dot.contains("fail!"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("fillcolor=lightgray"));
+        assert!(dot.contains("init -> s0"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Hiding and input pruning.
+
+use crate::alphabet::ActionId;
+use crate::automaton::IoImc;
+
+/// `hide A in P`: turns the output actions in `actions` into internal
+/// actions, so that no further synchronization over them is possible.
+///
+/// Actions in the set that are not outputs of `imc` are ignored (this makes
+/// it convenient to hide "everything the remaining modules do not listen
+/// to"). The transition relation is unchanged; only the signature moves.
+pub fn hide_outputs(imc: &IoImc, actions: &[ActionId]) -> IoImc {
+    let mut hidden: Vec<ActionId> = actions
+        .iter()
+        .copied()
+        .filter(|a| imc.outputs().binary_search(a).is_ok())
+        .collect();
+    hidden.sort_unstable();
+    hidden.dedup();
+    if hidden.is_empty() {
+        return imc.clone();
+    }
+    let outputs: Vec<ActionId> = imc
+        .outputs()
+        .iter()
+        .copied()
+        .filter(|a| hidden.binary_search(a).is_err())
+        .collect();
+    let mut internals: Vec<ActionId> = imc.internals().iter().copied().chain(hidden).collect();
+    internals.sort_unstable();
+    internals.dedup();
+    IoImc::from_parts_unchecked(
+        imc.initial(),
+        imc.inputs().to_vec(),
+        outputs,
+        internals,
+        (0..imc.num_states() as u32)
+            .map(|s| imc.interactive_from(s).to_vec())
+            .collect(),
+        (0..imc.num_states() as u32)
+            .map(|s| imc.markovian_from(s).to_vec())
+            .collect(),
+        imc.labels().to_vec(),
+    )
+}
+
+/// Removes input actions that can never be driven because no remaining
+/// automaton outputs them ("closing" the inputs).
+///
+/// All transitions labeled with a pruned input are deleted — they can never
+/// fire in the closed system — and the actions leave the signature.
+pub fn prune_inputs(imc: &IoImc, actions: &[ActionId]) -> IoImc {
+    let mut pruned: Vec<ActionId> = actions
+        .iter()
+        .copied()
+        .filter(|a| imc.inputs().binary_search(a).is_ok())
+        .collect();
+    pruned.sort_unstable();
+    pruned.dedup();
+    if pruned.is_empty() {
+        return imc.clone();
+    }
+    let inputs: Vec<ActionId> = imc
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|a| pruned.binary_search(a).is_err())
+        .collect();
+    let interactive = (0..imc.num_states() as u32)
+        .map(|s| {
+            imc.interactive_from(s)
+                .iter()
+                .copied()
+                .filter(|(a, _)| pruned.binary_search(a).is_err())
+                .collect()
+        })
+        .collect();
+    IoImc::from_parts_unchecked(
+        imc.initial(),
+        inputs,
+        imc.outputs().to_vec(),
+        imc.internals().to_vec(),
+        interactive,
+        (0..imc.num_states() as u32)
+            .map(|s| imc.markovian_from(s).to_vec())
+            .collect(),
+        imc.labels().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IoImcBuilder;
+    use crate::{ActionKind, Alphabet};
+
+    fn sample(ab: &mut Alphabet) -> (ActionId, ActionId, IoImc) {
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let mut bld = IoImcBuilder::new();
+        bld.set_inputs([a]).set_outputs([b]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        bld.interactive(s0, a, s1).interactive(s1, b, s0);
+        (a, b, bld.complete_inputs().build().unwrap())
+    }
+
+    #[test]
+    fn hide_moves_output_to_internal() {
+        let mut ab = Alphabet::new();
+        let (_, b, imc) = sample(&mut ab);
+        let h = hide_outputs(&imc, &[b]);
+        assert_eq!(h.kind_of(b), Some(ActionKind::Internal));
+        assert!(h.outputs().is_empty());
+        assert_eq!(h.num_transitions(), imc.num_transitions());
+    }
+
+    #[test]
+    fn hide_ignores_non_outputs() {
+        let mut ab = Alphabet::new();
+        let (a, _, imc) = sample(&mut ab);
+        let h = hide_outputs(&imc, &[a]);
+        assert_eq!(h, imc);
+    }
+
+    #[test]
+    fn prune_removes_input_transitions() {
+        let mut ab = Alphabet::new();
+        let (a, _, imc) = sample(&mut ab);
+        let p = prune_inputs(&imc, &[a]);
+        assert!(p.inputs().is_empty());
+        assert!(p
+            .iter_interactive()
+            .all(|(_, act, _)| act != a));
+    }
+}

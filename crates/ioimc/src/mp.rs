@@ -1,0 +1,68 @@
+//! Maximal progress.
+//!
+//! Output and internal actions of an I/O-IMC "cannot be delayed" (paper §2):
+//! when such an action is enabled it fires immediately, so the exponential
+//! races of the same state can never win. The *maximal-progress cut* removes
+//! Markovian transitions from every unstable state. Applying the cut before
+//! bisimulation reduction is sound and often shrinks the model.
+
+use crate::automaton::IoImc;
+
+/// Removes all Markovian transitions from states with an enabled urgent
+/// (output or internal) transition. Returns the number of transitions
+/// removed.
+pub fn maximal_progress_cut(imc: &mut IoImc) -> usize {
+    let mut removed = 0;
+    for s in 0..imc.num_states() as u32 {
+        if imc.is_unstable(s) {
+            let ts = &mut imc.markovian[s as usize];
+            removed += ts.len();
+            ts.clear();
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IoImcBuilder;
+    use crate::Alphabet;
+
+    #[test]
+    fn cut_removes_race_with_output() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let mut bld = IoImcBuilder::new();
+        bld.set_inputs([a]).set_outputs([b]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        let s2 = bld.add_state();
+        // s0 races output b! against rate 1.0
+        bld.interactive(s0, b, s1)
+            .markovian(s0, 1.0, s2)
+            // s1 races input a? against rate 2.0 -- inputs are NOT urgent
+            .interactive(s1, a, s2)
+            .markovian(s1, 2.0, s2);
+        let mut imc = bld.complete_inputs().build().unwrap();
+        let removed = maximal_progress_cut(&mut imc);
+        assert_eq!(removed, 1);
+        assert!(imc.markovian_from(0).is_empty());
+        assert_eq!(imc.markovian_from(1).len(), 1);
+    }
+
+    #[test]
+    fn cut_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let b = ab.intern("b");
+        let mut bld = IoImcBuilder::new();
+        bld.set_outputs([b]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        bld.interactive(s0, b, s1).markovian(s0, 3.0, s1);
+        let mut imc = bld.build().unwrap();
+        assert_eq!(maximal_progress_cut(&mut imc), 1);
+        assert_eq!(maximal_progress_cut(&mut imc), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Reachability restriction.
+
+use crate::automaton::{IoImc, StateId};
+
+/// Restricts `imc` to the states reachable from the initial state and
+/// renumbers them in BFS discovery order (the initial state becomes 0).
+///
+/// Transformation passes such as the maximal-progress cut or input pruning
+/// can disconnect parts of the state space; call this afterwards to keep
+/// state counts honest.
+pub fn restrict_reachable(imc: &IoImc) -> IoImc {
+    let n = imc.num_states();
+    let mut map: Vec<Option<StateId>> = vec![None; n];
+    let mut order: Vec<StateId> = Vec::new();
+    map[imc.initial() as usize] = Some(0);
+    order.push(imc.initial());
+    let mut next = 0usize;
+    while next < order.len() {
+        let s = order[next];
+        next += 1;
+        for &(_, t) in imc.interactive_from(s) {
+            if map[t as usize].is_none() {
+                map[t as usize] = Some(order.len() as StateId);
+                order.push(t);
+            }
+        }
+        for &(_, t) in imc.markovian_from(s) {
+            if map[t as usize].is_none() {
+                map[t as usize] = Some(order.len() as StateId);
+                order.push(t);
+            }
+        }
+    }
+    let remap = |t: StateId| map[t as usize].expect("target of reachable state is reachable");
+    let interactive = order
+        .iter()
+        .map(|&s| {
+            imc.interactive_from(s)
+                .iter()
+                .map(|&(a, t)| (a, remap(t)))
+                .collect()
+        })
+        .collect();
+    let markovian = order
+        .iter()
+        .map(|&s| {
+            imc.markovian_from(s)
+                .iter()
+                .map(|&(r, t)| (r, remap(t)))
+                .collect()
+        })
+        .collect();
+    let labels = order.iter().map(|&s| imc.label(s)).collect();
+    let mut out = IoImc::from_parts_unchecked(
+        0,
+        imc.inputs().to_vec(),
+        imc.outputs().to_vec(),
+        imc.internals().to_vec(),
+        interactive,
+        markovian,
+        labels,
+    );
+    out.normalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IoImcBuilder;
+    use crate::Alphabet;
+
+    #[test]
+    fn drops_unreachable_states() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut bld = IoImcBuilder::new();
+        bld.set_outputs([a]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        let s2 = bld.add_labeled_state(7); // unreachable
+        bld.interactive(s0, a, s1).markovian(s2, 1.0, s0);
+        let imc = bld.build().unwrap();
+        let r = restrict_reachable(&imc);
+        assert_eq!(r.num_states(), 2);
+        assert_eq!(r.initial(), 0);
+        assert!(r.labels().iter().all(|&l| l != 7));
+    }
+
+    #[test]
+    fn identity_on_fully_reachable() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut bld = IoImcBuilder::new();
+        bld.set_outputs([a]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        bld.interactive(s0, a, s1).markovian(s1, 1.0, s0);
+        let imc = bld.build().unwrap();
+        let r = restrict_reachable(&imc);
+        assert_eq!(r, imc);
+    }
+}

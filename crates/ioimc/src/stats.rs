@@ -1,0 +1,103 @@
+//! Size statistics of I/O-IMCs.
+
+use std::fmt;
+
+use crate::automaton::IoImc;
+
+/// State and transition counts of an I/O-IMC; the quantities the paper
+/// reports for the case studies (e.g. "6,522 states and 33,486 transitions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Number of states.
+    pub states: usize,
+    /// Number of interactive transitions.
+    pub interactive: usize,
+    /// Number of Markovian transitions.
+    pub markovian: usize,
+}
+
+impl Stats {
+    /// Collects the statistics of `imc`.
+    pub fn of(imc: &IoImc) -> Self {
+        Self {
+            states: imc.num_states(),
+            interactive: imc.num_interactive(),
+            markovian: imc.num_markovian(),
+        }
+    }
+
+    /// Total transition count.
+    pub fn transitions(&self) -> usize {
+        self.interactive + self.markovian
+    }
+
+    /// Pointwise maximum (used to track the largest intermediate model).
+    pub fn max(self, other: Self) -> Self {
+        if other.states > self.states
+            || (other.states == self.states && other.transitions() > self.transitions())
+        {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions ({} interactive + {} Markovian)",
+            self.states,
+            self.transitions(),
+            self.interactive,
+            self.markovian
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IoImcBuilder;
+    use crate::Alphabet;
+
+    #[test]
+    fn counts_match() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut b = IoImcBuilder::new();
+        b.set_outputs([a]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.interactive(s0, a, s1).markovian(s1, 1.0, s0);
+        let imc = b.build().unwrap();
+        let st = Stats::of(&imc);
+        assert_eq!(
+            st,
+            Stats {
+                states: 2,
+                interactive: 1,
+                markovian: 1
+            }
+        );
+        assert_eq!(st.transitions(), 2);
+        assert!(!st.to_string().is_empty());
+    }
+
+    #[test]
+    fn max_picks_larger() {
+        let a = Stats {
+            states: 10,
+            interactive: 5,
+            markovian: 5,
+        };
+        let b = Stats {
+            states: 12,
+            interactive: 1,
+            markovian: 1,
+        };
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

@@ -1,0 +1,183 @@
+//! Well-formedness checks for I/O-IMCs.
+
+use std::fmt;
+
+use crate::alphabet::ActionId;
+use crate::automaton::{IoImc, StateId};
+
+/// The ways an I/O-IMC can be malformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The automaton has no states.
+    Empty,
+    /// The initial state is out of range.
+    BadInitial(StateId),
+    /// An action appears in two signature sets.
+    OverlappingSignature(ActionId),
+    /// A transition uses an action that is not in the signature.
+    UndeclaredAction {
+        /// The source state of the offending transition.
+        state: StateId,
+        /// The undeclared action.
+        action: ActionId,
+    },
+    /// A transition target is out of range.
+    BadTarget {
+        /// The source state of the offending transition.
+        state: StateId,
+        /// The out-of-range target.
+        target: StateId,
+    },
+    /// A Markovian rate is not finite and strictly positive.
+    BadRate {
+        /// The source state of the offending transition.
+        state: StateId,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A state misses a transition for an input action (not input-enabled).
+    NotInputEnabled {
+        /// The state missing the input transition.
+        state: StateId,
+        /// The input action it misses.
+        action: ActionId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "automaton has no states"),
+            Self::BadInitial(s) => write!(f, "initial state {s} out of range"),
+            Self::OverlappingSignature(a) => {
+                write!(f, "action {a} appears in more than one signature set")
+            }
+            Self::UndeclaredAction { state, action } => {
+                write!(f, "state {state} uses undeclared action {action}")
+            }
+            Self::BadTarget { state, target } => {
+                write!(f, "state {state} has transition to invalid state {target}")
+            }
+            Self::BadRate { state, rate } => {
+                write!(f, "state {state} has invalid markovian rate {rate}")
+            }
+            Self::NotInputEnabled { state, action } => {
+                write!(f, "state {state} is not input-enabled for action {action}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks all [`IoImc`] invariants; see [`ValidationError`] for the list.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn validate(imc: &IoImc) -> Result<(), ValidationError> {
+    let n = imc.num_states();
+    if n == 0 {
+        return Err(ValidationError::Empty);
+    }
+    if imc.initial() as usize >= n {
+        return Err(ValidationError::BadInitial(imc.initial()));
+    }
+    // Signature disjointness: sets are sorted, walk pairwise.
+    for set_pair in [
+        (imc.inputs(), imc.outputs()),
+        (imc.inputs(), imc.internals()),
+        (imc.outputs(), imc.internals()),
+    ] {
+        if let Some(a) = first_common(set_pair.0, set_pair.1) {
+            return Err(ValidationError::OverlappingSignature(a));
+        }
+    }
+    for s in 0..n as StateId {
+        for &(a, t) in imc.interactive_from(s) {
+            if imc.kind_of(a).is_none() {
+                return Err(ValidationError::UndeclaredAction { state: s, action: a });
+            }
+            if t as usize >= n {
+                return Err(ValidationError::BadTarget { state: s, target: t });
+            }
+        }
+        for &(r, t) in imc.markovian_from(s) {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(ValidationError::BadRate { state: s, rate: r });
+            }
+            if t as usize >= n {
+                return Err(ValidationError::BadTarget { state: s, target: t });
+            }
+        }
+        for &a in imc.inputs() {
+            if !imc.interactive_from(s).iter().any(|&(b, _)| b == a) {
+                return Err(ValidationError::NotInputEnabled { state: s, action: a });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn first_common(a: &[ActionId], b: &[ActionId]) -> Option<ActionId> {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return Some(a[i]),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IoImcBuilder;
+    use crate::Alphabet;
+
+    #[test]
+    fn valid_automaton_passes() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut b = IoImcBuilder::new();
+        b.set_inputs([a]);
+        let s = b.add_state();
+        b.interactive(s, a, s);
+        let imc = b.build().unwrap();
+        assert!(validate(&imc).is_ok());
+    }
+
+    #[test]
+    fn bad_initial_detected() {
+        let imc = IoImc::from_parts_unchecked(5, vec![], vec![], vec![], vec![vec![]], vec![vec![]], vec![0]);
+        assert_eq!(validate(&imc), Err(ValidationError::BadInitial(5)));
+    }
+
+    #[test]
+    fn bad_target_detected() {
+        let imc = IoImc::from_parts_unchecked(
+            0,
+            vec![],
+            vec![],
+            vec![],
+            vec![vec![]],
+            vec![vec![(1.0, 7)]],
+            vec![0],
+        );
+        assert_eq!(
+            validate(&imc),
+            Err(ValidationError::BadTarget { state: 0, target: 7 })
+        );
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = ValidationError::NotInputEnabled {
+            state: 3,
+            action: ActionId(1),
+        };
+        assert!(!e.to_string().is_empty());
+    }
+}

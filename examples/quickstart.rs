@@ -1,0 +1,63 @@
+//! Quickstart: two redundant processors with a shared FCFS repair unit.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! This is the "simple example" of the paper's §3.4: a system of two
+//! redundant processors that fails iff both processors are down, evaluated
+//! for steady-state availability, reliability and MTTF — and cross-checked
+//! against the closed-form answers.
+
+use arcade::prelude::*;
+
+fn main() -> Result<(), ArcadeError> {
+    let lambda = 1.0 / 2000.0; // failures per hour
+    let mu = 1.0; // repairs per hour
+
+    let mut sys = SystemDef::new("redundant-pair");
+    for name in ["p1", "p2"] {
+        sys.add_component(BcDef::new(name, Dist::exp(lambda), Dist::exp(mu)));
+    }
+    sys.add_repair_unit(RuDef::new("rep", ["p1", "p2"], RepairStrategy::Fcfs));
+    sys.set_system_down(Expr::and([Expr::down("p1"), Expr::down("p2")]));
+
+    let report = Analysis::new(&sys)?.run()?;
+
+    println!("=== redundant processor pair ===");
+    println!("final CTMC: {}", report.ctmc_stats());
+    println!(
+        "largest intermediate I/O-IMC: {}",
+        report.largest_intermediate()
+    );
+    println!();
+    println!(
+        "steady-state availability  A      = {:.12}",
+        report.steady_state_availability()
+    );
+    println!(
+        "steady-state unavailability 1-A   = {:.6e}",
+        report.steady_state_unavailability()
+    );
+    for &t in &[100.0, 1000.0, 10_000.0] {
+        println!(
+            "reliability (no repair)  R({t:>6}) = {:.6}",
+            report.reliability(t)
+        );
+    }
+    println!("mean time to failure      MTTF    = {:.1} h", report.mttf());
+
+    // Cross-check against closed forms.
+    let r_expected = |t: f64| {
+        // two independent exp(λ) units, system fails when both are down:
+        // R(t) = 1 - (1 - e^{-λt})²
+        let p = 1.0 - (-lambda * t).exp();
+        1.0 - p * p
+    };
+    let t = 1000.0;
+    assert!((report.reliability(t) - r_expected(t)).abs() < 1e-9);
+    // MTTF with a single shared repairman: (3λ + µ) / (2λ²)
+    let mttf_expected = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+    assert!((report.mttf() - mttf_expected).abs() / mttf_expected < 1e-6);
+    println!();
+    println!("closed-form cross-checks passed.");
+    Ok(())
+}

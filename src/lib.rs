@@ -1,0 +1,13 @@
+//! Umbrella crate for the Arcade reproduction workspace.
+//!
+//! Re-exports the four library crates so that examples and integration tests
+//! can use a single dependency:
+//!
+//! * [`ioimc`] — the Input/Output Interactive Markov Chain formalism,
+//! * [`bisim`] — bisimulation minimization,
+//! * [`ctmc`]  — continuous-time Markov chain solvers,
+//! * [`arcade`] — the Arcade modeling language and analysis engine.
+pub use arcade;
+pub use bisim;
+pub use ctmc;
+pub use ioimc;

@@ -1,0 +1,68 @@
+//! Regression tests pinning the reproduced paper numbers, so that
+//! `cargo test` itself guards the headline results (the `exp_*` binaries
+//! regenerate and print them).
+
+use arcade::cases::dds::{dds, FIVE_WEEKS_H};
+use arcade::cases::rcs::rcs;
+use arcade::engine::{aggregate, EngineOptions};
+use arcade::model::SystemModel;
+use arcade::modular::modular_analysis;
+
+/// Table 1: A = 0.999997, R(5 weeks) = 0.402018 (modular analysis —
+/// fast enough for the debug-profile test suite).
+#[test]
+fn table1_dds_measures() {
+    let m = modular_analysis(&dds(), &EngineOptions::new()).expect("DDS analysis");
+    let a = m.steady_state_availability();
+    let r = m.reliability(FIVE_WEEKS_H);
+    assert!(
+        (a - 0.999997).abs() < 5e-7,
+        "availability {a} drifted from the paper's 0.999997"
+    );
+    assert!(
+        (r - 0.402018).abs() < 5e-6,
+        "reliability {r} drifted from the paper's 0.402018"
+    );
+}
+
+/// §5.1.2: the full monolithic aggregation of the DDS yields exactly the
+/// paper's 2,100-state / 15,120-transition CTMC.
+#[test]
+fn dds_final_ctmc_is_exactly_the_papers() {
+    let model = SystemModel::build(&dds()).expect("DDS model");
+    let agg = aggregate(&model, &EngineOptions::new()).expect("aggregation");
+    assert_eq!(agg.ctmc_stats.states, 2_100, "CTMC states");
+    assert_eq!(agg.ctmc_stats.transitions(), 15_120, "CTMC transitions");
+    // the peak stays in the paper's ballpark (they report 6,522)
+    assert!(
+        agg.largest_intermediate.states < 50_000,
+        "peak {} states — the hierarchical plan regressed",
+        agg.largest_intermediate.states
+    );
+}
+
+/// §5.2.2: the RCS modularizes into the paper's two subsystems and the
+/// 50-hour measures stay within the inventory-uncertainty band
+/// (paper: 6.52100e-10 unavailability, 5.29242e-9 unreliability).
+#[test]
+fn rcs_measures_within_inventory_band() {
+    let m = modular_analysis(&rcs(), &EngineOptions::new()).expect("RCS analysis");
+    assert_eq!(m.modules.len(), 2, "pump + heat-exchanger subsystems");
+    let ua = m.point_unavailability(50.0);
+    let ur = m.unreliability_with_repair(50.0);
+    let ratio_a = ua / 6.52100e-10;
+    let ratio_r = ur / 5.29242e-9;
+    assert!(
+        (0.5..2.0).contains(&ratio_a),
+        "unavailability {ua} left the band (x{ratio_a:.2})"
+    );
+    assert!(
+        (0.5..2.0).contains(&ratio_r),
+        "unreliability {ur} left the band (x{ratio_r:.2})"
+    );
+    // the two measures must drift together (inventory, not semantics)
+    assert!(
+        (ratio_a - ratio_r).abs() < 0.05,
+        "measures drifted apart: x{ratio_a:.2} vs x{ratio_r:.2}"
+    );
+}

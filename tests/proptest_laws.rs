@@ -1,0 +1,179 @@
+//! Property-based tests of the algebraic laws the Arcade pipeline relies
+//! on: composition laws of the I/O-IMC calculus, soundness of the
+//! reductions, and agreement between the exact engine and the analytic
+//! evaluator on randomly generated models.
+
+use proptest::prelude::*;
+
+use arcade::analytic;
+use arcade::prelude::*;
+use bisim::pipeline::{equivalent, reduce, ReduceOptions, Strategy as Equivalence};
+use ioimc::builder::IoImcBuilder;
+use ioimc::compose::parallel;
+use ioimc::{ActionId, IoImc};
+
+/// Strategy: a small random I/O-IMC over a fixed 4-action alphabet
+/// (1 input, 1 output chosen from two depending on `flip`, internal tau).
+fn arb_ioimc(outputs_from: [u32; 2]) -> impl Strategy<Value = IoImc> {
+    let n_states = 2usize..5;
+    (
+        n_states,
+        proptest::collection::vec((0u32..5, 0u32..4, 0u32..5), 0..10),
+        proptest::collection::vec((0u32..5, 1u32..4, 0u32..5), 0..6),
+        any::<bool>(),
+    )
+        .prop_map(move |(n, inter, mark, flip)| {
+            let input = ActionId(0);
+            let output = ActionId(outputs_from[usize::from(flip)]);
+            let tau = ActionId(3);
+            let mut b = IoImcBuilder::new();
+            b.set_inputs([input]).set_outputs([output]).set_internals([tau]);
+            for _ in 0..n {
+                b.add_state();
+            }
+            let n = n as u32;
+            for (s, a, t) in inter {
+                let act = match a {
+                    0 => input,
+                    1 | 2 => output,
+                    _ => tau,
+                };
+                b.interactive(s % n, act, t % n);
+            }
+            for (s, r, t) in mark {
+                b.markovian(s % n, f64::from(r), t % n);
+            }
+            b.complete_inputs().build().expect("generated automaton is valid")
+        })
+}
+
+fn tau() -> ActionId {
+    // The generators above reserve id 3 for tau; reductions reuse it.
+    ActionId(3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `a || b` and `b || a` are strongly bisimilar.
+    #[test]
+    fn composition_commutes(a in arb_ioimc([1, 1]), b in arb_ioimc([2, 2])) {
+        let ab = parallel(&a, &b).expect("compose");
+        let ba = parallel(&b, &a).expect("compose");
+        let opts = ReduceOptions { strategy: Equivalence::Strong, tau: tau() };
+        prop_assert!(equivalent(&ab, &ba, &opts));
+    }
+
+    /// Branching reduction preserves branching equivalence.
+    #[test]
+    fn reduction_is_sound(a in arb_ioimc([1, 1])) {
+        let opts = ReduceOptions { strategy: Equivalence::Branching, tau: tau() };
+        let red = reduce(&a, &opts).imc;
+        prop_assert!(equivalent(&a, &red, &opts));
+    }
+
+    /// Reduction is idempotent (a second pass changes nothing).
+    #[test]
+    fn reduction_is_idempotent(a in arb_ioimc([1, 2])) {
+        let opts = ReduceOptions { strategy: Equivalence::Branching, tau: tau() };
+        let once = reduce(&a, &opts).imc;
+        let twice = reduce(&once, &opts).imc;
+        prop_assert_eq!(once.num_states(), twice.num_states());
+        prop_assert_eq!(once.num_transitions(), twice.num_transitions());
+    }
+
+    /// Branching never reduces less than strong bisimulation.
+    #[test]
+    fn branching_at_least_as_coarse(a in arb_ioimc([1, 2])) {
+        let strong = reduce(&a, &ReduceOptions { strategy: Equivalence::Strong, tau: tau() }).imc;
+        let branching = reduce(&a, &ReduceOptions { strategy: Equivalence::Branching, tau: tau() }).imc;
+        prop_assert!(branching.num_states() <= strong.num_states());
+    }
+
+    /// Reducing before composing gives an equivalent result to composing
+    /// before reducing — the essence of compositional aggregation.
+    #[test]
+    fn reduce_then_compose_equals_compose_then_reduce(
+        a in arb_ioimc([1, 1]),
+        b in arb_ioimc([2, 2]),
+    ) {
+        let opts = ReduceOptions { strategy: Equivalence::Branching, tau: tau() };
+        let composed_first = parallel(&a, &b).expect("compose");
+        let ra = reduce(&a, &opts).imc;
+        let rb = reduce(&b, &opts).imc;
+        let reduced_first = parallel(&ra, &rb).expect("compose");
+        prop_assert!(equivalent(&composed_first, &reduced_first, &opts));
+    }
+}
+
+/// Random series-parallel dependability models: the exact engine must
+/// agree with the analytic independent-component evaluation (valid because
+/// repair is dedicated and components appear once).
+fn arb_system() -> impl Strategy<Value = (SystemDef, f64)> {
+    let comp = (1u32..50, 1u32..20);
+    (proptest::collection::vec(comp, 2..5), 0u8..3, 1u32..100).prop_map(
+        |(comps, shape, t)| {
+            let mut def = SystemDef::new("prop");
+            let mut lits = Vec::new();
+            for (i, (lam, mu)) in comps.iter().enumerate() {
+                let name = format!("c{i}");
+                def.add_component(BcDef::new(
+                    &name,
+                    Dist::exp(f64::from(*lam) * 1e-3),
+                    Dist::exp(f64::from(*mu) * 0.1),
+                ));
+                def.add_repair_unit(RuDef::new(
+                    format!("{name}.rep"),
+                    [name.clone()],
+                    RepairStrategy::Dedicated,
+                ));
+                lits.push(Expr::down(name));
+            }
+            let n = lits.len() as u32;
+            let expr = match shape {
+                0 => Expr::Or(lits),
+                1 => Expr::And(lits),
+                _ => Expr::KofN(n.div_ceil(2), lits),
+            };
+            def.set_system_down(expr);
+            (def, f64::from(t))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine == analytic on independent systems, for availability and
+    /// no-repair reliability.
+    #[test]
+    fn engine_matches_analytic((def, t) in arb_system()) {
+        let report = Analysis::new(&def).expect("valid").run().expect("analysis");
+        let a_engine = report.steady_state_unavailability();
+        let a_analytic = analytic::independent_unavailability(&def).expect("analytic");
+        prop_assert!(
+            (a_engine - a_analytic).abs() < 1e-9,
+            "availability: engine {} vs analytic {}", a_engine, a_analytic
+        );
+        let r_engine = report.unreliability(t);
+        let r_analytic = analytic::static_unreliability(&def.without_repair(), t).expect("analytic");
+        prop_assert!(
+            (r_engine - r_analytic).abs() < 1e-8,
+            "unreliability({}): engine {} vs analytic {}", t, r_engine, r_analytic
+        );
+    }
+
+    /// Measures are proper probabilities and consistent with each other.
+    #[test]
+    fn measures_are_probabilities((def, t) in arb_system()) {
+        let report = Analysis::new(&def).expect("valid").run().expect("analysis");
+        let a = report.steady_state_availability();
+        prop_assert!((0.0..=1.0).contains(&a));
+        let r1 = report.reliability(t);
+        let r2 = report.reliability(t * 2.0);
+        prop_assert!((0.0..=1.0).contains(&r1));
+        prop_assert!(r2 <= r1 + 1e-12, "reliability must be non-increasing");
+        // first passage with repair never exceeds no-repair unreliability
+        prop_assert!(report.unreliability_with_repair(t) <= report.unreliability(t) + 1e-9);
+    }
+}
