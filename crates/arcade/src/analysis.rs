@@ -1,18 +1,25 @@
-//! High-level analysis API.
+//! High-level analysis API — a compatibility wrapper over the query
+//! engine.
 //!
-//! [`Analysis`] bundles the whole Arcade pipeline: elaborate the model,
-//! run compositional aggregation for the *availability* configuration
-//! (repairs active) and for the *reliability* configuration (no repairs,
-//! following the paper's definition for Table 1), and expose the measures.
+//! [`Analysis`] bundles the whole Arcade pipeline the way the first
+//! version of this crate did: elaborate the model, run compositional
+//! aggregation for the *availability* configuration (repairs active) and
+//! for the *reliability* configuration (no repairs, following the paper's
+//! definition for Table 1), and expose the measures. Since the
+//! introduction of [`crate::query`], both `Analysis` and
+//! [`AnalysisReport`] are thin wrappers over a [`Session`]: `run()`
+//! forces both configurations eagerly (preserving the old semantics),
+//! and every measure method delegates to the session, which memoizes the
+//! steady-state vector, down-state lists and absorbing chains across
+//! calls. New code that wants lazy configuration building or batched
+//! curves should use [`Session`] directly.
 
-use ctmc::measures;
 use ioimc::Stats;
 
 use crate::ast::SystemDef;
-use crate::build::observer::DOWN_BIT;
-use crate::engine::{aggregate, Aggregation, EngineOptions};
+use crate::engine::{Aggregation, EngineOptions};
 use crate::error::ArcadeError;
-use crate::model::SystemModel;
+use crate::query::{Measure, Session};
 
 /// A configured analysis of one system definition.
 #[derive(Debug, Clone)]
@@ -46,21 +53,16 @@ impl Analysis {
     }
 
     /// Runs aggregation for both the availability model (repairs active)
-    /// and the reliability model (repairs stripped, §5.1.2).
+    /// and the reliability model (repairs stripped, §5.1.2), eagerly.
     ///
     /// # Errors
     ///
     /// Propagates composition/determinism/analysis errors.
     pub fn run(&self) -> Result<AnalysisReport, ArcadeError> {
-        let model = SystemModel::build(&self.def)?;
-        let availability = aggregate(&model, &self.opts)?;
-        let no_repair_def = self.def.without_repair();
-        let no_repair_model = SystemModel::build(&no_repair_def)?;
-        let reliability = aggregate(&no_repair_model, &self.opts)?;
-        Ok(AnalysisReport {
-            availability,
-            reliability,
-        })
+        let session = Session::new(&self.def)?.with_options(self.opts.clone());
+        session.availability_model()?;
+        session.reliability_model()?;
+        Ok(AnalysisReport { session })
     }
 
     /// Runs aggregation for the availability model only (faster when
@@ -70,73 +72,123 @@ impl Analysis {
     ///
     /// Propagates composition/determinism/analysis errors.
     pub fn run_availability_only(&self) -> Result<Aggregation, ArcadeError> {
-        let model = SystemModel::build(&self.def)?;
-        aggregate(&model, &self.opts)
+        let session = Session::new(&self.def)?.with_options(self.opts.clone());
+        Ok(session.availability_model()?.clone())
     }
 }
 
 /// The measures of a completed analysis.
+///
+/// Everything answers through the inner [`Session`]: the aggregations
+/// live there once, and steady-state vectors, down-state lists and
+/// absorbing-transformed chains are computed once and shared across the
+/// measure methods.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
-    /// Aggregation of the model with repairs (availability measures).
-    pub availability: Aggregation,
-    /// Aggregation of the model without any repair (reliability measures,
-    /// the paper's Table 1 definition).
-    pub reliability: Aggregation,
+    session: Session,
 }
 
 impl AnalysisReport {
+    fn get(&self, m: Measure) -> f64 {
+        self.session
+            .value(&m)
+            .expect("both configurations were built by run()")
+    }
+
+    /// The aggregation of the availability configuration (repairs
+    /// active).
+    pub fn availability(&self) -> &Aggregation {
+        self.session.availability_model().expect("built by run()")
+    }
+
+    /// The aggregation of the no-repair configuration (§5.1.2).
+    pub fn reliability_aggregation(&self) -> &Aggregation {
+        self.session.reliability_model().expect("built by run()")
+    }
+
+    /// Evaluates a whole batch of measures in one pass (one uniformization
+    /// sweep per measure kind) — see [`Session::evaluate`].
+    pub fn evaluate(&self, measures: &[Measure]) -> Vec<f64> {
+        self.session
+            .evaluate(measures)
+            .expect("both configurations were built by run()")
+    }
+
     /// Long-run availability `A`.
     pub fn steady_state_availability(&self) -> f64 {
-        measures::steady_state_availability(&self.availability.ctmc, DOWN_BIT)
+        self.get(Measure::SteadyStateAvailability)
     }
 
     /// Long-run unavailability `1 - A` (computed directly for precision).
     pub fn steady_state_unavailability(&self) -> f64 {
-        measures::steady_state_unavailability(&self.availability.ctmc, DOWN_BIT)
+        self.get(Measure::SteadyStateUnavailability)
     }
 
     /// Point availability `A(t)`.
     pub fn point_availability(&self, t: f64) -> f64 {
-        measures::point_availability(&self.availability.ctmc, DOWN_BIT, t)
+        self.get(Measure::PointAvailability(t))
     }
 
     /// Point unavailability `1 - A(t)`.
     pub fn point_unavailability(&self, t: f64) -> f64 {
-        measures::point_unavailability(&self.availability.ctmc, DOWN_BIT, t)
+        self.get(Measure::PointUnavailability(t))
+    }
+
+    /// Point unavailability over a whole time grid in one batched sweep.
+    pub fn point_unavailability_many(&self, ts: &[f64]) -> Vec<f64> {
+        self.evaluate(
+            &ts.iter()
+                .map(|&t| Measure::PointUnavailability(t))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Reliability `R(t)` with **no repairs at all** — the definition used
     /// for the DDS case study (§5.1.2, following \[19\]).
     pub fn reliability(&self, t: f64) -> f64 {
-        measures::reliability(&self.reliability.ctmc, DOWN_BIT, t)
+        self.get(Measure::Reliability(t))
+    }
+
+    /// Reliability over a whole time grid in one batched sweep.
+    pub fn reliability_many(&self, ts: &[f64]) -> Vec<f64> {
+        self.evaluate(
+            &ts.iter()
+                .map(|&t| Measure::Reliability(t))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Unreliability `1 - R(t)` of the no-repair model.
     pub fn unreliability(&self, t: f64) -> f64 {
-        measures::unreliability(&self.reliability.ctmc, DOWN_BIT, t)
+        self.get(Measure::Unreliability(t))
     }
 
     /// First-passage unreliability **with component repairs active** —
     /// the definition used for the RCS case study (§5.2.2): components
     /// keep being repaired, but the first system-level failure counts.
     pub fn unreliability_with_repair(&self, t: f64) -> f64 {
-        measures::unreliability(&self.availability.ctmc, DOWN_BIT, t)
+        self.get(Measure::UnreliabilityWithRepair(t))
+    }
+
+    /// First-passage unreliability (repairs active) over a whole time
+    /// grid in one batched sweep.
+    pub fn unreliability_with_repair_many(&self, ts: &[f64]) -> Vec<f64> {
+        self.evaluate(
+            &ts.iter()
+                .map(|&t| Measure::UnreliabilityWithRepair(t))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean time to the first system failure (repairs active).
     pub fn mttf(&self) -> f64 {
-        measures::mttf(&self.availability.ctmc, DOWN_BIT)
+        self.get(Measure::Mttf)
     }
 
     /// Interval availability: expected fraction of `[0, t]` the system is
     /// up (a CSL-layer measure, §6 future work).
     pub fn interval_availability(&self, t: f64) -> f64 {
-        1.0 - ctmc::csl::interval_down_fraction(
-            &self.availability.ctmc,
-            &ctmc::csl::StateFormula::down(),
-            t,
-        )
+        self.get(Measure::IntervalAvailability(t))
     }
 
     /// Evaluates `P[Φ U≤t Ψ]` on the availability CTMC (CSL layer, §6
@@ -148,17 +200,21 @@ impl AnalysisReport {
         psi: &ctmc::csl::StateFormula,
         t: f64,
     ) -> f64 {
-        ctmc::csl::until_bounded(&self.availability.ctmc, phi, psi, t)
+        self.get(Measure::BoundedUntil {
+            phi: phi.clone(),
+            psi: psi.clone(),
+            t,
+        })
     }
 
     /// Size of the final availability CTMC.
     pub fn ctmc_stats(&self) -> Stats {
-        self.availability.ctmc_stats
+        self.availability().ctmc_stats
     }
 
     /// Largest intermediate I/O-IMC of the availability aggregation.
     pub fn largest_intermediate(&self) -> Stats {
-        self.availability.largest_intermediate
+        self.availability().largest_intermediate
     }
 }
 
@@ -223,5 +279,19 @@ mod tests {
         let without = report.unreliability(t);
         assert!(with_repair < without);
         assert!(with_repair > 0.0);
+    }
+
+    #[test]
+    fn batched_report_methods_match_scalars() {
+        let report = Analysis::new(&series_pair()).unwrap().run().unwrap();
+        let ts = [1.0, 5.0, 25.0];
+        let rel = report.reliability_many(&ts);
+        let unav = report.point_unavailability_many(&ts);
+        let fp = report.unreliability_with_repair_many(&ts);
+        for (i, &t) in ts.iter().enumerate() {
+            assert!((rel[i] - report.reliability(t)).abs() < 1e-12);
+            assert!((unav[i] - report.point_unavailability(t)).abs() < 1e-12);
+            assert!((fp[i] - report.unreliability_with_repair(t)).abs() < 1e-12);
+        }
     }
 }

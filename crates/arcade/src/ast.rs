@@ -381,8 +381,6 @@ mod tests {
     #[test]
     fn om_group_names() {
         assert!(OmGroup::OnOff(Expr::down("x")).name().contains("on"));
-        assert!(OmGroup::NormalDegraded(Expr::down("x"))
-            .trigger()
-            .is_some());
+        assert!(OmGroup::NormalDegraded(Expr::down("x")).trigger().is_some());
     }
 }

@@ -1,23 +1,28 @@
 //! `arcade` — command-line dependability evaluation.
 //!
 //! ```text
-//! arcade analyze  <model.arcade> [--time T]...     measures (engine)
-//! arcade modular  <model.arcade> [--time T]...     measures (modularized)
+//! arcade analyze  <model.arcade> [--time T]... [--json]   measures (engine)
+//! arcade modular  <model.arcade> [--time T]... [--json]   measures (modularized)
 //! arcade simulate <model.arcade> --time T [--reps N] [--seed S]
-//! arcade check    <model.arcade>                   validate only
-//! arcade blocks   <model.arcade>                   block automaton sizes
-//! arcade dot      <model.arcade> <block>           Graphviz of one block
-//! arcade format   <model.arcade>                   re-print canonically
+//! arcade check    <model.arcade>                          validate only
+//! arcade blocks   <model.arcade>                          block automaton sizes
+//! arcade dot      <model.arcade> <block>                  Graphviz of one block
+//! arcade format   <model.arcade>                          re-print canonically
 //! ```
+//!
+//! `analyze` and `modular` collect **all** `--time` flags into one batched
+//! query answered by a single lazy [`Session`]: one aggregation per needed
+//! model configuration, one uniformization sweep per measure kind over the
+//! whole time grid.
 
 use std::process::ExitCode;
 
-use arcade::analysis::Analysis;
 use arcade::engine::EngineOptions;
 use arcade::model::SystemModel;
 use arcade::modular::modular_analysis;
 use arcade::parser::parse_system;
 use arcade::printer::to_arcade_text;
+use arcade::query::{Measure, Session};
 use arcade::sim;
 
 fn main() -> ExitCode {
@@ -38,6 +43,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let file = args.get(1).ok_or_else(usage)?;
     let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
     let def = parse_system(&text).map_err(|e| e.to_string())?;
+    let json = args.iter().any(|a| a == "--json");
+    if json && !matches!(cmd.as_str(), "analyze" | "modular") {
+        return Err("--json is only supported by `analyze` and `modular`".to_owned());
+    }
 
     match cmd.as_str() {
         "check" => {
@@ -80,41 +89,108 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "analyze" => {
-            let times = flag_values(args, "--time")?;
-            let report = Analysis::new(&def)
-                .map_err(|e| e.to_string())?
-                .run()
-                .map_err(|e| e.to_string())?;
-            println!("final CTMC: {}", report.ctmc_stats());
-            println!("largest intermediate: {}", report.largest_intermediate());
-            println!();
-            println!(
-                "steady-state availability:   {:.10}",
-                report.steady_state_availability()
-            );
-            println!(
-                "steady-state unavailability: {:.6e}",
-                report.steady_state_unavailability()
-            );
-            println!("MTTF:                        {:.6e}", report.mttf());
+            let times = time_values(args)?;
+            let session = Session::new(&def).map_err(|e| e.to_string())?;
+
+            // One batched query answers everything: the steady-state
+            // measures, the MTTF, and all three curves over the grid.
+            let mut measures = vec![
+                Measure::SteadyStateAvailability,
+                Measure::SteadyStateUnavailability,
+                Measure::Mttf,
+            ];
             for &t in &times {
+                measures.push(Measure::Reliability(t));
+                measures.push(Measure::UnreliabilityWithRepair(t));
+                measures.push(Measure::PointUnavailability(t));
+            }
+            let values = session.evaluate(&measures).map_err(|e| e.to_string())?;
+            let agg = session.availability_model().map_err(|e| e.to_string())?;
+
+            if json {
+                let mut points = String::new();
+                for (i, &t) in times.iter().enumerate() {
+                    if i > 0 {
+                        points.push(',');
+                    }
+                    points.push_str(&format!(
+                        "{{\"t\":{t},\"reliability\":{},\"unreliability_with_repair\":{},\"point_unavailability\":{}}}",
+                        json_f64(values[3 + 3 * i]),
+                        json_f64(values[4 + 3 * i]),
+                        json_f64(values[5 + 3 * i]),
+                    ));
+                }
+                println!(
+                    "{{\"model\":{},\"ctmc\":{{\"states\":{},\"transitions\":{}}},\
+                     \"largest_intermediate\":{{\"states\":{},\"transitions\":{}}},\
+                     \"steady_state_availability\":{},\"steady_state_unavailability\":{},\
+                     \"mttf\":{},\"points\":[{points}]}}",
+                    json_str(&def.name),
+                    agg.ctmc_stats.states,
+                    agg.ctmc_stats.transitions(),
+                    agg.largest_intermediate.states,
+                    agg.largest_intermediate.transitions(),
+                    json_f64(values[0]),
+                    json_f64(values[1]),
+                    json_f64(values[2]),
+                );
+                return Ok(());
+            }
+            println!("final CTMC: {}", agg.ctmc_stats);
+            println!("largest intermediate: {}", agg.largest_intermediate);
+            println!();
+            println!("steady-state availability:   {:.10}", values[0]);
+            println!("steady-state unavailability: {:.6e}", values[1]);
+            println!("MTTF:                        {:.6e}", values[2]);
+            for (i, &t) in times.iter().enumerate() {
                 println!();
                 println!("t = {t}:");
-                println!("  reliability (no repair):   {:.10}", report.reliability(t));
-                println!(
-                    "  unreliability w/ repair:   {:.6e}",
-                    report.unreliability_with_repair(t)
-                );
-                println!(
-                    "  point unavailability:      {:.6e}",
-                    report.point_unavailability(t)
-                );
+                println!("  reliability (no repair):   {:.10}", values[3 + 3 * i]);
+                println!("  unreliability w/ repair:   {:.6e}", values[4 + 3 * i]);
+                println!("  point unavailability:      {:.6e}", values[5 + 3 * i]);
             }
             Ok(())
         }
         "modular" => {
-            let times = flag_values(args, "--time")?;
+            let times = time_values(args)?;
             let m = modular_analysis(&def, &EngineOptions::new()).map_err(|e| e.to_string())?;
+            // Batched curves: one sweep per (module, measure kind).
+            let rel = m.reliability_many(&times);
+            let unrel = m.unreliability_with_repair_many(&times);
+            let a = m.steady_state_availability();
+
+            if json {
+                let mut modules = String::new();
+                for (i, module) in m.modules.iter().enumerate() {
+                    if i > 0 {
+                        modules.push(',');
+                    }
+                    modules.push_str(&format!(
+                        "{{\"name\":{},\"components\":{},\"ctmc_states\":{}}}",
+                        json_str(&module.name),
+                        module.components.len(),
+                        module.report.ctmc_stats().states,
+                    ));
+                }
+                let mut points = String::new();
+                for (i, &t) in times.iter().enumerate() {
+                    if i > 0 {
+                        points.push(',');
+                    }
+                    points.push_str(&format!(
+                        "{{\"t\":{t},\"reliability\":{},\"unreliability_with_repair\":{}}}",
+                        json_f64(rel[i]),
+                        json_f64(unrel[i]),
+                    ));
+                }
+                println!(
+                    "{{\"model\":{},\"modules\":[{modules}],\
+                     \"steady_state_availability\":{},\"points\":[{points}]}}",
+                    json_str(&def.name),
+                    json_f64(a),
+                );
+                return Ok(());
+            }
             for module in &m.modules {
                 println!(
                     "{}: {} components, CTMC {}",
@@ -124,23 +200,24 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
             }
             println!();
-            println!(
-                "steady-state availability:   {:.10}",
-                m.steady_state_availability()
-            );
-            for &t in &times {
-                println!("R({t}) = {:.10}   unreliability w/ repair = {:.6e}",
-                    m.reliability(t), m.unreliability_with_repair(t));
+            println!("steady-state availability:   {a:.10}");
+            for (i, &t) in times.iter().enumerate() {
+                println!(
+                    "R({t}) = {:.10}   unreliability w/ repair = {:.6e}",
+                    rel[i], unrel[i]
+                );
             }
             Ok(())
         }
         "simulate" => {
-            let times = flag_values(args, "--time")?;
+            let times = time_values(args)?;
             let t = *times.first().ok_or("simulate needs --time T")?;
             let reps = flag_values(args, "--reps")?
                 .first()
                 .map_or(10_000, |r| *r as usize);
-            let seed = flag_values(args, "--seed")?.first().map_or(1, |s| *s as u64);
+            let seed = flag_values(args, "--seed")?
+                .first()
+                .map_or(1, |s| *s as u64);
             let no_rep = sim::simulate_unreliability(&def, t, reps, seed, false)
                 .map_err(|e| e.to_string())?;
             let with_rep = sim::simulate_unreliability(&def, t, reps, seed + 1, true)
@@ -161,6 +238,15 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Collects `--time` values and rejects what the solvers would panic on.
+fn time_values(args: &[String]) -> Result<Vec<f64>, String> {
+    let times = flag_values(args, "--time")?;
+    if let Some(bad) = times.iter().find(|t| !(t.is_finite() && **t >= 0.0)) {
+        return Err(format!("--time must be non-negative and finite, got {bad}"));
+    }
+    Ok(times)
+}
+
 fn flag_values(args: &[String], flag: &str) -> Result<Vec<f64>, String> {
     let mut out = Vec::new();
     let mut it = args.iter();
@@ -177,8 +263,36 @@ fn flag_values(args: &[String], flag: &str) -> Result<Vec<f64>, String> {
     Ok(out)
 }
 
+/// JSON number rendering: finite values print as-is, non-finite ones
+/// (MTTF of an unfailable system is infinite) become null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn usage() -> String {
     "usage: arcade <analyze|modular|simulate|check|blocks|dot|format> <model.arcade> \
-     [--time T]... [--reps N] [--seed S]"
+     [--time T]... [--json] [--reps N] [--seed S]"
         .to_owned()
 }

@@ -1,0 +1,399 @@
+//! The basic-component automaton (paper §3.1, Figs. 2–5).
+//!
+//! A component automaton is the product of three concerns, kept in one
+//! abstract state so every interleaving is explored:
+//!
+//! * the **operational mode**: the truth values of the trigger expressions
+//!   of its OM groups (tracked by listening to the referenced components'
+//!   failure/up signals) plus the active/inactive bit driven by SMU
+//!   signals; mode switches preserve the failure phase (§3.1.2),
+//! * the **failure model**: the phase chain of the current operational
+//!   state's time-to-failure distribution; the final phase's rate is split
+//!   over the inherent failure modes (Fig. 4), and a destructive
+//!   functional dependency fires urgently while the component is up,
+//! * the **announcement**: what the environment has been told. At most one
+//!   announcement (`failed.mK`/`failed.df`/`failed.na`/`up`) is pending at
+//!   a time, which keeps the composition weakly deterministic.
+
+use ioimc::{ActionId, IoImc};
+use std::collections::HashMap;
+
+use crate::ast::{OmGroup, SystemDef};
+use crate::build::{explore, Behaviour};
+use crate::error::ArcadeError;
+use crate::expr::{Expr, Literal};
+use crate::model::Signals;
+
+/// Where the component is in its failure/repair cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pos {
+    /// Operational, in the given phase of its time-to-failure chain.
+    Op(u8),
+    /// The phase chain completed with inherent mode `j`; the failure
+    /// signal is about to be emitted.
+    EmitM(u8),
+    /// Down with inherent mode `j`, waiting for the repair unit.
+    FailedM(u8),
+    /// Down through its destructive dependency, waiting for repair.
+    FailedDf,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct St {
+    /// Truth bits of the watched literals.
+    truth: u32,
+    /// The active/inactive bit (always `false` without such a group).
+    active: bool,
+    pos: Pos,
+    /// Whether the environment currently believes the component is down.
+    announced: bool,
+}
+
+struct BcBehaviour {
+    /// Per watched input signal: literal bits it sets / clears.
+    set_mask: HashMap<ActionId, u32>,
+    clear_mask: HashMap<ActionId, u32>,
+    watched: Vec<Literal>,
+    om_groups: Vec<OmGroup>,
+    /// Phase rates per operational state.
+    ttf: Vec<Vec<f64>>,
+    /// Failure mode probabilities.
+    mode_probs: Vec<f64>,
+    df: Option<Expr>,
+    inaccessible_means_down: bool,
+    // Signals.
+    repaired: ActionId,
+    activate: Option<ActionId>,
+    deactivate: Option<ActionId>,
+    failed_m: Vec<ActionId>,
+    failed_df: Option<ActionId>,
+    failed_na: Option<ActionId>,
+    up: ActionId,
+}
+
+impl BcBehaviour {
+    fn holds(&self, truth: u32, e: &Expr) -> bool {
+        e.eval(&|l: &Literal| {
+            let i = self
+                .watched
+                .iter()
+                .position(|w| w == l)
+                .expect("literal was collected");
+            truth & (1 << i) != 0
+        })
+    }
+
+    /// Operational-state index: one bit per OM group, in declaration order
+    /// (first group is the most significant bit, matching the `ttf` layout
+    /// of §3.5.1 and the Monte-Carlo simulator).
+    fn op_state(&self, s: &St) -> usize {
+        let mut idx = 0usize;
+        for g in &self.om_groups {
+            let bit = match g {
+                OmGroup::ActiveInactive => usize::from(s.active),
+                OmGroup::OnOff(e)
+                | OmGroup::AccessibleInaccessible(e)
+                | OmGroup::NormalDegraded(e) => usize::from(self.holds(s.truth, e)),
+            };
+            idx = idx * 2 + bit;
+        }
+        idx
+    }
+
+    /// Whether the component is up but environment-visibly down through an
+    /// inaccessibility (`INACCESSIBLE MEANS DOWN: YES`).
+    fn na_visible(&self, truth: u32) -> bool {
+        self.inaccessible_means_down
+            && self.om_groups.iter().any(|g| match g {
+                OmGroup::AccessibleInaccessible(e) => self.holds(truth, e),
+                _ => false,
+            })
+    }
+
+    fn df_holds(&self, truth: u32) -> bool {
+        self.df.as_ref().is_some_and(|e| self.holds(truth, e))
+    }
+}
+
+impl Behaviour for BcBehaviour {
+    type State = St;
+
+    fn output(&self, s: &St) -> Option<(ActionId, St)> {
+        match s.pos {
+            Pos::EmitM(j) => Some((
+                self.failed_m[j as usize],
+                St {
+                    pos: Pos::FailedM(j),
+                    announced: true,
+                    ..s.clone()
+                },
+            )),
+            Pos::Op(_) => {
+                if self.df_holds(s.truth) {
+                    // A destructive dependency fires urgently while up —
+                    // including the instant re-failure right after a repair
+                    // under a still-active dependency.
+                    Some((
+                        self.failed_df.expect("df signal exists"),
+                        St {
+                            pos: Pos::FailedDf,
+                            announced: true,
+                            ..s.clone()
+                        },
+                    ))
+                } else if self.na_visible(s.truth) && !s.announced {
+                    Some((
+                        self.failed_na.expect("na signal exists"),
+                        St {
+                            announced: true,
+                            ..s.clone()
+                        },
+                    ))
+                } else if !self.na_visible(s.truth) && s.announced {
+                    Some((
+                        self.up,
+                        St {
+                            announced: false,
+                            ..s.clone()
+                        },
+                    ))
+                } else {
+                    None
+                }
+            }
+            Pos::FailedM(_) | Pos::FailedDf => None,
+        }
+    }
+
+    fn on_input(&self, s: &St, a: ActionId) -> St {
+        let mut out = s.clone();
+        if a == self.repaired {
+            if matches!(s.pos, Pos::FailedM(_) | Pos::FailedDf) {
+                out.pos = Pos::Op(0);
+            }
+            return out;
+        }
+        if Some(a) == self.activate {
+            out.active = true;
+            return out;
+        }
+        if Some(a) == self.deactivate {
+            out.active = false;
+            return out;
+        }
+        let set = self.set_mask.get(&a).copied().unwrap_or(0);
+        let clear = self.clear_mask.get(&a).copied().unwrap_or(0);
+        out.truth = (out.truth | set) & !clear;
+        out
+    }
+
+    fn markovian(&self, s: &St) -> Vec<(f64, St)> {
+        let Pos::Op(p) = s.pos else {
+            return Vec::new();
+        };
+        let rates = &self.ttf[self.op_state(s)];
+        if rates.is_empty() {
+            return Vec::new(); // Dist::Never: cannot fail in this mode
+        }
+        let p = p as usize;
+        let rate = rates[p];
+        if p + 1 < rates.len() {
+            vec![(
+                rate,
+                St {
+                    pos: Pos::Op((p + 1) as u8),
+                    ..s.clone()
+                },
+            )]
+        } else {
+            // Final phase: split the completion rate over the inherent
+            // failure modes (Fig. 4).
+            self.mode_probs
+                .iter()
+                .enumerate()
+                .map(|(j, &q)| {
+                    (
+                        rate * q,
+                        St {
+                            pos: Pos::EmitM(j as u8),
+                            ..s.clone()
+                        },
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// Builds the I/O-IMC of component `idx` of `def`.
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] for dangling references in trigger
+/// expressions and [`ArcadeError::Build`] if the automaton fails
+/// validation.
+pub fn build_bc(def: &SystemDef, idx: usize, signals: &Signals) -> Result<IoImc, ArcadeError> {
+    let bc = &def.components[idx];
+
+    // Watched literals: everything the OM triggers and the destructive
+    // dependency observe.
+    let mut watched: Vec<Literal> = Vec::new();
+    for e in bc
+        .om_groups
+        .iter()
+        .filter_map(OmGroup::trigger)
+        .chain(bc.df.as_ref())
+    {
+        for l in e.literals() {
+            if !watched.contains(l) {
+                watched.push(l.clone());
+            }
+        }
+    }
+    let mut set_mask: HashMap<ActionId, u32> = HashMap::new();
+    let mut clear_mask: HashMap<ActionId, u32> = HashMap::new();
+    for (i, lit) in watched.iter().enumerate() {
+        for a in signals.down_signals(lit)? {
+            *set_mask.entry(a).or_default() |= 1 << i;
+        }
+        *clear_mask
+            .entry(signals.up_signal(&lit.component)?)
+            .or_default() |= 1 << i;
+    }
+
+    let behaviour = BcBehaviour {
+        watched,
+        om_groups: bc.om_groups.clone(),
+        ttf: bc.ttf.iter().map(crate::dist::Dist::phase_rates).collect(),
+        mode_probs: bc.failure_mode_probs.clone(),
+        df: bc.df.clone(),
+        inaccessible_means_down: bc.inaccessible_means_down,
+        repaired: signals.repaired[idx],
+        activate: signals.activate[idx],
+        deactivate: signals.deactivate[idx],
+        failed_m: signals.failed_m[idx].clone(),
+        failed_df: signals.failed_df[idx],
+        failed_na: signals.failed_na[idx],
+        up: signals.up[idx],
+        set_mask,
+        clear_mask,
+    };
+
+    let mut inputs: Vec<ActionId> = behaviour
+        .set_mask
+        .keys()
+        .chain(behaviour.clear_mask.keys())
+        .copied()
+        .collect();
+    inputs.push(behaviour.repaired);
+    inputs.extend(behaviour.activate);
+    inputs.extend(behaviour.deactivate);
+    let mut outputs: Vec<ActionId> = behaviour.failed_m.clone();
+    outputs.extend(behaviour.failed_df);
+    outputs.extend(behaviour.failed_na);
+    outputs.push(behaviour.up);
+
+    let initial = St {
+        truth: 0,
+        active: false, // spares start inactive ("(inactive, active)")
+        pos: Pos::Op(0),
+        announced: false,
+    };
+    explore(&behaviour, initial, &inputs, &outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BcDef;
+    use crate::dist::Dist;
+    use crate::model::test_support;
+    use ioimc::Alphabet;
+
+    fn build(def: &SystemDef, name: &str) -> (IoImc, Signals) {
+        let mut ab = Alphabet::new();
+        ab.intern("tau");
+        let signals = test_support::signals(def, &mut ab);
+        let idx = def.components.iter().position(|c| c.name == name).unwrap();
+        (build_bc(def, idx, &signals).unwrap(), signals)
+    }
+
+    #[test]
+    fn plain_component_is_four_states() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("x", Dist::exp(0.1), Dist::exp(1.0)));
+        let (imc, _) = build(&def, "x");
+        // up -> emit(failed) -> down -> (repaired) -> up' -> emit(up) -> up
+        assert_eq!(imc.num_states(), 4);
+        assert!((imc.exit_rate(imc.initial()) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_phases_chain() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("x", Dist::erlang(3, 0.5), Dist::exp(1.0)));
+        let (imc, _) = build(&def, "x");
+        // 3 phases + emit + down + re-up emission state
+        assert_eq!(imc.num_states(), 6);
+    }
+
+    #[test]
+    fn failure_modes_split_the_rate() {
+        let mut def = SystemDef::new("t");
+        def.add_component(
+            BcDef::new("x", Dist::exp(1.0), Dist::exp(1.0))
+                .with_failure_modes([0.3, 0.7], [Dist::exp(1.0), Dist::exp(2.0)]),
+        );
+        let (imc, _) = build(&def, "x");
+        let races = imc.markovian_from(imc.initial());
+        assert_eq!(races.len(), 2);
+        let total: f64 = races.iter().map(|r| r.0).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(races.iter().any(|r| (r.0 - 0.3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn df_fires_urgently_when_trigger_holds() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("fan", Dist::exp(0.1), Dist::exp(1.0)));
+        def.add_component(
+            BcDef::new("cpu", Dist::exp(0.001), Dist::exp(1.0))
+                .with_df(Expr::down("fan"), Dist::exp(1.0)),
+        );
+        let (imc, signals) = build(&def, "cpu");
+        // Feed `fan.failed.m1`: the successor must urgently emit
+        // `cpu.failed.df`.
+        let fan_failed = signals.failed_m[0][0];
+        let s1 = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == fan_failed)
+            .map(|&(_, t)| t)
+            .unwrap();
+        let df_sig = signals.failed_df[1].unwrap();
+        assert!(imc.interactive_from(s1).iter().any(|&(a, _)| a == df_sig));
+        assert!(imc.is_unstable(s1));
+    }
+
+    #[test]
+    fn cold_spare_cannot_fail_inactive() {
+        let mut def = SystemDef::new("t");
+        def.add_component(
+            BcDef::new("sp", Dist::Never, Dist::exp(1.0))
+                .with_om_group(OmGroup::ActiveInactive)
+                .with_ttf([Dist::Never, Dist::exp(0.2)]),
+        );
+        let (imc, signals) = build(&def, "sp");
+        // initial (inactive): no Markovian transitions
+        assert_eq!(imc.markovian_from(imc.initial()).len(), 0);
+        // after activate: rate 0.2 race
+        let act = signals.activate[0].unwrap();
+        let active = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == act)
+            .map(|&(_, t)| t)
+            .unwrap();
+        assert!((imc.exit_rate(active) - 0.2).abs() < 1e-12);
+    }
+}

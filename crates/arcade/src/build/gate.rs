@@ -1,0 +1,335 @@
+//! Fault-tree gate automata for the `SYSTEM DOWN` criterion (§3.4).
+//!
+//! Every composite node of the expression becomes one gate block named
+//! `gate{N}` with post-order numbering (children before parents, so the
+//! *top* gate is always the last block). A gate listens to its children —
+//! failure/up signals for literal children, `gate{M}.failed`/`gate{M}.up`
+//! for gate children — and announces its own value changes on
+//! `gate{N}.failed`/`gate{N}.up`. A bare-literal criterion gets a
+//! single-child wrapper gate so the observer always has a top gate to
+//! listen to.
+//!
+//! The Priority-AND gate (footnote 8, after the dynamic fault tree gate of
+//! \[10\]) is order-sensitive: it fires only when all children are true
+//! *and* they became true in left-to-right order. An out-of-order failure
+//! latches the gate false until every child is up again (renewal).
+
+use ioimc::{ActionId, Alphabet};
+use std::collections::HashMap;
+
+use crate::build::{explore, Behaviour};
+use crate::error::ArcadeError;
+use crate::expr::{Expr, Literal};
+use crate::model::{Block, Signals};
+
+/// The boolean connective of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    And,
+    Or,
+    KofN(u32),
+    Pand,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct St {
+    /// Truth bits, one per child.
+    truth: u32,
+    /// PAND order violation latch.
+    violated: bool,
+    /// The value last announced to the environment.
+    announced: bool,
+}
+
+struct GateBehaviour {
+    kind: Kind,
+    num_children: usize,
+    set_mask: HashMap<ActionId, u32>,
+    clear_mask: HashMap<ActionId, u32>,
+    failed: ActionId,
+    up: ActionId,
+}
+
+impl GateBehaviour {
+    fn value(&self, s: &St) -> bool {
+        let count = s.truth.count_ones();
+        let all = count as usize == self.num_children;
+        match self.kind {
+            Kind::And => all,
+            Kind::Or => count > 0,
+            Kind::KofN(k) => count >= k,
+            Kind::Pand => all && !s.violated,
+        }
+    }
+}
+
+impl Behaviour for GateBehaviour {
+    type State = St;
+
+    fn output(&self, s: &St) -> Option<(ActionId, St)> {
+        let v = self.value(s);
+        if v == s.announced {
+            return None;
+        }
+        Some((
+            if v { self.failed } else { self.up },
+            St {
+                announced: v,
+                ..s.clone()
+            },
+        ))
+    }
+
+    fn on_input(&self, s: &St, a: ActionId) -> St {
+        let set = self.set_mask.get(&a).copied().unwrap_or(0);
+        let clear = self.clear_mask.get(&a).copied().unwrap_or(0);
+        let truth = (s.truth | set) & !clear;
+        let mut violated = s.violated;
+        if self.kind == Kind::Pand {
+            // Children that just became true out of order (some earlier
+            // child still false) violate the priority order.
+            let flipped = truth & !s.truth;
+            for j in 0..self.num_children {
+                if flipped & (1 << j) != 0 && (truth & ((1u32 << j) - 1)).count_ones() < j as u32 {
+                    violated = true;
+                }
+            }
+            if truth == 0 {
+                violated = false; // renewal: all children repaired
+            }
+        }
+        St {
+            truth,
+            violated,
+            announced: s.announced,
+        }
+    }
+
+    fn markovian(&self, _s: &St) -> Vec<(f64, St)> {
+        Vec::new() // gates are purely reactive
+    }
+}
+
+/// A gate child: either a literal over component failure modes or a
+/// sub-gate's output signals.
+enum Child {
+    Lit(Literal),
+    Gate { failed: ActionId, up: ActionId },
+}
+
+/// Builds the gate blocks for the `SYSTEM DOWN` expression. The returned
+/// vector is in post-order; the **last** block is the top gate.
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] for dangling references and
+/// [`ArcadeError::Build`] if an automaton fails validation.
+pub fn build_gate_tree(
+    down: &Expr,
+    signals: &Signals,
+    alphabet: &mut Alphabet,
+) -> Result<Vec<Block>, ArcadeError> {
+    let mut gates = Vec::new();
+    let mut counter = 0usize;
+    match down {
+        Expr::Lit(l) => {
+            // Wrapper gate so the observer always has a top gate.
+            build_gate(
+                Kind::Or,
+                vec![Child::Lit(l.clone())],
+                signals,
+                alphabet,
+                &mut gates,
+                &mut counter,
+            )?;
+        }
+        _ => {
+            build_node(down, signals, alphabet, &mut gates, &mut counter)?;
+        }
+    }
+    Ok(gates)
+}
+
+fn build_node(
+    expr: &Expr,
+    signals: &Signals,
+    alphabet: &mut Alphabet,
+    gates: &mut Vec<Block>,
+    counter: &mut usize,
+) -> Result<Child, ArcadeError> {
+    let (kind, cs) = match expr {
+        Expr::Lit(l) => return Ok(Child::Lit(l.clone())),
+        Expr::And(cs) => (Kind::And, cs),
+        Expr::Or(cs) => (Kind::Or, cs),
+        Expr::KofN(k, cs) => (Kind::KofN(*k), cs),
+        Expr::Pand(cs) => (Kind::Pand, cs),
+    };
+    let children = cs
+        .iter()
+        .map(|c| build_node(c, signals, alphabet, gates, counter))
+        .collect::<Result<Vec<_>, _>>()?;
+    build_gate(kind, children, signals, alphabet, gates, counter)
+}
+
+fn build_gate(
+    kind: Kind,
+    children: Vec<Child>,
+    signals: &Signals,
+    alphabet: &mut Alphabet,
+    gates: &mut Vec<Block>,
+    counter: &mut usize,
+) -> Result<Child, ArcadeError> {
+    let no = *counter;
+    *counter += 1;
+    let failed = alphabet.intern(&format!("gate{no}.failed"));
+    let up = alphabet.intern(&format!("gate{no}.up"));
+
+    let mut set_mask: HashMap<ActionId, u32> = HashMap::new();
+    let mut clear_mask: HashMap<ActionId, u32> = HashMap::new();
+    for (i, child) in children.iter().enumerate() {
+        match child {
+            Child::Lit(l) => {
+                for a in signals.down_signals(l)? {
+                    *set_mask.entry(a).or_default() |= 1 << i;
+                }
+                *clear_mask
+                    .entry(signals.up_signal(&l.component)?)
+                    .or_default() |= 1 << i;
+            }
+            Child::Gate { failed, up } => {
+                *set_mask.entry(*failed).or_default() |= 1 << i;
+                *clear_mask.entry(*up).or_default() |= 1 << i;
+            }
+        }
+    }
+    let behaviour = GateBehaviour {
+        kind,
+        num_children: children.len(),
+        set_mask,
+        clear_mask,
+        failed,
+        up,
+    };
+    let inputs: Vec<ActionId> = behaviour
+        .set_mask
+        .keys()
+        .chain(behaviour.clear_mask.keys())
+        .copied()
+        .collect();
+    let imc = explore(
+        &behaviour,
+        St {
+            truth: 0,
+            violated: false,
+            announced: false,
+        },
+        &inputs,
+        &[failed, up],
+    )?;
+    gates.push(Block {
+        name: format!("gate{no}"),
+        imc,
+    });
+    Ok(Child::Gate { failed, up })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, SystemDef};
+    use crate::dist::Dist;
+    use crate::model::test_support;
+
+    fn signals_for(n: usize) -> (SystemDef, Alphabet, Signals) {
+        let mut def = SystemDef::new("t");
+        for i in 0..n {
+            def.add_component(BcDef::new(format!("c{i}"), Dist::exp(0.1), Dist::exp(1.0)));
+        }
+        let mut ab = Alphabet::new();
+        ab.intern("tau");
+        let signals = test_support::signals(&def, &mut ab);
+        (def, ab, signals)
+    }
+
+    #[test]
+    fn tree_numbering_is_post_order() {
+        let (_, mut ab, signals) = signals_for(3);
+        let e = Expr::or([
+            Expr::and([Expr::down("c0"), Expr::down("c1")]),
+            Expr::down("c2"),
+        ]);
+        let gates = build_gate_tree(&e, &signals, &mut ab).unwrap();
+        let names: Vec<&str> = gates.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["gate0", "gate1"]); // AND first, top OR last
+    }
+
+    #[test]
+    fn bare_literal_gets_a_wrapper_gate() {
+        let (_, mut ab, signals) = signals_for(1);
+        let gates = build_gate_tree(&Expr::down("c0"), &signals, &mut ab).unwrap();
+        assert_eq!(gates.len(), 1);
+        assert_eq!(gates[0].name, "gate0");
+    }
+
+    #[test]
+    fn and_gate_fires_when_both_children_down() {
+        let (_, mut ab, signals) = signals_for(2);
+        let e = Expr::and([Expr::down("c0"), Expr::down("c1")]);
+        let gates = build_gate_tree(&e, &signals, &mut ab).unwrap();
+        let imc = &gates[0].imc;
+        let f0 = signals.failed_m[0][0];
+        let f1 = signals.failed_m[1][0];
+        let s1 = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == f0)
+            .map(|&(_, t)| t)
+            .unwrap();
+        assert!(!imc.is_unstable(s1)); // one child down: no announcement
+        let s2 = imc
+            .interactive_from(s1)
+            .iter()
+            .find(|&&(a, _)| a == f1)
+            .map(|&(_, t)| t)
+            .unwrap();
+        assert!(imc.is_unstable(s2)); // both down: `gate0.failed` pending
+    }
+
+    #[test]
+    fn pand_latches_on_out_of_order_failure() {
+        let (_, mut ab, signals) = signals_for(2);
+        let e = Expr::pand([Expr::down("c0"), Expr::down("c1")]);
+        let gates = build_gate_tree(&e, &signals, &mut ab).unwrap();
+        let imc = &gates[0].imc;
+        let f0 = signals.failed_m[0][0];
+        let f1 = signals.failed_m[1][0];
+        // c1 fails first (out of order), then c0: gate must stay silent.
+        let s1 = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == f1)
+            .map(|&(_, t)| t)
+            .unwrap();
+        let s2 = imc
+            .interactive_from(s1)
+            .iter()
+            .find(|&&(a, _)| a == f0)
+            .map(|&(_, t)| t)
+            .unwrap();
+        assert!(!imc.is_unstable(s2), "out-of-order PAND must not fire");
+        // in-order: c0 then c1 fires.
+        let t1 = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == f0)
+            .map(|&(_, t)| t)
+            .unwrap();
+        let t2 = imc
+            .interactive_from(t1)
+            .iter()
+            .find(|&&(a, _)| a == f1)
+            .map(|&(_, t)| t)
+            .unwrap();
+        assert!(imc.is_unstable(t2), "in-order PAND must fire");
+    }
+}

@@ -1,0 +1,67 @@
+//! The observer block: turns the top gate's signals into the CTMC label.
+//!
+//! The observer is the only block with non-zero state labels. Composition
+//! ORs labels, reduction respects them, so the final CTMC's states carry
+//! [`DOWN_BIT`] exactly when the observer half of the state is "down" —
+//! which is how every dependability measure finds the down states.
+
+use ioimc::builder::IoImcBuilder;
+use ioimc::{Alphabet, StateLabel};
+
+use crate::error::ArcadeError;
+use crate::model::Block;
+
+/// Label bit 0: "the system is down".
+pub const DOWN_BIT: StateLabel = 1;
+
+/// Builds the two-state observer listening to `{top_gate}.failed` /
+/// `{top_gate}.up`.
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Build`] if the automaton fails validation
+/// (cannot happen for this fixed shape).
+pub fn build_observer(top_gate: &str, alphabet: &mut Alphabet) -> Result<Block, ArcadeError> {
+    let failed = alphabet.intern(&format!("{top_gate}.failed"));
+    let up = alphabet.intern(&format!("{top_gate}.up"));
+    let mut b = IoImcBuilder::new();
+    b.set_inputs([failed, up]);
+    let s_up = b.add_labeled_state(0);
+    let s_down = b.add_labeled_state(DOWN_BIT);
+    b.interactive(s_up, failed, s_down)
+        .interactive(s_down, up, s_up);
+    let imc = b
+        .complete_inputs()
+        .build()
+        .map_err(|e| ArcadeError::build(format!("observer automaton invalid: {e}")))?;
+    Ok(Block {
+        name: "observer".to_owned(),
+        imc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observer_toggles_label() {
+        let mut ab = Alphabet::new();
+        let block = build_observer("gate7", &mut ab).unwrap();
+        let imc = &block.imc;
+        assert_eq!(block.name, "observer");
+        assert_eq!(imc.num_states(), 2);
+        assert_eq!(imc.label(0), 0);
+        assert_eq!(imc.label(1), DOWN_BIT);
+        let failed = ab.lookup("gate7.failed").unwrap();
+        let up = ab.lookup("gate7.up").unwrap();
+        assert!(imc
+            .interactive_from(0)
+            .iter()
+            .any(|&(a, t)| a == failed && t == 1));
+        assert!(imc
+            .interactive_from(1)
+            .iter()
+            .any(|&(a, t)| a == up && t == 0));
+    }
+}

@@ -1,0 +1,297 @@
+//! The spare-management-unit automaton (paper §3.3, Figs. 8–9).
+//!
+//! The SMU watches the announced up/down status of its primary and spares.
+//! While the primary is down it wants the first non-failed spare active;
+//! otherwise it wants no spare active. Reconciliation emits `deactivate`
+//! before `activate` (one urgent signal at a time), and the optional
+//! failover distribution (§3.6, Fig. 9) delays each activation by a
+//! phase-type timer that is cancelled if the need disappears and restarted
+//! if it shifts to a different spare after a deactivation.
+
+use ioimc::{ActionId, IoImc};
+use std::collections::HashMap;
+
+use crate::ast::{SmuDef, SystemDef};
+use crate::build::{explore, Behaviour};
+use crate::error::ArcadeError;
+use crate::model::Signals;
+
+/// The failover timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Fo {
+    /// Not running.
+    Idle,
+    /// Running, in the given phase.
+    Phase(u8),
+    /// Completed; the activation signal is about to be emitted.
+    Done,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct St {
+    /// Announced-down bits: bit 0 = primary, bit `i+1` = spare `i`.
+    down: u32,
+    /// The spare currently told to be active.
+    active: Option<u8>,
+    fo: Fo,
+}
+
+struct SmuBehaviour {
+    num_spares: usize,
+    /// Failover phase rates (empty = instantaneous activation).
+    fo_rates: Vec<f64>,
+    /// Member failure signal -> member bit; `up` signal -> member bit.
+    set_bit: HashMap<ActionId, u32>,
+    clear_bit: HashMap<ActionId, u32>,
+    activate: Vec<ActionId>,
+    deactivate: Vec<ActionId>,
+}
+
+impl SmuBehaviour {
+    /// The spare that should be active: the first non-failed spare while
+    /// the primary is down, none otherwise.
+    fn desired(&self, down: u32) -> Option<u8> {
+        if down & 1 == 0 {
+            return None;
+        }
+        (0..self.num_spares)
+            .find(|&i| down & (1 << (i + 1)) == 0)
+            .map(|i| i as u8)
+    }
+
+    /// Normalizes the failover timer against the current need.
+    fn canon(&self, mut s: St) -> St {
+        let d = self.desired(s.down);
+        if d.is_none() || s.active == d || s.active.is_some() {
+            // No activation pending (or a deactivation must happen first —
+            // the timer restarts after it, as in the event semantics).
+            s.fo = Fo::Idle;
+        } else if self.fo_rates.is_empty() {
+            s.fo = Fo::Idle; // instantaneous activation
+        } else if s.fo == Fo::Idle {
+            s.fo = Fo::Phase(0); // start the timer
+        }
+        s
+    }
+}
+
+impl Behaviour for SmuBehaviour {
+    type State = St;
+
+    fn output(&self, s: &St) -> Option<(ActionId, St)> {
+        let d = self.desired(s.down);
+        if let Some(i) = s.active {
+            if d != Some(i) {
+                return Some((
+                    self.deactivate[i as usize],
+                    self.canon(St {
+                        active: None,
+                        ..s.clone()
+                    }),
+                ));
+            }
+            return None;
+        }
+        if let Some(i) = d {
+            if self.fo_rates.is_empty() || s.fo == Fo::Done {
+                return Some((
+                    self.activate[i as usize],
+                    self.canon(St {
+                        active: Some(i),
+                        fo: Fo::Idle,
+                        ..s.clone()
+                    }),
+                ));
+            }
+        }
+        None
+    }
+
+    fn on_input(&self, s: &St, a: ActionId) -> St {
+        let set = self.set_bit.get(&a).copied().unwrap_or(0);
+        let clear = self.clear_bit.get(&a).copied().unwrap_or(0);
+        self.canon(St {
+            down: (s.down | set) & !clear,
+            ..s.clone()
+        })
+    }
+
+    fn markovian(&self, s: &St) -> Vec<(f64, St)> {
+        let Fo::Phase(p) = s.fo else {
+            return Vec::new();
+        };
+        let rate = self.fo_rates[p as usize];
+        let next = if (p as usize) + 1 < self.fo_rates.len() {
+            Fo::Phase(p + 1)
+        } else {
+            Fo::Done
+        };
+        vec![(
+            rate,
+            St {
+                fo: next,
+                ..s.clone()
+            },
+        )]
+    }
+}
+
+/// Builds the I/O-IMC of spare management unit `smu` of `def`.
+///
+/// # Errors
+///
+/// Returns [`ArcadeError::Invalid`] for dangling component references and
+/// [`ArcadeError::Build`] if the automaton fails validation.
+pub fn build_smu(def: &SystemDef, smu: &SmuDef, signals: &Signals) -> Result<IoImc, ArcadeError> {
+    let member_index = |name: &str| {
+        signals
+            .component_index(name)
+            .ok_or_else(|| ArcadeError::invalid(format!("unknown component `{name}`")))
+    };
+    let mut set_bit: HashMap<ActionId, u32> = HashMap::new();
+    let mut clear_bit: HashMap<ActionId, u32> = HashMap::new();
+    let mut activate = Vec::new();
+    let mut deactivate = Vec::new();
+    let members: Vec<&str> = std::iter::once(smu.primary.as_str())
+        .chain(smu.spares.iter().map(String::as_str))
+        .collect();
+    for (bit, name) in members.iter().enumerate() {
+        let ci = member_index(name)?;
+        for &sig in &signals.failed_m[ci] {
+            *set_bit.entry(sig).or_default() |= 1 << bit;
+        }
+        for sig in [signals.failed_df[ci], signals.failed_na[ci]]
+            .into_iter()
+            .flatten()
+        {
+            *set_bit.entry(sig).or_default() |= 1 << bit;
+        }
+        *clear_bit.entry(signals.up[ci]).or_default() |= 1 << bit;
+        if bit > 0 {
+            let act = signals.activate[ci].ok_or_else(|| {
+                ArcadeError::invalid(format!("spare `{name}` has no active/inactive group"))
+            })?;
+            activate.push(act);
+            deactivate.push(signals.deactivate[ci].expect("paired with activate"));
+        }
+    }
+    _ = def; // signature symmetry with the other builders
+
+    let behaviour = SmuBehaviour {
+        num_spares: smu.spares.len(),
+        fo_rates: smu
+            .failover
+            .as_ref()
+            .map(crate::dist::Dist::phase_rates)
+            .unwrap_or_default(),
+        set_bit,
+        clear_bit,
+        activate: activate.clone(),
+        deactivate: deactivate.clone(),
+    };
+    let inputs: Vec<ActionId> = behaviour
+        .set_bit
+        .keys()
+        .chain(behaviour.clear_bit.keys())
+        .copied()
+        .collect();
+    let outputs: Vec<ActionId> = activate.into_iter().chain(deactivate).collect();
+    let initial = St {
+        down: 0,
+        active: None,
+        fo: Fo::Idle,
+    };
+    explore(&behaviour, behaviour.canon(initial), &inputs, &outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, OmGroup};
+    use crate::dist::Dist;
+    use crate::model::test_support;
+    use ioimc::Alphabet;
+
+    fn smu_def(failover: Option<Dist>) -> (SystemDef, SmuDef) {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("pp", Dist::exp(0.1), Dist::exp(1.0)));
+        def.add_component(
+            BcDef::new("ps", Dist::exp(0.1), Dist::exp(1.0))
+                .with_om_group(OmGroup::ActiveInactive)
+                .with_ttf([Dist::exp(0.1), Dist::exp(0.1)]),
+        );
+        let mut smu = SmuDef::new("m", "pp", ["ps"]);
+        if let Some(f) = failover {
+            smu = smu.with_failover(f);
+        }
+        def.add_smu(smu.clone());
+        (def, smu)
+    }
+
+    fn build(failover: Option<Dist>) -> (IoImc, Signals) {
+        let (def, smu) = smu_def(failover);
+        let mut ab = Alphabet::new();
+        ab.intern("tau");
+        let signals = test_support::signals(&def, &mut ab);
+        (build_smu(&def, &smu, &signals).unwrap(), signals)
+    }
+
+    #[test]
+    fn instant_smu_activates_on_primary_failure() {
+        let (imc, signals) = build(None);
+        let pp_failed = signals.failed_m[0][0];
+        let act = signals.activate[1].unwrap();
+        let after = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == pp_failed)
+            .map(|&(_, t)| t)
+            .unwrap();
+        assert!(imc.interactive_from(after).iter().any(|&(a, _)| a == act));
+        assert!(imc.is_unstable(after));
+    }
+
+    #[test]
+    fn failover_smu_delays_activation() {
+        let (imc, signals) = build(Some(Dist::exp(5.0)));
+        let pp_failed = signals.failed_m[0][0];
+        let after = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == pp_failed)
+            .map(|&(_, t)| t)
+            .unwrap();
+        // not unstable: the failover timer races instead
+        assert!(!imc.is_unstable(after));
+        assert!((imc.exit_rate(after) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primary_repair_deactivates_spare() {
+        let (imc, signals) = build(None);
+        let pp_failed = signals.failed_m[0][0];
+        let pp_up = signals.up[0];
+        let deact = signals.deactivate[1].unwrap();
+        let mut s = imc
+            .interactive_from(imc.initial())
+            .iter()
+            .find(|&&(a, _)| a == pp_failed)
+            .map(|&(_, t)| t)
+            .unwrap();
+        // take the urgent activate
+        s = imc
+            .interactive_from(s)
+            .iter()
+            .find(|&&(a, _)| imc.is_urgent(a))
+            .map(|&(_, t)| t)
+            .unwrap();
+        // primary comes back up -> deactivation pending
+        s = imc
+            .interactive_from(s)
+            .iter()
+            .find(|&&(a, _)| a == pp_up)
+            .map(|&(_, t)| t)
+            .unwrap();
+        assert!(imc.interactive_from(s).iter().any(|&(a, _)| a == deact));
+    }
+}

@@ -66,11 +66,7 @@ pub fn dds_scaled(clusters: usize) -> SystemDef {
     for c in 0..clusters {
         let names: Vec<String> = (1..=4).map(|k| format!("d_{}", c * 4 + k)).collect();
         for n in &names {
-            def.add_component(BcDef::new(
-                n,
-                Dist::exp(DISK_RATE),
-                Dist::exp(REPAIR_RATE),
-            ));
+            def.add_component(BcDef::new(n, Dist::exp(DISK_RATE), Dist::exp(REPAIR_RATE)));
         }
         def.add_repair_unit(RuDef::new(
             format!("cluster{}.rep", c + 1),

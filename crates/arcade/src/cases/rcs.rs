@@ -35,10 +35,7 @@ pub const COMMON_REPAIR_RATE: f64 = 0.1;
 fn valve(name: &str) -> BcDef {
     BcDef::new(name, Dist::exp(VALVE_RATE), Dist::exp(COMMON_REPAIR_RATE)).with_failure_modes(
         [0.5, 0.5],
-        [
-            Dist::exp(COMMON_REPAIR_RATE),
-            Dist::exp(COMMON_REPAIR_RATE),
-        ],
+        [Dist::exp(COMMON_REPAIR_RATE), Dist::exp(COMMON_REPAIR_RATE)],
     )
 }
 

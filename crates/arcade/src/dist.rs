@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use smallrand::SmallRng;
 
 /// A phase-type distribution from the acyclic-chain subclass.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,17 +128,10 @@ impl Dist {
 
     /// Draws a sample using `rng`. Returns `f64::INFINITY` for
     /// [`Dist::Never`].
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
         match self {
             Self::Never => f64::INFINITY,
-            _ => self
-                .phase_rates()
-                .iter()
-                .map(|r| {
-                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                    -u.ln() / r
-                })
-                .sum(),
+            _ => self.phase_rates().iter().map(|&r| rng.exp(r)).sum(),
         }
     }
 }
@@ -226,7 +219,6 @@ pub(crate) use ctmc::poisson::poisson_weights as poisson_for_dist;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn constructors_validate() {
@@ -286,7 +278,7 @@ mod tests {
     #[test]
     fn sample_mean_is_plausible() {
         let d = Dist::erlang(4, 2.0); // mean 2.0
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = SmallRng::seed_from_u64(42);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 2.0).abs() < 0.05, "sample mean {mean}");

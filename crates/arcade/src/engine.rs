@@ -161,10 +161,8 @@ fn eval_plan(ctx: &mut Ctx<'_>, plan: &Plan, external: &Interface) -> Result<IoI
         Plan::Block(i) => Ok(ctx.model.blocks[*i].imc.clone()),
         Plan::Group(items) => {
             assert!(!items.is_empty(), "empty plan group");
-            let ifaces: Vec<Interface> = items
-                .iter()
-                .map(|p| plan_interface(ctx.model, p))
-                .collect();
+            let ifaces: Vec<Interface> =
+                items.iter().map(|p| plan_interface(ctx.model, p)).collect();
             let mut acc: Option<IoImc> = None;
             for (k, item) in items.iter().enumerate() {
                 // Everything outside `item`: the external context plus the

@@ -108,9 +108,7 @@ impl Expr {
         match self {
             Self::Lit(_) => false,
             Self::Pand(_) => true,
-            Self::And(cs) | Self::Or(cs) | Self::KofN(_, cs) => {
-                cs.iter().any(Expr::contains_pand)
-            }
+            Self::And(cs) | Self::Or(cs) | Self::KofN(_, cs) => cs.iter().any(Expr::contains_pand),
         }
     }
 

@@ -26,7 +26,10 @@
 //!
 //! # Quick start
 //!
-//! Two redundant processors sharing an FCFS repair unit:
+//! Two redundant processors sharing an FCFS repair unit, queried through
+//! the lazy [`query::Session`]: nothing is aggregated until the first
+//! measure needs it, and a whole batch of measures — including every
+//! point of a reliability curve — is answered in one pass:
 //!
 //! ```
 //! use arcade::prelude::*;
@@ -38,14 +41,21 @@
 //! sys.add_repair_unit(RuDef::new("rep", ["p1", "p2"], RepairStrategy::Fcfs));
 //! sys.set_system_down(Expr::and([Expr::down("p1"), Expr::down("p2")]));
 //!
-//! let analysis = Analysis::new(&sys)?.run()?;
-//! let a = analysis.steady_state_availability();
-//! assert!(a > 0.99999 && a < 1.0);
+//! let session = Session::new(&sys)?; // validates; builds nothing yet
+//! let values = session.evaluate(&[
+//!     Measure::SteadyStateAvailability, // availability configuration
+//!     Measure::Reliability(1000.0),     // no-repair configuration
+//!     Measure::Reliability(5000.0),     // same sweep as the line above
+//!     Measure::Mttf,
+//! ])?;
+//! assert!(values[0] > 0.99999 && values[0] < 1.0);
+//! assert!(values[2] < values[1]);
 //! # Ok::<(), arcade::ArcadeError>(())
 //! ```
 //!
-//! The same model can be written in the paper's textual syntax and parsed
-//! with [`parser::parse_system`].
+//! The eager [`Analysis`] API remains as a thin compatibility wrapper
+//! over the session. The same model can be written in the paper's textual
+//! syntax and parsed with [`parser::parse_system`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,10 +74,12 @@ pub mod modular;
 pub mod order;
 pub mod parser;
 pub mod printer;
+pub mod query;
 pub mod sim;
 
 pub use analysis::Analysis;
 pub use error::ArcadeError;
+pub use query::{Measure, Session};
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -76,4 +88,5 @@ pub mod prelude {
     pub use crate::dist::Dist;
     pub use crate::error::ArcadeError;
     pub use crate::expr::Expr;
+    pub use crate::query::{Measure, Session};
 }

@@ -276,8 +276,7 @@ pub fn validate(def: &SystemDef) -> Result<(), ArcadeError> {
             )));
         }
         let sum: f64 = bc.failure_mode_probs.iter().sum();
-        if (sum - 1.0).abs() > 1e-9 || bc.failure_mode_probs.iter().any(|p| *p <= 0.0 || *p > 1.0)
-        {
+        if (sum - 1.0).abs() > 1e-9 || bc.failure_mode_probs.iter().any(|p| *p <= 0.0 || *p > 1.0) {
             return Err(ArcadeError::invalid(format!(
                 "component `{}`: failure mode probabilities must be in (0,1] and sum to 1",
                 bc.name

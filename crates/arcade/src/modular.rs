@@ -79,7 +79,48 @@ impl ModularAnalysis {
 
     /// System no-repair reliability at `t` (the DDS Table 1 measure).
     pub fn reliability(&self, t: f64) -> f64 {
-        self.modules.iter().map(|m| m.report.reliability(t)).product()
+        self.modules
+            .iter()
+            .map(|m| m.report.reliability(t))
+            .product()
+    }
+
+    /// System point unavailability over a whole time grid: each module
+    /// answers its curve in one batched sweep, then the per-point
+    /// independent-module combination is applied.
+    pub fn point_unavailability_many(&self, ts: &[f64]) -> Vec<f64> {
+        self.combine_complement(ts, |m, ts| m.report.point_unavailability_many(ts))
+    }
+
+    /// System first-passage unreliability (repairs active) over a whole
+    /// time grid, batched per module.
+    pub fn unreliability_with_repair_many(&self, ts: &[f64]) -> Vec<f64> {
+        self.combine_complement(ts, |m, ts| m.report.unreliability_with_repair_many(ts))
+    }
+
+    /// System no-repair reliability over a whole time grid, batched per
+    /// module.
+    pub fn reliability_many(&self, ts: &[f64]) -> Vec<f64> {
+        let per_module: Vec<Vec<f64>> = self
+            .modules
+            .iter()
+            .map(|m| m.report.reliability_many(ts))
+            .collect();
+        (0..ts.len())
+            .map(|i| per_module.iter().map(|c| c[i]).product())
+            .collect()
+    }
+
+    /// `1 - Π (1 - xᵢ)` per grid point over the modules' curves.
+    fn combine_complement(
+        &self,
+        ts: &[f64],
+        curve: impl Fn(&ModuleAnalysis, &[f64]) -> Vec<f64>,
+    ) -> Vec<f64> {
+        let per_module: Vec<Vec<f64>> = self.modules.iter().map(|m| curve(m, ts)).collect();
+        (0..ts.len())
+            .map(|i| 1.0 - per_module.iter().map(|c| 1.0 - c[i]).product::<f64>())
+            .collect()
     }
 }
 
@@ -110,11 +151,8 @@ pub fn modular_analysis(
     let closures: Vec<HashSet<String>> = branches
         .iter()
         .map(|b| {
-            let mut set: HashSet<String> = b
-                .literals()
-                .iter()
-                .map(|l| l.component.clone())
-                .collect();
+            let mut set: HashSet<String> =
+                b.literals().iter().map(|l| l.component.clone()).collect();
             dependency_closure(def, &mut set);
             set
         })
@@ -181,9 +219,7 @@ pub fn modular_analysis(
             Expr::Or(member_branches)
         });
 
-        let report = Analysis::new(&sub)?
-            .with_options(opts.clone())
-            .run()?;
+        let report = Analysis::new(&sub)?.with_options(opts.clone()).run()?;
         let mut components: Vec<String> = comps.into_iter().collect();
         components.sort();
         modules.push(ModuleAnalysis {
@@ -225,8 +261,7 @@ fn dependency_closure(def: &SystemDef, set: &mut HashSet<String>) {
             }
         }
         for smu in &def.smus {
-            let members: Vec<&String> =
-                std::iter::once(&smu.primary).chain(&smu.spares).collect();
+            let members: Vec<&String> = std::iter::once(&smu.primary).chain(&smu.spares).collect();
             if members.iter().any(|c| set.contains(*c)) {
                 set.extend(members.into_iter().cloned());
             }
@@ -282,12 +317,9 @@ mod tests {
         let t = 3.0;
         assert!((modular.reliability(t) - mono.reliability(t)).abs() < 1e-9);
         assert!(
-            (modular.unreliability_with_repair(t) - mono.unreliability_with_repair(t)).abs()
-                < 1e-9
+            (modular.unreliability_with_repair(t) - mono.unreliability_with_repair(t)).abs() < 1e-9
         );
-        assert!(
-            (modular.point_unavailability(t) - mono.point_unavailability(t)).abs() < 1e-9
-        );
+        assert!((modular.point_unavailability(t) - mono.point_unavailability(t)).abs() < 1e-9);
         assert!(
             (modular.steady_state_availability() + modular.steady_state_unavailability() - 1.0)
                 .abs()

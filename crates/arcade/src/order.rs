@@ -243,7 +243,12 @@ impl PlanBuilder<'_> {
 }
 
 /// Post-order gate numbering matching `build_gate_tree`.
-fn assign_numbers(expr: &Expr, pre: &mut usize, post: &mut usize, numbers: &mut Vec<(usize, usize)>) {
+fn assign_numbers(
+    expr: &Expr,
+    pre: &mut usize,
+    post: &mut usize,
+    numbers: &mut Vec<(usize, usize)>,
+) {
     let my_pre = *pre;
     *pre += 1;
     match expr {
@@ -407,7 +412,10 @@ mod tests {
             .map(|i| m.blocks[i].name.as_str())
             .collect();
         let pos = |n: &str| flat.iter().position(|x| *x == n).unwrap();
-        assert!(pos("gate2") < pos("c"), "top gate before second module: {flat:?}");
+        assert!(
+            pos("gate2") < pos("c"),
+            "top gate before second module: {flat:?}"
+        );
         assert!(pos("observer") < pos("c"));
     }
 }

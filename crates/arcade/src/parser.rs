@@ -77,12 +77,7 @@ pub fn parse_system(input: &str) -> Result<SystemDef, ArcadeError> {
                 Some(Block::Component(c)) => c.line(&key_norm, value, lineno)?,
                 Some(Block::Ru(r)) => r.line(&key_norm, value, lineno)?,
                 Some(Block::Smu(s)) => s.line(&key_norm, value, lineno)?,
-                None => {
-                    return Err(parse_err(
-                        lineno,
-                        format!("`{key}` outside of any block"),
-                    ))
-                }
+                None => return Err(parse_err(lineno, format!("`{key}` outside of any block"))),
             },
         }
     }
@@ -174,7 +169,12 @@ impl ComponentBlock {
                 self.inacc_means_down = match value.to_ascii_uppercase().as_str() {
                     "YES" => true,
                     "NO" => false,
-                    other => return Err(parse_err(lineno, format!("expected YES or NO, got `{other}`"))),
+                    other => {
+                        return Err(parse_err(
+                            lineno,
+                            format!("expected YES or NO, got `{other}`"),
+                        ))
+                    }
                 }
             }
             "ON-TO-OFF" => self.on_off_expr = Some(parse_expr(value, lineno)?),
@@ -198,7 +198,12 @@ impl ComponentBlock {
                     .collect::<Result<_, _>>()?;
             }
             "DESTRUCTIVE FDEP" => self.df = Some(parse_expr(value, lineno)?),
-            other => return Err(parse_err(lineno, format!("unknown component line `{other}`"))),
+            other => {
+                return Err(parse_err(
+                    lineno,
+                    format!("unknown component line `{other}`"),
+                ))
+            }
         }
         Ok(())
     }
@@ -215,7 +220,10 @@ impl ComponentBlock {
             let group = match g.as_str() {
                 "inactive,active" | "active,inactive" => OmGroup::ActiveInactive,
                 "on,off" => OmGroup::OnOff(self.on_off_expr.take().ok_or_else(|| {
-                    parse_err(lineno, format!("component `{}`: (on, off) needs ON-TO-OFF", self.name))
+                    parse_err(
+                        lineno,
+                        format!("component `{}`: (on, off) needs ON-TO-OFF", self.name),
+                    )
                 })?),
                 "accessible,inaccessible" => {
                     OmGroup::AccessibleInaccessible(self.acc_expr.take().ok_or_else(|| {
@@ -321,9 +329,7 @@ impl RuBlock {
                     "FCFS" => RepairStrategy::Fcfs,
                     "PP" => RepairStrategy::PreemptivePriority,
                     "PNP" => RepairStrategy::NonPreemptivePriority,
-                    other => {
-                        return Err(parse_err(lineno, format!("unknown strategy `{other}`")))
-                    }
+                    other => return Err(parse_err(lineno, format!("unknown strategy `{other}`"))),
                 })
             }
             "PRIORITIES" => {
@@ -428,7 +434,10 @@ fn parse_groups(value: &str, lineno: usize) -> Result<Vec<String>, ArcadeError> 
     let mut rest = value.trim();
     while !rest.is_empty() {
         if !rest.starts_with('(') {
-            return Err(parse_err(lineno, "operational mode groups must be parenthesized"));
+            return Err(parse_err(
+                lineno,
+                "operational mode groups must be parenthesized",
+            ));
         }
         let close = rest
             .find(')')
@@ -696,10 +705,7 @@ impl ExprParser {
                 }
                 self.eat(&Tok::RParen)?;
                 if children.len() < 2 {
-                    return Err(parse_err(
-                        self.lineno,
-                        "PAND needs at least two operands",
-                    ));
+                    return Err(parse_err(self.lineno, "PAND needs at least two operands"));
                 }
                 Ok(Expr::Pand(children))
             }
@@ -856,8 +862,11 @@ SYSTEM DOWN: cpu.down.m2 OR cpu.down.df
 
     #[test]
     fn parses_kofn_and_nested() {
-        let e = parse_expr("(a.down AND b.down) OR 2of4(c.down, d.down, e.down, f.down)", 1)
-            .unwrap();
+        let e = parse_expr(
+            "(a.down AND b.down) OR 2of4(c.down, d.down, e.down, f.down)",
+            1,
+        )
+        .unwrap();
         match e {
             Expr::Or(cs) => {
                 assert!(matches!(cs[0], Expr::And(_)));

@@ -1,0 +1,522 @@
+//! The query-driven measure engine: lazy [`Session`] + batched
+//! [`Measure`] evaluation.
+//!
+//! The Arcade pipeline's expensive artifacts — the compositionally
+//! aggregated CTMC per model configuration, its steady-state vector, the
+//! down-state list, the absorbing-transformed chain for first-passage
+//! measures — are all independent of *which* time points a caller asks
+//! about. A [`Session`] therefore owns the [`SystemDef`] and builds each
+//! artifact **lazily, once**, answering whole batches of measures in one
+//! pass with the batched uniformization kernels of
+//! [`ctmc::transient::transient_many`].
+//!
+//! # Laziness and caching contract
+//!
+//! Two model configurations exist, each built on first demand and then
+//! memoized for the lifetime of the session:
+//!
+//! * the **availability configuration** (repairs active) — needed by
+//!   [`Measure::SteadyStateAvailability`],
+//!   [`Measure::SteadyStateUnavailability`],
+//!   [`Measure::PointAvailability`], [`Measure::PointUnavailability`],
+//!   [`Measure::UnreliabilityWithRepair`], [`Measure::Mttf`],
+//!   [`Measure::IntervalAvailability`] and [`Measure::BoundedUntil`];
+//! * the **no-repair configuration** (`SystemDef::without_repair`,
+//!   §5.1.2) — needed by [`Measure::Reliability`] and
+//!   [`Measure::Unreliability`].
+//!
+//! Within a configuration, the steady-state vector, the down-state list,
+//! the absorbing-down chain (the third, derived "absorbing-down"
+//! configuration) and the MTTF are each computed at most once. A batch
+//! [`Session::evaluate`] call groups the grid-friendly measure kinds —
+//! point (un)availability, (un)reliability and first-passage
+//! unreliability — so each (configuration, kind) pair costs **one**
+//! uniformization sweep over the whole grid, no matter how many points
+//! the curve has. The CSL measures ([`Measure::IntervalAvailability`],
+//! [`Measure::BoundedUntil`]) are evaluated per instance: their internal
+//! grids/transformed chains are query-specific and do not batch.
+//!
+//! # Example
+//!
+//! ```
+//! use arcade::prelude::*;
+//!
+//! let mut sys = SystemDef::new("pair");
+//! for name in ["p1", "p2"] {
+//!     sys.add_component(BcDef::new(name, Dist::exp(0.001), Dist::exp(0.5)));
+//! }
+//! sys.add_repair_unit(RuDef::new("rep", ["p1", "p2"], RepairStrategy::Fcfs));
+//! sys.set_system_down(Expr::and([Expr::down("p1"), Expr::down("p2")]));
+//!
+//! let session = Session::new(&sys)?;
+//! let batch = [
+//!     Measure::SteadyStateAvailability,
+//!     Measure::Reliability(100.0),
+//!     Measure::Reliability(1000.0),
+//!     Measure::Mttf,
+//! ];
+//! let values = session.evaluate(&batch)?;
+//! assert!(values[0] > 0.999);
+//! assert!(values[2] < values[1]); // reliability decreases
+//! # Ok::<(), arcade::ArcadeError>(())
+//! ```
+
+use std::cell::{Cell, OnceCell};
+use std::rc::Rc;
+
+use ctmc::csl::StateFormula;
+use ctmc::measures::state_mass as mass;
+use ctmc::transient::transient_many_from;
+use ctmc::Ctmc;
+
+use crate::ast::SystemDef;
+use crate::build::observer::DOWN_BIT;
+use crate::engine::{aggregate, Aggregation, EngineOptions};
+use crate::error::ArcadeError;
+use crate::model::SystemModel;
+
+/// One dependability measure. Time-dependent variants carry their time
+/// point; a batch of them over a grid is answered by one shared sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Measure {
+    /// Long-run availability `A` (availability configuration).
+    SteadyStateAvailability,
+    /// Long-run unavailability `1 - A`, computed directly for precision.
+    SteadyStateUnavailability,
+    /// Point availability `A(t)`.
+    PointAvailability(f64),
+    /// Point unavailability `1 - A(t)`, computed directly.
+    PointUnavailability(f64),
+    /// Reliability `R(t)` with **no repairs at all** — the paper's Table 1
+    /// definition (§5.1.2); evaluated on the no-repair configuration.
+    Reliability(f64),
+    /// Unreliability `1 - R(t)` of the no-repair configuration.
+    Unreliability(f64),
+    /// First-passage unreliability **with component repairs active** — the
+    /// RCS definition (§5.2.2); evaluated on the availability
+    /// configuration with the down states made absorbing.
+    UnreliabilityWithRepair(f64),
+    /// Mean time to the first system failure (repairs active).
+    Mttf,
+    /// Expected fraction of `[0, t]` the system is up (CSL layer, §6).
+    IntervalAvailability(f64),
+    /// `P[Φ U≤t Ψ]` on the availability CTMC (CSL layer, §6).
+    BoundedUntil {
+        /// The path constraint Φ.
+        phi: StateFormula,
+        /// The goal formula Ψ.
+        psi: StateFormula,
+        /// The time bound.
+        t: f64,
+    },
+}
+
+/// Cheap observability into what a [`Session`] has built so far — used by
+/// tests and benchmarks to assert the laziness/batching contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Compositional aggregations run (≤ 2: availability, no-repair).
+    pub aggregations_built: u32,
+    /// Absorbing-down transformations built (≤ 2, one per configuration).
+    pub absorbing_built: u32,
+    /// Steady-state solves run (≤ 1 — only the availability steady state
+    /// is ever needed).
+    pub steady_solves: u32,
+}
+
+/// Per-configuration memo: the aggregation and everything derived from it.
+#[derive(Debug, Clone, Default)]
+struct ConfigCache {
+    agg: OnceCell<Aggregation>,
+    steady: OnceCell<Vec<f64>>,
+    down: OnceCell<Rc<[u32]>>,
+    absorbing: OnceCell<Ctmc>,
+    mttf: OnceCell<f64>,
+}
+
+/// Which model configuration a measure needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Config {
+    /// Repairs active.
+    Availability,
+    /// All repair units stripped (`SystemDef::without_repair`).
+    NoRepair,
+}
+
+/// A lazy, memoizing measure-evaluation session over one system
+/// definition. See the module docs for the caching contract.
+#[derive(Debug, Clone)]
+pub struct Session {
+    def: SystemDef,
+    opts: EngineOptions,
+    availability: ConfigCache,
+    no_repair: ConfigCache,
+    aggregations_built: Cell<u32>,
+    absorbing_built: Cell<u32>,
+    steady_solves: Cell<u32>,
+}
+
+impl Session {
+    /// Creates a session with default engine options. Validates the
+    /// definition eagerly; builds **nothing** until the first query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::Invalid`] for inconsistent definitions.
+    pub fn new(def: &SystemDef) -> Result<Self, ArcadeError> {
+        crate::model::validate(def)?;
+        if def.system_down.is_none() {
+            return Err(ArcadeError::invalid("SYSTEM DOWN criterion missing"));
+        }
+        Ok(Self {
+            def: def.clone(),
+            opts: EngineOptions::new(),
+            availability: ConfigCache::default(),
+            no_repair: ConfigCache::default(),
+            aggregations_built: Cell::new(0),
+            absorbing_built: Cell::new(0),
+            steady_solves: Cell::new(0),
+        })
+    }
+
+    /// Overrides the engine options. Resets nothing — call before the
+    /// first query.
+    pub fn with_options(mut self, opts: EngineOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The system definition this session answers queries about.
+    pub fn def(&self) -> &SystemDef {
+        &self.def
+    }
+
+    /// What has been built so far.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            aggregations_built: self.aggregations_built.get(),
+            absorbing_built: self.absorbing_built.get(),
+            steady_solves: self.steady_solves.get(),
+        }
+    }
+
+    fn cache(&self, cfg: Config) -> &ConfigCache {
+        match cfg {
+            Config::Availability => &self.availability,
+            Config::NoRepair => &self.no_repair,
+        }
+    }
+
+    /// The aggregation of `cfg`, built on first use.
+    fn aggregation(&self, cfg: Config) -> Result<&Aggregation, ArcadeError> {
+        let cache = self.cache(cfg);
+        if cache.agg.get().is_none() {
+            let def = match cfg {
+                Config::Availability => self.def.clone(),
+                Config::NoRepair => self.def.without_repair(),
+            };
+            let model = SystemModel::build(&def)?;
+            let agg = aggregate(&model, &self.opts)?;
+            self.aggregations_built
+                .set(self.aggregations_built.get() + 1);
+            let _ = cache.agg.set(agg);
+        }
+        Ok(cache.agg.get().expect("just built"))
+    }
+
+    /// The aggregation of the availability configuration (repairs active),
+    /// building it if this is the first query to need it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn availability_model(&self) -> Result<&Aggregation, ArcadeError> {
+        self.aggregation(Config::Availability)
+    }
+
+    /// The aggregation of the no-repair configuration (§5.1.2), building
+    /// it if this is the first query to need it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn reliability_model(&self) -> Result<&Aggregation, ArcadeError> {
+        self.aggregation(Config::NoRepair)
+    }
+
+    fn down_states(&self, cfg: Config) -> Result<Rc<[u32]>, ArcadeError> {
+        let ctmc = &self.aggregation(cfg)?.ctmc;
+        Ok(self
+            .cache(cfg)
+            .down
+            .get_or_init(|| ctmc.states_with_label(DOWN_BIT).collect())
+            .clone())
+    }
+
+    fn steady(&self, cfg: Config) -> Result<&[f64], ArcadeError> {
+        let ctmc = &self.aggregation(cfg)?.ctmc;
+        Ok(self.cache(cfg).steady.get_or_init(|| {
+            self.steady_solves.set(self.steady_solves.get() + 1);
+            ctmc::steady::steady_state(ctmc)
+        }))
+    }
+
+    fn absorbing(&self, cfg: Config) -> Result<&Ctmc, ArcadeError> {
+        let down = self.down_states(cfg)?;
+        let ctmc = &self.aggregation(cfg)?.ctmc;
+        Ok(self.cache(cfg).absorbing.get_or_init(|| {
+            self.absorbing_built.set(self.absorbing_built.get() + 1);
+            ctmc.make_absorbing(down.iter().copied())
+        }))
+    }
+
+    fn mttf(&self) -> Result<f64, ArcadeError> {
+        let down = self.down_states(Config::Availability)?;
+        let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+        Ok(*self.cache(Config::Availability).mttf.get_or_init(|| {
+            if down.is_empty() {
+                f64::INFINITY
+            } else {
+                ctmc::absorbing::mean_time_to_absorption(ctmc, &down)
+            }
+        }))
+    }
+
+    fn steady_down_mass(&self) -> Result<f64, ArcadeError> {
+        let down = self.down_states(Config::Availability)?;
+        let pi = self.steady(Config::Availability)?;
+        Ok(mass(&down, pi))
+    }
+
+    /// Point unavailabilities over a grid: one batched transient sweep on
+    /// the availability CTMC.
+    fn unavailability_curve(&self, ts: &[f64]) -> Result<Vec<f64>, ArcadeError> {
+        let down = self.down_states(Config::Availability)?;
+        let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+        Ok(ctmc::transient::transient_many(ctmc, ts)
+            .iter()
+            .map(|pi| mass(&down, pi))
+            .collect())
+    }
+
+    /// First-passage probabilities over a grid for `cfg`: one cached
+    /// absorbing transformation, one batched sweep.
+    fn first_passage_curve(&self, cfg: Config, ts: &[f64]) -> Result<Vec<f64>, ArcadeError> {
+        let down = self.down_states(cfg)?;
+        if down.is_empty() {
+            return Ok(vec![0.0; ts.len()]);
+        }
+        let absorbing = self.absorbing(cfg)?;
+        Ok(
+            transient_many_from(absorbing, &absorbing.initial_distribution(), ts)
+                .iter()
+                .map(|pi| mass(&down, pi))
+                .collect(),
+        )
+    }
+
+    /// Evaluates one measure. Prefer [`Session::evaluate`] for curves —
+    /// single values still benefit from the session's memoized artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn value(&self, measure: &Measure) -> Result<f64, ArcadeError> {
+        Ok(self.evaluate(std::slice::from_ref(measure))?[0])
+    }
+
+    /// Evaluates a whole batch in one pass: each needed configuration is
+    /// aggregated at most once, and all time points of a kind share one
+    /// uniformization sweep. Returns the values in the order of
+    /// `measures`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn evaluate(&self, measures: &[Measure]) -> Result<Vec<f64>, ArcadeError> {
+        // Gather the time grids per (configuration, kind).
+        let mut unavail_ts = Vec::new();
+        let mut fp_repair_ts = Vec::new();
+        let mut fp_norepair_ts = Vec::new();
+        for m in measures {
+            match m {
+                Measure::PointAvailability(t) | Measure::PointUnavailability(t) => {
+                    unavail_ts.push(*t);
+                }
+                Measure::UnreliabilityWithRepair(t) => fp_repair_ts.push(*t),
+                Measure::Reliability(t) | Measure::Unreliability(t) => {
+                    fp_norepair_ts.push(*t);
+                }
+                _ => {}
+            }
+        }
+        let unavail = if unavail_ts.is_empty() {
+            Vec::new()
+        } else {
+            self.unavailability_curve(&unavail_ts)?
+        };
+        let fp_repair = if fp_repair_ts.is_empty() {
+            Vec::new()
+        } else {
+            self.first_passage_curve(Config::Availability, &fp_repair_ts)?
+        };
+        let fp_norepair = if fp_norepair_ts.is_empty() {
+            Vec::new()
+        } else {
+            self.first_passage_curve(Config::NoRepair, &fp_norepair_ts)?
+        };
+
+        // Read the batched results back out in measure order.
+        let (mut ui, mut ri, mut ni) = (0usize, 0usize, 0usize);
+        let mut out = Vec::with_capacity(measures.len());
+        for m in measures {
+            let v = match m {
+                Measure::SteadyStateAvailability => 1.0 - self.steady_down_mass()?,
+                Measure::SteadyStateUnavailability => self.steady_down_mass()?,
+                Measure::PointAvailability(_) => {
+                    ui += 1;
+                    1.0 - unavail[ui - 1]
+                }
+                Measure::PointUnavailability(_) => {
+                    ui += 1;
+                    unavail[ui - 1]
+                }
+                Measure::UnreliabilityWithRepair(_) => {
+                    ri += 1;
+                    fp_repair[ri - 1]
+                }
+                Measure::Reliability(_) => {
+                    ni += 1;
+                    1.0 - fp_norepair[ni - 1]
+                }
+                Measure::Unreliability(_) => {
+                    ni += 1;
+                    fp_norepair[ni - 1]
+                }
+                Measure::Mttf => self.mttf()?,
+                Measure::IntervalAvailability(t) => {
+                    let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+                    1.0 - ctmc::csl::interval_down_fraction(ctmc, &StateFormula::down(), *t)
+                }
+                Measure::BoundedUntil { phi, psi, t } => {
+                    let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+                    ctmc::csl::until_bounded(ctmc, phi, psi, *t)
+                }
+            };
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BcDef, RepairStrategy, RuDef};
+    use crate::dist::Dist;
+    use crate::expr::Expr;
+
+    fn pair() -> SystemDef {
+        let mut def = SystemDef::new("pair");
+        def.add_component(BcDef::new("a", Dist::exp(0.01), Dist::exp(1.0)));
+        def.add_component(BcDef::new("b", Dist::exp(0.02), Dist::exp(2.0)));
+        def.add_repair_unit(RuDef::new("ra", ["a"], RepairStrategy::Dedicated));
+        def.add_repair_unit(RuDef::new("rb", ["b"], RepairStrategy::Dedicated));
+        def.set_system_down(Expr::or([Expr::down("a"), Expr::down("b")]));
+        def
+    }
+
+    #[test]
+    fn session_is_lazy_per_configuration() {
+        let session = Session::new(&pair()).unwrap();
+        assert_eq!(session.stats().aggregations_built, 0);
+        let _ = session
+            .evaluate(&[
+                Measure::SteadyStateAvailability,
+                Measure::PointAvailability(5.0),
+                Measure::Mttf,
+            ])
+            .unwrap();
+        // Only the availability configuration was needed.
+        assert_eq!(session.stats().aggregations_built, 1);
+        let _ = session.value(&Measure::Reliability(5.0)).unwrap();
+        assert_eq!(session.stats().aggregations_built, 2);
+        // Repeat queries rebuild nothing.
+        let _ = session
+            .evaluate(&[Measure::Reliability(7.0), Measure::Mttf])
+            .unwrap();
+        assert_eq!(session.stats().aggregations_built, 2);
+        assert_eq!(session.stats().steady_solves, 1);
+        assert_eq!(session.stats().absorbing_built, 1);
+    }
+
+    #[test]
+    fn batch_matches_singletons() {
+        let session = Session::new(&pair()).unwrap();
+        let batch = [
+            Measure::SteadyStateUnavailability,
+            Measure::PointUnavailability(3.0),
+            Measure::Reliability(3.0),
+            Measure::UnreliabilityWithRepair(3.0),
+            Measure::Mttf,
+        ];
+        let values = session.evaluate(&batch).unwrap();
+        let fresh = Session::new(&pair()).unwrap();
+        for (m, &v) in batch.iter().zip(&values) {
+            let single = fresh.value(m).unwrap();
+            assert!(
+                (single - v).abs() < 1e-12,
+                "{m:?}: batch {v} vs single {single}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_forms_hold() {
+        let session = Session::new(&pair()).unwrap();
+        // independent dedicated repair: A = Π µ/(λ+µ)
+        let a = session.value(&Measure::SteadyStateAvailability).unwrap();
+        let expected = (1.0 / 1.01) * (2.0 / 2.02);
+        assert!((a - expected).abs() < 1e-10, "{a} vs {expected}");
+        // series system, no repair: R(t) = e^{-(λ1+λ2)t}
+        let t = 7.0;
+        let r = session.value(&Measure::Reliability(t)).unwrap();
+        assert!((r - (-0.03f64 * t).exp()).abs() < 1e-9);
+        // complementarity inside one batch
+        let v = session
+            .evaluate(&[
+                Measure::PointAvailability(t),
+                Measure::PointUnavailability(t),
+                Measure::Unreliability(t),
+                Measure::Reliability(t),
+            ])
+            .unwrap();
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-12);
+        assert!((v[2] + v[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_system_down_rejected() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("a", Dist::exp(0.01), Dist::exp(1.0)));
+        assert!(Session::new(&def).is_err());
+    }
+
+    #[test]
+    fn csl_measures_route_through_the_session() {
+        let session = Session::new(&pair()).unwrap();
+        let t = 10.0;
+        let until = session
+            .value(&Measure::BoundedUntil {
+                phi: StateFormula::up(),
+                psi: StateFormula::down(),
+                t,
+            })
+            .unwrap();
+        let fp = session.value(&Measure::UnreliabilityWithRepair(t)).unwrap();
+        assert!((until - fp).abs() < 1e-12);
+        let ia = session.value(&Measure::IntervalAvailability(t)).unwrap();
+        let pa = session.value(&Measure::PointAvailability(t)).unwrap();
+        assert!(ia <= 1.0 && ia >= pa - 1e-9);
+    }
+}

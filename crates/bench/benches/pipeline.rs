@@ -1,14 +1,16 @@
-//! Criterion benchmarks of the pipeline stages: block construction,
-//! parallel composition, bisimulation reduction and CTMC solving.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Benchmarks of the pipeline stages: block construction, parallel
+//! composition, bisimulation reduction and CTMC solving — including the
+//! batched uniformization kernels against their scalar per-point loops.
+//!
+//! Run: `cargo bench -p arcade-bench --bench pipeline`
 
 use arcade::ast::{BcDef, RepairStrategy, RuDef, SystemDef};
 use arcade::dist::Dist;
 use arcade::expr::Expr;
 use arcade::model::SystemModel;
+use arcade_bench::bench;
 use bisim::pipeline::{reduce, ReduceOptions, Strategy};
-use ctmc::{measures, Ctmc};
+use ctmc::{measures, transient, Ctmc};
 use ioimc::compose::parallel_all;
 
 /// A chain of n repairable components sharing one FCFS repair unit, failing
@@ -27,54 +29,8 @@ fn chain(n: usize) -> SystemDef {
     def
 }
 
-fn bench_block_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("block-construction");
-    for n in [2usize, 3, 4] {
-        g.bench_with_input(BenchmarkId::new("elaborate-chain", n), &n, |b, &n| {
-            let def = chain(n);
-            b.iter(|| SystemModel::build(&def).expect("build"));
-        });
-    }
-    g.finish();
-}
-
-fn bench_composition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("composition");
-    for n in [2usize, 3, 4] {
-        let model = SystemModel::build(&chain(n)).expect("build");
-        let automata: Vec<ioimc::IoImc> = model.blocks.iter().map(|b| b.imc.clone()).collect();
-        g.bench_with_input(BenchmarkId::new("parallel-all", n), &n, |b, _| {
-            b.iter(|| parallel_all(&automata).expect("compose"));
-        });
-    }
-    g.finish();
-}
-
-fn bench_reduction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reduction");
-    let model = SystemModel::build(&chain(3)).expect("build");
-    let automata: Vec<ioimc::IoImc> = model.blocks.iter().map(|b| b.imc.clone()).collect();
-    let flat = parallel_all(&automata).expect("compose");
-    for strategy in [Strategy::Strong, Strategy::Branching] {
-        g.bench_with_input(
-            BenchmarkId::new("strategy", format!("{strategy:?}")),
-            &strategy,
-            |b, &strategy| {
-                let opts = ReduceOptions {
-                    strategy,
-                    tau: model.tau,
-                };
-                b.iter(|| reduce(&flat, &opts));
-            },
-        );
-    }
-    g.finish();
-}
-
-fn bench_solvers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ctmc-solvers");
-    // Birth-death chain of 500 states.
-    let n = 500u32;
+/// Birth-death chain of `n` states for the solver benchmarks.
+fn birth_death(n: u32) -> Ctmc {
     let rows: Vec<Vec<(f64, u32)>> = (0..n)
         .map(|i| {
             let mut row = Vec::new();
@@ -88,24 +44,73 @@ fn bench_solvers(c: &mut Criterion) {
         })
         .collect();
     let labels: Vec<u64> = (0..n).map(|i| u64::from(i > n / 2)).collect();
-    let chain = Ctmc::new(rows, labels, 0).expect("ctmc");
-    g.bench_function("steady-state-500", |b| {
-        b.iter(|| measures::steady_state_availability(&chain, 1));
-    });
-    g.bench_function("transient-500-t100", |b| {
-        b.iter(|| measures::point_availability(&chain, 1, 100.0));
-    });
-    g.bench_function("first-passage-500-t100", |b| {
-        b.iter(|| measures::unreliability(&chain, 1, 100.0));
-    });
-    g.finish();
+    Ctmc::new(rows, labels, 0).expect("ctmc")
 }
 
-criterion_group!(
-    benches,
-    bench_block_construction,
-    bench_composition,
-    bench_reduction,
-    bench_solvers
-);
-criterion_main!(benches);
+fn main() {
+    for n in [2usize, 3, 4] {
+        let def = chain(n);
+        bench(
+            &format!("block-construction/elaborate-chain/{n}"),
+            20,
+            || SystemModel::build(&def).expect("build"),
+        );
+    }
+
+    for n in [2usize, 3, 4] {
+        let model = SystemModel::build(&chain(n)).expect("build");
+        let automata: Vec<ioimc::IoImc> = model.blocks.iter().map(|b| b.imc.clone()).collect();
+        bench(&format!("composition/parallel-all/{n}"), 10, || {
+            parallel_all(&automata).expect("compose")
+        });
+    }
+
+    let model = SystemModel::build(&chain(3)).expect("build");
+    let automata: Vec<ioimc::IoImc> = model.blocks.iter().map(|b| b.imc.clone()).collect();
+    let flat = parallel_all(&automata).expect("compose");
+    for strategy in [Strategy::Strong, Strategy::Branching] {
+        let opts = ReduceOptions {
+            strategy,
+            tau: model.tau,
+        };
+        bench(&format!("reduction/strategy/{strategy:?}"), 10, || {
+            reduce(&flat, &opts)
+        });
+    }
+
+    let chain500 = birth_death(500);
+    bench("ctmc-solvers/steady-state-500", 10, || {
+        measures::steady_state_availability(&chain500, 1)
+    });
+    bench("ctmc-solvers/transient-500-t100", 10, || {
+        measures::point_availability(&chain500, 1, 100.0)
+    });
+    bench("ctmc-solvers/first-passage-500-t100", 10, || {
+        measures::unreliability(&chain500, 1, 100.0)
+    });
+
+    // Batched curve kernels vs the scalar per-point loop: the win the
+    // query engine's `Session` builds on. Wall time on this chain
+    // understates it — scalar sweeps restart from a sparse unit vector
+    // while the batched sweep carries a spread distribution, so the DTMC
+    // step count is the honest hardware-independent metric.
+    let grid: Vec<f64> = (1..=50).map(|k| f64::from(k) * 2.0).collect();
+    transient::reset_solver_counters();
+    let scalar = bench("curve/transient-scalar-50pts", 5, || {
+        grid.iter()
+            .map(|&t| transient::transient(&chain500, t))
+            .collect::<Vec<_>>()
+    });
+    let scalar_steps = transient::dtmc_steps_performed() / 6; // warm-up + 5 iters
+    transient::reset_solver_counters();
+    let batched = bench("curve/transient-batched-50pts", 5, || {
+        transient::transient_many(&chain500, &grid)
+    });
+    let batched_steps = transient::dtmc_steps_performed() / 6;
+    println!(
+        "curve: {:.1}x wall, {:.1}x fewer DTMC steps ({batched_steps} vs {scalar_steps}) \
+         for the batched sweep",
+        scalar / batched,
+        scalar_steps as f64 / batched_steps as f64,
+    );
+}

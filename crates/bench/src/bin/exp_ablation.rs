@@ -107,7 +107,12 @@ fn main() {
     println!();
 
     println!("A2 — composition order (branching reduction, two-module model):");
-    let mut t2 = Table::new(&["order", "largest intermediate", "final CTMC", "unavailability"]);
+    let mut t2 = Table::new(&[
+        "order",
+        "largest intermediate",
+        "final CTMC",
+        "unavailability",
+    ]);
     for (name, order) in [
         ("affinity", OrderPolicy::Affinity),
         ("declaration", OrderPolicy::Declaration),

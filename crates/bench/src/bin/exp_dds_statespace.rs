@@ -1,15 +1,19 @@
 //! Experiment S1 — regenerates the state-space numbers of §5.1.2: the size
 //! of the final DDS CTMC, the largest intermediate I/O-IMC encountered
 //! during compositional aggregation, and the flat-composition comparison
-//! (the paper compares against the 16,695-state flat SAN model of \[19\]).
+//! (the paper compares against the 16,695-state flat SAN model of \[19\]) —
+//! plus the batched unavailability curve over the mission time, answered
+//! by one `Session` sweep instead of a per-point scalar loop.
 //!
 //! Run: `cargo run --release -p arcade-bench --bin exp_dds_statespace`
 
-use arcade::cases::dds::dds;
+use arcade::cases::dds::{dds, FIVE_WEEKS_H};
 use arcade::engine::EngineOptions;
 use arcade::model::SystemModel;
+use arcade::query::{Measure, Session};
 use arcade_bench::{run_engine, Table};
 use bisim::Strategy;
+use ctmc::transient::{dtmc_steps_performed, reset_solver_counters};
 
 fn main() {
     let def = dds();
@@ -93,6 +97,40 @@ fn main() {
         flat.largest_intermediate.states as f64 / comp.largest_intermediate.states as f64
     );
     println!("(the full 33-block DDS cannot be composed flat at all — the paper's point)");
+    println!();
+
+    // Unavailability curve over the 5-week mission, answered as ONE
+    // batched query: the session reuses the aggregation above's
+    // configuration work lazily and runs a single uniformization sweep
+    // for the whole 50-point grid.
+    let session = Session::new(&def).expect("valid DDS");
+    let grid: Vec<f64> = (1..=50)
+        .map(|k| FIVE_WEEKS_H * f64::from(k) / 50.0)
+        .collect();
+    let batch: Vec<Measure> = grid
+        .iter()
+        .map(|&t| Measure::PointUnavailability(t))
+        .collect();
+    reset_solver_counters();
+    let curve = session.evaluate(&batch).expect("curve");
+    let batched_steps = dtmc_steps_performed();
+    println!("unavailability curve over [0, 5 weeks] (50 points, one batched sweep):");
+    for (i, (&t, &u)) in grid.iter().zip(&curve).enumerate() {
+        if i % 10 == 9 {
+            println!("  U({t:>6.1} h) = {u:.6e}");
+        }
+    }
+    reset_solver_counters();
+    let ctmc = &session.availability_model().expect("built").ctmc;
+    for &t in &grid {
+        let _ = ctmc::transient::transient(ctmc, t);
+    }
+    let scalar_steps = dtmc_steps_performed();
+    println!(
+        "batched sweep: {batched_steps} DTMC steps vs scalar loop: {scalar_steps} \
+         ({:.1}x less work)",
+        scalar_steps as f64 / batched_steps as f64
+    );
 }
 
 /// The DDS processor subsystem: pp + spare ps + SMU + shared FCFS RU.

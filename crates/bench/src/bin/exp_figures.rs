@@ -44,6 +44,25 @@ fn main() {
             println!("{}", ioimc::dot::to_dot(&f.imc, &f.alphabet, f.what));
         }
     }
+
+    // The didactic two-state machine behind Figs. 2/6a, queried as one
+    // batched availability curve through the lazy `Session`.
+    let mut demo = SystemDef::new("fig-demo");
+    demo.add_component(BcDef::new("bc", Dist::exp(0.001), Dist::exp(1.0)));
+    demo.add_repair_unit(RuDef::new("ru", ["bc"], RepairStrategy::Dedicated));
+    demo.set_system_down(Expr::down("bc"));
+    let session = arcade::query::Session::new(&demo).expect("valid demo");
+    let grid: Vec<f64> = (0..=8).map(|k| f64::from(k) * 500.0).collect();
+    let batch: Vec<arcade::query::Measure> = grid
+        .iter()
+        .map(|&t| arcade::query::Measure::PointAvailability(t))
+        .collect();
+    let curve = session.evaluate(&batch).expect("curve");
+    println!();
+    println!("A(t) of the Fig 2/6a machine (λ=1e-3, µ=1), one batched query:");
+    for (&t, &a) in grid.iter().zip(&curve) {
+        println!("  A({t:>6.0} h) = {a:.9}");
+    }
 }
 
 fn build_figures() -> Vec<Fig> {
@@ -77,12 +96,7 @@ fn build_figures() -> Vec<Fig> {
             BcDef::new("bc", Dist::exp(0.001), Dist::exp(1.0))
                 .with_om_group(OmGroup::ActiveInactive)
                 .with_om_group(OmGroup::OnOff(Expr::down("power")))
-                .with_ttf([
-                    Dist::exp(0.001),
-                    Dist::Never,
-                    Dist::exp(0.002),
-                    Dist::Never,
-                ]),
+                .with_ttf([Dist::exp(0.001), Dist::Never, Dist::exp(0.002), Dist::Never]),
             &["power"],
         );
         figs.push(Fig {
@@ -113,10 +127,8 @@ fn build_figures() -> Vec<Fig> {
     // Fig. 4: two failure modes.
     {
         let (imc, ab) = bc_automaton(
-            BcDef::new("bc", Dist::exp(0.001), Dist::exp(1.0)).with_failure_modes(
-                [0.3, 0.7],
-                [Dist::exp(1.0), Dist::exp(2.0)],
-            ),
+            BcDef::new("bc", Dist::exp(0.001), Dist::exp(1.0))
+                .with_failure_modes([0.3, 0.7], [Dist::exp(1.0), Dist::exp(2.0)]),
             &[],
         );
         figs.push(Fig {

@@ -11,11 +11,7 @@ use arcade_bench::Table;
 
 fn processors(n_spares: usize, failover: Option<Dist>) -> SystemDef {
     let mut def = SystemDef::new(format!("procs-{n_spares}sp"));
-    def.add_component(BcDef::new(
-        "pp",
-        Dist::exp(1.0 / 2000.0),
-        Dist::exp(1.0),
-    ));
+    def.add_component(BcDef::new("pp", Dist::exp(1.0 / 2000.0), Dist::exp(1.0)));
     let mut all = vec!["pp".to_owned()];
     for i in 0..n_spares {
         let name = format!("ps{i}");

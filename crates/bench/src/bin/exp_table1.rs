@@ -25,13 +25,13 @@ fn main() {
 
     let mc = sim::simulate_unreliability(&def, t, 60_000, 2008, false).expect("simulation");
 
-    let mut table = Table::new(&["Measure", "Arcade", "MC-sim (SAN role)", "analytic (Galileo role)"]);
-    table.row(&[
-        "A".into(),
-        fmt6(a),
-        "-".into(),
-        fmt6(a_indep),
+    let mut table = Table::new(&[
+        "Measure",
+        "Arcade",
+        "MC-sim (SAN role)",
+        "analytic (Galileo role)",
     ]);
+    table.row(&["A".into(), fmt6(a), "-".into(), fmt6(a_indep)]);
     table.row(&[
         "R(5 weeks)".into(),
         fmt6(r),

@@ -4,15 +4,29 @@ use arcade::engine::{aggregate, EngineOptions};
 use arcade::model::SystemModel;
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let def = dds_scaled(k);
     let model = SystemModel::build(&def).expect("model");
     let t0 = std::time::Instant::now();
     let agg = aggregate(&model, &EngineOptions::new()).expect("aggregate");
     for s in &agg.steps {
-        eprintln!("+ {:<16} {:>8} st -> {:>6} st", s.block, s.composed.states, s.reduced.states);
+        eprintln!(
+            "+ {:<16} {:>8} st -> {:>6} st",
+            s.block, s.composed.states, s.reduced.states
+        );
     }
-    eprintln!("peak: {} st / {} tr", agg.largest_intermediate.states, agg.largest_intermediate.transitions());
-    eprintln!("final CTMC: {} st / {} tr", agg.ctmc_stats.states, agg.ctmc_stats.transitions());
+    eprintln!(
+        "peak: {} st / {} tr",
+        agg.largest_intermediate.states,
+        agg.largest_intermediate.transitions()
+    );
+    eprintln!(
+        "final CTMC: {} st / {} tr",
+        agg.ctmc_stats.states,
+        agg.ctmc_stats.transitions()
+    );
     eprintln!("elapsed: {:?}", t0.elapsed());
 }

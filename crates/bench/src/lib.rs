@@ -1,9 +1,9 @@
 //! Benchmarks and experiment drivers for the Arcade reproduction.
 //!
 //! Each `exp_*` binary regenerates one table or figure of the paper (see
-//! the experiment index in `DESIGN.md`); the Criterion benches under
-//! `benches/` measure the runtime of the pipeline stages. Shared helpers
-//! live here.
+//! the experiment index in `DESIGN.md`); the plain-harness benches under
+//! `benches/` measure the runtime of the pipeline stages with the
+//! dependency-free [`bench`] helper. Shared helpers live here.
 
 use arcade::ast::SystemDef;
 use arcade::engine::{aggregate, Aggregation, EngineOptions};
@@ -24,6 +24,38 @@ pub fn run_engine(def: &SystemDef, opts: &EngineOptions) -> Result<Aggregation, 
 /// Formats a float in the paper's style (6 decimals).
 pub fn fmt6(x: f64) -> String {
     format!("{x:.6}")
+}
+
+/// Times `f` over `iters` iterations after one warm-up run and prints a
+/// `name  best  mean` line (dependency-free stand-in for a bench harness).
+/// Returns the mean per-iteration time in seconds.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let iters = iters.max(1);
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        let one = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(one.elapsed().as_secs_f64());
+    }
+    let mean = start.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<42} best {:>10}  mean {:>10}",
+        fmt_time(best),
+        fmt_time(mean)
+    );
+    mean
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.1} µs", secs * 1e6)
+    }
 }
 
 /// A plain-text table writer for experiment outputs.

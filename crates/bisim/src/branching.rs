@@ -66,12 +66,7 @@ pub fn refine_branching(imc: &IoImc, initial: Partition) -> (Partition, Vec<Sign
     }
 }
 
-fn branching_signature(
-    imc: &IoImc,
-    part: &Partition,
-    sigs: &[Signature],
-    s: StateId,
-) -> Signature {
+fn branching_signature(imc: &IoImc, part: &Partition, sigs: &[Signature], s: StateId) -> Signature {
     let mut sig: Signature = Vec::new();
     let own_block = part.block_of(s);
     for &(a, t) in imc.interactive_from(s) {
@@ -221,7 +216,9 @@ mod tests {
         let mut b = IoImcBuilder::new();
         b.set_internals([tau]);
         // s2 is labeled so the rate into it is observable.
-        let s: Vec<_> = (0..3).map(|i| b.add_labeled_state(u64::from(i == 2))).collect();
+        let s: Vec<_> = (0..3)
+            .map(|i| b.add_labeled_state(u64::from(i == 2)))
+            .collect();
         // s0 -tau-> s1 -3.0-> s2
         b.interactive(s[0], tau, s[1]).markovian(s[1], 3.0, s[2]);
         let imc = b.build().unwrap();
@@ -238,7 +235,9 @@ mod tests {
         let mut b = IoImcBuilder::new();
         b.set_internals([tau]);
         // s3 is labeled so the differing rates into it are observable.
-        let s: Vec<_> = (0..4).map(|i| b.add_labeled_state(u64::from(i == 3))).collect();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_labeled_state(u64::from(i == 3)))
+            .collect();
         b.interactive(s[0], tau, s[1])
             .markovian(s[1], 3.0, s[3])
             .markovian(s[2], 4.0, s[3]);

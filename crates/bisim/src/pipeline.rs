@@ -176,7 +176,9 @@ mod tests {
         let sync = ab.intern("sync");
         let mut b = IoImcBuilder::new();
         b.set_internals([sync]);
-        let s: Vec<_> = (0..3).map(|i| b.add_labeled_state(u64::from(i == 2))).collect();
+        let s: Vec<_> = (0..3)
+            .map(|i| b.add_labeled_state(u64::from(i == 2)))
+            .collect();
         b.markovian(s[0], 4.0, s[1]).interactive(s[1], sync, s[2]);
         let imc = b.build().unwrap();
         let o = opts(&mut ab, Strategy::Branching);
@@ -209,12 +211,16 @@ mod tests {
         let hidden = ab.intern("h");
         let mut b = IoImcBuilder::new();
         b.set_internals([hidden]);
-        let s: Vec<_> = (0..4).map(|i| b.add_labeled_state(u64::from(i == 3))).collect();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_labeled_state(u64::from(i == 3)))
+            .collect();
         b.markovian(s[0], 1.0, s[1])
             .interactive(s[1], hidden, s[2])
             .interactive(s[2], hidden, s[3]);
         let imc = b.build().unwrap();
-        let strong_states = reduce(&imc, &opts(&mut ab, Strategy::Strong)).imc.num_states();
+        let strong_states = reduce(&imc, &opts(&mut ab, Strategy::Strong))
+            .imc
+            .num_states();
         let branching_states = reduce(&imc, &opts(&mut ab, Strategy::Branching))
             .imc
             .num_states();
@@ -247,7 +253,9 @@ mod tests {
     fn preserves_birth_death_chain() {
         let mut ab = Alphabet::new();
         let mut b = IoImcBuilder::new();
-        let s: Vec<_> = (0..3).map(|i| b.add_labeled_state(u64::from(i == 2))).collect();
+        let s: Vec<_> = (0..3)
+            .map(|i| b.add_labeled_state(u64::from(i == 2)))
+            .collect();
         b.markovian(s[0], 1.0, s[1])
             .markovian(s[1], 2.0, s[0])
             .markovian(s[1], 3.0, s[2])

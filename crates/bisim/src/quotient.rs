@@ -102,7 +102,9 @@ mod tests {
         let tau = ab.intern("tau");
         let mut b = IoImcBuilder::new();
         // s3 labeled so the chain structure is observable
-        let s: Vec<_> = (0..4).map(|i| b.add_labeled_state(u64::from(i == 3))).collect();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_labeled_state(u64::from(i == 3)))
+            .collect();
         b.markovian(s[0], 1.0, s[1])
             .markovian(s[0], 1.0, s[2])
             .markovian(s[1], 2.0, s[3])

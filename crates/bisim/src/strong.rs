@@ -87,7 +87,9 @@ mod tests {
         // s0 -1-> s1 -2-> s3, s0 -1-> s2 -2-> s3: s1 ~ s2 (s3 labeled so
         // the rates are observable)
         let mut b = IoImcBuilder::new();
-        let s: Vec<_> = (0..4).map(|i| b.add_labeled_state(u64::from(i == 3))).collect();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_labeled_state(u64::from(i == 3)))
+            .collect();
         b.markovian(s[0], 1.0, s[1])
             .markovian(s[0], 1.0, s[2])
             .markovian(s[1], 2.0, s[3])
@@ -101,7 +103,9 @@ mod tests {
     #[test]
     fn distinguishes_rates() {
         let mut b = IoImcBuilder::new();
-        let s: Vec<_> = (0..4).map(|i| b.add_labeled_state(u64::from(i == 3))).collect();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_labeled_state(u64::from(i == 3)))
+            .collect();
         b.markovian(s[0], 1.0, s[1])
             .markovian(s[0], 1.0, s[2])
             .markovian(s[1], 2.0, s[3])
@@ -155,7 +159,9 @@ mod tests {
         // s0 has two rate-1 edges to equivalent targets; s1 one rate-2 edge.
         // The targets are labeled so the move is observable.
         let mut b = IoImcBuilder::new();
-        let s: Vec<_> = (0..4).map(|i| b.add_labeled_state(u64::from(i >= 2))).collect();
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_labeled_state(u64::from(i >= 2)))
+            .collect();
         b.markovian(s[0], 1.0, s[2])
             .markovian(s[0], 1.0, s[3])
             .markovian(s[1], 2.0, s[2]);

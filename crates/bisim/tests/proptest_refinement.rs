@@ -1,8 +1,9 @@
 //! Property-based tests of the partition-refinement engine on random
-//! automata.
+//! automata, over deterministically seeded random cases (the workspace is
+//! dependency-free, so a small internal generator plays the role of
+//! proptest).
 
-use proptest::prelude::*;
-
+use smallrand::SmallRng;
 
 use bisim::partition::Partition;
 use bisim::pipeline::{reduce, ReduceOptions, Strategy as Equivalence};
@@ -10,36 +11,36 @@ use bisim::strong::refine_strong;
 use ioimc::builder::IoImcBuilder;
 use ioimc::{ActionId, IoImc};
 
-fn arb_automaton() -> impl Strategy<Value = IoImc> {
-    (
-        2usize..7,
-        proptest::collection::vec((0u32..7, 0u32..3, 0u32..7), 0..14),
-        proptest::collection::vec((0u32..7, 1u32..5, 0u32..7), 0..8),
-        proptest::collection::vec(0u64..2, 7),
-    )
-        .prop_map(|(n, inter, mark, labels)| {
-            let act = ActionId(0); // visible output
-            let tau = ActionId(1); // internal
-            let inp = ActionId(2); // input
-            let mut b = IoImcBuilder::new();
-            b.set_outputs([act]).set_internals([tau]).set_inputs([inp]);
-            for &label in labels.iter().take(n) {
-                b.add_labeled_state(label);
-            }
-            let n = n as u32;
-            for (s, a, t) in inter {
-                let a = match a {
-                    0 => act,
-                    1 => tau,
-                    _ => inp,
-                };
-                b.interactive(s % n, a, t % n);
-            }
-            for (s, r, t) in mark {
-                b.markovian(s % n, f64::from(r), t % n);
-            }
-            b.complete_inputs().build().expect("valid")
-        })
+fn arb_automaton(rng: &mut SmallRng) -> IoImc {
+    let n = rng.range_usize(2, 7);
+    let num_inter = rng.range_usize(0, 14);
+    let num_mark = rng.range_usize(0, 8);
+    let act = ActionId(0); // visible output
+    let tau = ActionId(1); // internal
+    let inp = ActionId(2); // input
+    let mut b = IoImcBuilder::new();
+    b.set_outputs([act]).set_internals([tau]).set_inputs([inp]);
+    for _ in 0..n {
+        b.add_labeled_state(rng.below(2));
+    }
+    let n = n as u32;
+    for _ in 0..num_inter {
+        let s = rng.range_u32(0, 7) % n;
+        let a = match rng.range_u32(0, 3) {
+            0 => act,
+            1 => tau,
+            _ => inp,
+        };
+        let t = rng.range_u32(0, 7) % n;
+        b.interactive(s, a, t);
+    }
+    for _ in 0..num_mark {
+        let s = rng.range_u32(0, 7) % n;
+        let r = f64::from(rng.range_u32(1, 5));
+        let t = rng.range_u32(0, 7) % n;
+        b.markovian(s, r, t);
+    }
+    b.complete_inputs().build().expect("valid")
 }
 
 fn opts(strategy: Equivalence) -> ReduceOptions {
@@ -49,27 +50,31 @@ fn opts(strategy: Equivalence) -> ReduceOptions {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// The refined partition never merges states with different labels.
-    #[test]
-    fn refinement_respects_labels(a in arb_automaton()) {
+/// The refined partition never merges states with different labels.
+#[test]
+fn refinement_respects_labels() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(seed));
         let (p, _) = refine_strong(&a, Partition::by_label(&a));
         for s in 0..a.num_states() as u32 {
             for t in 0..a.num_states() as u32 {
                 if p.same_block(s, t) {
-                    prop_assert_eq!(a.label(s), a.label(t));
+                    assert_eq!(a.label(s), a.label(t));
                 }
             }
         }
     }
+}
 
-    /// Strong bisimilarity implies matching lumped rate sums into every
-    /// *other* block (ordinary lumpability; intra-block rates are
-    /// unobservable quotient self-loops).
-    #[test]
-    fn strong_partition_lumps_rates(a in arb_automaton()) {
+/// Strong bisimilarity implies matching lumped rate sums into every
+/// *other* block (ordinary lumpability; intra-block rates are
+/// unobservable quotient self-loops).
+#[test]
+fn strong_partition_lumps_rates() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(1000 + seed));
         let (p, _) = refine_strong(&a, Partition::by_label(&a));
         for s in 0..a.num_states() as u32 {
             for t in (s + 1)..a.num_states() as u32 {
@@ -84,72 +89,93 @@ proptest! {
                             .map(|&(r, _)| r)
                             .sum()
                     };
-                    prop_assert!((sum(s) - sum(t)).abs() < 1e-9);
+                    assert!((sum(s) - sum(t)).abs() < 1e-9);
                 }
             }
         }
     }
+}
 
-    /// The branching partition is never finer than needed: refining its
-    /// own quotient again yields no further splits (fixpoint).
-    #[test]
-    fn branching_reaches_fixpoint(a in arb_automaton()) {
+/// The branching partition is never finer than needed: refining its
+/// own quotient again yields no further splits (fixpoint).
+#[test]
+fn branching_reaches_fixpoint() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(2000 + seed));
         let r1 = reduce(&a, &opts(Equivalence::Branching)).imc;
         let r2 = reduce(&r1, &opts(Equivalence::Branching)).imc;
-        prop_assert_eq!(r1.num_states(), r2.num_states());
+        assert_eq!(r1.num_states(), r2.num_states());
     }
+}
 
-    /// Strong refines branching: the branching quotient is never larger.
-    #[test]
-    fn branching_coarser_than_strong(a in arb_automaton()) {
+/// Strong refines branching: the branching quotient is never larger.
+#[test]
+fn branching_coarser_than_strong() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(3000 + seed));
         let s = reduce(&a, &opts(Equivalence::Strong)).imc;
         let b = reduce(&a, &opts(Equivalence::Branching)).imc;
-        prop_assert!(b.num_states() <= s.num_states());
+        assert!(b.num_states() <= s.num_states());
     }
+}
 
-    /// Quotients are valid automata (signature intact, input-enabled).
-    #[test]
-    fn quotient_is_valid(a in arb_automaton()) {
+/// Quotients are valid automata (signature intact, input-enabled).
+#[test]
+fn quotient_is_valid() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(4000 + seed));
         for strategy in [Equivalence::Strong, Equivalence::Branching] {
             let r = reduce(&a, &opts(strategy)).imc;
-            prop_assert!(ioimc::validate::validate(&r).is_ok());
-            prop_assert_eq!(r.inputs(), a.inputs());
-            prop_assert_eq!(r.outputs(), a.outputs());
+            assert!(ioimc::validate::validate(&r).is_ok());
+            assert_eq!(r.inputs(), a.inputs());
+            assert_eq!(r.outputs(), a.outputs());
         }
     }
+}
 
-    /// The branching refinement of the disjoint union puts each state in
-    /// the same block as itself-in-the-copy (reflexivity across union).
-    #[test]
-    fn union_self_equivalence(a in arb_automaton()) {
-        let opts = opts(Equivalence::Branching);
-        prop_assert!(bisim::pipeline::equivalent(&a, &a, &opts));
+/// The branching refinement of the disjoint union puts each state in
+/// the same block as itself-in-the-copy (reflexivity across union).
+#[test]
+fn union_self_equivalence() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(5000 + seed));
+        assert!(bisim::pipeline::equivalent(
+            &a,
+            &a,
+            &opts(Equivalence::Branching)
+        ));
     }
+}
 
-    /// Relabeling a state differently must split it from its old block.
-    /// (Uses the strong refiner: `refine_branching` requires the
-    /// tau-acyclic form that `reduce` prepares, and the preparation would
-    /// merge the relabeled state away.)
-    #[test]
-    fn label_change_splits(a in arb_automaton()) {
+/// Relabeling a state differently must split it from its old block.
+/// (Uses the strong refiner: `refine_branching` requires the
+/// tau-acyclic form that `reduce` prepares, and the preparation would
+/// merge the relabeled state away.)
+#[test]
+fn label_change_splits() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(6000 + seed));
         if a.num_states() < 2 {
-            return Ok(());
+            continue;
         }
         let mut labels = a.labels().to_vec();
         labels[0] = 7; // unique label
         let relabeled = a.clone().with_labels(labels);
         let (p, _) = refine_strong(&relabeled, Partition::by_label(&relabeled));
         for t in 1..relabeled.num_states() as u32 {
-            prop_assert!(!p.same_block(0, t));
+            assert!(!p.same_block(0, t));
         }
     }
+}
 
-    /// `reduce` (which collapses tau cycles first) accepts any automaton
-    /// and respects labels modulo tau-cycle merging.
-    #[test]
-    fn reduce_handles_tau_cycles(a in arb_automaton()) {
+/// `reduce` (which collapses tau cycles first) accepts any automaton
+/// and respects labels modulo tau-cycle merging.
+#[test]
+fn reduce_handles_tau_cycles() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(7000 + seed));
         let r = reduce(&a, &opts(Equivalence::Branching)).imc;
-        prop_assert!(r.num_states() >= 1);
-        prop_assert!(ioimc::validate::validate(&r).is_ok());
+        assert!(r.num_states() >= 1);
+        assert!(ioimc::validate::validate(&r).is_ok());
     }
 }

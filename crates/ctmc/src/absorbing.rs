@@ -1,7 +1,7 @@
 //! Absorbing-state analyses: first passage and mean time to failure.
 
 use crate::chain::Ctmc;
-use crate::transient::transient;
+use crate::transient::{transient, transient_many};
 
 /// Probability of having *reached* any state in `targets` by time `t`
 /// (first-passage probability).
@@ -17,11 +17,25 @@ use crate::transient::transient;
 pub fn first_passage_probability(ctmc: &Ctmc, targets: &[u32], t: f64) -> f64 {
     let absorbing = ctmc.make_absorbing(targets.iter().copied());
     let pi = transient(&absorbing, t);
-    targets
+    crate::measures::state_mass(targets, &pi)
+}
+
+/// First-passage probabilities for a whole time grid (any order,
+/// duplicates allowed), built from **one** absorbing transformation and
+/// one incremental uniformization sweep ([`transient_many`]) instead of
+/// one of each per point.
+///
+/// Returns one probability per entry of `ts`, in the order given.
+///
+/// # Panics
+///
+/// Panics if any time is negative or not finite.
+pub fn first_passage_many(ctmc: &Ctmc, targets: &[u32], ts: &[f64]) -> Vec<f64> {
+    let absorbing = ctmc.make_absorbing(targets.iter().copied());
+    transient_many(&absorbing, ts)
         .iter()
-        .map(|&s| pi[s as usize])
-        .sum::<f64>()
-        .min(1.0)
+        .map(|pi| crate::measures::state_mass(targets, pi))
+        .collect()
 }
 
 /// Mean time until any state in `targets` is first entered (MTTF when the

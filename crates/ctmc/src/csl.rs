@@ -141,7 +141,10 @@ pub fn steady_state_probability(ctmc: &Ctmc, phi: &StateFormula) -> f64 {
 ///
 /// Panics if `t` is not strictly positive and finite.
 pub fn interval_down_fraction(ctmc: &Ctmc, phi: &StateFormula, t: f64) -> f64 {
-    assert!(t.is_finite() && t > 0.0, "horizon must be positive, got {t}");
+    assert!(
+        t.is_finite() && t > 0.0,
+        "horizon must be positive, got {t}"
+    );
     // Grid resolution: several points per fastest transition, bounded.
     let max_rate = ctmc.max_exit_rate();
     let steps = ((t * max_rate * 8.0).ceil() as usize).clamp(64, 4096);
@@ -217,10 +220,15 @@ mod tests {
             0,
         )
         .unwrap();
-        let up = StateFormula::Label(0b10).not().and(StateFormula::down().not());
+        let up = StateFormula::Label(0b10)
+            .not()
+            .and(StateFormula::down().not());
         let down = StateFormula::down();
         let p_strict = until_bounded(&c, &up, &down, 10.0);
-        assert!(p_strict < 1e-12, "blocked path must have probability 0, got {p_strict}");
+        assert!(
+            p_strict < 1e-12,
+            "blocked path must have probability 0, got {p_strict}"
+        );
         // allowing degraded on the way makes it reachable
         let p_relaxed = until_bounded(&c, &StateFormula::down().not(), &down, 10.0);
         assert!(p_relaxed > 0.9);

@@ -100,7 +100,11 @@ mod tests {
         let (left, w) = poisson_weights(lambda);
         for (i, &wi) in w.iter().enumerate() {
             let exact = exact_poisson(lambda, left + i);
-            assert!((wi - exact).abs() < 1e-12, "k={}: {wi} vs {exact}", left + i);
+            assert!(
+                (wi - exact).abs() < 1e-12,
+                "k={}: {wi} vs {exact}",
+                left + i
+            );
         }
     }
 

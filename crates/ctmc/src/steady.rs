@@ -83,7 +83,11 @@ fn dense_solve(ctmc: &Ctmc) -> Vec<f64> {
             rhs -= a[row * n + j] * x[j];
         }
         let d = a[row * n + row];
-        x[row] = if d.abs() < f64::MIN_POSITIVE { 0.0 } else { rhs / d };
+        x[row] = if d.abs() < f64::MIN_POSITIVE {
+            0.0
+        } else {
+            rhs / d
+        };
     }
     // Clean tiny negatives from rounding and renormalize.
     for v in &mut x {

@@ -4,9 +4,46 @@
 //! `π(t) = Σ_k Poisson(Λt)[k] · π(0) Pᵏ` where `P = I + Q/Λ` is the
 //! uniformized DTMC and `Λ ≥ max exit rate`. Poisson weights come from
 //! [`crate::poisson::poisson_weights`].
+//!
+//! Curve-shaped workloads should use [`transient_many`]: it evaluates a
+//! whole time grid in **one** incremental uniformization sweep (the chain
+//! is stepped from each grid point to the next by the Markov property)
+//! instead of one independent sweep per point, turning the
+//! `O(Λ·Σtᵢ)` cost of the scalar loop into `O(Λ·max tᵢ)`.
+
+use std::cell::Cell;
 
 use crate::chain::Ctmc;
 use crate::poisson::poisson_weights;
+
+thread_local! {
+    /// Instrumentation: DTMC matrix-vector products performed by this
+    /// thread (see [`dtmc_steps_performed`]).
+    static DTMC_STEPS: Cell<u64> = const { Cell::new(0) };
+    /// Instrumentation: uniformization sweeps started by this thread.
+    static SWEEPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total DTMC matrix-vector products performed by this thread since the
+/// last [`reset_solver_counters`]. One product is the unit of transient
+/// solver work, so batching wins show up directly in this counter; it
+/// exists for benchmarks and regression tests, not for control flow.
+pub fn dtmc_steps_performed() -> u64 {
+    DTMC_STEPS.with(Cell::get)
+}
+
+/// Total uniformization sweeps (scalar solves or batched grid segments)
+/// started by this thread since the last [`reset_solver_counters`].
+pub fn sweeps_performed() -> u64 {
+    SWEEPS.with(Cell::get)
+}
+
+/// Resets this thread's [`dtmc_steps_performed`]/[`sweeps_performed`]
+/// counters to zero.
+pub fn reset_solver_counters() {
+    DTMC_STEPS.with(|c| c.set(0));
+    SWEEPS.with(|c| c.set(0));
+}
 
 /// Computes the state distribution at time `t` starting from the chain's
 /// initial state.
@@ -26,7 +63,10 @@ pub fn transient(ctmc: &Ctmc, t: f64) -> Vec<f64> {
 /// Panics if `t` is negative or not finite, or if `pi0` has the wrong
 /// length.
 pub fn transient_from(ctmc: &Ctmc, pi0: &[f64], t: f64) -> Vec<f64> {
-    assert!(t.is_finite() && t >= 0.0, "time must be non-negative, got {t}");
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time must be non-negative, got {t}"
+    );
     assert_eq!(pi0.len(), ctmc.num_states(), "distribution length mismatch");
     if t == 0.0 {
         return pi0.to_vec();
@@ -37,15 +77,74 @@ pub fn transient_from(ctmc: &Ctmc, pi0: &[f64], t: f64) -> Vec<f64> {
     }
     // A little head-room keeps the DTMC aperiodic (self-loop mass > 0).
     let unif = max_exit * 1.02;
-    let (left, weights) = poisson_weights(unif * t);
+    sweep(ctmc, pi0, unif, t)
+}
 
+/// Computes the state distributions at every time in `ts` (any order,
+/// duplicates allowed) starting from the chain's initial state, sharing
+/// one incremental uniformization sweep across the whole grid.
+///
+/// Returns one distribution per entry of `ts`, in the order given.
+///
+/// # Panics
+///
+/// Panics if any time is negative or not finite.
+pub fn transient_many(ctmc: &Ctmc, ts: &[f64]) -> Vec<Vec<f64>> {
+    transient_many_from(ctmc, &ctmc.initial_distribution(), ts)
+}
+
+/// Computes the state distributions at every time in `ts` from an
+/// arbitrary initial distribution `pi0` in one incremental sweep: the grid
+/// is visited in ascending order and the chain is advanced from each grid
+/// point to the next (exact by the Markov property), so the total work is
+/// proportional to `Λ·max(ts)` plus a per-point truncation overhead,
+/// instead of the scalar loop's `Λ·Σts`.
+///
+/// # Panics
+///
+/// Panics if any time is negative or not finite, or if `pi0` has the
+/// wrong length.
+pub fn transient_many_from(ctmc: &Ctmc, pi0: &[f64], ts: &[f64]) -> Vec<Vec<f64>> {
+    assert_eq!(pi0.len(), ctmc.num_states(), "distribution length mismatch");
+    for &t in ts {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "time must be non-negative, got {t}"
+        );
+    }
+    let mut order: Vec<usize> = (0..ts.len()).collect();
+    order.sort_by(|&a, &b| ts[a].total_cmp(&ts[b]));
+
+    let max_exit = ctmc.max_exit_rate();
+    let unif = max_exit * 1.02;
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); ts.len()];
+    let mut cur = pi0.to_vec();
+    let mut cur_t = 0.0f64;
+    for &i in &order {
+        let dt = ts[i] - cur_t;
+        if dt > 0.0 && max_exit > 0.0 {
+            cur = sweep(ctmc, &cur, unif, dt);
+            cur_t = ts[i];
+        }
+        results[i] = cur.clone();
+    }
+    results
+}
+
+/// One uniformization sweep: `π(t)` from `pi0` with uniformization rate
+/// `unif` (must exceed every exit rate) over horizon `t > 0`.
+fn sweep(ctmc: &Ctmc, pi0: &[f64], unif: f64, t: f64) -> Vec<f64> {
+    SWEEPS.with(|c| c.set(c.get() + 1));
+    let (left, weights) = poisson_weights(unif * t);
     let n = ctmc.num_states();
+    // Self-loop probabilities of the uniformized DTMC, hoisted out of the
+    // step loop (summing each row's rates per step dominated the profile).
+    let stay: Vec<f64> = (0..n as u32)
+        .map(|s| 1.0 - ctmc.exit_rate(s) / unif)
+        .collect();
     let mut cur = pi0.to_vec();
     let mut result = vec![0.0f64; n];
-    // Steps 0..left-1: only advance the power; steps left..: accumulate.
-    for (k, _) in weights.iter().enumerate().take(0) {
-        let _ = k; // (loop retained for clarity; accumulation happens below)
-    }
+    // Steps 0..left-1 only advance the power; steps left.. accumulate.
     let mut step = 0usize;
     let total_steps = left + weights.len();
     while step < total_steps {
@@ -57,14 +156,15 @@ pub fn transient_from(ctmc: &Ctmc, pi0: &[f64], t: f64) -> Vec<f64> {
         }
         step += 1;
         if step < total_steps {
-            cur = dtmc_step(ctmc, &cur, unif);
+            cur = dtmc_step(ctmc, &cur, unif, &stay);
         }
     }
     result
 }
 
 /// One step of the uniformized DTMC: `out = cur · (I + Q/Λ)`.
-fn dtmc_step(ctmc: &Ctmc, cur: &[f64], unif: f64) -> Vec<f64> {
+fn dtmc_step(ctmc: &Ctmc, cur: &[f64], unif: f64, stay: &[f64]) -> Vec<f64> {
+    DTMC_STEPS.with(|c| c.set(c.get() + 1));
     let n = ctmc.num_states();
     let mut out = vec![0.0f64; n];
     for s in 0..n as u32 {
@@ -72,8 +172,7 @@ fn dtmc_step(ctmc: &Ctmc, cur: &[f64], unif: f64) -> Vec<f64> {
         if mass == 0.0 {
             continue;
         }
-        let exit = ctmc.exit_rate(s);
-        out[s as usize] += mass * (1.0 - exit / unif);
+        out[s as usize] += mass * stay[s as usize];
         for &(r, tgt) in ctmc.row(s) {
             out[tgt as usize] += mass * r / unif;
         }
@@ -154,5 +253,48 @@ mod tests {
     fn negative_time_panics() {
         let c = Ctmc::new(vec![vec![]], vec![0], 0).unwrap();
         let _ = transient(&c, -1.0);
+    }
+
+    #[test]
+    fn batched_grid_matches_closed_form_in_input_order() {
+        let (l, m) = (0.2, 1.5);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        // deliberately unsorted, with a duplicate and a zero
+        let ts = [5.0, 0.1, 0.0, 1.0, 1.0, 50.0];
+        let pis = transient_many(&c, &ts);
+        assert_eq!(pis.len(), ts.len());
+        for (&t, pi) in ts.iter().zip(&pis) {
+            let a = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
+            assert!((pi[0] - a).abs() < 1e-10, "t={t}: {} vs {a}", pi[0]);
+        }
+    }
+
+    #[test]
+    fn batched_sweep_does_less_work_than_scalar_loop() {
+        let (l, m) = (0.2, 1.5);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let grid: Vec<f64> = (1..=50).map(|k| f64::from(k) * 4.0).collect();
+        reset_solver_counters();
+        for &t in &grid {
+            let _ = transient(&c, t);
+        }
+        let scalar_steps = dtmc_steps_performed();
+        assert_eq!(sweeps_performed(), 50);
+        reset_solver_counters();
+        let _ = transient_many(&c, &grid);
+        let batched_steps = dtmc_steps_performed();
+        assert!(
+            batched_steps * 5 <= scalar_steps,
+            "batched {batched_steps} vs scalar {scalar_steps} DTMC steps"
+        );
+    }
+
+    #[test]
+    fn rateless_chain_grid_is_constant() {
+        let c = Ctmc::new(vec![vec![]], vec![0], 0).unwrap();
+        let pis = transient_many(&c, &[0.0, 1.0, 10.0]);
+        for pi in pis {
+            assert_eq!(pi, vec![1.0]);
+        }
     }
 }

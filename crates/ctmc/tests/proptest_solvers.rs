@@ -1,47 +1,50 @@
 //! Property-based tests of the CTMC solvers against closed forms and
-//! internal consistency conditions.
+//! internal consistency conditions, over deterministically seeded random
+//! chains (the workspace is dependency-free, so a small internal generator
+//! plays the role of proptest).
 
-use proptest::prelude::*;
+use smallrand::SmallRng;
 
 use ctmc::{absorbing, measures, steady, transient, Ctmc};
 
 /// Random birth-death chain with positive rates.
-fn arb_birth_death() -> impl Strategy<Value = (Ctmc, Vec<f64>, Vec<f64>)> {
-    (
-        2usize..8,
-        proptest::collection::vec((1u32..50, 1u32..50), 7),
-    )
-        .prop_map(|(n, rates)| {
-            let births: Vec<f64> = (0..n - 1).map(|i| f64::from(rates[i].0) * 0.1).collect();
-            let deaths: Vec<f64> = (0..n - 1).map(|i| f64::from(rates[i].1) * 0.1).collect();
-            let rows: Vec<Vec<(f64, u32)>> = (0..n)
-                .map(|i| {
-                    let mut row = Vec::new();
-                    if i + 1 < n {
-                        row.push((births[i], (i + 1) as u32));
-                    }
-                    if i > 0 {
-                        row.push((deaths[i - 1], (i - 1) as u32));
-                    }
-                    row
-                })
-                .collect();
-            let labels = (0..n).map(|i| u64::from(i == n - 1)).collect();
-            (
-                Ctmc::new(rows, labels, 0).expect("valid chain"),
-                births,
-                deaths,
-            )
+fn arb_birth_death(rng: &mut SmallRng) -> (Ctmc, Vec<f64>, Vec<f64>) {
+    let n = rng.range_usize(2, 8);
+    let births: Vec<f64> = (0..n - 1)
+        .map(|_| f64::from(rng.range_u32(1, 50)) * 0.1)
+        .collect();
+    let deaths: Vec<f64> = (0..n - 1)
+        .map(|_| f64::from(rng.range_u32(1, 50)) * 0.1)
+        .collect();
+    let rows: Vec<Vec<(f64, u32)>> = (0..n)
+        .map(|i| {
+            let mut row = Vec::new();
+            if i + 1 < n {
+                row.push((births[i], (i + 1) as u32));
+            }
+            if i > 0 {
+                row.push((deaths[i - 1], (i - 1) as u32));
+            }
+            row
         })
+        .collect();
+    let labels = (0..n).map(|i| u64::from(i == n - 1)).collect();
+    (
+        Ctmc::new(rows, labels, 0).expect("valid chain"),
+        births,
+        deaths,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Steady state of a birth-death chain matches the product formula
-    /// π_i ∝ Π b_j/d_j (detailed balance).
-    #[test]
-    fn birth_death_steady_state((chain, births, deaths) in arb_birth_death()) {
+/// Steady state of a birth-death chain matches the product formula
+/// π_i ∝ Π b_j/d_j (detailed balance).
+#[test]
+fn birth_death_steady_state() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (chain, births, deaths) = arb_birth_death(&mut rng);
         let pi = steady::steady_state(&chain);
         let n = chain.num_states();
         let mut expected = vec![1.0f64; n];
@@ -53,64 +56,161 @@ proptest! {
             *e /= total;
         }
         for (i, (&got, &want)) in pi.iter().zip(&expected).enumerate() {
-            prop_assert!(
+            assert!(
                 (got - want).abs() < 1e-9,
-                "state {}: {} vs {}", i, got, want
+                "seed {seed} state {i}: {got} vs {want}"
             );
         }
     }
+}
 
-    /// Transient distributions stay normalized and converge to the steady
-    /// state.
-    #[test]
-    fn transient_consistency((chain, _, _) in arb_birth_death(), t in 0.1f64..20.0) {
+/// Transient distributions stay normalized and converge to the steady
+/// state.
+#[test]
+fn transient_consistency() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let (chain, _, _) = arb_birth_death(&mut rng);
+        let t = rng.range_f64(0.1, 20.0);
         let pi_t = transient::transient(&chain, t);
         let sum: f64 = pi_t.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9, "mass {} at t={}", sum, t);
-        prop_assert!(pi_t.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+        assert!((sum - 1.0).abs() < 1e-9, "mass {sum} at t={t}");
+        assert!(pi_t.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
         let pi_inf = transient::transient(&chain, 1e5);
         let steady = steady::steady_state(&chain);
         for (a, b) in pi_inf.iter().zip(&steady) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6);
         }
     }
+}
 
-    /// The Chapman-Kolmogorov property: stepping to `t1` and then `t2-t1`
-    /// equals stepping to `t2` directly.
-    #[test]
-    fn chapman_kolmogorov((chain, _, _) in arb_birth_death(), t1 in 0.1f64..5.0, dt in 0.1f64..5.0) {
+/// The Chapman-Kolmogorov property: stepping to `t1` and then `t2-t1`
+/// equals stepping to `t2` directly.
+#[test]
+fn chapman_kolmogorov() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let (chain, _, _) = arb_birth_death(&mut rng);
+        let t1 = rng.range_f64(0.1, 5.0);
+        let dt = rng.range_f64(0.1, 5.0);
         let via = {
             let mid = transient::transient(&chain, t1);
             transient::transient_from(&chain, &mid, dt)
         };
         let direct = transient::transient(&chain, t1 + dt);
         for (a, b) in via.iter().zip(&direct) {
-            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-9, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    /// First-passage probability is monotone in t and bounded by 1, and
-    /// the mean time to absorption is consistent with it (median-ish
-    /// sanity: P(T <= mttf) is sizeable).
-    #[test]
-    fn first_passage_monotone((chain, _, _) in arb_birth_death(), t in 0.5f64..10.0) {
+/// First-passage probability is monotone in t and bounded by 1, and
+/// the mean time to absorption is consistent with it (median-ish
+/// sanity: P(T <= mttf) is sizeable).
+#[test]
+fn first_passage_monotone() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(3000 + seed);
+        let (chain, _, _) = arb_birth_death(&mut rng);
+        let t = rng.range_f64(0.5, 10.0);
         let target = [(chain.num_states() - 1) as u32];
         let p1 = absorbing::first_passage_probability(&chain, &target, t);
         let p2 = absorbing::first_passage_probability(&chain, &target, 2.0 * t);
-        prop_assert!((0.0..=1.0).contains(&p1));
-        prop_assert!(p2 + 1e-12 >= p1);
+        assert!((0.0..=1.0).contains(&p1));
+        assert!(p2 + 1e-12 >= p1);
         let mttf = absorbing::mean_time_to_absorption(&chain, &target);
-        prop_assert!(mttf > 0.0);
+        assert!(mttf > 0.0);
         let p_at_mttf = absorbing::first_passage_probability(&chain, &target, mttf);
-        prop_assert!(p_at_mttf > 0.2, "P(T <= E[T]) = {}", p_at_mttf);
+        assert!(p_at_mttf > 0.2, "P(T <= E[T]) = {p_at_mttf}");
     }
+}
 
-    /// Unavailability measures agree between the steady-state and
-    /// long-horizon transient paths.
-    #[test]
-    fn measures_consistent((chain, _, _) in arb_birth_death()) {
+/// Unavailability measures agree between the steady-state and
+/// long-horizon transient paths.
+#[test]
+fn measures_consistent() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(4000 + seed);
+        let (chain, _, _) = arb_birth_death(&mut rng);
         let u1 = measures::steady_state_unavailability(&chain, 1);
         let u2 = measures::point_unavailability(&chain, 1, 1e5);
-        prop_assert!((u1 - u2).abs() < 1e-6, "{} vs {}", u1, u2);
+        assert!((u1 - u2).abs() < 1e-6, "{u1} vs {u2}");
+    }
+}
+
+/// `transient_many` agrees with the scalar `transient` to 1e-12 on random
+/// chains and random (unsorted, duplicate-carrying) time grids.
+#[test]
+fn transient_many_matches_scalar() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(5000 + seed);
+        let (chain, _, _) = arb_birth_death(&mut rng);
+        let m = rng.range_usize(1, 9);
+        let mut ts: Vec<f64> = (0..m).map(|_| rng.range_f64(0.0, 25.0)).collect();
+        if m >= 2 {
+            ts[1] = ts[0]; // exercise duplicate grid points
+        }
+        let batched = transient::transient_many(&chain, &ts);
+        for (t, pi) in ts.iter().zip(&batched) {
+            let scalar = transient::transient(&chain, *t);
+            for (a, b) in pi.iter().zip(&scalar) {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "seed {seed} t={t}: batched {a} vs scalar {b}"
+                );
+            }
+        }
+    }
+}
+
+/// `first_passage_many` agrees with the scalar
+/// `first_passage_probability` to 1e-12.
+#[test]
+fn first_passage_many_matches_scalar() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(6000 + seed);
+        let (chain, _, _) = arb_birth_death(&mut rng);
+        let target = [(chain.num_states() - 1) as u32];
+        let m = rng.range_usize(1, 9);
+        let ts: Vec<f64> = (0..m).map(|_| rng.range_f64(0.0, 25.0)).collect();
+        let batched = absorbing::first_passage_many(&chain, &target, &ts);
+        for (t, p) in ts.iter().zip(&batched) {
+            let scalar = absorbing::first_passage_probability(&chain, &target, *t);
+            assert!(
+                (p - scalar).abs() < 1e-12,
+                "seed {seed} t={t}: batched {p} vs scalar {scalar}"
+            );
+        }
+    }
+}
+
+/// The `MeasureContext` answers every measure identically to the free
+/// functions (which are now thin wrappers over it).
+#[test]
+fn measure_context_matches_free_functions() {
+    for seed in 0..16 {
+        let mut rng = SmallRng::seed_from_u64(7000 + seed);
+        let (chain, _, _) = arb_birth_death(&mut rng);
+        let ctx = measures::MeasureContext::new(&chain);
+        let t = rng.range_f64(0.5, 10.0);
+        assert_eq!(
+            ctx.steady_state_availability(1),
+            measures::steady_state_availability(&chain, 1)
+        );
+        assert_eq!(
+            ctx.point_unavailability(1, t),
+            measures::point_unavailability(&chain, 1, t)
+        );
+        assert_eq!(
+            ctx.unreliability(1, t),
+            measures::unreliability(&chain, 1, t)
+        );
+        assert_eq!(ctx.mttf(1), measures::mttf(&chain, 1));
+        // repeated calls hit the caches and stay identical
+        assert_eq!(ctx.mttf(1), measures::mttf(&chain, 1));
+        assert_eq!(
+            ctx.unreliability(1, t),
+            measures::unreliability(&chain, 1, t)
+        );
     }
 }

@@ -52,9 +52,8 @@ impl Alphabet {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        let id = ActionId(
-            u32::try_from(self.names.len()).expect("more than u32::MAX actions interned"),
-        );
+        let id =
+            ActionId(u32::try_from(self.names.len()).expect("more than u32::MAX actions interned"));
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), id);
         id

@@ -127,9 +127,9 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
     let mut labels: Vec<u64> = Vec::new();
 
     let get_or_insert = |sa: StateId,
-                             sb: StateId,
-                             index: &mut HashMap<(StateId, StateId), StateId>,
-                             pairs: &mut Vec<(StateId, StateId)>|
+                         sb: StateId,
+                         index: &mut HashMap<(StateId, StateId), StateId>,
+                         pairs: &mut Vec<(StateId, StateId)>|
      -> StateId {
         *index.entry((sa, sb)).or_insert_with(|| {
             let id = pairs.len() as StateId;

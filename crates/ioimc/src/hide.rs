@@ -129,8 +129,6 @@ mod tests {
         let (a, _, imc) = sample(&mut ab);
         let p = prune_inputs(&imc, &[a]);
         assert!(p.inputs().is_empty());
-        assert!(p
-            .iter_interactive()
-            .all(|(_, act, _)| act != a));
+        assert!(p.iter_interactive().all(|(_, act, _)| act != a));
     }
 }

@@ -96,10 +96,16 @@ pub fn validate(imc: &IoImc) -> Result<(), ValidationError> {
     for s in 0..n as StateId {
         for &(a, t) in imc.interactive_from(s) {
             if imc.kind_of(a).is_none() {
-                return Err(ValidationError::UndeclaredAction { state: s, action: a });
+                return Err(ValidationError::UndeclaredAction {
+                    state: s,
+                    action: a,
+                });
             }
             if t as usize >= n {
-                return Err(ValidationError::BadTarget { state: s, target: t });
+                return Err(ValidationError::BadTarget {
+                    state: s,
+                    target: t,
+                });
             }
         }
         for &(r, t) in imc.markovian_from(s) {
@@ -107,12 +113,18 @@ pub fn validate(imc: &IoImc) -> Result<(), ValidationError> {
                 return Err(ValidationError::BadRate { state: s, rate: r });
             }
             if t as usize >= n {
-                return Err(ValidationError::BadTarget { state: s, target: t });
+                return Err(ValidationError::BadTarget {
+                    state: s,
+                    target: t,
+                });
             }
         }
         for &a in imc.inputs() {
             if !imc.interactive_from(s).iter().any(|&(b, _)| b == a) {
-                return Err(ValidationError::NotInputEnabled { state: s, action: a });
+                return Err(ValidationError::NotInputEnabled {
+                    state: s,
+                    action: a,
+                });
             }
         }
     }
@@ -151,7 +163,15 @@ mod tests {
 
     #[test]
     fn bad_initial_detected() {
-        let imc = IoImc::from_parts_unchecked(5, vec![], vec![], vec![], vec![vec![]], vec![vec![]], vec![0]);
+        let imc = IoImc::from_parts_unchecked(
+            5,
+            vec![],
+            vec![],
+            vec![],
+            vec![vec![]],
+            vec![vec![]],
+            vec![0],
+        );
         assert_eq!(validate(&imc), Err(ValidationError::BadInitial(5)));
     }
 
@@ -168,7 +188,10 @@ mod tests {
         );
         assert_eq!(
             validate(&imc),
-            Err(ValidationError::BadTarget { state: 0, target: 7 })
+            Err(ValidationError::BadTarget {
+                state: 0,
+                target: 7
+            })
         );
     }
 

@@ -77,7 +77,10 @@ fn main() -> Result<(), ArcadeError> {
     // first-passage unreliability
     let q = pand_report.until_bounded(&up, &down, t);
     let fp = pand_report.unreliability_with_repair(t);
-    assert!((q - fp).abs() < 1e-12, "CSL until vs first passage: {q} vs {fp}");
+    assert!(
+        (q - fp).abs() < 1e-12,
+        "CSL until vs first passage: {q} vs {fp}"
+    );
     println!();
     println!("CSL 'until' equals the first-passage unreliability — consistent.");
     Ok(())

@@ -34,12 +34,7 @@ fn build() -> SystemDef {
             .with_om_group(OmGroup::AccessibleInaccessible(Expr::down("bus")))
             // op states: (on,acc), (on,inacc), (off,acc), (off,inacc) —
             // the db cannot fail while powered off
-            .with_ttf([
-                Dist::exp(0.004),
-                Dist::exp(0.004),
-                Dist::Never,
-                Dist::Never,
-            ])
+            .with_ttf([Dist::exp(0.004), Dist::exp(0.004), Dist::Never, Dist::Never])
             .with_inaccessible_means_down(true),
     );
     for c in ["fan", "psu", "bus", "db"] {
@@ -71,7 +66,9 @@ fn main() -> Result<(), ArcadeError> {
     // Decompose the outage sources by re-analyzing restricted criteria.
     let mut only_db = sys.clone();
     only_db.set_system_down(Expr::down("db"));
-    let u_db = Analysis::new(&only_db)?.run()?.steady_state_unavailability();
+    let u_db = Analysis::new(&only_db)?
+        .run()?
+        .steady_state_unavailability();
     let mut only_psu = sys.clone();
     only_psu.set_system_down(Expr::down("psu"));
     let u_psu = Analysis::new(&only_psu)?

@@ -1,11 +1,16 @@
-//! Quickstart: two redundant processors with a shared FCFS repair unit.
+//! Quickstart: two redundant processors with a shared FCFS repair unit,
+//! queried through the lazy, batch-oriented `Session`.
 //!
 //! Run with `cargo run --example quickstart`.
 //!
 //! This is the "simple example" of the paper's §3.4: a system of two
-//! redundant processors that fails iff both processors are down, evaluated
-//! for steady-state availability, reliability and MTTF — and cross-checked
-//! against the closed-form answers.
+//! redundant processors that fails iff both processors are down. The
+//! `Session` owns the definition and builds each model configuration only
+//! when a measure first needs it — the availability configuration
+//! (repairs active) for steady-state/point availability and MTTF, the
+//! no-repair configuration (§5.1.2) for the reliability curve — and a
+//! whole batch of measures is answered in one pass: every reliability
+//! point below shares a single uniformization sweep.
 
 use arcade::prelude::*;
 
@@ -20,30 +25,33 @@ fn main() -> Result<(), ArcadeError> {
     sys.add_repair_unit(RuDef::new("rep", ["p1", "p2"], RepairStrategy::Fcfs));
     sys.set_system_down(Expr::and([Expr::down("p1"), Expr::down("p2")]));
 
-    let report = Analysis::new(&sys)?.run()?;
+    // Validates eagerly; aggregates nothing until the first query.
+    let session = Session::new(&sys)?;
+
+    let curve_times = [100.0, 1000.0, 10_000.0];
+    let mut batch = vec![
+        Measure::SteadyStateAvailability,
+        Measure::SteadyStateUnavailability,
+        Measure::Mttf,
+    ];
+    batch.extend(curve_times.iter().map(|&t| Measure::Reliability(t)));
+    let values = session.evaluate(&batch)?;
 
     println!("=== redundant processor pair ===");
-    println!("final CTMC: {}", report.ctmc_stats());
-    println!(
-        "largest intermediate I/O-IMC: {}",
-        report.largest_intermediate()
-    );
+    let agg = session.availability_model()?;
+    println!("final CTMC: {}", agg.ctmc_stats);
+    println!("largest intermediate I/O-IMC: {}", agg.largest_intermediate);
     println!();
-    println!(
-        "steady-state availability  A      = {:.12}",
-        report.steady_state_availability()
-    );
-    println!(
-        "steady-state unavailability 1-A   = {:.6e}",
-        report.steady_state_unavailability()
-    );
-    for &t in &[100.0, 1000.0, 10_000.0] {
-        println!(
-            "reliability (no repair)  R({t:>6}) = {:.6}",
-            report.reliability(t)
-        );
+    println!("steady-state availability  A      = {:.12}", values[0]);
+    println!("steady-state unavailability 1-A   = {:.6e}", values[1]);
+    for (i, &t) in curve_times.iter().enumerate() {
+        println!("reliability (no repair)  R({t:>6}) = {:.6}", values[3 + i]);
     }
-    println!("mean time to failure      MTTF    = {:.1} h", report.mttf());
+    println!("mean time to failure      MTTF    = {:.1} h", values[2]);
+    println!(
+        "(one batched query; {} aggregation(s) built lazily)",
+        session.stats().aggregations_built
+    );
 
     // Cross-check against closed forms.
     let r_expected = |t: f64| {
@@ -52,11 +60,10 @@ fn main() -> Result<(), ArcadeError> {
         let p = 1.0 - (-lambda * t).exp();
         1.0 - p * p
     };
-    let t = 1000.0;
-    assert!((report.reliability(t) - r_expected(t)).abs() < 1e-9);
+    assert!((values[4] - r_expected(1000.0)).abs() < 1e-9);
     // MTTF with a single shared repairman: (3λ + µ) / (2λ²)
     let mttf_expected = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
-    assert!((report.mttf() - mttf_expected).abs() / mttf_expected < 1e-6);
+    assert!((values[2] - mttf_expected).abs() / mttf_expected < 1e-6);
     println!();
     println!("closed-form cross-checks passed.");
     Ok(())

@@ -37,7 +37,10 @@ fn main() -> Result<(), ArcadeError> {
     println!("=== SMU failover-time extension (Fig. 9) ===");
     println!("cold-spare pair, λ = 0.01/h, µ = 1/h, mission {t} h");
     println!();
-    println!("{:<22} {:>14} {:>14}", "failover", "unreliability", "MTTF (h)");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "failover", "unreliability", "MTTF (h)"
+    );
 
     let instant = Analysis::new(&build(None))?.run()?;
     println!(

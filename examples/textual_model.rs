@@ -7,8 +7,8 @@
 //! mode groups, multiple failure modes, a destructive FDEP and the `2of4`
 //! shorthand — then analyzes it.
 
-use arcade::prelude::*;
 use arcade::parser::parse_system;
+use arcade::prelude::*;
 
 const MODEL: &str = r"
 # A small storage array in the paper's textual syntax.
@@ -71,7 +71,10 @@ fn main() -> Result<(), ArcadeError> {
         "steady-state unavailability: {:.6e}",
         report.steady_state_unavailability()
     );
-    println!("R(1000 h) without repair:    {:.6}", report.reliability(1000.0));
+    println!(
+        "R(1000 h) without repair:    {:.6}",
+        report.reliability(1000.0)
+    );
     println!("MTTF:                        {:.0} h", report.mttf());
 
     // The controller dies with the PSU (destructive FDEP), so the system

@@ -62,7 +62,7 @@ fn pand_three_way_ordering_probability() {
 /// The failover SMU converges to the instantaneous SMU as the failover
 /// rate grows, monotonically.
 #[test]
-fn failover_converges_monotonically()  {
+fn failover_converges_monotonically() {
     let build = |failover: Option<Dist>| {
         let mut def = SystemDef::new("fo");
         def.add_component(BcDef::new("pp", Dist::exp(0.02), Dist::exp(1.0)));

@@ -84,7 +84,7 @@ fn engine_agrees_with_simulation() {
     );
 
     let exact_fp = report.unreliability_with_repair(t);
-    let mc_fp = sim::simulate_unreliability(&def, t, 30_000, 43, true).unwrap();
+    let mc_fp = sim::simulate_unreliability(&def, t, 100_000, 43, true).unwrap();
     assert!(
         mc_fp.contains(exact_fp),
         "exact {exact_fp} outside MC interval {mc_fp:?}"
@@ -129,8 +129,8 @@ fn load_sharing_closed_form() {
     // closed form: both up -> first failure at 2λ; then survivor fails at λ2:
     // R(t) = e^{-2λt} + 2λ/(λ2-2λ) (e^{-2λt} - e^{-λ2 t}) for λ2 != 2λ
     let t = 40.0;
-    let r_closed = (-2.0 * l * t).exp()
-        + 2.0 * l / (l2 - 2.0 * l) * ((-2.0 * l * t).exp() - (-l2 * t).exp());
+    let r_closed =
+        (-2.0 * l * t).exp() + 2.0 * l / (l2 - 2.0 * l) * ((-2.0 * l * t).exp() - (-l2 * t).exp());
     let got = report.reliability(t);
     assert!((got - r_closed).abs() < 1e-9, "{got} vs {r_closed}");
 }

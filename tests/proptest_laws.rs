@@ -1,9 +1,11 @@
 //! Property-based tests of the algebraic laws the Arcade pipeline relies
 //! on: composition laws of the I/O-IMC calculus, soundness of the
 //! reductions, and agreement between the exact engine and the analytic
-//! evaluator on randomly generated models.
+//! evaluator on randomly generated models. Cases are generated from a
+//! deterministically seeded internal generator (the workspace is
+//! dependency-free, so it plays the role of proptest).
 
-use proptest::prelude::*;
+use smallrand::SmallRng;
 
 use arcade::analytic;
 use arcade::prelude::*;
@@ -12,39 +14,42 @@ use ioimc::builder::IoImcBuilder;
 use ioimc::compose::parallel;
 use ioimc::{ActionId, IoImc};
 
-/// Strategy: a small random I/O-IMC over a fixed 4-action alphabet
-/// (1 input, 1 output chosen from two depending on `flip`, internal tau).
-fn arb_ioimc(outputs_from: [u32; 2]) -> impl Strategy<Value = IoImc> {
-    let n_states = 2usize..5;
-    (
-        n_states,
-        proptest::collection::vec((0u32..5, 0u32..4, 0u32..5), 0..10),
-        proptest::collection::vec((0u32..5, 1u32..4, 0u32..5), 0..6),
-        any::<bool>(),
-    )
-        .prop_map(move |(n, inter, mark, flip)| {
-            let input = ActionId(0);
-            let output = ActionId(outputs_from[usize::from(flip)]);
-            let tau = ActionId(3);
-            let mut b = IoImcBuilder::new();
-            b.set_inputs([input]).set_outputs([output]).set_internals([tau]);
-            for _ in 0..n {
-                b.add_state();
-            }
-            let n = n as u32;
-            for (s, a, t) in inter {
-                let act = match a {
-                    0 => input,
-                    1 | 2 => output,
-                    _ => tau,
-                };
-                b.interactive(s % n, act, t % n);
-            }
-            for (s, r, t) in mark {
-                b.markovian(s % n, f64::from(r), t % n);
-            }
-            b.complete_inputs().build().expect("generated automaton is valid")
-        })
+/// A small random I/O-IMC over a fixed 4-action alphabet (1 input, 1
+/// output chosen from two depending on a coin flip, internal tau).
+fn arb_ioimc(rng: &mut SmallRng, outputs_from: [u32; 2]) -> IoImc {
+    let n = rng.range_usize(2, 5);
+    let num_inter = rng.range_usize(0, 10);
+    let num_mark = rng.range_usize(0, 6);
+    let input = ActionId(0);
+    let output = ActionId(outputs_from[usize::from(rng.flip())]);
+    let tau = ActionId(3);
+    let mut b = IoImcBuilder::new();
+    b.set_inputs([input])
+        .set_outputs([output])
+        .set_internals([tau]);
+    for _ in 0..n {
+        b.add_state();
+    }
+    let n = n as u32;
+    for _ in 0..num_inter {
+        let s = rng.range_u32(0, 5) % n;
+        let act = match rng.range_u32(0, 4) {
+            0 => input,
+            1 | 2 => output,
+            _ => tau,
+        };
+        let t = rng.range_u32(0, 5) % n;
+        b.interactive(s, act, t);
+    }
+    for _ in 0..num_mark {
+        let s = rng.range_u32(0, 5) % n;
+        let r = f64::from(rng.range_u32(1, 4));
+        let t = rng.range_u32(0, 5) % n;
+        b.markovian(s, r, t);
+    }
+    b.complete_inputs()
+        .build()
+        .expect("generated automaton is valid")
 }
 
 fn tau() -> ActionId {
@@ -52,128 +57,175 @@ fn tau() -> ActionId {
     ActionId(3)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// `a || b` and `b || a` are strongly bisimilar.
-    #[test]
-    fn composition_commutes(a in arb_ioimc([1, 1]), b in arb_ioimc([2, 2])) {
+/// `a || b` and `b || a` are strongly bisimilar.
+#[test]
+fn composition_commutes() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = arb_ioimc(&mut rng, [1, 1]);
+        let b = arb_ioimc(&mut rng, [2, 2]);
         let ab = parallel(&a, &b).expect("compose");
         let ba = parallel(&b, &a).expect("compose");
-        let opts = ReduceOptions { strategy: Equivalence::Strong, tau: tau() };
-        prop_assert!(equivalent(&ab, &ba, &opts));
+        let opts = ReduceOptions {
+            strategy: Equivalence::Strong,
+            tau: tau(),
+        };
+        assert!(equivalent(&ab, &ba, &opts), "seed {seed}");
     }
+}
 
-    /// Branching reduction preserves branching equivalence.
-    #[test]
-    fn reduction_is_sound(a in arb_ioimc([1, 1])) {
-        let opts = ReduceOptions { strategy: Equivalence::Branching, tau: tau() };
+/// Branching reduction preserves branching equivalence.
+#[test]
+fn reduction_is_sound() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let a = arb_ioimc(&mut rng, [1, 1]);
+        let opts = ReduceOptions {
+            strategy: Equivalence::Branching,
+            tau: tau(),
+        };
         let red = reduce(&a, &opts).imc;
-        prop_assert!(equivalent(&a, &red, &opts));
+        assert!(equivalent(&a, &red, &opts), "seed {seed}");
     }
+}
 
-    /// Reduction is idempotent (a second pass changes nothing).
-    #[test]
-    fn reduction_is_idempotent(a in arb_ioimc([1, 2])) {
-        let opts = ReduceOptions { strategy: Equivalence::Branching, tau: tau() };
+/// Reduction is idempotent (a second pass changes nothing).
+#[test]
+fn reduction_is_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let a = arb_ioimc(&mut rng, [1, 2]);
+        let opts = ReduceOptions {
+            strategy: Equivalence::Branching,
+            tau: tau(),
+        };
         let once = reduce(&a, &opts).imc;
         let twice = reduce(&once, &opts).imc;
-        prop_assert_eq!(once.num_states(), twice.num_states());
-        prop_assert_eq!(once.num_transitions(), twice.num_transitions());
+        assert_eq!(once.num_states(), twice.num_states());
+        assert_eq!(once.num_transitions(), twice.num_transitions());
     }
+}
 
-    /// Branching never reduces less than strong bisimulation.
-    #[test]
-    fn branching_at_least_as_coarse(a in arb_ioimc([1, 2])) {
-        let strong = reduce(&a, &ReduceOptions { strategy: Equivalence::Strong, tau: tau() }).imc;
-        let branching = reduce(&a, &ReduceOptions { strategy: Equivalence::Branching, tau: tau() }).imc;
-        prop_assert!(branching.num_states() <= strong.num_states());
+/// Branching never reduces less than strong bisimulation.
+#[test]
+fn branching_at_least_as_coarse() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(3000 + seed);
+        let a = arb_ioimc(&mut rng, [1, 2]);
+        let strong = reduce(
+            &a,
+            &ReduceOptions {
+                strategy: Equivalence::Strong,
+                tau: tau(),
+            },
+        )
+        .imc;
+        let branching = reduce(
+            &a,
+            &ReduceOptions {
+                strategy: Equivalence::Branching,
+                tau: tau(),
+            },
+        )
+        .imc;
+        assert!(branching.num_states() <= strong.num_states());
     }
+}
 
-    /// Reducing before composing gives an equivalent result to composing
-    /// before reducing — the essence of compositional aggregation.
-    #[test]
-    fn reduce_then_compose_equals_compose_then_reduce(
-        a in arb_ioimc([1, 1]),
-        b in arb_ioimc([2, 2]),
-    ) {
-        let opts = ReduceOptions { strategy: Equivalence::Branching, tau: tau() };
+/// Reducing before composing gives an equivalent result to composing
+/// before reducing — the essence of compositional aggregation.
+#[test]
+fn reduce_then_compose_equals_compose_then_reduce() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(4000 + seed);
+        let a = arb_ioimc(&mut rng, [1, 1]);
+        let b = arb_ioimc(&mut rng, [2, 2]);
+        let opts = ReduceOptions {
+            strategy: Equivalence::Branching,
+            tau: tau(),
+        };
         let composed_first = parallel(&a, &b).expect("compose");
         let ra = reduce(&a, &opts).imc;
         let rb = reduce(&b, &opts).imc;
         let reduced_first = parallel(&ra, &rb).expect("compose");
-        prop_assert!(equivalent(&composed_first, &reduced_first, &opts));
+        assert!(
+            equivalent(&composed_first, &reduced_first, &opts),
+            "seed {seed}"
+        );
     }
 }
 
 /// Random series-parallel dependability models: the exact engine must
 /// agree with the analytic independent-component evaluation (valid because
 /// repair is dedicated and components appear once).
-fn arb_system() -> impl Strategy<Value = (SystemDef, f64)> {
-    let comp = (1u32..50, 1u32..20);
-    (proptest::collection::vec(comp, 2..5), 0u8..3, 1u32..100).prop_map(
-        |(comps, shape, t)| {
-            let mut def = SystemDef::new("prop");
-            let mut lits = Vec::new();
-            for (i, (lam, mu)) in comps.iter().enumerate() {
-                let name = format!("c{i}");
-                def.add_component(BcDef::new(
-                    &name,
-                    Dist::exp(f64::from(*lam) * 1e-3),
-                    Dist::exp(f64::from(*mu) * 0.1),
-                ));
-                def.add_repair_unit(RuDef::new(
-                    format!("{name}.rep"),
-                    [name.clone()],
-                    RepairStrategy::Dedicated,
-                ));
-                lits.push(Expr::down(name));
-            }
-            let n = lits.len() as u32;
-            let expr = match shape {
-                0 => Expr::Or(lits),
-                1 => Expr::And(lits),
-                _ => Expr::KofN(n.div_ceil(2), lits),
-            };
-            def.set_system_down(expr);
-            (def, f64::from(t))
-        },
-    )
+fn arb_system(rng: &mut SmallRng) -> (SystemDef, f64) {
+    let num_comps = rng.range_usize(2, 5);
+    let shape = rng.range_u32(0, 3);
+    let t = f64::from(rng.range_u32(1, 100));
+    let mut def = SystemDef::new("prop");
+    let mut lits = Vec::new();
+    for i in 0..num_comps {
+        let name = format!("c{i}");
+        let lam = f64::from(rng.range_u32(1, 50)) * 1e-3;
+        let mu = f64::from(rng.range_u32(1, 20)) * 0.1;
+        def.add_component(BcDef::new(&name, Dist::exp(lam), Dist::exp(mu)));
+        def.add_repair_unit(RuDef::new(
+            format!("{name}.rep"),
+            [name.clone()],
+            RepairStrategy::Dedicated,
+        ));
+        lits.push(Expr::down(name));
+    }
+    let n = lits.len() as u32;
+    let expr = match shape {
+        0 => Expr::Or(lits),
+        1 => Expr::And(lits),
+        _ => Expr::KofN(n.div_ceil(2), lits),
+    };
+    def.set_system_down(expr);
+    (def, t)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Engine == analytic on independent systems, for availability and
-    /// no-repair reliability.
-    #[test]
-    fn engine_matches_analytic((def, t) in arb_system()) {
+/// Engine == analytic on independent systems, for availability and
+/// no-repair reliability.
+#[test]
+fn engine_matches_analytic() {
+    for seed in 0..24 {
+        let mut rng = SmallRng::seed_from_u64(5000 + seed);
+        let (def, t) = arb_system(&mut rng);
         let report = Analysis::new(&def).expect("valid").run().expect("analysis");
         let a_engine = report.steady_state_unavailability();
         let a_analytic = analytic::independent_unavailability(&def).expect("analytic");
-        prop_assert!(
+        assert!(
             (a_engine - a_analytic).abs() < 1e-9,
-            "availability: engine {} vs analytic {}", a_engine, a_analytic
+            "seed {seed} availability: engine {a_engine} vs analytic {a_analytic}"
         );
         let r_engine = report.unreliability(t);
-        let r_analytic = analytic::static_unreliability(&def.without_repair(), t).expect("analytic");
-        prop_assert!(
+        let r_analytic =
+            analytic::static_unreliability(&def.without_repair(), t).expect("analytic");
+        assert!(
             (r_engine - r_analytic).abs() < 1e-8,
-            "unreliability({}): engine {} vs analytic {}", t, r_engine, r_analytic
+            "seed {seed} unreliability({t}): engine {r_engine} vs analytic {r_analytic}"
         );
     }
+}
 
-    /// Measures are proper probabilities and consistent with each other.
-    #[test]
-    fn measures_are_probabilities((def, t) in arb_system()) {
+/// Measures are proper probabilities and consistent with each other.
+#[test]
+fn measures_are_probabilities() {
+    for seed in 0..24 {
+        let mut rng = SmallRng::seed_from_u64(6000 + seed);
+        let (def, t) = arb_system(&mut rng);
         let report = Analysis::new(&def).expect("valid").run().expect("analysis");
         let a = report.steady_state_availability();
-        prop_assert!((0.0..=1.0).contains(&a));
+        assert!((0.0..=1.0).contains(&a));
         let r1 = report.reliability(t);
         let r2 = report.reliability(t * 2.0);
-        prop_assert!((0.0..=1.0).contains(&r1));
-        prop_assert!(r2 <= r1 + 1e-12, "reliability must be non-increasing");
+        assert!((0.0..=1.0).contains(&r1));
+        assert!(r2 <= r1 + 1e-12, "reliability must be non-increasing");
         // first passage with repair never exceeds no-repair unreliability
-        prop_assert!(report.unreliability_with_repair(t) <= report.unreliability(t) + 1e-9);
+        assert!(report.unreliability_with_repair(t) <= report.unreliability(t) + 1e-9);
     }
 }

@@ -18,11 +18,7 @@ fn n_spare_system(n_spares: usize, cold: bool) -> SystemDef {
         all.push(name);
     }
     def.add_repair_unit(RuDef::new("shop", all.clone(), RepairStrategy::Fcfs));
-    def.add_smu(SmuDef::new(
-        "smu",
-        "pp",
-        all[1..].iter().cloned().collect::<Vec<_>>(),
-    ));
+    def.add_smu(SmuDef::new("smu", "pp", all[1..].to_vec()));
     def.set_system_down(Expr::And(all.iter().map(Expr::down).collect()));
     def
 }
