@@ -53,15 +53,16 @@ impl Analysis {
     }
 
     /// Runs aggregation for both the availability model (repairs active)
-    /// and the reliability model (repairs stripped, §5.1.2), eagerly.
+    /// and the reliability model (repairs stripped, §5.1.2), eagerly —
+    /// the two configurations are independent and are aggregated on
+    /// concurrent workers when more than one thread is available.
     ///
     /// # Errors
     ///
     /// Propagates composition/determinism/analysis errors.
     pub fn run(&self) -> Result<AnalysisReport, ArcadeError> {
         let session = Session::new(&self.def)?.with_options(self.opts.clone());
-        session.availability_model()?;
-        session.reliability_model()?;
+        session.prefetch_all()?;
         Ok(AnalysisReport { session })
     }
 

@@ -157,6 +157,109 @@ pub fn rcs_with_valves(valves_per_line: usize) -> SystemDef {
     def
 }
 
+/// Builds a scaled RCS family with `lines` redundant pump lines (the
+/// paper's system has 2). Every pump load-shares with the others: it runs
+/// degraded at the doubled phase rate as soon as *any* other pump is down,
+/// and all pumps share one FCFS repair unit — so the pump subsystem grows
+/// combinatorially with `lines`, which is exactly what the scaling sweep
+/// (`exp_scaling`) wants to stress. The heat-exchanger unit and bypass are
+/// as in [`rcs`]; the system is down when **all** pump lines are down or
+/// the heat-exchanger path and its bypass both fail.
+///
+/// # Panics
+///
+/// Panics if `lines < 2` (a single "redundant" line is not an RCS).
+pub fn rcs_scaled(lines: usize) -> SystemDef {
+    assert!(lines >= 2, "the RCS family needs at least two pump lines");
+    let mut def = SystemDef::new(format!("rcs-{lines}l"));
+
+    // Pumps with load sharing against every sibling.
+    let pump_names: Vec<String> = (1..=lines).map(|i| format!("P{i}")).collect();
+    for (i, me) in pump_names.iter().enumerate() {
+        let others: Vec<Expr> = pump_names
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, p)| Expr::down(p))
+            .collect();
+        def.add_component(
+            BcDef::new(
+                me,
+                Dist::erlang(2, PUMP_PHASE_RATE),
+                Dist::erlang(2, PUMP_REPAIR_PHASE_RATE),
+            )
+            .with_om_group(OmGroup::NormalDegraded(Expr::Or(others)))
+            .with_ttf([
+                Dist::erlang(2, PUMP_PHASE_RATE),
+                Dist::erlang(2, PUMP_PHASE_RATE_DEGRADED),
+            ]),
+        );
+    }
+    def.add_repair_unit(RuDef::new(
+        "P.rep",
+        pump_names.clone(),
+        RepairStrategy::Fcfs,
+    ));
+
+    // Pump lines: filter + inlet/outlet valves, dedicated repair.
+    for line in 1..=lines {
+        let f = format!("FP{line}");
+        def.add_component(BcDef::new(
+            &f,
+            Dist::exp(FILTER_RATE),
+            Dist::exp(COMMON_REPAIR_RATE),
+        ));
+        dedicated(&mut def, &f);
+        for v in [format!("VIP{line}"), format!("VOP{line}")] {
+            def.add_component(valve(&v));
+            dedicated(&mut def, &v);
+        }
+    }
+
+    // Heat exchanger unit + bypass, as in the 2-line model.
+    def.add_component(BcDef::new(
+        "HX",
+        Dist::exp(HX_RATE),
+        Dist::exp(COMMON_REPAIR_RATE),
+    ));
+    dedicated(&mut def, "HX");
+    def.add_component(BcDef::new(
+        "FHX",
+        Dist::exp(FILTER_RATE),
+        Dist::exp(COMMON_REPAIR_RATE),
+    ));
+    dedicated(&mut def, "FHX");
+    for v in ["VHX1", "VHX2"] {
+        def.add_component(valve(v));
+        dedicated(&mut def, v);
+    }
+    for v in ["MDV1", "MDV2"] {
+        def.add_component(valve(v));
+        dedicated(&mut def, v);
+    }
+
+    let line_down = |i: usize| {
+        Expr::or([
+            Expr::down(format!("P{i}")),
+            Expr::down(format!("FP{i}")),
+            Expr::down_mode(format!("VIP{i}"), 2),
+            Expr::down_mode(format!("VOP{i}"), 2),
+        ])
+    };
+    let hx_unit = Expr::or([
+        Expr::down("HX"),
+        Expr::down("FHX"),
+        Expr::down("VHX1"),
+        Expr::down("VHX2"),
+    ]);
+    let bypass = Expr::or([Expr::down_mode("MDV1", 2), Expr::down_mode("MDV2", 2)]);
+    def.set_system_down(Expr::or([
+        Expr::And((1..=lines).map(line_down).collect()),
+        Expr::and([hx_unit, bypass]),
+    ]));
+    def
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +282,33 @@ mod tests {
             crate::model::validate(&def).unwrap();
             assert_eq!(def.components.len(), 2 + 2 * (1 + v) + 4 + 2);
         }
+    }
+
+    #[test]
+    fn scaled_family_validates_and_grows() {
+        for lines in 2..=4 {
+            let def = rcs_scaled(lines);
+            validate(&def).unwrap();
+            // lines * (pump + filter + 2 valves) + HX + FHX + 2 VHX + 2 MDV
+            assert_eq!(def.components.len(), 4 * lines + 6);
+            // 1 shared pump RU + dedicated for everything else
+            assert_eq!(def.repair_units.len(), 1 + 3 * lines + 6);
+        }
+    }
+
+    #[test]
+    fn scaled_two_lines_matches_baseline_measures() {
+        use crate::engine::EngineOptions;
+        use crate::modular::modular_analysis;
+        // rcs_scaled(2) only differs from rcs() in the trigger shape
+        // (`Or([x])` vs `x`), which must not change any measure.
+        let base = modular_analysis(&rcs(), &EngineOptions::new()).unwrap();
+        let scaled = modular_analysis(&rcs_scaled(2), &EngineOptions::new()).unwrap();
+        let (t, tol) = (50.0, 1e-12);
+        assert!((base.point_unavailability(t) - scaled.point_unavailability(t)).abs() < tol);
+        assert!(
+            (base.unreliability_with_repair(t) - scaled.unreliability_with_repair(t)).abs() < tol
+        );
     }
 
     #[test]

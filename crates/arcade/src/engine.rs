@@ -19,7 +19,7 @@
 
 use std::collections::HashSet;
 
-use bisim::pipeline::{reduce, ReduceOptions, Strategy};
+use bisim::pipeline::{reduce_threaded, ReduceOptions, Strategy};
 use bisim::vanishing::eliminate_vanishing;
 use ctmc::Ctmc;
 use ioimc::compose::parallel;
@@ -41,17 +41,32 @@ pub struct EngineOptions {
     /// flat, reduce once at the end) — the "no compositional aggregation"
     /// ablation. Default `true`.
     pub reduce_intermediate: bool,
+    /// Worker threads for aggregating independent plan groups (and, in the
+    /// callers that honor it, independent modules/configurations). `0`
+    /// means one worker per available core; `1` forces the sequential
+    /// path. Results are bitwise identical for every value — sibling
+    /// groups are evaluated by the same code either way and their step
+    /// reports are merged back in plan order.
+    pub threads: usize,
 }
 
 impl EngineOptions {
     /// The default configuration: branching bisimulation, hierarchical
-    /// bottom-up order, intermediate reductions on.
+    /// bottom-up order, intermediate reductions on, auto thread count.
     pub fn new() -> Self {
         Self {
             strategy: Strategy::Branching,
             order: OrderPolicy::BottomUp,
             reduce_intermediate: true,
+            threads: 0,
         }
+    }
+
+    /// Returns a copy with the given worker thread count (see
+    /// [`EngineOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -88,42 +103,56 @@ pub struct Aggregation {
 /// model is not weakly deterministic.
 pub fn aggregate(model: &SystemModel, opts: &EngineOptions) -> Result<Aggregation, ArcadeError> {
     let plan = resolve_plan(model, &opts.order)?;
-    let ropts = ReduceOptions {
-        strategy: opts.strategy,
-        tau: model.tau,
-    };
-    let mut ctx = Ctx {
+    let env = EvalEnv {
         model,
-        ropts,
+        ropts: ReduceOptions {
+            strategy: opts.strategy,
+            tau: model.tau,
+        },
         reduce_intermediate: opts.reduce_intermediate,
-        largest: Stats::default(),
-        steps: Vec::new(),
+        threads: ioimc::par::effective_threads(opts.threads),
     };
-    let empty = Interface::default();
-    let mut acc = eval_plan(&mut ctx, &plan, &empty)?;
+    let out = eval_plan(&env, &plan, &Interface::default())?;
+    let mut acc = out.imc;
+    let mut largest = out.largest;
 
     // Close the system completely and reduce.
-    acc = hide_outputs(&acc, acc.outputs());
-    acc = prune_inputs(&acc, acc.inputs());
-    acc = reduce(&acc, &ctx.ropts).imc;
-    ctx.largest = ctx.largest.max(Stats::of(&acc));
+    let outs = acc.outputs().to_vec();
+    acc = hide_outputs(acc, &outs);
+    let ins = acc.inputs().to_vec();
+    acc = prune_inputs(acc, &ins);
+    acc = reduce_threaded(&acc, &env.ropts, env.threads).imc;
+    largest = largest.max(Stats::of(&acc));
     let markovian_only = eliminate_vanishing(&acc)?;
     let ctmc = Ctmc::from_ioimc(&markovian_only)?;
     let ctmc_stats = Stats::of(&markovian_only);
     Ok(Aggregation {
         ctmc,
         ctmc_stats,
-        largest_intermediate: ctx.largest,
-        steps: ctx.steps,
+        largest_intermediate: largest,
+        steps: out.steps,
     })
 }
 
-struct Ctx<'m> {
+/// Read-only evaluation environment shared by every (possibly concurrent)
+/// plan evaluation.
+#[derive(Clone, Copy)]
+struct EvalEnv<'m> {
     model: &'m SystemModel,
     ropts: ReduceOptions,
     reduce_intermediate: bool,
-    largest: Stats,
+    /// Worker budget for sibling groups at this level (already resolved
+    /// via [`ioimc::par::effective_threads`]).
+    threads: usize,
+}
+
+/// Result of evaluating one plan node: the aggregated automaton plus the
+/// node's own step log and peak sizes, merged into the parent in
+/// deterministic plan order.
+struct EvalOut {
+    imc: IoImc,
     steps: Vec<StepReport>,
+    largest: Stats,
 }
 
 /// The externally visible signals of everything *outside* the automaton
@@ -156,45 +185,95 @@ fn plan_interface(model: &SystemModel, plan: &Plan) -> Interface {
     iface
 }
 
-fn eval_plan(ctx: &mut Ctx<'_>, plan: &Plan, external: &Interface) -> Result<IoImc, ArcadeError> {
+fn eval_plan(env: &EvalEnv<'_>, plan: &Plan, external: &Interface) -> Result<EvalOut, ArcadeError> {
     match plan {
-        Plan::Block(i) => Ok(ctx.model.blocks[*i].imc.clone()),
+        Plan::Block(i) => Ok(EvalOut {
+            imc: env.model.blocks[*i].imc.clone(),
+            steps: Vec::new(),
+            largest: Stats::default(),
+        }),
         Plan::Group(items) => {
             assert!(!items.is_empty(), "empty plan group");
             let ifaces: Vec<Interface> =
-                items.iter().map(|p| plan_interface(ctx.model, p)).collect();
-            let mut acc: Option<IoImc> = None;
-            for (k, item) in items.iter().enumerate() {
-                // Everything outside `item`: the external context plus the
-                // other items of this group (composed or still pending).
-                let mut item_external = external.clone();
-                for (j, other) in ifaces.iter().enumerate() {
-                    if j != k {
-                        item_external = item_external.union(other);
+                items.iter().map(|p| plan_interface(env.model, p)).collect();
+            // Everything outside item `k`: the external context plus the
+            // other items of this group (composed or still pending).
+            let item_externals: Vec<Interface> = (0..items.len())
+                .map(|k| {
+                    let mut ext = external.clone();
+                    for (j, other) in ifaces.iter().enumerate() {
+                        if j != k {
+                            ext = ext.union(other);
+                        }
                     }
+                    ext
+                })
+                .collect();
+
+            // Sibling groups are aggregated in isolation (each only reads
+            // the shared model and its own external interface), so they
+            // are embarrassingly parallel. Pre-evaluate them on worker
+            // threads; the fold below then consumes the results in plan
+            // order, which keeps the composition sequence — and therefore
+            // every automaton and measure — identical to the sequential
+            // path. The thread budget is split across the workers so a
+            // dominant child still gets multi-threaded reductions without
+            // oversubscribing the machine.
+            let group_jobs: Vec<usize> = items
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| matches!(p, Plan::Group(_)))
+                .map(|(k, _)| k)
+                .collect();
+            let mut pre: Vec<Option<Result<EvalOut, ArcadeError>>> =
+                items.iter().map(|_| None).collect();
+            if env.threads > 1 && group_jobs.len() > 1 {
+                let worker_env = EvalEnv {
+                    threads: ioimc::par::split_budget(env.threads, group_jobs.len()),
+                    ..*env
+                };
+                let results = ioimc::par::par_map(env.threads, &group_jobs, |_, &k| {
+                    eval_plan(&worker_env, &items[k], &item_externals[k])
+                });
+                for (&k, r) in group_jobs.iter().zip(results) {
+                    pre[k] = Some(r);
                 }
-                let part = eval_plan(ctx, item, &item_external)?;
+            }
+
+            let mut acc: Option<IoImc> = None;
+            let mut steps: Vec<StepReport> = Vec::new();
+            let mut largest = Stats::default();
+            for (k, item) in items.iter().enumerate() {
+                let part = match pre[k].take() {
+                    Some(out) => out?,
+                    None => eval_plan(env, item, &item_externals[k])?,
+                };
+                // Deterministic merge: the child's own step log and peaks
+                // land right before the fold step that consumes it.
+                steps.extend(part.steps);
+                largest = largest.max(part.largest);
+                let part = part.imc;
                 acc = Some(match acc {
                     None => part,
                     Some(prev) => {
                         let mut composed = parallel(&prev, &part)?;
                         let composed_stats = Stats::of(&composed);
-                        ctx.largest = ctx.largest.max(composed_stats);
+                        largest = largest.max(composed_stats);
                         // Outside of the accumulation: external plus the
                         // pending items of this group.
                         let mut outside = external.clone();
                         for iface in ifaces.iter().skip(k + 1) {
                             outside = outside.union(iface);
                         }
-                        composed = hide_and_prune(&composed, &outside);
-                        composed = if ctx.reduce_intermediate {
-                            reduce(&composed, &ctx.ropts).imc
+                        composed = hide_and_prune(composed, &outside);
+                        composed = if env.reduce_intermediate {
+                            reduce_threaded(&composed, &env.ropts, env.threads).imc
                         } else {
                             ioimc::reach::restrict_reachable(&composed)
                         };
-                        ctx.steps.push(StepReport {
+                        steps.push(StepReport {
                             block: match item {
-                                Plan::Block(i) => ctx.model.blocks[*i].name.clone(),
+                                Plan::Block(i) => env.model.blocks[*i].name.clone(),
                                 Plan::Group(_) => "<group>".to_owned(),
                             },
                             composed: composed_stats,
@@ -204,14 +283,19 @@ fn eval_plan(ctx: &mut Ctx<'_>, plan: &Plan, external: &Interface) -> Result<IoI
                     }
                 });
             }
-            Ok(acc.expect("non-empty group"))
+            Ok(EvalOut {
+                imc: acc.expect("non-empty group"),
+                steps,
+                largest,
+            })
         }
     }
 }
 
 /// Hides accumulated outputs nobody outside listens to; prunes accumulated
-/// inputs nobody outside can drive.
-fn hide_and_prune(acc: &IoImc, outside: &Interface) -> IoImc {
+/// inputs nobody outside can drive. Both edits are in place (signature
+/// move + CSR compaction) — no copy of the transition arrays.
+fn hide_and_prune(acc: IoImc, outside: &Interface) -> IoImc {
     let hide: Vec<ActionId> = acc
         .outputs()
         .iter()
@@ -224,8 +308,7 @@ fn hide_and_prune(acc: &IoImc, outside: &Interface) -> IoImc {
         .copied()
         .filter(|a| !outside.outputs.contains(a))
         .collect();
-    let hidden = hide_outputs(acc, &hide);
-    prune_inputs(&hidden, &prune)
+    prune_inputs(hide_outputs(acc, &hide), &prune)
 }
 
 #[cfg(test)]
@@ -290,7 +373,7 @@ mod tests {
                 let opts = EngineOptions {
                     strategy,
                     order: order.clone(),
-                    reduce_intermediate: true,
+                    ..EngineOptions::new()
                 };
                 let agg = aggregate(&model, &opts).unwrap();
                 let a = measures::steady_state_availability(&agg.ctmc, 1);
@@ -355,6 +438,45 @@ mod tests {
         // both must be down simultaneously: availability very high
         assert!(a > 0.999, "availability {a}");
         assert!(a < 1.0);
+    }
+
+    /// Parallel group aggregation is a pure scheduling change: the CTMC,
+    /// the step log and every measure must be *bitwise* identical to the
+    /// single-threaded path, for any worker count.
+    #[test]
+    fn parallel_aggregation_is_bitwise_deterministic() {
+        let mut def = SystemDef::new("t");
+        for n in ["a", "b", "c", "d", "e", "f"] {
+            def.add_component(BcDef::new(n, Dist::exp(0.02), Dist::exp(1.0)));
+        }
+        def.add_repair_unit(RuDef::new("r1", ["a", "b"], RepairStrategy::Fcfs));
+        def.add_repair_unit(RuDef::new("r2", ["c", "d"], RepairStrategy::Fcfs));
+        def.add_repair_unit(RuDef::new("r3", ["e", "f"], RepairStrategy::Fcfs));
+        def.set_system_down(Expr::or([
+            Expr::and([Expr::down("a"), Expr::down("b")]),
+            Expr::and([Expr::down("c"), Expr::down("d")]),
+            Expr::and([Expr::down("e"), Expr::down("f")]),
+        ]));
+        let model = SystemModel::build(&def).unwrap();
+        let seq = aggregate(&model, &EngineOptions::new().with_threads(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let par = aggregate(&model, &EngineOptions::new().with_threads(threads)).unwrap();
+            assert_eq!(par.ctmc, seq.ctmc, "{threads} threads: CTMC differs");
+            assert_eq!(par.largest_intermediate, seq.largest_intermediate);
+            assert_eq!(par.steps.len(), seq.steps.len());
+            for (p, s) in par.steps.iter().zip(&seq.steps) {
+                assert_eq!(p.block, s.block, "{threads} threads: step order differs");
+                assert_eq!(p.composed, s.composed);
+                assert_eq!(p.reduced, s.reduced);
+            }
+            let a_seq = measures::steady_state_availability(&seq.ctmc, 1);
+            let a_par = measures::steady_state_availability(&par.ctmc, 1);
+            assert_eq!(
+                a_par.to_bits(),
+                a_seq.to_bits(),
+                "measure not bitwise equal"
+            );
+        }
     }
 
     /// Hierarchical (grouped) plans beat flat orders on the peak size for

@@ -158,15 +158,17 @@ pub fn modular_analysis(
         })
         .collect();
 
-    // Union-find over branches with overlapping closures.
+    // Union-find over branches with overlapping closures. `find` is a
+    // plain loop with path halving — the top-level branch count bounds
+    // nothing, so no recursion depth to worry about.
     let n = branches.len();
     let mut group: Vec<usize> = (0..n).collect();
-    fn find(group: &mut Vec<usize>, i: usize) -> usize {
-        if group[i] != i {
-            let r = find(group, group[i]);
-            group[i] = r;
+    fn find(group: &mut [usize], mut i: usize) -> usize {
+        while group[i] != i {
+            group[i] = group[group[i]];
+            i = group[i];
         }
-        group[i]
+        i
     }
     for i in 0..n {
         for j in i + 1..n {
@@ -180,55 +182,75 @@ pub fn modular_analysis(
     }
 
     // Build one sub-definition per group.
-    let mut roots: Vec<usize> = (0..n).map(|i| find(&mut group, i)).collect();
+    let roots: Vec<usize> = (0..n).map(|i| find(&mut group, i)).collect();
     let mut unique_roots: Vec<usize> = roots.clone();
     unique_roots.sort_unstable();
     unique_roots.dedup();
 
-    let mut modules = Vec::new();
-    for (mi, &root) in unique_roots.iter().enumerate() {
-        let member_branches: Vec<Expr> = (0..n)
-            .filter(|&i| roots[i] == root)
-            .map(|i| branches[i].clone())
-            .collect();
-        let mut comps: HashSet<String> = member_branches
-            .iter()
-            .flat_map(|b| b.literals().into_iter().map(|l| l.component.clone()))
-            .collect();
-        dependency_closure(def, &mut comps);
+    let jobs: Vec<(String, Vec<String>, SystemDef)> = unique_roots
+        .iter()
+        .enumerate()
+        .map(|(mi, &root)| {
+            let member_branches: Vec<Expr> = (0..n)
+                .filter(|&i| roots[i] == root)
+                .map(|i| branches[i].clone())
+                .collect();
+            let mut comps: HashSet<String> = member_branches
+                .iter()
+                .flat_map(|b| b.literals().into_iter().map(|l| l.component.clone()))
+                .collect();
+            dependency_closure(def, &mut comps);
 
-        let mut sub = SystemDef::new(format!("{}-module{mi}", def.name));
-        for bc in &def.components {
-            if comps.contains(&bc.name) {
-                sub.add_component(bc.clone());
+            let mut sub = SystemDef::new(format!("{}-module{mi}", def.name));
+            for bc in &def.components {
+                if comps.contains(&bc.name) {
+                    sub.add_component(bc.clone());
+                }
             }
-        }
-        for ru in &def.repair_units {
-            if ru.components.iter().any(|c| comps.contains(c)) {
-                sub.add_repair_unit(ru.clone());
+            for ru in &def.repair_units {
+                if ru.components.iter().any(|c| comps.contains(c)) {
+                    sub.add_repair_unit(ru.clone());
+                }
             }
-        }
-        for smu in &def.smus {
-            if comps.contains(&smu.primary) || smu.spares.iter().any(|s| comps.contains(s)) {
-                sub.add_smu(smu.clone());
+            for smu in &def.smus {
+                if comps.contains(&smu.primary) || smu.spares.iter().any(|s| comps.contains(s)) {
+                    sub.add_smu(smu.clone());
+                }
             }
-        }
-        sub.set_system_down(if member_branches.len() == 1 {
-            member_branches.into_iter().next().expect("one branch")
-        } else {
-            Expr::Or(member_branches)
-        });
+            sub.set_system_down(if member_branches.len() == 1 {
+                member_branches.into_iter().next().expect("one branch")
+            } else {
+                Expr::Or(member_branches)
+            });
+            let mut components: Vec<String> = comps.into_iter().collect();
+            components.sort();
+            (format!("module{mi}"), components, sub)
+        })
+        .collect();
 
-        let report = Analysis::new(&sub)?.with_options(opts.clone()).run()?;
-        let mut components: Vec<String> = comps.into_iter().collect();
-        components.sort();
+    // Modules are statistically independent CTMCs — solve them
+    // concurrently. Each worker runs the exact analysis the sequential
+    // loop would; results come back in module order, so the combined
+    // report is identical for every thread count. The thread budget is
+    // split across the module workers to bound the total thread count.
+    let threads = ioimc::par::effective_threads(opts.threads);
+    let worker_opts = if threads > 1 && jobs.len() > 1 {
+        opts.clone()
+            .with_threads(ioimc::par::split_budget(threads, jobs.len()))
+    } else {
+        opts.clone()
+    };
+    let results = ioimc::par::par_map(threads, &jobs, |_, (_, _, sub)| {
+        Analysis::new(sub)?.with_options(worker_opts.clone()).run()
+    });
+    let mut modules = Vec::with_capacity(jobs.len());
+    for ((name, components, _), report) in jobs.into_iter().zip(results) {
         modules.push(ModuleAnalysis {
-            name: format!("module{mi}"),
+            name,
             components,
-            report,
+            report: report?,
         });
     }
-    roots.clear();
     Ok(ModularAnalysis { modules })
 }
 

@@ -302,6 +302,21 @@ fn visible_signals(model: &SystemModel, i: usize) -> HashSet<ActionId> {
 fn affinity_order(model: &SystemModel) -> Vec<usize> {
     let n = model.blocks.len();
     let sigs: Vec<HashSet<ActionId>> = (0..n).map(|i| visible_signals(model, i)).collect();
+    affinity_order_of(&sigs)
+}
+
+/// Greedy affinity clustering over visible-signal sets: repeatedly place
+/// the block sharing the most signals with the frontier; ties prefer the
+/// block introducing the fewest *new* signals, then declaration order.
+///
+/// The ranking is a true lexicographic comparison. An earlier version
+/// packed it into `shared * 1000 + 999usize.saturating_sub(new)`, which
+/// saturates (and collides) as soon as a block carries ≥1000 signals —
+/// blocks with 1000 and 5000 fresh signals ranked equal, so large models
+/// were mis-ordered towards whichever was declared first.
+fn affinity_order_of(sigs: &[HashSet<ActionId>]) -> Vec<usize> {
+    use std::cmp::Reverse;
+    let n = sigs.len();
     let mut order = vec![0usize];
     let mut placed = vec![false; n];
     placed[0] = true;
@@ -311,10 +326,8 @@ fn affinity_order(model: &SystemModel) -> Vec<usize> {
             .filter(|&i| !placed[i])
             .max_by_key(|&i| {
                 let shared = sigs[i].intersection(&frontier).count();
-                let new = sigs[i].len().saturating_sub(shared);
-                // prefer many shared signals, then few new ones, then
-                // declaration order (stable tie-break via reversed index)
-                (shared * 1000 + 999usize.saturating_sub(new), usize::MAX - i)
+                let new = sigs[i].len() - shared;
+                (shared, Reverse(new), Reverse(i))
             })
             .expect("unplaced block exists");
         placed[best] = true;
@@ -364,6 +377,27 @@ mod tests {
         assert!(pos("b") < pos("c"));
         assert!(pos("rab") < pos("c"));
         assert!(pos("rab") < pos("rcd"));
+    }
+
+    /// Regression for the packed affinity ranking key: with ≥1000 signals
+    /// per block the old `shared * 1000 + 999 - new` key saturated, so two
+    /// candidates with equal overlap but wildly different fresh-signal
+    /// counts tied and the earlier-declared (worse) one won.
+    #[test]
+    fn affinity_prefers_fewer_new_signals_on_wide_signatures() {
+        let sig =
+            |range: std::ops::Range<u32>| -> HashSet<ActionId> { range.map(ActionId).collect() };
+        // Seed block 0 shares one signal with both candidates. Block 1
+        // (declared first) drags in 2499 fresh signals, block 2 only
+        // 1499 — the greedy step must pick block 2.
+        let sigs = vec![sig(0..10), sig(9..2509), sig(9..1509)];
+        let order = affinity_order_of(&sigs);
+        assert_eq!(order, vec![0, 2, 1], "wide signatures mis-ordered");
+        // Sanity at small scale: more shared signals still dominates
+        // fewer new ones, and declaration order breaks exact ties.
+        let sigs = vec![sig(0..4), sig(2..40), sig(0..4), sig(5..6)];
+        let order = affinity_order_of(&sigs);
+        assert_eq!(order, vec![0, 2, 1, 3]);
     }
 
     #[test]

@@ -62,7 +62,7 @@
 //! ```
 
 use std::cell::{Cell, OnceCell};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ctmc::csl::StateFormula;
 use ctmc::measures::state_mass as mass;
@@ -129,7 +129,7 @@ pub struct SessionStats {
 struct ConfigCache {
     agg: OnceCell<Aggregation>,
     steady: OnceCell<Vec<f64>>,
-    down: OnceCell<Rc<[u32]>>,
+    down: OnceCell<Arc<[u32]>>,
     absorbing: OnceCell<Ctmc>,
     mttf: OnceCell<f64>,
 }
@@ -207,21 +207,80 @@ impl Session {
         }
     }
 
+    fn config_def(&self, cfg: Config) -> SystemDef {
+        match cfg {
+            Config::Availability => self.def.clone(),
+            Config::NoRepair => self.def.without_repair(),
+        }
+    }
+
     /// The aggregation of `cfg`, built on first use.
     fn aggregation(&self, cfg: Config) -> Result<&Aggregation, ArcadeError> {
         let cache = self.cache(cfg);
         if cache.agg.get().is_none() {
-            let def = match cfg {
-                Config::Availability => self.def.clone(),
-                Config::NoRepair => self.def.without_repair(),
-            };
-            let model = SystemModel::build(&def)?;
-            let agg = aggregate(&model, &self.opts)?;
+            let agg = build_aggregation(&self.config_def(cfg), &self.opts)?;
             self.aggregations_built
                 .set(self.aggregations_built.get() + 1);
             let _ = cache.agg.set(agg);
         }
         Ok(cache.agg.get().expect("just built"))
+    }
+
+    /// Builds every configuration in `need` that is still missing. The
+    /// configurations are independent (different model variants), so when
+    /// more than one is missing they are aggregated on concurrent worker
+    /// threads — each worker runs exactly the computation the lazy path
+    /// would, so the cached artifacts (and all measures derived from
+    /// them) are identical to sequential building.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors (the first, in
+    /// `Config` declaration order).
+    fn prefetch(&self, need: &[Config]) -> Result<(), ArcadeError> {
+        let missing: Vec<Config> = need
+            .iter()
+            .copied()
+            .filter(|&c| self.cache(c).agg.get().is_none())
+            .collect();
+        let threads = ioimc::par::effective_threads(self.opts.threads);
+        if missing.len() > 1 && threads > 1 {
+            // Split the thread budget across the configuration builds to
+            // bound the total thread count.
+            let worker_opts = self
+                .opts
+                .clone()
+                .with_threads(ioimc::par::split_budget(threads, missing.len()));
+            let jobs: Vec<(Config, SystemDef)> =
+                missing.iter().map(|&c| (c, self.config_def(c))).collect();
+            let results = ioimc::par::par_map(missing.len(), &jobs, |_, (_, def)| {
+                build_aggregation(def, &worker_opts)
+            });
+            for ((cfg, _), agg) in jobs.into_iter().zip(results) {
+                let agg = agg?;
+                self.aggregations_built
+                    .set(self.aggregations_built.get() + 1);
+                let _ = self.cache(cfg).agg.set(agg);
+            }
+        } else {
+            for c in missing {
+                self.aggregation(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Eagerly builds **both** model configurations (availability and
+    /// no-repair), in parallel when more than one thread is available.
+    /// Used by the eager [`crate::analysis::Analysis::run`] wrapper;
+    /// purely an optimization — the lazy per-measure path builds the same
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn prefetch_all(&self) -> Result<(), ArcadeError> {
+        self.prefetch(&[Config::Availability, Config::NoRepair])
     }
 
     /// The aggregation of the availability configuration (repairs active),
@@ -244,7 +303,7 @@ impl Session {
         self.aggregation(Config::NoRepair)
     }
 
-    fn down_states(&self, cfg: Config) -> Result<Rc<[u32]>, ArcadeError> {
+    fn down_states(&self, cfg: Config) -> Result<Arc<[u32]>, ArcadeError> {
         let ctmc = &self.aggregation(cfg)?.ctmc;
         Ok(self
             .cache(cfg)
@@ -338,18 +397,33 @@ impl Session {
         let mut unavail_ts = Vec::new();
         let mut fp_repair_ts = Vec::new();
         let mut fp_norepair_ts = Vec::new();
+        let mut needs_avail = false;
         for m in measures {
             match m {
                 Measure::PointAvailability(t) | Measure::PointUnavailability(t) => {
                     unavail_ts.push(*t);
+                    needs_avail = true;
                 }
-                Measure::UnreliabilityWithRepair(t) => fp_repair_ts.push(*t),
+                Measure::UnreliabilityWithRepair(t) => {
+                    fp_repair_ts.push(*t);
+                    needs_avail = true;
+                }
                 Measure::Reliability(t) | Measure::Unreliability(t) => {
                     fp_norepair_ts.push(*t);
                 }
-                _ => {}
+                _ => needs_avail = true,
             }
         }
+        // When the batch spans both configurations and neither is built
+        // yet, aggregate them concurrently instead of back to back.
+        let mut need: Vec<Config> = Vec::new();
+        if needs_avail {
+            need.push(Config::Availability);
+        }
+        if !fp_norepair_ts.is_empty() {
+            need.push(Config::NoRepair);
+        }
+        self.prefetch(&need)?;
         let unavail = if unavail_ts.is_empty() {
             Vec::new()
         } else {
@@ -407,6 +481,13 @@ impl Session {
         }
         Ok(out)
     }
+}
+
+/// Elaborates `def` and runs compositional aggregation — the unit of work
+/// a configuration build costs, shared by the lazy and parallel paths.
+fn build_aggregation(def: &SystemDef, opts: &EngineOptions) -> Result<Aggregation, ArcadeError> {
+    let model = SystemModel::build(def)?;
+    aggregate(&model, opts)
 }
 
 #[cfg(test)]
@@ -493,6 +574,33 @@ mod tests {
             .unwrap();
         assert!((v[0] + v[1] - 1.0).abs() < 1e-12);
         assert!((v[2] + v[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_prefetch_matches_lazy_sequential() {
+        // A batch that needs both configurations on a fresh session takes
+        // the concurrent prefetch path; a session with threads=1 takes
+        // the lazy sequential path. Values must agree bitwise.
+        let batch = [
+            Measure::SteadyStateAvailability,
+            Measure::PointUnavailability(5.0),
+            Measure::Reliability(5.0),
+            Measure::UnreliabilityWithRepair(5.0),
+            Measure::Mttf,
+        ];
+        let par = Session::new(&pair()).unwrap();
+        let par_values = par.evaluate(&batch).unwrap();
+        assert_eq!(par.stats().aggregations_built, 2);
+        let seq = Session::new(&pair())
+            .unwrap()
+            .with_options(crate::engine::EngineOptions::new().with_threads(1));
+        let seq_values = seq.evaluate(&batch).unwrap();
+        for (m, (p, s)) in batch.iter().zip(par_values.iter().zip(&seq_values)) {
+            assert_eq!(p.to_bits(), s.to_bits(), "{m:?}: {p} vs {s}");
+        }
+        // prefetch_all on an already-warm session is a no-op.
+        par.prefetch_all().unwrap();
+        assert_eq!(par.stats().aggregations_built, 2);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Scaling sweep — family size × thread count.
+//!
+//! Aggregates the scaled case families (`dds_scaled(n)` disk clusters,
+//! `rcs_scaled(k)` pump lines) at several engine thread counts and
+//! reports, per configuration: wall-clock time, speedup over the
+//! single-threaded run, the peak intermediate I/O-IMC sizes, and the final
+//! CTMC size. Every multi-threaded result is checked for exact equality
+//! with the single-threaded CTMC — the parallel engine is a scheduling
+//! change only.
+//!
+//! Run: `cargo run --release -p arcade-bench --bin exp_scaling`
+//! (`-- --smoke` runs a seconds-sized subset for CI).
+
+use std::time::Instant;
+
+use arcade::cases::{dds_scaled, rcs_scaled};
+use arcade::engine::{aggregate, Aggregation, EngineOptions};
+use arcade::model::SystemModel;
+use arcade_bench::Table;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Always include a >1 worker count (even on small machines) so the
+    // parallel scheduling path is exercised; speedup is only meaningful
+    // up to `hw` workers.
+    let mut threads: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, hw] };
+    threads.sort_unstable();
+    threads.dedup();
+
+    println!(
+        "scaling sweep on {hw} hardware threads{}",
+        if smoke { " (smoke subset)" } else { "" }
+    );
+    println!();
+
+    // Family sizes chosen so the slowest single-threaded run stays in the
+    // tens of seconds (dds_scaled(12) and rcs_scaled(3) already take
+    // minutes — the state spaces grow combinatorially with family size).
+    let dds_sizes: Vec<usize> = if smoke { vec![3] } else { vec![2, 4, 6, 9] };
+    let rcs_lines: Vec<usize> = vec![2];
+
+    let mut table = Table::new(&[
+        "family",
+        "blocks",
+        "threads",
+        "time",
+        "speedup",
+        "peak states",
+        "peak transitions",
+        "CTMC",
+    ]);
+    for &n in &dds_sizes {
+        sweep(
+            &mut table,
+            &format!("dds_scaled({n})"),
+            &dds_scaled(n),
+            &threads,
+        );
+    }
+    for &k in &rcs_lines {
+        sweep(
+            &mut table,
+            &format!("rcs_scaled({k})"),
+            &rcs_scaled(k),
+            &threads,
+        );
+    }
+    println!("{}", table.render());
+    println!(
+        "every multi-threaded CTMC was verified identical to the 1-thread result; \
+         speedups come from aggregating sibling fault-tree modules on worker threads"
+    );
+}
+
+fn sweep(table: &mut Table, family: &str, def: &arcade::ast::SystemDef, threads: &[usize]) {
+    let model = SystemModel::build(def).expect("case family elaborates");
+    let mut baseline: Option<(f64, Aggregation)> = None;
+    for &th in threads {
+        let opts = EngineOptions::new().with_threads(th);
+        let start = Instant::now();
+        let agg = aggregate(&model, &opts).expect("aggregation succeeds");
+        let secs = start.elapsed().as_secs_f64();
+        let speedup = if let Some((base_secs, base_agg)) = &baseline {
+            assert_eq!(
+                agg.ctmc, base_agg.ctmc,
+                "{family}: {th}-thread CTMC differs from the 1-thread result"
+            );
+            base_secs / secs
+        } else {
+            1.0
+        };
+        table.row(&[
+            family.into(),
+            model.blocks.len().to_string(),
+            th.to_string(),
+            format!("{:.3} s", secs),
+            format!("{speedup:.2}x"),
+            agg.largest_intermediate.states.to_string(),
+            agg.largest_intermediate.transitions().to_string(),
+            format!(
+                "{} st / {} tr",
+                agg.ctmc_stats.states,
+                agg.ctmc_stats.transitions()
+            ),
+        ]);
+        if baseline.is_none() {
+            baseline = Some((secs, agg));
+        }
+    }
+}

@@ -35,15 +35,76 @@ use crate::strong::split;
 /// fall back to treating the offending tau edges as observable, which is
 /// sound but reduces less.
 pub fn refine_branching(imc: &IoImc, initial: Partition) -> (Partition, Vec<Signature>) {
+    refine_branching_threaded(imc, initial, 1)
+}
+
+/// [`refine_branching`] with the per-state signature computation spread
+/// over `threads` scoped workers.
+///
+/// A state's branching signature reads the signatures of its inert tau
+/// successors, so states are scheduled by *tau depth*: layer 0 holds the
+/// tau-sinks (the overwhelming majority after the SCC collapse), layer
+/// `d + 1` the states whose deepest tau successor sits in layer `d`.
+/// Layers run in ascending order; within a layer every state is
+/// independent and computed in parallel. The values are identical to the
+/// sequential topological sweep — signatures are pure given their
+/// successors and canonicalized before use — so the refinement is bitwise
+/// deterministic for every thread count.
+pub fn refine_branching_threaded(
+    imc: &IoImc,
+    initial: Partition,
+    threads: usize,
+) -> (Partition, Vec<Signature>) {
     let n = imc.num_states();
+    // Below a few thousand states the per-iteration thread spawns cost
+    // more than the signatures; run inline.
+    let threads = if n < crate::PAR_STATE_THRESHOLD {
+        1
+    } else {
+        threads
+    };
     let order = tau_topological_order(imc);
     debug_assert_eq!(order.len(), n, "tau graph must be acyclic");
     let mut part = initial;
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
+    // Group the ordered states by tau depth once — the tau graph does not
+    // change across refinement iterations.
+    let layers: Vec<Vec<StateId>> = if threads > 1 {
+        tau_layers(imc, &order)
+    } else {
+        Vec::new()
+    };
     loop {
-        // Process tau-sinks first so that inert successors are ready.
-        for &s in &order {
-            sigs[s as usize] = branching_signature(imc, &part, &sigs, s);
+        if threads <= 1 {
+            // Process tau-sinks first so that inert successors are ready.
+            for &s in &order {
+                sigs[s as usize] = branching_signature(imc, &part, &sigs, s);
+            }
+        } else {
+            for layer in &layers {
+                if layer.len() < crate::PAR_STATE_THRESHOLD {
+                    // Shallow layers (everything past the tau-sinks) are
+                    // tiny; not worth a spawn.
+                    for &s in layer {
+                        sigs[s as usize] = branching_signature(imc, &part, &sigs, s);
+                    }
+                    continue;
+                }
+                let chunk = layer.len().div_ceil(4 * threads).max(1);
+                let chunks: Vec<&[StateId]> = layer.chunks(chunk).collect();
+                let (part_ref, sigs_ref) = (&part, &sigs);
+                let computed = ioimc::par::par_map(threads, &chunks, |_, states| {
+                    states
+                        .iter()
+                        .map(|&s| branching_signature(imc, part_ref, sigs_ref, s))
+                        .collect::<Vec<Signature>>()
+                });
+                for (states, layer_sigs) in chunks.iter().zip(computed) {
+                    for (&s, sig) in states.iter().zip(layer_sigs) {
+                        sigs[s as usize] = sig;
+                    }
+                }
+            }
         }
         // States not covered by the order (tau cycles; should not happen
         // after SCC collapse) get a conservative, non-absorbing signature.
@@ -64,6 +125,30 @@ pub fn refine_branching(imc: &IoImc, initial: Partition) -> (Partition, Vec<Sign
         }
         part = next;
     }
+}
+
+/// Groups the topologically ordered states by tau depth: a state's layer
+/// is one more than the deepest layer among its internal-action
+/// successors (0 for tau-sinks). Within a layer no state tau-reaches
+/// another, so their branching signatures are independent.
+fn tau_layers(imc: &IoImc, order: &[StateId]) -> Vec<Vec<StateId>> {
+    let n = imc.num_states();
+    let mut depth = vec![0usize; n];
+    let mut layers: Vec<Vec<StateId>> = Vec::new();
+    for &s in order {
+        let mut d = 0usize;
+        for &(a, t) in imc.interactive_from(s) {
+            if imc.kind_of(a) == Some(ActionKind::Internal) && t != s {
+                d = d.max(depth[t as usize] + 1);
+            }
+        }
+        depth[s as usize] = d;
+        if layers.len() <= d {
+            layers.resize_with(d + 1, Vec::new);
+        }
+        layers[d].push(s);
+    }
+    layers
 }
 
 fn branching_signature(imc: &IoImc, part: &Partition, sigs: &[Signature], s: StateId) -> Signature {
@@ -134,14 +219,28 @@ fn push_rate_entries(imc: &IoImc, part: &Partition, s: StateId, sig: &mut Signat
 
 /// Orders states so that every tau edge goes from a later to an earlier
 /// position (tau-sinks first). States on tau cycles are omitted.
+///
+/// The predecessor adjacency is built in flat CSR form (count + fill) so
+/// the Kahn loop walks contiguous slices.
 fn tau_topological_order(imc: &IoImc) -> Vec<StateId> {
     let n = imc.num_states();
     let mut out_degree = vec![0usize; n];
-    let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    let mut pred_off = vec![0u32; n + 1];
     for (s, a, t) in imc.iter_interactive() {
         if imc.kind_of(a) == Some(ActionKind::Internal) && s != t {
             out_degree[s as usize] += 1;
-            preds[t as usize].push(s);
+            pred_off[t as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        pred_off[i + 1] += pred_off[i];
+    }
+    let mut preds: Vec<StateId> = vec![0; pred_off[n] as usize];
+    let mut cursor: Vec<u32> = pred_off[..n].to_vec();
+    for (s, a, t) in imc.iter_interactive() {
+        if imc.kind_of(a) == Some(ActionKind::Internal) && s != t {
+            preds[cursor[t as usize] as usize] = s;
+            cursor[t as usize] += 1;
         }
     }
     let mut order: Vec<StateId> = (0..n as StateId)
@@ -149,9 +248,9 @@ fn tau_topological_order(imc: &IoImc) -> Vec<StateId> {
         .collect();
     let mut head = 0;
     while head < order.len() {
-        let t = order[head];
+        let t = order[head] as usize;
         head += 1;
-        for &p in &preds[t as usize] {
+        for &p in &preds[pred_off[t] as usize..pred_off[t + 1] as usize] {
             out_degree[p as usize] -= 1;
             if out_degree[p as usize] == 0 {
                 order.push(p);

@@ -55,5 +55,10 @@ pub mod strong;
 pub mod vanishing;
 
 pub use partition::Partition;
-pub use pipeline::{reduce, ReduceOptions, Reduced, Strategy};
+pub use pipeline::{reduce, reduce_threaded, ReduceOptions, Reduced, Strategy};
 pub use vanishing::NondeterminismError;
+
+/// Minimum number of states (or states per tau layer) before the
+/// refinement loops fan signature computation out to worker threads;
+/// below this the per-iteration spawn overhead outweighs the work.
+pub(crate) const PAR_STATE_THRESHOLD: usize = 4096;

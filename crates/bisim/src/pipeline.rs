@@ -5,10 +5,10 @@ use ioimc::reach::restrict_reachable;
 use ioimc::scc::collapse_tau_sccs;
 use ioimc::{ActionId, IoImc, Stats};
 
-use crate::branching::refine_branching;
+use crate::branching::{refine_branching, refine_branching_threaded};
 use crate::partition::Partition;
 use crate::quotient::quotient;
-use crate::strong::refine_strong;
+use crate::strong::{refine_strong, refine_strong_threaded};
 
 /// Which equivalence to minimize with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -52,6 +52,14 @@ pub struct Reduced {
 /// chosen [`Strategy`]. The reduction is label-respecting and preserves
 /// weak-bisimulation equivalence (hence all Arcade measures).
 pub fn reduce(imc: &IoImc, opts: &ReduceOptions) -> Reduced {
+    reduce_threaded(imc, opts, 1)
+}
+
+/// [`reduce`] with the per-state signature computation of the refinement
+/// loops spread over `threads` scoped workers
+/// ([`refine_strong_threaded`] / [`refine_branching_threaded`]). The
+/// result is bitwise identical for every thread count.
+pub fn reduce_threaded(imc: &IoImc, opts: &ReduceOptions, threads: usize) -> Reduced {
     let before = Stats::of(imc);
     let mut cur = restrict_reachable(imc);
     if opts.strategy != Strategy::None || !cur.internals().is_empty() {
@@ -62,7 +70,7 @@ pub fn reduce(imc: &IoImc, opts: &ReduceOptions) -> Reduced {
     match opts.strategy {
         Strategy::None => {}
         Strategy::Strong => {
-            let (p, sigs) = refine_strong(&cur, Partition::by_label(&cur));
+            let (p, sigs) = refine_strong_threaded(&cur, Partition::by_label(&cur), threads);
             cur = quotient(&cur, &p, &sigs, opts.tau);
             cur = restrict_reachable(&cur);
         }
@@ -71,7 +79,7 @@ pub fn reduce(imc: &IoImc, opts: &ReduceOptions) -> Reduced {
             // separated by labels; iterate to a fixpoint (usually 1 round).
             loop {
                 let states_before = cur.num_states();
-                let (p, sigs) = refine_branching(&cur, Partition::by_label(&cur));
+                let (p, sigs) = refine_branching_threaded(&cur, Partition::by_label(&cur), threads);
                 cur = quotient(&cur, &p, &sigs, opts.tau);
                 cur = collapse_tau_sccs(&cur);
                 maximal_progress_cut(&mut cur);
@@ -245,6 +253,46 @@ mod tests {
         let o = opts(&mut ab, Strategy::Branching);
         assert!(equivalent(&mk(2.0), &mk(2.0), &o));
         assert!(!equivalent(&mk(2.0), &mk(3.0), &o));
+    }
+
+    /// The threaded refiners are a scheduling change only: the reduced
+    /// automaton must be identical (not just equivalent) for any worker
+    /// count. The model is built wide enough (both in total states and in
+    /// the tau layers) to clear `PAR_STATE_THRESHOLD`, so the parallel
+    /// code paths really run.
+    #[test]
+    fn threaded_reduce_is_bitwise_identical() {
+        let width = 2 * crate::PAR_STATE_THRESHOLD;
+        let mut ab = Alphabet::new();
+        let tau = ab.intern("tau");
+        let out = ab.intern("alarm");
+        let mut b = IoImcBuilder::new();
+        b.set_internals([tau]).set_outputs([out]);
+        let hub = b.add_labeled_state(1 << 60);
+        // `width` labeled sinks with varying rate structure (tau layer 0)
+        // and one tau state above each (tau layer 1).
+        let sinks: Vec<_> = (0..width)
+            .map(|i| b.add_labeled_state(1 << (i % 5)))
+            .collect();
+        for (i, &s) in sinks.iter().enumerate() {
+            b.markovian(s, 1.0 + (i % 7) as f64, hub);
+            let t = b.add_state();
+            b.interactive(t, tau, s);
+            if i % 3 == 0 {
+                b.interactive(t, out, hub);
+            }
+            b.markovian(hub, 0.25 + (i % 4) as f64, t);
+        }
+        let imc = b.build().unwrap();
+        for strategy in [Strategy::Strong, Strategy::Branching] {
+            let o = opts(&mut ab, strategy);
+            let seq = reduce(&imc, &o);
+            for threads in [2, 4, 8] {
+                let par = reduce_threaded(&imc, &o, threads);
+                assert_eq!(par.imc, seq.imc, "{strategy:?} with {threads} threads");
+                assert_eq!(par.after, seq.after);
+            }
+        }
     }
 
     /// Reduction must preserve the total rate structure of a birth-death

@@ -18,12 +18,53 @@ use crate::signature::{canonicalize, quantize_rate, SigEntry, Signature};
 /// Refines `initial` to the coarsest strong-bisimulation partition of
 /// `imc`, returning the partition and the fixpoint signature of each state.
 pub fn refine_strong(imc: &IoImc, initial: Partition) -> (Partition, Vec<Signature>) {
+    refine_strong_threaded(imc, initial, 1)
+}
+
+/// [`refine_strong`] with the per-state signature computation spread over
+/// `threads` scoped workers.
+///
+/// Signatures are pure functions of `(imc, partition, state)` and every
+/// signature is canonicalized (sorted) before use, so the refinement —
+/// and the resulting partition — is bitwise identical for every thread
+/// count; the `split` step itself stays sequential.
+pub fn refine_strong_threaded(
+    imc: &IoImc,
+    initial: Partition,
+    threads: usize,
+) -> (Partition, Vec<Signature>) {
     let n = imc.num_states();
+    // Below a few thousand states the per-iteration thread spawns cost
+    // more than the signatures; run inline.
+    let threads = if n < crate::PAR_STATE_THRESHOLD {
+        1
+    } else {
+        threads
+    };
     let mut part = initial;
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
+    let chunk = n.div_ceil(4 * threads.max(1)).max(1);
+    let chunks: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(n)))
+        .collect();
     loop {
-        for s in 0..n as StateId {
-            sigs[s as usize] = strong_signature(imc, &part, s);
+        if threads <= 1 {
+            for s in 0..n as StateId {
+                sigs[s as usize] = strong_signature(imc, &part, s);
+            }
+        } else {
+            let part_ref = &part;
+            let computed = ioimc::par::par_map(threads, &chunks, |_, &(start, end)| {
+                (start as StateId..end as StateId)
+                    .map(|s| strong_signature(imc, part_ref, s))
+                    .collect::<Vec<Signature>>()
+            });
+            for (&(start, _), chunk_sigs) in chunks.iter().zip(computed) {
+                for (off, sig) in chunk_sigs.into_iter().enumerate() {
+                    sigs[start + off] = sig;
+                }
+            }
         }
         let next = split(&part, &sigs);
         if next.num_blocks() == part.num_blocks() {

@@ -9,8 +9,11 @@
 /// Truncated, normalized Poisson probabilities for parameter `lambda`.
 ///
 /// Returns `(left, weights)` such that `weights[i]` approximates
-/// `Poisson(lambda)[left + i]` and the weights sum to 1. The truncated tail
-/// mass is below `1e-15`.
+/// `Poisson(lambda)[left + i]` and the weights sum to 1. Both tails are
+/// truncated where the weights drop below `1e-18` *relative to the modal
+/// weight* (`REL_CUTOFF`); since the weights decay super-geometrically
+/// past that point, the discarded tail mass is far below `1e-15` of the
+/// total — comfortably under double-precision noise for uniformization.
 ///
 /// # Panics
 ///

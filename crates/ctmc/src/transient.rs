@@ -142,7 +142,12 @@ fn sweep(ctmc: &Ctmc, pi0: &[f64], unif: f64, t: f64) -> Vec<f64> {
     let stay: Vec<f64> = (0..n as u32)
         .map(|s| 1.0 - ctmc.exit_rate(s) / unif)
         .collect();
+    // Double-buffered stepping: `cur` and `next` swap roles each step, so
+    // the whole sweep costs two distribution buffers total instead of one
+    // fresh allocation per DTMC step (tens of thousands of steps on the
+    // long-horizon grids).
     let mut cur = pi0.to_vec();
+    let mut next = vec![0.0f64; n];
     let mut result = vec![0.0f64; n];
     // Steps 0..left-1 only advance the power; steps left.. accumulate.
     let mut step = 0usize;
@@ -156,17 +161,19 @@ fn sweep(ctmc: &Ctmc, pi0: &[f64], unif: f64, t: f64) -> Vec<f64> {
         }
         step += 1;
         if step < total_steps {
-            cur = dtmc_step(ctmc, &cur, unif, &stay);
+            dtmc_step_into(ctmc, &cur, unif, &stay, &mut next);
+            std::mem::swap(&mut cur, &mut next);
         }
     }
     result
 }
 
-/// One step of the uniformized DTMC: `out = cur · (I + Q/Λ)`.
-fn dtmc_step(ctmc: &Ctmc, cur: &[f64], unif: f64, stay: &[f64]) -> Vec<f64> {
+/// One step of the uniformized DTMC into a caller-provided buffer:
+/// `out = cur · (I + Q/Λ)`.
+fn dtmc_step_into(ctmc: &Ctmc, cur: &[f64], unif: f64, stay: &[f64], out: &mut [f64]) {
     DTMC_STEPS.with(|c| c.set(c.get() + 1));
     let n = ctmc.num_states();
-    let mut out = vec![0.0f64; n];
+    out.fill(0.0);
     for s in 0..n as u32 {
         let mass = cur[s as usize];
         if mass == 0.0 {
@@ -177,7 +184,6 @@ fn dtmc_step(ctmc: &Ctmc, cur: &[f64], unif: f64, stay: &[f64]) -> Vec<f64> {
             out[tgt as usize] += mass * r / unif;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -295,6 +301,62 @@ mod tests {
         let pis = transient_many(&c, &[0.0, 1.0, 10.0]);
         for pi in pis {
             assert_eq!(pi, vec![1.0]);
+        }
+    }
+
+    /// A multi-state chain with no transitions at all (`max_exit == 0.0`)
+    /// must return the starting distribution verbatim at every grid point,
+    /// including from a non-initial `pi0`.
+    #[test]
+    fn zero_exit_rate_chain_keeps_pi0_on_grid() {
+        let c = Ctmc::new(vec![vec![], vec![], vec![]], vec![0, 0, 1], 0).unwrap();
+        assert_eq!(c.max_exit_rate(), 0.0);
+        let pi0 = [0.25, 0.5, 0.25];
+        let pis = transient_many_from(&c, &pi0, &[0.0, 2.5, 100.0]);
+        for pi in pis {
+            assert_eq!(pi, pi0.to_vec());
+        }
+    }
+
+    /// `t = 0` grid points must return `pi0` exactly, even when mixed with
+    /// positive times (the incremental sweep must not step before them).
+    #[test]
+    fn zero_time_points_return_pi0_exactly() {
+        let (l, m) = (0.2, 1.5);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let pi0 = [0.0, 1.0];
+        let pis = transient_many_from(&c, &pi0, &[3.0, 0.0, 7.0, 0.0]);
+        assert_eq!(pis[1], pi0.to_vec());
+        assert_eq!(pis[3], pi0.to_vec());
+        // and the positive points still match the closed form from pi0
+        for &(i, t) in &[(0usize, 3.0f64), (2, 7.0)] {
+            let a = m / (l + m) - m / (l + m) * (-(l + m) * t).exp();
+            assert!((pis[i][0] - a).abs() < 1e-10, "t={t}");
+        }
+    }
+
+    /// Duplicate and unsorted grid entries answer from one shared sweep
+    /// and must agree with independent scalar solves bitwise-closely.
+    #[test]
+    fn from_distribution_handles_duplicate_unsorted_grid() {
+        let c = Ctmc::new(
+            vec![vec![(1.0, 1), (2.0, 2)], vec![(0.5, 2)], vec![(3.0, 0)]],
+            vec![0, 0, 0],
+            0,
+        )
+        .unwrap();
+        let pi0 = [0.2, 0.3, 0.5];
+        let ts = [4.0, 1.0, 4.0, 0.5, 1.0];
+        let pis = transient_many_from(&c, &pi0, &ts);
+        assert_eq!(pis[0], pis[2], "duplicate grid points must agree");
+        assert_eq!(pis[1], pis[4]);
+        for (&t, pi) in ts.iter().zip(&pis) {
+            let scalar = transient_from(&c, &pi0, t);
+            for (a, b) in pi.iter().zip(&scalar) {
+                assert!((a - b).abs() < 1e-10, "t={t}: {a} vs {b}");
+            }
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10);
         }
     }
 }

@@ -25,9 +25,20 @@ pub enum ActionKind {
 
 /// An Input/Output Interactive Markov Chain.
 ///
-/// Immutable after construction (see [`crate::builder::IoImcBuilder`]); the
-/// transformation functions in this crate ([`crate::compose::parallel`],
-/// [`crate::hide::hide_outputs`], …) return new automata.
+/// Transitions are stored in flat CSR (compressed sparse row) form: one
+/// contiguous transition array per kind plus an `n + 1` offset array, so
+/// that a state's transitions are a slice of a single allocation. The
+/// aggregation pipeline iterates these slices millions of times per
+/// composition step; keeping them contiguous (instead of one heap `Vec`
+/// per state) is what makes the hot loops cache-friendly and the
+/// per-automaton allocation count O(1).
+///
+/// Mostly immutable after construction (see
+/// [`crate::builder::IoImcBuilder`]); the transformation passes either
+/// return new automata ([`crate::compose::parallel`],
+/// [`crate::reach::restrict_reachable`]) or edit in place without
+/// copying the transition arrays ([`crate::hide::hide_outputs`],
+/// [`crate::hide::prune_inputs`], [`crate::mp::maximal_progress_cut`]).
 ///
 /// Invariants (checked by [`crate::validate::validate`]):
 ///
@@ -43,20 +54,25 @@ pub struct IoImc {
     pub(crate) inputs: Vec<ActionId>,
     pub(crate) outputs: Vec<ActionId>,
     pub(crate) internals: Vec<ActionId>,
-    /// Per-state interactive transitions `(action, target)`, sorted.
-    pub(crate) interactive: Vec<Vec<(ActionId, StateId)>>,
-    /// Per-state Markovian transitions `(rate, target)`.
-    pub(crate) markovian: Vec<Vec<(f64, StateId)>>,
+    /// CSR offsets into `inter`: state `s` owns `inter[inter_off[s]..inter_off[s+1]]`.
+    pub(crate) inter_off: Vec<u32>,
+    /// All interactive transitions `(action, target)`, grouped by source.
+    pub(crate) inter: Vec<(ActionId, StateId)>,
+    /// CSR offsets into `mark`.
+    pub(crate) mark_off: Vec<u32>,
+    /// All Markovian transitions `(rate, target)`, grouped by source.
+    pub(crate) mark: Vec<(f64, StateId)>,
     pub(crate) labels: Vec<StateLabel>,
 }
 
 impl IoImc {
-    /// Assembles an I/O-IMC from parts without validation.
+    /// Assembles an I/O-IMC from per-state transition lists without
+    /// validation.
     ///
     /// Prefer [`crate::builder::IoImcBuilder`]; this is the escape hatch used
     /// by the transformation passes. Signature sets must be sorted and
     /// disjoint and `interactive`, `markovian`, `labels` must have one entry
-    /// per state.
+    /// per state. The lists are flattened into CSR storage.
     pub fn from_parts_unchecked(
         initial: StateId,
         inputs: Vec<ActionId>,
@@ -68,20 +84,62 @@ impl IoImc {
     ) -> Self {
         debug_assert_eq!(interactive.len(), markovian.len());
         debug_assert_eq!(interactive.len(), labels.len());
+        let (inter_off, inter) = flatten(interactive);
+        let (mark_off, mark) = flatten(markovian);
         Self {
             initial,
             inputs,
             outputs,
             internals,
-            interactive,
-            markovian,
+            inter_off,
+            inter,
+            mark_off,
+            mark,
+            labels,
+        }
+    }
+
+    /// Assembles an I/O-IMC directly from CSR arrays without validation.
+    ///
+    /// `inter_off`/`mark_off` must be monotone, have `labels.len() + 1`
+    /// entries, start at 0 and end at the respective transition count.
+    /// Used by the passes that discover states in order (composition, BFS
+    /// renumbering) and can therefore emit CSR without an intermediate
+    /// per-state `Vec`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_csr_unchecked(
+        initial: StateId,
+        inputs: Vec<ActionId>,
+        outputs: Vec<ActionId>,
+        internals: Vec<ActionId>,
+        inter_off: Vec<u32>,
+        inter: Vec<(ActionId, StateId)>,
+        mark_off: Vec<u32>,
+        mark: Vec<(f64, StateId)>,
+        labels: Vec<StateLabel>,
+    ) -> Self {
+        debug_assert_eq!(inter_off.len(), labels.len() + 1);
+        debug_assert_eq!(mark_off.len(), labels.len() + 1);
+        debug_assert_eq!(*inter_off.last().unwrap_or(&0) as usize, inter.len());
+        debug_assert_eq!(*mark_off.last().unwrap_or(&0) as usize, mark.len());
+        debug_assert!(inter_off.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(mark_off.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            initial,
+            inputs,
+            outputs,
+            internals,
+            inter_off,
+            inter,
+            mark_off,
+            mark,
             labels,
         }
     }
 
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.interactive.len()
+        self.labels.len()
     }
 
     /// The initial state.
@@ -139,12 +197,14 @@ impl IoImc {
 
     /// Interactive transitions of `s` as `(action, target)` pairs.
     pub fn interactive_from(&self, s: StateId) -> &[(ActionId, StateId)] {
-        &self.interactive[s as usize]
+        let s = s as usize;
+        &self.inter[self.inter_off[s] as usize..self.inter_off[s + 1] as usize]
     }
 
     /// Markovian transitions of `s` as `(rate, target)` pairs.
     pub fn markovian_from(&self, s: StateId) -> &[(f64, StateId)] {
-        &self.markovian[s as usize]
+        let s = s as usize;
+        &self.mark[self.mark_off[s] as usize..self.mark_off[s + 1] as usize]
     }
 
     /// The label of state `s`.
@@ -160,24 +220,24 @@ impl IoImc {
     /// Whether state `s` has an enabled urgent (output or internal)
     /// transition. Such states are *unstable*: time cannot pass in them.
     pub fn is_unstable(&self, s: StateId) -> bool {
-        self.interactive[s as usize]
+        self.interactive_from(s)
             .iter()
             .any(|&(a, _)| self.is_urgent(a))
     }
 
     /// Total exit rate of state `s` (sum of Markovian rates).
     pub fn exit_rate(&self, s: StateId) -> f64 {
-        self.markovian[s as usize].iter().map(|&(r, _)| r).sum()
+        self.markovian_from(s).iter().map(|&(r, _)| r).sum()
     }
 
     /// Total number of interactive transitions.
     pub fn num_interactive(&self) -> usize {
-        self.interactive.iter().map(Vec::len).sum()
+        self.inter.len()
     }
 
     /// Total number of Markovian transitions.
     pub fn num_markovian(&self) -> usize {
-        self.markovian.iter().map(Vec::len).sum()
+        self.mark.len()
     }
 
     /// Total number of transitions (interactive + Markovian).
@@ -187,18 +247,17 @@ impl IoImc {
 
     /// Iterates over all interactive transitions as `(src, action, tgt)`.
     pub fn iter_interactive(&self) -> impl Iterator<Item = (StateId, ActionId, StateId)> + '_ {
-        self.interactive
-            .iter()
-            .enumerate()
-            .flat_map(|(s, ts)| ts.iter().map(move |&(a, t)| (s as StateId, a, t)))
+        (0..self.num_states() as StateId).flat_map(move |s| {
+            self.interactive_from(s)
+                .iter()
+                .map(move |&(a, t)| (s, a, t))
+        })
     }
 
     /// Iterates over all Markovian transitions as `(src, rate, tgt)`.
     pub fn iter_markovian(&self) -> impl Iterator<Item = (StateId, f64, StateId)> + '_ {
-        self.markovian
-            .iter()
-            .enumerate()
-            .flat_map(|(s, ts)| ts.iter().map(move |&(r, t)| (s as StateId, r, t)))
+        (0..self.num_states() as StateId)
+            .flat_map(move |s| self.markovian_from(s).iter().map(move |&(r, t)| (s, r, t)))
     }
 
     /// Returns a copy with the given state labels.
@@ -212,29 +271,124 @@ impl IoImc {
         self
     }
 
-    /// Normalizes transition storage: deduplicates identical interactive
-    /// transitions, merges parallel Markovian transitions to the same
-    /// target by summing their rates, and drops Markovian self-loops
-    /// (an exponential race against oneself is unobservable — CTMC
-    /// generators cancel self-loops).
-    pub fn normalize(&mut self) {
-        for ts in &mut self.interactive {
-            ts.sort_unstable();
-            ts.dedup();
+    /// Keeps only the interactive transitions for which `keep` returns
+    /// `true`, compacting the CSR storage in place (no reallocation).
+    pub(crate) fn retain_interactive(
+        &mut self,
+        mut keep: impl FnMut(StateId, ActionId, StateId) -> bool,
+    ) {
+        let n = self.num_states();
+        let mut w = 0usize;
+        let mut r = 0usize;
+        for s in 0..n {
+            let end = self.inter_off[s + 1] as usize;
+            self.inter_off[s] = w as u32;
+            while r < end {
+                let (a, t) = self.inter[r];
+                if keep(s as StateId, a, t) {
+                    self.inter[w] = (a, t);
+                    w += 1;
+                }
+                r += 1;
+            }
         }
-        for (s, ts) in self.markovian.iter_mut().enumerate() {
-            ts.retain(|&(_, t)| t as usize != s);
-            ts.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.total_cmp(&b.0)));
-            let mut out: Vec<(f64, StateId)> = Vec::with_capacity(ts.len());
-            for &(r, t) in ts.iter() {
-                match out.last_mut() {
-                    Some(last) if last.1 == t => last.0 += r,
-                    _ => out.push((r, t)),
+        self.inter_off[n] = w as u32;
+        self.inter.truncate(w);
+    }
+
+    /// Drops every Markovian transition of the states for which `drop_row`
+    /// returns `true`, compacting in place. Returns the number of
+    /// transitions removed.
+    pub(crate) fn clear_markovian_rows(
+        &mut self,
+        mut drop_row: impl FnMut(StateId) -> bool,
+    ) -> usize {
+        let n = self.num_states();
+        let before = self.mark.len();
+        let mut w = 0usize;
+        let mut r = 0usize;
+        for s in 0..n {
+            let end = self.mark_off[s + 1] as usize;
+            self.mark_off[s] = w as u32;
+            if drop_row(s as StateId) {
+                r = end;
+            } else {
+                while r < end {
+                    self.mark[w] = self.mark[r];
+                    w += 1;
+                    r += 1;
                 }
             }
-            *ts = out;
         }
+        self.mark_off[n] = w as u32;
+        self.mark.truncate(w);
+        before - w
     }
+
+    /// Normalizes transition storage in place: sorts each state's rows,
+    /// deduplicates identical interactive transitions, merges parallel
+    /// Markovian transitions to the same target by summing their rates,
+    /// and drops Markovian self-loops (an exponential race against oneself
+    /// is unobservable — CTMC generators cancel self-loops).
+    pub fn normalize(&mut self) {
+        let n = self.num_states();
+        // Interactive: per-row sort + dedup, compacted left-to-right (the
+        // write cursor never overtakes the read cursor, so this is safe
+        // in place).
+        let mut w = 0usize;
+        for s in 0..n {
+            let (start, end) = (self.inter_off[s] as usize, self.inter_off[s + 1] as usize);
+            self.inter[start..end].sort_unstable();
+            self.inter_off[s] = w as u32;
+            let row_start = w;
+            for r in start..end {
+                let item = self.inter[r];
+                if w == row_start || self.inter[w - 1] != item {
+                    self.inter[w] = item;
+                    w += 1;
+                }
+            }
+        }
+        self.inter_off[n] = w as u32;
+        self.inter.truncate(w);
+
+        // Markovian: per-row sort by target, drop self-loops, merge
+        // parallel edges.
+        let mut w = 0usize;
+        for s in 0..n {
+            let (start, end) = (self.mark_off[s] as usize, self.mark_off[s + 1] as usize);
+            self.mark[start..end].sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.total_cmp(&b.0)));
+            self.mark_off[s] = w as u32;
+            let row_start = w;
+            for r in start..end {
+                let (rate, t) = self.mark[r];
+                if t as usize == s {
+                    continue;
+                }
+                if w > row_start && self.mark[w - 1].1 == t {
+                    self.mark[w - 1].0 += rate;
+                } else {
+                    self.mark[w] = (rate, t);
+                    w += 1;
+                }
+            }
+        }
+        self.mark_off[n] = w as u32;
+        self.mark.truncate(w);
+    }
+}
+
+/// Flattens per-state transition lists into a CSR (offsets, data) pair.
+fn flatten<T: Copy>(rows: Vec<Vec<T>>) -> (Vec<u32>, Vec<T>) {
+    let total: usize = rows.iter().map(Vec::len).sum();
+    let mut off = Vec::with_capacity(rows.len() + 1);
+    let mut data = Vec::with_capacity(total);
+    off.push(0u32);
+    for row in rows {
+        data.extend_from_slice(&row);
+        off.push(u32::try_from(data.len()).expect("more than u32::MAX transitions"));
+    }
+    (off, data)
 }
 
 #[cfg(test)]
@@ -302,6 +456,56 @@ mod tests {
         let mut imc = bld.build().unwrap();
         imc.normalize();
         assert_eq!(imc.markovian_from(0), &[(3.0, 1)]);
+    }
+
+    #[test]
+    fn normalize_is_row_local() {
+        // Three states with interleaved duplicates and self-loops; rows
+        // must stay independent when the CSR arrays are compacted.
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let mut bld = IoImcBuilder::new();
+        bld.set_outputs([a]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        let s2 = bld.add_state();
+        bld.interactive(s0, a, s2)
+            .interactive(s0, a, s1)
+            .interactive(s0, a, s1)
+            .interactive(s1, a, s2)
+            .markovian(s1, 1.0, s1) // self-loop, cancelled
+            .markovian(s1, 2.0, s2)
+            .markovian(s2, 1.5, s0)
+            .markovian(s2, 0.5, s0);
+        let imc = bld.build().unwrap(); // build() normalizes
+        assert_eq!(imc.interactive_from(0), &[(a, 1), (a, 2)]);
+        assert_eq!(imc.interactive_from(1), &[(a, 2)]);
+        assert_eq!(imc.markovian_from(1), &[(2.0, 2)]);
+        assert_eq!(imc.markovian_from(2), &[(2.0, 0)]);
+    }
+
+    #[test]
+    fn retain_and_clear_compact_csr() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let mut bld = IoImcBuilder::new();
+        bld.set_outputs([a, b]);
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        bld.interactive(s0, a, s1)
+            .interactive(s0, b, s1)
+            .interactive(s1, a, s0)
+            .markovian(s0, 1.0, s1)
+            .markovian(s1, 2.0, s0);
+        let mut imc = bld.build().unwrap();
+        imc.retain_interactive(|_, act, _| act != a);
+        assert_eq!(imc.interactive_from(0), &[(b, 1)]);
+        assert!(imc.interactive_from(1).is_empty());
+        let removed = imc.clear_markovian_rows(|s| s == 1);
+        assert_eq!(removed, 1);
+        assert_eq!(imc.markovian_from(0), &[(1.0, 1)]);
+        assert!(imc.markovian_from(1).is_empty());
     }
 
     #[test]

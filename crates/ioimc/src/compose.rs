@@ -119,11 +119,16 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
     internals.sort_unstable();
     internals.dedup();
 
-    // BFS over the reachable product states.
+    // BFS over the reachable product states. States are numbered in
+    // discovery order and fully expanded one at a time, so the composite
+    // transitions can be emitted straight into flat CSR storage — no
+    // per-state Vec allocations on this hot path.
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
     let mut pairs: Vec<(StateId, StateId)> = Vec::new();
-    let mut interactive: Vec<Vec<(ActionId, StateId)>> = Vec::new();
-    let mut markovian: Vec<Vec<(f64, StateId)>> = Vec::new();
+    let mut inter_off: Vec<u32> = vec![0];
+    let mut inter: Vec<(ActionId, StateId)> = Vec::new();
+    let mut mark_off: Vec<u32> = vec![0];
+    let mut mark: Vec<(f64, StateId)> = Vec::new();
     let mut labels: Vec<u64> = Vec::new();
 
     let get_or_insert = |sa: StateId,
@@ -143,8 +148,6 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
     let mut next = 0usize;
     while next < pairs.len() {
         let (sa, sb) = pairs[next];
-        let mut inter: Vec<(ActionId, StateId)> = Vec::new();
-        let mut mark: Vec<(f64, StateId)> = Vec::new();
 
         // Markovian interleaving.
         for &(r, ta) in a.markovian_from(sa) {
@@ -160,12 +163,22 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
         for &(act, ta) in a.interactive_from(sa) {
             if b.is_visible(act) {
                 // Shared visible action: both move.
+                let mut matched = false;
                 for &(act_b, tb) in b.interactive_from(sb) {
                     if act_b == act {
                         let t = get_or_insert(ta, tb, &mut index, &mut pairs);
                         inter.push((act, t));
+                        matched = true;
                     }
                 }
+                // If `act` is an *input* of `b`, input-enabledness demands
+                // a transition in every state; a missing one would make
+                // this synchronization vanish silently.
+                debug_assert!(
+                    matched || b.kind_of(act) != Some(crate::ActionKind::Input),
+                    "partner automaton is not input-enabled for shared \
+                     action {act} in state {sb}: synchronization dropped"
+                );
             } else {
                 let t = get_or_insert(ta, sb, &mut index, &mut pairs);
                 inter.push((act, t));
@@ -177,23 +190,27 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
             if !a.is_visible(act) {
                 let t = get_or_insert(sa, tb, &mut index, &mut pairs);
                 inter.push((act, t));
+            } else {
+                // Mirror of the check above: `a` must offer every one of
+                // its shared *inputs* here, or the pairing was lost when
+                // `a`'s transitions were expanded.
+                debug_assert!(
+                    a.kind_of(act) != Some(crate::ActionKind::Input)
+                        || a.interactive_from(sa).iter().any(|&(x, _)| x == act),
+                    "automaton is not input-enabled for shared action \
+                     {act} in state {sa}: synchronization dropped"
+                );
             }
         }
 
-        interactive.push(inter);
-        markovian.push(mark);
+        inter_off.push(u32::try_from(inter.len()).expect("more than u32::MAX transitions"));
+        mark_off.push(u32::try_from(mark.len()).expect("more than u32::MAX transitions"));
         labels.push(a.label(sa) | b.label(sb));
         next += 1;
     }
 
-    let mut out = IoImc::from_parts_unchecked(
-        0,
-        inputs,
-        outputs,
-        internals,
-        interactive,
-        markovian,
-        labels,
+    let mut out = IoImc::from_csr_unchecked(
+        0, inputs, outputs, internals, inter_off, inter, mark_off, mark, labels,
     );
     out.normalize();
     Ok(out)

@@ -1,4 +1,12 @@
 //! Hiding and input pruning.
+//!
+//! Both passes take the automaton **by value** and edit it in place:
+//! hiding is a signature-only change (the transition relation is
+//! untouched), and input pruning compacts the interactive CSR storage
+//! without reallocating. The aggregation engine runs one hide + one prune
+//! after *every* composition step, so avoiding the two full deep copies
+//! the old `&IoImc -> IoImc` signatures forced is a real win on large
+//! intermediates.
 
 use crate::alphabet::ActionId;
 use crate::automaton::IoImc;
@@ -9,7 +17,7 @@ use crate::automaton::IoImc;
 /// Actions in the set that are not outputs of `imc` are ignored (this makes
 /// it convenient to hide "everything the remaining modules do not listen
 /// to"). The transition relation is unchanged; only the signature moves.
-pub fn hide_outputs(imc: &IoImc, actions: &[ActionId]) -> IoImc {
+pub fn hide_outputs(mut imc: IoImc, actions: &[ActionId]) -> IoImc {
     let mut hidden: Vec<ActionId> = actions
         .iter()
         .copied()
@@ -18,30 +26,13 @@ pub fn hide_outputs(imc: &IoImc, actions: &[ActionId]) -> IoImc {
     hidden.sort_unstable();
     hidden.dedup();
     if hidden.is_empty() {
-        return imc.clone();
+        return imc;
     }
-    let outputs: Vec<ActionId> = imc
-        .outputs()
-        .iter()
-        .copied()
-        .filter(|a| hidden.binary_search(a).is_err())
-        .collect();
-    let mut internals: Vec<ActionId> = imc.internals().iter().copied().chain(hidden).collect();
-    internals.sort_unstable();
-    internals.dedup();
-    IoImc::from_parts_unchecked(
-        imc.initial(),
-        imc.inputs().to_vec(),
-        outputs,
-        internals,
-        (0..imc.num_states() as u32)
-            .map(|s| imc.interactive_from(s).to_vec())
-            .collect(),
-        (0..imc.num_states() as u32)
-            .map(|s| imc.markovian_from(s).to_vec())
-            .collect(),
-        imc.labels().to_vec(),
-    )
+    imc.outputs.retain(|a| hidden.binary_search(a).is_err());
+    imc.internals.extend(hidden);
+    imc.internals.sort_unstable();
+    imc.internals.dedup();
+    imc
 }
 
 /// Removes input actions that can never be driven because no remaining
@@ -49,7 +40,7 @@ pub fn hide_outputs(imc: &IoImc, actions: &[ActionId]) -> IoImc {
 ///
 /// All transitions labeled with a pruned input are deleted — they can never
 /// fire in the closed system — and the actions leave the signature.
-pub fn prune_inputs(imc: &IoImc, actions: &[ActionId]) -> IoImc {
+pub fn prune_inputs(mut imc: IoImc, actions: &[ActionId]) -> IoImc {
     let mut pruned: Vec<ActionId> = actions
         .iter()
         .copied()
@@ -58,34 +49,11 @@ pub fn prune_inputs(imc: &IoImc, actions: &[ActionId]) -> IoImc {
     pruned.sort_unstable();
     pruned.dedup();
     if pruned.is_empty() {
-        return imc.clone();
+        return imc;
     }
-    let inputs: Vec<ActionId> = imc
-        .inputs()
-        .iter()
-        .copied()
-        .filter(|a| pruned.binary_search(a).is_err())
-        .collect();
-    let interactive = (0..imc.num_states() as u32)
-        .map(|s| {
-            imc.interactive_from(s)
-                .iter()
-                .copied()
-                .filter(|(a, _)| pruned.binary_search(a).is_err())
-                .collect()
-        })
-        .collect();
-    IoImc::from_parts_unchecked(
-        imc.initial(),
-        inputs,
-        imc.outputs().to_vec(),
-        imc.internals().to_vec(),
-        interactive,
-        (0..imc.num_states() as u32)
-            .map(|s| imc.markovian_from(s).to_vec())
-            .collect(),
-        imc.labels().to_vec(),
-    )
+    imc.inputs.retain(|a| pruned.binary_search(a).is_err());
+    imc.retain_interactive(|_, a, _| pruned.binary_search(&a).is_err());
+    imc
 }
 
 #[cfg(test)]
@@ -109,17 +77,18 @@ mod tests {
     fn hide_moves_output_to_internal() {
         let mut ab = Alphabet::new();
         let (_, b, imc) = sample(&mut ab);
-        let h = hide_outputs(&imc, &[b]);
+        let before = imc.num_transitions();
+        let h = hide_outputs(imc, &[b]);
         assert_eq!(h.kind_of(b), Some(ActionKind::Internal));
         assert!(h.outputs().is_empty());
-        assert_eq!(h.num_transitions(), imc.num_transitions());
+        assert_eq!(h.num_transitions(), before);
     }
 
     #[test]
     fn hide_ignores_non_outputs() {
         let mut ab = Alphabet::new();
         let (a, _, imc) = sample(&mut ab);
-        let h = hide_outputs(&imc, &[a]);
+        let h = hide_outputs(imc.clone(), &[a]);
         assert_eq!(h, imc);
     }
 
@@ -127,7 +96,7 @@ mod tests {
     fn prune_removes_input_transitions() {
         let mut ab = Alphabet::new();
         let (a, _, imc) = sample(&mut ab);
-        let p = prune_inputs(&imc, &[a]);
+        let p = prune_inputs(imc, &[a]);
         assert!(p.inputs().is_empty());
         assert!(p.iter_interactive().all(|(_, act, _)| act != a));
     }

@@ -73,6 +73,7 @@ pub mod compose;
 pub mod dot;
 pub mod hide;
 pub mod mp;
+pub mod par;
 pub mod reach;
 pub mod scc;
 pub mod stats;

@@ -9,18 +9,13 @@
 use crate::automaton::IoImc;
 
 /// Removes all Markovian transitions from states with an enabled urgent
-/// (output or internal) transition. Returns the number of transitions
-/// removed.
+/// (output or internal) transition, compacting the CSR storage in place.
+/// Returns the number of transitions removed.
 pub fn maximal_progress_cut(imc: &mut IoImc) -> usize {
-    let mut removed = 0;
-    for s in 0..imc.num_states() as u32 {
-        if imc.is_unstable(s) {
-            let ts = &mut imc.markovian[s as usize];
-            removed += ts.len();
-            ts.clear();
-        }
-    }
-    removed
+    let unstable: Vec<bool> = (0..imc.num_states() as u32)
+        .map(|s| imc.is_unstable(s))
+        .collect();
+    imc.clear_markovian_rows(|s| unstable[s as usize])
 }
 
 #[cfg(test)]

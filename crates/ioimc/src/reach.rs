@@ -31,33 +31,31 @@ pub fn restrict_reachable(imc: &IoImc) -> IoImc {
             }
         }
     }
+    // Emit the renumbered transitions straight into CSR form: the states
+    // are visited in their new order, so each state's slice is contiguous.
     let remap = |t: StateId| map[t as usize].expect("target of reachable state is reachable");
-    let interactive = order
-        .iter()
-        .map(|&s| {
-            imc.interactive_from(s)
-                .iter()
-                .map(|&(a, t)| (a, remap(t)))
-                .collect()
-        })
-        .collect();
-    let markovian = order
-        .iter()
-        .map(|&s| {
-            imc.markovian_from(s)
-                .iter()
-                .map(|&(r, t)| (r, remap(t)))
-                .collect()
-        })
-        .collect();
+    let mut inter_off: Vec<u32> = Vec::with_capacity(order.len() + 1);
+    let mut mark_off: Vec<u32> = Vec::with_capacity(order.len() + 1);
+    let mut inter: Vec<(crate::ActionId, StateId)> = Vec::new();
+    let mut mark: Vec<(f64, StateId)> = Vec::new();
+    inter_off.push(0);
+    mark_off.push(0);
+    for &s in &order {
+        inter.extend(imc.interactive_from(s).iter().map(|&(a, t)| (a, remap(t))));
+        mark.extend(imc.markovian_from(s).iter().map(|&(r, t)| (r, remap(t))));
+        inter_off.push(u32::try_from(inter.len()).expect("more than u32::MAX transitions"));
+        mark_off.push(u32::try_from(mark.len()).expect("more than u32::MAX transitions"));
+    }
     let labels = order.iter().map(|&s| imc.label(s)).collect();
-    let mut out = IoImc::from_parts_unchecked(
+    let mut out = IoImc::from_csr_unchecked(
         0,
         imc.inputs().to_vec(),
         imc.outputs().to_vec(),
         imc.internals().to_vec(),
-        interactive,
-        markovian,
+        inter_off,
+        inter,
+        mark_off,
+        mark,
         labels,
     );
     out.normalize();

@@ -20,18 +20,27 @@ use crate::automaton::{IoImc, StateId};
 /// reachability-restricted and normalized.
 pub fn collapse_tau_sccs(imc: &IoImc) -> IoImc {
     let n = imc.num_states();
-    // Tau adjacency.
-    let tau_next: Vec<Vec<StateId>> = (0..n as u32)
-        .map(|s| {
-            imc.interactive_from(s)
-                .iter()
-                .filter(|&&(a, _)| imc.internals().binary_search(&a).is_ok())
-                .map(|&(_, t)| t)
-                .collect()
-        })
-        .collect();
+    // Tau adjacency in flat CSR form (counting pass + fill pass).
+    let is_tau = |a| imc.internals().binary_search(&a).is_ok();
+    let mut tau_off: Vec<u32> = vec![0; n + 1];
+    for s in 0..n as u32 {
+        let taus = imc.interactive_from(s).iter().filter(|&&(a, _)| is_tau(a));
+        tau_off[s as usize + 1] = tau_off[s as usize] + taus.count() as u32;
+    }
+    let mut tau_next: Vec<StateId> = vec![0; tau_off[n] as usize];
+    {
+        let mut cursor: Vec<u32> = tau_off[..n].to_vec();
+        for s in 0..n as u32 {
+            for &(a, t) in imc.interactive_from(s) {
+                if is_tau(a) {
+                    tau_next[cursor[s as usize] as usize] = t;
+                    cursor[s as usize] += 1;
+                }
+            }
+        }
+    }
 
-    let comp = tarjan(n, &tau_next);
+    let comp = tarjan(n, &tau_off, &tau_next);
     let num_comp = comp.iter().copied().max().map_or(0, |m| m + 1) as usize;
 
     let mut interactive: Vec<Vec<(crate::ActionId, StateId)>> = vec![Vec::new(); num_comp];
@@ -66,10 +75,12 @@ pub fn collapse_tau_sccs(imc: &IoImc) -> IoImc {
     crate::reach::restrict_reachable(&out)
 }
 
-/// Iterative Tarjan SCC; returns the component id of each node, numbered so
+/// Iterative Tarjan SCC over a CSR adjacency (`next[next_off[v]..next_off[v+1]]`
+/// are `v`'s successors); returns the component id of each node, numbered so
 /// that every edge goes from a higher or equal component id to a lower one
 /// (reverse topological order of discovery).
-fn tarjan(n: usize, next: &[Vec<StateId>]) -> Vec<StateId> {
+fn tarjan(n: usize, next_off: &[u32], next: &[StateId]) -> Vec<StateId> {
+    let succ = |v: u32| &next[next_off[v as usize] as usize..next_off[v as usize + 1] as usize];
     const UNSEEN: u32 = u32::MAX;
     let mut index = vec![UNSEEN; n];
     let mut low = vec![0u32; n];
@@ -92,8 +103,8 @@ fn tarjan(n: usize, next: &[Vec<StateId>]) -> Vec<StateId> {
         stack.push(root);
         on_stack[root as usize] = true;
         while let Some(&mut (v, ref mut ci)) = call.last_mut() {
-            if *ci < next[v as usize].len() {
-                let w = next[v as usize][*ci];
+            if *ci < succ(v).len() {
+                let w = succ(v)[*ci];
                 *ci += 1;
                 if index[w as usize] == UNSEEN {
                     index[w as usize] = counter;

@@ -31,14 +31,17 @@ impl Stats {
         self.interactive + self.markovian
     }
 
-    /// Pointwise maximum (used to track the largest intermediate model).
+    /// Fieldwise (pointwise) maximum, used to track the peak intermediate
+    /// sizes: each count is maximized independently, so the result bounds
+    /// every intermediate model even when the state peak and the
+    /// transition peak occur in different aggregation steps. Commutative
+    /// and associative, so parallel step reports can be folded in any
+    /// order.
     pub fn max(self, other: Self) -> Self {
-        if other.states > self.states
-            || (other.states == self.states && other.transitions() > self.transitions())
-        {
-            other
-        } else {
-            self
+        Self {
+            states: self.states.max(other.states),
+            interactive: self.interactive.max(other.interactive),
+            markovian: self.markovian.max(other.markovian),
         }
     }
 }
@@ -86,7 +89,7 @@ mod tests {
     }
 
     #[test]
-    fn max_picks_larger() {
+    fn max_is_fieldwise() {
         let a = Stats {
             states: 10,
             interactive: 5,
@@ -97,7 +100,15 @@ mod tests {
             interactive: 1,
             markovian: 1,
         };
-        assert_eq!(a.max(b), b);
-        assert_eq!(b.max(a), b);
+        // Each field peaks independently: the transition peak of `a` must
+        // not be dropped just because `b` has more states.
+        let expected = Stats {
+            states: 12,
+            interactive: 5,
+            markovian: 5,
+        };
+        assert_eq!(a.max(b), expected);
+        assert_eq!(b.max(a), expected);
+        assert_eq!(a.max(a), a);
     }
 }
