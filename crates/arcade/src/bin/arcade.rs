@@ -1,8 +1,8 @@
 //! `arcade` — command-line dependability evaluation.
 //!
 //! ```text
-//! arcade analyze  <model.arcade> [--time T]... [--json]   measures (engine)
-//! arcade modular  <model.arcade> [--time T]... [--json]   measures (modularized)
+//! arcade analyze  <model.arcade> [--time T]... [--json] [--dense-limit N]
+//! arcade modular  <model.arcade> [--time T]... [--json] [--dense-limit N]
 //! arcade simulate <model.arcade> --time T [--reps N] [--seed S]
 //! arcade check    <model.arcade>                          validate only
 //! arcade blocks   <model.arcade>                          block automaton sizes
@@ -13,7 +13,9 @@
 //! `analyze` and `modular` collect **all** `--time` flags into one batched
 //! query answered by a single lazy [`Session`]: one aggregation per needed
 //! model configuration, one uniformization sweep per measure kind over the
-//! whole time grid.
+//! whole time grid. `--dense-limit` moves the dense-vs-iterative solver
+//! crossover (default 3000 states; `0` forces the sparse path — see
+//! [`ctmc::SolverOptions`]).
 
 use std::process::ExitCode;
 
@@ -90,7 +92,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "analyze" => {
             let times = time_values(args)?;
-            let session = Session::new(&def).map_err(|e| e.to_string())?;
+            let opts = engine_options(args)?;
+            let session = Session::new(&def)
+                .map_err(|e| e.to_string())?
+                .with_options(opts);
 
             // One batched query answers everything: the steady-state
             // measures, the MTTF, and all three curves over the grid.
@@ -153,7 +158,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "modular" => {
             let times = time_values(args)?;
-            let m = modular_analysis(&def, &EngineOptions::new()).map_err(|e| e.to_string())?;
+            let m = modular_analysis(&def, &engine_options(args)?).map_err(|e| e.to_string())?;
             // Batched curves: one sweep per (module, measure kind).
             let rel = m.reliability_many(&times);
             let unrel = m.unreliability_with_repair_many(&times);
@@ -238,6 +243,21 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Engine options from the command line: currently the `--dense-limit`
+/// solver crossover (see [`ctmc::SolverOptions::dense_limit`]).
+fn engine_options(args: &[String]) -> Result<EngineOptions, String> {
+    let mut opts = EngineOptions::new();
+    if let Some(&n) = flag_values(args, "--dense-limit")?.first() {
+        if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+            return Err(format!(
+                "--dense-limit must be a non-negative integer, got {n}"
+            ));
+        }
+        opts.solver.dense_limit = n as usize;
+    }
+    Ok(opts)
+}
+
 /// Collects `--time` values and rejects what the solvers would panic on.
 fn time_values(args: &[String]) -> Result<Vec<f64>, String> {
     let times = flag_values(args, "--time")?;
@@ -293,6 +313,6 @@ fn json_str(s: &str) -> String {
 
 fn usage() -> String {
     "usage: arcade <analyze|modular|simulate|check|blocks|dot|format> <model.arcade> \
-     [--time T]... [--json] [--reps N] [--seed S]"
+     [--time T]... [--json] [--reps N] [--seed S] [--dense-limit N]"
         .to_owned()
 }

@@ -170,8 +170,33 @@ pub fn rcs_with_valves(valves_per_line: usize) -> SystemDef {
 ///
 /// Panics if `lines < 2` (a single "redundant" line is not an RCS).
 pub fn rcs_scaled(lines: usize) -> SystemDef {
+    rcs_scaled_kofn(lines, 1)
+}
+
+/// The k-of-n variant of [`rcs_scaled`]: `lines` redundant pump lines of
+/// which at least `k` must work — the system's pump subsystem is down as
+/// soon as more than `lines - k` lines are down (a `(lines-k+1)`-of-`lines`
+/// failure gate). `rcs_scaled_kofn(n, 1)` is exactly [`rcs_scaled`]`(n)`
+/// ("down when every line is down"). Higher `k` keeps the per-line failure
+/// *count* observable, so bisimulation can collapse much less of the pump
+/// product space — the family's CTMCs grow steeply with `k`, which is what
+/// the scaling sweep wants.
+///
+/// # Panics
+///
+/// Panics if `lines < 2` (a single "redundant" line is not an RCS) or
+/// `k` is not in `1..=lines`.
+pub fn rcs_scaled_kofn(lines: usize, k: usize) -> SystemDef {
     assert!(lines >= 2, "the RCS family needs at least two pump lines");
-    let mut def = SystemDef::new(format!("rcs-{lines}l"));
+    assert!(
+        (1..=lines).contains(&k),
+        "need 1 <= k <= lines working lines, got k={k} of {lines}"
+    );
+    let mut def = SystemDef::new(if k == 1 {
+        format!("rcs-{lines}l")
+    } else {
+        format!("rcs-{lines}l-{k}ofn")
+    });
 
     // Pumps with load sharing against every sibling.
     let pump_names: Vec<String> = (1..=lines).map(|i| format!("P{i}")).collect();
@@ -253,10 +278,15 @@ pub fn rcs_scaled(lines: usize) -> SystemDef {
         Expr::down("VHX2"),
     ]);
     let bypass = Expr::or([Expr::down_mode("MDV1", 2), Expr::down_mode("MDV2", 2)]);
-    def.set_system_down(Expr::or([
-        Expr::And((1..=lines).map(line_down).collect()),
-        Expr::and([hx_unit, bypass]),
-    ]));
+    let line_failures: Vec<Expr> = (1..=lines).map(line_down).collect();
+    let pumps_down = if k == 1 {
+        Expr::And(line_failures)
+    } else {
+        // Down as soon as fewer than k lines work, i.e. at least
+        // lines - k + 1 line failures.
+        Expr::k_of_n((lines - k + 1) as u32, line_failures)
+    };
+    def.set_system_down(Expr::or([pumps_down, Expr::and([hx_unit, bypass])]));
     def
 }
 
@@ -309,6 +339,33 @@ mod tests {
         assert!(
             (base.unreliability_with_repair(t) - scaled.unreliability_with_repair(t)).abs() < tol
         );
+    }
+
+    #[test]
+    fn kofn_family_validates_and_matches_special_cases() {
+        for lines in 2..=3 {
+            for k in 1..=lines {
+                validate(&rcs_scaled_kofn(lines, k)).unwrap();
+            }
+        }
+        // k = 1 is definitionally rcs_scaled
+        assert_eq!(rcs_scaled_kofn(3, 1), rcs_scaled(3));
+        // k = lines means any line failure downs the pump subsystem: the
+        // gate must be a 1-of-n
+        let def = rcs_scaled_kofn(3, 3);
+        match def.system_down.as_ref().unwrap() {
+            Expr::Or(branches) => match &branches[0] {
+                Expr::KofN(1, cs) => assert_eq!(cs.len(), 3),
+                other => panic!("expected 1-of-3 gate, got {other:?}"),
+            },
+            other => panic!("top must be OR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= lines")]
+    fn kofn_rejects_bad_k() {
+        let _ = rcs_scaled_kofn(3, 4);
     }
 
     #[test]

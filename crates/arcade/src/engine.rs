@@ -48,6 +48,12 @@ pub struct EngineOptions {
     /// groups are evaluated by the same code either way and their step
     /// reports are merged back in plan order.
     pub threads: usize,
+    /// Configuration of the CTMC numerics the downstream measure layers
+    /// ([`crate::query::Session`], [`crate::analysis::Analysis`],
+    /// [`crate::modular::modular_analysis`]) run on the aggregated chain:
+    /// the dense-vs-iterative solver crossover and the iterative
+    /// tolerance/sweep-cap. Aggregation itself ignores it.
+    pub solver: ctmc::SolverOptions,
 }
 
 impl EngineOptions {
@@ -59,6 +65,7 @@ impl EngineOptions {
             order: OrderPolicy::BottomUp,
             reduce_intermediate: true,
             threads: 0,
+            solver: ctmc::SolverOptions::default(),
         }
     }
 
@@ -66,6 +73,13 @@ impl EngineOptions {
     /// [`EngineOptions::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with the given CTMC solver configuration (see
+    /// [`EngineOptions::solver`]).
+    pub fn with_solver(mut self, solver: ctmc::SolverOptions) -> Self {
+        self.solver = solver;
         self
     }
 }

@@ -316,7 +316,7 @@ impl Session {
         let ctmc = &self.aggregation(cfg)?.ctmc;
         Ok(self.cache(cfg).steady.get_or_init(|| {
             self.steady_solves.set(self.steady_solves.get() + 1);
-            ctmc::steady::steady_state(ctmc)
+            ctmc::steady::steady_state_with(ctmc, &self.opts.solver)
         }))
     }
 
@@ -336,7 +336,7 @@ impl Session {
             if down.is_empty() {
                 f64::INFINITY
             } else {
-                ctmc::absorbing::mean_time_to_absorption(ctmc, &down)
+                ctmc::absorbing::mean_time_to_absorption_with(ctmc, &down, &self.opts.solver)
             }
         }))
     }

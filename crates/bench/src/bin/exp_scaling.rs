@@ -1,22 +1,32 @@
-//! Scaling sweep — family size × thread count.
+//! Scaling sweep — family size × thread count, plus sparse-solver timings.
 //!
 //! Aggregates the scaled case families (`dds_scaled(n)` disk clusters,
-//! `rcs_scaled(k)` pump lines) at several engine thread counts and
-//! reports, per configuration: wall-clock time, speedup over the
-//! single-threaded run, the peak intermediate I/O-IMC sizes, and the final
-//! CTMC size. Every multi-threaded result is checked for exact equality
-//! with the single-threaded CTMC — the parallel engine is a scheduling
-//! change only.
+//! `rcs_scaled(k)` pump lines and the `rcs_scaled_kofn(n, k)` k-of-n
+//! variant) at several engine thread counts and reports, per
+//! configuration: wall-clock time, speedup over the single-threaded run,
+//! the peak intermediate I/O-IMC sizes, and the final CTMC size. Every
+//! multi-threaded result is checked for exact equality with the
+//! single-threaded CTMC — the parallel engine is a scheduling change only.
+//!
+//! After each family's aggregation sweep the final CTMC is **solved**:
+//! one steady-state distribution and one 50-point transient
+//! (unavailability) grid, timed separately. Families above the
+//! [`SolverOptions::dense_limit`] exercise the sparse iterative path —
+//! the smoke subset includes `rcs_scaled(2)` (≈84k states, ≈1.1M
+//! transitions), which the run asserts is solved without the dense path.
 //!
 //! Run: `cargo run --release -p arcade-bench --bin exp_scaling`
-//! (`-- --smoke` runs a seconds-sized subset for CI).
+//! (`-- --smoke` runs a minutes-sized subset for CI).
 
 use std::time::Instant;
 
-use arcade::cases::{dds_scaled, rcs_scaled};
+use arcade::cases::{dds_scaled, rcs_scaled, rcs_scaled_kofn};
 use arcade::engine::{aggregate, Aggregation, EngineOptions};
 use arcade::model::SystemModel;
+use arcade::modular::modular_analysis;
 use arcade_bench::Table;
+use ctmc::measures::state_mass;
+use ctmc::{steady, transient, SolverOptions};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -38,7 +48,10 @@ fn main() {
     // tens of seconds (dds_scaled(12) and rcs_scaled(3) already take
     // minutes — the state spaces grow combinatorially with family size).
     let dds_sizes: Vec<usize> = if smoke { vec![3] } else { vec![2, 4, 6, 9] };
-    let rcs_lines: Vec<usize> = vec![2];
+    // rcs_scaled(2) is the big sparse-solver workload: its CTMC has
+    // ≈84k states, far beyond the dense limit. In smoke mode it runs
+    // at one thread count only (the aggregation is the slow part).
+    let rcs_threads: Vec<usize> = if smoke { vec![1] } else { threads.clone() };
 
     let mut table = Table::new(&[
         "family",
@@ -49,6 +62,8 @@ fn main() {
         "peak states",
         "peak transitions",
         "CTMC",
+        "steady",
+        "grid(50)",
     ]);
     for &n in &dds_sizes {
         sweep(
@@ -58,24 +73,63 @@ fn main() {
             &threads,
         );
     }
-    for &k in &rcs_lines {
+    let rcs_def = rcs_scaled(2);
+    let (rcs_agg, rcs_u) = sweep(&mut table, "rcs_scaled(2)", &rcs_def, &rcs_threads);
+    // This family is the sparse-path regression gate: if the default
+    // dense limit ever outgrows it, the iterative kernels lose coverage.
+    assert!(
+        rcs_agg.ctmc.num_states() > SolverOptions::default().dense_limit,
+        "rcs_scaled(2) no longer exceeds the dense limit — pick a bigger family"
+    );
+    if !smoke {
         sweep(
             &mut table,
-            &format!("rcs_scaled({k})"),
-            &rcs_scaled(k),
-            &threads,
+            "rcs_scaled_kofn(2, 2)",
+            &rcs_scaled_kofn(2, 2),
+            &rcs_threads,
         );
     }
     println!("{}", table.render());
+
+    // Cross-validate the sparse monolithic steady solve (reusing the
+    // distribution from the sweep): the same family decomposes into
+    // independent modules whose small CTMCs are solved on the dense
+    // path, and the combined unavailability must agree.
+    let sparse_u = rcs_u;
+    let modular_u = modular_analysis(&rcs_def, &EngineOptions::new())
+        .expect("modular analysis succeeds")
+        .steady_state_unavailability();
+    let rel = (sparse_u - modular_u).abs() / modular_u.max(1e-300);
+    assert!(
+        rel < 1e-6,
+        "sparse steady unavailability {sparse_u:e} disagrees with the \
+         modular dense result {modular_u:e} (rel {rel:e})"
+    );
+    println!(
+        "sparse (monolithic, {} st) vs dense (modular) steady unavailability: \
+         {sparse_u:.6e} vs {modular_u:.6e} (rel diff {rel:.1e})",
+        rcs_agg.ctmc.num_states()
+    );
+    println!();
     println!(
         "every multi-threaded CTMC was verified identical to the 1-thread result; \
-         speedups come from aggregating sibling fault-tree modules on worker threads"
+         speedups come from aggregating sibling fault-tree modules on worker threads. \
+         families beyond the dense limit are solved on the sparse iterative path."
     );
 }
 
-fn sweep(table: &mut Table, family: &str, def: &arcade::ast::SystemDef, threads: &[usize]) {
+/// Runs the aggregation sweep for one family and returns the baseline
+/// aggregation plus its steady-state unavailability (from the one solve
+/// performed on the first pass).
+fn sweep(
+    table: &mut Table,
+    family: &str,
+    def: &arcade::ast::SystemDef,
+    threads: &[usize],
+) -> (Aggregation, f64) {
     let model = SystemModel::build(def).expect("case family elaborates");
     let mut baseline: Option<(f64, Aggregation)> = None;
+    let mut steady_unavail = f64::NAN;
     for &th in threads {
         let opts = EngineOptions::new().with_threads(th);
         let start = Instant::now();
@@ -90,6 +144,15 @@ fn sweep(table: &mut Table, family: &str, def: &arcade::ast::SystemDef, threads:
         } else {
             1.0
         };
+        // Solve the final chain once (on the first, single-threaded pass):
+        // steady state plus a 50-point transient unavailability grid.
+        let solve_cells = if baseline.is_none() {
+            let (steady_secs, grid_secs, unavail) = solve(family, &agg);
+            steady_unavail = unavail;
+            (format!("{steady_secs:.3} s"), format!("{grid_secs:.3} s"))
+        } else {
+            ("-".into(), "-".into())
+        };
         table.row(&[
             family.into(),
             model.blocks.len().to_string(),
@@ -103,9 +166,66 @@ fn sweep(table: &mut Table, family: &str, def: &arcade::ast::SystemDef, threads:
                 agg.ctmc_stats.states,
                 agg.ctmc_stats.transitions()
             ),
+            solve_cells.0,
+            solve_cells.1,
         ]);
         if baseline.is_none() {
             baseline = Some((secs, agg));
         }
     }
+    (
+        baseline.expect("at least one thread count").1,
+        steady_unavail,
+    )
+}
+
+/// Solves steady state + a 50-point transient grid on the aggregated
+/// chain, asserting basic sanity. Returns the two wall-clock timings and
+/// the steady-state unavailability.
+fn solve(family: &str, agg: &Aggregation) -> (f64, f64, f64) {
+    let ctmc = &agg.ctmc;
+    let opts = SolverOptions::default();
+    if ctmc.num_states() > opts.dense_limit {
+        println!(
+            "{family}: {} states > dense limit {} -- sparse iterative path",
+            ctmc.num_states(),
+            opts.dense_limit
+        );
+    }
+    let down: Vec<u32> = ctmc.states_with_label(1).collect();
+
+    let start = Instant::now();
+    let pi = steady::steady_state_with(ctmc, &opts);
+    let steady_secs = start.elapsed().as_secs_f64();
+    let mass: f64 = pi.iter().sum();
+    assert!(
+        (mass - 1.0).abs() < 1e-9,
+        "{family}: steady state not normalized (mass {mass})"
+    );
+    let unavail = state_mass(&down, &pi);
+    assert!(
+        unavail.is_finite() && (0.0..=1.0).contains(&unavail),
+        "{family}: bad steady unavailability {unavail}"
+    );
+
+    // 50-point unavailability curve over a mission-sized horizon, one
+    // incremental uniformization sweep.
+    let grid: Vec<f64> = (1..=50).map(|k| k as f64 * 20.0).collect();
+    let start = Instant::now();
+    let curve = transient::transient_many(ctmc, &grid);
+    let grid_secs = start.elapsed().as_secs_f64();
+    for (i, pi_t) in curve.iter().enumerate() {
+        let u = state_mass(&down, pi_t);
+        assert!(
+            u.is_finite() && (0.0..=1.0).contains(&u),
+            "{family}: bad point unavailability {u} at t={}",
+            grid[i]
+        );
+    }
+    println!(
+        "{family}: steady unavailability {unavail:.3e}, U({:.0}) = {:.3e}",
+        grid[grid.len() - 1],
+        state_mass(&down, &curve[curve.len() - 1])
+    );
+    (steady_secs, grid_secs, unavail)
 }

@@ -1,6 +1,17 @@
 //! Absorbing-state analyses: first passage and mean time to failure.
+//!
+//! [`mean_time_to_absorption`] solves the hitting-time system
+//! `Q_T x = -1` on the transient (non-target) states. Since the sparse
+//! rewrite it first **pre-restricts** the system by reachability: only
+//! states reachable from the initial state matter, and if any reachable
+//! transient state cannot reach a target at all (a dead end — including
+//! zero-exit-rate states), the expected hitting time is `∞` and no linear
+//! solve is needed. The surviving system is solved densely up to
+//! [`SolverOptions::dense_limit`] and by Gauss–Seidel sweeps over the CSR
+//! rows above it.
 
 use crate::chain::Ctmc;
+use crate::solver::SolverOptions;
 use crate::transient::{transient, transient_many};
 
 /// Probability of having *reached* any state in `targets` by time `t`
@@ -39,16 +50,26 @@ pub fn first_passage_many(ctmc: &Ctmc, targets: &[u32], ts: &[f64]) -> Vec<f64> 
 }
 
 /// Mean time until any state in `targets` is first entered (MTTF when the
-/// targets are the system-down states).
+/// targets are the system-down states), with default [`SolverOptions`].
 ///
-/// Solves `Q_T x = -1` on the transient (non-target) states by dense
-/// Gaussian elimination; `x[initial]` is returned. Returns `f64::INFINITY`
-/// if the targets are unreachable from the initial state.
+/// Returns `f64::INFINITY` when the targets are unreachable from the
+/// initial state, or when some reachable transient state cannot reach a
+/// target (the walk can get trapped — e.g. a zero-exit-rate dead end —
+/// so the expected hitting time diverges).
 ///
 /// # Panics
 ///
 /// Panics if the initial state is itself a target (MTTF is 0 — degenerate).
 pub fn mean_time_to_absorption(ctmc: &Ctmc, targets: &[u32]) -> f64 {
+    mean_time_to_absorption_with(ctmc, targets, &SolverOptions::default())
+}
+
+/// [`mean_time_to_absorption`] with explicit solver configuration.
+///
+/// # Panics
+///
+/// Panics if the initial state is itself a target.
+pub fn mean_time_to_absorption_with(ctmc: &Ctmc, targets: &[u32], opts: &SolverOptions) -> f64 {
     let n = ctmc.num_states();
     let mut is_target = vec![false; n];
     for &s in targets {
@@ -58,45 +79,99 @@ pub fn mean_time_to_absorption(ctmc: &Ctmc, targets: &[u32]) -> f64 {
         !is_target[ctmc.initial() as usize],
         "initial state is already a target"
     );
-    // Index the transient states.
-    let mut idx = vec![usize::MAX; n];
-    let mut transient_states = Vec::new();
-    for s in 0..n {
-        if !is_target[s] {
-            idx[s] = transient_states.len();
-            transient_states.push(s as u32);
+
+    // Forward reachability from the initial state; targets are frontier
+    // ends (the walk stops there, so their successors are irrelevant).
+    let mut reachable = vec![false; n];
+    let mut stack = vec![ctmc.initial()];
+    reachable[ctmc.initial() as usize] = true;
+    let mut any_target_reachable = false;
+    while let Some(s) = stack.pop() {
+        if is_target[s as usize] {
+            any_target_reachable = true;
+            continue;
+        }
+        for &(_, t) in ctmc.row(s) {
+            if !reachable[t as usize] {
+                reachable[t as usize] = true;
+                stack.push(t);
+            }
         }
     }
-    let m = transient_states.len();
-    // Dense system A x = b with A = Q restricted to transient states,
-    // b = -1.
+    if !any_target_reachable {
+        return f64::INFINITY;
+    }
+
+    // Backward reachability from the targets over the transposed CSR:
+    // which states can still reach a target?
+    let incoming = ctmc.incoming();
+    let mut can_reach = vec![false; n];
+    let mut stack: Vec<u32> = targets.to_vec();
+    for &s in targets {
+        can_reach[s as usize] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &(_, j) in incoming.row(s) {
+            if !can_reach[j as usize] && !is_target[j as usize] {
+                can_reach[j as usize] = true;
+                stack.push(j);
+            }
+        }
+    }
+    // A reachable transient state that cannot reach a target is a trap:
+    // the walk enters it with positive probability and never absorbs.
+    if (0..n).any(|s| reachable[s] && !is_target[s] && !can_reach[s]) {
+        return f64::INFINITY;
+    }
+
+    // Index the surviving transient states (reachable ∧ can-reach), in
+    // state order — for irreducible chains this is exactly the old dense
+    // system, so small-model results are unchanged bit for bit.
+    let mut idx = vec![usize::MAX; n];
+    let mut restricted = Vec::new();
+    for s in 0..n {
+        if reachable[s] && !is_target[s] {
+            idx[s] = restricted.len();
+            restricted.push(s as u32);
+        }
+    }
+    let m = restricted.len();
+    let x = if m <= opts.dense_limit {
+        dense_hitting_time(ctmc, &is_target, &idx, &restricted)
+    } else {
+        sparse_hitting_time(ctmc, &is_target, &idx, &restricted, opts)
+    };
+    x[idx[ctmc.initial() as usize]]
+}
+
+/// Dense solve of the restricted system `A x = -1` (A = Q over the
+/// restricted transient states) by Gaussian elimination with partial
+/// pivoting. All restricted states reach a target, so A is nonsingular.
+fn dense_hitting_time(
+    ctmc: &Ctmc,
+    is_target: &[bool],
+    idx: &[usize],
+    restricted: &[u32],
+) -> Vec<f64> {
+    let m = restricted.len();
     let mut a = vec![0.0f64; m * m];
     let mut b = vec![-1.0f64; m];
-    let mut reaches_target = vec![false; m];
-    for (i, &s) in transient_states.iter().enumerate() {
-        let mut exit = 0.0;
+    for (i, &s) in restricted.iter().enumerate() {
         for &(r, tgt) in ctmc.row(s) {
-            exit += r;
-            if is_target[tgt as usize] {
-                reaches_target[i] = true;
-            } else {
+            if !is_target[tgt as usize] {
                 a[i * m + idx[tgt as usize]] += r;
             }
         }
-        a[i * m + i] -= exit;
-        if exit == 0.0 {
-            // Absorbing non-target state: never reaches the target.
-            b[i] = 0.0;
-            a[i * m + i] = 1.0;
-        }
+        a[i * m + i] -= ctmc.exit_rate(s);
     }
-    // Gaussian elimination with partial pivoting.
     for col in 0..m {
         let pivot_row = (col..m)
             .max_by(|&i, &j| a[i * m + col].abs().total_cmp(&a[j * m + col].abs()))
             .expect("non-empty");
+        // The pre-restriction guarantees nonsingularity mathematically;
+        // keep the numerical guard of the old implementation anyway.
         if a[pivot_row * m + col].abs() < f64::MIN_POSITIVE {
-            return f64::INFINITY; // singular: target unreachable somewhere
+            return vec![f64::INFINITY; m];
         }
         if pivot_row != col {
             for j in 0..m {
@@ -124,7 +199,42 @@ pub fn mean_time_to_absorption(ctmc: &Ctmc, targets: &[u32]) -> f64 {
         }
         x[row] = rhs / a[row * m + row];
     }
-    x[idx[ctmc.initial() as usize]]
+    x
+}
+
+/// Sparse Gauss–Seidel on the hitting-time fixpoint
+/// `x_i = (1 + Σ_{j transient} r_ij x_j) / exit_i`, sweeping the CSR rows
+/// in place. The restricted system is a strictly substochastic M-matrix
+/// (every state reaches a target), so the iteration converges
+/// monotonically from the zero start.
+fn sparse_hitting_time(
+    ctmc: &Ctmc,
+    is_target: &[bool],
+    idx: &[usize],
+    restricted: &[u32],
+    opts: &SolverOptions,
+) -> Vec<f64> {
+    let m = restricted.len();
+    let mut x = vec![0.0f64; m];
+    for _ in 0..opts.max_sweeps {
+        let mut max_rel = 0.0f64;
+        for (i, &s) in restricted.iter().enumerate() {
+            let mut acc = 1.0f64;
+            for &(r, tgt) in ctmc.row(s) {
+                if !is_target[tgt as usize] {
+                    acc += r * x[idx[tgt as usize]];
+                }
+            }
+            let new = acc / ctmc.exit_rate(s);
+            let denom = new.abs().max(1e-300);
+            max_rel = max_rel.max((new - x[i]).abs() / denom);
+            x[i] = new;
+        }
+        if max_rel < opts.tol {
+            break;
+        }
+    }
+    x
 }
 
 #[cfg(test)]
@@ -188,5 +298,65 @@ mod tests {
         )
         .unwrap();
         assert_eq!(mean_time_to_absorption(&c, &[2]), f64::INFINITY);
+    }
+
+    /// The sparse path agrees with the dense path on the same chain.
+    #[test]
+    fn sparse_mttf_matches_dense() {
+        let (l, m, k) = (0.2, 1.5, 20usize);
+        // birth-death with absorption at k
+        let rows: Vec<Vec<(f64, u32)>> = (0..=k)
+            .map(|i| {
+                let mut row = Vec::new();
+                if i < k {
+                    row.push((l, (i + 1) as u32));
+                }
+                if i > 0 && i < k {
+                    row.push((m, (i - 1) as u32));
+                }
+                row
+            })
+            .collect();
+        let c = Ctmc::new(rows, vec![0; k + 1], 0).unwrap();
+        let dense = mean_time_to_absorption(&c, &[k as u32]);
+        let sparse = mean_time_to_absorption_with(
+            &c,
+            &[k as u32],
+            &SolverOptions::default().with_dense_limit(0),
+        );
+        assert!(
+            (dense - sparse).abs() / dense < 1e-10,
+            "{dense} vs {sparse}"
+        );
+    }
+
+    /// A reachable zero-exit-rate dead end makes the expected hitting
+    /// time infinite (the walk parks there forever with probability > 0).
+    #[test]
+    fn reachable_dead_end_gives_infinite_mttf() {
+        // 0 → 1 (dead end), 0 → 2 (target)
+        let c = Ctmc::new(
+            vec![vec![(1.0, 1), (1.0, 2)], vec![], vec![]],
+            vec![0, 0, 1],
+            0,
+        )
+        .unwrap();
+        assert_eq!(mean_time_to_absorption(&c, &[2]), f64::INFINITY);
+        // ... on the sparse path too
+        assert_eq!(
+            mean_time_to_absorption_with(&c, &[2], &SolverOptions::default().with_dense_limit(0)),
+            f64::INFINITY
+        );
+    }
+
+    /// Unreachable parts of the chain (even pathological ones) do not
+    /// affect the answer: the pre-restriction drops them.
+    #[test]
+    fn unreachable_states_are_ignored() {
+        let l = 0.25;
+        // state 2 is an unreachable dead end; 0 → 1 is the real chain
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![], vec![]], vec![0, 1, 0], 0).unwrap();
+        let mttf = mean_time_to_absorption(&c, &[1]);
+        assert!((mttf - 1.0 / l).abs() < 1e-10);
     }
 }

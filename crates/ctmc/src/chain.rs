@@ -1,4 +1,4 @@
-//! The labelled CTMC type.
+//! The labelled CTMC type, stored in flat CSR form.
 
 use std::fmt;
 
@@ -25,6 +25,9 @@ pub enum CtmcError {
     },
     /// The initial state is out of range.
     BadInitial(u32),
+    /// The CSR offset array is malformed (wrong length, not monotone, or
+    /// not covering the transition array).
+    BadOffsets,
     /// The source I/O-IMC still has interactive transitions (it is not a
     /// CTMC yet — run the reduction/vanishing-elimination pipeline first).
     NotMarkovian {
@@ -42,6 +45,7 @@ impl fmt::Display for CtmcError {
                 write!(f, "state {state} has transition to invalid state {target}")
             }
             Self::BadInitial(s) => write!(f, "initial state {s} out of range"),
+            Self::BadOffsets => write!(f, "malformed CSR offset array"),
             Self::NotMarkovian { state } => write!(
                 f,
                 "state {state} still has interactive transitions; reduce the model first"
@@ -52,17 +56,50 @@ impl fmt::Display for CtmcError {
 
 impl std::error::Error for CtmcError {}
 
-/// A labelled continuous-time Markov chain.
+/// A labelled continuous-time Markov chain in flat CSR storage.
 ///
-/// Stored as per-state outgoing `(rate, target)` lists (self-loops are
-/// dropped — they do not affect the stochastic process). Labels are the
-/// same proposition bitmasks as in [`ioimc`]; Arcade uses bit 0 for
-/// "system down".
+/// All transitions live in one contiguous `(rate, target)` array; state
+/// `s` owns the slice `off[s]..off[s + 1]`. Within a row, transitions are
+/// sorted by target with parallel edges merged and self-loops dropped
+/// (they do not affect the stochastic process). Exit rates are cached at
+/// construction, so the uniformization and steady-state kernels never
+/// re-sum a row. Solvers that consume the chain column-wise build the
+/// transposed adjacency once via [`Ctmc::incoming`].
+///
+/// Labels are the same proposition bitmasks as in [`ioimc`]; Arcade uses
+/// bit 0 for "system down".
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ctmc {
-    rows: Vec<Vec<(f64, u32)>>,
+    /// CSR row offsets (`num_states + 1` entries).
+    off: Vec<u32>,
+    /// All transitions `(rate, target)`, grouped by source state.
+    tr: Vec<(f64, u32)>,
+    /// Cached per-state exit rates (row sums).
+    exit: Vec<f64>,
     labels: Vec<StateLabel>,
     initial: u32,
+}
+
+/// The incoming (transposed) adjacency of a [`Ctmc`] in CSR form: state
+/// `s` owns a contiguous `(rate, source)` slice. Built on demand by
+/// [`Ctmc::incoming`] — the steady-state and first-passage solvers sweep
+/// the balance equations column-wise and want the transpose contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incoming {
+    off: Vec<u32>,
+    tr: Vec<(f64, u32)>,
+}
+
+impl Incoming {
+    /// Incoming transitions `(rate, source)` of `s`, ordered by source.
+    pub fn row(&self, s: u32) -> &[(f64, u32)] {
+        &self.tr[self.off[s as usize] as usize..self.off[s as usize + 1] as usize]
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.off.len() - 1
+    }
 }
 
 impl Ctmc {
@@ -78,6 +115,49 @@ impl Ctmc {
         initial: u32,
     ) -> Result<Self, CtmcError> {
         let n = rows.len();
+        Self::check_shape(n, &labels, initial)?;
+        let mut builder = CsrBuilder::new(n, rows.iter().map(Vec::len).sum());
+        for (s, row) in rows.into_iter().enumerate() {
+            builder.push_row(s as u32, n, row)?;
+        }
+        Ok(builder.finish(labels, initial))
+    }
+
+    /// Creates a CTMC directly from CSR arrays: `off` must have
+    /// `labels.len() + 1` monotone entries starting at 0 and ending at
+    /// `tr.len()`; `tr[off[s]..off[s + 1]]` are the outgoing transitions
+    /// of `s`. Rows need not be sorted or merged — the constructor
+    /// normalizes them (drops self-loops, merges parallel edges) without
+    /// an intermediate per-state `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CtmcError`] for empty chains, malformed offsets,
+    /// invalid rates/targets or an out-of-range initial state.
+    pub fn from_csr(
+        off: Vec<u32>,
+        tr: Vec<(f64, u32)>,
+        labels: Vec<StateLabel>,
+        initial: u32,
+    ) -> Result<Self, CtmcError> {
+        let n = labels.len();
+        Self::check_shape(n, &labels, initial)?;
+        if off.len() != n + 1
+            || off[0] != 0
+            || off[n] as usize != tr.len()
+            || off.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(CtmcError::BadOffsets);
+        }
+        let mut builder = CsrBuilder::new(n, tr.len());
+        for s in 0..n {
+            let row = &tr[off[s] as usize..off[s + 1] as usize];
+            builder.push_row(s as u32, n, row.iter().copied())?;
+        }
+        Ok(builder.finish(labels, initial))
+    }
+
+    fn check_shape(n: usize, labels: &[StateLabel], initial: u32) -> Result<(), CtmcError> {
         if n == 0 {
             return Err(CtmcError::Empty);
         }
@@ -85,46 +165,13 @@ impl Ctmc {
         if initial as usize >= n {
             return Err(CtmcError::BadInitial(initial));
         }
-        let mut clean: Vec<Vec<(f64, u32)>> = Vec::with_capacity(n);
-        for (s, row) in rows.into_iter().enumerate() {
-            let mut out = Vec::with_capacity(row.len());
-            for (r, t) in row {
-                if !(r.is_finite() && r > 0.0) {
-                    return Err(CtmcError::BadRate {
-                        state: s as u32,
-                        rate: r,
-                    });
-                }
-                if t as usize >= n {
-                    return Err(CtmcError::BadTarget {
-                        state: s as u32,
-                        target: t,
-                    });
-                }
-                if t as usize != s {
-                    out.push((r, t));
-                }
-            }
-            // merge parallel edges
-            out.sort_unstable_by_key(|a| a.1);
-            let mut merged: Vec<(f64, u32)> = Vec::with_capacity(out.len());
-            for (r, t) in out {
-                match merged.last_mut() {
-                    Some(last) if last.1 == t => last.0 += r,
-                    _ => merged.push((r, t)),
-                }
-            }
-            clean.push(merged);
-        }
-        Ok(Self {
-            rows: clean,
-            labels,
-            initial,
-        })
+        Ok(())
     }
 
     /// Converts a purely Markovian I/O-IMC (e.g. the output of
-    /// `bisim::vanishing::eliminate_vanishing`) into a CTMC.
+    /// `bisim::vanishing::eliminate_vanishing`) into a CTMC, reading the
+    /// automaton's CSR transition arrays directly — no per-state `Vec`
+    /// round trip.
     ///
     /// # Errors
     ///
@@ -136,20 +183,23 @@ impl Ctmc {
                 return Err(CtmcError::NotMarkovian { state: s });
             }
         }
-        let rows = (0..imc.num_states() as u32)
-            .map(|s| imc.markovian_from(s).to_vec())
-            .collect();
-        Self::new(rows, imc.labels().to_vec(), imc.initial())
+        let (off, tr) = imc.markovian_csr();
+        Self::from_csr(
+            off.to_vec(),
+            tr.to_vec(),
+            imc.labels().to_vec(),
+            imc.initial(),
+        )
     }
 
     /// Number of states.
     pub fn num_states(&self) -> usize {
-        self.rows.len()
+        self.labels.len()
     }
 
     /// Number of (merged) transitions.
     pub fn num_transitions(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.tr.len()
     }
 
     /// The initial state.
@@ -157,21 +207,60 @@ impl Ctmc {
         self.initial
     }
 
-    /// Outgoing transitions of `s`.
+    /// Outgoing transitions of `s`: a contiguous `(rate, target)` slice,
+    /// sorted by target, parallel edges merged, self-loops dropped.
     pub fn row(&self, s: u32) -> &[(f64, u32)] {
-        &self.rows[s as usize]
+        &self.tr[self.off[s as usize] as usize..self.off[s as usize + 1] as usize]
     }
 
-    /// Total exit rate of `s`.
+    /// The CSR row offsets (`num_states + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.off
+    }
+
+    /// The flat transition array (all rows back to back).
+    pub fn transitions(&self) -> &[(f64, u32)] {
+        &self.tr
+    }
+
+    /// Total exit rate of `s` (cached at construction).
     pub fn exit_rate(&self, s: u32) -> f64 {
-        self.rows[s as usize].iter().map(|&(r, _)| r).sum()
+        self.exit[s as usize]
+    }
+
+    /// The cached per-state exit rates.
+    pub fn exit_rates(&self) -> &[f64] {
+        &self.exit
     }
 
     /// Maximum exit rate over all states (the uniformization constant base).
     pub fn max_exit_rate(&self) -> f64 {
-        (0..self.num_states() as u32)
-            .map(|s| self.exit_rate(s))
-            .fold(0.0, f64::max)
+        self.exit.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Builds the incoming (transposed) CSR adjacency: for each state the
+    /// contiguous `(rate, source)` slice, ordered by source. One counting
+    /// pass plus one scatter pass over the flat transition array.
+    pub fn incoming(&self) -> Incoming {
+        let n = self.num_states();
+        let mut counts = vec![0u32; n + 1];
+        for &(_, t) in &self.tr {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let off = counts.clone();
+        let mut cursor = counts;
+        let mut tr = vec![(0.0f64, 0u32); self.tr.len()];
+        for s in 0..n as u32 {
+            for &(r, t) in self.row(s) {
+                let slot = cursor[t as usize] as usize;
+                tr[slot] = (r, s);
+                cursor[t as usize] += 1;
+            }
+        }
+        Incoming { off, tr }
     }
 
     /// The label of `s`.
@@ -195,13 +284,33 @@ impl Ctmc {
 
     /// Returns a copy where the given states are absorbing (all outgoing
     /// transitions removed). Used for first-passage ("unreliability")
-    /// analysis.
+    /// analysis. The copy is rebuilt as compact CSR in one pass.
     pub fn make_absorbing(&self, states: impl IntoIterator<Item = u32>) -> Self {
-        let mut out = self.clone();
+        let n = self.num_states();
+        let mut clear = vec![false; n];
         for s in states {
-            out.rows[s as usize].clear();
+            clear[s as usize] = true;
         }
-        out
+        let mut off = Vec::with_capacity(n + 1);
+        let mut tr = Vec::with_capacity(self.tr.len());
+        let mut exit = Vec::with_capacity(n);
+        off.push(0u32);
+        for s in 0..n as u32 {
+            if !clear[s as usize] {
+                tr.extend_from_slice(self.row(s));
+                exit.push(self.exit[s as usize]);
+            } else {
+                exit.push(0.0);
+            }
+            off.push(tr.len() as u32);
+        }
+        Self {
+            off,
+            tr,
+            exit,
+            labels: self.labels.clone(),
+            initial: self.initial,
+        }
     }
 
     /// The initial distribution as a dense vector (unit mass on
@@ -210,6 +319,80 @@ impl Ctmc {
         let mut d = vec![0.0; self.num_states()];
         d[self.initial as usize] = 1.0;
         d
+    }
+}
+
+/// Incremental CSR assembly: rows arrive in state order, are validated,
+/// cleaned (self-loops dropped, parallel edges merged, sorted by target)
+/// in a reused scratch buffer, and appended to the flat arrays.
+struct CsrBuilder {
+    off: Vec<u32>,
+    tr: Vec<(f64, u32)>,
+    exit: Vec<f64>,
+    scratch: Vec<(f64, u32)>,
+}
+
+impl CsrBuilder {
+    fn new(n: usize, transitions_hint: usize) -> Self {
+        let mut off = Vec::with_capacity(n + 1);
+        off.push(0);
+        Self {
+            off,
+            tr: Vec::with_capacity(transitions_hint),
+            exit: Vec::with_capacity(n),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn push_row(
+        &mut self,
+        s: u32,
+        n: usize,
+        row: impl IntoIterator<Item = (f64, u32)>,
+    ) -> Result<(), CtmcError> {
+        self.scratch.clear();
+        for (r, t) in row {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(CtmcError::BadRate { state: s, rate: r });
+            }
+            if t as usize >= n {
+                return Err(CtmcError::BadTarget {
+                    state: s,
+                    target: t,
+                });
+            }
+            if t != s {
+                self.scratch.push((r, t));
+            }
+        }
+        self.scratch.sort_unstable_by_key(|a| a.1);
+        let row_start = self.tr.len();
+        for &(r, t) in &self.scratch {
+            if self.tr.len() > row_start {
+                let last = self.tr.last_mut().expect("row is non-empty");
+                if last.1 == t {
+                    last.0 += r;
+                    continue;
+                }
+            }
+            self.tr.push((r, t));
+        }
+        // Cache the exit rate as the sum over the *merged* row, matching
+        // what summing `row(s)` on demand would give bit for bit.
+        let exit = self.tr[row_start..].iter().map(|&(r, _)| r).sum();
+        self.exit.push(exit);
+        self.off.push(self.tr.len() as u32);
+        Ok(())
+    }
+
+    fn finish(self, labels: Vec<StateLabel>, initial: u32) -> Ctmc {
+        Ctmc {
+            off: self.off,
+            tr: self.tr,
+            exit: self.exit,
+            labels,
+            initial,
+        }
     }
 }
 
@@ -249,6 +432,61 @@ mod tests {
     }
 
     #[test]
+    fn csr_layout_is_flat_and_offsets_cover_rows() {
+        let c = Ctmc::new(
+            vec![vec![(1.0, 2), (0.5, 1)], vec![(2.0, 0)], vec![]],
+            vec![0, 0, 1],
+            0,
+        )
+        .unwrap();
+        assert_eq!(c.offsets(), &[0, 2, 3, 3]);
+        // rows are sorted by target within the flat array
+        assert_eq!(c.transitions(), &[(0.5, 1), (1.0, 2), (2.0, 0)]);
+        assert_eq!(c.row(0), &[(0.5, 1), (1.0, 2)]);
+        assert_eq!(c.row(2), &[] as &[(f64, u32)]);
+        assert_eq!(c.exit_rates(), &[1.5, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn from_csr_matches_from_rows() {
+        // unsorted, with a self-loop and a parallel edge
+        let rows = vec![vec![(1.0, 2), (2.0, 1), (0.5, 0), (3.0, 1)], vec![], vec![]];
+        let from_rows = Ctmc::new(rows, vec![0, 0, 1], 0).unwrap();
+        let off = vec![0u32, 4, 4, 4];
+        let tr = vec![(1.0, 2), (2.0, 1), (0.5, 0), (3.0, 1)];
+        let from_csr = Ctmc::from_csr(off, tr, vec![0, 0, 1], 0).unwrap();
+        assert_eq!(from_rows, from_csr);
+        assert_eq!(from_csr.row(0), &[(5.0, 1), (1.0, 2)]);
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_offsets() {
+        let tr = vec![(1.0, 1)];
+        // too short, wrong tail, non-monotone
+        for off in [vec![0u32, 1], vec![0, 1, 2], vec![0, 1, 0]] {
+            assert!(matches!(
+                Ctmc::from_csr(off, tr.clone(), vec![0, 0, 0], 0),
+                Err(CtmcError::BadOffsets)
+            ));
+        }
+    }
+
+    #[test]
+    fn incoming_is_the_exact_transpose() {
+        let c = Ctmc::new(
+            vec![vec![(1.0, 1), (2.0, 2)], vec![(0.5, 2)], vec![(3.0, 0)]],
+            vec![0, 0, 0],
+            0,
+        )
+        .unwrap();
+        let inc = c.incoming();
+        assert_eq!(inc.num_states(), 3);
+        assert_eq!(inc.row(0), &[(3.0, 2)]);
+        assert_eq!(inc.row(1), &[(1.0, 0)]);
+        assert_eq!(inc.row(2), &[(2.0, 0), (0.5, 1)]);
+    }
+
+    #[test]
     fn from_ioimc_requires_markovian_only() {
         let mut ab = ioimc::Alphabet::new();
         let a = ab.intern("a");
@@ -284,6 +522,8 @@ mod tests {
         let a = c.make_absorbing([1]);
         assert!(a.row(1).is_empty());
         assert_eq!(a.row(0), c.row(0));
+        assert_eq!(a.exit_rate(1), 0.0);
+        assert_eq!(a.num_transitions(), 1);
     }
 
     #[test]

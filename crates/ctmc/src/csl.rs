@@ -17,7 +17,8 @@
 //! * expected interval availability ([`interval_down_fraction`]).
 
 use crate::chain::Ctmc;
-use crate::steady::steady_state;
+use crate::solver::SolverOptions;
+use crate::steady::steady_state_with;
 use crate::transient::{transient, transient_from};
 
 /// A boolean state formula over label bits.
@@ -124,7 +125,13 @@ pub fn always_bounded(ctmc: &Ctmc, phi: &StateFormula, t: f64) -> f64 {
 
 /// `S[Φ]`: long-run probability of Φ.
 pub fn steady_state_probability(ctmc: &Ctmc, phi: &StateFormula) -> f64 {
-    let pi = steady_state(ctmc);
+    steady_state_probability_with(ctmc, phi, &SolverOptions::default())
+}
+
+/// [`steady_state_probability`] with explicit solver configuration (the
+/// steady-state solve dominates this query on large chains).
+pub fn steady_state_probability_with(ctmc: &Ctmc, phi: &StateFormula, opts: &SolverOptions) -> f64 {
+    let pi = steady_state_with(ctmc, opts);
     phi.states(ctmc)
         .into_iter()
         .map(|s| pi[s as usize])

@@ -4,14 +4,34 @@
 //! reduced I/O-IMC into a labelled CTMC ([`Ctmc::from_ioimc`]) and computes
 //! dependability measures on it:
 //!
-//! * [`steady::steady_state`] — long-run distribution (dense Gaussian
-//!   elimination for small chains, Gauss–Seidel for large ones), giving the
+//! * [`steady::steady_state`] — long-run distribution, giving the
 //!   steady-state availability of Table 1,
 //! * [`transient::transient`] — uniformization with Fox–Glynn-style Poisson
 //!   truncation, giving point availability,
 //! * [`absorbing`] — first-passage ("unreliability") analysis by making the
 //!   down states absorbing, and mean time to failure,
 //! * [`measures`] — the dependability measures expressed over state labels.
+//!
+//! # Storage and solvers
+//!
+//! A [`Ctmc`] is flat CSR: one `num_states + 1` offset array plus one
+//! contiguous `(rate, target)` transition array (rows sorted by target,
+//! parallel edges merged, self-loops dropped), with per-state exit rates
+//! cached at construction. Every kernel — the uniformization sweep, the
+//! steady-state solvers, the first-passage/hitting-time solvers — iterates
+//! these contiguous slices; solvers that sweep column-wise build the
+//! transposed adjacency once via [`Ctmc::incoming`]. Chains can be built
+//! from per-state rows ([`Ctmc::new`]), directly from CSR arrays
+//! ([`Ctmc::from_csr`]) or zero-conversion from a reduced I/O-IMC's own
+//! CSR storage ([`Ctmc::from_ioimc`]).
+//!
+//! The dense-vs-iterative split and the iteration controls are configured
+//! by [`SolverOptions`] (default: dense Gaussian elimination up to 3 000
+//! states, Gauss–Seidel above with 1e-14 relative tolerance): see
+//! [`steady::steady_state_with`] and
+//! [`absorbing::mean_time_to_absorption_with`]. The defaults reproduce
+//! the historical behavior, so plain [`steady::steady_state`] etc. are
+//! unchanged.
 //!
 //! # Example
 //!
@@ -38,7 +58,9 @@ pub mod chain;
 pub mod csl;
 pub mod measures;
 pub mod poisson;
+pub mod solver;
 pub mod steady;
 pub mod transient;
 
-pub use chain::{Ctmc, CtmcError};
+pub use chain::{Ctmc, CtmcError, Incoming};
+pub use solver::{IterativeMethod, SolverOptions};

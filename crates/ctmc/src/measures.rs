@@ -15,9 +15,10 @@ use std::rc::Rc;
 
 use ioimc::StateLabel;
 
-use crate::absorbing::mean_time_to_absorption;
+use crate::absorbing::mean_time_to_absorption_with;
 use crate::chain::Ctmc;
-use crate::steady::steady_state;
+use crate::solver::SolverOptions;
+use crate::steady::steady_state_with;
 use crate::transient::{transient_many, transient_many_from};
 
 /// A measure-evaluation context over one chain: memoizes the steady-state
@@ -31,6 +32,7 @@ use crate::transient::{transient_many, transient_many_from};
 #[derive(Debug)]
 pub struct MeasureContext<'a> {
     ctmc: &'a Ctmc,
+    solver: SolverOptions,
     steady: OnceCell<Vec<f64>>,
     targets: RefCell<HashMap<StateLabel, Rc<[u32]>>>,
     absorbing: RefCell<HashMap<StateLabel, Rc<Ctmc>>>,
@@ -38,10 +40,18 @@ pub struct MeasureContext<'a> {
 }
 
 impl<'a> MeasureContext<'a> {
-    /// Creates an empty context over `ctmc`.
+    /// Creates an empty context over `ctmc` with default [`SolverOptions`].
     pub fn new(ctmc: &'a Ctmc) -> Self {
+        Self::with_solver(ctmc, SolverOptions::default())
+    }
+
+    /// Creates an empty context over `ctmc` with explicit solver
+    /// configuration, used by every steady-state and MTTF solve the
+    /// context performs.
+    pub fn with_solver(ctmc: &'a Ctmc, solver: SolverOptions) -> Self {
         Self {
             ctmc,
+            solver,
             steady: OnceCell::new(),
             targets: RefCell::new(HashMap::new()),
             absorbing: RefCell::new(HashMap::new()),
@@ -56,7 +66,8 @@ impl<'a> MeasureContext<'a> {
 
     /// The steady-state distribution (computed on first use).
     pub fn steady_state(&self) -> &[f64] {
-        self.steady.get_or_init(|| steady_state(self.ctmc))
+        self.steady
+            .get_or_init(|| steady_state_with(self.ctmc, &self.solver))
     }
 
     /// The states matching `mask` (collected on first use per mask).
@@ -149,7 +160,7 @@ impl<'a> MeasureContext<'a> {
         let v = if targets.is_empty() {
             f64::INFINITY
         } else {
-            mean_time_to_absorption(self.ctmc, &targets)
+            mean_time_to_absorption_with(self.ctmc, &targets, &self.solver)
         };
         self.mttf.borrow_mut().insert(mask, v);
         v

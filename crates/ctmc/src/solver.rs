@@ -1,0 +1,95 @@
+//! Shared solver configuration for the CTMC numerics kernels.
+//!
+//! The steady-state ([`crate::steady`]) and first-passage
+//! ([`crate::absorbing`]) solvers pick between a dense direct path and a
+//! sparse iterative path; [`SolverOptions`] makes the crossover point and
+//! the iteration-control knobs explicit instead of burying them as module
+//! constants. The defaults reproduce the pre-`SolverOptions` behavior
+//! exactly (dense up to 3 000 states, 1e-14 relative tolerance, 200 000
+//! sweep cap), so `*_with(&SolverOptions::default())` equals the plain
+//! entry points.
+
+/// The iterative kernel used above [`SolverOptions::dense_limit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IterativeMethod {
+    /// Gauss–Seidel sweeps over the balance equations (default). Updates
+    /// propagate within a sweep, which converges far faster than power
+    /// iteration on the stiff chains dependability models produce.
+    #[default]
+    GaussSeidel,
+    /// Power iteration on the uniformized DTMC (`P = I + Q/Λ`). Slower —
+    /// its convergence rate is the subdominant eigenvalue of `P` — but
+    /// useful as a cross-check because it only ever mixes distributions.
+    Power,
+}
+
+/// Configuration of the dense/iterative solver split and the iterative
+/// termination criteria.
+///
+/// # Semantics
+///
+/// * `dense_limit` — chains with `num_states <= dense_limit` are solved
+///   by dense Gaussian elimination with partial pivoting (exact up to
+///   rounding, robust for stiff chains); larger chains use the sparse
+///   iterative path. The default (3 000) is the historical built-in
+///   threshold, so existing small-model results are bit-for-bit
+///   unchanged.
+/// * `tol` — iterative convergence criterion: the sweep-to-sweep
+///   **maximum relative change** over all vector components,
+///   `max_i |x'_i - x_i| / max(|x'_i|, 1e-300)`. Iteration stops at the
+///   first sweep where this drops below `tol`.
+/// * `max_sweeps` — hard cap on iterative sweeps. If the tolerance is not
+///   reached the solver returns the current iterate (it does not error):
+///   dependability pipelines prefer a slightly stale vector over an
+///   abort, and callers can tighten/loosen the pair as needed.
+/// * `method` — which iterative kernel runs above the dense limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Largest chain solved densely (see type docs).
+    pub dense_limit: usize,
+    /// Relative sweep-to-sweep convergence tolerance (see type docs).
+    pub tol: f64,
+    /// Iteration cap for the sparse solvers (see type docs).
+    pub max_sweeps: usize,
+    /// Iterative kernel choice.
+    pub method: IterativeMethod,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            dense_limit: 3000,
+            tol: 1e-14,
+            max_sweeps: 200_000,
+            method: IterativeMethod::GaussSeidel,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Returns a copy with the dense/iterative crossover set to `limit`
+    /// (`0` forces the sparse path even for tiny chains — used by tests
+    /// to compare both paths on the same model).
+    pub fn with_dense_limit(mut self, limit: usize) -> Self {
+        self.dense_limit = limit;
+        self
+    }
+
+    /// Returns a copy with the given relative tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Returns a copy with the given sweep cap.
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Returns a copy using the given iterative kernel.
+    pub fn with_method(mut self, method: IterativeMethod) -> Self {
+        self.method = method;
+        self
+    }
+}

@@ -1,29 +1,39 @@
 //! Steady-state distribution.
 //!
-//! Solves the global balance equations `πQ = 0`, `Σπ = 1`. Small chains use
-//! dense Gaussian elimination with partial pivoting (exact up to rounding,
-//! robust for the stiff chains dependability models produce — failure rates
-//! of 1e-8 next to repair rates of 1e-1). Larger chains fall back to
-//! Gauss–Seidel sweeps over the balance equations.
+//! Solves the global balance equations `πQ = 0`, `Σπ = 1`. Chains up to
+//! [`SolverOptions::dense_limit`] use dense Gaussian elimination with
+//! partial pivoting (exact up to rounding, robust for the stiff chains
+//! dependability models produce — failure rates of 1e-8 next to repair
+//! rates of 1e-1). Larger chains use the configured sparse iterative
+//! kernel over the transposed CSR adjacency ([`crate::chain::Incoming`]):
+//! Gauss–Seidel sweeps by default, power iteration on the uniformized
+//! DTMC as an alternative.
 
 use crate::chain::Ctmc;
+use crate::solver::{IterativeMethod, SolverOptions};
 
-/// Chains up to this size are solved directly (dense elimination).
-const DENSE_LIMIT: usize = 3000;
-
-/// Computes the steady-state distribution of an irreducible CTMC.
+/// Computes the steady-state distribution of an irreducible CTMC with
+/// default [`SolverOptions`].
 ///
 /// For reducible chains the result is the stationary distribution reachable
 /// from the chain's structure and should not be relied on; Arcade models
 /// with repair are irreducible by construction.
 pub fn steady_state(ctmc: &Ctmc) -> Vec<f64> {
+    steady_state_with(ctmc, &SolverOptions::default())
+}
+
+/// [`steady_state`] with explicit solver configuration.
+pub fn steady_state_with(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
     if ctmc.num_states() == 1 {
         return vec![1.0];
     }
-    if ctmc.num_states() <= DENSE_LIMIT {
+    if ctmc.num_states() <= opts.dense_limit {
         dense_solve(ctmc)
     } else {
-        gauss_seidel(ctmc)
+        match opts.method {
+            IterativeMethod::GaussSeidel => gauss_seidel(ctmc, opts),
+            IterativeMethod::Power => power_iteration(ctmc, opts),
+        }
     }
 }
 
@@ -34,13 +44,11 @@ fn dense_solve(ctmc: &Ctmc) -> Vec<f64> {
     // Build A = Q^T (column j of Q: rates out of j; diagonal -exit).
     let mut a = vec![0.0f64; n * n];
     for s in 0..n as u32 {
-        let mut exit = 0.0;
         for &(r, t) in ctmc.row(s) {
             // Q[s][t] = r contributes to A[t][s] (transposed)
             a[t as usize * n + s as usize] += r;
-            exit += r;
         }
-        a[s as usize * n + s as usize] -= exit;
+        a[s as usize * n + s as usize] -= ctmc.exit_rate(s);
     }
     // Replace last row with normalization Σπ = 1.
     for j in 0..n {
@@ -104,27 +112,25 @@ fn dense_solve(ctmc: &Ctmc) -> Vec<f64> {
     x
 }
 
-/// Gauss–Seidel iteration on `π_i · exit_i = Σ_j π_j q_{ji}`.
-fn gauss_seidel(ctmc: &Ctmc) -> Vec<f64> {
+/// Gauss–Seidel iteration on `π_i · exit_i = Σ_j π_j q_{ji}`, sweeping
+/// the transposed CSR adjacency so each state's inflow is one contiguous
+/// slice.
+fn gauss_seidel(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
     let n = ctmc.num_states();
-    // Incoming adjacency.
-    let mut incoming: Vec<Vec<(f64, u32)>> = vec![Vec::new(); n];
-    for s in 0..n as u32 {
-        for &(r, t) in ctmc.row(s) {
-            incoming[t as usize].push((r, s));
-        }
-    }
-    let exit: Vec<f64> = (0..n as u32).map(|s| ctmc.exit_rate(s)).collect();
+    let incoming = ctmc.incoming();
+    let exit = ctmc.exit_rates();
     let mut pi = vec![1.0 / n as f64; n];
-    const MAX_SWEEPS: usize = 200_000;
-    const TOL: f64 = 1e-14;
-    for _ in 0..MAX_SWEEPS {
+    for _ in 0..opts.max_sweeps {
         let mut max_rel = 0.0f64;
         for i in 0..n {
             if exit[i] <= 0.0 {
                 continue; // absorbing state keeps its mass (not expected here)
             }
-            let inflow: f64 = incoming[i].iter().map(|&(r, j)| r * pi[j as usize]).sum();
+            let inflow: f64 = incoming
+                .row(i as u32)
+                .iter()
+                .map(|&(r, j)| r * pi[j as usize])
+                .sum();
             let new = inflow / exit[i];
             let denom = new.abs().max(1e-300);
             max_rel = max_rel.max((new - pi[i]).abs() / denom);
@@ -136,7 +142,53 @@ fn gauss_seidel(ctmc: &Ctmc) -> Vec<f64> {
                 *v /= total;
             }
         }
-        if max_rel < TOL {
+        if max_rel < opts.tol {
+            break;
+        }
+    }
+    pi
+}
+
+/// Power iteration on the uniformized DTMC: `π ← π (I + Q/Λ)` with
+/// `Λ = 1.02 · max exit rate`, over the transposed CSR adjacency.
+/// Converges for any irreducible chain (the head-room keeps the DTMC
+/// aperiodic) but only at the subdominant-eigenvalue rate — prefer
+/// Gauss–Seidel except as a cross-check.
+fn power_iteration(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
+    let n = ctmc.num_states();
+    let max_exit = ctmc.max_exit_rate();
+    if max_exit == 0.0 {
+        return ctmc.initial_distribution();
+    }
+    let unif = max_exit * 1.02;
+    let incoming = ctmc.incoming();
+    let stay: Vec<f64> = (0..n as u32)
+        .map(|s| 1.0 - ctmc.exit_rate(s) / unif)
+        .collect();
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..opts.max_sweeps {
+        let mut max_rel = 0.0f64;
+        for i in 0..n {
+            let inflow: f64 = incoming
+                .row(i as u32)
+                .iter()
+                .map(|&(r, j)| r * pi[j as usize])
+                .sum();
+            next[i] = pi[i] * stay[i] + inflow / unif;
+        }
+        let total: f64 = next.iter().sum();
+        if total > 0.0 {
+            for v in &mut next {
+                *v /= total;
+            }
+        }
+        for i in 0..n {
+            let denom = next[i].abs().max(1e-300);
+            max_rel = max_rel.max((next[i] - pi[i]).abs() / denom);
+        }
+        std::mem::swap(&mut pi, &mut next);
+        if max_rel < opts.tol {
             break;
         }
     }
@@ -146,6 +198,22 @@ fn gauss_seidel(ctmc: &Ctmc) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn birth_death(lambda: f64, mu: f64, k: usize) -> Ctmc {
+        let rows: Vec<Vec<(f64, u32)>> = (0..=k)
+            .map(|i| {
+                let mut row = Vec::new();
+                if i < k {
+                    row.push((lambda, (i + 1) as u32));
+                }
+                if i > 0 {
+                    row.push((mu, (i - 1) as u32));
+                }
+                row
+            })
+            .collect();
+        Ctmc::new(rows, vec![0; k + 1], 0).unwrap()
+    }
 
     /// Two-state machine: π_up = µ/(λ+µ).
     #[test]
@@ -161,19 +229,7 @@ mod tests {
     #[test]
     fn mm1k_queue() {
         let (lambda, mu, k) = (0.7, 1.0, 6usize);
-        let rows: Vec<Vec<(f64, u32)>> = (0..=k)
-            .map(|i| {
-                let mut row = Vec::new();
-                if i < k {
-                    row.push((lambda, (i + 1) as u32));
-                }
-                if i > 0 {
-                    row.push((mu, (i - 1) as u32));
-                }
-                row
-            })
-            .collect();
-        let c = Ctmc::new(rows, vec![0; k + 1], 0).unwrap();
+        let c = birth_death(lambda, mu, k);
         let pi = steady_state(&c);
         let rho: f64 = lambda / mu;
         let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
@@ -193,28 +249,56 @@ mod tests {
         assert!((pi[1] - expected).abs() / expected < 1e-10);
     }
 
-    /// Gauss–Seidel path agrees with the dense path.
+    /// Both sparse paths agree with the dense path on the same chain.
     #[test]
-    fn gs_matches_dense() {
-        let (lambda, mu, k) = (0.3, 1.0, 9usize);
-        let rows: Vec<Vec<(f64, u32)>> = (0..=k)
-            .map(|i| {
-                let mut row = Vec::new();
-                if i < k {
-                    row.push((lambda, (i + 1) as u32));
-                }
-                if i > 0 {
-                    row.push((mu, (i - 1) as u32));
-                }
-                row
-            })
-            .collect();
-        let c = Ctmc::new(rows, vec![0; k + 1], 0).unwrap();
-        let dense = dense_solve(&c);
-        let gs = gauss_seidel(&c);
-        for (a, b) in dense.iter().zip(&gs) {
-            assert!((a - b).abs() < 1e-10);
+    fn iterative_paths_match_dense() {
+        let c = birth_death(0.3, 1.0, 9);
+        let dense = steady_state(&c);
+        let gs = steady_state_with(&c, &SolverOptions::default().with_dense_limit(0));
+        let pow = steady_state_with(
+            &c,
+            &SolverOptions::default()
+                .with_dense_limit(0)
+                .with_method(IterativeMethod::Power),
+        );
+        for i in 0..c.num_states() {
+            assert!((dense[i] - gs[i]).abs() < 1e-10, "GS state {i}");
+            assert!((dense[i] - pow[i]).abs() < 1e-9, "power state {i}");
         }
+    }
+
+    /// A stiff chain forced down the sparse path still gets full relative
+    /// accuracy (the Gauss–Seidel sweep works in balance-equation space,
+    /// not probability space, so the 1e-8 mass is resolved).
+    #[test]
+    fn sparse_path_resolves_stiff_mass() {
+        let (l, m) = (1e-7, 0.1);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let pi = steady_state_with(&c, &SolverOptions::default().with_dense_limit(0));
+        let expected = l / (l + m);
+        assert!((pi[1] - expected).abs() / expected < 1e-9);
+    }
+
+    /// The sweep cap is honored: one sweep from the uniform start is not
+    /// converged, and the solver returns without spinning.
+    #[test]
+    fn sweep_cap_returns_current_iterate() {
+        let c = birth_death(0.7, 1.0, 12);
+        let capped = steady_state_with(
+            &c,
+            &SolverOptions::default()
+                .with_dense_limit(0)
+                .with_max_sweeps(1),
+        );
+        let full = steady_state(&c);
+        let diff: f64 = capped
+            .iter()
+            .zip(&full)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff > 1e-6, "one sweep should not already be converged");
+        let total: f64 = capped.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "iterate is still normalized");
     }
 
     #[test]

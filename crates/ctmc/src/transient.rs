@@ -137,11 +137,9 @@ fn sweep(ctmc: &Ctmc, pi0: &[f64], unif: f64, t: f64) -> Vec<f64> {
     SWEEPS.with(|c| c.set(c.get() + 1));
     let (left, weights) = poisson_weights(unif * t);
     let n = ctmc.num_states();
-    // Self-loop probabilities of the uniformized DTMC, hoisted out of the
-    // step loop (summing each row's rates per step dominated the profile).
-    let stay: Vec<f64> = (0..n as u32)
-        .map(|s| 1.0 - ctmc.exit_rate(s) / unif)
-        .collect();
+    // Self-loop probabilities of the uniformized DTMC, from the chain's
+    // cached exit rates.
+    let stay: Vec<f64> = ctmc.exit_rates().iter().map(|&e| 1.0 - e / unif).collect();
     // Double-buffered stepping: `cur` and `next` swap roles each step, so
     // the whole sweep costs two distribution buffers total instead of one
     // fresh allocation per DTMC step (tens of thousands of steps on the
@@ -169,18 +167,21 @@ fn sweep(ctmc: &Ctmc, pi0: &[f64], unif: f64, t: f64) -> Vec<f64> {
 }
 
 /// One step of the uniformized DTMC into a caller-provided buffer:
-/// `out = cur · (I + Q/Λ)`.
+/// `out = cur · (I + Q/Λ)`. Iterates the flat CSR arrays directly — one
+/// contiguous pass over all transitions per step.
 fn dtmc_step_into(ctmc: &Ctmc, cur: &[f64], unif: f64, stay: &[f64], out: &mut [f64]) {
     DTMC_STEPS.with(|c| c.set(c.get() + 1));
     let n = ctmc.num_states();
+    let off = ctmc.offsets();
+    let tr = ctmc.transitions();
     out.fill(0.0);
-    for s in 0..n as u32 {
-        let mass = cur[s as usize];
+    for s in 0..n {
+        let mass = cur[s];
         if mass == 0.0 {
             continue;
         }
-        out[s as usize] += mass * stay[s as usize];
-        for &(r, tgt) in ctmc.row(s) {
+        out[s] += mass * stay[s];
+        for &(r, tgt) in &tr[off[s] as usize..off[s + 1] as usize] {
             out[tgt as usize] += mass * r / unif;
         }
     }

@@ -207,6 +207,14 @@ impl IoImc {
         &self.mark[self.mark_off[s] as usize..self.mark_off[s + 1] as usize]
     }
 
+    /// The Markovian transitions in raw CSR form: the `num_states + 1`
+    /// offset array and the flat `(rate, target)` transition array it
+    /// indexes. Lets downstream consumers (CTMC extraction) copy the
+    /// storage wholesale instead of re-collecting per-state rows.
+    pub fn markovian_csr(&self) -> (&[u32], &[(f64, StateId)]) {
+        (&self.mark_off, &self.mark)
+    }
+
     /// The label of state `s`.
     pub fn label(&self, s: StateId) -> StateLabel {
         self.labels[s as usize]

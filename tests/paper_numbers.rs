@@ -7,6 +7,7 @@ use arcade::cases::rcs::rcs;
 use arcade::engine::{aggregate, EngineOptions};
 use arcade::model::SystemModel;
 use arcade::modular::modular_analysis;
+use arcade::query::{Measure, Session};
 
 /// Table 1: A = 0.999997, R(5 weeks) = 0.402018 (modular analysis —
 /// fast enough for the debug-profile test suite).
@@ -23,6 +24,48 @@ fn table1_dds_measures() {
         (r - 0.402018).abs() < 5e-6,
         "reliability {r} drifted from the paper's 0.402018"
     );
+}
+
+/// Numerics regression pin: the DDS measures computed on the monolithic
+/// 2,100-state chain, captured **before** the CSR/`SolverOptions` rewrite
+/// of the `ctmc` crate. Every kernel that changed representation (steady
+/// state, uniformization, hitting times) must reproduce these to ≤1e-10
+/// relative.
+#[test]
+fn dds_measures_match_pre_csr_refactor_values() {
+    let session = Session::new(&dds()).expect("DDS session");
+    let mut measures = vec![
+        Measure::SteadyStateAvailability,
+        Measure::SteadyStateUnavailability,
+        Measure::Mttf,
+        Measure::UnreliabilityWithRepair(840.0),
+    ];
+    for k in 1..=10u32 {
+        measures.push(Measure::Unreliability(84.0 * f64::from(k)));
+    }
+    let expected = [
+        0.9999965021714378,
+        3.497828562245593e-6,
+        286089.3108182308,
+        0.0029283693822186605,
+        0.011842306106247698,
+        0.0449985245623829,
+        0.09537395877785343,
+        0.15854893761332614,
+        0.23018712382599893,
+        0.30633161625759064,
+        0.383590668804612,
+        0.4592271216571215,
+        0.5311717758903122,
+        0.5979824289215058,
+    ];
+    let values = session.evaluate(&measures).expect("batch evaluates");
+    for ((m, &got), &want) in measures.iter().zip(&values).zip(&expected) {
+        assert!(
+            (got - want).abs() <= 1e-10 * want.abs(),
+            "{m:?}: {got:.17e} drifted from pre-refactor {want:.17e}"
+        );
+    }
 }
 
 /// §5.1.2: the full monolithic aggregation of the DDS yields exactly the
