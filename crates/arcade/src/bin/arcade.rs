@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! arcade analyze  <model.arcade> [--time T]... [--json] [--dense-limit N]
+//!                                [--threads N] [--steady-tol X]
 //! arcade modular  <model.arcade> [--time T]... [--json] [--dense-limit N]
+//!                                [--threads N] [--steady-tol X]
 //! arcade simulate <model.arcade> --time T [--reps N] [--seed S]
 //! arcade check    <model.arcade>                          validate only
 //! arcade blocks   <model.arcade>                          block automaton sizes
@@ -15,7 +17,11 @@
 //! model configuration, one uniformization sweep per measure kind over the
 //! whole time grid. `--dense-limit` moves the dense-vs-iterative solver
 //! crossover (default 3000 states; `0` forces the sparse path — see
-//! [`ctmc::SolverOptions`]).
+//! [`ctmc::SolverOptions`]). `--threads` sets the worker count for both
+//! compositional aggregation *and* the sharded uniformization sweep
+//! (`0` = one per core; results are bitwise identical for every value),
+//! and `--steady-tol` tunes steady-state detection inside transient
+//! grids (`0` disables it — see [`ctmc::TransientOptions`]).
 
 use std::process::ExitCode;
 
@@ -243,8 +249,10 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Engine options from the command line: currently the `--dense-limit`
-/// solver crossover (see [`ctmc::SolverOptions::dense_limit`]).
+/// Engine options from the command line: the `--dense-limit` solver
+/// crossover, the `--threads` worker count (aggregation *and* sharded
+/// transient sweeps) and the `--steady-tol` detection threshold (see
+/// [`ctmc::SolverOptions`] / [`ctmc::TransientOptions`]).
 fn engine_options(args: &[String]) -> Result<EngineOptions, String> {
     let mut opts = EngineOptions::new();
     if let Some(&n) = flag_values(args, "--dense-limit")?.first() {
@@ -254,6 +262,23 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, String> {
             ));
         }
         opts.solver.dense_limit = n as usize;
+    }
+    if let Some(&n) = flag_values(args, "--threads")?.first() {
+        if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+            return Err(format!(
+                "--threads must be a non-negative integer (0 = auto), got {n}"
+            ));
+        }
+        opts.threads = n as usize;
+        opts.solver.transient.threads = n as usize;
+    }
+    if let Some(&x) = flag_values(args, "--steady-tol")?.first() {
+        if !(x.is_finite() && x >= 0.0) {
+            return Err(format!(
+                "--steady-tol must be non-negative and finite (0 disables detection), got {x}"
+            ));
+        }
+        opts.solver.transient.steady_tol = x;
     }
     Ok(opts)
 }
@@ -313,6 +338,7 @@ fn json_str(s: &str) -> String {
 
 fn usage() -> String {
     "usage: arcade <analyze|modular|simulate|check|blocks|dot|format> <model.arcade> \
-     [--time T]... [--json] [--reps N] [--seed S] [--dense-limit N]"
+     [--time T]... [--json] [--reps N] [--seed S] [--dense-limit N] \
+     [--threads N (0 = auto)] [--steady-tol X (0 disables detection)]"
         .to_owned()
 }

@@ -51,8 +51,11 @@ pub struct EngineOptions {
     /// Configuration of the CTMC numerics the downstream measure layers
     /// ([`crate::query::Session`], [`crate::analysis::Analysis`],
     /// [`crate::modular::modular_analysis`]) run on the aggregated chain:
-    /// the dense-vs-iterative solver crossover and the iterative
-    /// tolerance/sweep-cap. Aggregation itself ignores it.
+    /// the dense-vs-iterative solver crossover, the iterative
+    /// tolerance/sweep-cap, and the sharded uniformization engine
+    /// ([`ctmc::SolverOptions::transient`] — worker threads, shard
+    /// granularity, steady-state detection). Aggregation itself ignores
+    /// it.
     pub solver: ctmc::SolverOptions,
 }
 

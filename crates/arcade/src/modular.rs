@@ -126,6 +126,14 @@ impl ModularAnalysis {
 
 /// Runs a modular analysis of `def` with the given engine options.
 ///
+/// Each module's measures run through its own lazy `Session`, so the
+/// solver configuration in [`EngineOptions::solver`] — including the
+/// sharded/steady-state-aware transient engine
+/// ([`ctmc::SolverOptions::transient`]) — applies per module; module
+/// CTMCs are small after decomposition, so the per-module transient
+/// engine typically stays on its serial path while the modules
+/// themselves are solved concurrently.
+///
 /// # Errors
 ///
 /// Returns an error if the definition is invalid or a module analysis

@@ -36,6 +36,15 @@
 //! [`Measure::BoundedUntil`]) are evaluated per instance: their internal
 //! grids/transformed chains are query-specific and do not batch.
 //!
+//! All transient sweeps run through the sharded, steady-state-aware
+//! uniformization engine configured by
+//! [`EngineOptions::solver`](crate::engine::EngineOptions)`.transient`
+//! (see [`ctmc::TransientOptions`]), and share one session-wide
+//! [`ctmc::PoissonCache`]: a uniform grid steps by a single `Λ·Δt`, so
+//! evaluating several measure kinds over the same grid expands each
+//! Poisson weight vector once ([`SessionStats::poisson_hits`] counts the
+//! savings).
+//!
 //! # Example
 //!
 //! ```
@@ -66,8 +75,8 @@ use std::sync::Arc;
 
 use ctmc::csl::StateFormula;
 use ctmc::measures::state_mass as mass;
-use ctmc::transient::transient_many_from;
-use ctmc::Ctmc;
+use ctmc::transient::transient_many_from_cached;
+use ctmc::{Ctmc, PoissonCache};
 
 use crate::ast::SystemDef;
 use crate::build::observer::DOWN_BIT;
@@ -122,6 +131,10 @@ pub struct SessionStats {
     /// Steady-state solves run (≤ 1 — only the availability steady state
     /// is ever needed).
     pub steady_solves: u32,
+    /// Poisson weight lookups answered from the session memo.
+    pub poisson_hits: u64,
+    /// Poisson weight lookups that had to expand a fresh vector.
+    pub poisson_misses: u64,
 }
 
 /// Per-configuration memo: the aggregation and everything derived from it.
@@ -151,6 +164,13 @@ pub struct Session {
     opts: EngineOptions,
     availability: ConfigCache,
     no_repair: ConfigCache,
+    /// Poisson weight memo shared by **all** transient queries of the
+    /// session, across configurations and batches: uniform grids step by
+    /// one `Δt`, and chains with equal uniformization rates (e.g. the
+    /// availability CTMC and its absorbing-down transform) share the
+    /// exact `Λ·Δt` keys, so repeated measures over the same grid expand
+    /// each weight vector once.
+    poisson: PoissonCache,
     aggregations_built: Cell<u32>,
     absorbing_built: Cell<u32>,
     steady_solves: Cell<u32>,
@@ -173,6 +193,7 @@ impl Session {
             opts: EngineOptions::new(),
             availability: ConfigCache::default(),
             no_repair: ConfigCache::default(),
+            poisson: PoissonCache::new(),
             aggregations_built: Cell::new(0),
             absorbing_built: Cell::new(0),
             steady_solves: Cell::new(0),
@@ -197,6 +218,8 @@ impl Session {
             aggregations_built: self.aggregations_built.get(),
             absorbing_built: self.absorbing_built.get(),
             steady_solves: self.steady_solves.get(),
+            poisson_hits: self.poisson.hits(),
+            poisson_misses: self.poisson.misses(),
         }
     }
 
@@ -348,14 +371,21 @@ impl Session {
     }
 
     /// Point unavailabilities over a grid: one batched transient sweep on
-    /// the availability CTMC.
+    /// the availability CTMC (sharded/steady-state-aware per
+    /// [`EngineOptions::solver`], Poisson weights from the session memo).
     fn unavailability_curve(&self, ts: &[f64]) -> Result<Vec<f64>, ArcadeError> {
         let down = self.down_states(Config::Availability)?;
         let ctmc = &self.aggregation(Config::Availability)?.ctmc;
-        Ok(ctmc::transient::transient_many(ctmc, ts)
-            .iter()
-            .map(|pi| mass(&down, pi))
-            .collect())
+        Ok(transient_many_from_cached(
+            ctmc,
+            &ctmc.initial_distribution(),
+            ts,
+            &self.opts.solver.transient,
+            &self.poisson,
+        )
+        .iter()
+        .map(|pi| mass(&down, pi))
+        .collect())
     }
 
     /// First-passage probabilities over a grid for `cfg`: one cached
@@ -366,12 +396,16 @@ impl Session {
             return Ok(vec![0.0; ts.len()]);
         }
         let absorbing = self.absorbing(cfg)?;
-        Ok(
-            transient_many_from(absorbing, &absorbing.initial_distribution(), ts)
-                .iter()
-                .map(|pi| mass(&down, pi))
-                .collect(),
+        Ok(transient_many_from_cached(
+            absorbing,
+            &absorbing.initial_distribution(),
+            ts,
+            &self.opts.solver.transient,
+            &self.poisson,
         )
+        .iter()
+        .map(|pi| mass(&down, pi))
+        .collect())
     }
 
     /// Evaluates one measure. Prefer [`Session::evaluate`] for curves —
@@ -470,11 +504,24 @@ impl Session {
                 Measure::Mttf => self.mttf()?,
                 Measure::IntervalAvailability(t) => {
                     let ctmc = &self.aggregation(Config::Availability)?.ctmc;
-                    1.0 - ctmc::csl::interval_down_fraction(ctmc, &StateFormula::down(), *t)
+                    1.0 - ctmc::csl::interval_down_fraction_with(
+                        ctmc,
+                        &StateFormula::down(),
+                        *t,
+                        &self.opts.solver.transient,
+                        &self.poisson,
+                    )
                 }
                 Measure::BoundedUntil { phi, psi, t } => {
                     let ctmc = &self.aggregation(Config::Availability)?.ctmc;
-                    ctmc::csl::until_bounded(ctmc, phi, psi, *t)
+                    ctmc::csl::until_bounded_with(
+                        ctmc,
+                        phi,
+                        psi,
+                        *t,
+                        &self.opts.solver.transient,
+                        &self.poisson,
+                    )
                 }
             };
             out.push(v);
@@ -608,6 +655,26 @@ mod tests {
         let mut def = SystemDef::new("t");
         def.add_component(BcDef::new("a", Dist::exp(0.01), Dist::exp(1.0)));
         assert!(Session::new(&def).is_err());
+    }
+
+    /// A uniform grid steps by one `Λ·Δt`, so the session's Poisson memo
+    /// answers every segment after the first — and a repeated batch
+    /// recomputes no weight vector at all.
+    #[test]
+    fn uniform_grid_reuses_poisson_weights() {
+        let mut opts = crate::engine::EngineOptions::new();
+        opts.solver.transient.steady_tol = 0.0; // keep every segment stepping
+        let session = Session::new(&pair()).unwrap().with_options(opts);
+        let batch: Vec<Measure> = (1..=6)
+            .map(|k| Measure::PointUnavailability(f64::from(k) * 10.0))
+            .collect();
+        let _ = session.evaluate(&batch).unwrap();
+        let first = session.stats();
+        assert!(first.poisson_hits >= 4, "{first:?}");
+        let _ = session.evaluate(&batch).unwrap();
+        let second = session.stats();
+        assert!(second.poisson_hits > first.poisson_hits, "{second:?}");
+        assert_eq!(second.poisson_misses, first.poisson_misses, "{second:?}");
     }
 
     #[test]

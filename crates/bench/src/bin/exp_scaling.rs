@@ -1,4 +1,5 @@
-//! Scaling sweep — family size × thread count, plus sparse-solver timings.
+//! Scaling sweep — family size × thread count, plus sparse-solver and
+//! sharded-transient timings.
 //!
 //! Aggregates the scaled case families (`dds_scaled(n)` disk clusters,
 //! `rcs_scaled(k)` pump lines and the `rcs_scaled_kofn(n, k)` k-of-n
@@ -9,14 +10,24 @@
 //! single-threaded CTMC — the parallel engine is a scheduling change only.
 //!
 //! After each family's aggregation sweep the final CTMC is **solved**:
-//! one steady-state distribution and one 50-point transient
-//! (unavailability) grid, timed separately. Families above the
-//! [`SolverOptions::dense_limit`] exercise the sparse iterative path —
-//! the smoke subset includes `rcs_scaled(2)` (≈84k states, ≈1.1M
-//! transitions), which the run asserts is solved without the dense path.
+//! one steady-state distribution, then a 50-point transient
+//! (unavailability) grid at every transient thread count (`1, 2, 4` by
+//! default; `--threads N` adds `N`), each timed separately and asserted
+//! **bitwise identical** to the single-threaded grid — the sharded
+//! uniformization step is a scheduling change only. One extra grid run
+//! with steady-state detection disabled measures how many DTMC steps
+//! detection saves. Families above the [`SolverOptions::dense_limit`]
+//! exercise the sparse iterative path — the smoke subset includes
+//! `rcs_scaled(2)` (≈84k states, ≈1.1M transitions), which the run
+//! asserts is solved without the dense path.
+//!
+//! `--json` additionally writes every transient measurement to
+//! `BENCH_transient.json` (family, states, transitions, threads, steady
+//! and grid wall times, DTMC step counts) for the bench trajectory.
 //!
 //! Run: `cargo run --release -p arcade-bench --bin exp_scaling`
-//! (`-- --smoke` runs a minutes-sized subset for CI).
+//! (`-- --smoke` runs a minutes-sized subset for CI; `--smoke --threads 2`
+//! gates the sharded transient path).
 
 use std::time::Instant;
 
@@ -26,10 +37,31 @@ use arcade::model::SystemModel;
 use arcade::modular::modular_analysis;
 use arcade_bench::Table;
 use ctmc::measures::state_mass;
-use ctmc::{steady, transient, SolverOptions};
+use ctmc::transient::{dtmc_steps_performed, reset_solver_counters, transient_many_with};
+use ctmc::{steady, SolverOptions, TransientOptions};
+
+/// One transient-grid measurement for the machine-readable output.
+struct TransientRecord {
+    family: String,
+    states: usize,
+    transitions: usize,
+    threads: usize,
+    steady_tol: f64,
+    steady_secs: f64,
+    grid_secs: f64,
+    grid_points: usize,
+    dtmc_steps: u64,
+}
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let extra_threads: Vec<usize> = args
+        .windows(2)
+        .filter(|w| w[0] == "--threads")
+        .filter_map(|w| w[1].parse().ok())
+        .collect();
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Always include a >1 worker count (even on small machines) so the
     // parallel scheduling path is exercised; speedup is only meaningful
@@ -37,6 +69,14 @@ fn main() {
     let mut threads: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, hw] };
     threads.sort_unstable();
     threads.dedup();
+    // Transient grids sweep their own thread list: the sharded DTMC step
+    // is bitwise identical at every count, so the sweep doubles as the
+    // parallel-transient regression gate (even in smoke mode, where the
+    // 83,808-state rcs_scaled(2) grid is the workload that matters).
+    let mut transient_threads: Vec<usize> = vec![1, 2, 4];
+    transient_threads.extend(extra_threads);
+    transient_threads.sort_unstable();
+    transient_threads.dedup();
 
     println!(
         "scaling sweep on {hw} hardware threads{}",
@@ -53,6 +93,7 @@ fn main() {
     // at one thread count only (the aggregation is the slow part).
     let rcs_threads: Vec<usize> = if smoke { vec![1] } else { threads.clone() };
 
+    let mut records: Vec<TransientRecord> = Vec::new();
     let mut table = Table::new(&[
         "family",
         "blocks",
@@ -71,10 +112,19 @@ fn main() {
             &format!("dds_scaled({n})"),
             &dds_scaled(n),
             &threads,
+            &transient_threads,
+            &mut records,
         );
     }
     let rcs_def = rcs_scaled(2);
-    let (rcs_agg, rcs_u) = sweep(&mut table, "rcs_scaled(2)", &rcs_def, &rcs_threads);
+    let (rcs_agg, rcs_u) = sweep(
+        &mut table,
+        "rcs_scaled(2)",
+        &rcs_def,
+        &rcs_threads,
+        &transient_threads,
+        &mut records,
+    );
     // This family is the sparse-path regression gate: if the default
     // dense limit ever outgrows it, the iterative kernels lose coverage.
     assert!(
@@ -86,7 +136,9 @@ fn main() {
             &mut table,
             "rcs_scaled_kofn(2, 2)",
             &rcs_scaled_kofn(2, 2),
-            &rcs_threads,
+            &threads,
+            &transient_threads,
+            &mut records,
         );
     }
     println!("{}", table.render());
@@ -112,10 +164,17 @@ fn main() {
     );
     println!();
     println!(
-        "every multi-threaded CTMC was verified identical to the 1-thread result; \
-         speedups come from aggregating sibling fault-tree modules on worker threads. \
-         families beyond the dense limit are solved on the sparse iterative path."
+        "every multi-threaded CTMC was verified identical to the 1-thread result, and \
+         every sharded transient grid bitwise identical to the serial grid; aggregation \
+         speedups come from sibling fault-tree modules on worker threads, grid speedups \
+         from row-sharded DTMC steps and steady-state detection. families beyond the \
+         dense limit are solved on the sparse iterative path."
     );
+    if json {
+        let path = "BENCH_transient.json";
+        std::fs::write(path, render_json(hw, smoke, &records)).expect("write BENCH_transient.json");
+        println!("wrote {} transient records to {path}", records.len());
+    }
 }
 
 /// Runs the aggregation sweep for one family and returns the baseline
@@ -126,6 +185,8 @@ fn sweep(
     family: &str,
     def: &arcade::ast::SystemDef,
     threads: &[usize],
+    transient_threads: &[usize],
+    records: &mut Vec<TransientRecord>,
 ) -> (Aggregation, f64) {
     let model = SystemModel::build(def).expect("case family elaborates");
     let mut baseline: Option<(f64, Aggregation)> = None;
@@ -145,9 +206,9 @@ fn sweep(
             1.0
         };
         // Solve the final chain once (on the first, single-threaded pass):
-        // steady state plus a 50-point transient unavailability grid.
+        // steady state plus the 50-point transient grids.
         let solve_cells = if baseline.is_none() {
-            let (steady_secs, grid_secs, unavail) = solve(family, &agg);
+            let (steady_secs, grid_secs, unavail) = solve(family, &agg, transient_threads, records);
             steady_unavail = unavail;
             (format!("{steady_secs:.3} s"), format!("{grid_secs:.3} s"))
         } else {
@@ -179,10 +240,17 @@ fn sweep(
     )
 }
 
-/// Solves steady state + a 50-point transient grid on the aggregated
-/// chain, asserting basic sanity. Returns the two wall-clock timings and
-/// the steady-state unavailability.
-fn solve(family: &str, agg: &Aggregation) -> (f64, f64, f64) {
+/// Solves steady state once, then the 50-point transient grid at every
+/// requested thread count (bitwise-checked against the serial grid) plus
+/// one detection-disabled ablation, appending a record per run. Returns
+/// the steady wall time, the serial grid wall time and the steady-state
+/// unavailability.
+fn solve(
+    family: &str,
+    agg: &Aggregation,
+    transient_threads: &[usize],
+    records: &mut Vec<TransientRecord>,
+) -> (f64, f64, f64) {
     let ctmc = &agg.ctmc;
     let opts = SolverOptions::default();
     if ctmc.num_states() > opts.dense_limit {
@@ -209,23 +277,117 @@ fn solve(family: &str, agg: &Aggregation) -> (f64, f64, f64) {
     );
 
     // 50-point unavailability curve over a mission-sized horizon, one
-    // incremental uniformization sweep.
+    // incremental uniformization sweep per run.
     let grid: Vec<f64> = (1..=50).map(|k| k as f64 * 20.0).collect();
-    let start = Instant::now();
-    let curve = transient::transient_many(ctmc, &grid);
-    let grid_secs = start.elapsed().as_secs_f64();
-    for (i, pi_t) in curve.iter().enumerate() {
-        let u = state_mass(&down, pi_t);
-        assert!(
-            u.is_finite() && (0.0..=1.0).contains(&u),
-            "{family}: bad point unavailability {u} at t={}",
-            grid[i]
-        );
+    let mut push_record = |threads: usize, steady_tol: f64, grid_secs: f64, steps: u64| {
+        records.push(TransientRecord {
+            family: family.to_owned(),
+            states: ctmc.num_states(),
+            transitions: ctmc.num_transitions(),
+            threads,
+            steady_tol,
+            steady_secs,
+            grid_secs,
+            grid_points: grid.len(),
+            dtmc_steps: steps,
+        });
+    };
+    let mut reference: Option<(f64, Vec<Vec<f64>>)> = None;
+    let mut detected_steps = 0u64;
+    for &th in transient_threads {
+        let topts = TransientOptions::default().with_threads(th);
+        reset_solver_counters();
+        let start = Instant::now();
+        let curve = transient_many_with(ctmc, &grid, &topts);
+        let grid_secs = start.elapsed().as_secs_f64();
+        let steps = dtmc_steps_performed();
+        push_record(th, topts.steady_tol, grid_secs, steps);
+        if reference.is_none() {
+            detected_steps = steps;
+        }
+        match &reference {
+            None => {
+                for (i, pi_t) in curve.iter().enumerate() {
+                    let u = state_mass(&down, pi_t);
+                    assert!(
+                        u.is_finite() && (0.0..=1.0).contains(&u),
+                        "{family}: bad point unavailability {u} at t={}",
+                        grid[i]
+                    );
+                }
+                println!(
+                    "{family}: steady unavailability {unavail:.3e}, U({:.0}) = {:.3e}, \
+                     grid {grid_secs:.3} s at {th} thread(s) ({steps} DTMC steps)",
+                    grid[grid.len() - 1],
+                    state_mass(&down, &curve[curve.len() - 1])
+                );
+                reference = Some((grid_secs, curve));
+            }
+            Some((base_secs, base_curve)) => {
+                assert_eq!(
+                    &curve, base_curve,
+                    "{family}: {th}-thread transient grid differs from the serial grid"
+                );
+                println!(
+                    "{family}: grid {grid_secs:.3} s at {th} thread(s) \
+                     ({:.2}x, bitwise identical)",
+                    base_secs / grid_secs
+                );
+            }
+        }
     }
-    println!(
-        "{family}: steady unavailability {unavail:.3e}, U({:.0}) = {:.3e}",
-        grid[grid.len() - 1],
-        state_mass(&down, &curve[curve.len() - 1])
+    // Detection ablation: the same serial grid with steady-state
+    // detection off measures the DTMC steps the detector saves.
+    let no_detect = TransientOptions::default().with_steady_tol(0.0);
+    reset_solver_counters();
+    let start = Instant::now();
+    let exact = transient_many_with(ctmc, &grid, &no_detect);
+    let ablation_secs = start.elapsed().as_secs_f64();
+    let ablation_steps = dtmc_steps_performed();
+    push_record(1, 0.0, ablation_secs, ablation_steps);
+    let (base_secs, base_curve) = reference.as_ref().expect("at least one thread count");
+    let mut max_diff = 0.0f64;
+    for (a, b) in base_curve.iter().zip(&exact) {
+        for (x, y) in a.iter().zip(b) {
+            max_diff = max_diff.max((x - y).abs());
+        }
+    }
+    assert!(
+        max_diff < 1e-10,
+        "{family}: steady-state detection perturbed the grid by {max_diff:e}"
     );
-    (steady_secs, grid_secs, unavail)
+    println!(
+        "{family}: detection {detected_steps} vs {ablation_steps} DTMC steps \
+         (ablation {ablation_secs:.3} s), grids agree to {max_diff:.1e}"
+    );
+    (steady_secs, *base_secs, unavail)
+}
+
+/// Renders the records as a self-contained JSON document (the workspace
+/// is dependency-free, so the encoder is by hand like the CLI's).
+fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
+    let mut rows = String::new();
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n  {{\"family\":\"{}\",\"states\":{},\"transitions\":{},\"threads\":{},\
+             \"steady_tol\":{:e},\"steady_secs\":{:.6},\"grid_secs\":{:.6},\
+             \"grid_points\":{},\"dtmc_steps\":{}}}",
+            r.family,
+            r.states,
+            r.transitions,
+            r.threads,
+            r.steady_tol,
+            r.steady_secs,
+            r.grid_secs,
+            r.grid_points,
+            r.dtmc_steps,
+        ));
+    }
+    format!(
+        "{{\"bench\":\"exp_scaling_transient\",\"hw_threads\":{hw},\"smoke\":{smoke},\
+         \"records\":[{rows}\n]}}\n"
+    )
 }

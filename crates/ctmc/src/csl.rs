@@ -17,9 +17,10 @@
 //! * expected interval availability ([`interval_down_fraction`]).
 
 use crate::chain::Ctmc;
-use crate::solver::SolverOptions;
+use crate::poisson::PoissonCache;
+use crate::solver::{SolverOptions, TransientOptions};
 use crate::steady::steady_state_with;
-use crate::transient::{transient, transient_from};
+use crate::transient::{transient_many_from_cached, GridSolver};
 
 /// A boolean state formula over label bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +95,32 @@ impl StateFormula {
 ///
 /// Panics if `t` is negative or not finite.
 pub fn until_bounded(ctmc: &Ctmc, phi: &StateFormula, psi: &StateFormula, t: f64) -> f64 {
+    until_bounded_with(
+        ctmc,
+        phi,
+        psi,
+        t,
+        &TransientOptions::default(),
+        &PoissonCache::new(),
+    )
+}
+
+/// [`until_bounded`] with explicit uniformization engine configuration
+/// and a shared Poisson weight memo (the transient solve dominates this
+/// query on large chains; batches of until queries over one grid reuse
+/// each `Λ·Δt` expansion through the cache).
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite.
+pub fn until_bounded_with(
+    ctmc: &Ctmc,
+    phi: &StateFormula,
+    psi: &StateFormula,
+    t: f64,
+    opts: &TransientOptions,
+    cache: &PoissonCache,
+) -> f64 {
     let absorbing: Vec<u32> = (0..ctmc.num_states() as u32)
         .filter(|&s| {
             let l = ctmc.label(s);
@@ -104,7 +131,15 @@ pub fn until_bounded(ctmc: &Ctmc, phi: &StateFormula, psi: &StateFormula, t: f64
     // Success = sitting in a Ψ-state at time t of the transformed chain;
     // since Ψ-states are absorbing, that equals "reached Ψ by t via Φ".
     // A failure state (¬Φ∧¬Ψ) is absorbing and not Ψ, so it contributes 0.
-    let pi = transient(&transformed, t);
+    let pi = transient_many_from_cached(
+        &transformed,
+        &transformed.initial_distribution(),
+        &[t],
+        opts,
+        cache,
+    )
+    .pop()
+    .expect("one grid point");
     (0..ctmc.num_states() as u32)
         .filter(|&s| psi.holds(ctmc.label(s)))
         .map(|s| pi[s as usize])
@@ -148,6 +183,30 @@ pub fn steady_state_probability_with(ctmc: &Ctmc, phi: &StateFormula, opts: &Sol
 ///
 /// Panics if `t` is not strictly positive and finite.
 pub fn interval_down_fraction(ctmc: &Ctmc, phi: &StateFormula, t: f64) -> f64 {
+    interval_down_fraction_with(
+        ctmc,
+        phi,
+        t,
+        &TransientOptions::default(),
+        &PoissonCache::new(),
+    )
+}
+
+/// [`interval_down_fraction`] with explicit uniformization engine
+/// configuration. The Simpson grid is evaluated in chunked batched
+/// sweeps sharing one [`PoissonCache`] — the step width is constant, so
+/// every chunk after the first answers its Poisson weights from the memo.
+///
+/// # Panics
+///
+/// Panics if `t` is not strictly positive and finite.
+pub fn interval_down_fraction_with(
+    ctmc: &Ctmc,
+    phi: &StateFormula,
+    t: f64,
+    opts: &TransientOptions,
+    cache: &PoissonCache,
+) -> f64 {
     assert!(
         t.is_finite() && t > 0.0,
         "horizon must be positive, got {t}"
@@ -161,16 +220,31 @@ pub fn interval_down_fraction(ctmc: &Ctmc, phi: &StateFormula, t: f64) -> f64 {
     let phi_states = phi.states(ctmc);
     let mass = |pi: &[f64]| -> f64 { phi_states.iter().map(|&s| pi[s as usize]).sum() };
     let mut integral = mass(&pi); // f(0), weight 1
-    for k in 1..=steps {
-        pi = transient_from(ctmc, &pi, h);
-        let w = if k == steps {
-            1.0
-        } else if k % 2 == 1 {
-            4.0
-        } else {
-            2.0
-        };
-        integral += w * mass(&pi);
+
+    // Chunked batching bounds the resident distributions (the grid can be
+    // thousands of points on a large chain) while one GridSolver + one
+    // PoissonCache amortize the stepping engine (prescaled transposed
+    // CSR) and the weight vectors across all chunks.
+    const CHUNK: usize = 64;
+    let mut solver = GridSolver::new(ctmc, opts, cache);
+    let mut k = 1usize;
+    while k <= steps {
+        let m = CHUNK.min(steps - k + 1);
+        let grid: Vec<f64> = (1..=m).map(|j| j as f64 * h).collect();
+        let pis = solver.solve_from(&pi, &grid);
+        for (j, p) in pis.iter().enumerate() {
+            let idx = k + j;
+            let w = if idx == steps {
+                1.0
+            } else if idx % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
+            integral += w * mass(p);
+        }
+        pi = pis.into_iter().next_back().expect("non-empty chunk");
+        k += m;
     }
     (integral * h / 3.0 / t).clamp(0.0, 1.0)
 }

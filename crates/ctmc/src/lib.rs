@@ -27,11 +27,25 @@
 //!
 //! The dense-vs-iterative split and the iteration controls are configured
 //! by [`SolverOptions`] (default: dense Gaussian elimination up to 3 000
-//! states, Gauss–Seidel above with 1e-14 relative tolerance): see
+//! states, Gauss–Seidel above with 1e-14 relative tolerance, with a
+//! Krylov fallback for chains where Gauss–Seidel stalls): see
 //! [`steady::steady_state_with`] and
 //! [`absorbing::mean_time_to_absorption_with`]. The defaults reproduce
 //! the historical behavior, so plain [`steady::steady_state`] etc. are
 //! unchanged.
+//!
+//! # Parallel transient analysis and steady-state detection
+//!
+//! The uniformization engine ([`transient`]) computes the DTMC step as a
+//! gather over the transposed CSR and can fan it out over row shards on
+//! scoped worker threads — configured by [`TransientOptions`] (inside
+//! [`SolverOptions::transient`], default serial). Results are **bitwise
+//! identical** for every thread count and shard size. Steady-state
+//! detection (on by default, `steady_tol = 1e-13`) stops stepping once
+//! the uniformized chain has converged and answers all later grid points
+//! of a batched query from the converged vector; Poisson weight vectors
+//! are memoized per `Λ·Δt` through [`poisson::PoissonCache`]. See the
+//! [`transient`] module docs for the full semantics.
 //!
 //! # Example
 //!
@@ -63,4 +77,5 @@ pub mod steady;
 pub mod transient;
 
 pub use chain::{Ctmc, CtmcError, Incoming};
-pub use solver::{IterativeMethod, SolverOptions};
+pub use poisson::PoissonCache;
+pub use solver::{IterativeMethod, SolverOptions, TransientOptions};

@@ -17,9 +17,10 @@ use ioimc::StateLabel;
 
 use crate::absorbing::mean_time_to_absorption_with;
 use crate::chain::Ctmc;
+use crate::poisson::PoissonCache;
 use crate::solver::SolverOptions;
 use crate::steady::steady_state_with;
-use crate::transient::{transient_many, transient_many_from};
+use crate::transient::transient_many_from_cached;
 
 /// A measure-evaluation context over one chain: memoizes the steady-state
 /// vector, the down-state index list per label mask, and the
@@ -37,6 +38,10 @@ pub struct MeasureContext<'a> {
     targets: RefCell<HashMap<StateLabel, Rc<[u32]>>>,
     absorbing: RefCell<HashMap<StateLabel, Rc<Ctmc>>>,
     mttf: RefCell<HashMap<StateLabel, f64>>,
+    /// Poisson weight memo shared by every transient query of the
+    /// context (availability and first-passage curves over the same grid
+    /// reuse each `Λ·Δt` expansion).
+    poisson: PoissonCache,
 }
 
 impl<'a> MeasureContext<'a> {
@@ -56,6 +61,7 @@ impl<'a> MeasureContext<'a> {
             targets: RefCell::new(HashMap::new()),
             absorbing: RefCell::new(HashMap::new()),
             mttf: RefCell::new(HashMap::new()),
+            poisson: PoissonCache::new(),
         }
     }
 
@@ -114,13 +120,20 @@ impl<'a> MeasureContext<'a> {
     }
 
     /// Point unavailability over a whole time grid in one batched
-    /// uniformization sweep.
+    /// uniformization sweep (sharded/steady-state-aware per the context's
+    /// [`SolverOptions::transient`] configuration).
     pub fn point_unavailability_many(&self, mask: StateLabel, ts: &[f64]) -> Vec<f64> {
         let targets = self.states_with_label(mask);
-        transient_many(self.ctmc, ts)
-            .iter()
-            .map(|pi| state_mass(&targets, pi))
-            .collect()
+        transient_many_from_cached(
+            self.ctmc,
+            &self.ctmc.initial_distribution(),
+            ts,
+            &self.solver.transient,
+            &self.poisson,
+        )
+        .iter()
+        .map(|pi| state_mass(&targets, pi))
+        .collect()
     }
 
     /// Reliability `R(t)`: probability that no `mask` state has been
@@ -144,10 +157,16 @@ impl<'a> MeasureContext<'a> {
             return vec![0.0; ts.len()];
         }
         let absorbing = self.absorbing_chain(mask);
-        transient_many_from(&absorbing, &absorbing.initial_distribution(), ts)
-            .iter()
-            .map(|pi| state_mass(&targets, pi))
-            .collect()
+        transient_many_from_cached(
+            &absorbing,
+            &absorbing.initial_distribution(),
+            ts,
+            &self.solver.transient,
+            &self.poisson,
+        )
+        .iter()
+        .map(|pi| state_mass(&targets, pi))
+        .collect()
     }
 
     /// Mean time to failure: expected time until the first `mask` state

@@ -5,6 +5,83 @@
 //! they fall below a relative threshold, and normalized. This avoids both
 //! overflow (weights are scaled relative to the mode) and underflow of the
 //! naive `e^{-λ} λ^k / k!` evaluation for large `λ`.
+//!
+//! [`PoissonCache`] memoizes weight vectors per `λ = Λ·Δt`: a uniform
+//! time grid steps by the same `Δt` between consecutive points, and a
+//! batched [`crate::transient`] query evaluates several measures over the
+//! same grid, so the same `λ` recurs many times within one analysis.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A truncated, normalized Poisson weight vector (see [`poisson_weights`]):
+/// `weights[i]` approximates `Poisson(λ)[left + i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonWeights {
+    /// Index of the first retained weight.
+    pub left: usize,
+    /// The retained weights (sum 1).
+    pub weights: Vec<f64>,
+}
+
+/// A thread-safe memo of [`poisson_weights`] results keyed by the exact
+/// bit pattern of `λ`. Shared across the sweeps of a batched transient
+/// query (and, through `arcade`'s `Session`, across whole measure
+/// batches) so identical uniformization parameters are expanded once.
+#[derive(Debug, Default)]
+pub struct PoissonCache {
+    entries: Mutex<HashMap<u64, Arc<PoissonWeights>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for PoissonCache {
+    /// Clones the cached entries (cheap `Arc` bumps); the hit/miss
+    /// counters restart at the cloned values.
+    fn clone(&self) -> Self {
+        Self {
+            entries: Mutex::new(self.entries.lock().expect("cache lock").clone()),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PoissonCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The weights for `lambda`, computed on first use and memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn get(&self, lambda: f64) -> Arc<PoissonWeights> {
+        let mut entries = self.entries.lock().expect("cache lock");
+        if let Some(w) = entries.get(&lambda.to_bits()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return w.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (left, weights) = poisson_weights(lambda);
+        let w = Arc::new(PoissonWeights { left, weights });
+        entries.insert(lambda.to_bits(), w.clone());
+        w
+    }
+
+    /// Lookups answered from the memo since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run [`poisson_weights`].
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
 
 /// Truncated, normalized Poisson probabilities for parameter `lambda`.
 ///
@@ -127,5 +204,20 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_lambda_panics() {
         let _ = poisson_weights(-1.0);
+    }
+
+    #[test]
+    fn cache_memoizes_per_lambda_bits() {
+        let cache = PoissonCache::new();
+        let a = cache.get(7.25);
+        let b = cache.get(7.25);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the memo");
+        let (left, weights) = poisson_weights(7.25);
+        assert_eq!(a.left, left);
+        assert_eq!(a.weights, weights);
+        let c = cache.get(7.26);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
     }
 }

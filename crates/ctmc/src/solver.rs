@@ -9,18 +9,103 @@
 //! sweep cap), so `*_with(&SolverOptions::default())` equals the plain
 //! entry points.
 
+/// Head-room factor applied to the maximum exit rate when uniformizing
+/// (`Λ = headroom · max exit`): the strict inequality keeps every state's
+/// self-loop probability positive, so the DTMC is aperiodic. Shared by
+/// the transient engine and the DTMC-based steady kernels.
+pub(crate) const UNIF_HEADROOM: f64 = 1.02;
+
 /// The iterative kernel used above [`SolverOptions::dense_limit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IterativeMethod {
     /// Gauss–Seidel sweeps over the balance equations (default). Updates
     /// propagate within a sweep, which converges far faster than power
-    /// iteration on the stiff chains dependability models produce.
+    /// iteration on the stiff chains dependability models produce. When
+    /// the sweep-to-sweep progress stalls far above the tolerance, the
+    /// solver falls back to the Krylov kernel with the remaining sweep
+    /// budget (see [`crate::steady`]).
     #[default]
     GaussSeidel,
     /// Power iteration on the uniformized DTMC (`P = I + Q/Λ`). Slower —
     /// its convergence rate is the subdominant eigenvalue of `P` — but
     /// useful as a cross-check because it only ever mixes distributions.
     Power,
+    /// Restarted Arnoldi iteration on the uniformized DTMC: builds a small
+    /// Krylov basis per restart and extracts the Ritz vector of the unit
+    /// eigenvalue, followed by a short Gauss–Seidel polish for full
+    /// relative accuracy on stiff chains. Converges where plain
+    /// Gauss–Seidel stalls (nearly-decoupled or badly ordered chains).
+    Krylov,
+}
+
+/// Configuration of the sharded uniformization engine and its
+/// steady-state detection (see [`crate::transient`]).
+///
+/// # Semantics
+///
+/// * `threads` — worker threads for the DTMC matrix-vector step. `0`
+///   means one worker per available core, `1` (the default) forces the
+///   sequential path. The sharded step computes every state's inflow
+///   with exactly the per-row code the serial path runs, so results are
+///   **bitwise identical** for every thread count and shard size; only
+///   the wall clock changes.
+/// * `shard_min` — minimum number of states per shard. Chains with fewer
+///   than `2 * shard_min` states run serially no matter the thread count
+///   (fan-out overhead would dominate); larger chains get at most
+///   `num_states / shard_min` shards, balanced by transition count.
+/// * `steady_tol` — steady-state detection budget: the uniformized chain
+///   is declared converged when the **projected total remaining drift**
+///   `δ / (1 − ρ̂)` falls below it, where `δ = ‖π P − π‖∞` is the DTMC
+///   step delta and `ρ̂` the contraction ratio estimated from the recent
+///   delta history (the raw delta alone under-reports the remaining
+///   distance by the spectral gap on nearly-decoupled chains — rare
+///   failures next to fast repairs). On detection the remaining Poisson
+///   tail mass is assigned to the converged vector, and **all later grid
+///   points** of the batched entry points answer from that vector
+///   without further stepping. `0.0` disables detection. The projection
+///   is tight when a single slow mode dominates; a hidden mode decaying
+///   orders of magnitude slower than everything visible in the delta
+///   history can still evade it, as with any detection that does not
+///   eigen-analyze the chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Worker threads for the sharded DTMC step (see type docs).
+    pub threads: usize,
+    /// Minimum states per shard (see type docs).
+    pub shard_min: usize,
+    /// Steady-state detection threshold; `0.0` disables (see type docs).
+    pub steady_tol: f64,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            shard_min: 4096,
+            steady_tol: 1e-13,
+        }
+    }
+}
+
+impl TransientOptions {
+    /// Returns a copy with the given worker thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with the given minimum shard size.
+    pub fn with_shard_min(mut self, shard_min: usize) -> Self {
+        self.shard_min = shard_min;
+        self
+    }
+
+    /// Returns a copy with the given steady-state detection threshold
+    /// (`0.0` disables detection).
+    pub fn with_steady_tol(mut self, steady_tol: f64) -> Self {
+        self.steady_tol = steady_tol;
+        self
+    }
 }
 
 /// Configuration of the dense/iterative solver split and the iterative
@@ -43,6 +128,9 @@ pub enum IterativeMethod {
 ///   dependability pipelines prefer a slightly stale vector over an
 ///   abort, and callers can tighten/loosen the pair as needed.
 /// * `method` — which iterative kernel runs above the dense limit.
+/// * `transient` — configuration of the sharded uniformization engine
+///   (worker threads, shard granularity, steady-state detection); see
+///   [`TransientOptions`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
     /// Largest chain solved densely (see type docs).
@@ -53,6 +141,8 @@ pub struct SolverOptions {
     pub max_sweeps: usize,
     /// Iterative kernel choice.
     pub method: IterativeMethod,
+    /// Uniformization engine configuration (threads, shards, detection).
+    pub transient: TransientOptions,
 }
 
 impl Default for SolverOptions {
@@ -62,6 +152,7 @@ impl Default for SolverOptions {
             tol: 1e-14,
             max_sweeps: 200_000,
             method: IterativeMethod::GaussSeidel,
+            transient: TransientOptions::default(),
         }
     }
 }
@@ -90,6 +181,12 @@ impl SolverOptions {
     /// Returns a copy using the given iterative kernel.
     pub fn with_method(mut self, method: IterativeMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Returns a copy with the given uniformization engine configuration.
+    pub fn with_transient(mut self, transient: TransientOptions) -> Self {
+        self.transient = transient;
         self
     }
 }

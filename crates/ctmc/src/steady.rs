@@ -7,10 +7,26 @@
 //! rates of 1e-1). Larger chains use the configured sparse iterative
 //! kernel over the transposed CSR adjacency ([`crate::chain::Incoming`]):
 //! Gauss–Seidel sweeps by default, power iteration on the uniformized
-//! DTMC as an alternative.
+//! DTMC or restarted Arnoldi (Krylov) as alternatives.
+//!
+//! # The Krylov kernel and the Gauss–Seidel stall fallback
+//!
+//! [`IterativeMethod::Krylov`] runs restarted Arnoldi on the uniformized
+//! DTMC `P = I + Q/Λ`: per restart it builds a small orthonormal Krylov
+//! basis, extracts the Ritz vector of the (known) unit eigenvalue by
+//! inverse iteration on the projected Hessenberg matrix, and restarts
+//! from it. A short Gauss–Seidel polish afterwards restores full
+//! *relative* accuracy on stiff chains (Arnoldi works in probability
+//! space, where 1e-8 components carry no weight). The default
+//! Gauss–Seidel kernel watches its own sweep-to-sweep progress and falls
+//! back to this Krylov kernel (with the remaining sweep budget) when it
+//! stalls — less than 2× residual improvement across a 64-sweep window
+//! while still far from tolerance — which happens on nearly-decoupled
+//! chains where local propagation mixes too slowly.
 
 use crate::chain::Ctmc;
-use crate::solver::{IterativeMethod, SolverOptions};
+use crate::solver::{IterativeMethod, SolverOptions, UNIF_HEADROOM};
+use crate::transient::prescaled_transpose;
 
 /// Computes the steady-state distribution of an irreducible CTMC with
 /// default [`SolverOptions`].
@@ -33,6 +49,10 @@ pub fn steady_state_with(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
         match opts.method {
             IterativeMethod::GaussSeidel => gauss_seidel(ctmc, opts),
             IterativeMethod::Power => power_iteration(ctmc, opts),
+            IterativeMethod::Krylov => {
+                let n = ctmc.num_states();
+                krylov_from(ctmc, opts, vec![1.0 / n as f64; n], opts.max_sweeps)
+            }
         }
     }
 }
@@ -112,15 +132,48 @@ fn dense_solve(ctmc: &Ctmc) -> Vec<f64> {
     x
 }
 
-/// Gauss–Seidel iteration on `π_i · exit_i = Σ_j π_j q_{ji}`, sweeping
-/// the transposed CSR adjacency so each state's inflow is one contiguous
-/// slice.
+/// How a budgeted Gauss–Seidel run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GsOutcome {
+    /// The relative-change tolerance was reached.
+    Converged,
+    /// The sweep budget ran out first.
+    Exhausted,
+    /// Progress stalled: less than 2× residual improvement across a
+    /// 64-sweep window while still above tolerance.
+    Stalled,
+}
+
+/// Gauss–Seidel with the default uniform start; falls back to the Krylov
+/// kernel (with the remaining sweep budget) when progress stalls.
 fn gauss_seidel(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
+    let n = ctmc.num_states();
+    let (pi, sweeps, outcome) =
+        gauss_seidel_run(ctmc, opts, vec![1.0 / n as f64; n], opts.max_sweeps);
+    if outcome == GsOutcome::Stalled && sweeps < opts.max_sweeps {
+        krylov_from(ctmc, opts, pi, opts.max_sweeps - sweeps)
+    } else {
+        pi
+    }
+}
+
+/// Budgeted Gauss–Seidel iteration on `π_i · exit_i = Σ_j π_j q_{ji}`
+/// from the given start, sweeping the transposed CSR adjacency so each
+/// state's inflow is one contiguous slice. Returns the iterate, the
+/// sweeps used, and how the run ended.
+fn gauss_seidel_run(
+    ctmc: &Ctmc,
+    opts: &SolverOptions,
+    mut pi: Vec<f64>,
+    budget: usize,
+) -> (Vec<f64>, usize, GsOutcome) {
+    /// Sweeps between stall checks (and the minimum run before one).
+    const STALL_WINDOW: usize = 64;
     let n = ctmc.num_states();
     let incoming = ctmc.incoming();
     let exit = ctmc.exit_rates();
-    let mut pi = vec![1.0 / n as f64; n];
-    for _ in 0..opts.max_sweeps {
+    let mut window_rel = f64::INFINITY;
+    for sweep in 1..=budget {
         let mut max_rel = 0.0f64;
         for i in 0..n {
             if exit[i] <= 0.0 {
@@ -143,14 +196,219 @@ fn gauss_seidel(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
             }
         }
         if max_rel < opts.tol {
+            return (pi, sweep, GsOutcome::Converged);
+        }
+        if sweep % STALL_WINDOW == 0 {
+            if max_rel > window_rel * 0.5 {
+                return (pi, sweep, GsOutcome::Stalled);
+            }
+            window_rel = max_rel;
+        }
+    }
+    (pi, budget, GsOutcome::Exhausted)
+}
+
+/// Krylov dimension per Arnoldi restart.
+const KRYLOV_DIM: usize = 25;
+
+/// Restarted Arnoldi for the unit eigenvector of the uniformized DTMC
+/// `P = I + Q/Λ`, starting from `x0`, with a matvec budget of `budget`
+/// (one matvec ≈ one sweep of work). Ends with a short Gauss–Seidel
+/// polish for full relative accuracy on stiff chains.
+fn krylov_from(ctmc: &Ctmc, opts: &SolverOptions, x0: Vec<f64>, budget: usize) -> Vec<f64> {
+    let n = ctmc.num_states();
+    let max_exit = ctmc.max_exit_rate();
+    if max_exit == 0.0 {
+        return ctmc.initial_distribution();
+    }
+    let unif = max_exit * UNIF_HEADROOM;
+    // The uniformized DTMC in prescaled gather form — the exact arrays
+    // the transient engine steps with, so the matvec (the budgeted hot
+    // loop) pays no per-transition division and cannot drift from the
+    // transient kernel.
+    let (stay, inc_off, inc_p, inc_src) = prescaled_transpose(ctmc, unif);
+    // y = x Pᵀ over the transposed adjacency (the same operator the power
+    // iteration applies).
+    let matvec = |x: &[f64], y: &mut [f64]| {
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (lo, hi) = (inc_off[i] as usize, inc_off[i + 1] as usize);
+            let mut acc = x[i] * stay[i];
+            for (&p, &j) in inc_p[lo..hi].iter().zip(&inc_src[lo..hi]) {
+                acc += p * x[j as usize];
+            }
+            *yi = acc;
+        }
+    };
+
+    let m = KRYLOV_DIM.min(n.saturating_sub(1)).max(1);
+    let mut x = x0;
+    normalize_l1(&mut x);
+    let mut used = 0usize;
+    while used < budget {
+        // Arnoldi with modified Gram–Schmidt.
+        let norm0 = l2_norm(&x);
+        if norm0 <= 0.0 || !norm0.is_finite() {
+            break;
+        }
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        basis.push(x.iter().map(|a| a / norm0).collect());
+        let mut h = vec![0.0f64; (m + 1) * m];
+        let mut m_eff = m;
+        for j in 0..m {
+            let mut w = vec![0.0f64; n];
+            matvec(&basis[j], &mut w);
+            used += 1;
+            for i in 0..=j {
+                let hij: f64 = basis[i].iter().zip(&w).map(|(a, b)| a * b).sum();
+                h[i * m + j] = hij;
+                for (wk, vk) in w.iter_mut().zip(&basis[i]) {
+                    *wk -= hij * vk;
+                }
+            }
+            let beta = l2_norm(&w);
+            h[(j + 1) * m + j] = beta;
+            if beta < 1e-14 || used >= budget {
+                m_eff = j + 1; // invariant subspace found (or budget spent)
+                break;
+            }
+            for wk in &mut w {
+                *wk /= beta;
+            }
+            basis.push(w);
+        }
+        // Ritz vector for the known eigenvalue 1: inverse iteration on
+        // the projected (H − I), then lift back through the basis.
+        let y = unit_eigvec_of_hessenberg(&h, m, m_eff);
+        let mut xn = vec![0.0f64; n];
+        for (yj, vj) in y.iter().zip(&basis) {
+            if *yj != 0.0 {
+                for (xk, vk) in xn.iter_mut().zip(vj) {
+                    *xk += yj * vk;
+                }
+            }
+        }
+        // Orient along the (nonnegative) Perron direction and clean the
+        // rounding dust.
+        if xn.iter().sum::<f64>() < 0.0 {
+            for a in &mut xn {
+                *a = -*a;
+            }
+        }
+        for a in &mut xn {
+            if *a < 0.0 {
+                *a = 0.0;
+            }
+        }
+        normalize_l1(&mut xn);
+        let mut max_rel = 0.0f64;
+        for (a, b) in xn.iter().zip(&x) {
+            let denom = a.abs().max(1e-300);
+            max_rel = max_rel.max((a - b).abs() / denom);
+        }
+        x = xn;
+        if max_rel < opts.tol {
             break;
         }
     }
-    pi
+    // Polish: Gauss–Seidel from the Krylov iterate recovers relative
+    // accuracy on components far below the probability scale.
+    let (polished, _, _) = gauss_seidel_run(ctmc, opts, x, 64.min(opts.max_sweeps.max(1)));
+    polished
+}
+
+/// The (approximate) null vector of `H_eff − I` for the leading
+/// `m_eff × m_eff` block of the row-major `(m+1) × m` Hessenberg array, by
+/// LU-factored inverse iteration with the exact shift.
+fn unit_eigvec_of_hessenberg(h: &[f64], m: usize, m_eff: usize) -> Vec<f64> {
+    let k = m_eff;
+    let mut a = vec![0.0f64; k * k];
+    let mut scale = 0.0f64;
+    for r in 0..k {
+        for c in 0..k {
+            let v = h[r * m + c] - if r == c { 1.0 } else { 0.0 };
+            a[r * k + c] = v;
+            scale = scale.max(v.abs());
+        }
+    }
+    if scale == 0.0 {
+        // H == I: every basis vector is an eigenvector; keep the first.
+        let mut y = vec![0.0; k];
+        y[0] = 1.0;
+        return y;
+    }
+    // LU with partial pivoting; near-singular pivots are clamped — the
+    // matrix *is* (numerically) singular in the direction we want, and
+    // the clamp is what makes inverse iteration explode toward it.
+    let floor = scale * 1e-18;
+    let mut piv: Vec<usize> = (0..k).collect();
+    for col in 0..k {
+        let p = (col..k)
+            .max_by(|&i, &j| a[i * k + col].abs().total_cmp(&a[j * k + col].abs()))
+            .expect("non-empty range");
+        if p != col {
+            for c in 0..k {
+                a.swap(col * k + c, p * k + c);
+            }
+            piv.swap(col, p);
+        }
+        if a[col * k + col].abs() < floor {
+            a[col * k + col] = if a[col * k + col] < 0.0 {
+                -floor
+            } else {
+                floor
+            };
+        }
+        let d = a[col * k + col];
+        for row in col + 1..k {
+            let f = a[row * k + col] / d;
+            a[row * k + col] = f;
+            for c in col + 1..k {
+                a[row * k + c] -= f * a[col * k + c];
+            }
+        }
+    }
+    let solve = |a: &[f64], piv: &[usize], b: &[f64]| -> Vec<f64> {
+        let mut y: Vec<f64> = piv.iter().map(|&p| b[p]).collect();
+        for row in 1..k {
+            for c in 0..row {
+                y[row] -= a[row * k + c] * y[c];
+            }
+        }
+        for row in (0..k).rev() {
+            for c in row + 1..k {
+                y[row] -= a[row * k + c] * y[c];
+            }
+            y[row] /= a[row * k + row];
+        }
+        y
+    };
+    let mut y = vec![1.0 / (k as f64).sqrt(); k];
+    for _ in 0..3 {
+        let z = solve(&a, &piv, &y);
+        let nz = l2_norm(&z);
+        if !(nz > 0.0 && nz.is_finite()) {
+            break;
+        }
+        y = z.into_iter().map(|v| v / nz).collect();
+    }
+    y
+}
+
+fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+fn normalize_l1(v: &mut [f64]) {
+    let total: f64 = v.iter().sum();
+    if total > 0.0 {
+        for a in v {
+            *a /= total;
+        }
+    }
 }
 
 /// Power iteration on the uniformized DTMC: `π ← π (I + Q/Λ)` with
-/// `Λ = 1.02 · max exit rate`, over the transposed CSR adjacency.
+/// `Λ = UNIF_HEADROOM · max exit rate`, over the transposed CSR adjacency.
 /// Converges for any irreducible chain (the head-room keeps the DTMC
 /// aperiodic) but only at the subdominant-eigenvalue rate — prefer
 /// Gauss–Seidel except as a cross-check.
@@ -160,7 +418,7 @@ fn power_iteration(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
     if max_exit == 0.0 {
         return ctmc.initial_distribution();
     }
-    let unif = max_exit * 1.02;
+    let unif = max_exit * UNIF_HEADROOM;
     let incoming = ctmc.incoming();
     let stay: Vec<f64> = (0..n as u32)
         .map(|s| 1.0 - ctmc.exit_rate(s) / unif)
@@ -249,7 +507,7 @@ mod tests {
         assert!((pi[1] - expected).abs() / expected < 1e-10);
     }
 
-    /// Both sparse paths agree with the dense path on the same chain.
+    /// All sparse paths agree with the dense path on the same chain.
     #[test]
     fn iterative_paths_match_dense() {
         let c = birth_death(0.3, 1.0, 9);
@@ -261,9 +519,54 @@ mod tests {
                 .with_dense_limit(0)
                 .with_method(IterativeMethod::Power),
         );
+        let kry = steady_state_with(
+            &c,
+            &SolverOptions::default()
+                .with_dense_limit(0)
+                .with_method(IterativeMethod::Krylov),
+        );
         for i in 0..c.num_states() {
             assert!((dense[i] - gs[i]).abs() < 1e-10, "GS state {i}");
             assert!((dense[i] - pow[i]).abs() < 1e-9, "power state {i}");
+            assert!((dense[i] - kry[i]).abs() < 1e-9, "Krylov state {i}");
+        }
+    }
+
+    /// The Krylov kernel (with its Gauss–Seidel polish) resolves stiff
+    /// mass to full relative accuracy, like the plain sparse path.
+    #[test]
+    fn krylov_resolves_stiff_mass() {
+        let (l, m) = (1e-7, 0.1);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let pi = steady_state_with(
+            &c,
+            &SolverOptions::default()
+                .with_dense_limit(0)
+                .with_method(IterativeMethod::Krylov),
+        );
+        let expected = l / (l + m);
+        assert!((pi[1] - expected).abs() / expected < 1e-9, "{}", pi[1]);
+    }
+
+    /// Krylov handles a chain larger than its basis dimension (several
+    /// restarts) and still matches the dense answer.
+    #[test]
+    fn krylov_restarts_on_long_chain() {
+        let c = birth_death(0.9, 1.0, 120);
+        let dense = steady_state_with(&c, &SolverOptions::default().with_dense_limit(1000));
+        let kry = steady_state_with(
+            &c,
+            &SolverOptions::default()
+                .with_dense_limit(0)
+                .with_method(IterativeMethod::Krylov),
+        );
+        for i in 0..c.num_states() {
+            assert!(
+                (dense[i] - kry[i]).abs() < 1e-9,
+                "state {i}: {} vs {}",
+                dense[i],
+                kry[i]
+            );
         }
     }
 

@@ -1,48 +1,87 @@
-//! Transient analysis by uniformization.
+//! Transient analysis by uniformization — sharded, steady-state-aware.
 //!
 //! The distribution at time `t` is
 //! `π(t) = Σ_k Poisson(Λt)[k] · π(0) Pᵏ` where `P = I + Q/Λ` is the
 //! uniformized DTMC and `Λ ≥ max exit rate`. Poisson weights come from
-//! [`crate::poisson::poisson_weights`].
+//! [`crate::poisson::poisson_weights`], memoized per `Λ·Δt` through a
+//! [`PoissonCache`] (uniform grids step by the same `Δt` every segment).
+//!
+//! # The sharded DTMC step
+//!
+//! The hot kernel is the DTMC matrix-vector product `π ← π P`. It is
+//! computed as a **gather** over the transposed CSR adjacency: state `i`'s
+//! next mass is `π[i]·stay[i] + Σ_{j→i} π[j]·q_{ji}/Λ`, one contiguous
+//! slice per state with the transition probabilities prescaled once per
+//! solve. Because every row is computed independently from the previous
+//! vector, the rows can be partitioned into contiguous shards (balanced
+//! by transition count) and fanned out over [`ioimc::par`] scoped worker
+//! threads with double-buffered per-shard writes — and the result is
+//! **bitwise identical** for every thread count and shard size: each row
+//! runs exactly the per-row code of the serial path, and the shard-wise
+//! maximum used for steady-state detection reduces to the same global
+//! maximum. Configure via [`TransientOptions`] (reachable from
+//! [`crate::SolverOptions::transient`]).
+//!
+//! # Steady-state detection
+//!
+//! When the projected total remaining drift of the uniformized chain —
+//! the sup-norm step delta `‖πP − π‖∞` divided by the spectral headroom
+//! `1 − ρ̂` estimated from the recent delta history (see
+//! `SteadyDetector`) — falls below [`TransientOptions::steady_tol`], the
+//! chain has converged: the remaining Poisson tail mass is assigned to
+//! the converged vector and the sweep stops early. The batched entry
+//! points additionally answer **all later grid points** from that
+//! vector, so long-horizon grids cost only as many DTMC steps as the
+//! chain's mixing time. Detection is disabled with `steady_tol = 0.0`.
+//!
+//! # Batching
 //!
 //! Curve-shaped workloads should use [`transient_many`]: it evaluates a
 //! whole time grid in **one** incremental uniformization sweep (the chain
 //! is stepped from each grid point to the next by the Markov property)
 //! instead of one independent sweep per point, turning the
-//! `O(Λ·Σtᵢ)` cost of the scalar loop into `O(Λ·max tᵢ)`.
+//! `O(Λ·Σtᵢ)` cost of the scalar loop into `O(Λ·max tᵢ)` — and less than
+//! that once steady-state detection kicks in.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 use crate::chain::Ctmc;
-use crate::poisson::poisson_weights;
+use crate::poisson::{PoissonCache, PoissonWeights};
+use crate::solver::{TransientOptions, UNIF_HEADROOM};
 
-thread_local! {
-    /// Instrumentation: DTMC matrix-vector products performed by this
-    /// thread (see [`dtmc_steps_performed`]).
-    static DTMC_STEPS: Cell<u64> = const { Cell::new(0) };
-    /// Instrumentation: uniformization sweeps started by this thread.
-    static SWEEPS: Cell<u64> = const { Cell::new(0) };
-}
+/// Instrumentation: DTMC matrix-vector products performed process-wide
+/// (see [`dtmc_steps_performed`]). A sharded step counts once — it is one
+/// matrix-vector product no matter how many workers computed it.
+static DTMC_STEPS: AtomicU64 = AtomicU64::new(0);
+/// Instrumentation: uniformization sweeps started process-wide.
+static SWEEPS: AtomicU64 = AtomicU64::new(0);
 
-/// Total DTMC matrix-vector products performed by this thread since the
+/// Total DTMC matrix-vector products performed **process-wide** since the
 /// last [`reset_solver_counters`]. One product is the unit of transient
-/// solver work, so batching wins show up directly in this counter; it
-/// exists for benchmarks and regression tests, not for control flow.
+/// solver work, so batching and steady-state-detection wins show up
+/// directly in this counter; it exists for benchmarks and regression
+/// tests, not for control flow.
+///
+/// The counters are atomics so sweeps running on worker threads (sharded
+/// steps, parallel `Session` prefetches, modular analyses) are neither
+/// lost nor raced; tests that assert on deltas must serialize against
+/// other counter-touching tests in the same process.
 pub fn dtmc_steps_performed() -> u64 {
-    DTMC_STEPS.with(Cell::get)
+    DTMC_STEPS.load(Ordering::Relaxed)
 }
 
 /// Total uniformization sweeps (scalar solves or batched grid segments)
-/// started by this thread since the last [`reset_solver_counters`].
+/// started process-wide since the last [`reset_solver_counters`].
 pub fn sweeps_performed() -> u64 {
-    SWEEPS.with(Cell::get)
+    SWEEPS.load(Ordering::Relaxed)
 }
 
-/// Resets this thread's [`dtmc_steps_performed`]/[`sweeps_performed`]
+/// Resets the process-wide [`dtmc_steps_performed`]/[`sweeps_performed`]
 /// counters to zero.
 pub fn reset_solver_counters() {
-    DTMC_STEPS.with(|c| c.set(0));
-    SWEEPS.with(|c| c.set(0));
+    DTMC_STEPS.store(0, Ordering::Relaxed);
+    SWEEPS.store(0, Ordering::Relaxed);
 }
 
 /// Computes the state distribution at time `t` starting from the chain's
@@ -55,6 +94,15 @@ pub fn transient(ctmc: &Ctmc, t: f64) -> Vec<f64> {
     transient_from(ctmc, &ctmc.initial_distribution(), t)
 }
 
+/// [`transient`] with explicit engine configuration.
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite.
+pub fn transient_with(ctmc: &Ctmc, t: f64, opts: &TransientOptions) -> Vec<f64> {
+    transient_from_with(ctmc, &ctmc.initial_distribution(), t, opts)
+}
+
 /// Computes the state distribution at time `t` from an arbitrary initial
 /// distribution `pi0`.
 ///
@@ -63,21 +111,19 @@ pub fn transient(ctmc: &Ctmc, t: f64) -> Vec<f64> {
 /// Panics if `t` is negative or not finite, or if `pi0` has the wrong
 /// length.
 pub fn transient_from(ctmc: &Ctmc, pi0: &[f64], t: f64) -> Vec<f64> {
-    assert!(
-        t.is_finite() && t >= 0.0,
-        "time must be non-negative, got {t}"
-    );
-    assert_eq!(pi0.len(), ctmc.num_states(), "distribution length mismatch");
-    if t == 0.0 {
-        return pi0.to_vec();
-    }
-    let max_exit = ctmc.max_exit_rate();
-    if max_exit == 0.0 {
-        return pi0.to_vec(); // no transitions at all
-    }
-    // A little head-room keeps the DTMC aperiodic (self-loop mass > 0).
-    let unif = max_exit * 1.02;
-    sweep(ctmc, pi0, unif, t)
+    transient_from_with(ctmc, pi0, t, &TransientOptions::default())
+}
+
+/// [`transient_from`] with explicit engine configuration.
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite, or if `pi0` has the wrong
+/// length.
+pub fn transient_from_with(ctmc: &Ctmc, pi0: &[f64], t: f64, opts: &TransientOptions) -> Vec<f64> {
+    grid_solve(ctmc, pi0, &[t], opts, None)
+        .pop()
+        .expect("one grid point")
 }
 
 /// Computes the state distributions at every time in `ts` (any order,
@@ -93,98 +139,489 @@ pub fn transient_many(ctmc: &Ctmc, ts: &[f64]) -> Vec<Vec<f64>> {
     transient_many_from(ctmc, &ctmc.initial_distribution(), ts)
 }
 
+/// [`transient_many`] with explicit engine configuration.
+///
+/// # Panics
+///
+/// Panics if any time is negative or not finite.
+pub fn transient_many_with(ctmc: &Ctmc, ts: &[f64], opts: &TransientOptions) -> Vec<Vec<f64>> {
+    transient_many_from_with(ctmc, &ctmc.initial_distribution(), ts, opts)
+}
+
 /// Computes the state distributions at every time in `ts` from an
 /// arbitrary initial distribution `pi0` in one incremental sweep: the grid
 /// is visited in ascending order and the chain is advanced from each grid
 /// point to the next (exact by the Markov property), so the total work is
 /// proportional to `Λ·max(ts)` plus a per-point truncation overhead,
-/// instead of the scalar loop's `Λ·Σts`.
+/// instead of the scalar loop's `Λ·Σts` — or less, once steady-state
+/// detection answers the tail of the grid from the converged vector.
 ///
 /// # Panics
 ///
 /// Panics if any time is negative or not finite, or if `pi0` has the
 /// wrong length.
 pub fn transient_many_from(ctmc: &Ctmc, pi0: &[f64], ts: &[f64]) -> Vec<Vec<f64>> {
-    assert_eq!(pi0.len(), ctmc.num_states(), "distribution length mismatch");
-    for &t in ts {
-        assert!(
-            t.is_finite() && t >= 0.0,
-            "time must be non-negative, got {t}"
-        );
-    }
-    let mut order: Vec<usize> = (0..ts.len()).collect();
-    order.sort_by(|&a, &b| ts[a].total_cmp(&ts[b]));
-
-    let max_exit = ctmc.max_exit_rate();
-    let unif = max_exit * 1.02;
-    let mut results: Vec<Vec<f64>> = vec![Vec::new(); ts.len()];
-    let mut cur = pi0.to_vec();
-    let mut cur_t = 0.0f64;
-    for &i in &order {
-        let dt = ts[i] - cur_t;
-        if dt > 0.0 && max_exit > 0.0 {
-            cur = sweep(ctmc, &cur, unif, dt);
-            cur_t = ts[i];
-        }
-        results[i] = cur.clone();
-    }
-    results
+    transient_many_from_with(ctmc, pi0, ts, &TransientOptions::default())
 }
 
-/// One uniformization sweep: `π(t)` from `pi0` with uniformization rate
-/// `unif` (must exceed every exit rate) over horizon `t > 0`.
-fn sweep(ctmc: &Ctmc, pi0: &[f64], unif: f64, t: f64) -> Vec<f64> {
-    SWEEPS.with(|c| c.set(c.get() + 1));
-    let (left, weights) = poisson_weights(unif * t);
-    let n = ctmc.num_states();
-    // Self-loop probabilities of the uniformized DTMC, from the chain's
-    // cached exit rates.
-    let stay: Vec<f64> = ctmc.exit_rates().iter().map(|&e| 1.0 - e / unif).collect();
-    // Double-buffered stepping: `cur` and `next` swap roles each step, so
-    // the whole sweep costs two distribution buffers total instead of one
-    // fresh allocation per DTMC step (tens of thousands of steps on the
-    // long-horizon grids).
-    let mut cur = pi0.to_vec();
-    let mut next = vec![0.0f64; n];
-    let mut result = vec![0.0f64; n];
-    // Steps 0..left-1 only advance the power; steps left.. accumulate.
-    let mut step = 0usize;
-    let total_steps = left + weights.len();
-    while step < total_steps {
-        if step >= left {
-            let w = weights[step - left];
+/// [`transient_many_from`] with explicit engine configuration.
+///
+/// # Panics
+///
+/// Panics if any time is negative or not finite, or if `pi0` has the
+/// wrong length.
+pub fn transient_many_from_with(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    ts: &[f64],
+    opts: &TransientOptions,
+) -> Vec<Vec<f64>> {
+    grid_solve(ctmc, pi0, ts, opts, None)
+}
+
+/// [`transient_many_from_with`] with a caller-provided [`PoissonCache`],
+/// so repeated solves over the same grid (several measures of one batched
+/// query, Simpson integration, repeated sessions) expand each distinct
+/// `Λ·Δt` weight vector once.
+///
+/// # Panics
+///
+/// Panics if any time is negative or not finite, or if `pi0` has the
+/// wrong length.
+pub fn transient_many_from_cached(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    ts: &[f64],
+    opts: &TransientOptions,
+    cache: &PoissonCache,
+) -> Vec<Vec<f64>> {
+    grid_solve(ctmc, pi0, ts, opts, Some(cache))
+}
+
+/// The shared grid driver: one [`GridSolver`] per call.
+fn grid_solve(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    ts: &[f64],
+    opts: &TransientOptions,
+    cache: Option<&PoissonCache>,
+) -> Vec<Vec<f64>> {
+    let local_cache;
+    let cache = match cache {
+        Some(c) => c,
+        None => {
+            local_cache = PoissonCache::new();
+            &local_cache
+        }
+    };
+    GridSolver::new(ctmc, opts, cache).solve_from(pi0, ts)
+}
+
+/// A reusable grid driver over one chain: validates inputs, visits each
+/// grid in ascending order, and advances the chain segment by segment
+/// through a lazily built (and then reused) [`Stepper`]. Crate-internal
+/// so long chunked integrations (`csl::interval_down_fraction_with`) can
+/// amortize the stepping engine across chunks instead of rebuilding the
+/// prescaled transposed CSR per call.
+///
+/// Successive [`GridSolver::solve_from`] calls are treated as **one
+/// trajectory** continued piecewise (each call's `pi0` is the previous
+/// call's last result): once a segment reports steady-state convergence,
+/// all later grid points — in this call *and* in later calls — are
+/// answered from the converged vector.
+pub(crate) struct GridSolver<'a> {
+    ctmc: &'a Ctmc,
+    opts: &'a TransientOptions,
+    cache: &'a PoissonCache,
+    stepper: Option<Stepper>,
+    max_exit: f64,
+    unif: f64,
+    converged: bool,
+}
+
+impl<'a> GridSolver<'a> {
+    pub(crate) fn new(ctmc: &'a Ctmc, opts: &'a TransientOptions, cache: &'a PoissonCache) -> Self {
+        let max_exit = ctmc.max_exit_rate();
+        Self {
+            ctmc,
+            opts,
+            cache,
+            stepper: None,
+            max_exit,
+            unif: max_exit * UNIF_HEADROOM,
+            converged: false,
+        }
+    }
+
+    pub(crate) fn solve_from(&mut self, pi0: &[f64], ts: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            pi0.len(),
+            self.ctmc.num_states(),
+            "distribution length mismatch"
+        );
+        for &t in ts {
+            assert!(
+                t.is_finite() && t >= 0.0,
+                "time must be non-negative, got {t}"
+            );
+        }
+        let mut order: Vec<usize> = (0..ts.len()).collect();
+        order.sort_by(|&a, &b| ts[a].total_cmp(&ts[b]));
+
+        let mut results: Vec<Vec<f64>> = vec![Vec::new(); ts.len()];
+        let mut cur = pi0.to_vec();
+        let mut cur_t = 0.0f64;
+        for &i in &order {
+            let dt = ts[i] - cur_t;
+            if dt > 0.0 && self.max_exit > 0.0 && !self.converged {
+                let (ctmc, unif, opts) = (self.ctmc, self.unif, self.opts);
+                let st = self
+                    .stepper
+                    .get_or_insert_with(|| Stepper::new(ctmc, unif, opts));
+                let pw = self.cache.get(self.unif * dt);
+                SWEEPS.fetch_add(1, Ordering::Relaxed);
+                let (res, conv) = st.sweep(&cur, &pw, self.opts.steady_tol);
+                cur = res;
+                cur_t = ts[i];
+                self.converged = conv;
+            }
+            results[i] = cur.clone();
+        }
+        results
+    }
+}
+
+/// The steady-state detector fed one sup-norm step delta per DTMC step.
+///
+/// A small step delta alone does **not** mean the iterates are near the
+/// invariant vector: a slow mode with per-step contraction `ρ` close to 1
+/// still has `‖π_k − π_∞‖ ≈ δ_k / (1 − ρ)` left to travel, which can be
+/// orders of magnitude above `δ_k` on nearly-decoupled chains (rare
+/// failure rates next to fast repair rates — exactly the dependability
+/// regime). The detector therefore estimates the contraction from the
+/// recent delta history (`ρ̂` = the largest of the last 8 step-to-step
+/// ratios) and fires only when the **projected total remaining drift**
+/// `δ / (1 − ρ̂)` is within tolerance. When one mode dominates, the
+/// projection is tight; a fast-decaying transient cannot fake it because
+/// the ratio window has to see eight consecutive small ratios first.
+///
+/// The decision consumes only the global (order-independent) sup-norm
+/// delta, so the serial and sharded sweeps reach bitwise-identical
+/// verdicts.
+struct SteadyDetector {
+    tol: f64,
+    /// Last step-to-step delta ratios, clamped to `[0, 1]`; seeded with
+    /// the conservative 1.0 so no verdict fires before a full window.
+    ratios: [f64; 8],
+    idx: usize,
+    prev_delta: f64,
+}
+
+impl SteadyDetector {
+    fn new(tol: f64) -> Self {
+        Self {
+            tol,
+            ratios: [1.0; 8],
+            idx: 0,
+            prev_delta: f64::INFINITY,
+        }
+    }
+
+    /// Feeds the sup-norm delta of one step; returns whether the chain
+    /// is steady to within the tolerance.
+    fn feed(&mut self, delta: f64) -> bool {
+        if self.tol <= 0.0 {
+            return false;
+        }
+        if delta == 0.0 {
+            return true; // the iterate is exactly invariant
+        }
+        let ratio = if self.prev_delta.is_finite() && self.prev_delta > 0.0 {
+            (delta / self.prev_delta).min(1.0)
+        } else {
+            1.0
+        };
+        self.ratios[self.idx] = ratio;
+        self.idx = (self.idx + 1) % self.ratios.len();
+        self.prev_delta = delta;
+        let rho = self.ratios.iter().fold(0.0f64, |a, &b| a.max(b));
+        rho < 1.0 && delta <= self.tol * (1.0 - rho)
+    }
+}
+
+/// The uniformization stepping engine for one chain and one `Λ`: the
+/// prescaled transposed adjacency (`p = rate/Λ` per incoming transition),
+/// the per-state self-loop probabilities, and the shard partition.
+struct Stepper {
+    n: usize,
+    /// Self-loop probability `1 - exit/Λ` per state.
+    stay: Vec<f64>,
+    /// Transposed CSR offsets (`n + 1` entries).
+    inc_off: Vec<u32>,
+    /// Prescaled incoming transition probabilities, row-major.
+    inc_p: Vec<f64>,
+    /// Incoming transition sources, parallel to `inc_p`.
+    inc_src: Vec<u32>,
+    /// Contiguous row ranges, one per worker, balanced by transition
+    /// count. `len() == 1` selects the serial path.
+    shards: Vec<std::ops::Range<usize>>,
+}
+
+impl Stepper {
+    fn new(ctmc: &Ctmc, unif: f64, opts: &TransientOptions) -> Self {
+        let n = ctmc.num_states();
+        let (stay, inc_off, inc_p, inc_src) = prescaled_transpose(ctmc, unif);
+        let workers = ioimc::par::effective_threads(opts.threads);
+        let max_shards = (n / opts.shard_min.max(1)).max(1);
+        let shards = balanced_ranges(&inc_off, workers.min(max_shards));
+        Self {
+            n,
+            stay,
+            inc_off,
+            inc_p,
+            inc_src,
+            shards,
+        }
+    }
+
+    /// One state's next mass: `π[i]·stay[i] + Σ p·π[src]` over the
+    /// state's contiguous incoming slice. This is the **only** place a
+    /// row is computed — the serial and sharded paths both call it, which
+    /// is what makes their results bitwise identical.
+    #[inline]
+    fn row_value(&self, cur: &[f64], i: usize) -> f64 {
+        let lo = self.inc_off[i] as usize;
+        let hi = self.inc_off[i + 1] as usize;
+        let mut acc = cur[i] * self.stay[i];
+        for (&p, &j) in self.inc_p[lo..hi].iter().zip(&self.inc_src[lo..hi]) {
+            acc += p * cur[j as usize];
+        }
+        acc
+    }
+
+    /// One uniformization sweep: `π(Δt)` from `pi0` with the given
+    /// Poisson weights; returns the result and whether the **result** is
+    /// steady: detection fired (`tol > 0` and the step delta dropped
+    /// below it) *and* the Poisson mixture it produced is itself within
+    /// `tol` of the invariant iterate. The second condition is what lets
+    /// the grid driver answer later points from the result — the DTMC
+    /// iterates converging mid-sweep is not enough, because early
+    /// (pre-convergence) iterates still carry Poisson weight in the
+    /// mixture.
+    fn sweep(&self, pi0: &[f64], pw: &PoissonWeights, tol: f64) -> (Vec<f64>, bool) {
+        if self.shards.len() <= 1 {
+            self.sweep_serial(pi0, pw, tol)
+        } else {
+            self.sweep_sharded(pi0, pw, tol)
+        }
+    }
+
+    fn sweep_serial(&self, pi0: &[f64], pw: &PoissonWeights, tol: f64) -> (Vec<f64>, bool) {
+        let n = self.n;
+        let total = pw.left + pw.weights.len();
+        // Double-buffered stepping: `cur` and `nxt` swap roles each step,
+        // so the whole sweep costs two distribution buffers total.
+        let mut cur = pi0.to_vec();
+        let mut nxt = vec![0.0f64; n];
+        let mut result = vec![0.0f64; n];
+        let mut cum = 0.0f64;
+        let mut detector = SteadyDetector::new(tol);
+        // Steps 0..left-1 only advance the power; steps left.. accumulate.
+        for step in 0..total {
+            if step >= pw.left {
+                let w = pw.weights[step - pw.left];
+                for i in 0..n {
+                    result[i] += w * cur[i];
+                }
+                cum += w;
+            }
+            if step + 1 == total {
+                break;
+            }
+            DTMC_STEPS.fetch_add(1, Ordering::Relaxed);
+            let mut delta = 0.0f64;
             for i in 0..n {
-                result[i] += w * cur[i];
+                let v = self.row_value(&cur, i);
+                delta = delta.max((v - cur[i]).abs());
+                nxt[i] = v;
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            if detector.feed(delta) {
+                // Converged: the remaining Poisson tail all sits on the
+                // (now invariant) current vector.
+                let tail = 1.0 - cum;
+                let mut res_diff = 0.0f64;
+                for i in 0..n {
+                    result[i] += tail * cur[i];
+                    res_diff = res_diff.max((result[i] - cur[i]).abs());
+                }
+                return (result, res_diff <= tol);
             }
         }
-        step += 1;
-        if step < total_steps {
-            dtmc_step_into(ctmc, &cur, unif, &stay, &mut next);
-            std::mem::swap(&mut cur, &mut next);
-        }
+        (result, false)
     }
-    result
+
+    /// The sharded sweep: one scoped worker per shard, lockstep-stepped
+    /// with a [`Barrier`]. Each step has two phases — every worker gathers
+    /// its shard's rows from the shared previous vector into its private
+    /// out-buffer (and accumulates its shard of the weighted result), then
+    /// worker 0 alone copies the shard buffers back into the shared
+    /// vector, bumps the step counter and reduces the shard deltas for
+    /// steady-state detection. All workers take identical branches, so
+    /// the barrier stays aligned and the result is bitwise identical to
+    /// [`Stepper::sweep_serial`].
+    fn sweep_sharded(&self, pi0: &[f64], pw: &PoissonWeights, tol: f64) -> (Vec<f64>, bool) {
+        let nshards = self.shards.len();
+        let total = pw.left + pw.weights.len();
+        let cur = RwLock::new(pi0.to_vec());
+        let outs: Vec<Mutex<Vec<f64>>> = self
+            .shards
+            .iter()
+            .map(|r| Mutex::new(vec![0.0; r.len()]))
+            .collect();
+        let results: Vec<Mutex<Vec<f64>>> = self
+            .shards
+            .iter()
+            .map(|r| Mutex::new(vec![0.0; r.len()]))
+            .collect();
+        let deltas: Vec<Mutex<f64>> = (0..nshards).map(|_| Mutex::new(0.0)).collect();
+        // Sup-distance between each shard's final result and the
+        // converged iterate, filled in the early-stop branch only.
+        let res_diffs: Vec<Mutex<f64>> = (0..nshards).map(|_| Mutex::new(f64::INFINITY)).collect();
+        let barrier = Barrier::new(nshards);
+        let stop = AtomicBool::new(false);
+        // Fed only by worker 0 in the assembly phase, from the same
+        // global delta sequence the serial path sees.
+        let detector = Mutex::new(SteadyDetector::new(tol));
+        ioimc::par::run_workers(nshards, |w| {
+            let range = self.shards[w].clone();
+            let mut cum = 0.0f64;
+            for step in 0..total {
+                let last = step + 1 == total;
+                {
+                    let cur_g = cur.read().expect("no poisoned buffer");
+                    if step >= pw.left {
+                        let wt = pw.weights[step - pw.left];
+                        let mut res = results[w].lock().expect("no poisoned shard");
+                        for (k, i) in range.clone().enumerate() {
+                            res[k] += wt * cur_g[i];
+                        }
+                        cum += wt;
+                    }
+                    if !last {
+                        let mut out = outs[w].lock().expect("no poisoned shard");
+                        let mut dmax = 0.0f64;
+                        for (k, i) in range.clone().enumerate() {
+                            let v = self.row_value(&cur_g, i);
+                            dmax = dmax.max((v - cur_g[i]).abs());
+                            out[k] = v;
+                        }
+                        *deltas[w].lock().expect("no poisoned shard") = dmax;
+                    }
+                }
+                barrier.wait();
+                if !last && w == 0 {
+                    // Assembly phase: the other workers are parked on the
+                    // second barrier, so the write lock is uncontended.
+                    let mut cur_g = cur.write().expect("no poisoned buffer");
+                    for (s, r) in self.shards.iter().enumerate() {
+                        cur_g[r.clone()]
+                            .copy_from_slice(&outs[s].lock().expect("no poisoned shard"));
+                    }
+                    DTMC_STEPS.fetch_add(1, Ordering::Relaxed);
+                    let delta = deltas
+                        .iter()
+                        .fold(0.0f64, |a, d| a.max(*d.lock().expect("no poisoned shard")));
+                    if detector.lock().expect("no poisoned detector").feed(delta) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }
+                barrier.wait();
+                if last {
+                    break;
+                }
+                if stop.load(Ordering::SeqCst) {
+                    let cur_g = cur.read().expect("no poisoned buffer");
+                    let tail = 1.0 - cum;
+                    let mut res = results[w].lock().expect("no poisoned shard");
+                    let mut dmax = 0.0f64;
+                    for (k, i) in range.clone().enumerate() {
+                        res[k] += tail * cur_g[i];
+                        dmax = dmax.max((res[k] - cur_g[i]).abs());
+                    }
+                    *res_diffs[w].lock().expect("no poisoned shard") = dmax;
+                    break;
+                }
+            }
+        });
+        let mut result = vec![0.0f64; self.n];
+        for (s, r) in self.shards.iter().enumerate() {
+            result[r.clone()].copy_from_slice(&results[s].lock().expect("no poisoned shard"));
+        }
+        let steady = stop.load(Ordering::SeqCst)
+            && res_diffs
+                .iter()
+                .fold(0.0f64, |a, d| a.max(*d.lock().expect("no poisoned shard")))
+                <= tol;
+        (result, steady)
+    }
 }
 
-/// One step of the uniformized DTMC into a caller-provided buffer:
-/// `out = cur · (I + Q/Λ)`. Iterates the flat CSR arrays directly — one
-/// contiguous pass over all transitions per step.
-fn dtmc_step_into(ctmc: &Ctmc, cur: &[f64], unif: f64, stay: &[f64], out: &mut [f64]) {
-    DTMC_STEPS.with(|c| c.set(c.get() + 1));
+/// The uniformized DTMC `P = I + Q/Λ` in gather-friendly form: per-state
+/// self-loop probabilities (`stay = 1 − exit/Λ`) plus the transposed CSR
+/// adjacency with transition probabilities prescaled to `p = rate/Λ`
+/// (offsets / probabilities / sources as flat SoA arrays). Shared by the
+/// transient [`Stepper`] and the steady-state Krylov matvec so the two
+/// kernels cannot drift apart.
+pub(crate) fn prescaled_transpose(
+    ctmc: &Ctmc,
+    unif: f64,
+) -> (Vec<f64>, Vec<u32>, Vec<f64>, Vec<u32>) {
     let n = ctmc.num_states();
-    let off = ctmc.offsets();
-    let tr = ctmc.transitions();
-    out.fill(0.0);
-    for s in 0..n {
-        let mass = cur[s];
-        if mass == 0.0 {
-            continue;
+    let stay: Vec<f64> = ctmc.exit_rates().iter().map(|&e| 1.0 - e / unif).collect();
+    let incoming = ctmc.incoming();
+    let m = ctmc.num_transitions();
+    let mut inc_off = Vec::with_capacity(n + 1);
+    let mut inc_p = Vec::with_capacity(m);
+    let mut inc_src = Vec::with_capacity(m);
+    inc_off.push(0u32);
+    for i in 0..n as u32 {
+        for &(r, j) in incoming.row(i) {
+            inc_p.push(r / unif);
+            inc_src.push(j);
         }
-        out[s] += mass * stay[s];
-        for &(r, tgt) in &tr[off[s] as usize..off[s + 1] as usize] {
-            out[tgt as usize] += mass * r / unif;
+        inc_off.push(inc_p.len() as u32);
+    }
+    (stay, inc_off, inc_p, inc_src)
+}
+
+/// Splits the rows `0..n` into at most `shards` contiguous non-empty
+/// ranges with balanced work, where a row's work is `1 +` its incoming
+/// transition count.
+fn balanced_ranges(inc_off: &[u32], shards: usize) -> Vec<std::ops::Range<usize>> {
+    let n = inc_off.len() - 1;
+    if shards <= 1 || n <= 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let shards = shards.min(n);
+    let total = n as u64 + u64::from(inc_off[n]);
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc += 1 + u64::from(inc_off[i + 1] - inc_off[i]);
+        let closed = out.len();
+        let remaining = shards - closed - 1;
+        if remaining > 0
+            && acc * shards as u64 >= total * (closed as u64 + 1)
+            && n - (i + 1) >= remaining
+        {
+            out.push(start..i + 1);
+            start = i + 1;
         }
     }
+    out.push(start..n);
+    out
 }
 
 #[cfg(test)]
@@ -277,26 +714,6 @@ mod tests {
     }
 
     #[test]
-    fn batched_sweep_does_less_work_than_scalar_loop() {
-        let (l, m) = (0.2, 1.5);
-        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
-        let grid: Vec<f64> = (1..=50).map(|k| f64::from(k) * 4.0).collect();
-        reset_solver_counters();
-        for &t in &grid {
-            let _ = transient(&c, t);
-        }
-        let scalar_steps = dtmc_steps_performed();
-        assert_eq!(sweeps_performed(), 50);
-        reset_solver_counters();
-        let _ = transient_many(&c, &grid);
-        let batched_steps = dtmc_steps_performed();
-        assert!(
-            batched_steps * 5 <= scalar_steps,
-            "batched {batched_steps} vs scalar {scalar_steps} DTMC steps"
-        );
-    }
-
-    #[test]
     fn rateless_chain_grid_is_constant() {
         let c = Ctmc::new(vec![vec![]], vec![0], 0).unwrap();
         let pis = transient_many(&c, &[0.0, 1.0, 10.0]);
@@ -358,6 +775,134 @@ mod tests {
             }
             let sum: f64 = pi.iter().sum();
             assert!((sum - 1.0).abs() < 1e-10);
+        }
+    }
+
+    /// The sharded sweep is bitwise identical to the serial sweep for
+    /// every worker count and shard granularity (each row runs the same
+    /// per-row code either way).
+    #[test]
+    fn sharded_sweep_is_bitwise_identical_to_serial() {
+        // A chain with irregular in-degrees so shard boundaries differ by
+        // granularity: a star plus a ring.
+        let n = 97usize;
+        let rows: Vec<Vec<(f64, u32)>> = (0..n)
+            .map(|i| {
+                let mut row = vec![(0.3 + (i as f64) * 0.01, ((i + 1) % n) as u32)];
+                if i != 0 {
+                    row.push((0.7, 0)); // everyone feeds the hub
+                }
+                if i == 0 {
+                    for j in 1..n {
+                        row.push((0.05, j as u32));
+                    }
+                }
+                row
+            })
+            .collect();
+        let c = Ctmc::new(rows, vec![0; n], 0).unwrap();
+        let ts = [0.4, 1.7, 6.0, 6.0, 0.0];
+        let serial = transient_many_with(&c, &ts, &TransientOptions::default());
+        for threads in [2usize, 3, 4, 8] {
+            for shard_min in [1usize, 7, 24] {
+                let opts = TransientOptions::default()
+                    .with_threads(threads)
+                    .with_shard_min(shard_min);
+                let sharded = transient_many_with(&c, &ts, &opts);
+                assert_eq!(
+                    sharded, serial,
+                    "threads={threads} shard_min={shard_min}: not bitwise identical"
+                );
+            }
+        }
+    }
+
+    /// Shard ranges cover `0..n` contiguously, are non-empty, and respect
+    /// the requested count.
+    #[test]
+    fn balanced_ranges_partition_rows() {
+        // in-degrees 0,3,0,1,5,1 → offsets
+        let off = [0u32, 0, 3, 3, 4, 9, 10];
+        for shards in 1..=6 {
+            let ranges = balanced_ranges(&off, shards);
+            assert!(!ranges.is_empty() && ranges.len() <= shards);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 6);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                assert!(!w[1].is_empty());
+            }
+            assert!(!ranges[0].is_empty());
+        }
+    }
+
+    /// Steady-state detection answers long-horizon grids from the
+    /// converged vector: the detected run needs far fewer steps, agrees
+    /// with the undetected run to well below 1e-10, and still matches the
+    /// closed form.
+    #[test]
+    fn steady_detection_matches_undetected_sweep() {
+        let (l, m) = (0.2, 1.5);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let grid: Vec<f64> = (1..=20).map(|k| f64::from(k) * 50.0).collect();
+        let detected = transient_many_with(&c, &grid, &TransientOptions::default());
+        let exact =
+            transient_many_with(&c, &grid, &TransientOptions::default().with_steady_tol(0.0));
+        for (i, &t) in grid.iter().enumerate() {
+            let a = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
+            assert!((detected[i][0] - exact[i][0]).abs() < 1e-11, "t={t}");
+            assert!((detected[i][0] - a).abs() < 1e-10, "t={t}");
+        }
+    }
+
+    /// A nearly-decoupled chain — two fast clusters bridged by one rare
+    /// transition — must not trigger premature detection: the raw step
+    /// delta is tiny long before the slow mode has equilibrated (the
+    /// remaining distance is `δ / spectral gap`), so a plain
+    /// `δ ≤ steady_tol` check would freeze the grid on a vector still
+    /// far from steady. The projected-drift criterion has to see
+    /// through it and keep the long-horizon point at the true steady
+    /// state.
+    #[test]
+    fn detection_resists_nearly_decoupled_chains() {
+        let c = Ctmc::new(
+            vec![
+                vec![(1.0, 1), (1e-4, 2)], // fast cluster A, rare escape
+                vec![(1.0, 0)],
+                vec![(1.0, 3)], // fast cluster B
+                vec![(1.0, 2)],
+            ],
+            vec![0, 0, 1, 1],
+            0,
+        )
+        .unwrap();
+        // t1 sits where the raw step delta has already dropped below the
+        // default steady_tol while ~1e-9 of slow-mode mass is still in
+        // flight; t2 is far past mixing.
+        let grid = [4.2e5, 1e8];
+        let pis = transient_many_with(&c, &grid, &TransientOptions::default());
+        let steady = crate::steady::steady_state(&c);
+        for (a, b) in pis[1].iter().zip(&steady) {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "long-horizon point frozen before steady state: {a} vs {b}"
+            );
+        }
+    }
+
+    /// An absorbing chain converges once all mass is absorbed; detection
+    /// must stop the sweep and keep the absorbed mass exact.
+    #[test]
+    fn steady_detection_on_absorbing_chain() {
+        let l = 2.5;
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![]], vec![0, 1], 0).unwrap();
+        let grid = [5.0, 50.0, 500.0];
+        let pis = transient_many_with(&c, &grid, &TransientOptions::default());
+        for (&t, pi) in grid.iter().zip(&pis) {
+            let expected = 1.0 - (-l * t).exp();
+            assert!((pi[1] - expected).abs() < 1e-10, "t={t}: {}", pi[1]);
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
         }
     }
 }

@@ -77,6 +77,32 @@ pub fn par_map<T: Sync, U: Send>(
         .collect()
 }
 
+/// Runs `f(worker_index)` for every index in `0..workers` concurrently on
+/// scoped threads; worker `0` runs on the caller's thread. Unlike
+/// [`par_map`] this hands out *identities*, not items — it is the
+/// primitive for gang-style kernels (e.g. the sharded uniformization
+/// step in `ctmc::transient`) where long-lived workers coordinate through
+/// shared state and barriers instead of consuming a work list.
+///
+/// With `workers <= 1` the closure runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn run_workers(workers: usize, f: impl Fn(usize) + Sync) {
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            let f = &f;
+            s.spawn(move || f(w));
+        }
+        f(0);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +136,19 @@ mod tests {
     fn effective_threads_resolves_auto() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn run_workers_runs_every_identity_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        for workers in [1usize, 2, 4, 7] {
+            let seen: Vec<AtomicU32> = (0..workers).map(|_| AtomicU32::new(0)).collect();
+            run_workers(workers, |w| {
+                seen[w].fetch_add(1, Ordering::Relaxed);
+            });
+            for (w, s) in seen.iter().enumerate() {
+                assert_eq!(s.load(Ordering::Relaxed), 1, "worker {w} of {workers}");
+            }
+        }
     }
 }

@@ -4,11 +4,22 @@
 //! while agreeing with the scalar path to 1e-10 — checked on the DDS case
 //! study.
 
+use std::sync::Mutex;
+
 use arcade::build::observer::DOWN_BIT;
 use arcade::cases::dds::{dds_scaled, FIVE_WEEKS_H};
 use arcade::prelude::*;
 use ctmc::measures;
 use ctmc::transient::{dtmc_steps_performed, reset_solver_counters};
+
+/// The DTMC step counters are process-wide atomics, so every test in this
+/// binary serializes through this lock — a concurrent transient solve
+/// from a sibling test would otherwise leak steps into a measured window.
+static COUNTERS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    COUNTERS.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A 50-point unavailability + first-passage curve on the DDS case:
 /// exactly one aggregation (only the availability configuration is
@@ -16,6 +27,7 @@ use ctmc::transient::{dtmc_steps_performed, reset_solver_counters};
 /// steps than the per-point scalar loop — with identical values.
 #[test]
 fn dds_curve_batched_is_5x_cheaper_and_agrees() {
+    let _g = lock();
     let def = dds_scaled(1);
     let session = Session::new(&def).expect("valid DDS");
     let grid: Vec<f64> = (1..=50)
@@ -76,6 +88,7 @@ fn dds_curve_batched_is_5x_cheaper_and_agrees() {
 /// answers one measure at a time.
 #[test]
 fn session_batch_matches_analysis_report() {
+    let _g = lock();
     let mut def = SystemDef::new("xcheck");
     def.add_component(BcDef::new("pp", Dist::exp(0.02), Dist::exp(0.5)));
     def.add_component(
