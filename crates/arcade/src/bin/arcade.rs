@@ -3,8 +3,10 @@
 //! ```text
 //! arcade analyze  <model.arcade> [--time T]... [--json] [--dense-limit N]
 //!                                [--threads N] [--steady-tol X]
+//!                                [--adaptive 0|1] [--support-tol X]
 //! arcade modular  <model.arcade> [--time T]... [--json] [--dense-limit N]
 //!                                [--threads N] [--steady-tol X]
+//!                                [--adaptive 0|1] [--support-tol X]
 //! arcade simulate <model.arcade> --time T [--reps N] [--seed S]
 //! arcade check    <model.arcade>                          validate only
 //! arcade blocks   <model.arcade>                          block automaton sizes
@@ -19,9 +21,16 @@
 //! crossover (default 3000 states; `0` forces the sparse path — see
 //! [`ctmc::SolverOptions`]). `--threads` sets the worker count for both
 //! compositional aggregation *and* the sharded uniformization sweep
-//! (`0` = one per core; results are bitwise identical for every value),
-//! and `--steady-tol` tunes steady-state detection inside transient
-//! grids (`0` disables it — see [`ctmc::TransientOptions`]).
+//! (`0` = one per core, larger requests are clamped to the core count;
+//! results are bitwise identical for every value), and `--steady-tol`
+//! tunes steady-state detection inside transient grids (`0` disables it —
+//! see [`ctmc::TransientOptions`]). `--adaptive 0` switches the transient
+//! engine from the default adaptive windowed scheme (per-segment Λ over
+//! the distribution's ε-support) to the exact global-Λ full sweep, and
+//! `--support-tol` sets the adaptive engine's per-segment support
+//! truncation budget (`0` = lossless windowing). `analyze --json` also
+//! reports session counters (Poisson cache hits/misses, DTMC steps,
+//! sweeps) under `"stats"`.
 
 use std::process::ExitCode;
 
@@ -131,11 +140,14 @@ fn run(args: &[String]) -> Result<(), String> {
                         json_f64(values[5 + 3 * i]),
                     ));
                 }
+                let stats = session.stats();
                 println!(
                     "{{\"model\":{},\"ctmc\":{{\"states\":{},\"transitions\":{}}},\
                      \"largest_intermediate\":{{\"states\":{},\"transitions\":{}}},\
                      \"steady_state_availability\":{},\"steady_state_unavailability\":{},\
-                     \"mttf\":{},\"points\":[{points}]}}",
+                     \"mttf\":{},\"points\":[{points}],\
+                     \"stats\":{{\"poisson_hits\":{},\"poisson_misses\":{},\
+                     \"dtmc_steps\":{},\"sweeps\":{}}}}}",
                     json_str(&def.name),
                     agg.ctmc_stats.states,
                     agg.ctmc_stats.transitions(),
@@ -144,6 +156,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     json_f64(values[0]),
                     json_f64(values[1]),
                     json_f64(values[2]),
+                    stats.poisson_hits,
+                    stats.poisson_misses,
+                    stats.dtmc_steps,
+                    stats.sweeps,
                 );
                 return Ok(());
             }
@@ -251,8 +267,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// Engine options from the command line: the `--dense-limit` solver
 /// crossover, the `--threads` worker count (aggregation *and* sharded
-/// transient sweeps) and the `--steady-tol` detection threshold (see
-/// [`ctmc::SolverOptions`] / [`ctmc::TransientOptions`]).
+/// transient sweeps, clamped to the core count), the `--steady-tol`
+/// detection threshold, the `--adaptive` engine switch and the
+/// `--support-tol` windowing budget (see [`ctmc::SolverOptions`] /
+/// [`ctmc::TransientOptions`]).
 fn engine_options(args: &[String]) -> Result<EngineOptions, String> {
     let mut opts = EngineOptions::new();
     if let Some(&n) = flag_values(args, "--dense-limit")?.first() {
@@ -279,6 +297,22 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, String> {
             ));
         }
         opts.solver.transient.steady_tol = x;
+    }
+    if let Some(&x) = flag_values(args, "--adaptive")?.first() {
+        if x != 0.0 && x != 1.0 {
+            return Err(format!(
+                "--adaptive must be 0 (exact global-Λ engine) or 1 (adaptive windowed), got {x}"
+            ));
+        }
+        opts.solver.transient.adaptive = x != 0.0;
+    }
+    if let Some(&x) = flag_values(args, "--support-tol")?.first() {
+        if !(x.is_finite() && x >= 0.0) {
+            return Err(format!(
+                "--support-tol must be non-negative and finite (0 = lossless windowing), got {x}"
+            ));
+        }
+        opts.solver.transient.support_tol = x;
     }
     Ok(opts)
 }
@@ -339,6 +373,7 @@ fn json_str(s: &str) -> String {
 fn usage() -> String {
     "usage: arcade <analyze|modular|simulate|check|blocks|dot|format> <model.arcade> \
      [--time T]... [--json] [--reps N] [--seed S] [--dense-limit N] \
-     [--threads N (0 = auto)] [--steady-tol X (0 disables detection)]"
+     [--threads N (0 = auto)] [--steady-tol X (0 disables detection)] \
+     [--adaptive 0|1] [--support-tol X (0 = lossless windowing)]"
         .to_owned()
 }

@@ -4,4 +4,4 @@ pub mod dds;
 pub mod rcs;
 
 pub use dds::{dds, dds_scaled};
-pub use rcs::{rcs, rcs_scaled, rcs_scaled_kofn};
+pub use rcs::{rcs, rcs_scaled, rcs_scaled_kofn, rcs_stiff};

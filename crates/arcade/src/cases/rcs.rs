@@ -290,6 +290,87 @@ pub fn rcs_scaled_kofn(lines: usize, k: usize) -> SystemDef {
     def
 }
 
+/// Stiff repair-phase rate of the [`rcs_stiff`] family (per hour): three
+/// orders of magnitude above [`COMMON_REPAIR_RATE`], seven above the
+/// component failure rates.
+pub const STIFF_REPAIR_RATE: f64 = 100.0;
+
+/// Builds the **stiff** RCS family: `lines` redundant pump lines (pump +
+/// filter, load-sharing pumps on one FCFS repair unit) plus the heat
+/// exchanger and its filter, with every repair running at
+/// [`STIFF_REPAIR_RATE`] — seven orders of magnitude above the failure
+/// rates. The family exists to exercise the **adaptive-Λ lever** of the
+/// transient engine: the global uniformization rate is `O(components ·
+/// STIFF_REPAIR_RATE)` (many concurrent repairs), while virtually all
+/// probability mass sits on the all-up state and a thin shell of
+/// single-failure states whose exit rate is `O(STIFF_REPAIR_RATE)` —
+/// so a support-windowed, per-segment-Λ engine needs a small fraction of
+/// the classical scheme's DTMC steps and row traffic. Valves are left
+/// out to keep the family's state space lean (the windowing lever is
+/// benchmarked on `rcs_scaled`; this family isolates stiffness).
+///
+/// The system is down when all pump lines are down (a line needs its
+/// pump and filter) or the heat-exchanger unit fails.
+///
+/// # Panics
+///
+/// Panics if `lines < 2` (a single "redundant" line is not an RCS).
+pub fn rcs_stiff(lines: usize) -> SystemDef {
+    assert!(lines >= 2, "the RCS family needs at least two pump lines");
+    let mut def = SystemDef::new(format!("rcs-stiff-{lines}l"));
+
+    // Pumps with load sharing against every sibling, stiff shared repair.
+    let pump_names: Vec<String> = (1..=lines).map(|i| format!("P{i}")).collect();
+    for (i, me) in pump_names.iter().enumerate() {
+        let others: Vec<Expr> = pump_names
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, p)| Expr::down(p))
+            .collect();
+        def.add_component(
+            BcDef::new(
+                me,
+                Dist::erlang(2, PUMP_PHASE_RATE),
+                Dist::erlang(2, STIFF_REPAIR_RATE),
+            )
+            .with_om_group(OmGroup::NormalDegraded(Expr::Or(others)))
+            .with_ttf([
+                Dist::erlang(2, PUMP_PHASE_RATE),
+                Dist::erlang(2, PUMP_PHASE_RATE_DEGRADED),
+            ]),
+        );
+    }
+    def.add_repair_unit(RuDef::new(
+        "P.rep",
+        pump_names.clone(),
+        RepairStrategy::Fcfs,
+    ));
+
+    // Per-line filters and the heat-exchanger unit, stiff dedicated
+    // repair.
+    let stiff = |def: &mut SystemDef, name: &str, rate: f64| {
+        def.add_component(BcDef::new(
+            name,
+            Dist::exp(rate),
+            Dist::exp(STIFF_REPAIR_RATE),
+        ));
+        dedicated(def, name);
+    };
+    for line in 1..=lines {
+        stiff(&mut def, &format!("FP{line}"), FILTER_RATE);
+    }
+    stiff(&mut def, "HX", HX_RATE);
+    stiff(&mut def, "FHX", FILTER_RATE);
+
+    let line_down =
+        |i: usize| Expr::or([Expr::down(format!("P{i}")), Expr::down(format!("FP{i}"))]);
+    let hx_unit = Expr::or([Expr::down("HX"), Expr::down("FHX")]);
+    let line_failures: Vec<Expr> = (1..=lines).map(line_down).collect();
+    def.set_system_down(Expr::or([Expr::And(line_failures), hx_unit]));
+    def
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +447,27 @@ mod tests {
     #[should_panic(expected = "1 <= k <= lines")]
     fn kofn_rejects_bad_k() {
         let _ = rcs_scaled_kofn(3, 4);
+    }
+
+    #[test]
+    fn stiff_family_validates_and_is_stiff() {
+        for lines in 2..=3 {
+            let def = rcs_stiff(lines);
+            validate(&def).unwrap();
+            // lines pumps + lines filters + HX + FHX
+            assert_eq!(def.components.len(), 2 * lines + 2);
+            assert_eq!(def.repair_units.len(), 1 + lines + 2);
+        }
+        // Stiffness: repair-to-failure ratio spans ≥ 7 orders of
+        // magnitude — the regime the adaptive-Λ engine targets.
+        let stiffness = STIFF_REPAIR_RATE / PUMP_PHASE_RATE;
+        assert!(stiffness >= 1e7, "stiffness ratio fell to {stiffness:e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pump lines")]
+    fn stiff_family_rejects_single_line() {
+        let _ = rcs_stiff(1);
     }
 
     #[test]

@@ -121,7 +121,8 @@ pub enum Measure {
 }
 
 /// Cheap observability into what a [`Session`] has built so far — used by
-/// tests and benchmarks to assert the laziness/batching contract.
+/// tests and benchmarks to assert the laziness/batching contract, and
+/// surfaced by `arcade analyze --json`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionStats {
     /// Compositional aggregations run (≤ 2: availability, no-repair).
@@ -135,6 +136,16 @@ pub struct SessionStats {
     pub poisson_hits: u64,
     /// Poisson weight lookups that had to expand a fresh vector.
     pub poisson_misses: u64,
+    /// DTMC matrix-vector products performed since the session was
+    /// created. Read from the process-wide
+    /// [`ctmc::transient::dtmc_steps_performed`] counter, so concurrent
+    /// sessions in one process blur attribution — exact for the CLI's
+    /// one-session-per-process runs.
+    pub dtmc_steps: u64,
+    /// Uniformization sweeps (grid segments stepped) since the session
+    /// was created; same process-wide caveat as
+    /// [`SessionStats::dtmc_steps`].
+    pub sweeps: u64,
 }
 
 /// Per-configuration memo: the aggregation and everything derived from it.
@@ -174,6 +185,10 @@ pub struct Session {
     aggregations_built: Cell<u32>,
     absorbing_built: Cell<u32>,
     steady_solves: Cell<u32>,
+    /// Process-wide transient counter values captured at construction,
+    /// so [`Session::stats`] can report the work done since.
+    dtmc_steps_base: u64,
+    sweeps_base: u64,
 }
 
 impl Session {
@@ -197,6 +212,8 @@ impl Session {
             aggregations_built: Cell::new(0),
             absorbing_built: Cell::new(0),
             steady_solves: Cell::new(0),
+            dtmc_steps_base: ctmc::transient::dtmc_steps_performed(),
+            sweeps_base: ctmc::transient::sweeps_performed(),
         })
     }
 
@@ -220,6 +237,9 @@ impl Session {
             steady_solves: self.steady_solves.get(),
             poisson_hits: self.poisson.hits(),
             poisson_misses: self.poisson.misses(),
+            dtmc_steps: ctmc::transient::dtmc_steps_performed()
+                .saturating_sub(self.dtmc_steps_base),
+            sweeps: ctmc::transient::sweeps_performed().saturating_sub(self.sweeps_base),
         }
     }
 

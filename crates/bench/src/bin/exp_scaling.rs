@@ -1,37 +1,48 @@
-//! Scaling sweep — family size × thread count, plus sparse-solver and
-//! sharded-transient timings.
+//! Scaling sweep — family size × thread count, plus sparse-solver,
+//! sharded-transient and adaptive-engine timings.
 //!
 //! Aggregates the scaled case families (`dds_scaled(n)` disk clusters,
-//! `rcs_scaled(k)` pump lines and the `rcs_scaled_kofn(n, k)` k-of-n
-//! variant) at several engine thread counts and reports, per
-//! configuration: wall-clock time, speedup over the single-threaded run,
-//! the peak intermediate I/O-IMC sizes, and the final CTMC size. Every
-//! multi-threaded result is checked for exact equality with the
-//! single-threaded CTMC — the parallel engine is a scheduling change only.
+//! `rcs_scaled(k)` pump lines, the `rcs_scaled_kofn(n, k)` k-of-n variant
+//! and the stiff `rcs_stiff(k)` family) at several engine thread counts
+//! and reports, per configuration: wall-clock time, speedup over the
+//! single-threaded run, the peak intermediate I/O-IMC sizes, and the
+//! final CTMC size. Every multi-threaded result is checked for exact
+//! equality with the single-threaded CTMC — the parallel engine is a
+//! scheduling change only.
 //!
 //! After each family's aggregation sweep the final CTMC is **solved**:
 //! one steady-state distribution, then a 50-point transient
-//! (unavailability) grid at every transient thread count (`1, 2, 4` by
-//! default; `--threads N` adds `N`), each timed separately and asserted
-//! **bitwise identical** to the single-threaded grid — the sharded
-//! uniformization step is a scheduling change only. One extra grid run
-//! with steady-state detection disabled measures how many DTMC steps
-//! detection saves. Families above the [`SolverOptions::dense_limit`]
-//! exercise the sparse iterative path — the smoke subset includes
-//! `rcs_scaled(2)` (≈84k states, ≈1.1M transitions), which the run
-//! asserts is solved without the dense path.
+//! (unavailability) grid per requested transient thread count (`1, 2, 4`
+//! by default; `--threads N` adds `N`; requests are clamped to the
+//! machine's core count and both the requested and effective counts are
+//! recorded), each timed separately and asserted **bitwise identical**
+//! to the single-threaded grid. Two serial ablations follow:
+//!
+//! * the **exact global-Λ full-sweep engine** (`adaptive = false`) — the
+//!   run must agree with the adaptive windowed engine to ≤ 1e-10
+//!   sup-norm (the adaptive-engine regression gate), and the wall-clock
+//!   and DTMC-step ratios are the adaptive win;
+//! * **steady-state detection off** (`steady_tol = 0`) — must agree to
+//!   ≤ 1e-10, measuring the steps detection saves.
+//!
+//! Families above the [`SolverOptions::dense_limit`] exercise the sparse
+//! iterative path — the smoke subset includes `rcs_scaled(2)` (≈84k
+//! states, ≈1.1M transitions), which the run asserts is solved without
+//! the dense path, and `rcs_stiff(3)`, whose repair rates sit seven
+//! orders of magnitude above its failure rates (the adaptive-Λ stress).
 //!
 //! `--json` additionally writes every transient measurement to
-//! `BENCH_transient.json` (family, states, transitions, threads, steady
-//! and grid wall times, DTMC step counts) for the bench trajectory.
+//! `BENCH_transient.json` (family, states, transitions, engine,
+//! requested/effective threads, aggregation/steady/grid wall times, DTMC
+//! step counts) for the bench trajectory; CI uploads it as an artifact.
 //!
 //! Run: `cargo run --release -p arcade-bench --bin exp_scaling`
-//! (`-- --smoke` runs a minutes-sized subset for CI; `--smoke --threads 2`
-//! gates the sharded transient path).
+//! (`-- --smoke` runs a minutes-sized subset for CI; `--smoke --threads 2
+//! --json` gates the sharded transient path and the adaptive ablation).
 
 use std::time::Instant;
 
-use arcade::cases::{dds_scaled, rcs_scaled, rcs_scaled_kofn};
+use arcade::cases::{dds_scaled, rcs_scaled, rcs_scaled_kofn, rcs_stiff};
 use arcade::engine::{aggregate, Aggregation, EngineOptions};
 use arcade::model::SystemModel;
 use arcade::modular::modular_analysis;
@@ -45,8 +56,14 @@ struct TransientRecord {
     family: String,
     states: usize,
     transitions: usize,
-    threads: usize,
+    /// `"adaptive"` (windowed, per-segment Λ) or `"exact"` (global-Λ
+    /// full-sweep).
+    engine: &'static str,
+    threads_requested: usize,
+    threads_effective: usize,
     steady_tol: f64,
+    support_tol: f64,
+    aggregation_secs: f64,
     steady_secs: f64,
     grid_secs: f64,
     grid_points: usize,
@@ -63,9 +80,10 @@ fn main() {
         .filter_map(|w| w[1].parse().ok())
         .collect();
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // Always include a >1 worker count (even on small machines) so the
-    // parallel scheduling path is exercised; speedup is only meaningful
-    // up to `hw` workers.
+    // Always include a >1 worker request (even on small machines) so the
+    // parallel scheduling path is exercised where cores exist; requests
+    // are clamped to `hw` inside the engines, and both counts land in
+    // the records.
     let mut threads: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, hw] };
     threads.sort_unstable();
     threads.dedup();
@@ -131,6 +149,18 @@ fn main() {
         rcs_agg.ctmc.num_states() > SolverOptions::default().dense_limit,
         "rcs_scaled(2) no longer exceeds the dense limit — pick a bigger family"
     );
+    // The stiff family: repair rates seven orders of magnitude above the
+    // failure rates, so the adaptive per-segment Λ (chosen from the
+    // ε-support's exit rates) runs far below the global uniformization
+    // rate — the lever the exact-engine ablation quantifies.
+    sweep(
+        &mut table,
+        "rcs_stiff(3)",
+        &rcs_stiff(3),
+        &rcs_threads,
+        &transient_threads,
+        &mut records,
+    );
     if !smoke {
         sweep(
             &mut table,
@@ -164,11 +194,13 @@ fn main() {
     );
     println!();
     println!(
-        "every multi-threaded CTMC was verified identical to the 1-thread result, and \
-         every sharded transient grid bitwise identical to the serial grid; aggregation \
+        "every multi-threaded CTMC was verified identical to the 1-thread result, every \
+         sharded transient grid bitwise identical to the serial grid, and every adaptive \
+         windowed grid within 1e-10 of the exact global-Λ full-sweep engine; aggregation \
          speedups come from sibling fault-tree modules on worker threads, grid speedups \
-         from row-sharded DTMC steps and steady-state detection. families beyond the \
-         dense limit are solved on the sparse iterative path."
+         from the support-windowed adaptive engine, row sharding and steady-state \
+         detection. families beyond the dense limit are solved on the sparse iterative \
+         path."
     );
     if json {
         let path = "BENCH_transient.json";
@@ -208,7 +240,8 @@ fn sweep(
         // Solve the final chain once (on the first, single-threaded pass):
         // steady state plus the 50-point transient grids.
         let solve_cells = if baseline.is_none() {
-            let (steady_secs, grid_secs, unavail) = solve(family, &agg, transient_threads, records);
+            let (steady_secs, grid_secs, unavail) =
+                solve(family, &agg, transient_threads, secs, records);
             steady_unavail = unavail;
             (format!("{steady_secs:.3} s"), format!("{grid_secs:.3} s"))
         } else {
@@ -240,15 +273,26 @@ fn sweep(
     )
 }
 
-/// Solves steady state once, then the 50-point transient grid at every
-/// requested thread count (bitwise-checked against the serial grid) plus
+/// Sup-norm distance between two grids of distributions.
+fn grid_sup_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| x.iter().zip(y))
+        .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
+}
+
+/// Solves steady state once, then the 50-point transient grid on the
+/// adaptive engine at every requested thread count (bitwise-checked
+/// against the serial grid), one exact global-Λ full-sweep ablation
+/// (≤ 1e-10 agreement gate — the adaptive-engine regression check) and
 /// one detection-disabled ablation, appending a record per run. Returns
-/// the steady wall time, the serial grid wall time and the steady-state
-/// unavailability.
+/// the steady wall time, the serial adaptive grid wall time and the
+/// steady-state unavailability.
 fn solve(
     family: &str,
     agg: &Aggregation,
     transient_threads: &[usize],
+    aggregation_secs: f64,
     records: &mut Vec<TransientRecord>,
 ) -> (f64, f64, f64) {
     let ctmc = &agg.ctmc;
@@ -279,13 +323,17 @@ fn solve(
     // 50-point unavailability curve over a mission-sized horizon, one
     // incremental uniformization sweep per run.
     let grid: Vec<f64> = (1..=50).map(|k| k as f64 * 20.0).collect();
-    let mut push_record = |threads: usize, steady_tol: f64, grid_secs: f64, steps: u64| {
+    let mut push_record = |topts: &TransientOptions, engine, grid_secs: f64, steps: u64| {
         records.push(TransientRecord {
             family: family.to_owned(),
             states: ctmc.num_states(),
             transitions: ctmc.num_transitions(),
-            threads,
-            steady_tol,
+            engine,
+            threads_requested: topts.threads,
+            threads_effective: ioimc::par::effective_threads(topts.threads),
+            steady_tol: topts.steady_tol,
+            support_tol: topts.support_tol,
+            aggregation_secs,
             steady_secs,
             grid_secs,
             grid_points: grid.len(),
@@ -293,7 +341,7 @@ fn solve(
         });
     };
     let mut reference: Option<(f64, Vec<Vec<f64>>)> = None;
-    let mut detected_steps = 0u64;
+    let mut adaptive_steps = 0u64;
     for &th in transient_threads {
         let topts = TransientOptions::default().with_threads(th);
         reset_solver_counters();
@@ -301,9 +349,9 @@ fn solve(
         let curve = transient_many_with(ctmc, &grid, &topts);
         let grid_secs = start.elapsed().as_secs_f64();
         let steps = dtmc_steps_performed();
-        push_record(th, topts.steady_tol, grid_secs, steps);
+        push_record(&topts, "adaptive", grid_secs, steps);
         if reference.is_none() {
-            detected_steps = steps;
+            adaptive_steps = steps;
         }
         match &reference {
             None => {
@@ -317,7 +365,7 @@ fn solve(
                 }
                 println!(
                     "{family}: steady unavailability {unavail:.3e}, U({:.0}) = {:.3e}, \
-                     grid {grid_secs:.3} s at {th} thread(s) ({steps} DTMC steps)",
+                     grid {grid_secs:.3} s at {th} thread(s) ({steps} DTMC steps, adaptive)",
                     grid[grid.len() - 1],
                     state_mass(&down, &curve[curve.len() - 1])
                 );
@@ -336,28 +384,47 @@ fn solve(
             }
         }
     }
+    let (base_secs, base_curve) = reference.as_ref().expect("at least one thread count");
+
+    // Adaptive-engine ablation: the exact global-Λ full-sweep engine on
+    // the same serial grid. The agreement gate is the adaptive engine's
+    // regression check; the wall-clock and step ratios are its win.
+    let exact_opts = TransientOptions::default().with_adaptive(false);
+    reset_solver_counters();
+    let start = Instant::now();
+    let exact_curve = transient_many_with(ctmc, &grid, &exact_opts);
+    let exact_secs = start.elapsed().as_secs_f64();
+    let exact_steps = dtmc_steps_performed();
+    push_record(&exact_opts, "exact", exact_secs, exact_steps);
+    let adaptive_diff = grid_sup_diff(base_curve, &exact_curve);
+    assert!(
+        adaptive_diff < 1e-10,
+        "{family}: adaptive windowed grid deviates from the exact engine by {adaptive_diff:e}"
+    );
+    println!(
+        "{family}: adaptive {base_secs:.3} s / {adaptive_steps} steps vs exact \
+         {exact_secs:.3} s / {exact_steps} steps ({:.1}x wall, {:.1}x steps), \
+         grids agree to {adaptive_diff:.1e}",
+        exact_secs / base_secs,
+        exact_steps as f64 / adaptive_steps.max(1) as f64,
+    );
+
     // Detection ablation: the same serial grid with steady-state
     // detection off measures the DTMC steps the detector saves.
     let no_detect = TransientOptions::default().with_steady_tol(0.0);
     reset_solver_counters();
     let start = Instant::now();
-    let exact = transient_many_with(ctmc, &grid, &no_detect);
+    let undetected = transient_many_with(ctmc, &grid, &no_detect);
     let ablation_secs = start.elapsed().as_secs_f64();
     let ablation_steps = dtmc_steps_performed();
-    push_record(1, 0.0, ablation_secs, ablation_steps);
-    let (base_secs, base_curve) = reference.as_ref().expect("at least one thread count");
-    let mut max_diff = 0.0f64;
-    for (a, b) in base_curve.iter().zip(&exact) {
-        for (x, y) in a.iter().zip(b) {
-            max_diff = max_diff.max((x - y).abs());
-        }
-    }
+    push_record(&no_detect, "adaptive", ablation_secs, ablation_steps);
+    let max_diff = grid_sup_diff(base_curve, &undetected);
     assert!(
         max_diff < 1e-10,
         "{family}: steady-state detection perturbed the grid by {max_diff:e}"
     );
     println!(
-        "{family}: detection {detected_steps} vs {ablation_steps} DTMC steps \
+        "{family}: detection {adaptive_steps} vs {ablation_steps} DTMC steps \
          (ablation {ablation_secs:.3} s), grids agree to {max_diff:.1e}"
     );
     (steady_secs, *base_secs, unavail)
@@ -372,14 +439,20 @@ fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
             rows.push(',');
         }
         rows.push_str(&format!(
-            "\n  {{\"family\":\"{}\",\"states\":{},\"transitions\":{},\"threads\":{},\
-             \"steady_tol\":{:e},\"steady_secs\":{:.6},\"grid_secs\":{:.6},\
+            "\n  {{\"family\":\"{}\",\"states\":{},\"transitions\":{},\"engine\":\"{}\",\
+             \"threads_requested\":{},\"threads_effective\":{},\
+             \"steady_tol\":{:e},\"support_tol\":{:e},\"aggregation_secs\":{:.6},\
+             \"steady_secs\":{:.6},\"grid_secs\":{:.6},\
              \"grid_points\":{},\"dtmc_steps\":{}}}",
             r.family,
             r.states,
             r.transitions,
-            r.threads,
+            r.engine,
+            r.threads_requested,
+            r.threads_effective,
             r.steady_tol,
+            r.support_tol,
+            r.aggregation_secs,
             r.steady_secs,
             r.grid_secs,
             r.grid_points,

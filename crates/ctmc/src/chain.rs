@@ -320,6 +320,96 @@ impl Ctmc {
         d[self.initial as usize] = 1.0;
         d
     }
+
+    /// Breadth-first locality ordering from a set of root states: states
+    /// are renumbered in BFS visit order (roots in the order given, ties
+    /// within a frontier by outgoing-adjacency order), so every state at
+    /// BFS distance `l` occupies a contiguous index range ("level") and
+    /// all out-neighbors of levels `0..=l` lie within levels `0..=l + 1`
+    /// — the property the windowed transient engine relies on to keep
+    /// its active row window a contiguous, cache-resident prefix. States
+    /// unreachable from the roots are appended after the last level in
+    /// ascending original order (they can never carry probability mass
+    /// flowing out of the roots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root is out of range or `roots` is empty.
+    pub fn bfs_order(&self, roots: impl IntoIterator<Item = u32>) -> BfsOrder {
+        let n = self.num_states();
+        let mut perm = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut level_off = vec![0u32];
+        for r in roots {
+            assert!((r as usize) < n, "BFS root {r} out of range");
+            if !seen[r as usize] {
+                seen[r as usize] = true;
+                perm.push(r);
+            }
+        }
+        assert!(!perm.is_empty(), "BFS needs at least one root");
+        level_off.push(perm.len() as u32);
+        let mut frontier_start = 0usize;
+        while frontier_start < perm.len() {
+            let frontier_end = perm.len();
+            for k in frontier_start..frontier_end {
+                for &(_, t) in self.row(perm[k]) {
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        perm.push(t);
+                    }
+                }
+            }
+            if perm.len() > frontier_end {
+                level_off.push(perm.len() as u32);
+            }
+            frontier_start = frontier_end;
+        }
+        let reachable = perm.len();
+        for s in 0..n as u32 {
+            if !seen[s as usize] {
+                perm.push(s);
+            }
+        }
+        BfsOrder {
+            perm,
+            level_off,
+            reachable,
+        }
+    }
+}
+
+/// A breadth-first state renumbering of a [`Ctmc`] (see
+/// [`Ctmc::bfs_order`]): `perm[new] = old`, with BFS level `l` occupying
+/// the contiguous new-index range `level_off[l]..level_off[l + 1]` and
+/// unreachable states packed after index `reachable`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsOrder {
+    /// New index → original state id; roots first, then level by level,
+    /// then the unreachable states.
+    pub perm: Vec<u32>,
+    /// Level boundaries in new indices (`levels + 1` entries, starting at
+    /// 0 and ending at [`BfsOrder::reachable`]).
+    pub level_off: Vec<u32>,
+    /// Number of states reachable from the roots; `perm[reachable..]` are
+    /// the unreachable states.
+    pub reachable: usize,
+}
+
+impl BfsOrder {
+    /// Number of BFS levels (root level included).
+    pub fn num_levels(&self) -> usize {
+        self.level_off.len() - 1
+    }
+
+    /// The inverse permutation: original state id → new index.
+    pub fn inverse(&self) -> Vec<u32> {
+        let mut inv = vec![0u32; self.perm.len()];
+        for (new, &old) in self.perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        inv
+    }
 }
 
 /// Incremental CSR assembly: rows arrive in state order, are validated,
@@ -530,5 +620,81 @@ mod tests {
     fn initial_distribution_is_unit_mass() {
         let c = Ctmc::new(vec![vec![(1.0, 1)], vec![]], vec![0, 0], 1).unwrap();
         assert_eq!(c.initial_distribution(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn bfs_order_levels_are_distances() {
+        // 0 -> 1 -> 2 -> 3, plus a back edge 3 -> 0 and an unreachable 4.
+        let c = Ctmc::new(
+            vec![
+                vec![(1.0, 1)],
+                vec![(1.0, 2)],
+                vec![(1.0, 3)],
+                vec![(1.0, 0)],
+                vec![(1.0, 0)],
+            ],
+            vec![0; 5],
+            0,
+        )
+        .unwrap();
+        let order = c.bfs_order([0]);
+        assert_eq!(order.perm, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order.level_off, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order.reachable, 4);
+        assert_eq!(order.num_levels(), 4);
+        assert_eq!(order.inverse(), vec![0, 1, 2, 3, 4]);
+    }
+
+    /// The level property the windowed engine needs: every out-neighbor
+    /// of a state in level `l` sits in a level `<= l + 1`.
+    #[test]
+    fn bfs_order_neighbors_stay_within_one_level() {
+        // A denser chain: star + ring + some shortcuts.
+        let n = 23usize;
+        let rows: Vec<Vec<(f64, u32)>> = (0..n)
+            .map(|i| {
+                let mut row = vec![(1.0, ((i + 1) % n) as u32)];
+                if i % 3 == 0 {
+                    row.push((0.5, ((i + 7) % n) as u32));
+                }
+                if i != 0 {
+                    row.push((0.2, 0));
+                }
+                row
+            })
+            .collect();
+        let c = Ctmc::new(rows, vec![0; n], 0).unwrap();
+        let order = c.bfs_order([0]);
+        assert_eq!(order.reachable, n);
+        let inv = order.inverse();
+        let level_of = |new: usize| -> usize {
+            order
+                .level_off
+                .partition_point(|&o| o as usize <= new)
+                .saturating_sub(1)
+        };
+        for s in 0..n as u32 {
+            let ls = level_of(inv[s as usize] as usize);
+            for &(_, t) in c.row(s) {
+                let lt = level_of(inv[t as usize] as usize);
+                assert!(lt <= ls + 1, "{s}(level {ls}) -> {t}(level {lt})");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_order_multi_root_and_unreachable_tail() {
+        let c = Ctmc::new(
+            vec![vec![(1.0, 2)], vec![(1.0, 2)], vec![], vec![(1.0, 0)]],
+            vec![0; 4],
+            0,
+        )
+        .unwrap();
+        let order = c.bfs_order([1, 0]);
+        // Roots in the order given, then their joint frontier, then the
+        // unreachable state 3.
+        assert_eq!(order.perm, vec![1, 0, 2, 3]);
+        assert_eq!(order.level_off, vec![0, 2, 3]);
+        assert_eq!(order.reachable, 3);
     }
 }

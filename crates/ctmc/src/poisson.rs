@@ -25,10 +25,23 @@ pub struct PoissonWeights {
     pub weights: Vec<f64>,
 }
 
+impl PoissonWeights {
+    /// The number of DTMC powers a uniformization sweep consuming these
+    /// weights visits: the truncation's right edge `left + len` (powers
+    /// below `left` are stepped through without accumulating).
+    pub fn total_steps(&self) -> usize {
+        self.left + self.weights.len()
+    }
+}
+
 /// A thread-safe memo of [`poisson_weights`] results keyed by the exact
 /// bit pattern of `λ`. Shared across the sweeps of a batched transient
 /// query (and, through `arcade`'s `Session`, across whole measure
 /// batches) so identical uniformization parameters are expanded once.
+/// The adaptive transient engine keys by its per-segment `Λ_seg·Δt`:
+/// once a grid's support (and hence `Λ_seg`) stabilizes, every later
+/// uniform segment — and every Λ-escalation retry that lands on a
+/// previously tried rate — hits the memo.
 #[derive(Debug, Default)]
 pub struct PoissonCache {
     entries: Mutex<HashMap<u64, Arc<PoissonWeights>>>,
@@ -204,6 +217,22 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_lambda_panics() {
         let _ = poisson_weights(-1.0);
+    }
+
+    #[test]
+    fn total_steps_is_the_truncation_right_edge() {
+        let (left, weights) = poisson_weights(2500.0);
+        let pw = PoissonWeights { left, weights };
+        assert!(pw.left > 0, "large λ truncates the left tail");
+        assert_eq!(pw.total_steps(), pw.left + pw.weights.len());
+        assert_eq!(
+            PoissonWeights {
+                left: 0,
+                weights: vec![1.0]
+            }
+            .total_steps(),
+            1
+        );
     }
 
     #[test]

@@ -45,10 +45,11 @@ pub enum IterativeMethod {
 ///
 /// * `threads` — worker threads for the DTMC matrix-vector step. `0`
 ///   means one worker per available core, `1` (the default) forces the
-///   sequential path. The sharded step computes every state's inflow
-///   with exactly the per-row code the serial path runs, so results are
-///   **bitwise identical** for every thread count and shard size; only
-///   the wall clock changes.
+///   sequential path; requests above the machine's core count are
+///   clamped (oversubscribed lockstep workers are strictly slower). The
+///   sharded step computes every state's inflow with exactly the per-row
+///   code the serial path runs, so results are **bitwise identical** for
+///   every thread count and shard size; only the wall clock changes.
 /// * `shard_min` — minimum number of states per shard. Chains with fewer
 ///   than `2 * shard_min` states run serially no matter the thread count
 ///   (fan-out overhead would dominate); larger chains get at most
@@ -67,6 +68,27 @@ pub enum IterativeMethod {
 ///   orders of magnitude slower than everything visible in the delta
 ///   history can still evade it, as with any detection that does not
 ///   eigen-analyze the chain.
+/// * `adaptive` — selects the **adaptive, support-windowed** engine
+///   (default): the transposed operator is stored with raw rates over a
+///   BFS locality reordering, the uniformization rate `Λ` is re-chosen
+///   per grid segment from the maximum exit rate of the distribution's
+///   current ε-support, and each DTMC step gathers only the contiguous
+///   window of rows reachable from that support. `false` selects the
+///   exact global-Λ full-sweep engine (every row, `Λ` from the global
+///   maximum exit rate) — the reference the adaptive engine is
+///   ablation-tested against. See [`crate::transient`] for the error
+///   budget.
+/// * `support_tol` — the adaptive engine's per-segment mass budget for
+///   support truncation: within one grid segment, the probability mass
+///   dropped across the four truncation channels (trailing-level
+///   shrinking, up-front zeroing of dust on states hotter than `Λ_seg`,
+///   frozen-frontier escape, exit-capped inflow — a quarter of the
+///   budget each) is bounded by `support_tol`, so a `k`-segment grid
+///   answers within `k · support_tol` (sup-norm) of the exact engine, on
+///   top of the shared `~1e-15` Poisson truncation. `0.0` makes the
+///   windowing lossless (the window expands whenever any mass could
+///   escape, and `Λ_seg` covers every state carrying mass). Ignored by
+///   the exact engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientOptions {
     /// Worker threads for the sharded DTMC step (see type docs).
@@ -75,6 +97,12 @@ pub struct TransientOptions {
     pub shard_min: usize,
     /// Steady-state detection threshold; `0.0` disables (see type docs).
     pub steady_tol: f64,
+    /// Engine selection: adaptive windowed (default) vs exact global-Λ
+    /// full-sweep (see type docs).
+    pub adaptive: bool,
+    /// Per-segment support-truncation mass budget of the adaptive engine;
+    /// `0.0` keeps the windowing lossless (see type docs).
+    pub support_tol: f64,
 }
 
 impl Default for TransientOptions {
@@ -83,6 +111,8 @@ impl Default for TransientOptions {
             threads: 1,
             shard_min: 4096,
             steady_tol: 1e-13,
+            adaptive: true,
+            support_tol: 1e-14,
         }
     }
 }
@@ -104,6 +134,20 @@ impl TransientOptions {
     /// (`0.0` disables detection).
     pub fn with_steady_tol(mut self, steady_tol: f64) -> Self {
         self.steady_tol = steady_tol;
+        self
+    }
+
+    /// Returns a copy selecting the adaptive windowed engine (`true`, the
+    /// default) or the exact global-Λ full-sweep engine (`false`).
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Returns a copy with the given per-segment support-truncation mass
+    /// budget (`0.0` keeps the windowing lossless).
+    pub fn with_support_tol(mut self, support_tol: f64) -> Self {
+        self.support_tol = support_tol;
         self
     }
 }

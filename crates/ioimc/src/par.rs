@@ -17,12 +17,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Resolves a user-facing thread-count knob: `0` means one worker per
-/// available core, anything else is taken literally.
+/// available core; any other request is **clamped to the core count** —
+/// oversubscribed workers are strictly slower than the serial path for
+/// the lockstep (barrier-synced) kernels this module feeds, because a
+/// descheduled worker stalls the whole gang at every step. Results never
+/// depend on the worker count, so the clamp is a pure scheduling change.
 pub fn effective_threads(threads: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        cores
     } else {
-        threads
+        threads.min(cores)
     }
 }
 
@@ -133,9 +138,13 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_resolves_auto() {
-        assert!(effective_threads(0) >= 1);
-        assert_eq!(effective_threads(3), 3);
+    fn effective_threads_resolves_auto_and_clamps() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(effective_threads(0), cores);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(3), 3.min(cores));
+        // Oversubscription requests collapse to the core count.
+        assert_eq!(effective_threads(cores + 100), cores);
     }
 
     #[test]

@@ -68,6 +68,38 @@ fn dds_measures_match_pre_csr_refactor_values() {
     }
 }
 
+/// The same DDS pins, re-asserted per transient engine: the default
+/// adaptive windowed engine and the exact global-Λ full-sweep engine
+/// must both reproduce the pinned numbers to ≤ 1e-10 relative — the
+/// adaptive engine's support truncation (default budget 1e-14 per grid
+/// segment) is invisible at this precision. This is the paper-numbers
+/// leg of the adaptive-engine regression gate (`exp_scaling` carries the
+/// full-distribution leg).
+#[test]
+fn dds_measures_pinned_on_both_transient_engines() {
+    let measures = [
+        Measure::UnreliabilityWithRepair(840.0),
+        Measure::Unreliability(84.0),
+        Measure::Unreliability(420.0),
+        Measure::Unreliability(840.0),
+        Measure::PointUnavailability(840.0),
+    ];
+    let mut exact_opts = EngineOptions::new();
+    exact_opts.solver.transient.adaptive = false;
+    let adaptive = Session::new(&dds()).expect("DDS session");
+    let exact = Session::new(&dds())
+        .expect("DDS session")
+        .with_options(exact_opts);
+    let a = adaptive.evaluate(&measures).expect("adaptive batch");
+    let e = exact.evaluate(&measures).expect("exact batch");
+    for ((m, &got), &want) in measures.iter().zip(&a).zip(&e) {
+        assert!(
+            (got - want).abs() <= 1e-10 * want.abs().max(1e-300),
+            "{m:?}: adaptive {got:.17e} vs exact {want:.17e}"
+        );
+    }
+}
+
 /// §5.1.2: the full monolithic aggregation of the DDS yields exactly the
 /// paper's 2,100-state / 15,120-transition CTMC.
 #[test]
