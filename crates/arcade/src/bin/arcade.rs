@@ -142,7 +142,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 let stats = session.stats();
                 println!(
-                    "{{\"model\":{},\"ctmc\":{{\"states\":{},\"transitions\":{}}},\
+                    "{{\"model\":{},\"schema_version\":1,\
+                     \"ctmc\":{{\"states\":{},\"transitions\":{}}},\
                      \"largest_intermediate\":{{\"states\":{},\"transitions\":{}}},\
                      \"steady_state_availability\":{},\"steady_state_unavailability\":{},\
                      \"mttf\":{},\"points\":[{points}],\

@@ -56,6 +56,19 @@
 //! The eager [`Analysis`] API remains as a thin compatibility wrapper
 //! over the session. The same model can be written in the paper's textual
 //! syntax and parsed with [`parser::parse_system`].
+//!
+//! # Serving
+//!
+//! For repeated queries, pay the aggregation once and keep the session
+//! **resident**: the [`serve`] module implements `arcaded`, a
+//! dependency-free TCP daemon speaking newline-delimited JSON that owns a
+//! registry of named models and a concurrent cache of warm sessions.
+//! Identical cold requests are deduplicated in flight (N clients → one
+//! aggregation), and a `stats` command surfaces cache/dedup counters plus
+//! per-phase latency quantiles. Run it with
+//! `cargo run --release -p arcade --bin arcaded`, or embed the server
+//! in-process via [`serve::serve`]. See [`serve`] for the wire protocol
+//! and [`serve::protocol`] for the measure-spec reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,6 +88,7 @@ pub mod order;
 pub mod parser;
 pub mod printer;
 pub mod query;
+pub mod serve;
 pub mod sim;
 
 pub use analysis::Analysis;

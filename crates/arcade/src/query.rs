@@ -70,8 +70,8 @@
 //! # Ok::<(), arcade::ArcadeError>(())
 //! ```
 
-use std::cell::{Cell, OnceCell};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use ctmc::csl::StateFormula;
 use ctmc::measures::state_mass as mass;
@@ -148,14 +148,35 @@ pub struct SessionStats {
     pub sweeps: u64,
 }
 
+/// What one [`Session::evaluate_traced`] call did to the aggregation
+/// cache — the attribution record the `arcaded` server turns into its
+/// cache-hit / cache-miss / in-flight-dedup counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalTrace {
+    /// Aggregations this call ran itself (cold configurations it built).
+    pub built: u32,
+    /// Aggregations this call needed while another thread was already
+    /// building them — it blocked on the shared cell instead of
+    /// duplicating the build.
+    pub waited: u32,
+}
+
 /// Per-configuration memo: the aggregation and everything derived from it.
+///
+/// Every slot is a [`OnceLock`], so a `Session` shared behind an [`Arc`]
+/// can be queried from many threads at once: the first thread to need an
+/// artifact builds it while every concurrent requester **blocks on the
+/// same cell** — N simultaneous cold queries trigger exactly one
+/// aggregation (the in-flight dedup the `arcaded` server relies on). A
+/// failed aggregation is cached too: the build is deterministic, so the
+/// error is permanent for this definition and rebuilding cannot help.
 #[derive(Debug, Clone, Default)]
 struct ConfigCache {
-    agg: OnceCell<Aggregation>,
-    steady: OnceCell<Vec<f64>>,
-    down: OnceCell<Arc<[u32]>>,
-    absorbing: OnceCell<Ctmc>,
-    mttf: OnceCell<f64>,
+    agg: OnceLock<Result<Aggregation, ArcadeError>>,
+    steady: OnceLock<Vec<f64>>,
+    down: OnceLock<Arc<[u32]>>,
+    absorbing: OnceLock<Ctmc>,
+    mttf: OnceLock<f64>,
 }
 
 /// Which model configuration a measure needs.
@@ -169,7 +190,15 @@ enum Config {
 
 /// A lazy, memoizing measure-evaluation session over one system
 /// definition. See the module docs for the caching contract.
-#[derive(Debug, Clone)]
+///
+/// A `Session` is `Send + Sync`: share one behind an [`Arc`] and query it
+/// from any number of threads. Every cached artifact sits in a
+/// [`OnceLock`], so concurrent first requests for the same artifact block
+/// on one build instead of duplicating it, and repeat queries are
+/// lock-free reads. Answers are identical to single-threaded evaluation —
+/// the memoized artifacts are built by exactly the code the serial path
+/// runs (and the engines themselves are bitwise thread-count-invariant).
+#[derive(Debug)]
 pub struct Session {
     def: SystemDef,
     opts: EngineOptions,
@@ -182,13 +211,32 @@ pub struct Session {
     /// exact `Λ·Δt` keys, so repeated measures over the same grid expand
     /// each weight vector once.
     poisson: PoissonCache,
-    aggregations_built: Cell<u32>,
-    absorbing_built: Cell<u32>,
-    steady_solves: Cell<u32>,
+    aggregations_built: AtomicU32,
+    absorbing_built: AtomicU32,
+    steady_solves: AtomicU32,
     /// Process-wide transient counter values captured at construction,
     /// so [`Session::stats`] can report the work done since.
     dtmc_steps_base: u64,
     sweeps_base: u64,
+}
+
+impl Clone for Session {
+    /// Clones the definition, options and every artifact cached so far
+    /// (counter snapshots included) — the clone answers warm queries warm.
+    fn clone(&self) -> Self {
+        Self {
+            def: self.def.clone(),
+            opts: self.opts.clone(),
+            availability: self.availability.clone(),
+            no_repair: self.no_repair.clone(),
+            poisson: self.poisson.clone(),
+            aggregations_built: AtomicU32::new(self.aggregations_built.load(Ordering::Relaxed)),
+            absorbing_built: AtomicU32::new(self.absorbing_built.load(Ordering::Relaxed)),
+            steady_solves: AtomicU32::new(self.steady_solves.load(Ordering::Relaxed)),
+            dtmc_steps_base: self.dtmc_steps_base,
+            sweeps_base: self.sweeps_base,
+        }
+    }
 }
 
 impl Session {
@@ -209,9 +257,9 @@ impl Session {
             availability: ConfigCache::default(),
             no_repair: ConfigCache::default(),
             poisson: PoissonCache::new(),
-            aggregations_built: Cell::new(0),
-            absorbing_built: Cell::new(0),
-            steady_solves: Cell::new(0),
+            aggregations_built: AtomicU32::new(0),
+            absorbing_built: AtomicU32::new(0),
+            steady_solves: AtomicU32::new(0),
             dtmc_steps_base: ctmc::transient::dtmc_steps_performed(),
             sweeps_base: ctmc::transient::sweeps_performed(),
         })
@@ -232,9 +280,9 @@ impl Session {
     /// What has been built so far.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
-            aggregations_built: self.aggregations_built.get(),
-            absorbing_built: self.absorbing_built.get(),
-            steady_solves: self.steady_solves.get(),
+            aggregations_built: self.aggregations_built.load(Ordering::Relaxed),
+            absorbing_built: self.absorbing_built.load(Ordering::Relaxed),
+            steady_solves: self.steady_solves.load(Ordering::Relaxed),
             poisson_hits: self.poisson.hits(),
             poisson_misses: self.poisson.misses(),
             dtmc_steps: ctmc::transient::dtmc_steps_performed()
@@ -257,16 +305,43 @@ impl Session {
         }
     }
 
-    /// The aggregation of `cfg`, built on first use.
-    fn aggregation(&self, cfg: Config) -> Result<&Aggregation, ArcadeError> {
+    /// The aggregation of `cfg`, built on first use. Concurrent callers
+    /// block on the same [`OnceLock`], so a cold configuration is
+    /// aggregated exactly once no matter how many threads race for it;
+    /// `opts` overrides the engine options the winning build runs with
+    /// (results are thread-count-invariant, so which caller wins never
+    /// changes the artifact). When `trace` is given, it records whether
+    /// this call ran the build itself or blocked on one in flight.
+    fn aggregation_traced(
+        &self,
+        cfg: Config,
+        opts: &EngineOptions,
+        trace: Option<&TraceCells>,
+    ) -> Result<&Aggregation, ArcadeError> {
         let cache = self.cache(cfg);
-        if cache.agg.get().is_none() {
-            let agg = build_aggregation(&self.config_def(cfg), &self.opts)?;
-            self.aggregations_built
-                .set(self.aggregations_built.get() + 1);
-            let _ = cache.agg.set(agg);
+        let was_missing = cache.agg.get().is_none();
+        let mut ran = false;
+        let res = cache.agg.get_or_init(|| {
+            ran = true;
+            let agg = build_aggregation(&self.config_def(cfg), opts);
+            if agg.is_ok() {
+                self.aggregations_built.fetch_add(1, Ordering::Relaxed);
+            }
+            agg
+        });
+        if let Some(t) = trace {
+            if ran {
+                t.built.fetch_add(1, Ordering::Relaxed);
+            } else if was_missing {
+                t.waited.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        Ok(cache.agg.get().expect("just built"))
+        res.as_ref().map_err(Clone::clone)
+    }
+
+    /// The aggregation of `cfg`, built on first use (session options).
+    fn aggregation(&self, cfg: Config) -> Result<&Aggregation, ArcadeError> {
+        self.aggregation_traced(cfg, &self.opts, None)
     }
 
     /// Builds every configuration in `need` that is still missing. The
@@ -280,7 +355,7 @@ impl Session {
     ///
     /// Propagates composition/determinism/analysis errors (the first, in
     /// `Config` declaration order).
-    fn prefetch(&self, need: &[Config]) -> Result<(), ArcadeError> {
+    fn prefetch(&self, need: &[Config], trace: Option<&TraceCells>) -> Result<(), ArcadeError> {
         let missing: Vec<Config> = need
             .iter()
             .copied()
@@ -289,25 +364,23 @@ impl Session {
         let threads = ioimc::par::effective_threads(self.opts.threads);
         if missing.len() > 1 && threads > 1 {
             // Split the thread budget across the configuration builds to
-            // bound the total thread count.
+            // bound the total thread count. Each worker still routes
+            // through the configuration's OnceLock, so a concurrent
+            // evaluator racing this prefetch never duplicates a build.
             let worker_opts = self
                 .opts
                 .clone()
                 .with_threads(ioimc::par::split_budget(threads, missing.len()));
-            let jobs: Vec<(Config, SystemDef)> =
-                missing.iter().map(|&c| (c, self.config_def(c))).collect();
-            let results = ioimc::par::par_map(missing.len(), &jobs, |_, (_, def)| {
-                build_aggregation(def, &worker_opts)
+            let results = ioimc::par::par_map(missing.len(), &missing, |_, &cfg| {
+                self.aggregation_traced(cfg, &worker_opts, trace)
+                    .map(|_| ())
             });
-            for ((cfg, _), agg) in jobs.into_iter().zip(results) {
-                let agg = agg?;
-                self.aggregations_built
-                    .set(self.aggregations_built.get() + 1);
-                let _ = self.cache(cfg).agg.set(agg);
+            for r in results {
+                r?;
             }
         } else {
             for c in missing {
-                self.aggregation(c)?;
+                self.aggregation_traced(c, &self.opts, trace)?;
             }
         }
         Ok(())
@@ -323,7 +396,7 @@ impl Session {
     ///
     /// Propagates composition/determinism/analysis errors.
     pub fn prefetch_all(&self) -> Result<(), ArcadeError> {
-        self.prefetch(&[Config::Availability, Config::NoRepair])
+        self.prefetch(&[Config::Availability, Config::NoRepair], None)
     }
 
     /// The aggregation of the availability configuration (repairs active),
@@ -358,7 +431,7 @@ impl Session {
     fn steady(&self, cfg: Config) -> Result<&[f64], ArcadeError> {
         let ctmc = &self.aggregation(cfg)?.ctmc;
         Ok(self.cache(cfg).steady.get_or_init(|| {
-            self.steady_solves.set(self.steady_solves.get() + 1);
+            self.steady_solves.fetch_add(1, Ordering::Relaxed);
             ctmc::steady::steady_state_with(ctmc, &self.opts.solver)
         }))
     }
@@ -367,7 +440,7 @@ impl Session {
         let down = self.down_states(cfg)?;
         let ctmc = &self.aggregation(cfg)?.ctmc;
         Ok(self.cache(cfg).absorbing.get_or_init(|| {
-            self.absorbing_built.set(self.absorbing_built.get() + 1);
+            self.absorbing_built.fetch_add(1, Ordering::Relaxed);
             ctmc.make_absorbing(down.iter().copied())
         }))
     }
@@ -428,6 +501,24 @@ impl Session {
         .collect())
     }
 
+    /// Builds exactly the configurations `measures` will need, without
+    /// evaluating anything, and reports what that did to the aggregation
+    /// cache. A subsequent [`Session::evaluate`] of the same batch finds
+    /// every aggregation warm — the `arcaded` server uses this to time
+    /// the build phase separately from the sweep phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn prefetch_measures(&self, measures: &[Measure]) -> Result<EvalTrace, ArcadeError> {
+        let trace = TraceCells::default();
+        self.prefetch(&needed_configs(measures), Some(&trace))?;
+        Ok(EvalTrace {
+            built: trace.built.load(Ordering::Relaxed),
+            waited: trace.waited.load(Ordering::Relaxed),
+        })
+    }
+
     /// Evaluates one measure. Prefer [`Session::evaluate`] for curves —
     /// single values still benefit from the session's memoized artifacts.
     ///
@@ -447,6 +538,24 @@ impl Session {
     ///
     /// Propagates composition/determinism/analysis errors.
     pub fn evaluate(&self, measures: &[Measure]) -> Result<Vec<f64>, ArcadeError> {
+        Ok(self.evaluate_traced(measures)?.0)
+    }
+
+    /// Like [`Session::evaluate`], additionally reporting what this call
+    /// did to the aggregation cache: how many cold configurations it
+    /// built itself, and how many builds already in flight on other
+    /// threads it blocked on ([`EvalTrace`]). A fully warm call reports
+    /// zeros for both — the attribution the `arcaded` server's
+    /// cache-hit/miss/dedup counters are made of.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/determinism/analysis errors.
+    pub fn evaluate_traced(
+        &self,
+        measures: &[Measure],
+    ) -> Result<(Vec<f64>, EvalTrace), ArcadeError> {
+        let trace = TraceCells::default();
         // Gather the time grids per (configuration, kind).
         let mut unavail_ts = Vec::new();
         let mut fp_repair_ts = Vec::new();
@@ -477,7 +586,7 @@ impl Session {
         if !fp_norepair_ts.is_empty() {
             need.push(Config::NoRepair);
         }
-        self.prefetch(&need)?;
+        self.prefetch(&need, Some(&trace))?;
         let unavail = if unavail_ts.is_empty() {
             Vec::new()
         } else {
@@ -546,8 +655,43 @@ impl Session {
             };
             out.push(v);
         }
-        Ok(out)
+        Ok((
+            out,
+            EvalTrace {
+                built: trace.built.load(Ordering::Relaxed),
+                waited: trace.waited.load(Ordering::Relaxed),
+            },
+        ))
     }
+}
+
+/// Internal, thread-shared accumulation cells behind [`EvalTrace`] (the
+/// parallel prefetch records from worker threads).
+#[derive(Debug, Default)]
+struct TraceCells {
+    built: AtomicU32,
+    waited: AtomicU32,
+}
+
+/// The model configurations a measure batch needs: the no-repair
+/// configuration for (un)reliability, the availability configuration for
+/// everything else — the same rule [`Session::evaluate`] applies while
+/// gathering its grids.
+fn needed_configs(measures: &[Measure]) -> Vec<Config> {
+    let mut need = Vec::new();
+    if measures
+        .iter()
+        .any(|m| !matches!(m, Measure::Reliability(_) | Measure::Unreliability(_)))
+    {
+        need.push(Config::Availability);
+    }
+    if measures
+        .iter()
+        .any(|m| matches!(m, Measure::Reliability(_) | Measure::Unreliability(_)))
+    {
+        need.push(Config::NoRepair);
+    }
+    need
 }
 
 /// Elaborates `def` and runs compositional aggregation — the unit of work

@@ -1,0 +1,179 @@
+//! A minimal blocking client for the `arcaded` line protocol.
+//!
+//! One JSON object per line out, one per line back — see
+//! [`super::protocol`] for the wire format. The client is what the
+//! `serve_smoke` CI binary and the `serve_bench` load generator use, and
+//! doubles as the reference implementation for talking to the daemon
+//! from other tooling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use super::json::Json;
+use super::protocol::ProtoError;
+
+/// A persistent connection to an `arcaded` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from connecting.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Connects, retrying for up to `budget` (for racing a server that is
+    /// still booting).
+    ///
+    /// # Errors
+    ///
+    /// The final connect error once the budget is exhausted.
+    pub fn connect_retry(addr: &str, budget: Duration) -> std::io::Result<Self> {
+        let started = std::time::Instant::now();
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if started.elapsed() >= budget => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request object and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors on the socket, or a protocol-level error when the
+    /// response is not parseable JSON or the connection closed early.
+    pub fn roundtrip(&mut self, request: &Json) -> Result<Json, ProtoError> {
+        let io_err = |e: std::io::Error| ProtoError::with_code("io", e.to_string());
+        let mut line = request.to_string();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes()).map_err(io_err)?;
+        self.stream.flush().map_err(io_err)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(io_err)?;
+        if n == 0 {
+            return Err(ProtoError::with_code(
+                "io",
+                "server closed the connection".to_owned(),
+            ));
+        }
+        Json::parse(response.trim_end())
+            .map_err(|e| ProtoError::with_code("bad_json", format!("unparseable response: {e}")))
+    }
+
+    /// A `query` request: evaluates `measures` (protocol measure specs —
+    /// strings or `{kind, t}` objects) against `model`, returning the full
+    /// response object.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the server's structured error when the
+    /// response has `ok: false`.
+    pub fn query(
+        &mut self,
+        model: &str,
+        measures: Json,
+        times: Option<Json>,
+    ) -> Result<Json, ProtoError> {
+        let mut fields = vec![("model", Json::str(model)), ("measures", measures)];
+        if let Some(times) = times {
+            fields.push(("times", times));
+        }
+        self.expect_ok(&Json::obj(fields))
+    }
+
+    /// A `stats` request.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a server-side error response.
+    pub fn stats(&mut self) -> Result<Json, ProtoError> {
+        self.expect_ok(&Json::obj([("cmd", Json::str("stats"))]))
+    }
+
+    /// A `ping` request.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a server-side error response.
+    pub fn ping(&mut self) -> Result<Json, ProtoError> {
+        self.expect_ok(&Json::obj([("cmd", Json::str("ping"))]))
+    }
+
+    /// A `shutdown` request (the server acknowledges, then stops).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a server-side error response.
+    pub fn shutdown(&mut self) -> Result<Json, ProtoError> {
+        self.expect_ok(&Json::obj([("cmd", Json::str("shutdown"))]))
+    }
+
+    /// Sends `request` and converts an `ok: false` response into the
+    /// structured [`ProtoError`] it carries.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the decoded server error.
+    pub fn expect_ok(&mut self, request: &Json) -> Result<Json, ProtoError> {
+        let response = self.roundtrip(request)?;
+        if response.get("ok") == Some(&Json::Bool(true)) {
+            return Ok(response);
+        }
+        let (code, message) = response
+            .get("error")
+            .map(|e| {
+                (
+                    e.get("code").and_then(Json::as_str).unwrap_or("error"),
+                    e.get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown server error"),
+                )
+            })
+            .unwrap_or(("error", "malformed error response"));
+        // Error codes on the wire are dynamic; map the known ones back to
+        // their static names so callers can match on `err.code`.
+        let known = [
+            "bad_json",
+            "bad_request",
+            "unknown_model",
+            "model_error",
+            "oversized",
+            "shutting_down",
+        ];
+        let code = known
+            .iter()
+            .find(|k| **k == code)
+            .copied()
+            .unwrap_or("error");
+        Err(ProtoError::with_code(code, message.to_owned()))
+    }
+
+    /// The values array of a query response as `f64`s.
+    ///
+    /// # Errors
+    ///
+    /// `bad_json` when the response has no numeric `values` array.
+    pub fn values(response: &Json) -> Result<Vec<f64>, ProtoError> {
+        response
+            .get("values")
+            .and_then(Json::as_arr)
+            .map(|vs| vs.iter().filter_map(Json::as_f64).collect::<Vec<f64>>())
+            .ok_or_else(|| {
+                ProtoError::with_code("bad_json", "response has no values array".to_owned())
+            })
+    }
+}

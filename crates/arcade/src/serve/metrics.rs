@@ -1,0 +1,214 @@
+//! Server-level counters and latency histograms for the `/stats`
+//! (`"cmd":"stats"`) endpoint.
+//!
+//! Everything here is lock-free: plain [`AtomicU64`] counters plus a
+//! fixed-size logarithmic [`Histogram`] per request phase. The histogram
+//! buckets latencies by the bit length of the microsecond count (64
+//! power-of-two buckets), so recording is one `fetch_add` and quantile
+//! estimates are exact to within a factor of two — plenty for the p50/p99
+//! trend lines `BENCH_serve.json` tracks, at zero contention on the hot
+//! path. Quantiles are reported as the **upper edge** of the bucket the
+//! rank falls into (a conservative estimate, never under-reporting).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use super::json::Json;
+
+/// A fixed-size log₂ histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples with `floor(log2(us)) == i` (bucket 0
+    /// also holds sub-microsecond samples).
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = (63 - us.max(1).leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Conservative quantile estimate in microseconds: the upper edge of
+    /// the bucket holding the `q`-th ranked sample (`q` in `[0, 1]`);
+    /// `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the requested quantile, 1-based, clamped into range.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in snapshot.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { (2u64 << i) - 1 });
+            }
+        }
+        unreachable!("rank is clamped to the total")
+    }
+
+    /// Mean latency in microseconds; `None` when empty.
+    pub fn mean_us(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum_us.load(Ordering::Relaxed) as f64 / n as f64)
+    }
+
+    /// The histogram as a JSON object (`count`, `mean_us`, `p50_us`,
+    /// `p99_us`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count() as f64)),
+            ("mean_us", opt_num(self.mean_us())),
+            ("p50_us", opt_num(self.quantile_us(0.50).map(|x| x as f64))),
+            ("p99_us", opt_num(self.quantile_us(0.99).map(|x| x as f64))),
+        ])
+    }
+}
+
+fn opt_num(x: Option<f64>) -> Json {
+    x.map_or(Json::Null, Json::Num)
+}
+
+/// All server-level counters, shared by every worker.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total requests received (every parsed or attempted line).
+    pub requests: AtomicU64,
+    /// Requests answered with a structured error.
+    pub errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Query requests answered from an already-warm session.
+    pub cache_hits: AtomicU64,
+    /// Query requests that created (and built) a new session entry.
+    pub cache_misses: AtomicU64,
+    /// Query requests that found the session build already **in flight**
+    /// and blocked on the shared once-cell instead of duplicating it.
+    pub dedup_waits: AtomicU64,
+    /// Wall time spent parsing request lines.
+    pub parse: Histogram,
+    /// Wall time spent resolving/building sessions (cold builds dominate).
+    pub build: Histogram,
+    /// Wall time spent in `Session::evaluate`.
+    pub evaluate: Histogram,
+    /// End-to-end request wall time (parse → response written).
+    pub total: Histogram,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One relaxed increment.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as the `"server"` object of the stats response.
+    pub fn to_json(&self) -> Json {
+        let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        Json::obj([
+            ("requests", load(&self.requests)),
+            ("errors", load(&self.errors)),
+            ("connections", load(&self.connections)),
+            ("cache_hits", load(&self.cache_hits)),
+            ("cache_misses", load(&self.cache_misses)),
+            ("dedup_waits", load(&self.dedup_waits)),
+            (
+                "latency",
+                Json::obj([
+                    ("parse", self.parse.to_json()),
+                    ("build", self.build.to_json()),
+                    ("evaluate", self.evaluate.to_json()),
+                    ("total", self.total.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        for us in [3u64, 5, 9, 100, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        // p50 is the 3rd sample (9µs) → bucket [8,16) → upper edge 15.
+        assert_eq!(h.quantile_us(0.5), Some(15));
+        // p99 lands on the largest sample's bucket [512,1024).
+        assert_eq!(h.quantile_us(0.99), Some(1023));
+        // p0 clamps to the first sample's bucket.
+        assert_eq!(h.quantile_us(0.0), Some(3));
+        let mean = h.mean_us().unwrap();
+        assert!((mean - 223.4).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(u64::MAX / 2_000_000));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.0), Some(1));
+        assert!(h.quantile_us(1.0).unwrap() > 1 << 40);
+    }
+
+    #[test]
+    fn metrics_snapshot_shape() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        m.total.record(Duration::from_micros(42));
+        let j = m.to_json();
+        assert_eq!(j.get("requests").and_then(Json::as_f64), Some(1.0));
+        let lat = j.get("latency").unwrap();
+        assert_eq!(
+            lat.get("total")
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(lat.get("parse").unwrap().get("p50_us"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,72 @@
+//! `arcaded`: a resident analysis server over the [`Session`] engine.
+//!
+//! Aggregating a model once and answering many measure queries against
+//! the warm session is the whole point of the lazy query engine — but a
+//! CLI process pays the aggregation on every invocation. This module
+//! keeps the sessions **resident**: a small dependency-free TCP daemon
+//! (std [`std::net::TcpListener`], hand-rolled JSON) that owns a
+//! [`registry::Registry`] of named models and answers measure batches
+//! from warm [`Session`]s.
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON, one object per line, persistent connections.
+//! See [`protocol`] for the full request/response reference. The
+//! essentials:
+//!
+//! ```text
+//! → {"model":"dds","measures":["unavailability"],"times":[100,1000]}
+//! ← {"ok":true,"schema_version":1,"model":"dds","values":[...],
+//!    "cold":false,"trace":{"built":0,"waited":0},"session":{...},
+//!    "timings":{"build_us":...,"evaluate_us":...}}
+//! → {"cmd":"stats"}
+//! ← {"ok":true,"schema_version":1,"uptime_secs":...,"server":{...},
+//!    "models":[{"name":...,"stats":{...}}]}
+//! ```
+//!
+//! Other commands: `ping`, `list`, `load` (register a model from Arcade
+//! textual syntax), `shutdown`. Errors are structured:
+//! `{"ok":false,"error":{"code":...,"message":...}}`.
+//!
+//! # Caching and dedup semantics
+//!
+//! Two layers, both once-cell based (see [`registry`]):
+//!
+//! * one cell per model **name** — concurrent cold lookups create exactly
+//!   one [`Session`];
+//! * once-cells per expensive artifact **inside** the shared session —
+//!   N clients racing the same cold query trigger exactly one
+//!   aggregation; the other N−1 block on the in-flight build instead of
+//!   duplicating it. The server surfaces which side of the race each
+//!   query was on as `cache_misses` / `dedup_waits` / `cache_hits` in
+//!   the stats endpoint.
+//!
+//! Results served from a warm session are bitwise identical to calling
+//! [`Session::evaluate`] directly — the server adds routing, not math.
+//!
+//! # Running it
+//!
+//! ```text
+//! arcaded --addr 127.0.0.1:7171 --workers 4 --preload dds
+//! ```
+//!
+//! then talk to it with [`client::Client`] (or `nc`: one JSON object per
+//! line). `serve_bench` (crates/bench) load-tests an in-process server
+//! and writes `BENCH_serve.json`; `serve_smoke` is the CI client that
+//! checks cold/warm/dedup behavior against a booted daemon.
+//!
+//! [`Session`]: crate::query::Session
+//! [`Session::evaluate`]: crate::query::Session::evaluate
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use json::Json;
+pub use protocol::{expand_measures, ProtoError};
+pub use registry::Registry;
+pub use server::{serve, ServerConfig, ServerHandle, PROTOCOL_VERSION};

@@ -1,0 +1,414 @@
+//! The `arcaded` wire protocol: newline-delimited JSON requests.
+//!
+//! One request is one JSON object on one line; the server answers with
+//! exactly one JSON object on one line. Connections are persistent — a
+//! client may send any number of requests back to back.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"cmd":"query","model":"dds","measures":["unavailability"],"times":[10,20]}
+//! {"cmd":"stats"}
+//! {"cmd":"list"}
+//! {"cmd":"load","name":"mine","source":"<model in Arcade textual syntax>"}
+//! {"cmd":"ping"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! `"cmd"` defaults to `"query"` when omitted and a `"model"` field is
+//! present. A query names a model from the registry (a built-in family
+//! like `dds` / `rcs_scaled(2)` or a previously `load`-ed model) and a
+//! measure batch. Measures are either plain strings — time-dependent
+//! kinds are then **crossed with the request's `"times"` grid** — or
+//! objects `{"kind":"reliability","t":100}` carrying their own time
+//! point:
+//!
+//! | kind                          | timed | evaluates                                  |
+//! |-------------------------------|-------|--------------------------------------------|
+//! | `steady_state_availability`   | no    | [`Measure::SteadyStateAvailability`]       |
+//! | `steady_state_unavailability` | no    | [`Measure::SteadyStateUnavailability`]     |
+//! | `mttf`                        | no    | [`Measure::Mttf`]                          |
+//! | `availability`                | yes   | [`Measure::PointAvailability`]             |
+//! | `unavailability`              | yes   | [`Measure::PointUnavailability`]           |
+//! | `reliability`                 | yes   | [`Measure::Reliability`]                   |
+//! | `unreliability`               | yes   | [`Measure::Unreliability`]                 |
+//! | `unreliability_with_repair`   | yes   | [`Measure::UnreliabilityWithRepair`]       |
+//! | `interval_availability`       | yes   | [`Measure::IntervalAvailability`]          |
+//!
+//! (The CSL `BoundedUntil` measure needs a formula encoding and is not
+//! exposed over the wire.)
+//!
+//! # Responses
+//!
+//! Success: `{"ok":true,...}` with command-specific payload; a query
+//! answers `{"ok":true,"model":...,"values":[...],"cold":bool,
+//! "session":{...SessionStats...},"timings":{"build_us":...,"evaluate_us":...}}`
+//! with `values` in measure-expansion order (object measures in place,
+//! string measures expanded across the sorted request grid in the order
+//! given). Failure: `{"ok":false,"error":{"code":...,"message":...}}`
+//! where `code` is one of `bad_json`, `bad_request`, `unknown_model`,
+//! `model_error`, `oversized`, `shutting_down`.
+
+use std::fmt;
+
+use super::json::Json;
+use crate::query::Measure;
+
+/// A structured protocol error: a machine-readable code plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable error class.
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A `bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            code: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    /// An error with an explicit code.
+    pub fn with_code(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The error as a response line payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::obj([
+                    ("code", Json::str(self.code)),
+                    ("message", Json::str(self.message.clone())),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate a measure batch against a named model.
+    Query {
+        /// Registry name of the model.
+        model: String,
+        /// The expanded measure batch (strings already crossed with the
+        /// request grid).
+        measures: Vec<Measure>,
+    },
+    /// Server + per-model counters.
+    Stats,
+    /// Names the registry can currently serve.
+    List,
+    /// Parse `source` (Arcade textual syntax) and register it as `name`.
+    Load {
+        /// Registry name for the model.
+        name: String,
+        /// Model text.
+        source: String,
+    },
+    /// Liveness check.
+    Ping,
+    /// Ask the daemon to shut down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line (already JSON-decoded).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] with code `bad_request` on any malformed request.
+    pub fn from_json(v: &Json) -> Result<Request, ProtoError> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(ProtoError::bad_request("request must be a JSON object"));
+        }
+        let cmd = match v.get("cmd") {
+            None if v.get("model").is_some() => "query",
+            None => {
+                return Err(ProtoError::bad_request(
+                    "missing `cmd` (and no `model` to default to a query)",
+                ))
+            }
+            Some(c) => c
+                .as_str()
+                .ok_or_else(|| ProtoError::bad_request("`cmd` must be a string"))?,
+        };
+        match cmd {
+            "query" => {
+                let model = v
+                    .get("model")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("query needs a string `model`"))?;
+                let measures = expand_measures(v)?;
+                Ok(Request::Query {
+                    model: model.to_owned(),
+                    measures,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "list" => Ok(Request::List),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "load" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("load needs a string `name`"))?;
+                let source = v
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("load needs a string `source`"))?;
+                if name.is_empty() {
+                    return Err(ProtoError::bad_request("load `name` must be non-empty"));
+                }
+                Ok(Request::Load {
+                    name: name.to_owned(),
+                    source: source.to_owned(),
+                })
+            }
+            other => Err(ProtoError::bad_request(format!(
+                "unknown command `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Expands the `"measures"` array of a query object against its
+/// `"times"` grid into concrete [`Measure`]s, in wire order. Exposed so
+/// clients (the smoke client, the load generator) can reproduce the exact
+/// batch the server evaluates and cross-check values bitwise.
+///
+/// # Errors
+///
+/// [`ProtoError`] (`bad_request`) on an empty/missing batch, an unknown
+/// kind, a timed kind without times, or a non-finite/negative time.
+pub fn expand_measures(v: &Json) -> Result<Vec<Measure>, ProtoError> {
+    let specs = v
+        .get("measures")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::bad_request("query needs a `measures` array"))?;
+    if specs.is_empty() {
+        return Err(ProtoError::bad_request("`measures` must be non-empty"));
+    }
+    let times: Vec<f64> = match v.get("times") {
+        None => Vec::new(),
+        Some(ts) => {
+            let arr = ts
+                .as_arr()
+                .ok_or_else(|| ProtoError::bad_request("`times` must be an array"))?;
+            arr.iter()
+                .map(|t| {
+                    t.as_f64()
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or_else(|| {
+                            ProtoError::bad_request(
+                                "`times` entries must be non-negative finite numbers",
+                            )
+                        })
+                })
+                .collect::<Result<_, _>>()?
+        }
+    };
+    let mut out = Vec::new();
+    for spec in specs {
+        match spec {
+            Json::Str(kind) => {
+                if let Some(m) = timeless_measure(kind) {
+                    out.push(m);
+                } else if is_timed_kind(kind) {
+                    if times.is_empty() {
+                        return Err(ProtoError::bad_request(format!(
+                            "measure `{kind}` needs a non-empty `times` grid"
+                        )));
+                    }
+                    for &t in &times {
+                        out.push(timed_measure(kind, t).expect("kind checked above"));
+                    }
+                } else {
+                    return Err(ProtoError::bad_request(format!(
+                        "unknown measure kind `{kind}`"
+                    )));
+                }
+            }
+            Json::Obj(_) => {
+                let kind = spec
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("measure object needs `kind`"))?;
+                if let Some(m) = timeless_measure(kind) {
+                    out.push(m);
+                } else if is_timed_kind(kind) {
+                    let t = spec
+                        .get("t")
+                        .and_then(Json::as_f64)
+                        .filter(|t| t.is_finite() && *t >= 0.0)
+                        .ok_or_else(|| {
+                            ProtoError::bad_request(format!(
+                                "measure `{kind}` needs a non-negative finite `t`"
+                            ))
+                        })?;
+                    out.push(timed_measure(kind, t).expect("kind checked above"));
+                } else {
+                    return Err(ProtoError::bad_request(format!(
+                        "unknown measure kind `{kind}`"
+                    )));
+                }
+            }
+            _ => {
+                return Err(ProtoError::bad_request(
+                    "measures must be strings or objects",
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn timeless_measure(kind: &str) -> Option<Measure> {
+    match kind {
+        "steady_state_availability" => Some(Measure::SteadyStateAvailability),
+        "steady_state_unavailability" => Some(Measure::SteadyStateUnavailability),
+        "mttf" => Some(Measure::Mttf),
+        _ => None,
+    }
+}
+
+fn is_timed_kind(kind: &str) -> bool {
+    matches!(
+        kind,
+        "availability"
+            | "unavailability"
+            | "reliability"
+            | "unreliability"
+            | "unreliability_with_repair"
+            | "interval_availability"
+    )
+}
+
+fn timed_measure(kind: &str, t: f64) -> Option<Measure> {
+    match kind {
+        "availability" => Some(Measure::PointAvailability(t)),
+        "unavailability" => Some(Measure::PointUnavailability(t)),
+        "reliability" => Some(Measure::Reliability(t)),
+        "unreliability" => Some(Measure::Unreliability(t)),
+        "unreliability_with_repair" => Some(Measure::UnreliabilityWithRepair(t)),
+        "interval_availability" => Some(Measure::IntervalAvailability(t)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Request, ProtoError> {
+        Request::from_json(&Json::parse(line).expect("test input is valid JSON"))
+    }
+
+    #[test]
+    fn query_expands_strings_over_grid() {
+        let r = parse(
+            r#"{"model":"dds","measures":["mttf","unavailability","reliability"],"times":[10,20]}"#,
+        )
+        .unwrap();
+        let Request::Query { model, measures } = r else {
+            panic!("not a query")
+        };
+        assert_eq!(model, "dds");
+        assert_eq!(
+            measures,
+            vec![
+                Measure::Mttf,
+                Measure::PointUnavailability(10.0),
+                Measure::PointUnavailability(20.0),
+                Measure::Reliability(10.0),
+                Measure::Reliability(20.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn object_measures_carry_their_own_time() {
+        let r = parse(
+            r#"{"cmd":"query","model":"m","measures":[{"kind":"reliability","t":5},"steady_state_availability"]}"#,
+        )
+        .unwrap();
+        let Request::Query { measures, .. } = r else {
+            panic!()
+        };
+        assert_eq!(
+            measures,
+            vec![Measure::Reliability(5.0), Measure::SteadyStateAvailability]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        for (line, needle) in [
+            (r#"{"cmd":"query"}"#, "model"),
+            (r#"{"model":"m"}"#, "measures"),
+            (r#"{"model":"m","measures":[]}"#, "non-empty"),
+            (r#"{"model":"m","measures":["nope"]}"#, "unknown measure"),
+            (
+                r#"{"model":"m","measures":["reliability"]}"#,
+                "needs a non-empty `times`",
+            ),
+            (
+                r#"{"model":"m","measures":["reliability"],"times":[-1]}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"model":"m","measures":[{"kind":"reliability"}]}"#,
+                "`t`",
+            ),
+            (r#"{"model":"m","measures":[42]}"#, "strings or objects"),
+            (r#"{"cmd":"load","name":"x"}"#, "source"),
+            (r#"{"cmd":"load","name":"","source":"s"}"#, "non-empty"),
+            (r#"{"cmd":"frobnicate"}"#, "unknown command"),
+            (r#"{}"#, "missing `cmd`"),
+            (r#"[1,2]"#, "object"),
+        ] {
+            let e = parse(line).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{line}");
+            assert!(e.message.contains(needle), "{line}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn simple_commands_parse() {
+        assert_eq!(parse(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse(r#"{"cmd":"list"}"#).unwrap(), Request::List);
+        assert_eq!(parse(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn error_json_shape() {
+        let e = ProtoError::with_code("unknown_model", "no model `x`");
+        let j = e.to_json();
+        assert_eq!(j.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            j.get("error").unwrap().get("code").and_then(Json::as_str),
+            Some("unknown_model")
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Protocol edge cases against a real in-process server: malformed
+//! JSON, unknown models, empty measure batches, oversized request lines
+//! and clients that disconnect mid-conversation must all produce
+//! structured errors (or clean closes) **without wedging the worker
+//! pool** — after every abuse, a fresh client must still get answers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use arcade::serve::{serve, Client, Json, ServerConfig};
+
+/// Starts a small test server (2 workers, tight line cap so the
+/// oversized case is cheap) and returns its handle + address.
+fn test_server() -> (arcade::serve::ServerHandle, String) {
+    let config = ServerConfig {
+        workers: 2,
+        max_line_bytes: 4096,
+        idle_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let handle = serve(config).expect("start test server");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+/// One raw request line → one raw response line.
+fn raw_roundtrip(addr: &str, line: &[u8]) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line).expect("write");
+    stream.write_all(b"\n").expect("newline");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .expect("read response");
+    Json::parse(response.trim_end()).expect("response is valid JSON")
+}
+
+fn error_code(v: &Json) -> &str {
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)), "expected error: {v}");
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("error has a code")
+}
+
+#[test]
+fn structured_errors_do_not_wedge_the_pool() {
+    let (handle, addr) = test_server();
+
+    // Malformed JSON variants.
+    for bad in [
+        &b"not json at all"[..],
+        b"{\"model\":\"dds\"",
+        b"{\"model\":}",
+        b"\xff\xfe garbage",
+        b"[1,2,3] trailing {",
+    ] {
+        assert_eq!(error_code(&raw_roundtrip(&addr, bad)), "bad_json");
+    }
+
+    // Structurally valid JSON, semantically bad requests.
+    assert_eq!(
+        error_code(&raw_roundtrip(&addr, b"[1,2,3]")),
+        "bad_request",
+        "non-object request"
+    );
+    assert_eq!(
+        error_code(&raw_roundtrip(
+            &addr,
+            br#"{"model":"no_such_model","measures":["mttf"]}"#
+        )),
+        "unknown_model"
+    );
+    assert_eq!(
+        error_code(&raw_roundtrip(&addr, br#"{"model":"dds","measures":[]}"#)),
+        "bad_request",
+        "empty measure list"
+    );
+    assert_eq!(
+        error_code(&raw_roundtrip(
+            &addr,
+            br#"{"model":"dds","measures":["unavailability"]}"#
+        )),
+        "bad_request",
+        "timed measure without times"
+    );
+    assert_eq!(
+        error_code(&raw_roundtrip(&addr, br#"{"cmd":"frobnicate"}"#)),
+        "bad_request"
+    );
+    assert_eq!(
+        error_code(&raw_roundtrip(
+            &addr,
+            br#"{"model":"rcs_scaled(99)","measures":["mttf"]}"#
+        )),
+        "bad_request",
+        "out-of-range family size"
+    );
+
+    // Oversized line: structured error, then the server closes that
+    // connection.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let big = vec![b'x'; 5000];
+        stream.write_all(&big).expect("write oversized");
+        stream.write_all(b"\n").expect("newline");
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        let v = Json::parse(response.trim_end()).expect("response parses");
+        assert_eq!(error_code(&v), "oversized");
+        // ...and the connection is closed afterwards (EOF).
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).expect("eof read"), 0);
+    }
+
+    // Clients that vanish mid-conversation, in every rude way available.
+    {
+        // Connect and say nothing, then drop.
+        drop(TcpStream::connect(&addr).expect("connect"));
+        // Half a line, no newline, then drop.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.write_all(b"{\"model\":\"dds\"").expect("write");
+        drop(stream);
+        // A full request, dropped without reading the response.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(b"{\"model\":\"dds\",\"measures\":[\"mttf\"]}\n")
+            .expect("write");
+        drop(stream);
+    }
+
+    // After all of the above, with only 2 workers, real clients must
+    // still be served promptly — errors and disconnects released their
+    // workers.
+    for _ in 0..3 {
+        let mut client = Client::connect(&addr).expect("connect");
+        client.ping().expect("pool still serving");
+        let response = client
+            .query(
+                "dds",
+                Json::Arr(vec![Json::str("steady_state_unavailability")]),
+                None,
+            )
+            .expect("query still works");
+        let values = Client::values(&response).expect("values");
+        assert_eq!(values.len(), 1);
+        assert!(values[0] > 0.0 && values[0] < 1e-3, "{values:?}");
+    }
+
+    // Error responses never pollute the cache counters' invariants: the
+    // stats endpoint still answers and reports the error traffic.
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let server = stats.get("server").expect("server section");
+    let errors = server.get("errors").and_then(Json::as_f64).expect("errors");
+    assert!(
+        errors >= 12.0,
+        "all abuse above must be counted, saw {errors}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_command_stops_the_server() {
+    let (handle, addr) = test_server();
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("ping");
+    client.shutdown().expect("shutdown acknowledged");
+    // The handle observes the request and join() returns.
+    assert!(handle.shutdown_requested());
+    handle.join();
+    // New connections are no longer served.
+    std::thread::sleep(Duration::from_millis(100));
+    let refused = match TcpStream::connect(&addr) {
+        Err(_) => true,
+        // The listener socket may linger briefly; a connect that succeeds
+        // must at least get no service (EOF on read).
+        Ok(stream) => {
+            let mut line = String::new();
+            let mut reader = BufReader::new(stream);
+            reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true)
+        }
+    };
+    assert!(refused, "server still serving after shutdown");
+}

@@ -204,7 +204,8 @@ fn main() {
     );
     if json {
         let path = "BENCH_transient.json";
-        std::fs::write(path, render_json(hw, smoke, &records)).expect("write BENCH_transient.json");
+        arcade_bench::write_atomic(path, &render_json(hw, smoke, &records))
+            .expect("write BENCH_transient.json");
         println!("wrote {} transient records to {path}", records.len());
     }
 }
@@ -460,7 +461,8 @@ fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
         ));
     }
     format!(
-        "{{\"bench\":\"exp_scaling_transient\",\"hw_threads\":{hw},\"smoke\":{smoke},\
+        "{{\"bench\":\"exp_scaling_transient\",\"schema_version\":1,\
+         \"hw_threads\":{hw},\"smoke\":{smoke},\
          \"records\":[{rows}\n]}}\n"
     )
 }

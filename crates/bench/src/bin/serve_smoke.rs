@@ -1,0 +1,212 @@
+//! `serve_smoke` — CI smoke client for a running `arcaded` daemon.
+//!
+//! ```text
+//! serve_smoke --addr HOST:PORT [--shutdown]
+//! ```
+//!
+//! Exercises a real daemon over the wire (CI boots `arcaded` in the
+//! background and points this at it):
+//!
+//! * `ping`, `list`;
+//! * a **cold** query (`dds_scaled(2)`, mixed measure batch) — must
+//!   report `cold: true` on a fresh daemon;
+//! * the same query again — must report `cold: false` and be faster;
+//! * **bitwise cross-check**: the daemon's values must be identical (not
+//!   just close) to evaluating the same expanded measure batch on a
+//!   direct in-process [`arcade::query::Session`] — the server adds
+//!   routing, not math;
+//! * protocol edge cases: malformed JSON, unknown model, empty measures,
+//!   an oversized request line — each answered with the right structured
+//!   error, and the daemon must keep serving afterwards;
+//! * `stats` — counters must reflect the traffic above;
+//! * with `--shutdown`: asks the daemon to exit gracefully.
+//!
+//! Exits non-zero (panics) on the first violated expectation.
+
+use std::time::{Duration, Instant};
+
+use arcade::query::Session;
+use arcade::serve::{expand_measures, Client, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .expect("usage: serve_smoke --addr HOST:PORT [--shutdown]")
+        .clone();
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    let mut client =
+        Client::connect_retry(&addr, Duration::from_secs(30)).expect("daemon reachable");
+    println!("serve_smoke: connected to {addr}");
+
+    // Liveness + registry listing.
+    client.ping().expect("ping");
+    let list = client
+        .expect_ok(&Json::obj([("cmd", Json::str("list"))]))
+        .expect("list");
+    let names = list.get("models").and_then(Json::as_arr).expect("models");
+    assert!(
+        names.iter().any(|n| n.as_str() == Some("dds")),
+        "built-in dds missing from list"
+    );
+
+    // Cold query on a model nothing has touched yet.
+    let query = Json::obj([
+        ("model", Json::str("dds_scaled(2)")),
+        (
+            "measures",
+            Json::Arr(vec![
+                Json::str("steady_state_unavailability"),
+                Json::str("mttf"),
+                Json::str("unavailability"),
+            ]),
+        ),
+        (
+            "times",
+            Json::Arr(vec![Json::Num(10.0), Json::Num(100.0), Json::Num(1000.0)]),
+        ),
+    ]);
+    let t_cold = Instant::now();
+    let cold = client.expect_ok(&query).expect("cold query");
+    let cold_secs = t_cold.elapsed().as_secs_f64();
+    assert_eq!(
+        cold.get("cold"),
+        Some(&Json::Bool(true)),
+        "first query on a fresh daemon must be cold"
+    );
+    let cold_values = Client::values(&cold).expect("cold values");
+    assert_eq!(cold_values.len(), 5, "2 timeless + 1 timed kind x 3 times");
+
+    // Warm repeat: served from cache, same bits, faster.
+    let t_warm = Instant::now();
+    let warm = client.expect_ok(&query).expect("warm query");
+    let warm_secs = t_warm.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.get("cold"),
+        Some(&Json::Bool(false)),
+        "repeat must be warm"
+    );
+    let warm_values = Client::values(&warm).expect("warm values");
+    assert_eq!(
+        cold_values, warm_values,
+        "cold and warm answers must be identical"
+    );
+    println!("serve_smoke: cold {cold_secs:.3} s, warm {warm_secs:.4} s");
+    assert!(
+        warm_secs < cold_secs,
+        "warm repeat ({warm_secs:.4} s) not faster than cold ({cold_secs:.3} s)"
+    );
+
+    // Bitwise cross-check against a direct in-process session evaluating
+    // the *same* expanded batch.
+    let measures = expand_measures(&query).expect("expand the smoke batch");
+    let def = arcade::cases::dds_scaled(2);
+    let session = Session::new(&def).expect("direct session");
+    let direct = session.evaluate(&measures).expect("direct evaluate");
+    assert_eq!(
+        direct.len(),
+        warm_values.len(),
+        "direct and served batch sizes differ"
+    );
+    for (i, (a, b)) in direct.iter().zip(&warm_values).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "measure {i}: served value {b:e} is not bitwise identical to direct {a:e}"
+        );
+    }
+    println!(
+        "serve_smoke: {} served values bitwise identical to direct evaluation",
+        direct.len()
+    );
+
+    // Protocol edge cases — each must answer a structured error and leave
+    // the daemon serving.
+    let e = client
+        .roundtrip(&Json::obj([
+            ("model", Json::str("nope")),
+            ("measures", Json::Arr(vec![Json::str("mttf")])),
+        ]))
+        .expect("roundtrip");
+    assert_eq!(error_code(&e), Some("unknown_model"), "{e}");
+    let e = client
+        .roundtrip(&Json::obj([
+            ("model", Json::str("dds")),
+            ("measures", Json::Arr(vec![])),
+        ]))
+        .expect("roundtrip");
+    assert_eq!(error_code(&e), Some("bad_request"), "{e}");
+    // Malformed JSON needs a raw socket line (the typed client only sends
+    // valid objects).
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        raw.write_all(b"this is not json\n").expect("write");
+        let mut line = String::new();
+        BufReader::new(raw.try_clone().expect("clone"))
+            .read_line(&mut line)
+            .expect("read");
+        let v = Json::parse(line.trim_end()).expect("error response parses");
+        assert_eq!(error_code(&v), Some("bad_json"), "{v}");
+        // Oversized line: the server errors, then closes this connection.
+        let big = vec![b'x'; 2 << 20];
+        raw.write_all(&big).expect("write oversized");
+        raw.write_all(b"\n").expect("newline");
+        let mut line = String::new();
+        BufReader::new(raw)
+            .read_line(&mut line)
+            .expect("read oversized error");
+        let v = Json::parse(line.trim_end()).expect("oversized response parses");
+        assert_eq!(error_code(&v), Some("oversized"), "{v}");
+    }
+    // The persistent client connection still works after all that.
+    client
+        .ping()
+        .expect("daemon still serving after edge cases");
+
+    // Stats must reflect the traffic: the cold query was a miss, the warm
+    // repeat a hit.
+    let stats = client.stats().expect("stats");
+    let server = stats.get("server").expect("server section");
+    let counter = |name: &str| {
+        server
+            .get(name)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("stats missing {name}"))
+    };
+    assert!(counter("requests") >= 5.0, "requests counter too low");
+    assert!(
+        counter("cache_misses") >= 1.0,
+        "cold query must count as a miss"
+    );
+    assert!(
+        counter("cache_hits") >= 1.0,
+        "warm query must count as a hit"
+    );
+    assert!(counter("errors") >= 3.0, "edge cases must count as errors");
+    println!(
+        "serve_smoke: stats ok — {} requests, {} hits / {} misses / {} dedup waits, {} errors",
+        counter("requests"),
+        counter("cache_hits"),
+        counter("cache_misses"),
+        counter("dedup_waits"),
+        counter("errors"),
+    );
+
+    if shutdown {
+        client.shutdown().expect("shutdown acknowledged");
+        println!("serve_smoke: daemon acknowledged shutdown");
+    }
+    println!("serve_smoke: OK");
+}
+
+fn error_code(v: &Json) -> Option<&str> {
+    assert_eq!(
+        v.get("ok"),
+        Some(&Json::Bool(false)),
+        "expected an error response, got {v}"
+    );
+    v.get("error")?.get("code")?.as_str()
+}

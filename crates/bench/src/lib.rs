@@ -48,6 +48,21 @@ pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> f64 {
     mean
 }
 
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file first, which is then renamed over the target. A reader
+/// (or an interrupted run) never observes a half-written bench file.
+///
+/// # Errors
+///
+/// Any I/O error from writing or renaming.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 fn fmt_time(secs: f64) -> String {
     if secs >= 1.0 {
         format!("{secs:.3} s")
