@@ -70,7 +70,7 @@
 //! # Ok::<(), arcade::ArcadeError>(())
 //! ```
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use ctmc::csl::StateFormula;
@@ -146,6 +146,23 @@ pub struct SessionStats {
     /// was created; same process-wide caveat as
     /// [`SessionStats::dtmc_steps`].
     pub sweeps: u64,
+    /// Wall time of the aggregation builds this session ran, in
+    /// microseconds (integral so the stats snapshot stays `Eq`).
+    pub aggregation_us: u64,
+    /// Aggregation wall time spent computing and interning refinement
+    /// signatures, in microseconds.
+    pub signature_us: u64,
+    /// Aggregation wall time spent splitting blocks, in microseconds.
+    pub split_us: u64,
+    /// Aggregation wall time spent building quotient automata, in
+    /// microseconds.
+    pub quotient_us: u64,
+    /// Worklist refinement rounds across all aggregation builds.
+    pub refine_rounds: u64,
+    /// Per-state signature computations across all aggregation builds —
+    /// the work the worklist discipline actually did (the legacy loop
+    /// would have paid `rounds × states`).
+    pub states_resigned: u64,
 }
 
 /// What one [`Session::evaluate_traced`] call did to the aggregation
@@ -214,6 +231,14 @@ pub struct Session {
     aggregations_built: AtomicU32,
     absorbing_built: AtomicU32,
     steady_solves: AtomicU32,
+    /// Aggregation-phase accounting (µs / counters), accumulated by
+    /// whichever thread wins each cold build.
+    aggregation_us: AtomicU64,
+    signature_us: AtomicU64,
+    split_us: AtomicU64,
+    quotient_us: AtomicU64,
+    refine_rounds: AtomicU64,
+    states_resigned: AtomicU64,
     /// Process-wide transient counter values captured at construction,
     /// so [`Session::stats`] can report the work done since.
     dtmc_steps_base: u64,
@@ -233,6 +258,12 @@ impl Clone for Session {
             aggregations_built: AtomicU32::new(self.aggregations_built.load(Ordering::Relaxed)),
             absorbing_built: AtomicU32::new(self.absorbing_built.load(Ordering::Relaxed)),
             steady_solves: AtomicU32::new(self.steady_solves.load(Ordering::Relaxed)),
+            aggregation_us: AtomicU64::new(self.aggregation_us.load(Ordering::Relaxed)),
+            signature_us: AtomicU64::new(self.signature_us.load(Ordering::Relaxed)),
+            split_us: AtomicU64::new(self.split_us.load(Ordering::Relaxed)),
+            quotient_us: AtomicU64::new(self.quotient_us.load(Ordering::Relaxed)),
+            refine_rounds: AtomicU64::new(self.refine_rounds.load(Ordering::Relaxed)),
+            states_resigned: AtomicU64::new(self.states_resigned.load(Ordering::Relaxed)),
             dtmc_steps_base: self.dtmc_steps_base,
             sweeps_base: self.sweeps_base,
         }
@@ -260,6 +291,12 @@ impl Session {
             aggregations_built: AtomicU32::new(0),
             absorbing_built: AtomicU32::new(0),
             steady_solves: AtomicU32::new(0),
+            aggregation_us: AtomicU64::new(0),
+            signature_us: AtomicU64::new(0),
+            split_us: AtomicU64::new(0),
+            quotient_us: AtomicU64::new(0),
+            refine_rounds: AtomicU64::new(0),
+            states_resigned: AtomicU64::new(0),
             dtmc_steps_base: ctmc::transient::dtmc_steps_performed(),
             sweeps_base: ctmc::transient::sweeps_performed(),
         })
@@ -288,6 +325,12 @@ impl Session {
             dtmc_steps: ctmc::transient::dtmc_steps_performed()
                 .saturating_sub(self.dtmc_steps_base),
             sweeps: ctmc::transient::sweeps_performed().saturating_sub(self.sweeps_base),
+            aggregation_us: self.aggregation_us.load(Ordering::Relaxed),
+            signature_us: self.signature_us.load(Ordering::Relaxed),
+            split_us: self.split_us.load(Ordering::Relaxed),
+            quotient_us: self.quotient_us.load(Ordering::Relaxed),
+            refine_rounds: self.refine_rounds.load(Ordering::Relaxed),
+            states_resigned: self.states_resigned.load(Ordering::Relaxed),
         }
     }
 
@@ -323,9 +366,23 @@ impl Session {
         let mut ran = false;
         let res = cache.agg.get_or_init(|| {
             ran = true;
+            let t0 = std::time::Instant::now();
             let agg = build_aggregation(&self.config_def(cfg), opts);
-            if agg.is_ok() {
+            if let Ok(a) = &agg {
                 self.aggregations_built.fetch_add(1, Ordering::Relaxed);
+                let us = |secs: f64| (secs * 1e6) as u64;
+                self.aggregation_us
+                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                self.signature_us
+                    .fetch_add(us(a.refine.signature_secs), Ordering::Relaxed);
+                self.split_us
+                    .fetch_add(us(a.refine.split_secs), Ordering::Relaxed);
+                self.quotient_us
+                    .fetch_add(us(a.refine.quotient_secs), Ordering::Relaxed);
+                self.refine_rounds
+                    .fetch_add(a.refine.refine_rounds, Ordering::Relaxed);
+                self.states_resigned
+                    .fetch_add(a.refine.states_resigned, Ordering::Relaxed);
             }
             agg
         });

@@ -533,6 +533,21 @@ pub fn session_stats_json(stats: &SessionStats) -> Json {
         ("poisson_misses", Json::Num(stats.poisson_misses as f64)),
         ("dtmc_steps", Json::Num(stats.dtmc_steps as f64)),
         ("sweeps", Json::Num(stats.sweeps as f64)),
+        (
+            "aggregation_secs",
+            Json::Num(stats.aggregation_us as f64 / 1e6),
+        ),
+        (
+            "signature_secs",
+            Json::Num(stats.signature_us as f64 / 1e6),
+        ),
+        ("split_secs", Json::Num(stats.split_us as f64 / 1e6)),
+        ("quotient_secs", Json::Num(stats.quotient_us as f64 / 1e6)),
+        ("refine_rounds", Json::Num(stats.refine_rounds as f64)),
+        (
+            "states_resigned",
+            Json::Num(stats.states_resigned as f64),
+        ),
     ])
 }
 

@@ -43,7 +43,7 @@
 use std::time::Instant;
 
 use arcade::cases::{dds_scaled, rcs_scaled, rcs_scaled_kofn, rcs_stiff};
-use arcade::engine::{aggregate, Aggregation, EngineOptions};
+use arcade::engine::{aggregate, Aggregation, EngineOptions, RefineMode};
 use arcade::model::SystemModel;
 use arcade::modular::modular_analysis;
 use arcade_bench::Table;
@@ -64,6 +64,14 @@ struct TransientRecord {
     steady_tol: f64,
     support_tol: f64,
     aggregation_secs: f64,
+    /// Aggregation-phase breakdown (schema v2): wall time in refinement
+    /// signatures, block splits and quotient construction, plus the
+    /// worklist work counters.
+    signature_secs: f64,
+    split_secs: f64,
+    quotient_secs: f64,
+    refine_rounds: u64,
+    states_resigned: u64,
     steady_secs: f64,
     grid_secs: f64,
     grid_points: usize,
@@ -149,6 +157,9 @@ fn main() {
         rcs_agg.ctmc.num_states() > SolverOptions::default().dense_limit,
         "rcs_scaled(2) no longer exceeds the dense limit — pick a bigger family"
     );
+    if smoke {
+        worklist_gate(&rcs_def, &rcs_agg, rcs_u, &records);
+    }
     // The stiff family: repair rates seven orders of magnitude above the
     // failure rates, so the adaptive per-segment Λ (chosen from the
     // ε-support's exit rates) runs far below the global uniformization
@@ -208,6 +219,69 @@ fn main() {
             .expect("write BENCH_transient.json");
         println!("wrote {} transient records to {path}", records.len());
     }
+}
+
+/// The 1-thread `rcs_scaled(2)` aggregation wall time committed with the
+/// pre-worklist engine (recompute-all refinement, no cross-step seeding) —
+/// the baseline the worklist refactor is gated against.
+const SEED_AGGREGATION_SECS: f64 = 8.647185;
+
+/// The worklist-refiner regression gate (smoke mode): re-aggregates
+/// `rcs_scaled(2)` with the legacy recompute-all engine and asserts the
+/// worklist quotient is the same CTMC (sizes equal, steady measure within
+/// 1e-12 — rate sums may associate differently under cross-step seeding)
+/// and that the worklist aggregation beats the committed pre-worklist
+/// seed time.
+fn worklist_gate(
+    def: &arcade::ast::SystemDef,
+    agg: &Aggregation,
+    steady_unavail: f64,
+    records: &[TransientRecord],
+) {
+    let model = SystemModel::build(def).expect("case family elaborates");
+    let legacy_opts = EngineOptions {
+        refine: RefineMode::Legacy,
+        ..EngineOptions::new()
+    };
+    let start = Instant::now();
+    let legacy = aggregate(&model, &legacy_opts).expect("legacy aggregation succeeds");
+    let legacy_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        legacy.ctmc_stats.states, agg.ctmc_stats.states,
+        "worklist quotient CTMC state count differs from the legacy engine"
+    );
+    assert_eq!(
+        legacy.ctmc_stats.transitions(),
+        agg.ctmc_stats.transitions(),
+        "worklist quotient CTMC transition count differs from the legacy engine"
+    );
+    let pi = steady::steady_state_with(&legacy.ctmc, &SolverOptions::default());
+    let down: Vec<u32> = legacy.ctmc.states_with_label(1).collect();
+    let legacy_unavail = state_mass(&down, &pi);
+    let diff = (legacy_unavail - steady_unavail).abs();
+    assert!(
+        diff <= 1e-12,
+        "worklist steady unavailability {steady_unavail:e} deviates from the \
+         legacy engine's {legacy_unavail:e} by {diff:e}"
+    );
+    let worklist_secs = records
+        .iter()
+        .find(|r| r.family == "rcs_scaled(2)")
+        .expect("rcs_scaled(2) was swept")
+        .aggregation_secs;
+    assert!(
+        worklist_secs < SEED_AGGREGATION_SECS,
+        "worklist aggregation ({worklist_secs:.3} s) no longer beats the \
+         committed pre-worklist seed ({SEED_AGGREGATION_SECS:.3} s)"
+    );
+    println!(
+        "rcs_scaled(2): worklist aggregation {worklist_secs:.3} s vs committed \
+         pre-worklist seed {SEED_AGGREGATION_SECS:.3} s ({:.2}x) and in-process \
+         legacy engine {legacy_secs:.3} s ({:.2}x); quotient CTMC sizes equal, \
+         steady unavailability agrees to {diff:.1e}",
+        SEED_AGGREGATION_SECS / worklist_secs,
+        legacy_secs / worklist_secs,
+    );
 }
 
 /// Runs the aggregation sweep for one family and returns the baseline
@@ -335,6 +409,11 @@ fn solve(
             steady_tol: topts.steady_tol,
             support_tol: topts.support_tol,
             aggregation_secs,
+            signature_secs: agg.refine.signature_secs,
+            split_secs: agg.refine.split_secs,
+            quotient_secs: agg.refine.quotient_secs,
+            refine_rounds: agg.refine.refine_rounds,
+            states_resigned: agg.refine.states_resigned,
             steady_secs,
             grid_secs,
             grid_points: grid.len(),
@@ -443,6 +522,8 @@ fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
             "\n  {{\"family\":\"{}\",\"states\":{},\"transitions\":{},\"engine\":\"{}\",\
              \"threads_requested\":{},\"threads_effective\":{},\
              \"steady_tol\":{:e},\"support_tol\":{:e},\"aggregation_secs\":{:.6},\
+             \"signature_secs\":{:.6},\"split_secs\":{:.6},\"quotient_secs\":{:.6},\
+             \"refine_rounds\":{},\"states_resigned\":{},\
              \"steady_secs\":{:.6},\"grid_secs\":{:.6},\
              \"grid_points\":{},\"dtmc_steps\":{}}}",
             r.family,
@@ -454,6 +535,11 @@ fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
             r.steady_tol,
             r.support_tol,
             r.aggregation_secs,
+            r.signature_secs,
+            r.split_secs,
+            r.quotient_secs,
+            r.refine_rounds,
+            r.states_resigned,
             r.steady_secs,
             r.grid_secs,
             r.grid_points,
@@ -461,7 +547,7 @@ fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
         ));
     }
     format!(
-        "{{\"bench\":\"exp_scaling_transient\",\"schema_version\":1,\
+        "{{\"bench\":\"exp_scaling_transient\",\"schema_version\":2,\
          \"hw_threads\":{hw},\"smoke\":{smoke},\
          \"records\":[{rows}\n]}}\n"
     )

@@ -17,12 +17,10 @@
 //! maximal-progress cut must have been applied — [`crate::pipeline::reduce`]
 //! takes care of both.
 
-use std::collections::HashMap;
-
 use ioimc::{ActionKind, IoImc, StateId};
 
 use crate::partition::Partition;
-use crate::signature::{canonicalize, quantize_rate, SigEntry, Signature};
+use crate::signature::{canonicalize, push_rate_entries, SigEntry, Signature};
 use crate::strong::split;
 
 /// Refines `initial` to the coarsest branching-bisimulation-with-lumping
@@ -41,70 +39,47 @@ pub fn refine_branching(imc: &IoImc, initial: Partition) -> (Partition, Vec<Sign
 /// [`refine_branching`] with the per-state signature computation spread
 /// over `threads` scoped workers.
 ///
+/// Implemented by the worklist/splitter refiner (see [`crate::worklist`]).
 /// A state's branching signature reads the signatures of its inert tau
-/// successors, so states are scheduled by *tau depth*: layer 0 holds the
-/// tau-sinks (the overwhelming majority after the SCC collapse), layer
+/// successors, so dirty states are scheduled by *tau depth*: layer 0 holds
+/// the tau-sinks (the overwhelming majority after the SCC collapse), layer
 /// `d + 1` the states whose deepest tau successor sits in layer `d`.
 /// Layers run in ascending order; within a layer every state is
-/// independent and computed in parallel. The values are identical to the
-/// sequential topological sweep — signatures are pure given their
-/// successors and canonicalized before use — so the refinement is bitwise
-/// deterministic for every thread count.
+/// independent and computed in parallel, with interning done on the
+/// coordinating thread in layer order — so the refinement is bitwise
+/// deterministic for every thread count and identical to
+/// [`refine_branching_legacy`].
 pub fn refine_branching_threaded(
     imc: &IoImc,
     initial: Partition,
     threads: usize,
 ) -> (Partition, Vec<Signature>) {
+    let mut counters = crate::worklist::RefineCounters::default();
+    crate::worklist::refine_worklist(
+        imc,
+        &initial,
+        threads,
+        crate::worklist::Mode::Branching,
+        &mut counters,
+    )
+}
+
+/// The pre-worklist refinement loop: recomputes every state's signature on
+/// every round. Kept (serial only) as the differential-testing oracle for
+/// the worklist refiner — the proptests in this crate and the
+/// `exp_scaling --smoke` gate assert both produce identical partitions and
+/// quotients. Not a supported hot path.
+pub fn refine_branching_legacy(imc: &IoImc, initial: Partition) -> (Partition, Vec<Signature>) {
     let n = imc.num_states();
-    // Below a few thousand states the per-iteration thread spawns cost
-    // more than the signatures; run inline.
-    let threads = if n < crate::PAR_STATE_THRESHOLD {
-        1
-    } else {
-        threads
-    };
     let order = tau_topological_order(imc);
     debug_assert_eq!(order.len(), n, "tau graph must be acyclic");
     let mut part = initial;
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
-    // Group the ordered states by tau depth once — the tau graph does not
-    // change across refinement iterations.
-    let layers: Vec<Vec<StateId>> = if threads > 1 {
-        tau_layers(imc, &order)
-    } else {
-        Vec::new()
-    };
     loop {
-        if threads <= 1 {
-            // Process tau-sinks first so that inert successors are ready.
-            for &s in &order {
-                sigs[s as usize] = branching_signature(imc, &part, &sigs, s);
-            }
-        } else {
-            for layer in &layers {
-                if layer.len() < crate::PAR_STATE_THRESHOLD {
-                    // Shallow layers (everything past the tau-sinks) are
-                    // tiny; not worth a spawn.
-                    for &s in layer {
-                        sigs[s as usize] = branching_signature(imc, &part, &sigs, s);
-                    }
-                    continue;
-                }
-                let chunk = layer.len().div_ceil(4 * threads).max(1);
-                let chunks: Vec<&[StateId]> = layer.chunks(chunk).collect();
-                let (part_ref, sigs_ref) = (&part, &sigs);
-                let computed = ioimc::par::par_map(threads, &chunks, |_, states| {
-                    states
-                        .iter()
-                        .map(|&s| branching_signature(imc, part_ref, sigs_ref, s))
-                        .collect::<Vec<Signature>>()
-                });
-                for (states, layer_sigs) in chunks.iter().zip(computed) {
-                    for (&s, sig) in states.iter().zip(layer_sigs) {
-                        sigs[s as usize] = sig;
-                    }
-                }
-            }
+        // Process tau-sinks first so that inert successors are ready.
+        for &s in &order {
+            sigs[s as usize] =
+                branching_signature_with(imc, part.blocks(), |t| sigs[t as usize].as_slice(), s);
         }
         // States not covered by the order (tau cycles; should not happen
         // after SCC collapse) get a conservative, non-absorbing signature.
@@ -115,7 +90,7 @@ pub fn refine_branching_threaded(
             }
             for s in 0..n as StateId {
                 if !seen[s as usize] {
-                    sigs[s as usize] = conservative_signature(imc, &part, s);
+                    sigs[s as usize] = conservative_signature(imc, part.blocks(), s);
                 }
             }
         }
@@ -131,7 +106,7 @@ pub fn refine_branching_threaded(
 /// is one more than the deepest layer among its internal-action
 /// successors (0 for tau-sinks). Within a layer no state tau-reaches
 /// another, so their branching signatures are independent.
-fn tau_layers(imc: &IoImc, order: &[StateId]) -> Vec<Vec<StateId>> {
+pub(crate) fn tau_layers(imc: &IoImc, order: &[StateId]) -> Vec<Vec<StateId>> {
     let n = imc.num_states();
     let mut depth = vec![0usize; n];
     let mut layers: Vec<Vec<StateId>> = Vec::new();
@@ -151,78 +126,114 @@ fn tau_layers(imc: &IoImc, order: &[StateId]) -> Vec<Vec<StateId>> {
     layers
 }
 
-fn branching_signature(imc: &IoImc, part: &Partition, sigs: &[Signature], s: StateId) -> Signature {
+/// The branching signature of `s` against the per-state block array,
+/// reading the already-computed signature entries of each inert tau
+/// successor through `succ` (a slice into either the legacy per-state
+/// `Vec<Signature>` or the worklist's hash-consed [`crate::signature::SigTable`]).
+pub(crate) fn branching_signature_with<'a, F>(
+    imc: &IoImc,
+    block_of: &[u32],
+    succ: F,
+    s: StateId,
+) -> Signature
+where
+    F: Fn(StateId) -> &'a [SigEntry],
+{
     let mut sig: Signature = Vec::new();
-    let own_block = part.block_of(s);
+    let mut rates: Vec<(u32, f64)> = Vec::new();
+    branching_signature_into(imc, block_of, succ, s, &mut sig, &mut rates);
+    sig
+}
+
+/// [`branching_signature_with`] into caller-provided buffers: `sig`
+/// receives the canonicalized signature, `rates` is rate-accumulation
+/// scratch. Hot refinement loops reuse both across states to avoid a heap
+/// allocation per re-signed state.
+pub(crate) fn branching_signature_into<'a, F>(
+    imc: &IoImc,
+    block_of: &[u32],
+    succ: F,
+    s: StateId,
+    sig: &mut Signature,
+    rates: &mut Vec<(u32, f64)>,
+) where
+    F: Fn(StateId) -> &'a [SigEntry],
+{
+    sig.clear();
+    let own_block = block_of[s as usize];
     for &(a, t) in imc.interactive_from(s) {
         match imc.kind_of(a) {
             Some(ActionKind::Internal) => {
-                let block = part.block_of(t);
+                let block = block_of[t as usize];
                 if block == own_block {
                     // Inert: everything the successor can do, we can do
                     // after an unobservable step.
-                    sig.extend_from_slice(&sigs[t as usize]);
+                    sig.extend_from_slice(succ(t));
                 } else {
                     sig.push(SigEntry::Tau { block });
                 }
             }
             _ => sig.push(SigEntry::Act {
                 action: a,
-                block: part.block_of(t),
+                block: block_of[t as usize],
             }),
         }
     }
-    push_rate_entries(imc, part, s, &mut sig);
-    canonicalize(&mut sig);
-    sig
+    push_rate_entries(imc, block_of, s, sig, rates);
+    canonicalize(sig);
 }
 
 /// Signature that treats every tau edge as observable — used only as a
 /// fallback for states on unexpected tau cycles.
-fn conservative_signature(imc: &IoImc, part: &Partition, s: StateId) -> Signature {
+pub(crate) fn conservative_signature(imc: &IoImc, block_of: &[u32], s: StateId) -> Signature {
     let mut sig: Signature = Vec::new();
-    for &(a, t) in imc.interactive_from(s) {
-        match imc.kind_of(a) {
-            Some(ActionKind::Internal) => sig.push(SigEntry::Tau {
-                block: part.block_of(t),
-            }),
-            _ => sig.push(SigEntry::Act {
-                action: a,
-                block: part.block_of(t),
-            }),
-        }
-    }
-    push_rate_entries(imc, part, s, &mut sig);
-    canonicalize(&mut sig);
+    let mut rates: Vec<(u32, f64)> = Vec::new();
+    conservative_signature_into(imc, block_of, s, &mut sig, &mut rates);
     sig
 }
 
-/// Rate entries per target block, skipping the state's own block:
-/// lumpability only constrains cross-block rates (intra-block rates become
-/// unobservable self-loops of the quotient).
-fn push_rate_entries(imc: &IoImc, part: &Partition, s: StateId, sig: &mut Signature) {
-    let own = part.block_of(s);
-    let mut rates: HashMap<u32, f64> = HashMap::new();
-    for &(r, t) in imc.markovian_from(s) {
-        let block = part.block_of(t);
-        if block != own {
-            *rates.entry(block).or_insert(0.0) += r;
+/// [`conservative_signature`] into caller-provided buffers (see
+/// [`branching_signature_into`]).
+pub(crate) fn conservative_signature_into(
+    imc: &IoImc,
+    block_of: &[u32],
+    s: StateId,
+    sig: &mut Signature,
+    rates: &mut Vec<(u32, f64)>,
+) {
+    sig.clear();
+    for &(a, t) in imc.interactive_from(s) {
+        match imc.kind_of(a) {
+            Some(ActionKind::Internal) => sig.push(SigEntry::Tau {
+                block: block_of[t as usize],
+            }),
+            _ => sig.push(SigEntry::Act {
+                action: a,
+                block: block_of[t as usize],
+            }),
         }
     }
-    for (block, r) in rates {
-        sig.push(SigEntry::Rate {
-            block,
-            qrate: quantize_rate(r),
-        });
-    }
+    push_rate_entries(imc, block_of, s, sig, rates);
+    canonicalize(sig);
 }
 
-/// Orders states so that every tau edge goes from a later to an earlier
-/// position (tau-sinks first). States on tau cycles are omitted.
-///
-/// The predecessor adjacency is built in flat CSR form (count + fill) so
-/// the Kahn loop walks contiguous slices.
-fn tau_topological_order(imc: &IoImc) -> Vec<StateId> {
+/// The tau-edge structure the branching refiners schedule by: the
+/// topological order (tau-sinks first) plus the tau-predecessor adjacency
+/// in flat CSR form. The worklist refiner reuses the predecessor CSR to
+/// close its dirty set under internal-action predecessors.
+pub(crate) struct TauGraph {
+    /// States in topological order of the tau graph, tau-sinks first.
+    /// States on tau cycles are omitted.
+    pub order: Vec<StateId>,
+    /// Offsets into `preds` per state (`num_states + 1` entries).
+    pub pred_off: Vec<u32>,
+    /// Sources of internal-action edges into each state.
+    pub preds: Vec<StateId>,
+}
+
+/// Builds the [`TauGraph`] of `imc` (count + fill passes, Kahn's
+/// algorithm on the predecessor CSR).
+pub(crate) fn tau_graph(imc: &IoImc) -> TauGraph {
     let n = imc.num_states();
     let mut out_degree = vec![0usize; n];
     let mut pred_off = vec![0u32; n + 1];
@@ -257,7 +268,17 @@ fn tau_topological_order(imc: &IoImc) -> Vec<StateId> {
             }
         }
     }
-    order
+    TauGraph {
+        order,
+        pred_off,
+        preds,
+    }
+}
+
+/// Orders states so that every tau edge goes from a later to an earlier
+/// position (tau-sinks first). States on tau cycles are omitted.
+fn tau_topological_order(imc: &IoImc) -> Vec<StateId> {
+    tau_graph(imc).order
 }
 
 #[cfg(test)]

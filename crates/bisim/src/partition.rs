@@ -65,6 +65,10 @@ impl Partition {
 
     /// Groups the states of each block: `result[b]` lists the members of
     /// block `b`.
+    ///
+    /// Allocates one `Vec` per block; hot paths should use
+    /// [`Partition::members_csr`] instead, which groups the same
+    /// information into two flat arrays with a single counting sort.
     pub fn members(&self) -> Vec<Vec<StateId>> {
         let mut m = vec![Vec::new(); self.num_blocks];
         for (s, &b) in self.block.iter().enumerate() {
@@ -73,9 +77,77 @@ impl Partition {
         m
     }
 
+    /// Groups the members of every block in flat CSR form (counting sort,
+    /// two allocations total): `result.of(b)` is the ascending member
+    /// slice of block `b`.
+    pub fn members_csr(&self) -> BlockMembers {
+        let mut offsets = vec![0u32; self.num_blocks + 1];
+        for &b in &self.block {
+            offsets[b as usize + 1] += 1;
+        }
+        for i in 0..self.num_blocks {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut states: Vec<StateId> = vec![0; self.block.len()];
+        let mut cursor: Vec<u32> = offsets[..self.num_blocks].to_vec();
+        for (s, &b) in self.block.iter().enumerate() {
+            states[cursor[b as usize] as usize] = s as StateId;
+            cursor[b as usize] += 1;
+        }
+        BlockMembers { offsets, states }
+    }
+
+    /// The coarsest partition refining both `self` and the grouping given
+    /// by `hint` (an arbitrary per-state group id, not necessarily dense):
+    /// two states share a block iff they share a block of `self` *and* a
+    /// hint group. Blocks are numbered by first occurrence in ascending
+    /// state order, the same canonical numbering the refiners produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hint.len()` differs from the number of states.
+    pub fn meet(&self, hint: &[u32]) -> Partition {
+        assert_eq!(hint.len(), self.block.len(), "hint length mismatch");
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        let block: Vec<u32> = self
+            .block
+            .iter()
+            .zip(hint)
+            .map(|(&b, &h)| {
+                let next = ids.len() as u32;
+                *ids.entry((b, h)).or_insert(next)
+            })
+            .collect();
+        Partition {
+            block,
+            num_blocks: ids.len(),
+        }
+    }
+
     /// Whether two states are in the same block.
     pub fn same_block(&self, a: StateId, b: StateId) -> bool {
         self.block[a as usize] == self.block[b as usize]
+    }
+}
+
+/// Flat (CSR-style) block membership produced by
+/// [`Partition::members_csr`]: member lists of all blocks concatenated,
+/// plus per-block offsets.
+#[derive(Debug, Clone)]
+pub struct BlockMembers {
+    offsets: Vec<u32>,
+    states: Vec<StateId>,
+}
+
+impl BlockMembers {
+    /// The members of block `b`, in ascending state order.
+    pub fn of(&self, b: usize) -> &[StateId] {
+        &self.states[self.offsets[b] as usize..self.offsets[b + 1] as usize]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.offsets.len() - 1
     }
 }
 

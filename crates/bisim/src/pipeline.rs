@@ -1,14 +1,17 @@
 //! The aggregation pipeline used after every composition step.
 
+use std::time::Instant;
+
 use ioimc::mp::maximal_progress_cut;
-use ioimc::reach::restrict_reachable;
-use ioimc::scc::collapse_tau_sccs;
+use ioimc::reach::{restrict_reachable, restrict_reachable_with_map};
+use ioimc::scc::{collapse_tau_sccs, collapse_tau_sccs_with_map};
 use ioimc::{ActionId, IoImc, Stats};
 
-use crate::branching::{refine_branching, refine_branching_threaded};
+use crate::branching::{refine_branching, refine_branching_legacy};
 use crate::partition::Partition;
-use crate::quotient::quotient;
-use crate::strong::{refine_strong, refine_strong_threaded};
+use crate::quotient::{quotient, quotient_blocks};
+use crate::strong::{refine_strong, refine_strong_legacy};
+use crate::worklist::{refine_worklist_blocks, Mode, RefineCounters};
 
 /// Which equivalence to minimize with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -34,6 +37,42 @@ pub struct ReduceOptions {
     pub tau: ActionId,
 }
 
+/// Aggregation-phase breakdown of one [`reduce`] call (or the sum over a
+/// whole aggregation run): where refinement time goes and how much work
+/// the worklist discipline actually performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RefineStats {
+    /// Refinement rounds across all refine calls (≥ 1 per call).
+    pub refine_rounds: u64,
+    /// Per-state signature computations (the work the worklist saves:
+    /// the legacy loop's count is `rounds × states`).
+    pub states_resigned: u64,
+    /// Wall time computing and interning signatures.
+    pub signature_secs: f64,
+    /// Wall time splitting blocks and propagating dirtiness.
+    pub split_secs: f64,
+    /// Wall time building quotient automata.
+    pub quotient_secs: f64,
+}
+
+impl RefineStats {
+    /// Accumulates `other` into `self` (counter and time sums).
+    pub fn merge(&mut self, other: &RefineStats) {
+        self.refine_rounds += other.refine_rounds;
+        self.states_resigned += other.states_resigned;
+        self.signature_secs += other.signature_secs;
+        self.split_secs += other.split_secs;
+        self.quotient_secs += other.quotient_secs;
+    }
+
+    fn absorb(&mut self, counters: &RefineCounters) {
+        self.refine_rounds += counters.rounds;
+        self.states_resigned += counters.states_resigned;
+        self.signature_secs += counters.signature_secs;
+        self.split_secs += counters.split_secs;
+    }
+}
+
 /// Result of [`reduce`]: the minimized automaton plus before/after sizes
 /// (the paper reports the *largest intermediate* model, so callers track
 /// these).
@@ -45,6 +84,8 @@ pub struct Reduced {
     pub before: Stats,
     /// Size after reduction.
     pub after: Stats,
+    /// Where the reduction time went (zeroed by [`reduce_legacy`]).
+    pub refine: RefineStats,
 }
 
 /// Reduces `imc`: reachability restriction, tau-cycle collapse,
@@ -56,10 +97,150 @@ pub fn reduce(imc: &IoImc, opts: &ReduceOptions) -> Reduced {
 }
 
 /// [`reduce`] with the per-state signature computation of the refinement
-/// loops spread over `threads` scoped workers
-/// ([`refine_strong_threaded`] / [`refine_branching_threaded`]). The
-/// result is bitwise identical for every thread count.
+/// loops spread over `threads` scoped workers. The result is bitwise
+/// identical for every thread count.
 pub fn reduce_threaded(imc: &IoImc, opts: &ReduceOptions, threads: usize) -> Reduced {
+    reduce_seeded(imc, opts, threads, None)
+}
+
+/// [`reduce_threaded`] with an optional initial-partition hint carried
+/// from an earlier pipeline step (see the crate docs for the cross-step
+/// incremental contract).
+///
+/// `seed` gives an arbitrary (not necessarily dense) group id per state of
+/// `imc`; the refinement starts from the *meet* of the label partition and
+/// the hint instead of from labels alone. Since the hint can separate
+/// states the coarsest partition would merge, a seeded single refinement
+/// pass may yield a non-minimal (though always stable and sound) quotient;
+/// the hint is therefore only applied under [`Strategy::Branching`], whose
+/// re-refinement loop restarts from labels on the (much smaller) quotient
+/// and restores the coarsest fixpoint. Final states and partition blocks
+/// are identical to the unseeded path; lumped rates are accumulated through
+/// the intermediate quotient, so they can differ from the unseeded path in
+/// the last floating-point bits (well below the `1e-10` measure gates).
+pub fn reduce_seeded(
+    imc: &IoImc,
+    opts: &ReduceOptions,
+    threads: usize,
+    seed: Option<&[u32]>,
+) -> Reduced {
+    let before = Stats::of(imc);
+    let mut refine = RefineStats::default();
+    // The hint only helps Branching (see above); drop it otherwise rather
+    // than change the Strong/None results.
+    let seed = match opts.strategy {
+        Strategy::Branching => seed,
+        Strategy::None | Strategy::Strong => None,
+    };
+    // Prefix passes, carrying the per-state hint through each renumbering
+    // when present.
+    let mut carry: Option<Vec<u32>> = None;
+    let mut cur = match seed {
+        None => restrict_reachable(imc),
+        Some(hint) => {
+            let (r, old_of) = restrict_reachable_with_map(imc);
+            carry = Some(old_of.iter().map(|&o| hint[o as usize]).collect());
+            r
+        }
+    };
+    if opts.strategy != Strategy::None || !cur.internals().is_empty() {
+        match &mut carry {
+            None => cur = collapse_tau_sccs(&cur),
+            Some(hint) => {
+                let (r, old_of) = collapse_tau_sccs_with_map(&cur);
+                *hint = old_of.iter().map(|&o| hint[o as usize]).collect();
+                cur = r;
+            }
+        }
+    }
+    maximal_progress_cut(&mut cur); // in place: no renumbering
+    match &mut carry {
+        None => cur = restrict_reachable(&cur),
+        Some(hint) => {
+            let (r, old_of) = restrict_reachable_with_map(&cur);
+            *hint = old_of.iter().map(|&o| hint[o as usize]).collect();
+            cur = r;
+        }
+    }
+    match opts.strategy {
+        Strategy::None => {}
+        Strategy::Strong => {
+            let mut counters = RefineCounters::default();
+            let (p, sigs) = refine_worklist_blocks(
+                &cur,
+                &Partition::by_label(&cur),
+                threads,
+                Mode::Strong,
+                &mut counters,
+            );
+            refine.absorb(&counters);
+            let t0 = Instant::now();
+            cur = quotient_blocks(&cur, &p, &sigs, opts.tau);
+            refine.quotient_secs += t0.elapsed().as_secs_f64();
+            cur = restrict_reachable(&cur);
+        }
+        Strategy::Branching => {
+            // Quotients can expose new tau cycles between blocks that were
+            // separated by labels; iterate to a fixpoint (usually 1 round).
+            // The first round may start from a carried hint; later rounds
+            // restart from labels, which also erases any over-splitting the
+            // hint introduced.
+            let mut first = true;
+            loop {
+                let states_before = cur.num_states();
+                let seeded_round = first && carry.is_some();
+                let initial = match (&carry, seeded_round) {
+                    (Some(hint), true) => Partition::by_label(&cur).meet(hint),
+                    _ => Partition::by_label(&cur),
+                };
+                first = false;
+                let mut counters = RefineCounters::default();
+                let (p, sigs) =
+                    refine_worklist_blocks(&cur, &initial, threads, Mode::Branching, &mut counters);
+                refine.absorb(&counters);
+                let t0 = Instant::now();
+                cur = quotient_blocks(&cur, &p, &sigs, opts.tau);
+                refine.quotient_secs += t0.elapsed().as_secs_f64();
+                let q_sizes = (cur.num_states(), cur.num_interactive(), cur.num_markovian());
+                cur = collapse_tau_sccs(&cur);
+                maximal_progress_cut(&mut cur);
+                cur = restrict_reachable(&cur);
+                // A seeded round may be over-split by the hint, so it never
+                // terminates the loop: the following from-labels round on
+                // its (already shrunken) quotient restores the coarsest
+                // fixpoint.
+                if seeded_round {
+                    continue;
+                }
+                // The quotient of the *coarsest* stable partition has
+                // pairwise non-bisimilar states, so if the post passes left
+                // it untouched (no tau cycle collapsed, no rate cut, no
+                // state unreachable — the only things that could re-enable
+                // merging), re-refining it is a provable no-op: stop
+                // without the confirming pass the legacy loop pays for.
+                if (cur.num_states(), cur.num_interactive(), cur.num_markovian()) == q_sizes
+                    || cur.num_states() >= states_before
+                {
+                    break;
+                }
+            }
+        }
+    }
+    let after = Stats::of(&cur);
+    Reduced {
+        imc: cur,
+        before,
+        after,
+        refine,
+    }
+}
+
+/// [`reduce`] built on the pre-worklist recompute-all refinement loops
+/// ([`refine_strong_legacy`] / [`refine_branching_legacy`]), serial only.
+/// Kept as the differential-testing oracle: the `exp_scaling --smoke`
+/// gate asserts its quotient matches the worklist path on the full
+/// `rcs_scaled` aggregation. `refine` counters are left zeroed.
+pub fn reduce_legacy(imc: &IoImc, opts: &ReduceOptions) -> Reduced {
     let before = Stats::of(imc);
     let mut cur = restrict_reachable(imc);
     if opts.strategy != Strategy::None || !cur.internals().is_empty() {
@@ -70,16 +251,14 @@ pub fn reduce_threaded(imc: &IoImc, opts: &ReduceOptions, threads: usize) -> Red
     match opts.strategy {
         Strategy::None => {}
         Strategy::Strong => {
-            let (p, sigs) = refine_strong_threaded(&cur, Partition::by_label(&cur), threads);
+            let (p, sigs) = refine_strong_legacy(&cur, Partition::by_label(&cur));
             cur = quotient(&cur, &p, &sigs, opts.tau);
             cur = restrict_reachable(&cur);
         }
         Strategy::Branching => {
-            // Quotients can expose new tau cycles between blocks that were
-            // separated by labels; iterate to a fixpoint (usually 1 round).
             loop {
                 let states_before = cur.num_states();
-                let (p, sigs) = refine_branching_threaded(&cur, Partition::by_label(&cur), threads);
+                let (p, sigs) = refine_branching_legacy(&cur, Partition::by_label(&cur));
                 cur = quotient(&cur, &p, &sigs, opts.tau);
                 cur = collapse_tau_sccs(&cur);
                 maximal_progress_cut(&mut cur);
@@ -95,6 +274,7 @@ pub fn reduce_threaded(imc: &IoImc, opts: &ReduceOptions, threads: usize) -> Red
         imc: cur,
         before,
         after,
+        refine: RefineStats::default(),
     }
 }
 

@@ -1,7 +1,5 @@
 //! Quotient construction.
 
-use std::collections::HashMap;
-
 use ioimc::{ActionId, IoImc, StateId};
 
 use crate::partition::Partition;
@@ -23,24 +21,47 @@ use crate::signature::{SigEntry, Signature};
 ///
 /// Panics if `tau` is a visible (input/output) action of `imc`.
 pub fn quotient(imc: &IoImc, part: &Partition, sigs: &[Signature], tau: ActionId) -> IoImc {
+    quotient_inner(imc, part, |_, rep| sigs[rep as usize].as_slice(), tau)
+}
+
+/// [`quotient`] from one fixpoint signature per canonical *block* (as
+/// produced by the worklist refiner), skipping the per-state signature
+/// materialization. Identical output to [`quotient`] on the expanded
+/// per-state view.
+pub(crate) fn quotient_blocks(
+    imc: &IoImc,
+    part: &Partition,
+    block_sigs: &[Signature],
+    tau: ActionId,
+) -> IoImc {
+    quotient_inner(imc, part, |b, _| block_sigs[b].as_slice(), tau)
+}
+
+fn quotient_inner<'a>(
+    imc: &IoImc,
+    part: &Partition,
+    sig_for: impl Fn(usize, StateId) -> &'a [SigEntry],
+    tau: ActionId,
+) -> IoImc {
     assert!(
         !imc.is_visible(tau),
         "canonical tau action must not be visible"
     );
-    let members = part.members();
+    // Flat CSR membership: one counting sort, no per-block Vec allocations.
+    let members = part.members_csr();
     let k = part.num_blocks();
 
     let mut interactive: Vec<Vec<(ActionId, StateId)>> = Vec::with_capacity(k);
     let mut markovian: Vec<Vec<(f64, StateId)>> = Vec::with_capacity(k);
     let mut labels: Vec<u64> = Vec::with_capacity(k);
     let mut uses_tau = false;
+    let mut rates: Vec<(u32, f64)> = Vec::new();
 
-    #[allow(clippy::needless_range_loop)] // `b` is also the block id
     for b in 0..k {
-        let rep = members[b][0];
-        // Interactive edges from the representative's fixpoint signature.
+        let rep = members.of(b)[0];
+        // Interactive edges from the block's fixpoint signature.
         let mut inter = Vec::new();
-        for &entry in &sigs[rep as usize] {
+        for &entry in sig_for(b, rep) {
             match entry {
                 SigEntry::Act { action, block } => inter.push((action, block as StateId)),
                 SigEntry::Tau { block } => {
@@ -53,21 +74,34 @@ pub fn quotient(imc: &IoImc, part: &Partition, sigs: &[Signature], tau: ActionId
         // Markovian edges: exact lumped rates from a rate-carrying member.
         // Intra-block rates are dropped — they would be self-loops of the
         // quotient, which a CTMC generator cancels (and the refinement
-        // accordingly never constrained them).
-        let mut rates: HashMap<u32, f64> = HashMap::new();
-        if let Some(&carrier) = members[b]
+        // accordingly never constrained them). Markovian out-degrees are
+        // small, so a linear scan beats hashing; per-block sums accumulate
+        // in transition order, exactly like the hash-map accumulation this
+        // replaces, so rate sums are bit-identical.
+        rates.clear();
+        if let Some(&carrier) = members
+            .of(b)
             .iter()
             .find(|&&s| !imc.markovian_from(s).is_empty())
         {
             for &(r, t) in imc.markovian_from(carrier) {
-                if part.block_of(t) != b as u32 {
-                    *rates.entry(part.block_of(t)).or_insert(0.0) += r;
+                let tb = part.block_of(t);
+                if tb != b as u32 {
+                    match rates.iter_mut().find(|&&mut (bb, _)| bb == tb) {
+                        Some(&mut (_, ref mut acc)) => *acc += r,
+                        None => rates.push((tb, r)),
+                    }
                 }
             }
         }
-        let mark: Vec<(f64, StateId)> = rates.into_iter().map(|(t, r)| (r, t as StateId)).collect();
+        // Sort by target block: accumulation order is not canonical, and
+        // downstream rate-sum accumulation order must be reproducible
+        // across processes for the bitwise-determinism guarantee.
+        let mut mark: Vec<(f64, StateId)> =
+            rates.iter().map(|&(t, r)| (r, t as StateId)).collect();
+        mark.sort_unstable_by_key(|&(_, t)| t);
 
-        let label = members[b].iter().fold(0u64, |acc, &s| acc | imc.label(s));
+        let label = members.of(b).iter().fold(0u64, |acc, &s| acc | imc.label(s));
         interactive.push(inter);
         markovian.push(mark);
         labels.push(label);

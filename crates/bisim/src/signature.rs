@@ -1,6 +1,6 @@
 //! Signature entries for partition refinement.
 
-use ioimc::ActionId;
+use ioimc::{ActionId, IoImc, StateId};
 
 /// Number of low mantissa bits dropped when comparing Markovian rate sums.
 ///
@@ -54,6 +54,117 @@ pub type Signature = Vec<SigEntry>;
 pub fn canonicalize(sig: &mut Signature) {
     sig.sort_unstable();
     sig.dedup();
+}
+
+/// Appends the Rate entries of `s` to `sig`: one entry per target block
+/// with the quantized lumped rate, skipping the state's own block
+/// (lumpability only constrains cross-block rates; intra-block rates are
+/// unobservable quotient self-loops). `rates` is caller-provided scratch
+/// so hot refinement loops avoid a per-state allocation; per-block sums
+/// accumulate in transition order, exactly like the hash-map accumulation
+/// this replaces, so rate sums are bit-identical.
+pub(crate) fn push_rate_entries(
+    imc: &IoImc,
+    block_of: &[u32],
+    s: StateId,
+    sig: &mut Signature,
+    rates: &mut Vec<(u32, f64)>,
+) {
+    let own = block_of[s as usize];
+    rates.clear();
+    for &(r, t) in imc.markovian_from(s) {
+        let block = block_of[t as usize];
+        if block == own {
+            continue;
+        }
+        // Markovian out-degrees are small; a linear scan beats hashing.
+        match rates.iter_mut().find(|&&mut (b, _)| b == block) {
+            Some(&mut (_, ref mut acc)) => *acc += r,
+            None => rates.push((block, r)),
+        }
+    }
+    for &(block, r) in rates.iter() {
+        sig.push(SigEntry::Rate {
+            block,
+            qrate: quantize_rate(r),
+        });
+    }
+}
+
+/// Hash-consed signature storage for the worklist refiner.
+///
+/// Every distinct (canonicalized) signature is stored once and identified
+/// by a dense `u32` id, so "do these two states currently look alike?"
+/// is an integer compare instead of a structural hash + compare of a
+/// `Vec<SigEntry>`. Ids are assigned in interning order; the refiner
+/// interns sequentially in a deterministic state order, so the table —
+/// and everything derived from it — is identical across runs. Entries are
+/// `Arc`-shared slices: parallel signature workers read them (the
+/// branching signature of a state extends the signatures of its inert
+/// successors) without cloning.
+#[derive(Default)]
+pub struct SigTable {
+    map: ioimc::fxhash::FxHashMap<std::sync::Arc<[SigEntry]>, u32>,
+    sigs: Vec<std::sync::Arc<[SigEntry]>>,
+}
+
+impl std::fmt::Debug for SigTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigTable").field("len", &self.sigs.len()).finish()
+    }
+}
+
+impl SigTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `sig` (must already be canonicalized), returning its id.
+    /// Equal signatures always receive equal ids.
+    pub fn intern(&mut self, sig: Signature) -> u32 {
+        debug_assert!(sig.windows(2).all(|w| w[0] < w[1]), "not canonicalized");
+        if let Some(&id) = self.map.get(sig.as_slice()) {
+            return id;
+        }
+        let arc: std::sync::Arc<[SigEntry]> = sig.into();
+        let id = u32::try_from(self.sigs.len()).expect("more than u32::MAX signatures");
+        self.sigs.push(arc.clone());
+        self.map.insert(arc, id);
+        id
+    }
+
+    /// [`SigTable::intern`] from a borrowed slice: the entries are copied
+    /// into a fresh `Arc` only on a table miss. Hot loops compute each
+    /// signature into a reusable scratch buffer and intern it through
+    /// here, so the common case (signature already interned) allocates
+    /// nothing.
+    pub fn intern_slice(&mut self, sig: &[SigEntry]) -> u32 {
+        debug_assert!(sig.windows(2).all(|w| w[0] < w[1]), "not canonicalized");
+        if let Some(&id) = self.map.get(sig) {
+            return id;
+        }
+        let arc: std::sync::Arc<[SigEntry]> = sig.into();
+        let id = u32::try_from(self.sigs.len()).expect("more than u32::MAX signatures");
+        self.sigs.push(arc.clone());
+        self.map.insert(arc, id);
+        id
+    }
+
+    /// The entries of the signature with the given id.
+    pub fn get(&self, id: u32) -> &[SigEntry] {
+        &self.sigs[id as usize]
+    }
+
+    /// Number of distinct signatures interned so far.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -13,10 +13,15 @@ use std::collections::HashMap;
 use ioimc::{ActionKind, IoImc, StateId};
 
 use crate::partition::Partition;
-use crate::signature::{canonicalize, quantize_rate, SigEntry, Signature};
+use crate::signature::{canonicalize, push_rate_entries, SigEntry, Signature};
 
 /// Refines `initial` to the coarsest strong-bisimulation partition of
 /// `imc`, returning the partition and the fixpoint signature of each state.
+///
+/// Implemented by the worklist/splitter refiner (see [`crate::worklist`]):
+/// only states whose signature can have changed since the last round are
+/// re-signed. The result — partition numbering and signatures — is
+/// identical to [`refine_strong_legacy`].
 pub fn refine_strong(imc: &IoImc, initial: Partition) -> (Partition, Vec<Signature>) {
     refine_strong_threaded(imc, initial, 1)
 }
@@ -24,47 +29,37 @@ pub fn refine_strong(imc: &IoImc, initial: Partition) -> (Partition, Vec<Signatu
 /// [`refine_strong`] with the per-state signature computation spread over
 /// `threads` scoped workers.
 ///
-/// Signatures are pure functions of `(imc, partition, state)` and every
-/// signature is canonicalized (sorted) before use, so the refinement —
-/// and the resulting partition — is bitwise identical for every thread
-/// count; the `split` step itself stays sequential.
+/// Signatures are pure functions of `(imc, partition, state)` and are
+/// interned on the coordinating thread in ascending state order, so the
+/// refinement — and the resulting partition — is bitwise identical for
+/// every thread count; the split step itself stays sequential.
 pub fn refine_strong_threaded(
     imc: &IoImc,
     initial: Partition,
     threads: usize,
 ) -> (Partition, Vec<Signature>) {
+    let mut counters = crate::worklist::RefineCounters::default();
+    crate::worklist::refine_worklist(
+        imc,
+        &initial,
+        threads,
+        crate::worklist::Mode::Strong,
+        &mut counters,
+    )
+}
+
+/// The pre-worklist refinement loop: recomputes every state's signature on
+/// every round. Kept (serial only) as the differential-testing oracle for
+/// the worklist refiner — the proptests in this crate and the
+/// `exp_scaling --smoke` gate assert both produce identical partitions and
+/// quotients. Not a supported hot path.
+pub fn refine_strong_legacy(imc: &IoImc, initial: Partition) -> (Partition, Vec<Signature>) {
     let n = imc.num_states();
-    // Below a few thousand states the per-iteration thread spawns cost
-    // more than the signatures; run inline.
-    let threads = if n < crate::PAR_STATE_THRESHOLD {
-        1
-    } else {
-        threads
-    };
     let mut part = initial;
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
-    let chunk = n.div_ceil(4 * threads.max(1)).max(1);
-    let chunks: Vec<(usize, usize)> = (0..n)
-        .step_by(chunk)
-        .map(|start| (start, (start + chunk).min(n)))
-        .collect();
     loop {
-        if threads <= 1 {
-            for s in 0..n as StateId {
-                sigs[s as usize] = strong_signature(imc, &part, s);
-            }
-        } else {
-            let part_ref = &part;
-            let computed = ioimc::par::par_map(threads, &chunks, |_, &(start, end)| {
-                (start as StateId..end as StateId)
-                    .map(|s| strong_signature(imc, part_ref, s))
-                    .collect::<Vec<Signature>>()
-            });
-            for (&(start, _), chunk_sigs) in chunks.iter().zip(computed) {
-                for (off, sig) in chunk_sigs.into_iter().enumerate() {
-                    sigs[start + off] = sig;
-                }
-            }
+        for s in 0..n as StateId {
+            sigs[s as usize] = strong_signature(imc, part.blocks(), s);
         }
         let next = split(&part, &sigs);
         if next.num_blocks() == part.num_blocks() {
@@ -74,33 +69,35 @@ pub fn refine_strong_threaded(
     }
 }
 
-fn strong_signature(imc: &IoImc, part: &Partition, s: StateId) -> Signature {
+/// The strong signature of `s` against the per-state block array.
+pub(crate) fn strong_signature(imc: &IoImc, block_of: &[u32], s: StateId) -> Signature {
     let mut sig: Signature = Vec::new();
+    let mut rates: Vec<(u32, f64)> = Vec::new();
+    strong_signature_into(imc, block_of, s, &mut sig, &mut rates);
+    sig
+}
+
+/// [`strong_signature`] into caller-provided buffers: `sig` receives the
+/// canonicalized signature, `rates` is rate-accumulation scratch. Hot
+/// refinement loops reuse both across states to avoid per-state heap
+/// allocation.
+pub(crate) fn strong_signature_into(
+    imc: &IoImc,
+    block_of: &[u32],
+    s: StateId,
+    sig: &mut Signature,
+    rates: &mut Vec<(u32, f64)>,
+) {
+    sig.clear();
     for &(a, t) in imc.interactive_from(s) {
-        let block = part.block_of(t);
+        let block = block_of[t as usize];
         match imc.kind_of(a) {
             Some(ActionKind::Internal) => sig.push(SigEntry::Tau { block }),
             _ => sig.push(SigEntry::Act { action: a, block }),
         }
     }
-    // Ordinary lumpability constrains only the rates into *other* blocks;
-    // intra-block rates are self-loops of the quotient and unobservable.
-    let own = part.block_of(s);
-    let mut rates: HashMap<u32, f64> = HashMap::new();
-    for &(r, t) in imc.markovian_from(s) {
-        let block = part.block_of(t);
-        if block != own {
-            *rates.entry(block).or_insert(0.0) += r;
-        }
-    }
-    for (block, r) in rates {
-        sig.push(SigEntry::Rate {
-            block,
-            qrate: quantize_rate(r),
-        });
-    }
-    canonicalize(&mut sig);
-    sig
+    push_rate_entries(imc, block_of, s, sig, rates);
+    canonicalize(sig);
 }
 
 /// Splits every block of `part` by signature, producing the refined

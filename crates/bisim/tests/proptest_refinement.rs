@@ -5,9 +5,13 @@
 
 use smallrand::SmallRng;
 
+use bisim::branching::{refine_branching, refine_branching_threaded, refine_branching_legacy};
 use bisim::partition::Partition;
-use bisim::pipeline::{reduce, ReduceOptions, Strategy as Equivalence};
-use bisim::strong::refine_strong;
+use bisim::pipeline::{
+    reduce, reduce_legacy, reduce_seeded, ReduceOptions, Strategy as Equivalence,
+};
+use bisim::quotient::quotient;
+use bisim::strong::{refine_strong, refine_strong_threaded, refine_strong_legacy};
 use ioimc::builder::IoImcBuilder;
 use ioimc::{ActionId, IoImc};
 
@@ -177,5 +181,103 @@ fn reduce_handles_tau_cycles() {
         let r = reduce(&a, &opts(Equivalence::Branching)).imc;
         assert!(r.num_states() >= 1);
         assert!(ioimc::validate::validate(&r).is_ok());
+    }
+}
+
+/// The tau-acyclic preparation the pipeline applies before branching
+/// refinement (the branching refiner's precondition).
+fn prepare_branching(a: &IoImc) -> IoImc {
+    let mut cur = ioimc::scc::collapse_tau_sccs(&ioimc::reach::restrict_reachable(a));
+    ioimc::mp::maximal_progress_cut(&mut cur);
+    ioimc::reach::restrict_reachable(&cur)
+}
+
+/// The worklist strong refiner is a drop-in for the legacy
+/// recompute-all loop: identical partition (same numbering, not just the
+/// same equivalence), identical fixpoint signatures and identical
+/// quotient automaton, at every thread count.
+#[test]
+fn worklist_strong_matches_legacy() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(8000 + seed));
+        let (lp, lsigs) = refine_strong_legacy(&a, Partition::by_label(&a));
+        for threads in [1usize, 2, 4] {
+            let (wp, wsigs) = if threads == 1 {
+                refine_strong(&a, Partition::by_label(&a))
+            } else {
+                refine_strong_threaded(&a, Partition::by_label(&a), threads)
+            };
+            assert_eq!(wp.num_blocks(), lp.num_blocks(), "seed {seed}, {threads} threads");
+            assert_eq!(wp.blocks(), lp.blocks(), "seed {seed}, {threads} threads");
+            assert_eq!(wsigs, lsigs, "seed {seed}, {threads} threads");
+            let wq = quotient(&a, &wp, &wsigs, ActionId(1));
+            let lq = quotient(&a, &lp, &lsigs, ActionId(1));
+            assert_eq!(wq, lq, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+/// Same drop-in contract for the branching refiner (on the tau-acyclic
+/// form the pipeline prepares).
+#[test]
+fn worklist_branching_matches_legacy() {
+    for seed in 0..CASES {
+        let a = prepare_branching(&arb_automaton(&mut SmallRng::seed_from_u64(9000 + seed)));
+        let (lp, lsigs) = refine_branching_legacy(&a, Partition::by_label(&a));
+        for threads in [1usize, 2, 4] {
+            let (wp, wsigs) = if threads == 1 {
+                refine_branching(&a, Partition::by_label(&a))
+            } else {
+                refine_branching_threaded(&a, Partition::by_label(&a), threads)
+            };
+            assert_eq!(wp.num_blocks(), lp.num_blocks(), "seed {seed}, {threads} threads");
+            assert_eq!(wp.blocks(), lp.blocks(), "seed {seed}, {threads} threads");
+            assert_eq!(wsigs, lsigs, "seed {seed}, {threads} threads");
+            let wq = quotient(&a, &wp, &wsigs, ActionId(1));
+            let lq = quotient(&a, &lp, &lsigs, ActionId(1));
+            assert_eq!(wq, lq, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+/// The full worklist pipeline reproduces the legacy pipeline's automaton
+/// exactly (both strategies, unseeded).
+#[test]
+fn reduce_matches_reduce_legacy() {
+    for seed in 0..CASES {
+        let a = arb_automaton(&mut SmallRng::seed_from_u64(10_000 + seed));
+        for strategy in [Equivalence::None, Equivalence::Strong, Equivalence::Branching] {
+            let w = reduce(&a, &opts(strategy)).imc;
+            let l = reduce_legacy(&a, &opts(strategy)).imc;
+            assert_eq!(w, l, "seed {seed}, {strategy:?}");
+        }
+    }
+}
+
+/// A cross-step refinement seed — any grouping hint, however adversarial
+/// — never changes the minimized model: the seeded quotient has the same
+/// size as the unseeded one and is bisimilar to it. (Rates here are
+/// integers, so lumped sums are exact and the equivalence check is
+/// float-noise-free.)
+#[test]
+fn seeded_reduce_agrees_with_unseeded() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(11_000 + seed);
+        let a = arb_automaton(&mut rng);
+        let groups = rng.range_u32(1, 4);
+        let hint: Vec<u32> = (0..a.num_states()).map(|_| rng.range_u32(0, 7) % groups).collect();
+        let o = opts(Equivalence::Branching);
+        let plain = reduce(&a, &o).imc;
+        let seeded = reduce_seeded(&a, &o, 1, Some(&hint)).imc;
+        assert_eq!(seeded.num_states(), plain.num_states(), "seed {seed}");
+        assert_eq!(
+            seeded.num_interactive() + seeded.num_markovian(),
+            plain.num_interactive() + plain.num_markovian(),
+            "seed {seed}"
+        );
+        assert!(
+            bisim::pipeline::equivalent(&seeded, &plain, &o),
+            "seed {seed}: seeded quotient not bisimilar to the unseeded one"
+        );
     }
 }

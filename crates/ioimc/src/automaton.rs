@@ -215,6 +215,41 @@ impl IoImc {
         (&self.mark_off, &self.mark)
     }
 
+    /// Transposed adjacency over *all* transitions (interactive and
+    /// Markovian alike) in flat CSR form: `preds[off[t]..off[t + 1]]`
+    /// lists the sources of every edge into `t`, in ascending source
+    /// order. Parallel edges are kept (one entry per transition), which
+    /// is what the worklist refiner in the `bisim` crate wants — it marks
+    /// predecessors dirty and duplicates are absorbed by the dirty mask.
+    pub fn incoming(&self) -> (Vec<u32>, Vec<StateId>) {
+        let n = self.num_states();
+        let mut off = vec![0u32; n + 1];
+        for &(_, t) in &self.inter {
+            off[t as usize + 1] += 1;
+        }
+        for &(_, t) in &self.mark {
+            off[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut preds: Vec<StateId> = vec![0; off[n] as usize];
+        let mut cursor: Vec<u32> = off[..n].to_vec();
+        // Scanning sources in ascending order keeps each target's
+        // predecessor slice sorted by source.
+        for s in 0..n {
+            for &(_, t) in &self.inter[self.inter_off[s] as usize..self.inter_off[s + 1] as usize] {
+                preds[cursor[t as usize] as usize] = s as StateId;
+                cursor[t as usize] += 1;
+            }
+            for &(_, t) in &self.mark[self.mark_off[s] as usize..self.mark_off[s + 1] as usize] {
+                preds[cursor[t as usize] as usize] = s as StateId;
+                cursor[t as usize] += 1;
+            }
+        }
+        (off, preds)
+    }
+
     /// The label of state `s`.
     pub fn label(&self, s: StateId) -> StateLabel {
         self.labels[s as usize]

@@ -7,7 +7,6 @@
 //! output `a!` synchronizes with inputs `a?` the result is an output `a!`.
 //! Markovian transitions interleave.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::alphabet::ActionId;
@@ -100,6 +99,25 @@ pub fn check_compatible(a: &IoImc, b: &IoImc) -> Result<(), ComposeError> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
+    Ok(parallel_with_pairs(a, b)?.0)
+}
+
+/// [`parallel`], additionally returning the provenance of every product
+/// state: `pairs[s] = (sa, sb)` is the component state pair the composite
+/// state `s` was built from. The numbering is the BFS discovery order used
+/// by [`parallel`] itself (normalization sorts transition rows in place and
+/// never renumbers states), so the map stays valid for the returned
+/// automaton. The aggregation engine uses it to carry the quotient
+/// partition of step N into the refinement of step N+1.
+///
+/// # Errors
+///
+/// Returns a [`ComposeError`] if the automata are not composable.
+#[allow(clippy::type_complexity)]
+pub fn parallel_with_pairs(
+    a: &IoImc,
+    b: &IoImc,
+) -> Result<(IoImc, Vec<(StateId, StateId)>), ComposeError> {
     check_compatible(a, b)?;
 
     // Composite signature.
@@ -123,7 +141,8 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
     // discovery order and fully expanded one at a time, so the composite
     // transitions can be emitted straight into flat CSR storage — no
     // per-state Vec allocations on this hot path.
-    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut index: crate::fxhash::FxHashMap<(StateId, StateId), StateId> =
+        crate::fxhash::FxHashMap::default();
     let mut pairs: Vec<(StateId, StateId)> = Vec::new();
     let mut inter_off: Vec<u32> = vec![0];
     let mut inter: Vec<(ActionId, StateId)> = Vec::new();
@@ -133,7 +152,7 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
 
     let get_or_insert = |sa: StateId,
                          sb: StateId,
-                         index: &mut HashMap<(StateId, StateId), StateId>,
+                         index: &mut crate::fxhash::FxHashMap<(StateId, StateId), StateId>,
                          pairs: &mut Vec<(StateId, StateId)>|
      -> StateId {
         *index.entry((sa, sb)).or_insert_with(|| {
@@ -213,7 +232,7 @@ pub fn parallel(a: &IoImc, b: &IoImc) -> Result<IoImc, ComposeError> {
         0, inputs, outputs, internals, inter_off, inter, mark_off, mark, labels,
     );
     out.normalize();
-    Ok(out)
+    Ok((out, pairs))
 }
 
 /// Folds [`parallel`] over a non-empty slice of automata, left to right.

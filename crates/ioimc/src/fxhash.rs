@@ -1,0 +1,119 @@
+//! A minimal Fx-style hasher for the refinement hot paths.
+//!
+//! Signature interning hashes a `[SigEntry]` slice per re-signed state —
+//! millions of times per aggregation — and the DoS resistance of std's
+//! default SipHash buys nothing against our own signature data. This is
+//! the classic multiply-rotate-xor hash used by rustc, dependency-free
+//! and deterministic across processes (no random seeding), which also
+//! keeps hash-map behavior reproducible run to run.
+
+use std::hash::{BuildHasher, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One in-flight Fx hash computation.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in rem.iter().enumerate() {
+                word |= u64::from(b) << (8 * i);
+            }
+            self.add(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` handing out zero-state [`FxHasher`]s.
+#[derive(Default, Clone)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_ne!(hash_of(&42u32), hash_of(&43u32));
+        assert_ne!(hash_of(&[1u32, 2, 3][..]), hash_of(&[1u32, 3, 2][..]));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert(vec![i, i + 1], i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&vec![i, i + 1]), Some(&i));
+        }
+    }
+}

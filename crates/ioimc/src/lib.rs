@@ -71,6 +71,7 @@ pub mod automaton;
 pub mod builder;
 pub mod compose;
 pub mod dot;
+pub mod fxhash;
 pub mod hide;
 pub mod mp;
 pub mod par;

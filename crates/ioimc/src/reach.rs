@@ -9,6 +9,14 @@ use crate::automaton::{IoImc, StateId};
 /// can disconnect parts of the state space; call this afterwards to keep
 /// state counts honest.
 pub fn restrict_reachable(imc: &IoImc) -> IoImc {
+    restrict_reachable_with_map(imc).0
+}
+
+/// [`restrict_reachable`], additionally returning the provenance map
+/// `old_of[new] = old`: the original id of every surviving state, indexed
+/// by its new (BFS-order) id. Passes that carry an initial-partition hint
+/// across renumbering pipeline steps compose these maps.
+pub fn restrict_reachable_with_map(imc: &IoImc) -> (IoImc, Vec<StateId>) {
     let n = imc.num_states();
     let mut map: Vec<Option<StateId>> = vec![None; n];
     let mut order: Vec<StateId> = Vec::new();
@@ -30,6 +38,16 @@ pub fn restrict_reachable(imc: &IoImc) -> IoImc {
                 order.push(t);
             }
         }
+    }
+    // Composition products and quotients are typically emitted in BFS
+    // order already, making the restriction a renumbering no-op; detect
+    // that and clone the CSR arrays instead of remapping every transition.
+    // (Normalize still runs — it is what the rebuild path applies on top
+    // of the identity remap, and it is cheap on already-normalized input.)
+    if order.len() == n && order.iter().enumerate().all(|(i, &s)| i as StateId == s) {
+        let mut out = imc.clone();
+        out.normalize();
+        return (out, order);
     }
     // Emit the renumbered transitions straight into CSR form: the states
     // are visited in their new order, so each state's slice is contiguous.
@@ -59,7 +77,7 @@ pub fn restrict_reachable(imc: &IoImc) -> IoImc {
         labels,
     );
     out.normalize();
-    out
+    (out, order)
 }
 
 #[cfg(test)]

@@ -16,9 +16,21 @@ use crate::automaton::{IoImc, StateId};
 /// self-loops are cancelled by normalization. Divergence is treated
 /// *insensitively*, as in branching bisimulation: a state on a tau cycle
 /// is equivalent to the same state without the cycle, so cross-SCC
-/// Markovian transitions survive the merge. The result is
-/// reachability-restricted and normalized.
+/// Markovian transitions survive the merge. The result is normalized; when
+/// anything merges it is also reachability-restricted (when nothing merges
+/// the input comes back unchanged — callers restrict beforehand).
 pub fn collapse_tau_sccs(imc: &IoImc) -> IoImc {
+    collapse_tau_sccs_with_map(imc).0
+}
+
+/// [`collapse_tau_sccs`], additionally returning the provenance map
+/// `old_of[new] = old`: for every state of the result, the *smallest*
+/// original state id of the merged SCC it represents. Since all states of
+/// a tau SCC are weakly bisimilar, any member is an equally valid
+/// representative for carrying an initial-partition hint; picking the
+/// minimum keeps the map deterministic. The internal reachability
+/// restriction at the end is composed into the map.
+pub fn collapse_tau_sccs_with_map(imc: &IoImc) -> (IoImc, Vec<StateId>) {
     let n = imc.num_states();
     // Tau adjacency in flat CSR form (counting pass + fill pass).
     let is_tau = |a| imc.internals().binary_search(&a).is_ok();
@@ -28,11 +40,13 @@ pub fn collapse_tau_sccs(imc: &IoImc) -> IoImc {
         tau_off[s as usize + 1] = tau_off[s as usize] + taus.count() as u32;
     }
     let mut tau_next: Vec<StateId> = vec![0; tau_off[n] as usize];
+    let mut tau_self_loop = false;
     {
         let mut cursor: Vec<u32> = tau_off[..n].to_vec();
         for s in 0..n as u32 {
             for &(a, t) in imc.interactive_from(s) {
                 if is_tau(a) {
+                    tau_self_loop |= t == s;
                     tau_next[cursor[s as usize] as usize] = t;
                     cursor[s as usize] += 1;
                 }
@@ -42,6 +56,18 @@ pub fn collapse_tau_sccs(imc: &IoImc) -> IoImc {
 
     let comp = tarjan(n, &tau_off, &tau_next);
     let num_comp = comp.iter().copied().max().map_or(0, |m| m + 1) as usize;
+
+    // Every SCC a singleton and no divergent self-loop: nothing merges and
+    // nothing is dropped, so the collapse is a renumbering of an automaton
+    // the caller will renumber again anyway. Skip both rebuilds (the
+    // component permutation and the internal reachability restriction) and
+    // hand back the input; normalize mirrors what the rebuild path applies
+    // and is cheap on already-normalized input.
+    if num_comp == n && !tau_self_loop {
+        let mut out = imc.clone();
+        out.normalize();
+        return (out, (0..n as StateId).collect());
+    }
 
     let mut interactive: Vec<Vec<(crate::ActionId, StateId)>> = vec![Vec::new(); num_comp];
     let mut markovian: Vec<Vec<(f64, StateId)>> = vec![Vec::new(); num_comp];
@@ -72,7 +98,18 @@ pub fn collapse_tau_sccs(imc: &IoImc) -> IoImc {
         labels,
     );
     out.normalize();
-    crate::reach::restrict_reachable(&out)
+    // Smallest original member of each component (ascending scan: the
+    // first state hitting a component is its minimum).
+    let mut rep: Vec<StateId> = vec![StateId::MAX; num_comp];
+    for s in 0..n {
+        let c = comp[s] as usize;
+        if rep[c] == StateId::MAX {
+            rep[c] = s as StateId;
+        }
+    }
+    let (restricted, comp_of) = crate::reach::restrict_reachable_with_map(&out);
+    let old_of = comp_of.iter().map(|&c| rep[c as usize]).collect();
+    (restricted, old_of)
 }
 
 /// Iterative Tarjan SCC over a CSR adjacency (`next[next_off[v]..next_off[v+1]]`
