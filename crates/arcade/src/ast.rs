@@ -255,6 +255,24 @@ impl SmuDef {
     }
 }
 
+/// A named rate parameter for parametric sweeps.
+///
+/// A parameter binds to every *raw* distribution rate in the definition
+/// that is bitwise equal to its `base` value — the value the model was
+/// declared with. Declaring `lambda` with base `0.001` makes every
+/// `Dist::exp(0.001)` (and every Erlang/hypoexponential phase with that
+/// exact rate) follow the parameter when the model is re-rated at another
+/// point, while rates that merely happen to be *close* stay fixed. Choose
+/// distinct base values for distinct parameters (validated by
+/// [`crate::model::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateParam {
+    /// Unique parameter name.
+    pub name: String,
+    /// The declared base value the parameter binds to (finite, positive).
+    pub base: f64,
+}
+
 /// A complete Arcade system definition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemDef {
@@ -268,6 +286,8 @@ pub struct SystemDef {
     pub smus: Vec<SmuDef>,
     /// The `SYSTEM DOWN` criterion (§3.5.4).
     pub system_down: Option<Expr>,
+    /// Declared rate parameters for sweeps (empty = concrete model).
+    pub params: Vec<RateParam>,
 }
 
 impl SystemDef {
@@ -279,6 +299,7 @@ impl SystemDef {
             repair_units: Vec::new(),
             smus: Vec::new(),
             system_down: None,
+            params: Vec::new(),
         }
     }
 
@@ -306,9 +327,83 @@ impl SystemDef {
         self
     }
 
+    /// Declares a rate parameter binding to every raw distribution rate
+    /// bitwise equal to `base` (see [`RateParam`]).
+    pub fn add_param(&mut self, name: impl Into<String>, base: f64) -> &mut Self {
+        self.params.push(RateParam {
+            name: name.into(),
+            base,
+        });
+        self
+    }
+
+    /// Whether the definition declares any rate parameters.
+    pub fn is_parametric(&self) -> bool {
+        !self.params.is_empty()
+    }
+
+    /// The concrete definition at the given parameter point: every raw
+    /// distribution rate bitwise equal to a parameter's base is replaced
+    /// by the corresponding entry of `values`, and the parameter
+    /// declarations are dropped. Values must be positive and finite —
+    /// `Dist::exp(0.0)` is a *structurally* different model
+    /// ([`Dist::Never`]), not a limit of rates.
+    ///
+    /// This is the reference semantics of a sweep point: analyzing
+    /// `def.at_point(v)` from scratch describes the same CTMC the sweep
+    /// engine reaches by re-rating the aggregated quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of declared
+    /// parameters.
+    pub fn at_point(&self, values: &[f64]) -> Self {
+        assert_eq!(
+            values.len(),
+            self.params.len(),
+            "one value per declared parameter"
+        );
+        let table: Vec<(u64, f64)> = self
+            .params
+            .iter()
+            .zip(values)
+            .map(|(p, &v)| (p.base.to_bits(), v))
+            .collect();
+        let subst = |r: f64| {
+            table
+                .iter()
+                .find(|&&(bits, _)| bits == r.to_bits())
+                .map_or(r, |&(_, v)| v)
+        };
+        let mut out = self.clone();
+        out.params = Vec::new();
+        for bc in &mut out.components {
+            for d in &mut bc.ttf {
+                *d = d.map_rates(subst);
+            }
+            for d in &mut bc.ttr {
+                *d = d.map_rates(subst);
+            }
+            if let Some(d) = &mut bc.ttr_df {
+                *d = d.map_rates(subst);
+            }
+        }
+        for smu in &mut out.smus {
+            if let Some(d) = &mut smu.failover {
+                *d = d.map_rates(subst);
+            }
+        }
+        out
+    }
+
     /// Looks up a component definition by name.
     pub fn component(&self, name: &str) -> Option<&BcDef> {
         self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a declared parameter's index by name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
     }
 
     /// The reliability variant of the model: all repair units removed, so
@@ -376,6 +471,35 @@ mod tests {
         assert_eq!(smu.primary, "pp");
         assert_eq!(smu.spares, vec!["ps"]);
         assert!(smu.failover.is_some());
+    }
+
+    #[test]
+    fn at_point_substitutes_by_bit_equality() {
+        let mut sys = SystemDef::new("s");
+        sys.add_component(BcDef::new("a", Dist::exp(0.001), Dist::exp(0.5)));
+        sys.add_component(BcDef::new("b", Dist::erlang(2, 0.001), Dist::exp(1.0)));
+        sys.add_param("lambda", 0.001);
+        assert!(sys.is_parametric());
+        assert_eq!(sys.param_index("lambda"), Some(0));
+        assert_eq!(sys.param_index("mu"), None);
+
+        let moved = sys.at_point(&[0.004]);
+        assert!(!moved.is_parametric());
+        assert_eq!(moved.components[0].ttf[0], Dist::Exp(0.004));
+        assert_eq!(moved.components[1].ttf[0], Dist::Erlang(2, 0.004));
+        // Rates not bitwise equal to the base stay fixed.
+        assert_eq!(moved.components[0].ttr[0], Dist::Exp(0.5));
+        assert_eq!(moved.components[1].ttr[0], Dist::Exp(1.0));
+        // The original is untouched.
+        assert_eq!(sys.components[0].ttf[0], Dist::Exp(0.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per declared parameter")]
+    fn at_point_checks_arity() {
+        let mut sys = SystemDef::new("s");
+        sys.add_param("lambda", 0.001);
+        let _ = sys.at_point(&[]);
     }
 
     #[test]

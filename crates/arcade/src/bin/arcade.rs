@@ -7,6 +7,8 @@
 //! arcade modular  <model.arcade> [--time T]... [--json] [--dense-limit N]
 //!                                [--threads N] [--steady-tol X]
 //!                                [--adaptive 0|1] [--support-tol X]
+//! arcade sweep    <model.arcade> --param NAME@BASE=V1,V2,... [--param ...]
+//!                                [--time T]... [--json] [engine flags]
 //! arcade simulate <model.arcade> --time T [--reps N] [--seed S]
 //! arcade check    <model.arcade>                          validate only
 //! arcade blocks   <model.arcade>                          block automaton sizes
@@ -31,6 +33,15 @@
 //! truncation budget (`0` = lossless windowing). `analyze --json` also
 //! reports session counters (Poisson cache hits/misses, DTMC steps,
 //! sweeps) under `"stats"`.
+//!
+//! `sweep` runs a parametric sweep: each `--param NAME@BASE=V1,V2,...`
+//! declares rate parameter `NAME` binding every rate in the model whose
+//! value is exactly `BASE`, and sweeps it over the listed values (the
+//! cartesian product across `--param` flags). The model is aggregated
+//! **once** at the base rates; every grid point re-rates the quotient
+//! CTMC and solves steady-state unavailability, MTTF, and unreliability
+//! at each `--time` (see [`arcade::query::Session::sweep`]). Output rows
+//! carry finite-difference sensitivities per parameter.
 
 use std::process::ExitCode;
 
@@ -39,7 +50,7 @@ use arcade::model::SystemModel;
 use arcade::modular::modular_analysis;
 use arcade::parser::parse_system;
 use arcade::printer::to_arcade_text;
-use arcade::query::{Measure, Session};
+use arcade::query::{Measure, ParamGrid, Session};
 use arcade::sim;
 
 fn main() -> ExitCode {
@@ -61,8 +72,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
     let def = parse_system(&text).map_err(|e| e.to_string())?;
     let json = args.iter().any(|a| a == "--json");
-    if json && !matches!(cmd.as_str(), "analyze" | "modular") {
-        return Err("--json is only supported by `analyze` and `modular`".to_owned());
+    if json && !matches!(cmd.as_str(), "analyze" | "modular" | "sweep") {
+        return Err("--json is only supported by `analyze`, `modular` and `sweep`".to_owned());
     }
 
     match cmd.as_str() {
@@ -176,6 +187,119 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("  reliability (no repair):   {:.10}", values[3 + 3 * i]);
                 println!("  unreliability w/ repair:   {:.6e}", values[4 + 3 * i]);
                 println!("  point unavailability:      {:.6e}", values[5 + 3 * i]);
+            }
+            Ok(())
+        }
+        "sweep" => {
+            let mut def = def;
+            let specs = param_specs(args)?;
+            if specs.is_empty() {
+                return Err("sweep needs at least one --param NAME@BASE=V1,V2,...".to_owned());
+            }
+            for (name, base, _) in &specs {
+                def.add_param(name, *base);
+            }
+            let times = time_values(args)?;
+            let opts = engine_options(args)?;
+            let session = Session::new(&def)
+                .map_err(|e| e.to_string())?
+                .with_options(opts);
+            let mut measures = vec![Measure::SteadyStateUnavailability, Measure::Mttf];
+            for &t in &times {
+                measures.push(Measure::Unreliability(t));
+            }
+            let grid = ParamGrid::cartesian(
+                specs
+                    .iter()
+                    .map(|(name, _, values)| (name.clone(), values.clone())),
+            );
+            let result = session.sweep(&measures, &grid).map_err(|e| e.to_string())?;
+
+            if json {
+                let mut points = String::new();
+                for (i, (pt, row)) in result.points.iter().zip(&result.values).enumerate() {
+                    if i > 0 {
+                        points.push(',');
+                    }
+                    let sens = result.sensitivities[i]
+                        .iter()
+                        .map(|per_param| {
+                            format!(
+                                "[{}]",
+                                per_param
+                                    .iter()
+                                    .map(|s| s.map_or("null".to_owned(), json_f64))
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    points.push_str(&format!(
+                        "{{\"point\":[{}],\"steady_state_unavailability\":{},\"mttf\":{},\
+                         \"unreliability\":[{}],\"sensitivities\":[{sens}]}}",
+                        pt.iter()
+                            .map(|v| json_f64(*v))
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        json_f64(row[0]),
+                        json_f64(row[1]),
+                        row[2..]
+                            .iter()
+                            .map(|v| json_f64(*v))
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ));
+                }
+                let stats = session.stats();
+                println!(
+                    "{{\"model\":{},\"schema_version\":1,\
+                     \"params\":[{}],\"times\":[{}],\"points\":[{points}],\
+                     \"stats\":{{\"aggregations_built\":{},\"poisson_hits\":{},\
+                     \"poisson_misses\":{},\"poisson_evictions\":{},\
+                     \"dtmc_steps\":{},\"sweeps\":{}}}}}",
+                    json_str(&def.name),
+                    result
+                        .names
+                        .iter()
+                        .map(|n| json_str(n))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    times
+                        .iter()
+                        .map(|t| json_f64(*t))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    stats.aggregations_built,
+                    stats.poisson_hits,
+                    stats.poisson_misses,
+                    stats.poisson_evictions,
+                    stats.dtmc_steps,
+                    stats.sweeps,
+                );
+                return Ok(());
+            }
+            println!(
+                "{} points over {} ({} aggregation(s))",
+                result.points.len(),
+                result.names.join(" × "),
+                session.stats().aggregations_built,
+            );
+            for (pt, row) in result.points.iter().zip(&result.values) {
+                let coords = result
+                    .names
+                    .iter()
+                    .zip(pt)
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!();
+                println!("{coords}:");
+                println!("  steady-state unavailability: {:.6e}", row[0]);
+                println!("  MTTF:                        {:.6e}", row[1]);
+                for (k, &t) in times.iter().enumerate() {
+                    println!("  unreliability(t={t}):        {:.6e}", row[2 + k]);
+                }
             }
             Ok(())
         }
@@ -318,6 +442,42 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, String> {
     Ok(opts)
 }
 
+/// Collects `--param NAME@BASE=V1,V2,...` declarations for `sweep`:
+/// parameter name, the base rate it binds in the model, and the value
+/// axis to sweep.
+fn param_specs(args: &[String]) -> Result<Vec<(String, f64, Vec<f64>)>, String> {
+    let bad =
+        |spec: &str, why: &str| format!("--param expects NAME@BASE=V1,V2,... — `{spec}`: {why}");
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a != "--param" {
+            continue;
+        }
+        let spec = it.next().ok_or("--param needs a value")?;
+        let (head, tail) = spec
+            .split_once('=')
+            .ok_or_else(|| bad(spec, "missing `=`"))?;
+        let (name, base) = head
+            .split_once('@')
+            .ok_or_else(|| bad(spec, "missing `@BASE`"))?;
+        if name.is_empty() {
+            return Err(bad(spec, "empty parameter name"));
+        }
+        let base: f64 = base.parse().map_err(|e| bad(spec, &format!("base: {e}")))?;
+        let values: Vec<f64> = tail
+            .split(',')
+            .map(|v| v.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| bad(spec, &format!("values: {e}")))?;
+        if values.is_empty() {
+            return Err(bad(spec, "needs at least one value"));
+        }
+        out.push((name.to_owned(), base, values));
+    }
+    Ok(out)
+}
+
 /// Collects `--time` values and rejects what the solvers would panic on.
 fn time_values(args: &[String]) -> Result<Vec<f64>, String> {
     let times = flag_values(args, "--time")?;
@@ -372,9 +532,9 @@ fn json_str(s: &str) -> String {
 }
 
 fn usage() -> String {
-    "usage: arcade <analyze|modular|simulate|check|blocks|dot|format> <model.arcade> \
-     [--time T]... [--json] [--reps N] [--seed S] [--dense-limit N] \
-     [--threads N (0 = auto)] [--steady-tol X (0 disables detection)] \
+    "usage: arcade <analyze|modular|sweep|simulate|check|blocks|dot|format> <model.arcade> \
+     [--time T]... [--json] [--param NAME@BASE=V1,V2,...] [--reps N] [--seed S] \
+     [--dense-limit N] [--threads N (0 = auto)] [--steady-tol X (0 disables detection)] \
      [--adaptive 0|1] [--support-tol X (0 = lossless windowing)]"
         .to_owned()
 }

@@ -187,7 +187,7 @@ impl Behaviour for BcBehaviour {
         out
     }
 
-    fn markovian(&self, s: &St) -> Vec<(f64, St)> {
+    fn markovian(&self, s: &St) -> Vec<(f64, f64, St)> {
         let Pos::Op(p) = s.pos else {
             return Vec::new();
         };
@@ -200,6 +200,7 @@ impl Behaviour for BcBehaviour {
         if p + 1 < rates.len() {
             vec![(
                 rate,
+                1.0,
                 St {
                     pos: Pos::Op((p + 1) as u8),
                     ..s.clone()
@@ -207,13 +208,16 @@ impl Behaviour for BcBehaviour {
             )]
         } else {
             // Final phase: split the completion rate over the inherent
-            // failure modes (Fig. 4).
+            // failure modes (Fig. 4). The split probability rides as the
+            // multiplier so the raw phase rate stays visible for
+            // parameter binding.
             self.mode_probs
                 .iter()
                 .enumerate()
                 .map(|(j, &q)| {
                     (
-                        rate * q,
+                        rate,
+                        q,
                         St {
                             pos: Pos::EmitM(j as u8),
                             ..s.clone()
@@ -299,7 +303,13 @@ pub fn build_bc(def: &SystemDef, idx: usize, signals: &Signals) -> Result<IoImc,
         pos: Pos::Op(0),
         announced: false,
     };
-    explore(&behaviour, initial, &inputs, &outputs)
+    explore(
+        &behaviour,
+        initial,
+        &inputs,
+        &outputs,
+        &super::ParamPool::from_def(def),
+    )
 }
 
 #[cfg(test)]

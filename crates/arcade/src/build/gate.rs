@@ -105,7 +105,7 @@ impl Behaviour for GateBehaviour {
         }
     }
 
-    fn markovian(&self, _s: &St) -> Vec<(f64, St)> {
+    fn markovian(&self, _s: &St) -> Vec<(f64, f64, St)> {
         Vec::new() // gates are purely reactive
     }
 }
@@ -225,6 +225,8 @@ fn build_gate(
         },
         &inputs,
         &[failed, up],
+        // Gates are purely reactive, so there are no rates to bind.
+        &super::ParamPool::default(),
     )?;
     gates.push(Block {
         name: format!("gate{no}"),

@@ -29,9 +29,46 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 use ioimc::builder::IoImcBuilder;
-use ioimc::{ActionId, IoImc};
+use ioimc::{ActionId, IoImc, RateForm};
 
+use crate::ast::SystemDef;
 use crate::error::ArcadeError;
+
+/// Maps raw distribution rates to declared parameters by bit-equality of
+/// the base value (see [`crate::ast::RateParam`]). An empty pool means the
+/// model is concrete and blocks carry no rate forms at all — the legacy,
+/// zero-overhead path.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ParamPool {
+    /// `(base bits, parameter id)` per declared parameter.
+    bound: Vec<(u64, u32)>,
+}
+
+impl ParamPool {
+    pub(crate) fn from_def(def: &SystemDef) -> Self {
+        Self {
+            bound: def
+                .params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.base.to_bits(), i as u32))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.bound.is_empty()
+    }
+
+    /// The parameter bound to `raw`, if any.
+    pub(crate) fn lookup(&self, raw: f64) -> Option<u32> {
+        let bits = raw.to_bits();
+        self.bound
+            .iter()
+            .find(|&&(b, _)| b == bits)
+            .map(|&(_, pid)| pid)
+    }
+}
 
 /// A block's behaviour as a deterministic reactive machine over abstract
 /// states. Implementations must be *canonical*: states that should be
@@ -48,10 +85,14 @@ pub(crate) trait Behaviour {
     /// input; return a clone of `s` for "ignore").
     fn on_input(&self, s: &Self::State, a: ActionId) -> Self::State;
 
-    /// The Markovian races of `s`. Only consulted when no output is
-    /// pending (maximal progress — an unstable state cannot let time
-    /// pass, so offering its rates would only inflate the automaton).
-    fn markovian(&self, s: &Self::State) -> Vec<(f64, Self::State)>;
+    /// The Markovian races of `s` as `(raw, mult, successor)` triples:
+    /// `raw` is the declared distribution rate (what parameters bind to,
+    /// see [`ParamPool`]) and `mult` a branching multiplier (failure-mode
+    /// probability; `1.0` otherwise). The effective transition rate is
+    /// `raw * mult`. Only consulted when no output is pending (maximal
+    /// progress — an unstable state cannot let time pass, so offering its
+    /// rates would only inflate the automaton).
+    fn markovian(&self, s: &Self::State) -> Vec<(f64, f64, Self::State)>;
 }
 
 /// Explores the reachable abstract states of `b` and assembles the
@@ -66,6 +107,7 @@ pub(crate) fn explore<B: Behaviour>(
     initial: B::State,
     inputs: &[ActionId],
     outputs: &[ActionId],
+    pool: &ParamPool,
 ) -> Result<IoImc, ArcadeError> {
     let mut builder = IoImcBuilder::new();
     builder.set_inputs(inputs.iter().copied());
@@ -105,9 +147,20 @@ pub(crate) fn explore<B: Behaviour>(
             builder.interactive(src, a, t);
         }
         if pending.is_none() {
-            for (rate, succ) in b.markovian(&state) {
+            for (raw, mult, succ) in b.markovian(&state) {
                 let t = intern(succ, &mut builder, &mut todo, &mut index);
-                builder.markovian(src, rate, t);
+                // `raw * 1.0 == raw` bitwise, so concrete models see the
+                // exact rates they always did.
+                let rate = raw * mult;
+                if pool.is_empty() {
+                    builder.markovian(src, rate, t);
+                } else {
+                    let form = match pool.lookup(raw) {
+                        Some(pid) => RateForm::scaled(pid, mult),
+                        None => RateForm::constant(rate),
+                    };
+                    builder.markovian_formed(src, rate, t, form);
+                }
             }
         }
     }

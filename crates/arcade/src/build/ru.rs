@@ -106,7 +106,7 @@ impl Behaviour for RuBehaviour {
         out
     }
 
-    fn markovian(&self, s: &St) -> Vec<(f64, St)> {
+    fn markovian(&self, s: &St) -> Vec<(f64, f64, St)> {
         let Some(pos) = self.served(&s.queue) else {
             return Vec::new();
         };
@@ -124,7 +124,7 @@ impl Behaviour for RuBehaviour {
             self.select_next(&mut out.queue);
             out.emit = Some(c);
         }
-        vec![(rate, out)]
+        vec![(rate, 1.0, out)]
     }
 }
 
@@ -180,6 +180,7 @@ pub fn build_ru(def: &SystemDef, ru: &RuDef, signals: &Signals) -> Result<IoImc,
         },
         &inputs,
         &outputs,
+        &super::ParamPool::from_def(def),
     )
 }
 

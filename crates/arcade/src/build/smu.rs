@@ -116,7 +116,7 @@ impl Behaviour for SmuBehaviour {
         })
     }
 
-    fn markovian(&self, s: &St) -> Vec<(f64, St)> {
+    fn markovian(&self, s: &St) -> Vec<(f64, f64, St)> {
         let Fo::Phase(p) = s.fo else {
             return Vec::new();
         };
@@ -128,6 +128,7 @@ impl Behaviour for SmuBehaviour {
         };
         vec![(
             rate,
+            1.0,
             St {
                 fo: next,
                 ..s.clone()
@@ -175,8 +176,6 @@ pub fn build_smu(def: &SystemDef, smu: &SmuDef, signals: &Signals) -> Result<IoI
             deactivate.push(signals.deactivate[ci].expect("paired with activate"));
         }
     }
-    _ = def; // signature symmetry with the other builders
-
     let behaviour = SmuBehaviour {
         num_spares: smu.spares.len(),
         fo_rates: smu
@@ -201,7 +200,13 @@ pub fn build_smu(def: &SystemDef, smu: &SmuDef, signals: &Signals) -> Result<IoI
         active: None,
         fo: Fo::Idle,
     };
-    explore(&behaviour, behaviour.canon(initial), &inputs, &outputs)
+    explore(
+        &behaviour,
+        behaviour.canon(initial),
+        &inputs,
+        &outputs,
+        &super::ParamPool::from_def(def),
+    )
 }
 
 #[cfg(test)]

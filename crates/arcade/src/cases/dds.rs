@@ -91,6 +91,29 @@ pub fn dds_scaled(clusters: usize) -> SystemDef {
     def
 }
 
+/// The full DDS model with its three rate constants declared as sweep
+/// parameters — `proc_rate` ([`PROC_RATE`], processors *and* disk
+/// controllers), `disk_rate` ([`DISK_RATE`]) and `repair_rate`
+/// ([`REPAIR_RATE`]) — at the paper's values as bases. Evaluating at the
+/// bases reproduces [`dds`] exactly; see
+/// [`Session::sweep`](crate::query::Session::sweep).
+pub fn dds_parametric() -> SystemDef {
+    dds_scaled_parametric(6)
+}
+
+/// The parametric variant of [`dds_scaled`]: same model, with
+/// `proc_rate` / `disk_rate` / `repair_rate` declared as sweep
+/// parameters. Parameters bind by exact rate value, so `proc_rate`
+/// covers every component using [`PROC_RATE`] (processors and disk
+/// controllers alike).
+pub fn dds_scaled_parametric(clusters: usize) -> SystemDef {
+    let mut def = dds_scaled(clusters);
+    def.add_param("proc_rate", PROC_RATE)
+        .add_param("disk_rate", DISK_RATE)
+        .add_param("repair_rate", REPAIR_RATE);
+    def
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

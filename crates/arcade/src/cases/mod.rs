@@ -3,5 +3,5 @@
 pub mod dds;
 pub mod rcs;
 
-pub use dds::{dds, dds_scaled};
-pub use rcs::{rcs, rcs_scaled, rcs_scaled_kofn, rcs_stiff};
+pub use dds::{dds, dds_parametric, dds_scaled, dds_scaled_parametric};
+pub use rcs::{rcs, rcs_scaled, rcs_scaled_kofn, rcs_scaled_parametric, rcs_stiff};

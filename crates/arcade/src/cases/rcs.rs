@@ -371,6 +371,28 @@ pub fn rcs_stiff(lines: usize) -> SystemDef {
     def
 }
 
+/// The parametric variant of [`rcs_scaled`]: same model, with the
+/// exponential rate constants declared as sweep parameters —
+/// `valve_rate` ([`VALVE_RATE`]), `filter_rate` ([`FILTER_RATE`]),
+/// `hx_rate` ([`HX_RATE`]) and `repair_rate` ([`COMMON_REPAIR_RATE`]).
+/// Parameters bind by exact rate value: `repair_rate` also covers the
+/// pump Erlang repair phases, whose rate
+/// ([`PUMP_REPAIR_PHASE_RATE`]) equals [`COMMON_REPAIR_RATE`]. The pump
+/// *failure* phases stay concrete (their normal and degraded rates are
+/// distinct constants and scale together only as a pair).
+///
+/// # Panics
+///
+/// Panics if `lines < 2`, like [`rcs_scaled`].
+pub fn rcs_scaled_parametric(lines: usize) -> SystemDef {
+    let mut def = rcs_scaled(lines);
+    def.add_param("valve_rate", VALVE_RATE)
+        .add_param("filter_rate", FILTER_RATE)
+        .add_param("hx_rate", HX_RATE)
+        .add_param("repair_rate", COMMON_REPAIR_RATE);
+    def
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,19 @@ impl Dist {
         }
     }
 
+    /// The distribution with every phase rate passed through `f`,
+    /// preserving the shape. Used by [`crate::ast::SystemDef::at_point`]
+    /// to substitute parameter values; `f` must return positive finite
+    /// rates for the result to be a valid distribution.
+    pub fn map_rates(&self, f: impl Fn(f64) -> f64) -> Self {
+        match self {
+            Self::Never => Self::Never,
+            Self::Exp(r) => Self::Exp(f(*r)),
+            Self::Erlang(k, r) => Self::Erlang(*k, f(*r)),
+            Self::Hypo(rs) => Self::Hypo(rs.iter().map(|&r| f(r)).collect()),
+        }
+    }
+
     /// Number of phases (0 for [`Dist::Never`]).
     pub fn num_phases(&self) -> usize {
         match self {

@@ -69,6 +69,34 @@
 //! `cargo run --release -p arcade --bin arcaded`, or embed the server
 //! in-process via [`serve::serve`]. See [`serve`] for the wire protocol
 //! and [`serve::protocol`] for the measure-spec reference.
+//!
+//! # Sweeping
+//!
+//! Design-space exploration evaluates the *same* measures at thousands of
+//! rate configurations. Declare named rate parameters on the definition
+//! ([`ast::SystemDef::add_param`] binds a name to a base rate by exact
+//! f64 bit equality) and hand [`query::Session::sweep`] a
+//! [`query::ParamGrid`] (cartesian axes or an explicit point list):
+//!
+//! * **Quotient-reuse contract.** Changing a *declared Markovian rate*
+//!   never changes the interactive structure, so the expensive
+//!   aggregation/bisimulation quotient is computed **once per
+//!   configuration** at the base rates and each grid point only clones
+//!   the reduced CTMC and rewrites its rate entries in place (same CSR
+//!   layout — no re-aggregation, no re-refinement). Anything that *does*
+//!   change structure — components, repair strategies, the failure
+//!   criterion, or a rate the model was not parameterized over — needs a
+//!   new [`query::Session`].
+//! * **Determinism.** Per-point solves fan out over the worker pool and
+//!   every value is bitwise identical to what a fresh session's
+//!   [`query::Session::evaluate_at`] returns at that point, at any
+//!   thread count.
+//! * **Sensitivities.** On cartesian grids, [`query::SweepResult`]
+//!   carries finite-difference sensitivities ∂measure/∂parameter
+//!   (central differences interior, one-sided at the edges).
+//!
+//! The same engine is exposed as the `arcade sweep --json` CLI
+//! subcommand and as the `sweep` wire command of `arcaded`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -93,14 +121,14 @@ pub mod sim;
 
 pub use analysis::Analysis;
 pub use error::ArcadeError;
-pub use query::{Measure, Session};
+pub use query::{Measure, ParamGrid, Session, SweepResult};
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::analysis::Analysis;
-    pub use crate::ast::{BcDef, OmGroup, RepairStrategy, RuDef, SmuDef, SystemDef};
+    pub use crate::ast::{BcDef, OmGroup, RateParam, RepairStrategy, RuDef, SmuDef, SystemDef};
     pub use crate::dist::Dist;
     pub use crate::error::ArcadeError;
     pub use crate::expr::Expr;
-    pub use crate::query::{Measure, Session};
+    pub use crate::query::{Measure, ParamGrid, Session, SweepResult};
 }

@@ -237,6 +237,36 @@ impl SystemModel {
 /// Static validation of a [`SystemDef`] (name uniqueness, arities,
 /// cross-references, SMU/RU constraints).
 pub fn validate(def: &SystemDef) -> Result<(), ArcadeError> {
+    // Rate parameters: unique names, positive finite bases, and pairwise
+    // distinct base bits (a base shared between two parameters would make
+    // the bit-equality binding ambiguous).
+    let mut param_names = HashSet::new();
+    let mut param_bases: HashMap<u64, &str> = HashMap::new();
+    for p in &def.params {
+        if p.name.is_empty() {
+            return Err(ArcadeError::invalid("parameter with empty name"));
+        }
+        if !param_names.insert(p.name.as_str()) {
+            return Err(ArcadeError::invalid(format!(
+                "duplicate parameter name `{}`",
+                p.name
+            )));
+        }
+        if !p.base.is_finite() || p.base <= 0.0 {
+            return Err(ArcadeError::invalid(format!(
+                "parameter `{}`: base value {} must be positive and finite",
+                p.name, p.base
+            )));
+        }
+        if let Some(other) = param_bases.insert(p.base.to_bits(), &p.name) {
+            return Err(ArcadeError::invalid(format!(
+                "parameters `{other}` and `{}` share the base value {} \
+                 (bases must be bitwise distinct to bind unambiguously)",
+                p.name, p.base
+            )));
+        }
+    }
+
     let mut names = HashSet::new();
     for bc in &def.components {
         if bc.name.is_empty() {
@@ -586,6 +616,24 @@ mod tests {
             RepairStrategy::PreemptivePriority,
         ));
         assert!(validate(&def).is_err()); // missing priorities
+    }
+
+    #[test]
+    fn param_constraints() {
+        let mut def = simple_def();
+        def.add_param("lambda", 0.1);
+        assert!(validate(&def).is_ok());
+        def.add_param("lambda", 0.2);
+        assert!(validate(&def).is_err()); // duplicate name
+        let mut def = simple_def();
+        def.add_param("a", 0.5).add_param("b", 0.5);
+        assert!(validate(&def).is_err()); // shared base
+        let mut def = simple_def();
+        def.add_param("a", 0.0);
+        assert!(validate(&def).is_err()); // non-positive base
+        let mut def = simple_def();
+        def.add_param("a", f64::NAN);
+        assert!(validate(&def).is_err()); // non-finite base
     }
 
     #[test]

@@ -75,8 +75,8 @@ use std::sync::{Arc, OnceLock};
 
 use ctmc::csl::StateFormula;
 use ctmc::measures::state_mass as mass;
-use ctmc::transient::transient_many_from_cached;
-use ctmc::{Ctmc, PoissonCache};
+use ctmc::transient::transient_many_from_ctx;
+use ctmc::{Ctmc, MeasureContext, TransientOptions};
 
 use crate::ast::SystemDef;
 use crate::build::observer::DOWN_BIT;
@@ -136,15 +136,16 @@ pub struct SessionStats {
     pub poisson_hits: u64,
     /// Poisson weight lookups that had to expand a fresh vector.
     pub poisson_misses: u64,
-    /// DTMC matrix-vector products performed since the session was
-    /// created. Read from the process-wide
-    /// [`ctmc::transient::dtmc_steps_performed`] counter, so concurrent
-    /// sessions in one process blur attribution — exact for the CLI's
-    /// one-session-per-process runs.
+    /// Poisson weight vectors evicted from the session's bounded memo
+    /// (see [`ctmc::poisson::DEFAULT_CAPACITY`]).
+    pub poisson_evictions: u64,
+    /// DTMC matrix-vector products this session performed. Counted
+    /// through the session's own [`ctmc::MeasureContext`], so concurrent
+    /// sessions in one process attribute their work exactly — no
+    /// cross-contamination.
     pub dtmc_steps: u64,
-    /// Uniformization sweeps (grid segments stepped) since the session
-    /// was created; same process-wide caveat as
-    /// [`SessionStats::dtmc_steps`].
+    /// Uniformization sweeps (grid segments stepped) this session ran;
+    /// per-session like [`SessionStats::dtmc_steps`].
     pub sweeps: u64,
     /// Wall time of the aggregation builds this session ran, in
     /// microseconds (integral so the stats snapshot stays `Eq`).
@@ -176,6 +177,114 @@ pub struct EvalTrace {
     /// building them — it blocked on the shared cell instead of
     /// duplicating the build.
     pub waited: u32,
+}
+
+/// The points of a parametric sweep: named rate parameters (declared on
+/// the [`SystemDef`] via [`SystemDef::add_param`]) paired with the values
+/// to evaluate — either as a cartesian product of per-parameter axes or
+/// as an explicit point list. See [`Session::sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamGrid {
+    names: Vec<String>,
+    kind: GridKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum GridKind {
+    /// One value axis per parameter; the points are the cartesian product
+    /// in row-major order (the **last** axis varies fastest).
+    Cartesian(Vec<Vec<f64>>),
+    /// An explicit point list, one value per parameter each.
+    Explicit(Vec<Vec<f64>>),
+}
+
+impl ParamGrid {
+    /// A cartesian grid: one `(parameter name, axis values)` pair per
+    /// swept parameter. Points enumerate in row-major order with the last
+    /// axis varying fastest. Finite-difference sensitivities are
+    /// available on cartesian grids (central differences between grid
+    /// neighbors, one-sided at the edges).
+    pub fn cartesian(axes: impl IntoIterator<Item = (impl Into<String>, Vec<f64>)>) -> Self {
+        let (names, axes) = axes.into_iter().map(|(n, v)| (n.into(), v)).unzip();
+        Self {
+            names,
+            kind: GridKind::Cartesian(axes),
+        }
+    }
+
+    /// An explicit point list: each point gives one value per named
+    /// parameter, in the order of `names`. No sensitivities are computed
+    /// for explicit lists (the points need not be axis-aligned).
+    pub fn points_list(
+        names: impl IntoIterator<Item = impl Into<String>>,
+        points: impl Into<Vec<Vec<f64>>>,
+    ) -> Self {
+        Self {
+            names: names.into_iter().map(Into::into).collect(),
+            kind: GridKind::Explicit(points.into()),
+        }
+    }
+
+    /// The swept parameter names, in point-value order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of points the grid enumerates.
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            GridKind::Cartesian(axes) => axes.iter().map(Vec::len).product(),
+            GridKind::Explicit(ps) => ps.len(),
+        }
+    }
+
+    /// Whether the grid enumerates no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the points, each a vector of values in `names` order.
+    pub fn points(&self) -> Vec<Vec<f64>> {
+        match &self.kind {
+            GridKind::Explicit(ps) => ps.clone(),
+            GridKind::Cartesian(axes) => {
+                let total: usize = axes.iter().map(Vec::len).product();
+                let mut out = Vec::with_capacity(total);
+                let mut idx = vec![0usize; axes.len()];
+                for _ in 0..total {
+                    out.push(idx.iter().zip(axes).map(|(&i, ax)| ax[i]).collect());
+                    for k in (0..axes.len()).rev() {
+                        idx[k] += 1;
+                        if idx[k] < axes[k].len() {
+                            break;
+                        }
+                        idx[k] = 0;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The result of a [`Session::sweep`]: per-point measure values plus
+/// finite-difference sensitivities where the grid provides neighbors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The swept parameter names, in point-value order.
+    pub names: Vec<String>,
+    /// The evaluated points (one value per name each), in grid order.
+    pub points: Vec<Vec<f64>>,
+    /// `values[i][j]` — measure `j` of the batch at point `i`. Every row
+    /// is bitwise identical to what a fresh session's
+    /// [`Session::evaluate_at`] returns at that point.
+    pub values: Vec<Vec<f64>>,
+    /// `sensitivities[i][j][k]` — the finite-difference estimate of
+    /// `∂ measure j / ∂ param k` at point `i`: a central difference
+    /// between the two grid neighbors along axis `k` where both exist,
+    /// one-sided at the axis edges, and `None` on explicit point lists or
+    /// single-value axes.
+    pub sensitivities: Vec<Vec<Vec<Option<f64>>>>,
 }
 
 /// Per-configuration memo: the aggregation and everything derived from it.
@@ -221,13 +330,16 @@ pub struct Session {
     opts: EngineOptions,
     availability: ConfigCache,
     no_repair: ConfigCache,
-    /// Poisson weight memo shared by **all** transient queries of the
-    /// session, across configurations and batches: uniform grids step by
-    /// one `Δt`, and chains with equal uniformization rates (e.g. the
-    /// availability CTMC and its absorbing-down transform) share the
+    /// The session's measurement context: the Poisson weight memo shared
+    /// by **all** transient queries of the session (uniform grids step by
+    /// one `Δt`, and chains with equal uniformization rates — e.g. the
+    /// availability CTMC and its absorbing-down transform — share the
     /// exact `Λ·Δt` keys, so repeated measures over the same grid expand
-    /// each weight vector once.
-    poisson: PoissonCache,
+    /// each weight vector once; the memo is capacity-bounded so large
+    /// parameter sweeps cannot grow it without limit), plus the
+    /// session-scoped solver work counters behind
+    /// [`SessionStats::dtmc_steps`] / [`SessionStats::sweeps`].
+    ctx: MeasureContext,
     aggregations_built: AtomicU32,
     absorbing_built: AtomicU32,
     steady_solves: AtomicU32,
@@ -239,10 +351,6 @@ pub struct Session {
     quotient_us: AtomicU64,
     refine_rounds: AtomicU64,
     states_resigned: AtomicU64,
-    /// Process-wide transient counter values captured at construction,
-    /// so [`Session::stats`] can report the work done since.
-    dtmc_steps_base: u64,
-    sweeps_base: u64,
 }
 
 impl Clone for Session {
@@ -254,7 +362,7 @@ impl Clone for Session {
             opts: self.opts.clone(),
             availability: self.availability.clone(),
             no_repair: self.no_repair.clone(),
-            poisson: self.poisson.clone(),
+            ctx: self.ctx.clone(),
             aggregations_built: AtomicU32::new(self.aggregations_built.load(Ordering::Relaxed)),
             absorbing_built: AtomicU32::new(self.absorbing_built.load(Ordering::Relaxed)),
             steady_solves: AtomicU32::new(self.steady_solves.load(Ordering::Relaxed)),
@@ -264,8 +372,6 @@ impl Clone for Session {
             quotient_us: AtomicU64::new(self.quotient_us.load(Ordering::Relaxed)),
             refine_rounds: AtomicU64::new(self.refine_rounds.load(Ordering::Relaxed)),
             states_resigned: AtomicU64::new(self.states_resigned.load(Ordering::Relaxed)),
-            dtmc_steps_base: self.dtmc_steps_base,
-            sweeps_base: self.sweeps_base,
         }
     }
 }
@@ -287,7 +393,7 @@ impl Session {
             opts: EngineOptions::new(),
             availability: ConfigCache::default(),
             no_repair: ConfigCache::default(),
-            poisson: PoissonCache::new(),
+            ctx: MeasureContext::new(),
             aggregations_built: AtomicU32::new(0),
             absorbing_built: AtomicU32::new(0),
             steady_solves: AtomicU32::new(0),
@@ -297,8 +403,6 @@ impl Session {
             quotient_us: AtomicU64::new(0),
             refine_rounds: AtomicU64::new(0),
             states_resigned: AtomicU64::new(0),
-            dtmc_steps_base: ctmc::transient::dtmc_steps_performed(),
-            sweeps_base: ctmc::transient::sweeps_performed(),
         })
     }
 
@@ -320,11 +424,11 @@ impl Session {
             aggregations_built: self.aggregations_built.load(Ordering::Relaxed),
             absorbing_built: self.absorbing_built.load(Ordering::Relaxed),
             steady_solves: self.steady_solves.load(Ordering::Relaxed),
-            poisson_hits: self.poisson.hits(),
-            poisson_misses: self.poisson.misses(),
-            dtmc_steps: ctmc::transient::dtmc_steps_performed()
-                .saturating_sub(self.dtmc_steps_base),
-            sweeps: ctmc::transient::sweeps_performed().saturating_sub(self.sweeps_base),
+            poisson_hits: self.ctx.poisson.hits(),
+            poisson_misses: self.ctx.poisson.misses(),
+            poisson_evictions: self.ctx.poisson.evictions(),
+            dtmc_steps: self.ctx.counters.dtmc_steps(),
+            sweeps: self.ctx.counters.sweeps(),
             aggregation_us: self.aggregation_us.load(Ordering::Relaxed),
             signature_us: self.signature_us.load(Ordering::Relaxed),
             split_us: self.split_us.load(Ordering::Relaxed),
@@ -526,12 +630,12 @@ impl Session {
     fn unavailability_curve(&self, ts: &[f64]) -> Result<Vec<f64>, ArcadeError> {
         let down = self.down_states(Config::Availability)?;
         let ctmc = &self.aggregation(Config::Availability)?.ctmc;
-        Ok(transient_many_from_cached(
+        Ok(transient_many_from_ctx(
             ctmc,
             &ctmc.initial_distribution(),
             ts,
             &self.opts.solver.transient,
-            &self.poisson,
+            &self.ctx,
         )
         .iter()
         .map(|pi| mass(&down, pi))
@@ -546,12 +650,12 @@ impl Session {
             return Ok(vec![0.0; ts.len()]);
         }
         let absorbing = self.absorbing(cfg)?;
-        Ok(transient_many_from_cached(
+        Ok(transient_many_from_ctx(
             absorbing,
             &absorbing.initial_distribution(),
             ts,
             &self.opts.solver.transient,
-            &self.poisson,
+            &self.ctx,
         )
         .iter()
         .map(|pi| mass(&down, pi))
@@ -690,23 +794,23 @@ impl Session {
                 Measure::Mttf => self.mttf()?,
                 Measure::IntervalAvailability(t) => {
                     let ctmc = &self.aggregation(Config::Availability)?.ctmc;
-                    1.0 - ctmc::csl::interval_down_fraction_with(
+                    1.0 - ctmc::csl::interval_down_fraction_ctx(
                         ctmc,
                         &StateFormula::down(),
                         *t,
                         &self.opts.solver.transient,
-                        &self.poisson,
+                        &self.ctx,
                     )
                 }
                 Measure::BoundedUntil { phi, psi, t } => {
                     let ctmc = &self.aggregation(Config::Availability)?.ctmc;
-                    ctmc::csl::until_bounded_with(
+                    ctmc::csl::until_bounded_ctx(
                         ctmc,
                         phi,
                         psi,
                         *t,
                         &self.opts.solver.transient,
-                        &self.poisson,
+                        &self.ctx,
                     )
                 }
             };
@@ -719,6 +823,322 @@ impl Session {
                 waited: trace.waited.load(Ordering::Relaxed),
             },
         ))
+    }
+
+    /// Evaluates a measure batch at one parameter point of a parametric
+    /// model (one declared via [`SystemDef::add_param`]): the base
+    /// aggregation is built (or reused) **once**, its quotient CTMC is
+    /// re-rated to `values` — same CSR layout, only the Markovian rates
+    /// rewritten through the carried rate forms — and the measures are
+    /// solved on the re-rated chain. No re-composition, no re-refinement.
+    ///
+    /// `values` gives one value per **declared** parameter, in declaration
+    /// order (positive, finite). Evaluating at the declared base values
+    /// reproduces [`Session::evaluate`] bitwise: re-rating at the base
+    /// recovers the aggregated rates exactly, and the solver path is the
+    /// same.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::Invalid`] if the model declares no
+    /// parameters, the arity is wrong, or a value is not positive finite;
+    /// otherwise propagates aggregation/analysis errors.
+    pub fn evaluate_at(
+        &self,
+        measures: &[Measure],
+        values: &[f64],
+    ) -> Result<Vec<f64>, ArcadeError> {
+        if self.def.params.is_empty() {
+            return Err(ArcadeError::invalid(
+                "evaluate_at needs declared rate parameters (SystemDef::add_param)",
+            ));
+        }
+        if values.len() != self.def.params.len() {
+            return Err(ArcadeError::invalid(format!(
+                "expected {} parameter values, got {}",
+                self.def.params.len(),
+                values.len()
+            )));
+        }
+        for (p, &v) in self.def.params.iter().zip(values) {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(ArcadeError::invalid(format!(
+                    "parameter `{}`: value {v} must be positive and finite",
+                    p.name
+                )));
+            }
+        }
+        self.evaluate_at_full(measures, values)
+    }
+
+    /// Evaluates a measure batch over a whole [`ParamGrid`]: each needed
+    /// configuration is aggregated **once** (at the declared base values),
+    /// then every grid point re-rates the cached quotient and solves —
+    /// points fan out over worker threads
+    /// ([`EngineOptions::with_threads`](crate::engine::EngineOptions)),
+    /// and every per-point row is bitwise identical to a fresh session's
+    /// [`Session::evaluate_at`] at any thread count (each point is solved
+    /// by exactly the code the serial path runs). Finite-difference
+    /// sensitivities come with cartesian grids ([`SweepResult`]).
+    ///
+    /// Per-point scratch artifacts (steady vectors, absorbing transforms)
+    /// are not recorded in [`SessionStats::steady_solves`] /
+    /// [`SessionStats::absorbing_built`]; the solver work itself shows up
+    /// in [`SessionStats::dtmc_steps`] / [`SessionStats::sweeps`], and
+    /// [`SessionStats::aggregations_built`] stays at one per needed
+    /// configuration no matter how many points the grid has.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArcadeError::Invalid`] for unknown/duplicate grid
+    /// parameter names, ragged explicit points, or non-positive values;
+    /// otherwise propagates aggregation/analysis errors.
+    pub fn sweep(
+        &self,
+        measures: &[Measure],
+        grid: &ParamGrid,
+    ) -> Result<SweepResult, ArcadeError> {
+        if self.def.params.is_empty() {
+            return Err(ArcadeError::invalid(
+                "sweep needs declared rate parameters (SystemDef::add_param)",
+            ));
+        }
+        let mut pids: Vec<usize> = Vec::with_capacity(grid.names().len());
+        for n in grid.names() {
+            let pid = self
+                .def
+                .param_index(n)
+                .ok_or_else(|| ArcadeError::invalid(format!("unknown parameter `{n}`")))?;
+            if pids.contains(&pid) {
+                return Err(ArcadeError::invalid(format!(
+                    "parameter `{n}` appears twice in the grid"
+                )));
+            }
+            pids.push(pid);
+        }
+        let points = grid.points();
+        let base: Vec<f64> = self.def.params.iter().map(|p| p.base).collect();
+        let mut fulls: Vec<Vec<f64>> = Vec::with_capacity(points.len());
+        for pt in &points {
+            if pt.len() != pids.len() {
+                return Err(ArcadeError::invalid(format!(
+                    "point {pt:?} has {} values for {} grid parameters",
+                    pt.len(),
+                    pids.len()
+                )));
+            }
+            let mut full = base.clone();
+            for (k, &pid) in pids.iter().enumerate() {
+                let v = pt[k];
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(ArcadeError::invalid(format!(
+                        "parameter `{}`: value {v} must be positive and finite",
+                        grid.names()[k]
+                    )));
+                }
+                full[pid] = v;
+            }
+            fulls.push(full);
+        }
+        // Warm the needed aggregations before fanning out, so the workers
+        // never race a cold build and the whole sweep costs exactly one
+        // aggregation per configuration.
+        self.prefetch(&needed_configs(measures), None)?;
+        let threads = ioimc::par::effective_threads(self.opts.threads);
+        let results = ioimc::par::par_map(threads, &fulls, |_, full| {
+            self.evaluate_at_full(measures, full)
+        });
+        let mut values = Vec::with_capacity(results.len());
+        for r in results {
+            values.push(r?);
+        }
+        let sensitivities = sweep_sensitivities(grid, &values, measures.len());
+        Ok(SweepResult {
+            names: grid.names().to_vec(),
+            points,
+            values,
+            sensitivities,
+        })
+    }
+
+    /// Re-rates the cached quotient of `cfg` to the full parameter vector
+    /// `full` (one value per declared parameter).
+    fn rerated(&self, cfg: Config, full: &[f64]) -> Result<Ctmc, ArcadeError> {
+        Ok(self.aggregation(cfg)?.ctmc.rerate(full)?)
+    }
+
+    /// The per-point evaluation path shared by [`Session::evaluate_at`]
+    /// and [`Session::sweep`]: mirrors [`Session::evaluate_traced`]'s
+    /// batching exactly, but on freshly re-rated chains instead of the
+    /// per-configuration memo — so a point at the declared base values
+    /// reproduces the memoized path bitwise.
+    fn evaluate_at_full(
+        &self,
+        measures: &[Measure],
+        full: &[f64],
+    ) -> Result<Vec<f64>, ArcadeError> {
+        let mut unavail_ts = Vec::new();
+        let mut fp_repair_ts = Vec::new();
+        let mut fp_norepair_ts = Vec::new();
+        let mut needs_avail = false;
+        for m in measures {
+            match m {
+                Measure::PointAvailability(t) | Measure::PointUnavailability(t) => {
+                    unavail_ts.push(*t);
+                    needs_avail = true;
+                }
+                Measure::UnreliabilityWithRepair(t) => {
+                    fp_repair_ts.push(*t);
+                    needs_avail = true;
+                }
+                Measure::Reliability(t) | Measure::Unreliability(t) => {
+                    fp_norepair_ts.push(*t);
+                }
+                _ => needs_avail = true,
+            }
+        }
+        let mut need: Vec<Config> = Vec::new();
+        if needs_avail {
+            need.push(Config::Availability);
+        }
+        if !fp_norepair_ts.is_empty() {
+            need.push(Config::NoRepair);
+        }
+        self.prefetch(&need, None)?;
+
+        let avail = if needs_avail {
+            Some(self.rerated(Config::Availability, full)?)
+        } else {
+            None
+        };
+        let norepair = if fp_norepair_ts.is_empty() {
+            None
+        } else {
+            Some(self.rerated(Config::NoRepair, full)?)
+        };
+        let avail_chain = || avail.as_ref().expect("availability chain was re-rated");
+        let avail_down: Vec<u32> = avail
+            .as_ref()
+            .map(|c| c.states_with_label(DOWN_BIT).collect())
+            .unwrap_or_default();
+
+        let needs_steady = measures.iter().any(|m| {
+            matches!(
+                m,
+                Measure::SteadyStateAvailability | Measure::SteadyStateUnavailability
+            )
+        });
+        let steady_down = if needs_steady {
+            let pi = ctmc::steady::steady_state_with(avail_chain(), &self.opts.solver);
+            Some(mass(&avail_down, &pi))
+        } else {
+            None
+        };
+        let mttf = if measures.iter().any(|m| matches!(m, Measure::Mttf)) {
+            Some(if avail_down.is_empty() {
+                f64::INFINITY
+            } else {
+                ctmc::absorbing::mean_time_to_absorption_with(
+                    avail_chain(),
+                    &avail_down,
+                    &self.opts.solver,
+                )
+            })
+        } else {
+            None
+        };
+        let unavail = if unavail_ts.is_empty() {
+            Vec::new()
+        } else {
+            let c = avail_chain();
+            transient_many_from_ctx(
+                c,
+                &c.initial_distribution(),
+                &unavail_ts,
+                &self.opts.solver.transient,
+                &self.ctx,
+            )
+            .iter()
+            .map(|pi| mass(&avail_down, pi))
+            .collect()
+        };
+        let fp_repair = if fp_repair_ts.is_empty() {
+            Vec::new()
+        } else {
+            point_first_passage(
+                avail_chain(),
+                &avail_down,
+                &fp_repair_ts,
+                &self.opts.solver.transient,
+                &self.ctx,
+            )
+        };
+        let fp_norepair = if fp_norepair_ts.is_empty() {
+            Vec::new()
+        } else {
+            let c = norepair.as_ref().expect("no-repair chain was re-rated");
+            let down: Vec<u32> = c.states_with_label(DOWN_BIT).collect();
+            point_first_passage(
+                c,
+                &down,
+                &fp_norepair_ts,
+                &self.opts.solver.transient,
+                &self.ctx,
+            )
+        };
+
+        let (mut ui, mut ri, mut ni) = (0usize, 0usize, 0usize);
+        let mut out = Vec::with_capacity(measures.len());
+        for m in measures {
+            let v = match m {
+                Measure::SteadyStateAvailability => {
+                    1.0 - steady_down.expect("steady mass was computed")
+                }
+                Measure::SteadyStateUnavailability => {
+                    steady_down.expect("steady mass was computed")
+                }
+                Measure::PointAvailability(_) => {
+                    ui += 1;
+                    1.0 - unavail[ui - 1]
+                }
+                Measure::PointUnavailability(_) => {
+                    ui += 1;
+                    unavail[ui - 1]
+                }
+                Measure::UnreliabilityWithRepair(_) => {
+                    ri += 1;
+                    fp_repair[ri - 1]
+                }
+                Measure::Reliability(_) => {
+                    ni += 1;
+                    1.0 - fp_norepair[ni - 1]
+                }
+                Measure::Unreliability(_) => {
+                    ni += 1;
+                    fp_norepair[ni - 1]
+                }
+                Measure::Mttf => mttf.expect("MTTF was computed"),
+                Measure::IntervalAvailability(t) => {
+                    1.0 - ctmc::csl::interval_down_fraction_ctx(
+                        avail_chain(),
+                        &StateFormula::down(),
+                        *t,
+                        &self.opts.solver.transient,
+                        &self.ctx,
+                    )
+                }
+                Measure::BoundedUntil { phi, psi, t } => ctmc::csl::until_bounded_ctx(
+                    avail_chain(),
+                    phi,
+                    psi,
+                    *t,
+                    &self.opts.solver.transient,
+                    &self.ctx,
+                ),
+            };
+            out.push(v);
+        }
+        Ok(out)
     }
 }
 
@@ -749,6 +1169,78 @@ fn needed_configs(measures: &[Measure]) -> Vec<Config> {
         need.push(Config::NoRepair);
     }
     need
+}
+
+/// First-passage probabilities over a grid for one sweep point: an
+/// absorbing transform on the re-rated chain, one batched sweep. The
+/// per-point transform is sweep scratch, not a session artifact, so it is
+/// not recorded in [`SessionStats::absorbing_built`].
+fn point_first_passage(
+    ctmc: &Ctmc,
+    down: &[u32],
+    ts: &[f64],
+    opts: &TransientOptions,
+    ctx: &MeasureContext,
+) -> Vec<f64> {
+    if down.is_empty() {
+        return vec![0.0; ts.len()];
+    }
+    let absorbing = ctmc.make_absorbing(down.iter().copied());
+    transient_many_from_ctx(&absorbing, &absorbing.initial_distribution(), ts, opts, ctx)
+        .iter()
+        .map(|pi| mass(down, pi))
+        .collect()
+}
+
+/// Central-difference sensitivities over a cartesian grid: for point `i`,
+/// measure `j`, and grid axis `k`, the slope between the two grid
+/// neighbours along axis `k` — one-sided at the axis edges, `None` when
+/// the axis has fewer than two distinct values or the grid is an explicit
+/// point list (no neighbour structure to difference over). Layout:
+/// `result[point][measure][axis]`.
+fn sweep_sensitivities(
+    grid: &ParamGrid,
+    values: &[Vec<f64>],
+    num_measures: usize,
+) -> Vec<Vec<Vec<Option<f64>>>> {
+    let GridKind::Cartesian(axes) = &grid.kind else {
+        return values
+            .iter()
+            .map(|_| vec![vec![None; grid.names().len()]; num_measures])
+            .collect();
+    };
+    let lens: Vec<usize> = axes.iter().map(Vec::len).collect();
+    // Row-major strides: the last axis varies fastest, matching
+    // `ParamGrid::points`.
+    let mut strides = vec![1usize; lens.len()];
+    for k in (0..lens.len().saturating_sub(1)).rev() {
+        strides[k] = strides[k + 1] * lens[k + 1];
+    }
+    (0..values.len())
+        .map(|i| {
+            (0..num_measures)
+                .map(|j| {
+                    (0..lens.len())
+                        .map(|k| {
+                            if lens[k] < 2 {
+                                return None;
+                            }
+                            let ik = (i / strides[k]) % lens[k];
+                            let lo = ik.saturating_sub(1);
+                            let hi = (ik + 1).min(lens[k] - 1);
+                            let dx = axes[k][hi] - axes[k][lo];
+                            if dx == 0.0 {
+                                return None;
+                            }
+                            let i_lo = i - (ik - lo) * strides[k];
+                            let i_hi = i + (hi - ik) * strides[k];
+                            Some((values[i_hi][j] - values[i_lo][j]) / dx)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Elaborates `def` and runs compositional aggregation — the unit of work
@@ -914,5 +1406,127 @@ mod tests {
         let ia = session.value(&Measure::IntervalAvailability(t)).unwrap();
         let pa = session.value(&Measure::PointAvailability(t)).unwrap();
         assert!(ia <= 1.0 && ia >= pa - 1e-9);
+    }
+
+    /// The [`pair`] system with the failure rate of `a` and the repair
+    /// rate of `b` declared as sweep parameters (at their concrete values
+    /// as bases).
+    fn param_pair() -> SystemDef {
+        let mut def = pair();
+        def.add_param("lambda_a", 0.01).add_param("mu_b", 2.0);
+        def
+    }
+
+    #[test]
+    fn evaluate_at_base_reproduces_evaluate_bitwise() {
+        let def = param_pair();
+        let session = Session::new(&def).unwrap();
+        let measures = [
+            Measure::SteadyStateAvailability,
+            Measure::PointUnavailability(5.0),
+            Measure::UnreliabilityWithRepair(5.0),
+            Measure::Unreliability(5.0),
+            Measure::Mttf,
+            Measure::IntervalAvailability(5.0),
+        ];
+        let memo = session.evaluate(&measures).unwrap();
+        let at = session.evaluate_at(&measures, &[0.01, 2.0]).unwrap();
+        for (m, (a, b)) in measures.iter().zip(memo.iter().zip(&at)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{m:?}: memo {a} vs at-base {b}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_one_aggregation_and_matches_fresh_points_bitwise() {
+        let def = param_pair();
+        let session = Session::new(&def).unwrap();
+        let measures = [
+            Measure::SteadyStateUnavailability,
+            Measure::Unreliability(4.0),
+            Measure::Mttf,
+        ];
+        let grid = ParamGrid::cartesian([
+            ("lambda_a", vec![0.005, 0.01, 0.02]),
+            ("mu_b", vec![1.0, 2.0]),
+        ]);
+        let result = session.sweep(&measures, &grid).unwrap();
+        assert_eq!(result.points.len(), 6);
+        assert_eq!(result.values.len(), 6);
+        // Both configurations were needed; each was aggregated exactly
+        // once for the entire grid.
+        assert_eq!(session.stats().aggregations_built, 2);
+        // Grid names match the declared parameter order here, so a point
+        // is already a full parameter vector.
+        for (pt, row) in result.points.iter().zip(&result.values) {
+            let fresh = Session::new(&def).unwrap();
+            let vals = fresh.evaluate_at(&measures, pt).unwrap();
+            for (m, (a, b)) in measures.iter().zip(vals.iter().zip(row)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{m:?} at {pt:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cartesian_sensitivities_are_finite_differences() {
+        let session = Session::new(&param_pair()).unwrap();
+        let axis = vec![0.005, 0.01, 0.02];
+        let grid = ParamGrid::cartesian([("lambda_a", axis.clone())]);
+        let r = session
+            .sweep(&[Measure::SteadyStateUnavailability], &grid)
+            .unwrap();
+        // One swept axis per point/measure, even though two parameters
+        // are declared.
+        assert_eq!(r.sensitivities[1][0].len(), 1);
+        let central = (r.values[2][0] - r.values[0][0]) / (axis[2] - axis[0]);
+        assert_eq!(
+            r.sensitivities[1][0][0].unwrap().to_bits(),
+            central.to_bits()
+        );
+        let left = (r.values[1][0] - r.values[0][0]) / (axis[1] - axis[0]);
+        assert_eq!(r.sensitivities[0][0][0].unwrap().to_bits(), left.to_bits());
+        // A higher failure rate means more steady-state unavailability.
+        assert!(central > 0.0);
+        // Explicit point lists carry no neighbour structure: no slopes.
+        let list = ParamGrid::points_list(["lambda_a"], vec![vec![0.005], vec![0.02]]);
+        let r = session
+            .sweep(&[Measure::SteadyStateUnavailability], &list)
+            .unwrap();
+        assert!(r
+            .sensitivities
+            .iter()
+            .flatten()
+            .flatten()
+            .all(Option::is_none));
+    }
+
+    #[test]
+    fn sweep_and_evaluate_at_validate_inputs() {
+        let plain = Session::new(&pair()).unwrap();
+        assert!(plain.evaluate_at(&[Measure::Mttf], &[0.01]).is_err());
+        let session = Session::new(&param_pair()).unwrap();
+        // wrong arity, non-positive value
+        assert!(session.evaluate_at(&[Measure::Mttf], &[0.01]).is_err());
+        assert!(session
+            .evaluate_at(&[Measure::Mttf], &[0.01, -1.0])
+            .is_err());
+        // unknown and duplicate grid parameters
+        let unknown = ParamGrid::cartesian([("nope", vec![1.0])]);
+        assert!(session.sweep(&[Measure::Mttf], &unknown).is_err());
+        let dup = ParamGrid::points_list(["lambda_a", "lambda_a"], vec![vec![0.01, 0.01]]);
+        assert!(session.sweep(&[Measure::Mttf], &dup).is_err());
+        // ragged explicit point
+        let ragged = ParamGrid::points_list(["lambda_a"], vec![vec![0.01, 0.02]]);
+        assert!(session.sweep(&[Measure::Mttf], &ragged).is_err());
+    }
+
+    #[test]
+    fn solver_counters_are_per_session() {
+        let a = Session::new(&pair()).unwrap();
+        let b = Session::new(&pair()).unwrap();
+        let _ = a.value(&Measure::PointUnavailability(5.0)).unwrap();
+        assert!(a.stats().dtmc_steps > 0);
+        assert!(a.stats().sweeps > 0);
+        assert_eq!(b.stats().dtmc_steps, 0, "sessions must not share counters");
+        assert_eq!(b.stats().sweeps, 0);
     }
 }

@@ -8,7 +8,9 @@
 //! estimates are exact to within a factor of two — plenty for the p50/p99
 //! trend lines `BENCH_serve.json` tracks, at zero contention on the hot
 //! path. Quantiles are reported as the **upper edge** of the bucket the
-//! rank falls into (a conservative estimate, never under-reporting).
+//! rank falls into (a conservative estimate, never under-reporting) —
+//! except the last bucket, which has no finite upper edge and reports
+//! its **lower** edge (`2⁶³` µs) instead of a fictitious `u64::MAX`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -57,7 +59,9 @@ impl Histogram {
 
     /// Conservative quantile estimate in microseconds: the upper edge of
     /// the bucket holding the `q`-th ranked sample (`q` in `[0, 1]`);
-    /// `None` when empty.
+    /// `None` when empty. The overflow bucket (samples ≥ 2⁶³ µs) has no
+    /// finite upper edge, so it reports its lower edge — the largest
+    /// bound the histogram actually knows.
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
         let snapshot: Vec<u64> = self
             .buckets
@@ -74,7 +78,7 @@ impl Histogram {
         for (i, &c) in snapshot.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(if i >= 63 { u64::MAX } else { (2u64 << i) - 1 });
+                return Some(if i >= 63 { 1u64 << 63 } else { (2u64 << i) - 1 });
             }
         }
         unreachable!("rank is clamped to the total")
@@ -192,6 +196,18 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile_us(0.0), Some(1));
         assert!(h.quantile_us(1.0).unwrap() > 1 << 40);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_reports_its_lower_edge() {
+        let h = Histogram::new();
+        // `as_micros` exceeds u64 here, so `record` saturates the sample
+        // to u64::MAX µs — the top bucket, whose only exact bound is its
+        // lower edge 2^63 µs (not the fictitious u64::MAX upper edge the
+        // quantile used to report, which inflated serialized p99s).
+        h.record(Duration::from_secs(u64::MAX));
+        assert_eq!(h.quantile_us(0.5), Some(1u64 << 63));
+        assert_eq!(h.quantile_us(1.0), Some(1u64 << 63));
     }
 
     #[test]

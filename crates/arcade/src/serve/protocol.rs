@@ -8,6 +8,8 @@
 //!
 //! ```text
 //! {"cmd":"query","model":"dds","measures":["unavailability"],"times":[10,20]}
+//! {"cmd":"sweep","model":"dds_parametric","measures":["mttf"],
+//!  "params":[{"name":"disk_rate","values":[1e-4,2e-4]}]}
 //! {"cmd":"stats"}
 //! {"cmd":"list"}
 //! {"cmd":"load","name":"mine","source":"<model in Arcade textual syntax>"}
@@ -38,6 +40,29 @@
 //! (The CSL `BoundedUntil` measure needs a formula encoding and is not
 //! exposed over the wire.)
 //!
+//! # Sweeps
+//!
+//! A `sweep` request evaluates the same measure batch at every point of a
+//! parameter grid over a **parametric** model (one whose definition
+//! declares rate parameters, e.g. the built-ins `dds_parametric` /
+//! `dds_scaled_parametric(n)` / `rcs_scaled_parametric(k)`). The model is
+//! aggregated once; every point re-rates the cached quotient CTMC and
+//! solves (see [`crate::query::Session::sweep`]). The grid comes in one of
+//! two forms:
+//!
+//! * **cartesian** — `"params"` is an array of
+//!   `{"name":"...","values":[...]}` objects; the points are the
+//!   cartesian product (last axis fastest), and finite-difference
+//!   sensitivities are reported;
+//! * **explicit** — `"params"` is an array of name strings and
+//!   `"points"` an array of value rows (one value per name each); no
+//!   sensitivities.
+//!
+//! The response carries `"params"` (names), `"points"`, `"values"` (one
+//! row of measure values per point, in measure-expansion order) and
+//! `"sensitivities"` (`[point][measure][param]`, `null` where no
+//! neighbor structure exists).
+//!
 //! # Responses
 //!
 //! Success: `{"ok":true,...}` with command-specific payload; a query
@@ -52,7 +77,7 @@
 use std::fmt;
 
 use super::json::Json;
-use crate::query::Measure;
+use crate::query::{Measure, ParamGrid};
 
 /// A structured protocol error: a machine-readable code plus a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +139,16 @@ pub enum Request {
         /// request grid).
         measures: Vec<Measure>,
     },
+    /// Evaluate a measure batch at every point of a parameter grid over
+    /// a parametric model.
+    Sweep {
+        /// Registry name of the model (must declare rate parameters).
+        model: String,
+        /// The expanded measure batch, as in a query.
+        measures: Vec<Measure>,
+        /// The parameter grid to sweep.
+        grid: ParamGrid,
+    },
     /// Server + per-model counters.
     Stats,
     /// Names the registry can currently serve.
@@ -162,6 +197,19 @@ impl Request {
                 Ok(Request::Query {
                     model: model.to_owned(),
                     measures,
+                })
+            }
+            "sweep" => {
+                let model = v
+                    .get("model")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtoError::bad_request("sweep needs a string `model`"))?;
+                let measures = expand_measures(v)?;
+                let grid = parse_grid(v)?;
+                Ok(Request::Sweep {
+                    model: model.to_owned(),
+                    measures,
+                    grid,
                 })
             }
             "stats" => Ok(Request::Stats),
@@ -283,6 +331,84 @@ pub fn expand_measures(v: &Json) -> Result<Vec<Measure>, ProtoError> {
     Ok(out)
 }
 
+/// Parses the parameter grid of a `sweep` request: `"params"` as an array
+/// of `{"name","values"}` objects (cartesian axes) or of name strings
+/// paired with a `"points"` array of value rows (explicit list).
+///
+/// # Errors
+///
+/// [`ProtoError`] (`bad_request`) on a missing/empty/mixed `params`
+/// array, a missing `points` array for the string form, or any value
+/// that is not positive and finite.
+pub fn parse_grid(v: &Json) -> Result<ParamGrid, ProtoError> {
+    let params = v
+        .get("params")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::bad_request("sweep needs a `params` array"))?;
+    if params.is_empty() {
+        return Err(ProtoError::bad_request("`params` must be non-empty"));
+    }
+    let value_of = |x: &Json| {
+        x.as_f64()
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| {
+                ProtoError::bad_request("parameter values must be positive finite numbers")
+            })
+    };
+    if params.iter().all(|p| matches!(p, Json::Obj(_))) {
+        let mut axes: Vec<(String, Vec<f64>)> = Vec::with_capacity(params.len());
+        for p in params {
+            let name = p
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtoError::bad_request("params entry needs a string `name`"))?;
+            let values = p
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ProtoError::bad_request("params entry needs a `values` array"))?;
+            if values.is_empty() {
+                return Err(ProtoError::bad_request(format!(
+                    "parameter `{name}`: `values` must be non-empty"
+                )));
+            }
+            let values = values.iter().map(value_of).collect::<Result<Vec<_>, _>>()?;
+            axes.push((name.to_owned(), values));
+        }
+        return Ok(ParamGrid::cartesian(axes));
+    }
+    if params.iter().all(|p| matches!(p, Json::Str(_))) {
+        let names: Vec<String> = params
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_owned)
+            .collect();
+        let rows = v.get("points").and_then(Json::as_arr).ok_or_else(|| {
+            ProtoError::bad_request("string `params` need a `points` array of value rows")
+        })?;
+        if rows.is_empty() {
+            return Err(ProtoError::bad_request("`points` must be non-empty"));
+        }
+        let mut points = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row = row
+                .as_arr()
+                .ok_or_else(|| ProtoError::bad_request("each point must be an array of values"))?;
+            if row.len() != names.len() {
+                return Err(ProtoError::bad_request(format!(
+                    "each point needs {} values (one per parameter), got {}",
+                    names.len(),
+                    row.len()
+                )));
+            }
+            points.push(row.iter().map(value_of).collect::<Result<Vec<_>, _>>()?);
+        }
+        return Ok(ParamGrid::points_list(names, points));
+    }
+    Err(ProtoError::bad_request(
+        "`params` must be all objects (cartesian axes) or all strings (with `points`)",
+    ))
+}
+
 fn timeless_measure(kind: &str) -> Option<Measure> {
     match kind {
         "steady_state_availability" => Some(Measure::SteadyStateAvailability),
@@ -386,6 +512,85 @@ mod tests {
             (r#"{"cmd":"frobnicate"}"#, "unknown command"),
             (r#"{}"#, "missing `cmd`"),
             (r#"[1,2]"#, "object"),
+        ] {
+            let e = parse(line).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{line}");
+            assert!(e.message.contains(needle), "{line}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn sweep_parses_cartesian_and_explicit_grids() {
+        let r = parse(
+            r#"{"cmd":"sweep","model":"dds_parametric","measures":["mttf"],
+                "params":[{"name":"disk_rate","values":[1e-4,2e-4]},
+                          {"name":"repair_rate","values":[0.5]}]}"#,
+        )
+        .unwrap();
+        let Request::Sweep {
+            model,
+            measures,
+            grid,
+        } = r
+        else {
+            panic!("not a sweep")
+        };
+        assert_eq!(model, "dds_parametric");
+        assert_eq!(measures, vec![Measure::Mttf]);
+        assert_eq!(grid.names(), ["disk_rate", "repair_rate"]);
+        assert_eq!(
+            grid.points(),
+            vec![vec![1e-4, 0.5], vec![2e-4, 0.5]],
+            "cartesian product, last axis fastest"
+        );
+
+        let r = parse(
+            r#"{"cmd":"sweep","model":"m","measures":["mttf"],
+                "params":["a","b"],"points":[[0.1,0.2],[0.3,0.4]]}"#,
+        )
+        .unwrap();
+        let Request::Sweep { grid, .. } = r else {
+            panic!("not a sweep")
+        };
+        assert_eq!(grid.names(), ["a", "b"]);
+        assert_eq!(grid.points(), vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_grids() {
+        for (line, needle) in [
+            (
+                r#"{"cmd":"sweep","measures":["mttf"],"params":[]}"#,
+                "model",
+            ),
+            (
+                r#"{"cmd":"sweep","model":"m","measures":["mttf"]}"#,
+                "`params` array",
+            ),
+            (
+                r#"{"cmd":"sweep","model":"m","measures":["mttf"],"params":[]}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"cmd":"sweep","model":"m","measures":["mttf"],"params":[{"name":"a","values":[]}]}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"cmd":"sweep","model":"m","measures":["mttf"],"params":[{"name":"a","values":[-1]}]}"#,
+                "positive",
+            ),
+            (
+                r#"{"cmd":"sweep","model":"m","measures":["mttf"],"params":["a"]}"#,
+                "`points`",
+            ),
+            (
+                r#"{"cmd":"sweep","model":"m","measures":["mttf"],"params":["a","b"],"points":[[0.1]]}"#,
+                "one per parameter",
+            ),
+            (
+                r#"{"cmd":"sweep","model":"m","measures":["mttf"],"params":["a",{"name":"b","values":[1]}]}"#,
+                "all objects",
+            ),
         ] {
             let e = parse(line).unwrap_err();
             assert_eq!(e.code, "bad_request", "{line}");

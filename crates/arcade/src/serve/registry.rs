@@ -95,10 +95,13 @@ impl Registry {
         names.sort_unstable();
         for builtin in [
             "dds",
+            "dds_parametric",
             "dds_scaled(n)",
+            "dds_scaled_parametric(n)",
             "rcs",
             "rcs_scaled(k)",
             "rcs_scaled_kofn(n,k)",
+            "rcs_scaled_parametric(k)",
             "rcs_stiff(k)",
         ] {
             names.push(builtin.to_owned());
@@ -182,13 +185,15 @@ fn builtin_def(name: &str) -> Result<Arc<SystemDef>, ProtoError> {
         ProtoError::with_code(
             "unknown_model",
             format!(
-                "no model named `{name}` (built-ins: dds, dds_scaled(n), rcs, \
-                 rcs_scaled(k), rcs_stiff(k), rcs_scaled_kofn(n,k))"
+                "no model named `{name}` (built-ins: dds, dds_parametric, \
+                 dds_scaled(n), dds_scaled_parametric(n), rcs, rcs_scaled(k), \
+                 rcs_stiff(k), rcs_scaled_kofn(n,k), rcs_scaled_parametric(k))"
             ),
         )
     };
     match name {
         "dds" => return Ok(Arc::new(cases::dds())),
+        "dds_parametric" => return Ok(Arc::new(cases::dds_parametric())),
         "rcs" => return Ok(Arc::new(cases::rcs())),
         _ => {}
     }
@@ -205,11 +210,23 @@ fn builtin_def(name: &str) -> Result<Arc<SystemDef>, ProtoError> {
             }
             Ok(Arc::new(cases::dds_scaled(n)))
         }
+        ("dds_scaled_parametric", &[n]) => {
+            if !(1..=MAX_LINEAR_SIZE).contains(&n) {
+                return Err(range_err("cluster count", 1, MAX_LINEAR_SIZE));
+            }
+            Ok(Arc::new(cases::dds_scaled_parametric(n)))
+        }
         ("rcs_scaled", &[k]) => {
             if !(2..=MAX_RCS_LINES).contains(&k) {
                 return Err(range_err("line count", 2, MAX_RCS_LINES));
             }
             Ok(Arc::new(cases::rcs_scaled(k)))
+        }
+        ("rcs_scaled_parametric", &[k]) => {
+            if !(2..=MAX_RCS_LINES).contains(&k) {
+                return Err(range_err("line count", 2, MAX_RCS_LINES));
+            }
+            Ok(Arc::new(cases::rcs_scaled_parametric(k)))
         }
         ("rcs_stiff", &[k]) => {
             if !(2..=MAX_LINEAR_SIZE).contains(&k) {

@@ -426,6 +426,11 @@ fn dispatch(inner: &Inner, line: &str) -> (Json, bool) {
             (ok_envelope(vec![("shutting_down", Json::Bool(true))]), true)
         }
         Request::Query { model, measures } => (query_response(inner, &model, &measures), false),
+        Request::Sweep {
+            model,
+            measures,
+            grid,
+        } => (sweep_response(inner, &model, &measures, &grid), false),
     }
 }
 
@@ -484,6 +489,90 @@ fn query_response(inner: &Inner, model: &str, measures: &[crate::query::Measure]
     ])
 }
 
+fn sweep_response(
+    inner: &Inner,
+    model: &str,
+    measures: &[crate::query::Measure],
+    grid: &crate::query::ParamGrid,
+) -> Json {
+    let build_started = Instant::now();
+    let session = match inner.registry.session(model) {
+        Ok(s) => s,
+        Err(e) => return e.to_json(),
+    };
+    // Same build-phase attribution as a query: the sweep itself re-rates
+    // the prefetched aggregations, so everything after this line is
+    // per-point solver work.
+    let trace = match session.prefetch_measures(measures) {
+        Ok(t) => t,
+        Err(e) => return ProtoError::with_code("model_error", e.to_string()).to_json(),
+    };
+    let build_elapsed = build_started.elapsed();
+    inner.metrics.build.record(build_elapsed);
+    let cold = trace.built > 0 || trace.waited > 0;
+    if trace.built > 0 {
+        Metrics::bump(&inner.metrics.cache_misses);
+    } else if trace.waited > 0 {
+        Metrics::bump(&inner.metrics.dedup_waits);
+    } else {
+        Metrics::bump(&inner.metrics.cache_hits);
+    }
+    let eval_started = Instant::now();
+    let result = match session.sweep(measures, grid) {
+        Ok(r) => r,
+        Err(e) => return ProtoError::with_code("model_error", e.to_string()).to_json(),
+    };
+    let eval_elapsed = eval_started.elapsed();
+    inner.metrics.evaluate.record(eval_elapsed);
+    let rows = |rows: &[Vec<f64>]| {
+        Json::Arr(
+            rows.iter()
+                .map(|row| Json::Arr(row.iter().copied().map(Json::Num).collect()))
+                .collect(),
+        )
+    };
+    let sensitivities = Json::Arr(
+        result
+            .sensitivities
+            .iter()
+            .map(|per_measure| {
+                Json::Arr(
+                    per_measure
+                        .iter()
+                        .map(|per_param| {
+                            Json::Arr(
+                                per_param
+                                    .iter()
+                                    .map(|s| s.map_or(Json::Null, Json::Num))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    ok_envelope(vec![
+        ("model", Json::str(model)),
+        (
+            "params",
+            Json::Arr(result.names.iter().map(Json::str).collect()),
+        ),
+        ("points", rows(&result.points)),
+        ("values", rows(&result.values)),
+        ("sensitivities", sensitivities),
+        ("cold", Json::Bool(cold)),
+        ("session", session_stats_json(&session.stats())),
+        (
+            "timings",
+            Json::obj([
+                ("build_us", Json::Num(build_elapsed.as_micros() as f64)),
+                ("evaluate_us", Json::Num(eval_elapsed.as_micros() as f64)),
+            ]),
+        ),
+    ])
+}
+
 fn stats_response(inner: &Inner) -> Json {
     let models = inner
         .registry
@@ -531,23 +620,21 @@ pub fn session_stats_json(stats: &SessionStats) -> Json {
         ("steady_solves", Json::Num(f64::from(stats.steady_solves))),
         ("poisson_hits", Json::Num(stats.poisson_hits as f64)),
         ("poisson_misses", Json::Num(stats.poisson_misses as f64)),
+        (
+            "poisson_evictions",
+            Json::Num(stats.poisson_evictions as f64),
+        ),
         ("dtmc_steps", Json::Num(stats.dtmc_steps as f64)),
         ("sweeps", Json::Num(stats.sweeps as f64)),
         (
             "aggregation_secs",
             Json::Num(stats.aggregation_us as f64 / 1e6),
         ),
-        (
-            "signature_secs",
-            Json::Num(stats.signature_us as f64 / 1e6),
-        ),
+        ("signature_secs", Json::Num(stats.signature_us as f64 / 1e6)),
         ("split_secs", Json::Num(stats.split_us as f64 / 1e6)),
         ("quotient_secs", Json::Num(stats.quotient_us as f64 / 1e6)),
         ("refine_rounds", Json::Num(stats.refine_rounds as f64)),
-        (
-            "states_resigned",
-            Json::Num(stats.states_resigned as f64),
-        ),
+        ("states_resigned", Json::Num(stats.states_resigned as f64)),
     ])
 }
 

@@ -165,6 +165,98 @@ fn structured_errors_do_not_wedge_the_pool() {
 }
 
 #[test]
+fn sweep_wire_command_roundtrips() {
+    let (handle, addr) = test_server();
+
+    // A 2×2 cartesian sweep over two of the three declared parameters.
+    let request = br#"{"cmd":"sweep","model":"dds_scaled_parametric(1)","measures":["steady_state_unavailability","mttf"],"params":[{"name":"proc_rate","values":[0.0005,0.001]},{"name":"repair_rate","values":[1.0,2.0]}]}"#;
+    let v = raw_roundtrip(&addr, request);
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{v}");
+    assert_eq!(v.get("cold"), Some(&Json::Bool(true)), "first sweep builds");
+    let names: Vec<&str> = v
+        .get("params")
+        .and_then(Json::as_arr)
+        .expect("params")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(names, ["proc_rate", "repair_rate"]);
+    let points = v.get("points").and_then(Json::as_arr).expect("points");
+    let values = v.get("values").and_then(Json::as_arr).expect("values");
+    assert_eq!(points.len(), 4, "2x2 grid");
+    assert_eq!(values.len(), 4);
+    for row in values {
+        let row = row.as_arr().expect("value row");
+        assert_eq!(row.len(), 2, "one value per measure");
+        let unavail = row[0].as_f64().expect("finite unavailability");
+        assert!(unavail > 0.0 && unavail < 1e-2, "{row:?}");
+    }
+    // sensitivities[point][measure][param]: central differences exist on
+    // a 2-value axis only at its edges (one-sided), never `null` here.
+    let sens = v
+        .get("sensitivities")
+        .and_then(Json::as_arr)
+        .expect("sensitivities");
+    assert_eq!(sens.len(), 4);
+    for per_point in sens {
+        let per_point = per_point.as_arr().expect("per-point");
+        assert_eq!(per_point.len(), 2, "one row per measure");
+        for per_measure in per_point {
+            let per_measure = per_measure.as_arr().expect("per-measure");
+            assert_eq!(per_measure.len(), 2, "one slope per swept param");
+        }
+    }
+    // Both measures live on the availability configuration: the server
+    // session aggregated exactly once for the whole grid.
+    let session = v.get("session").expect("session stats");
+    assert_eq!(
+        session.get("aggregations_built").and_then(Json::as_f64),
+        Some(1.0),
+        "{session}"
+    );
+    assert!(
+        session
+            .get("poisson_evictions")
+            .and_then(Json::as_f64)
+            .is_some(),
+        "stats expose the cache eviction counter: {session}"
+    );
+
+    // Same model again: served warm from the session cache.
+    let warm = raw_roundtrip(&addr, request);
+    assert_eq!(warm.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(warm.get("cold"), Some(&Json::Bool(false)), "{warm}");
+    assert_eq!(warm.get("values"), v.get("values"), "warm sweep identical");
+
+    // Malformed grids: unknown parameter name and mixed axis styles.
+    assert_eq!(
+        error_code(&raw_roundtrip(
+            &addr,
+            br#"{"cmd":"sweep","model":"dds_scaled_parametric(1)","measures":["mttf"],"params":[{"name":"no_such_rate","values":[1.0]}]}"#
+        )),
+        "model_error"
+    );
+    assert_eq!(
+        error_code(&raw_roundtrip(
+            &addr,
+            br#"{"cmd":"sweep","model":"dds_scaled_parametric(1)","measures":["mttf"],"params":[{"name":"proc_rate","values":[0.001]},"repair_rate"]}"#
+        )),
+        "bad_request"
+    );
+    // Sweeping a non-parametric model is a model-level error, not a hang.
+    assert_eq!(
+        error_code(&raw_roundtrip(
+            &addr,
+            br#"{"cmd":"sweep","model":"dds","measures":["mttf"],"params":[{"name":"proc_rate","values":[0.001]}]}"#
+        )),
+        "model_error"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn shutdown_command_stops_the_server() {
     let (handle, addr) = test_server();
     let mut client = Client::connect(&addr).expect("connect");

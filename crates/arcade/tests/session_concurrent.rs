@@ -73,6 +73,50 @@ fn hammered_session_matches_serial_and_builds_once() {
 }
 
 #[test]
+fn concurrent_sessions_do_not_cross_contaminate_stats() {
+    // Session A runs transient-heavy work (uniformization sweeps, DTMC
+    // steps, Poisson lookups); session B concurrently computes only
+    // direct linear-algebra measures. With per-session counters B must
+    // see *none* of A's solver work — the regression this guards was
+    // since-construction deltas of process-wide atomics, which under
+    // `arcaded` attributed one model's work to every other session.
+    let def_a = cases::dds_scaled(2);
+    let def_b = cases::dds();
+    let a = Session::new(&def_a).expect("session a");
+    let b = Session::new(&def_b).expect("session b");
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let grid: Vec<Measure> = (1..=20)
+                .map(|k| Measure::PointUnavailability(k as f64 * 25.0))
+                .collect();
+            for _ in 0..3 {
+                a.evaluate(&grid).expect("transient batch on a");
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..3 {
+                b.evaluate(&[Measure::SteadyStateUnavailability, Measure::Mttf])
+                    .expect("direct measures on b");
+            }
+        });
+    });
+
+    let (sa, sb) = (a.stats(), b.stats());
+    assert!(sa.dtmc_steps > 0, "a ran uniformization: {sa:?}");
+    assert!(sa.sweeps > 0, "{sa:?}");
+    assert!(sa.poisson_hits + sa.poisson_misses > 0, "{sa:?}");
+    // B never uniformized, so every transient-side counter must be
+    // exactly zero — none of A's concurrent work leaks in.
+    assert_eq!(sb.dtmc_steps, 0, "b charged with a's steps: {sb:?}");
+    assert_eq!(sb.sweeps, 0, "b charged with a's sweeps: {sb:?}");
+    assert_eq!(
+        (sb.poisson_hits, sb.poisson_misses, sb.poisson_evictions),
+        (0, 0, 0),
+        "b charged with a's Poisson traffic: {sb:?}"
+    );
+}
+
+#[test]
 fn traced_evaluation_attributes_builder_and_waiters() {
     let def = cases::dds();
     let session = Arc::new(Session::new(&def).expect("session"));

@@ -1,0 +1,178 @@
+//! End-to-end checks of the parametric sweep engine: grid evaluation
+//! must be bitwise identical to fresh-session `evaluate_at` at every
+//! thread count (pseudo-random grids, proptest style), a large sweep
+//! must run exactly one aggregation per configuration while keeping the
+//! Poisson cache bounded, and a sampled subset of sweep points must fall
+//! inside the Monte-Carlo simulator's confidence intervals.
+
+use arcade::cases::dds_scaled_parametric;
+use arcade::engine::EngineOptions;
+use arcade::query::{Measure, ParamGrid, Session};
+use arcade::sim::simulate_unreliability;
+use ctmc::poisson::PoissonCache;
+
+/// Splitmix-style generator for reproducible pseudo-random grids (the
+/// workspace is dependency-free, so no proptest crate).
+fn next_unit(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut z = *state;
+    z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+    z = (z ^ (z >> 33)).wrapping_mul(0xc4ceb9fe1a85ec53);
+    ((z >> 11) as f64) / (1u64 << 53) as f64
+}
+
+#[test]
+fn sweep_matches_fresh_sessions_bitwise_at_threads_1_2_4() {
+    let def = dds_scaled_parametric(2);
+    let measures = [
+        Measure::SteadyStateUnavailability,
+        Measure::Mttf,
+        Measure::Unreliability(500.0),
+        Measure::PointUnavailability(200.0),
+    ];
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for round in 0..3usize {
+        // 2–3 pseudo-random values per axis, 0.25×–1.75× around each base.
+        let axes: Vec<(String, Vec<f64>)> = def
+            .params
+            .iter()
+            .map(|p| {
+                let k = 2 + round % 2;
+                let vals = (0..k)
+                    .map(|_| p.base * (0.25 + 1.5 * next_unit(&mut state)))
+                    .collect();
+                (p.name.clone(), vals)
+            })
+            .collect();
+        let grid = ParamGrid::cartesian(axes);
+        let points = grid.points();
+
+        // Reference: a fresh session per point, serial options.
+        let reference: Vec<Vec<f64>> = points
+            .iter()
+            .map(|pt| {
+                Session::new(&def)
+                    .expect("fresh session")
+                    .evaluate_at(&measures, pt)
+                    .expect("fresh evaluate_at")
+            })
+            .collect();
+
+        for threads in [1usize, 2, 4] {
+            let session = Session::new(&def)
+                .expect("sweep session")
+                .with_options(EngineOptions::new().with_threads(threads));
+            let result = session.sweep(&measures, &grid).expect("sweep");
+            assert_eq!(result.points, points, "round {round}, threads {threads}");
+            // The whole grid re-rates two aggregations (availability +
+            // no-repair), never re-aggregates per point.
+            assert_eq!(
+                session.stats().aggregations_built,
+                2,
+                "round {round}, threads {threads}"
+            );
+            for (i, (row, want)) in result.values.iter().zip(&reference).enumerate() {
+                for (j, (got, exp)) in row.iter().zip(want).enumerate() {
+                    assert!(
+                        got.to_bits() == exp.to_bits(),
+                        "round {round}, threads {threads}, point {i}, measure {j}: \
+                         sweep {got:e} != fresh session {exp:e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn large_sweep_runs_one_aggregation_and_bounds_the_poisson_cache() {
+    let def = dds_scaled_parametric(1);
+    // Availability-configuration transient only: exactly one aggregation
+    // serves the whole grid.
+    let measures = [Measure::PointUnavailability(75.0)];
+    // More distinct repair rates than the Poisson cache holds: every
+    // point brings a fresh uniformization rate, so the (Λ·Δt)-keyed
+    // cache must evict to stay within its capacity.
+    let n_points = PoissonCache::DEFAULT_CAPACITY + 76;
+    let vals: Vec<f64> = (0..n_points).map(|i| 0.5 + i as f64 * 1e-3).collect();
+    let grid = ParamGrid::cartesian([("repair_rate", vals)]);
+
+    let session = Session::new(&def)
+        .expect("session")
+        .with_options(EngineOptions::new().with_threads(2));
+    let result = session.sweep(&measures, &grid).expect("sweep");
+    assert_eq!(result.points.len(), n_points);
+    assert!(result.points.len() >= 200, "grid must be sweep-sized");
+    for row in &result.values {
+        assert!(
+            row[0].is_finite() && (0.0..=1.0).contains(&row[0]),
+            "{row:?}"
+        );
+    }
+
+    let stats = session.stats();
+    assert_eq!(
+        stats.aggregations_built, 1,
+        "a single-configuration sweep must aggregate exactly once: {stats:?}"
+    );
+    assert!(
+        stats.poisson_evictions > 0,
+        "distinct per-point rates must overflow the cache: {stats:?}"
+    );
+    // Inserts happen on misses only, so the resident entry count is
+    // misses − evictions — the bound the cache promises.
+    assert!(
+        stats.poisson_misses - stats.poisson_evictions <= PoissonCache::DEFAULT_CAPACITY as u64,
+        "cache grew past its capacity: {stats:?}"
+    );
+    assert!(
+        stats.dtmc_steps > 0 && stats.sweeps >= n_points as u64,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn sampled_sweep_points_fall_inside_monte_carlo_intervals() {
+    let def = dds_scaled_parametric(1);
+    let t = 1000.0;
+    let measures = [Measure::Unreliability(t)];
+    // Sweep all declared parameters so each grid point is a full
+    // parameter vector, directly usable by `SystemDef::at_point`. The
+    // 0.5×/1.5× ladder keeps every point's unreliability away from the
+    // 0/1 extremes, where the binomial interval is healthiest.
+    let axes: Vec<(String, Vec<f64>)> = def
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let vals = if i < 2 {
+                vec![0.5 * p.base, 1.5 * p.base]
+            } else {
+                vec![p.base]
+            };
+            (p.name.clone(), vals)
+        })
+        .collect();
+    let grid = ParamGrid::cartesian(axes);
+    let session = Session::new(&def).expect("session");
+    let result = session.sweep(&measures, &grid).expect("sweep");
+    assert_eq!(result.points.len(), 4);
+
+    // Cross-validate every point against the independent discrete-event
+    // simulator: the exact sweep value must fall inside the 95% interval.
+    for (i, (point, row)) in result.points.iter().zip(&result.values).enumerate() {
+        let concrete = def.at_point(point);
+        let estimate = simulate_unreliability(&concrete, t, 8000, 0xA5CADE + i as u64, false)
+            .expect("simulation runs");
+        assert!(
+            estimate.contains(row[0]),
+            "point {i} {point:?}: sweep unreliability {:e} outside MC interval \
+             {:e} ± {:e}",
+            row[0],
+            estimate.mean,
+            estimate.half_width
+        );
+    }
+}

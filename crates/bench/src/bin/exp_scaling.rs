@@ -31,10 +31,20 @@
 //! the dense path, and `rcs_stiff(3)`, whose repair rates sit seven
 //! orders of magnitude above its failure rates (the adaptive-Λ stress).
 //!
+//! After the family sweeps a **parametric sweep benchmark** runs: a
+//! `dds_scaled_parametric` session evaluates a multi-hundred-point rate
+//! grid through [`Session::sweep`] (one aggregation per configuration,
+//! re-rated per point) and a rebuild-per-point baseline re-aggregates a
+//! sampled subset from fresh sessions. The sampled points are asserted
+//! bitwise identical between the two paths, and in `--smoke` mode the
+//! re-rate path is **gated ≥ 10× faster** (points/sec) than rebuilding.
+//!
 //! `--json` additionally writes every transient measurement to
 //! `BENCH_transient.json` (family, states, transitions, engine,
 //! requested/effective threads, aggregation/steady/grid wall times, DTMC
-//! step counts) for the bench trajectory; CI uploads it as an artifact.
+//! step counts) plus a `sweep` object (`sweep_points_per_sec`, the
+//! rebuild baseline and the speedup) for the bench trajectory; CI
+//! uploads it as an artifact.
 //!
 //! Run: `cargo run --release -p arcade-bench --bin exp_scaling`
 //! (`-- --smoke` runs a minutes-sized subset for CI; `--smoke --threads 2
@@ -42,10 +52,14 @@
 
 use std::time::Instant;
 
-use arcade::cases::{dds_scaled, rcs_scaled, rcs_scaled_kofn, rcs_stiff};
+use arcade::cases::{
+    dds_scaled, dds_scaled_parametric, rcs_scaled, rcs_scaled_kofn, rcs_scaled_parametric,
+    rcs_stiff,
+};
 use arcade::engine::{aggregate, Aggregation, EngineOptions, RefineMode};
 use arcade::model::SystemModel;
 use arcade::modular::modular_analysis;
+use arcade::query::{Measure, ParamGrid, Session};
 use arcade_bench::Table;
 use ctmc::measures::state_mass;
 use ctmc::transient::{dtmc_steps_performed, reset_solver_counters, transient_many_with};
@@ -213,11 +227,216 @@ fn main() {
          detection. families beyond the dense limit are solved on the sparse iterative \
          path."
     );
+    println!();
+    let sweep_rec = param_sweep_bench(smoke, *threads.last().expect("non-empty thread list"));
+    rcs_sweep_gate(*threads.last().expect("non-empty thread list"));
     if json {
         let path = "BENCH_transient.json";
-        arcade_bench::write_atomic(path, &render_json(hw, smoke, &records))
+        arcade_bench::write_atomic(path, &render_json(hw, smoke, &records, &sweep_rec))
             .expect("write BENCH_transient.json");
         println!("wrote {} transient records to {path}", records.len());
+    }
+}
+
+/// The acceptance check on the big sparse family: a ≥200-point sweep on
+/// `rcs_scaled_parametric(2)` (83,808 quotient states) must run exactly
+/// **one** aggregation, agree bitwise between thread counts 1 and
+/// `threads`, and agree bitwise with fresh-session `evaluate_at` on
+/// sampled points.
+fn rcs_sweep_gate(threads: usize) {
+    let def = rcs_scaled_parametric(2);
+    let measures = [Measure::PointUnavailability(100.0)];
+    // 4 values on each of the 4 declared rates: 256 points.
+    let axes: Vec<(String, Vec<f64>)> = def
+        .params
+        .iter()
+        .map(|p| {
+            let vals = (0..4).map(|i| p.base * (0.7 + 0.2 * i as f64)).collect();
+            (p.name.clone(), vals)
+        })
+        .collect();
+    let grid = ParamGrid::cartesian(axes);
+
+    let start = Instant::now();
+    let serial_session = Session::new(&def)
+        .expect("parametric family elaborates")
+        .with_options(EngineOptions::new().with_threads(1));
+    let serial = serial_session
+        .sweep(&measures, &grid)
+        .expect("serial sweep");
+    let serial_secs = start.elapsed().as_secs_f64();
+    assert!(serial.points.len() >= 200, "gate needs a ≥200-point grid");
+    assert_eq!(
+        serial_session.stats().aggregations_built,
+        1,
+        "rcs_scaled_parametric(2): the whole grid must re-rate one aggregation"
+    );
+
+    let start = Instant::now();
+    let par_session = Session::new(&def)
+        .expect("parametric family elaborates")
+        .with_options(EngineOptions::new().with_threads(threads));
+    let par = par_session.sweep(&measures, &grid).expect("parallel sweep");
+    let par_secs = start.elapsed().as_secs_f64();
+    assert_eq!(par_session.stats().aggregations_built, 1);
+    for (i, (a, b)) in serial.values.iter().zip(&par.values).enumerate() {
+        assert_eq!(
+            a[0].to_bits(),
+            b[0].to_bits(),
+            "rcs point {i}: {threads}-thread sweep differs from serial"
+        );
+    }
+
+    // Sampled fresh-session spot checks (each pays a full aggregation).
+    for (point, row) in serial.points.iter().zip(&serial.values).step_by(128) {
+        let fresh = Session::new(&def).expect("parametric family elaborates");
+        let vals = fresh
+            .evaluate_at(&measures, point)
+            .expect("fresh evaluate_at");
+        assert_eq!(
+            vals[0].to_bits(),
+            row[0].to_bits(),
+            "rcs sweep value at {point:?} differs from a fresh session"
+        );
+    }
+    println!(
+        "rcs_scaled_parametric(2): {} points in {serial_secs:.3} s serial / \
+         {par_secs:.3} s at {threads} threads ({:.1} points/s), one aggregation \
+         for the whole grid, thread counts and sampled fresh sessions bitwise \
+         identical",
+        serial.points.len(),
+        serial.points.len() as f64 / par_secs,
+    );
+}
+
+/// Points re-evaluated from fresh sessions for the rebuild-per-point
+/// baseline — each pays the full per-configuration aggregations that
+/// [`Session::sweep`] amortises across the whole grid.
+const REBUILD_SAMPLE: usize = 3;
+
+/// One parametric-sweep measurement for the machine-readable output.
+struct SweepBenchRecord {
+    family: String,
+    grid_points: usize,
+    measures: usize,
+    threads: usize,
+    sweep_secs: f64,
+    sweep_points_per_sec: f64,
+    rebuild_sample: usize,
+    rebuild_secs: f64,
+    rebuild_points_per_sec: f64,
+    rerate_speedup: f64,
+    aggregations_built: u32,
+}
+
+/// Benchmarks [`Session::sweep`] on a parametric DDS family against a
+/// rebuild-per-point baseline (fresh session + `evaluate_at`, i.e. one
+/// aggregation pass per sampled point). The sampled points are asserted
+/// bitwise identical between the two paths; in smoke mode the re-rate
+/// path must be ≥ 10× faster in points/sec (the sweep regression gate).
+fn param_sweep_bench(smoke: bool, threads: usize) -> SweepBenchRecord {
+    let (n, fail_axis, repair_axis) = if smoke { (2, 4, 3) } else { (3, 6, 6) };
+    let def = dds_scaled_parametric(n);
+    let family = format!("dds_scaled_parametric({n})");
+    // Multiplicative ladders over each declared base rate, 0.5×..2×:
+    // proc_rate × disk_rate × repair_rate, 48 points in smoke, 216 full.
+    let axes: Vec<(String, Vec<f64>)> = def
+        .params
+        .iter()
+        .zip([fail_axis, fail_axis, repair_axis])
+        .map(|(p, k)| {
+            let vals = (0..k)
+                .map(|i| p.base * 0.5 * 4.0f64.powf(i as f64 / (k - 1) as f64))
+                .collect();
+            (p.name.clone(), vals)
+        })
+        .collect();
+    let grid = ParamGrid::cartesian(axes);
+    let measures = [
+        Measure::SteadyStateUnavailability,
+        Measure::Mttf,
+        Measure::Unreliability(1000.0),
+    ];
+    let opts = EngineOptions::new().with_threads(threads);
+    let session = Session::new(&def)
+        .expect("parametric family elaborates")
+        .with_options(opts.clone());
+    let start = Instant::now();
+    let result = session.sweep(&measures, &grid).expect("sweep succeeds");
+    let sweep_secs = start.elapsed().as_secs_f64();
+    let stats = session.stats();
+    // The whole grid must run exactly one aggregation per configuration
+    // (availability + no-repair) — the quotient-reuse contract.
+    assert_eq!(
+        stats.aggregations_built, 2,
+        "{family}: sweep re-aggregated instead of re-rating the quotient"
+    );
+    let grid_points = result.points.len();
+    // Every point runs at least one uniformization sweep (the transient
+    // measure), all attributed to this session's counters.
+    assert!(
+        stats.sweeps >= grid_points as u64,
+        "{family}: session counted {} uniformization sweeps for {grid_points} points",
+        stats.sweeps
+    );
+
+    // Rebuild-per-point baseline: a fresh session per sampled point pays
+    // the aggregations again; `evaluate_at` must still agree bitwise.
+    let rebuild_sample = REBUILD_SAMPLE.min(grid_points);
+    let start = Instant::now();
+    for (point, row) in result
+        .points
+        .iter()
+        .zip(&result.values)
+        .take(rebuild_sample)
+    {
+        let fresh = Session::new(&def)
+            .expect("parametric family elaborates")
+            .with_options(opts.clone());
+        let vals = fresh
+            .evaluate_at(&measures, point)
+            .expect("fresh evaluate_at succeeds");
+        for ((a, b), m) in vals.iter().zip(row).zip(&measures) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{family}: sweep value for {m:?} at {point:?} differs from a \
+                 fresh session ({b:e} vs {a:e})"
+            );
+        }
+    }
+    let rebuild_secs = start.elapsed().as_secs_f64();
+    let sweep_points_per_sec = grid_points as f64 / sweep_secs;
+    let rebuild_points_per_sec = rebuild_sample as f64 / rebuild_secs;
+    let rerate_speedup = sweep_points_per_sec / rebuild_points_per_sec;
+    println!(
+        "{family}: sweep {grid_points} points x {} measures in {sweep_secs:.3} s \
+         ({sweep_points_per_sec:.1} points/s) vs rebuild-per-point \
+         {rebuild_points_per_sec:.1} points/s over {rebuild_sample} sampled points \
+         ({rerate_speedup:.1}x, sampled points bitwise identical, \
+         {} aggregations for the whole grid)",
+        measures.len(),
+        stats.aggregations_built,
+    );
+    if smoke {
+        assert!(
+            rerate_speedup >= 10.0,
+            "{family}: re-rate sweep is only {rerate_speedup:.1}x faster than \
+             rebuild-per-point (gate: >= 10x)"
+        );
+    }
+    SweepBenchRecord {
+        family,
+        grid_points,
+        measures: measures.len(),
+        threads,
+        sweep_secs,
+        sweep_points_per_sec,
+        rebuild_sample,
+        rebuild_secs,
+        rebuild_points_per_sec,
+        rerate_speedup,
+        aggregations_built: stats.aggregations_built,
     }
 }
 
@@ -512,7 +731,12 @@ fn solve(
 
 /// Renders the records as a self-contained JSON document (the workspace
 /// is dependency-free, so the encoder is by hand like the CLI's).
-fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
+fn render_json(
+    hw: usize,
+    smoke: bool,
+    records: &[TransientRecord],
+    sweep: &SweepBenchRecord,
+) -> String {
     let mut rows = String::new();
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -546,9 +770,28 @@ fn render_json(hw: usize, smoke: bool, records: &[TransientRecord]) -> String {
             r.dtmc_steps,
         ));
     }
+    let sweep_obj = format!(
+        "{{\"family\":\"{}\",\"grid_points\":{},\"measures\":{},\"threads\":{},\
+         \"sweep_secs\":{:.6},\"sweep_points_per_sec\":{:.3},\
+         \"rebuild_sample\":{},\"rebuild_secs\":{:.6},\
+         \"rebuild_points_per_sec\":{:.3},\"rerate_speedup\":{:.3},\
+         \"aggregations_built\":{}}}",
+        sweep.family,
+        sweep.grid_points,
+        sweep.measures,
+        sweep.threads,
+        sweep.sweep_secs,
+        sweep.sweep_points_per_sec,
+        sweep.rebuild_sample,
+        sweep.rebuild_secs,
+        sweep.rebuild_points_per_sec,
+        sweep.rerate_speedup,
+        sweep.aggregations_built,
+    );
     format!(
-        "{{\"bench\":\"exp_scaling_transient\",\"schema_version\":2,\
+        "{{\"bench\":\"exp_scaling_transient\",\"schema_version\":3,\
          \"hw_threads\":{hw},\"smoke\":{smoke},\
+         \"sweep\":{sweep_obj},\
          \"records\":[{rows}\n]}}\n"
     )
 }

@@ -255,19 +255,17 @@ pub fn reduce_legacy(imc: &IoImc, opts: &ReduceOptions) -> Reduced {
             cur = quotient(&cur, &p, &sigs, opts.tau);
             cur = restrict_reachable(&cur);
         }
-        Strategy::Branching => {
-            loop {
-                let states_before = cur.num_states();
-                let (p, sigs) = refine_branching_legacy(&cur, Partition::by_label(&cur));
-                cur = quotient(&cur, &p, &sigs, opts.tau);
-                cur = collapse_tau_sccs(&cur);
-                maximal_progress_cut(&mut cur);
-                cur = restrict_reachable(&cur);
-                if cur.num_states() >= states_before {
-                    break;
-                }
+        Strategy::Branching => loop {
+            let states_before = cur.num_states();
+            let (p, sigs) = refine_branching_legacy(&cur, Partition::by_label(&cur));
+            cur = quotient(&cur, &p, &sigs, opts.tau);
+            cur = collapse_tau_sccs(&cur);
+            maximal_progress_cut(&mut cur);
+            cur = restrict_reachable(&cur);
+            if cur.num_states() >= states_before {
+                break;
             }
-        }
+        },
     }
     let after = Stats::of(&cur);
     Reduced {

@@ -53,9 +53,12 @@ fn quotient_inner<'a>(
 
     let mut interactive: Vec<Vec<(ActionId, StateId)>> = Vec::with_capacity(k);
     let mut markovian: Vec<Vec<(f64, StateId)>> = Vec::with_capacity(k);
+    let carry_forms = imc.forms().is_some();
+    let mut form_rows: Vec<ioimc::RateForm> = Vec::new();
     let mut labels: Vec<u64> = Vec::with_capacity(k);
     let mut uses_tau = false;
     let mut rates: Vec<(u32, f64)> = Vec::new();
+    let mut rate_forms: Vec<ioimc::RateForm> = Vec::new();
 
     for b in 0..k {
         let rep = members.of(b)[0];
@@ -79,17 +82,29 @@ fn quotient_inner<'a>(
         // in transition order, exactly like the hash-map accumulation this
         // replaces, so rate sums are bit-identical.
         rates.clear();
+        rate_forms.clear();
         if let Some(&carrier) = members
             .of(b)
             .iter()
             .find(|&&s| !imc.markovian_from(s).is_empty())
         {
-            for &(r, t) in imc.markovian_from(carrier) {
+            let carrier_forms = imc.markovian_forms_from(carrier);
+            for (i, &(r, t)) in imc.markovian_from(carrier).iter().enumerate() {
                 let tb = part.block_of(t);
                 if tb != b as u32 {
-                    match rates.iter_mut().find(|&&mut (bb, _)| bb == tb) {
-                        Some(&mut (_, ref mut acc)) => *acc += r,
-                        None => rates.push((tb, r)),
+                    match rates.iter_mut().position(|&mut (bb, _)| bb == tb) {
+                        Some(j) => {
+                            rates[j].1 += r;
+                            if let Some(forms) = carrier_forms {
+                                rate_forms[j].absorb(&forms[i]);
+                            }
+                        }
+                        None => {
+                            rates.push((tb, r));
+                            if let Some(forms) = carrier_forms {
+                                rate_forms.push(forms[i].clone());
+                            }
+                        }
                     }
                 }
             }
@@ -97,11 +112,27 @@ fn quotient_inner<'a>(
         // Sort by target block: accumulation order is not canonical, and
         // downstream rate-sum accumulation order must be reproducible
         // across processes for the bitwise-determinism guarantee.
-        let mut mark: Vec<(f64, StateId)> =
-            rates.iter().map(|&(t, r)| (r, t as StateId)).collect();
-        mark.sort_unstable_by_key(|&(_, t)| t);
+        let mut order: Vec<u32> = (0..rates.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| rates[i as usize].0);
+        let mark: Vec<(f64, StateId)> = order
+            .iter()
+            .map(|&i| {
+                let (t, r) = rates[i as usize];
+                (r, t as StateId)
+            })
+            .collect();
+        if carry_forms {
+            form_rows.extend(
+                order
+                    .iter()
+                    .map(|&i| std::mem::take(&mut rate_forms[i as usize])),
+            );
+        }
 
-        let label = members.of(b).iter().fold(0u64, |acc, &s| acc | imc.label(s));
+        let label = members
+            .of(b)
+            .iter()
+            .fold(0u64, |acc, &s| acc | imc.label(s));
         interactive.push(inter);
         markovian.push(mark);
         labels.push(label);
@@ -118,6 +149,9 @@ fn quotient_inner<'a>(
         markovian,
         labels,
     );
+    if carry_forms {
+        out.attach_forms(form_rows);
+    }
     out.normalize();
     out
 }

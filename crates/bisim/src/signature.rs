@@ -110,7 +110,9 @@ pub struct SigTable {
 
 impl std::fmt::Debug for SigTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SigTable").field("len", &self.sigs.len()).finish()
+        f.debug_struct("SigTable")
+            .field("len", &self.sigs.len())
+            .finish()
     }
 }
 

@@ -107,6 +107,19 @@ pub fn eliminate_vanishing(imc: &IoImc) -> Result<IoImc, NondeterminismError> {
         markovian,
         labels,
     );
+    if imc.forms().is_some() {
+        out.attach_forms(
+            stable
+                .iter()
+                .flat_map(|&s| {
+                    imc.markovian_forms_from(s)
+                        .expect("forms present")
+                        .iter()
+                        .cloned()
+                })
+                .collect(),
+        );
+    }
     out.normalize();
     Ok(ioimc::reach::restrict_reachable(&out))
 }

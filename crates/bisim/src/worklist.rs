@@ -137,9 +137,8 @@ pub(crate) fn refine_worklist_blocks(
 
     // --- transposed adjacency for dirtiness propagation ----------------
     let (pred_off, preds) = imc.incoming();
-    let preds_of = |s: StateId| {
-        &preds[pred_off[s as usize] as usize..pred_off[s as usize + 1] as usize]
-    };
+    let preds_of =
+        |s: StateId| &preds[pred_off[s as usize] as usize..pred_off[s as usize + 1] as usize];
 
     // --- branching-only structure: tau topology ------------------------
     let tg = if mode == Mode::Branching {
@@ -202,7 +201,14 @@ pub(crate) fn refine_worklist_blocks(
         changed.clear();
         match mode {
             Mode::Strong => resign_strong(
-                imc, threads, &part, &dirty_list, &mut table, &mut sig_of, &mut changed, counters,
+                imc,
+                threads,
+                &part,
+                &dirty_list,
+                &mut table,
+                &mut sig_of,
+                &mut changed,
+                counters,
             ),
             Mode::Branching => resign_branching(
                 imc,
@@ -228,7 +234,13 @@ pub(crate) fn refine_worklist_blocks(
         touched.dedup();
         for &b in &touched {
             split_block(
-                b, &sig_of, &mut part, &mut elems, &mut start, &mut end, &mut moved,
+                b,
+                &sig_of,
+                &mut part,
+                &mut elems,
+                &mut start,
+                &mut end,
+                &mut moved,
                 &mut scratch,
             );
         }
@@ -314,7 +326,10 @@ pub(crate) fn refine_worklist_blocks(
     let partition = Partition::from_blocks(blocks, num as usize);
     let remap = |e: &SigEntry| -> SigEntry {
         let fix = |b: u32| {
-            debug_assert_ne!(canon[b as usize], UNSET, "signature references a dead block");
+            debug_assert_ne!(
+                canon[b as usize], UNSET,
+                "signature references a dead block"
+            );
             canon[b as usize]
         };
         match *e {

@@ -5,13 +5,13 @@
 
 use smallrand::SmallRng;
 
-use bisim::branching::{refine_branching, refine_branching_threaded, refine_branching_legacy};
+use bisim::branching::{refine_branching, refine_branching_legacy, refine_branching_threaded};
 use bisim::partition::Partition;
 use bisim::pipeline::{
     reduce, reduce_legacy, reduce_seeded, ReduceOptions, Strategy as Equivalence,
 };
 use bisim::quotient::quotient;
-use bisim::strong::{refine_strong, refine_strong_threaded, refine_strong_legacy};
+use bisim::strong::{refine_strong, refine_strong_legacy, refine_strong_threaded};
 use ioimc::builder::IoImcBuilder;
 use ioimc::{ActionId, IoImc};
 
@@ -207,7 +207,11 @@ fn worklist_strong_matches_legacy() {
             } else {
                 refine_strong_threaded(&a, Partition::by_label(&a), threads)
             };
-            assert_eq!(wp.num_blocks(), lp.num_blocks(), "seed {seed}, {threads} threads");
+            assert_eq!(
+                wp.num_blocks(),
+                lp.num_blocks(),
+                "seed {seed}, {threads} threads"
+            );
             assert_eq!(wp.blocks(), lp.blocks(), "seed {seed}, {threads} threads");
             assert_eq!(wsigs, lsigs, "seed {seed}, {threads} threads");
             let wq = quotient(&a, &wp, &wsigs, ActionId(1));
@@ -230,7 +234,11 @@ fn worklist_branching_matches_legacy() {
             } else {
                 refine_branching_threaded(&a, Partition::by_label(&a), threads)
             };
-            assert_eq!(wp.num_blocks(), lp.num_blocks(), "seed {seed}, {threads} threads");
+            assert_eq!(
+                wp.num_blocks(),
+                lp.num_blocks(),
+                "seed {seed}, {threads} threads"
+            );
             assert_eq!(wp.blocks(), lp.blocks(), "seed {seed}, {threads} threads");
             assert_eq!(wsigs, lsigs, "seed {seed}, {threads} threads");
             let wq = quotient(&a, &wp, &wsigs, ActionId(1));
@@ -246,7 +254,11 @@ fn worklist_branching_matches_legacy() {
 fn reduce_matches_reduce_legacy() {
     for seed in 0..CASES {
         let a = arb_automaton(&mut SmallRng::seed_from_u64(10_000 + seed));
-        for strategy in [Equivalence::None, Equivalence::Strong, Equivalence::Branching] {
+        for strategy in [
+            Equivalence::None,
+            Equivalence::Strong,
+            Equivalence::Branching,
+        ] {
             let w = reduce(&a, &opts(strategy)).imc;
             let l = reduce_legacy(&a, &opts(strategy)).imc;
             assert_eq!(w, l, "seed {seed}, {strategy:?}");
@@ -265,7 +277,9 @@ fn seeded_reduce_agrees_with_unseeded() {
         let mut rng = SmallRng::seed_from_u64(11_000 + seed);
         let a = arb_automaton(&mut rng);
         let groups = rng.range_u32(1, 4);
-        let hint: Vec<u32> = (0..a.num_states()).map(|_| rng.range_u32(0, 7) % groups).collect();
+        let hint: Vec<u32> = (0..a.num_states())
+            .map(|_| rng.range_u32(0, 7) % groups)
+            .collect();
         let o = opts(Equivalence::Branching);
         let plain = reduce(&a, &o).imc;
         let seeded = reduce_seeded(&a, &o, 1, Some(&hint)).imc;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ioimc::{IoImc, StateLabel};
+use ioimc::{IoImc, RateForm, StateLabel};
 
 /// Errors when constructing a [`Ctmc`].
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +34,9 @@ pub enum CtmcError {
         /// A state with a leftover interactive transition.
         state: u32,
     },
+    /// [`Ctmc::rerate`] was called on a chain without rate forms (built
+    /// from a non-parameterized model, or already re-rated).
+    NotParametric,
 }
 
 impl fmt::Display for CtmcError {
@@ -50,6 +53,7 @@ impl fmt::Display for CtmcError {
                 f,
                 "state {state} still has interactive transitions; reduce the model first"
             ),
+            Self::NotParametric => write!(f, "chain carries no rate forms to re-rate"),
         }
     }
 }
@@ -78,6 +82,9 @@ pub struct Ctmc {
     exit: Vec<f64>,
     labels: Vec<StateLabel>,
     initial: u32,
+    /// Parametric rate forms, parallel to `tr` (see [`Ctmc::rerate`]).
+    /// `None` for chains built from non-parameterized models.
+    forms: Option<Vec<RateForm>>,
 }
 
 /// The incoming (transposed) adjacency of a [`Ctmc`] in CSR form: state
@@ -184,12 +191,22 @@ impl Ctmc {
             }
         }
         let (off, tr) = imc.markovian_csr();
-        Self::from_csr(
+        let mut out = Self::from_csr(
             off.to_vec(),
             tr.to_vec(),
             imc.labels().to_vec(),
             imc.initial(),
-        )
+        )?;
+        if let Some(forms) = imc.forms() {
+            // A normalized I/O-IMC already has rows sorted by target,
+            // parallel edges merged and self-loops dropped, so the CSR
+            // constructor's cleanup pass is an identity and the source
+            // transition array (which `forms` parallels) survives
+            // verbatim.
+            debug_assert_eq!(out.tr, tr, "forms carried from a non-normalized automaton");
+            out.forms = Some(forms.to_vec());
+        }
+        Ok(out)
     }
 
     /// Number of states.
@@ -294,11 +311,17 @@ impl Ctmc {
         let mut off = Vec::with_capacity(n + 1);
         let mut tr = Vec::with_capacity(self.tr.len());
         let mut exit = Vec::with_capacity(n);
+        let mut forms = self.forms.as_ref().map(|f| Vec::with_capacity(f.len()));
         off.push(0u32);
         for s in 0..n as u32 {
             if !clear[s as usize] {
                 tr.extend_from_slice(self.row(s));
                 exit.push(self.exit[s as usize]);
+                if let (Some(out), Some(src)) = (&mut forms, &self.forms) {
+                    let lo = self.off[s as usize] as usize;
+                    let hi = self.off[s as usize + 1] as usize;
+                    out.extend_from_slice(&src[lo..hi]);
+                }
             } else {
                 exit.push(0.0);
             }
@@ -310,7 +333,71 @@ impl Ctmc {
             exit,
             labels: self.labels.clone(),
             initial: self.initial,
+            forms,
         }
+    }
+
+    /// The parametric rate forms, parallel to [`Ctmc::transitions`], or
+    /// `None` for chains built from non-parameterized models.
+    pub fn forms(&self) -> Option<&[RateForm]> {
+        self.forms.as_deref()
+    }
+
+    /// Whether the chain carries rate forms and can be re-rated.
+    pub fn is_parametric(&self) -> bool {
+        self.forms.is_some()
+    }
+
+    /// Re-evaluates every transition rate from its [`RateForm`] at the
+    /// given parameter values, reusing the CSR layout verbatim: the
+    /// offsets, targets, labels and initial state are copied, only the
+    /// rates (and the cached exit rates, re-summed in row order) change.
+    /// The result is formless — evaluating the same chain at another
+    /// point starts from the original again.
+    ///
+    /// Evaluating a form at the model's declared base values reproduces
+    /// the aggregated rates bitwise: every form accumulates its atoms in
+    /// the exact order the aggregation pipeline summed the underlying
+    /// rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NotParametric`] if the chain has no forms,
+    /// or [`CtmcError::BadRate`] if a form evaluates to a non-positive
+    /// or non-finite rate at the given point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the largest parameter id
+    /// referenced by a form.
+    pub fn rerate(&self, values: &[f64]) -> Result<Self, CtmcError> {
+        let forms = self.forms.as_ref().ok_or(CtmcError::NotParametric)?;
+        let n = self.num_states();
+        let mut tr = Vec::with_capacity(self.tr.len());
+        let mut exit = Vec::with_capacity(n);
+        for s in 0..n {
+            let lo = self.off[s] as usize;
+            let hi = self.off[s + 1] as usize;
+            for (form, &(_, target)) in forms[lo..hi].iter().zip(&self.tr[lo..hi]) {
+                let rate = form.eval(values);
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(CtmcError::BadRate {
+                        state: s as u32,
+                        rate,
+                    });
+                }
+                tr.push((rate, target));
+            }
+            exit.push(tr[lo..hi].iter().map(|&(r, _)| r).sum());
+        }
+        Ok(Self {
+            off: self.off.clone(),
+            tr,
+            exit,
+            labels: self.labels.clone(),
+            initial: self.initial,
+            forms: None,
+        })
     }
 
     /// The initial distribution as a dense vector (unit mass on
@@ -482,6 +569,7 @@ impl CsrBuilder {
             exit: self.exit,
             labels,
             initial,
+            forms: None,
         }
     }
 }
@@ -604,6 +692,54 @@ mod tests {
         assert_eq!(c.label(1), 1);
         assert_eq!(c.states_with_label(1).collect::<Vec<_>>(), vec![1]);
         assert!((c.max_exit_rate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rerate_reuses_layout_and_reevaluates_rates() {
+        let mut b = IoImcBuilder::new();
+        let s0 = b.add_labeled_state(0);
+        let s1 = b.add_labeled_state(1);
+        b.markovian_formed(s0, 0.5, s1, ioimc::RateForm::scaled(0, 1.0));
+        b.markovian(s1, 4.0, s0);
+        let imc = b.build().unwrap();
+        let c = Ctmc::from_ioimc(&imc).unwrap();
+        assert!(c.is_parametric());
+        assert_eq!(c.forms().map(<[_]>::len), Some(2));
+        // At the base value the re-rated chain is bitwise the original.
+        let base = c.rerate(&[0.5]).unwrap();
+        assert_eq!(base.transitions(), c.transitions());
+        assert_eq!(base.exit_rates(), c.exit_rates());
+        assert!(!base.is_parametric());
+        // At another point only the parameterized rate moves.
+        let moved = c.rerate(&[2.0]).unwrap();
+        assert_eq!(moved.offsets(), c.offsets());
+        assert_eq!(moved.row(0), &[(2.0, 1)]);
+        assert_eq!(moved.row(1), &[(4.0, 0)]);
+        assert_eq!(moved.exit_rates(), &[2.0, 4.0]);
+        assert_eq!(moved.initial(), c.initial());
+        assert_eq!(moved.labels(), c.labels());
+        // Degenerate points and formless chains are rejected.
+        assert!(matches!(
+            c.rerate(&[0.0]),
+            Err(CtmcError::BadRate { state: 0, .. })
+        ));
+        assert_eq!(base.rerate(&[1.0]), Err(CtmcError::NotParametric));
+    }
+
+    #[test]
+    fn make_absorbing_keeps_forms_aligned() {
+        let mut b = IoImcBuilder::new();
+        let s0 = b.add_labeled_state(0);
+        let s1 = b.add_labeled_state(1);
+        b.markovian_formed(s0, 0.25, s1, ioimc::RateForm::scaled(0, 0.5))
+            .markovian(s1, 3.0, s0);
+        let imc = b.build().unwrap();
+        let c = Ctmc::from_ioimc(&imc).unwrap();
+        let absorbing = c.make_absorbing([s1]);
+        assert!(absorbing.is_parametric());
+        let moved = absorbing.rerate(&[4.0]).unwrap();
+        assert_eq!(moved.row(0), &[(2.0, 1)]);
+        assert!(moved.row(1).is_empty());
     }
 
     #[test]

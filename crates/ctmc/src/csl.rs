@@ -17,10 +17,11 @@
 //! * expected interval availability ([`interval_down_fraction`]).
 
 use crate::chain::Ctmc;
+use crate::context::{MeasureContext, SolveCounters};
 use crate::poisson::PoissonCache;
 use crate::solver::{SolverOptions, TransientOptions};
 use crate::steady::steady_state_with;
-use crate::transient::{transient_many_from_cached, GridSolver};
+use crate::transient::{transient_many_from_cached, transient_many_from_ctx, GridSolver};
 
 /// A boolean state formula over label bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +125,39 @@ pub fn until_bounded_with(
     opts: &TransientOptions,
     cache: &PoissonCache,
 ) -> f64 {
+    until_bounded_inner(ctmc, phi, psi, t, |transformed, pi0| {
+        transient_many_from_cached(transformed, pi0, &[t], opts, cache)
+    })
+}
+
+/// [`until_bounded_with`] driven through a [`MeasureContext`]: the
+/// context's Poisson memo answers the weight lookups and the context's
+/// [`crate::SolveCounters`] record the transient solve's work, scoped to
+/// the session instead of the whole process.
+///
+/// # Panics
+///
+/// Panics if `t` is negative or not finite.
+pub fn until_bounded_ctx(
+    ctmc: &Ctmc,
+    phi: &StateFormula,
+    psi: &StateFormula,
+    t: f64,
+    opts: &TransientOptions,
+    ctx: &MeasureContext,
+) -> f64 {
+    until_bounded_inner(ctmc, phi, psi, t, |transformed, pi0| {
+        transient_many_from_ctx(transformed, pi0, &[t], opts, ctx)
+    })
+}
+
+fn until_bounded_inner(
+    ctmc: &Ctmc,
+    phi: &StateFormula,
+    psi: &StateFormula,
+    _t: f64,
+    solve: impl FnOnce(&Ctmc, &[f64]) -> Vec<Vec<f64>>,
+) -> f64 {
     let absorbing: Vec<u32> = (0..ctmc.num_states() as u32)
         .filter(|&s| {
             let l = ctmc.label(s);
@@ -134,15 +168,9 @@ pub fn until_bounded_with(
     // Success = sitting in a Ψ-state at time t of the transformed chain;
     // since Ψ-states are absorbing, that equals "reached Ψ by t via Φ".
     // A failure state (¬Φ∧¬Ψ) is absorbing and not Ψ, so it contributes 0.
-    let pi = transient_many_from_cached(
-        &transformed,
-        &transformed.initial_distribution(),
-        &[t],
-        opts,
-        cache,
-    )
-    .pop()
-    .expect("one grid point");
+    let pi = solve(&transformed, &transformed.initial_distribution())
+        .pop()
+        .expect("one grid point");
     (0..ctmc.num_states() as u32)
         .filter(|&s| psi.holds(ctmc.label(s)))
         .map(|s| pi[s as usize])
@@ -218,6 +246,33 @@ pub fn interval_down_fraction_with(
     opts: &TransientOptions,
     cache: &PoissonCache,
 ) -> f64 {
+    interval_down_fraction_inner(ctmc, phi, t, opts, cache, None)
+}
+
+/// [`interval_down_fraction_with`] driven through a [`MeasureContext`]
+/// (session-scoped Poisson memo and work counters).
+///
+/// # Panics
+///
+/// Panics if `t` is not strictly positive and finite.
+pub fn interval_down_fraction_ctx(
+    ctmc: &Ctmc,
+    phi: &StateFormula,
+    t: f64,
+    opts: &TransientOptions,
+    ctx: &MeasureContext,
+) -> f64 {
+    interval_down_fraction_inner(ctmc, phi, t, opts, &ctx.poisson, Some(&ctx.counters))
+}
+
+fn interval_down_fraction_inner(
+    ctmc: &Ctmc,
+    phi: &StateFormula,
+    t: f64,
+    opts: &TransientOptions,
+    cache: &PoissonCache,
+    counters: Option<&SolveCounters>,
+) -> f64 {
     assert!(
         t.is_finite() && t > 0.0,
         "horizon must be positive, got {t}"
@@ -238,6 +293,9 @@ pub fn interval_down_fraction_with(
     // CSR) and the weight vectors across all chunks.
     const CHUNK: usize = 64;
     let mut solver = GridSolver::new(ctmc, opts, cache);
+    if let Some(c) = counters {
+        solver = solver.with_counters(c);
+    }
     let mut k = 1usize;
     while k <= steps {
         let m = CHUNK.min(steps - k + 1);

@@ -69,6 +69,7 @@
 
 pub mod absorbing;
 pub mod chain;
+pub mod context;
 pub mod csl;
 pub mod measures;
 pub mod poisson;
@@ -77,5 +78,6 @@ pub mod steady;
 pub mod transient;
 
 pub use chain::{Ctmc, CtmcError, Incoming};
+pub use context::{MeasureContext, SolveCounters};
 pub use poisson::PoissonCache;
 pub use solver::{IterativeMethod, SolverOptions, TransientOptions};

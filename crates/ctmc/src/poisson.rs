@@ -11,7 +11,7 @@
 //! batched [`crate::transient`] query evaluates several measures over the
 //! same grid, so the same `λ` recurs many times within one analysis.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -42,29 +42,73 @@ impl PoissonWeights {
 /// once a grid's support (and hence `Λ_seg`) stabilizes, every later
 /// uniform segment — and every Λ-escalation retry that lands on a
 /// previously tried rate — hits the memo.
-#[derive(Debug, Default)]
+///
+/// The memo is **bounded**: it holds at most `capacity` weight vectors
+/// (default [`PoissonCache::DEFAULT_CAPACITY`]). A weight vector for a
+/// large `λ` spans `O(√λ)` doubles, and a parametric sweep touches one
+/// distinct `Λ·Δt` per (point, grid-Δt) pair — unbounded, the memo
+/// would grow linearly with the sweep. When full, the entry inserted
+/// longest ago is evicted (FIFO; every `λ` of a uniform grid recurs
+/// many times right after insertion, so insertion age tracks usefulness
+/// closely while keeping eviction O(1) and allocation-free).
+#[derive(Debug)]
 pub struct PoissonCache {
-    entries: Mutex<HashMap<u64, Arc<PoissonWeights>>>,
+    entries: Mutex<CacheState>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The entries map plus the FIFO insertion order of its keys.
+#[derive(Debug, Clone, Default)]
+struct CacheState {
+    map: HashMap<u64, Arc<PoissonWeights>>,
+    order: VecDeque<u64>,
+}
+
+impl Default for PoissonCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl Clone for PoissonCache {
-    /// Clones the cached entries (cheap `Arc` bumps); the hit/miss
-    /// counters restart at the cloned values.
+    /// Clones the cached entries (cheap `Arc` bumps); the counters
+    /// restart at the cloned values.
     fn clone(&self) -> Self {
         Self {
             entries: Mutex::new(self.entries.lock().expect("cache lock").clone()),
+            capacity: self.capacity,
             hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
             misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            evictions: AtomicU64::new(self.evictions.load(Ordering::Relaxed)),
         }
     }
 }
 
 impl PoissonCache {
-    /// Creates an empty cache.
+    /// Default entry bound: generous enough that single-model analyses
+    /// (a handful of distinct `Λ·Δt` values per grid) never evict, while
+    /// capping a many-point parametric sweep at a few megabytes of
+    /// resident weight vectors.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` weight vectors
+    /// (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(CacheState::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The weights for `lambda`, computed on first use and memoized.
@@ -73,16 +117,38 @@ impl PoissonCache {
     ///
     /// Panics if `lambda` is negative or not finite.
     pub fn get(&self, lambda: f64) -> Arc<PoissonWeights> {
+        let key = lambda.to_bits();
         let mut entries = self.entries.lock().expect("cache lock");
-        if let Some(w) = entries.get(&lambda.to_bits()) {
+        if let Some(w) = entries.map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return w.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (left, weights) = poisson_weights(lambda);
         let w = Arc::new(PoissonWeights { left, weights });
-        entries.insert(lambda.to_bits(), w.clone());
+        while entries.map.len() >= self.capacity {
+            let oldest = entries.order.pop_front().expect("order tracks map");
+            entries.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.map.insert(key, w.clone());
+        entries.order.push_back(key);
         w
+    }
+
+    /// The maximum number of resident weight vectors.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of currently resident weight vectors.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Lookups answered from the memo since construction.
@@ -93,6 +159,11 @@ impl PoissonCache {
     /// Lookups that had to run [`poisson_weights`].
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to keep the memo within its capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -248,5 +319,47 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.capacity(), PoissonCache::DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first() {
+        let cache = PoissonCache::with_capacity(2);
+        let a = cache.get(1.0);
+        let _ = cache.get(2.0);
+        let _ = cache.get(3.0); // evicts λ=1.0
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // λ=2.0 survived (still a hit), λ=1.0 must recompute.
+        let hits_before = cache.hits();
+        let _ = cache.get(2.0);
+        assert_eq!(cache.hits(), hits_before + 1);
+        let a2 = cache.get(1.0); // miss: evicts λ=3.0
+        assert!(!Arc::ptr_eq(&a, &a2));
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_stays_bounded_under_many_distinct_lambdas() {
+        let cache = PoissonCache::with_capacity(16);
+        for k in 1..=500 {
+            let _ = cache.get(k as f64 * 0.125);
+            assert!(cache.len() <= 16);
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.evictions(), 500 - 16);
+        assert_eq!(cache.misses(), 500);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = PoissonCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        let _ = cache.get(1.0);
+        let _ = cache.get(2.0);
+        assert_eq!(cache.len(), 1);
     }
 }

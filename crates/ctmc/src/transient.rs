@@ -117,6 +117,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
 use crate::chain::Ctmc;
+use crate::context::{MeasureContext, SolveCounters};
 use crate::poisson::{PoissonCache, PoissonWeights};
 use crate::solver::{TransientOptions, UNIF_HEADROOM};
 
@@ -152,6 +153,27 @@ pub fn sweeps_performed() -> u64 {
 pub fn reset_solver_counters() {
     DTMC_STEPS.store(0, Ordering::Relaxed);
     SWEEPS.store(0, Ordering::Relaxed);
+}
+
+/// Records one uniformization sweep: always on the process-wide counter,
+/// and additionally on the per-context sink when one is threaded through
+/// (the `_ctx` entry points).
+#[inline]
+fn count_sweep(sink: Option<&SolveCounters>) {
+    SWEEPS.fetch_add(1, Ordering::Relaxed);
+    if let Some(c) = sink {
+        c.count_sweep();
+    }
+}
+
+/// Records one DTMC matrix-vector product (process-wide plus the optional
+/// per-context sink).
+#[inline]
+fn count_step(sink: Option<&SolveCounters>) {
+    DTMC_STEPS.fetch_add(1, Ordering::Relaxed);
+    if let Some(c) = sink {
+        c.count_step();
+    }
 }
 
 /// Computes the state distribution at time `t` starting from the chain's
@@ -268,6 +290,30 @@ pub fn transient_many_from_cached(
     grid_solve(ctmc, pi0, ts, opts, Some(cache))
 }
 
+/// [`transient_many_from_cached`] driven through a full
+/// [`MeasureContext`]: the context's Poisson memo answers the weight
+/// lookups and the context's [`SolveCounters`] record the sweeps and
+/// DTMC steps this solve performs — in addition to (never instead of)
+/// the process-wide instrumentation counters. This is the entry point
+/// for hosts running several analysis sessions in one process, where
+/// the process-wide counters cross-contaminate.
+///
+/// # Panics
+///
+/// Panics if any time is negative or not finite, or if `pi0` has the
+/// wrong length.
+pub fn transient_many_from_ctx(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    ts: &[f64],
+    opts: &TransientOptions,
+    ctx: &MeasureContext,
+) -> Vec<Vec<f64>> {
+    GridSolver::new(ctmc, opts, &ctx.poisson)
+        .with_counters(&ctx.counters)
+        .solve_from(pi0, ts)
+}
+
 /// The shared grid driver: one [`GridSolver`] per call.
 fn grid_solve(
     ctmc: &Ctmc,
@@ -303,6 +349,8 @@ pub(crate) struct GridSolver<'a> {
     ctmc: &'a Ctmc,
     opts: &'a TransientOptions,
     cache: &'a PoissonCache,
+    /// Per-context counter sink; the process-wide statics are always fed.
+    counters: Option<&'a SolveCounters>,
     stepper: Option<Stepper>,
     adaptive: Option<AdaptiveEngine>,
     max_exit: f64,
@@ -317,12 +365,19 @@ impl<'a> GridSolver<'a> {
             ctmc,
             opts,
             cache,
+            counters: None,
             stepper: None,
             adaptive: None,
             max_exit,
             unif: max_exit * UNIF_HEADROOM,
             converged: false,
         }
+    }
+
+    /// Routes this solver's work counts into a per-context sink as well.
+    pub(crate) fn with_counters(mut self, counters: &'a SolveCounters) -> Self {
+        self.counters = Some(counters);
+        self
     }
 
     pub(crate) fn solve_from(&mut self, pi0: &[f64], ts: &[f64]) -> Vec<Vec<f64>> {
@@ -354,8 +409,8 @@ impl<'a> GridSolver<'a> {
                     .stepper
                     .get_or_insert_with(|| Stepper::new(ctmc, unif, opts));
                 let pw = self.cache.get(self.unif * dt);
-                SWEEPS.fetch_add(1, Ordering::Relaxed);
-                let (res, conv) = st.sweep(&cur, &pw, self.opts.steady_tol);
+                count_sweep(self.counters);
+                let (res, conv) = st.sweep(&cur, &pw, self.opts.steady_tol, self.counters);
                 cur = res;
                 cur_t = ts[i];
                 self.converged = conv;
@@ -388,7 +443,7 @@ impl<'a> GridSolver<'a> {
         for &i in &order {
             let dt = ts[i] - cur_t;
             if dt > 0.0 && !self.converged {
-                self.converged = engine.advance(dt, self.cache, self.opts);
+                self.converged = engine.advance(dt, self.cache, self.opts, self.counters);
                 cur_t = ts[i];
             }
             results[i] = engine.output();
@@ -514,15 +569,27 @@ impl Stepper {
     /// iterates converging mid-sweep is not enough, because early
     /// (pre-convergence) iterates still carry Poisson weight in the
     /// mixture.
-    fn sweep(&self, pi0: &[f64], pw: &PoissonWeights, tol: f64) -> (Vec<f64>, bool) {
+    fn sweep(
+        &self,
+        pi0: &[f64],
+        pw: &PoissonWeights,
+        tol: f64,
+        counters: Option<&SolveCounters>,
+    ) -> (Vec<f64>, bool) {
         if self.shards.len() <= 1 {
-            self.sweep_serial(pi0, pw, tol)
+            self.sweep_serial(pi0, pw, tol, counters)
         } else {
-            self.sweep_sharded(pi0, pw, tol)
+            self.sweep_sharded(pi0, pw, tol, counters)
         }
     }
 
-    fn sweep_serial(&self, pi0: &[f64], pw: &PoissonWeights, tol: f64) -> (Vec<f64>, bool) {
+    fn sweep_serial(
+        &self,
+        pi0: &[f64],
+        pw: &PoissonWeights,
+        tol: f64,
+        counters: Option<&SolveCounters>,
+    ) -> (Vec<f64>, bool) {
         let n = self.n;
         let total = pw.total_steps();
         // Double-buffered stepping: `cur` and `nxt` swap roles each step,
@@ -544,7 +611,7 @@ impl Stepper {
             if step + 1 == total {
                 break;
             }
-            DTMC_STEPS.fetch_add(1, Ordering::Relaxed);
+            count_step(counters);
             let mut delta = 0.0f64;
             for i in 0..n {
                 let v = self.row_value(&cur, i);
@@ -576,7 +643,13 @@ impl Stepper {
     /// steady-state detection. All workers take identical branches, so
     /// the barrier stays aligned and the result is bitwise identical to
     /// [`Stepper::sweep_serial`].
-    fn sweep_sharded(&self, pi0: &[f64], pw: &PoissonWeights, tol: f64) -> (Vec<f64>, bool) {
+    fn sweep_sharded(
+        &self,
+        pi0: &[f64],
+        pw: &PoissonWeights,
+        tol: f64,
+        counters: Option<&SolveCounters>,
+    ) -> (Vec<f64>, bool) {
         let nshards = self.shards.len();
         let total = pw.total_steps();
         let cur = RwLock::new(pi0.to_vec());
@@ -634,7 +707,7 @@ impl Stepper {
                         cur_g[r.clone()]
                             .copy_from_slice(&outs[s].lock().expect("no poisoned shard"));
                     }
-                    DTMC_STEPS.fetch_add(1, Ordering::Relaxed);
+                    count_step(counters);
                     let delta = deltas
                         .iter()
                         .fold(0.0f64, |a, d| a.max(*d.lock().expect("no poisoned shard")));
@@ -972,7 +1045,13 @@ impl AdaptiveEngine {
     /// it), and runs windowed sweeps — restarting with an escalated Λ
     /// when capped inflow breaches the budget. Returns whether the
     /// distribution is steady (all later grid points can answer from it).
-    fn advance(&mut self, dt: f64, cache: &PoissonCache, opts: &TransientOptions) -> bool {
+    fn advance(
+        &mut self,
+        dt: f64,
+        cache: &PoissonCache,
+        opts: &TransientOptions,
+        counters: Option<&SolveCounters>,
+    ) -> bool {
         let op = &self.op;
         // Trailing-support shrink: zero whole top levels while their
         // total mass fits in a quarter of the per-segment budget, so
@@ -1033,10 +1112,10 @@ impl AdaptiveEngine {
         let snapshot = self.cur.clone();
         // One sweep per segment; Λ restarts are internal retries of the
         // same sweep, not additional solver work units.
-        SWEEPS.fetch_add(1, Ordering::Relaxed);
+        count_sweep(counters);
         loop {
             let pw = cache.get(lambda * dt);
-            match self.sweep(lambda, &pw, opts) {
+            match self.sweep(lambda, &pw, opts, counters) {
                 Ok(steady) => return steady,
                 Err(()) => {
                     lambda = (lambda * LAMBDA_ESCALATION).min(global_unif);
@@ -1072,7 +1151,13 @@ impl AdaptiveEngine {
     /// and the identical control-helper arithmetic in the same order, so
     /// results are bitwise identical across thread counts (asserted by
     /// the unit tests driving the gang directly).
-    fn sweep(&mut self, lambda: f64, pw: &PoissonWeights, opts: &TransientOptions) -> SweepOutcome {
+    fn sweep(
+        &mut self,
+        lambda: f64,
+        pw: &PoissonWeights,
+        opts: &TransientOptions,
+        counters: Option<&SolveCounters>,
+    ) -> SweepOutcome {
         // Quarter of the budget for each in-sweep truncation channel
         // (frozen-frontier escape, capped inflow), spread over the steps.
         let total = pw.total_steps();
@@ -1083,9 +1168,9 @@ impl AdaptiveEngine {
         };
         let mut st = self.segment_ctrl(lambda, opts);
         let outcome = if self.workers <= 1 {
-            self.sweep_serial(lambda, pw, opts, &mut st, step_budget)
+            self.sweep_serial(lambda, pw, opts, &mut st, step_budget, counters)
         } else {
-            self.sweep_gang(lambda, pw, opts, &mut st, step_budget)
+            self.sweep_gang(lambda, pw, opts, &mut st, step_budget, counters)
         };
         if outcome.is_ok() {
             self.lvl = st.lvl;
@@ -1103,6 +1188,7 @@ impl AdaptiveEngine {
         opts: &TransientOptions,
         st: &mut SegmentCtrl,
         step_budget: f64,
+        counters: Option<&SolveCounters>,
     ) -> SweepOutcome {
         let op = &self.op;
         let n = op.n;
@@ -1124,7 +1210,7 @@ impl AdaptiveEngine {
                 break;
             }
             hi = st.expand(op, &cur, lambda, step_budget);
-            DTMC_STEPS.fetch_add(1, Ordering::Relaxed);
+            count_step(counters);
             let mut delta = 0.0f64;
             for i in 0..hi {
                 let v = op.row_value(&cur, i, inv_l, hi);
@@ -1165,6 +1251,7 @@ impl AdaptiveEngine {
         opts: &TransientOptions,
         st_outer: &mut SegmentCtrl,
         step_budget: f64,
+        counters: Option<&SolveCounters>,
     ) -> SweepOutcome {
         let op = &self.op;
         let n = op.n;
@@ -1210,7 +1297,7 @@ impl AdaptiveEngine {
                     } else {
                         let hi = st.expand(op, &cur_g, lambda, step_budget);
                         hi_shared.store(hi, Ordering::Relaxed);
-                        DTMC_STEPS.fetch_add(1, Ordering::Relaxed);
+                        count_step(counters);
                     }
                 }
                 barrier.wait();
@@ -1648,7 +1735,7 @@ mod tests {
             for &i in &order {
                 let dt = ts[i] - cur_t;
                 if dt > 0.0 && !converged {
-                    converged = engine.advance(dt, &cache, &opts);
+                    converged = engine.advance(dt, &cache, &opts, None);
                     cur_t = ts[i];
                 }
                 out[i] = engine.output();
@@ -1663,6 +1750,25 @@ mod tests {
                 "gang with {workers} workers diverged from the serial path"
             );
         }
+    }
+
+    /// The `_ctx` entry point is bitwise identical to the plain cached
+    /// path and records the solve's work on the context's counters
+    /// (without disturbing other contexts).
+    #[test]
+    fn ctx_counters_record_session_scoped_work() {
+        let (l, m) = (0.2, 1.5);
+        let c = Ctmc::new(vec![vec![(l, 1)], vec![(m, 0)]], vec![0, 1], 0).unwrap();
+        let ts = [1.0, 2.0, 5.0];
+        let opts = TransientOptions::default();
+        let ctx = MeasureContext::new();
+        let pis = transient_many_from_ctx(&c, &c.initial_distribution(), &ts, &opts, &ctx);
+        assert_eq!(pis, transient_many_with(&c, &ts, &opts));
+        assert!(ctx.counters.sweeps() >= 1);
+        assert!(ctx.counters.dtmc_steps() >= 1);
+        let other = MeasureContext::new();
+        assert_eq!(other.counters.sweeps(), 0);
+        assert_eq!(other.counters.dtmc_steps(), 0);
     }
 
     /// An absorbing chain converges once all mass is absorbed; detection

@@ -1,6 +1,7 @@
 //! The I/O-IMC automaton type.
 
 use crate::alphabet::ActionId;
+use crate::form::RateForm;
 
 /// Index of a state in an [`IoImc`].
 pub type StateId = u32;
@@ -62,6 +63,11 @@ pub struct IoImc {
     pub(crate) mark_off: Vec<u32>,
     /// All Markovian transitions `(rate, target)`, grouped by source.
     pub(crate) mark: Vec<(f64, StateId)>,
+    /// Optional symbolic rate forms, parallel to `mark` (parametric
+    /// builds only — `None` for ordinary automata, with zero overhead).
+    /// Every pass that permutes, merges or drops `mark` entries mirrors
+    /// the operation here, so `forms[i]` always describes `mark[i].0`.
+    pub(crate) forms: Option<Vec<RateForm>>,
     pub(crate) labels: Vec<StateLabel>,
 }
 
@@ -95,6 +101,7 @@ impl IoImc {
             inter,
             mark_off,
             mark,
+            forms: None,
             labels,
         }
     }
@@ -133,8 +140,42 @@ impl IoImc {
             inter,
             mark_off,
             mark,
+            forms: None,
             labels,
         }
+    }
+
+    /// Attaches symbolic rate forms, one per Markovian transition in
+    /// storage order. Call before [`IoImc::normalize`] — normalization
+    /// keeps the forms aligned from then on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forms.len()` differs from the Markovian transition
+    /// count.
+    pub fn attach_forms(&mut self, forms: Vec<RateForm>) {
+        assert_eq!(
+            forms.len(),
+            self.mark.len(),
+            "one rate form per Markovian transition"
+        );
+        self.forms = Some(forms);
+    }
+
+    /// The symbolic rate forms, parallel to the flat Markovian transition
+    /// array of [`IoImc::markovian_csr`] (`None` for non-parametric
+    /// automata).
+    pub fn forms(&self) -> Option<&[RateForm]> {
+        self.forms.as_deref()
+    }
+
+    /// The rate forms of state `s`'s Markovian transitions, parallel to
+    /// [`IoImc::markovian_from`].
+    pub fn markovian_forms_from(&self, s: StateId) -> Option<&[RateForm]> {
+        let s = s as usize;
+        self.forms
+            .as_ref()
+            .map(|f| &f[self.mark_off[s] as usize..self.mark_off[s + 1] as usize])
     }
 
     /// Number of states.
@@ -358,6 +399,9 @@ impl IoImc {
             } else {
                 while r < end {
                     self.mark[w] = self.mark[r];
+                    if let Some(forms) = &mut self.forms {
+                        forms.swap(w, r);
+                    }
                     w += 1;
                     r += 1;
                 }
@@ -365,6 +409,9 @@ impl IoImc {
         }
         self.mark_off[n] = w as u32;
         self.mark.truncate(w);
+        if let Some(forms) = &mut self.forms {
+            forms.truncate(w);
+        }
         before - w
     }
 
@@ -397,6 +444,10 @@ impl IoImc {
 
         // Markovian: per-row sort by target, drop self-loops, merge
         // parallel edges.
+        if self.forms.is_some() {
+            self.normalize_markovian_with_forms();
+            return;
+        }
         let mut w = 0usize;
         for s in 0..n {
             let (start, end) = (self.mark_off[s] as usize, self.mark_off[s + 1] as usize);
@@ -418,6 +469,52 @@ impl IoImc {
         }
         self.mark_off[n] = w as u32;
         self.mark.truncate(w);
+    }
+
+    /// The Markovian half of [`IoImc::normalize`] when rate forms are
+    /// attached: same sort key, self-loop drop and merge rule as the
+    /// formless path (tie order cannot change rate sums — tied entries
+    /// have bitwise-equal rates — so the numeric result is identical),
+    /// with the forms permuted and concatenated alongside. The sort is
+    /// made fully deterministic by an index tie-break so the form
+    /// concatenation order is reproducible.
+    fn normalize_markovian_with_forms(&mut self) {
+        let n = self.num_states();
+        let mut forms = self.forms.take().expect("checked by caller");
+        let mut new_mark: Vec<(f64, StateId)> = Vec::with_capacity(self.mark.len());
+        let mut new_forms: Vec<RateForm> = Vec::with_capacity(forms.len());
+        let mut idx: Vec<u32> = Vec::new();
+        for s in 0..n {
+            let (start, end) = (self.mark_off[s] as usize, self.mark_off[s + 1] as usize);
+            idx.clear();
+            idx.extend(start as u32..end as u32);
+            idx.sort_unstable_by(|&a, &b| {
+                let (ra, ta) = self.mark[a as usize];
+                let (rb, tb) = self.mark[b as usize];
+                ta.cmp(&tb).then(ra.total_cmp(&rb)).then(a.cmp(&b))
+            });
+            self.mark_off[s] = new_mark.len() as u32;
+            let row_start = new_mark.len();
+            for &i in &idx {
+                let (rate, t) = self.mark[i as usize];
+                if t as usize == s {
+                    continue;
+                }
+                if new_mark.len() > row_start && new_mark.last().expect("nonempty row").1 == t {
+                    new_mark.last_mut().expect("nonempty row").0 += rate;
+                    new_forms
+                        .last_mut()
+                        .expect("nonempty row")
+                        .absorb(&forms[i as usize]);
+                } else {
+                    new_mark.push((rate, t));
+                    new_forms.push(std::mem::take(&mut forms[i as usize]));
+                }
+            }
+        }
+        self.mark_off[n] = new_mark.len() as u32;
+        self.mark = new_mark;
+        self.forms = Some(new_forms);
     }
 }
 
@@ -549,6 +646,29 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(imc.markovian_from(0), &[(1.0, 1)]);
         assert!(imc.markovian_from(1).is_empty());
+    }
+
+    #[test]
+    fn normalize_keeps_forms_aligned() {
+        use crate::form::RateForm;
+        let mut bld = IoImcBuilder::new();
+        let s0 = bld.add_state();
+        let s1 = bld.add_state();
+        let s2 = bld.add_state();
+        // Two parallel edges to s2 (merged), one self-loop (dropped), one
+        // plain edge to s1 (constant form synthesized).
+        bld.markovian_formed(s0, 0.6, s2, RateForm::scaled(0, 2.0))
+            .markovian_formed(s0, 0.3, s2, RateForm::scaled(1, 1.0))
+            .markovian_formed(s0, 1.0, s0, RateForm::scaled(0, 1.0))
+            .markovian(s0, 4.0, s1);
+        let imc = bld.build().unwrap();
+        assert_eq!(imc.markovian_from(0), &[(4.0, 1), (0.6 + 0.3, 2)]);
+        let forms = imc.markovian_forms_from(0).unwrap();
+        assert_eq!(forms[0], RateForm::constant(4.0));
+        assert_eq!(forms[1].atoms, vec![(1, 1.0), (0, 2.0)]);
+        // Evaluating at the base point reproduces the merged rates.
+        assert_eq!(forms[1].eval(&[0.3, 0.3]), 0.3 + 0.6);
+        assert!(imc.markovian_forms_from(1).unwrap().is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::alphabet::ActionId;
 use crate::automaton::{IoImc, StateId, StateLabel};
+use crate::form::RateForm;
 use crate::validate::{validate, ValidationError};
 
 /// A builder for [`IoImc`] values.
@@ -33,6 +34,11 @@ pub struct IoImcBuilder {
     internals: Vec<ActionId>,
     interactive: Vec<Vec<(ActionId, StateId)>>,
     markovian: Vec<Vec<(f64, StateId)>>,
+    /// Per-state rate forms, parallel to `markovian` rows. Allocated
+    /// lazily by the first [`IoImcBuilder::markovian_formed`] call
+    /// (backfilling constant forms for earlier transitions); stays
+    /// `None` — and costs nothing — for non-parametric builds.
+    forms: Option<Vec<Vec<RateForm>>>,
     labels: Vec<StateLabel>,
 }
 
@@ -70,6 +76,9 @@ impl IoImcBuilder {
         let id = u32::try_from(self.labels.len()).expect("more than u32::MAX states");
         self.interactive.push(Vec::new());
         self.markovian.push(Vec::new());
+        if let Some(forms) = &mut self.forms {
+            forms.push(Vec::new());
+        }
         self.labels.push(label);
         id
     }
@@ -94,6 +103,35 @@ impl IoImcBuilder {
     /// Adds a Markovian transition `src --rate--> tgt`.
     pub fn markovian(&mut self, src: StateId, rate: f64, tgt: StateId) -> &mut Self {
         self.markovian[src as usize].push((rate, tgt));
+        if let Some(forms) = &mut self.forms {
+            forms[src as usize].push(RateForm::constant(rate));
+        }
+        self
+    }
+
+    /// Adds a Markovian transition carrying an explicit symbolic rate
+    /// form (parametric builds). Transitions added through
+    /// [`IoImcBuilder::markovian`] before or after this call get constant
+    /// forms, so the finished automaton's forms always cover every
+    /// transition.
+    pub fn markovian_formed(
+        &mut self,
+        src: StateId,
+        rate: f64,
+        tgt: StateId,
+        form: RateForm,
+    ) -> &mut Self {
+        if self.forms.is_none() {
+            // Backfill: every transition added so far was constant.
+            self.forms = Some(
+                self.markovian
+                    .iter()
+                    .map(|row| row.iter().map(|&(r, _)| RateForm::constant(r)).collect())
+                    .collect(),
+            );
+        }
+        self.markovian[src as usize].push((rate, tgt));
+        self.forms.as_mut().expect("just ensured")[src as usize].push(form);
         self
     }
 
@@ -119,6 +157,7 @@ impl IoImcBuilder {
     /// out-of-range state, a rate is not finite and positive, or some state
     /// is not input-enabled.
     pub fn build(&mut self) -> Result<IoImc, ValidationError> {
+        let forms = std::mem::take(&mut self.forms);
         let mut imc = IoImc::from_parts_unchecked(
             self.initial,
             std::mem::take(&mut self.inputs),
@@ -128,6 +167,9 @@ impl IoImcBuilder {
             std::mem::take(&mut self.markovian),
             std::mem::take(&mut self.labels),
         );
+        if let Some(rows) = forms {
+            imc.attach_forms(rows.into_iter().flatten().collect());
+        }
         imc.normalize();
         validate(&imc)?;
         Ok(imc)

@@ -149,6 +149,11 @@ pub fn parallel_with_pairs(
     let mut mark_off: Vec<u32> = vec![0];
     let mut mark: Vec<(f64, StateId)> = Vec::new();
     let mut labels: Vec<u64> = Vec::new();
+    // Rate forms ride along whenever either side carries them: an
+    // interleaved transition keeps its component's form, with constant
+    // forms synthesized for the formless side.
+    let carry_forms = a.forms().is_some() || b.forms().is_some();
+    let mut forms: Vec<crate::form::RateForm> = Vec::new();
 
     let get_or_insert = |sa: StateId,
                          sb: StateId,
@@ -169,13 +174,25 @@ pub fn parallel_with_pairs(
         let (sa, sb) = pairs[next];
 
         // Markovian interleaving.
-        for &(r, ta) in a.markovian_from(sa) {
+        for (i, &(r, ta)) in a.markovian_from(sa).iter().enumerate() {
             let t = get_or_insert(ta, sb, &mut index, &mut pairs);
             mark.push((r, t));
+            if carry_forms {
+                forms.push(match a.markovian_forms_from(sa) {
+                    Some(f) => f[i].clone(),
+                    None => crate::form::RateForm::constant(r),
+                });
+            }
         }
-        for &(r, tb) in b.markovian_from(sb) {
+        for (i, &(r, tb)) in b.markovian_from(sb).iter().enumerate() {
             let t = get_or_insert(sa, tb, &mut index, &mut pairs);
             mark.push((r, t));
+            if carry_forms {
+                forms.push(match b.markovian_forms_from(sb) {
+                    Some(f) => f[i].clone(),
+                    None => crate::form::RateForm::constant(r),
+                });
+            }
         }
 
         // Interactive transitions of `a`.
@@ -231,6 +248,9 @@ pub fn parallel_with_pairs(
     let mut out = IoImc::from_csr_unchecked(
         0, inputs, outputs, internals, inter_off, inter, mark_off, mark, labels,
     );
+    if carry_forms {
+        out.attach_forms(forms);
+    }
     out.normalize();
     Ok((out, pairs))
 }

@@ -71,6 +71,7 @@ pub mod automaton;
 pub mod builder;
 pub mod compose;
 pub mod dot;
+pub mod form;
 pub mod fxhash;
 pub mod hide;
 pub mod mp;
@@ -82,5 +83,6 @@ pub mod validate;
 
 pub use alphabet::{ActionId, Alphabet};
 pub use automaton::{ActionKind, IoImc, StateId, StateLabel};
+pub use form::{RateForm, CONST_PARAM};
 pub use stats::Stats;
 pub use validate::ValidationError;

@@ -56,11 +56,15 @@ pub fn restrict_reachable_with_map(imc: &IoImc) -> (IoImc, Vec<StateId>) {
     let mut mark_off: Vec<u32> = Vec::with_capacity(order.len() + 1);
     let mut inter: Vec<(crate::ActionId, StateId)> = Vec::new();
     let mut mark: Vec<(f64, StateId)> = Vec::new();
+    let mut forms: Vec<crate::form::RateForm> = Vec::new();
     inter_off.push(0);
     mark_off.push(0);
     for &s in &order {
         inter.extend(imc.interactive_from(s).iter().map(|&(a, t)| (a, remap(t))));
         mark.extend(imc.markovian_from(s).iter().map(|&(r, t)| (r, remap(t))));
+        if let Some(f) = imc.markovian_forms_from(s) {
+            forms.extend_from_slice(f);
+        }
         inter_off.push(u32::try_from(inter.len()).expect("more than u32::MAX transitions"));
         mark_off.push(u32::try_from(mark.len()).expect("more than u32::MAX transitions"));
     }
@@ -76,6 +80,9 @@ pub fn restrict_reachable_with_map(imc: &IoImc) -> (IoImc, Vec<StateId>) {
         mark,
         labels,
     );
+    if imc.forms().is_some() {
+        out.attach_forms(forms);
+    }
     out.normalize();
     (out, order)
 }

@@ -71,6 +71,11 @@ pub fn collapse_tau_sccs_with_map(imc: &IoImc) -> (IoImc, Vec<StateId>) {
 
     let mut interactive: Vec<Vec<(crate::ActionId, StateId)>> = vec![Vec::new(); num_comp];
     let mut markovian: Vec<Vec<(f64, StateId)>> = vec![Vec::new(); num_comp];
+    let mut form_rows: Vec<Vec<crate::form::RateForm>> = if imc.forms().is_some() {
+        vec![Vec::new(); num_comp]
+    } else {
+        Vec::new()
+    };
     let mut labels: Vec<u64> = vec![0; num_comp];
     for s in 0..n as u32 {
         let c = comp[s as usize];
@@ -86,6 +91,9 @@ pub fn collapse_tau_sccs_with_map(imc: &IoImc) -> (IoImc, Vec<StateId>) {
         for &(r, t) in imc.markovian_from(s) {
             markovian[c as usize].push((r, comp[t as usize]));
         }
+        if let Some(f) = imc.markovian_forms_from(s) {
+            form_rows[c as usize].extend_from_slice(f);
+        }
     }
 
     let mut out = IoImc::from_parts_unchecked(
@@ -97,14 +105,16 @@ pub fn collapse_tau_sccs_with_map(imc: &IoImc) -> (IoImc, Vec<StateId>) {
         markovian,
         labels,
     );
+    if imc.forms().is_some() {
+        out.attach_forms(form_rows.into_iter().flatten().collect());
+    }
     out.normalize();
     // Smallest original member of each component (ascending scan: the
     // first state hitting a component is its minimum).
     let mut rep: Vec<StateId> = vec![StateId::MAX; num_comp];
-    for s in 0..n {
-        let c = comp[s] as usize;
-        if rep[c] == StateId::MAX {
-            rep[c] = s as StateId;
+    for (s, &c) in comp.iter().enumerate().take(n) {
+        if rep[c as usize] == StateId::MAX {
+            rep[c as usize] = s as StateId;
         }
     }
     let (restricted, comp_of) = crate::reach::restrict_reachable_with_map(&out);
