@@ -74,7 +74,7 @@ impl Analysis {
     /// Propagates composition/determinism/analysis errors.
     pub fn run_availability_only(&self) -> Result<Aggregation, ArcadeError> {
         let session = Session::new(&self.def)?.with_options(self.opts.clone());
-        Ok(session.availability_model()?.clone())
+        Ok((*session.availability_model()?).clone())
     }
 }
 
@@ -98,12 +98,12 @@ impl AnalysisReport {
 
     /// The aggregation of the availability configuration (repairs
     /// active).
-    pub fn availability(&self) -> &Aggregation {
+    pub fn availability(&self) -> std::sync::Arc<Aggregation> {
         self.session.availability_model().expect("built by run()")
     }
 
     /// The aggregation of the no-repair configuration (§5.1.2).
-    pub fn reliability_aggregation(&self) -> &Aggregation {
+    pub fn reliability_aggregation(&self) -> std::sync::Arc<Aggregation> {
         self.session.reliability_model().expect("built by run()")
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! arcaded [--addr HOST:PORT] [--workers N] [--threads N]
 //!         [--idle-timeout-secs S] [--max-line-bytes N]
+//!         [--max-states N] [--chaos SPEC]
 //!         [--preload MODEL]...
 //! ```
 //!
@@ -22,6 +23,14 @@
 //! `--workers` sizes the connection worker pool (0 = one per core);
 //! `--threads` is forwarded to every session's engine options (0 = auto),
 //! controlling aggregation and sweep parallelism per request.
+//!
+//! `--max-states N` caps intermediate model size during aggregation for
+//! **every** session (0 = unlimited, the default) — a `load`-ed
+//! combinatorial model trips a structured `budget` error instead of
+//! exhausting the daemon's memory. `--chaos SPEC` arms fault-injection
+//! failpoints (see [`arcade::chaos`]; also honored from the
+//! `ARCADE_CHAOS` environment variable) — testing only, never in
+//! production.
 //!
 //! The daemon exits gracefully on SIGTERM or ctrl-c (SIGINT): it stops
 //! accepting, lets in-flight requests finish, then returns 0. A
@@ -95,6 +104,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 config.max_line_bytes = n;
             }
+            "--max-states" => {
+                config.engine.max_states =
+                    parse_count(&value("--max-states")?, "--max-states")? as u64;
+            }
+            "--chaos" => {
+                arcade::chaos::arm_spec(&value("--chaos")?).map_err(|e| format!("--chaos: {e}"))?;
+                eprintln!("arcaded: chaos failpoints armed");
+            }
             "--preload" => preload.push(value("--preload")?),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -103,6 +120,10 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
+
+    // Environment-armed chaos (testing only; a bad spec is reported and
+    // ignored so chaos can never take the daemon down by itself).
+    arcade::chaos::init_from_env();
 
     // SAFETY: registering a handler that only stores to a static atomic.
     let handler = on_signal as extern "C" fn(i32) as *const () as usize;
@@ -154,6 +175,8 @@ fn parse_count(s: &str, flag: &str) -> Result<usize, String> {
 fn usage() -> String {
     "usage: arcaded [--addr HOST:PORT (default 127.0.0.1:7171)] \
      [--workers N (0 = auto)] [--threads N (0 = auto)] \
-     [--idle-timeout-secs S] [--max-line-bytes N] [--preload MODEL]..."
+     [--idle-timeout-secs S] [--max-line-bytes N] \
+     [--max-states N (0 = unlimited)] [--chaos SPEC (testing only)] \
+     [--preload MODEL]..."
         .to_owned()
 }

@@ -1,0 +1,306 @@
+//! Fault-injection failpoints for exercising the server's containment.
+//!
+//! A *failpoint* is a named hook compiled into a hot boundary of the
+//! resident analysis stack. When the registry is disarmed — the default —
+//! hitting one costs a single relaxed atomic load and nothing else; armed,
+//! it performs the configured fault:
+//!
+//! | action       | effect at the failpoint                                  |
+//! |--------------|----------------------------------------------------------|
+//! | `panic`      | panics (`"chaos: injected panic at <point>"`)            |
+//! | `delay(ms)`  | sleeps `ms` in short slices, honouring any ambient       |
+//! |              | [`ioimc::budget`] deadline (the sleep aborts early by    |
+//! |              | panicking with [`BudgetExceeded`], exactly like a slow   |
+//! |              | solver would)                                            |
+//! | `torn`       | returns [`Fired::Torn`]; the caller emulates a torn      |
+//! |              | write (partial output, dropped connection)               |
+//!
+//! [`BudgetExceeded`]: ioimc::budget::BudgetExceeded
+//!
+//! Compiled-in failpoints:
+//!
+//! * `serve.build` — inside the server registry's session builder,
+//! * `session.agg` — inside [`crate::query::Session`]'s aggregation build,
+//! * `session.solve` — before a session's numerical solve,
+//! * `serve.respond` — before a response line is written to the socket.
+//!
+//! Arm the registry programmatically ([`arm`]) from tests and benches, via
+//! the `ARCADE_CHAOS` environment variable, or with `arcaded --chaos`.
+//! The spec syntax is a comma-separated list of
+//! `point=action[*count]` clauses:
+//!
+//! ```text
+//! ARCADE_CHAOS='serve.build=panic*1,session.solve=delay(200)'
+//! ```
+//!
+//! `*count` limits the fault to the first `count` hits, after which the
+//! failpoint disarms itself; without it the fault fires on every hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic at the failpoint.
+    Panic,
+    /// Sleep this many milliseconds (sliced, ambient-deadline-aware).
+    Delay(u64),
+    /// Signal the caller to tear its write ([`Fired::Torn`]).
+    Torn,
+}
+
+/// What [`failpoint`] asks the caller to do. `Panic` and `Delay` are
+/// executed inside [`failpoint`] itself; only faults that need caller
+/// cooperation surface here.
+/// Callers at points armed only with `panic`/`delay` faults may ignore
+/// the return value; `torn` needs caller cooperation, so the one point
+/// that supports it (`serve.respond`) matches on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fired {
+    /// No fault (registry disarmed, or this point not armed).
+    None,
+    /// Emulate a torn write: emit partial output and drop the connection.
+    Torn,
+}
+
+struct Plan {
+    action: Action,
+    /// Remaining hits; `None` = unlimited.
+    remaining: Option<u32>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Option<HashMap<String, Plan>>> = Mutex::new(None);
+
+/// Whether any failpoint is armed. One relaxed load — this is the entire
+/// cost of a failpoint on the production path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arms `point` with `action`, firing at most `count` times
+/// (`None` = every hit). Replaces any previous plan for the point.
+pub fn arm(point: &str, action: Action, count: Option<u32>) {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.get_or_insert_with(HashMap::new).insert(
+        point.to_string(),
+        Plan {
+            action,
+            remaining: count,
+        },
+    );
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every failpoint, restoring the zero-cost path.
+pub fn disarm_all() {
+    let mut reg = REGISTRY.lock().unwrap();
+    *reg = None;
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Parses and arms a `point=action[*count],...` spec. See the module docs
+/// for the grammar.
+///
+/// # Errors
+///
+/// A human-readable message naming the clause that failed to parse.
+pub fn arm_spec(spec: &str) -> Result<(), String> {
+    for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        let (point, rhs) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("chaos clause `{clause}` is missing `=`"))?;
+        let (action_str, count) = match rhs.split_once('*') {
+            Some((a, n)) => {
+                let n: u32 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad count in chaos clause `{clause}`"))?;
+                (a.trim(), Some(n))
+            }
+            None => (rhs.trim(), None),
+        };
+        let action = if action_str == "panic" {
+            Action::Panic
+        } else if action_str == "torn" {
+            Action::Torn
+        } else if let Some(ms) = action_str
+            .strip_prefix("delay(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            Action::Delay(
+                ms.trim()
+                    .parse()
+                    .map_err(|_| format!("bad delay in chaos clause `{clause}`"))?,
+            )
+        } else {
+            return Err(format!(
+                "unknown chaos action `{action_str}` (want panic, delay(ms) or torn)"
+            ));
+        };
+        arm(point.trim(), action, count);
+    }
+    Ok(())
+}
+
+/// Arms failpoints from the `ARCADE_CHAOS` environment variable, if set.
+/// Called once by the server binary; a bad spec is reported and ignored
+/// (chaos must never take the daemon down by itself).
+pub fn init_from_env() {
+    if let Ok(spec) = std::env::var("ARCADE_CHAOS") {
+        if let Err(e) = arm_spec(&spec) {
+            eprintln!("arcaded: ignoring ARCADE_CHAOS: {e}");
+        }
+    }
+}
+
+/// Serializes tests (and smoke binaries' phases) that arm the
+/// process-global registry, so concurrently running `#[test]`s cannot see
+/// each other's faults. Recovers from a poisoned lock — a panicking chaos
+/// test is the expected case.
+#[doc(hidden)]
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The failpoint hook. Disarmed: one atomic load, returns [`Fired::None`].
+/// Armed for `point`: performs the fault (see module docs) — `panic`
+/// unwinds from here, `delay` sleeps here, `torn` is returned for the
+/// caller to act on.
+#[inline]
+pub fn failpoint(point: &str) -> Fired {
+    if !enabled() {
+        return Fired::None;
+    }
+    failpoint_armed(point)
+}
+
+#[cold]
+fn failpoint_armed(point: &str) -> Fired {
+    let action = {
+        let mut reg = REGISTRY.lock().unwrap();
+        let Some(map) = reg.as_mut() else {
+            return Fired::None;
+        };
+        let Some(plan) = map.get_mut(point) else {
+            return Fired::None;
+        };
+        match &mut plan.remaining {
+            Some(0) => return Fired::None,
+            Some(n) => *n -= 1,
+            None => {}
+        }
+        plan.action
+    };
+    match action {
+        Action::Panic => panic!("chaos: injected panic at {point}"),
+        Action::Delay(ms) => {
+            sliced_sleep(ms);
+            Fired::None
+        }
+        Action::Torn => Fired::Torn,
+    }
+}
+
+/// Sleeps `ms` milliseconds in ≤10 ms slices, polling the ambient compute
+/// budget between slices — an injected delay behaves exactly like a slow
+/// solver loop, so a request deadline still aborts it promptly.
+fn sliced_sleep(ms: u64) {
+    let mut left = ms;
+    while left > 0 {
+        ioimc::budget::checkpoint();
+        let slice = left.min(10);
+        std::thread::sleep(Duration::from_millis(slice));
+        left -= slice;
+    }
+    ioimc::budget::checkpoint();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so these tests serialize themselves
+    // behind the shared lock and always disarm on exit.
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        test_lock()
+    }
+
+    #[test]
+    fn disarmed_is_inert() {
+        let _g = locked();
+        disarm_all();
+        assert!(!enabled());
+        assert_eq!(failpoint("serve.build"), Fired::None);
+    }
+
+    #[test]
+    fn count_limits_fires() {
+        let _g = locked();
+        disarm_all();
+        arm("p", Action::Torn, Some(2));
+        assert_eq!(failpoint("p"), Fired::Torn);
+        assert_eq!(failpoint("p"), Fired::Torn);
+        assert_eq!(failpoint("p"), Fired::None);
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_action_panics_with_point_name() {
+        let _g = locked();
+        disarm_all();
+        arm("session.agg", Action::Panic, Some(1));
+        let r = std::panic::catch_unwind(|| failpoint("session.agg"));
+        disarm_all();
+        let payload = r.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("session.agg"), "payload: {msg}");
+        // The count was consumed by the panicking hit.
+        assert_eq!(failpoint("session.agg"), Fired::None);
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let _g = locked();
+        disarm_all();
+        arm_spec("serve.build=panic*1, session.solve=delay(5), serve.respond=torn").unwrap();
+        assert!(enabled());
+        assert_eq!(failpoint("session.solve"), Fired::None); // slept 5ms
+        assert_eq!(failpoint("serve.respond"), Fired::Torn);
+        disarm_all();
+
+        assert!(arm_spec("nonsense").is_err());
+        assert!(arm_spec("p=explode").is_err());
+        assert!(arm_spec("p=delay(x)").is_err());
+        assert!(arm_spec("p=panic*x").is_err());
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn delay_honours_ambient_deadline() {
+        let _g = locked();
+        disarm_all();
+        arm("slow", Action::Delay(60_000), None);
+        let budget = std::sync::Arc::new(
+            ioimc::budget::Budget::unlimited().with_deadline(Duration::from_millis(30)),
+        );
+        let t0 = std::time::Instant::now();
+        let r =
+            std::panic::catch_unwind(|| ioimc::budget::scope(Some(budget), || failpoint("slow")));
+        disarm_all();
+        assert!(r.is_err(), "deadline should abort the injected delay");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "delay must abort near the deadline, not run to completion"
+        );
+    }
+}

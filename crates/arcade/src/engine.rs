@@ -88,6 +88,17 @@ pub struct EngineOptions {
     /// granularity, steady-state detection). Aggregation itself ignores
     /// it.
     pub solver: ctmc::SolverOptions,
+    /// Ceiling on the states of any intermediate model built during
+    /// aggregation (`0` = unlimited, the default). When exceeded the
+    /// aggregation aborts with [`ArcadeError::Budget`] instead of
+    /// exhausting memory — the containment the server's `--max-states`
+    /// flag relies on for wire-loaded models. Layered *under* any ambient
+    /// request budget ([`ioimc::budget`]), so a per-request deadline still
+    /// applies on top.
+    pub max_states: u64,
+    /// Ceiling on the transitions of any intermediate model (`0` =
+    /// unlimited). See [`EngineOptions::max_states`].
+    pub max_transitions: u64,
 }
 
 impl EngineOptions {
@@ -101,6 +112,8 @@ impl EngineOptions {
             reduce_intermediate: true,
             threads: 0,
             solver: ctmc::SolverOptions::default(),
+            max_states: 0,
+            max_transitions: 0,
         }
     }
 
@@ -115,6 +128,20 @@ impl EngineOptions {
     /// [`EngineOptions::solver`]).
     pub fn with_solver(mut self, solver: ctmc::SolverOptions) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Returns a copy with an intermediate-model state ceiling (see
+    /// [`EngineOptions::max_states`]; `0` disables).
+    pub fn with_max_states(mut self, max_states: u64) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Returns a copy with an intermediate-model transition ceiling (see
+    /// [`EngineOptions::max_transitions`]; `0` disables).
+    pub fn with_max_transitions(mut self, max_transitions: u64) -> Self {
+        self.max_transitions = max_transitions;
         self
     }
 }
@@ -155,6 +182,23 @@ pub struct Aggregation {
 /// Returns an error if composition fails (signature clash) or the closed
 /// model is not weakly deterministic.
 pub fn aggregate(model: &SystemModel, opts: &EngineOptions) -> Result<Aggregation, ArcadeError> {
+    // Layer the per-call size ceiling (if any) under the ambient request
+    // budget, so a wire `--max-states` and a request deadline compose.
+    if opts.max_states > 0 || opts.max_transitions > 0 {
+        let mut child = ioimc::budget::Budget::unlimited()
+            .with_max_states(opts.max_states)
+            .with_max_transitions(opts.max_transitions);
+        if let Some(parent) = ioimc::budget::current() {
+            child = child.with_parent(parent);
+        }
+        return ioimc::budget::scope(Some(std::sync::Arc::new(child)), || {
+            aggregate_inner(model, opts)
+        });
+    }
+    aggregate_inner(model, opts)
+}
+
+fn aggregate_inner(model: &SystemModel, opts: &EngineOptions) -> Result<Aggregation, ArcadeError> {
     let plan = resolve_plan(model, &opts.order)?;
     let env = EvalEnv {
         model,
@@ -313,8 +357,13 @@ fn eval_plan(env: &EvalEnv<'_>, plan: &Plan, external: &Interface) -> Result<Eva
                     threads: ioimc::par::split_budget(env.threads, group_jobs.len()),
                     ..*env
                 };
+                // The ambient budget is a thread-local: carry it across
+                // the fan-out so workers stay under the caller's limits.
+                let budget = ioimc::budget::current();
                 let results = ioimc::par::par_map(env.threads, &group_jobs, |_, &k| {
-                    eval_plan(&worker_env, &items[k], &item_externals[k])
+                    ioimc::budget::scope(budget.clone(), || {
+                        eval_plan(&worker_env, &items[k], &item_externals[k])
+                    })
                 });
                 for (&k, r) in group_jobs.iter().zip(results) {
                     pre[k] = Some(r);
@@ -583,6 +632,47 @@ mod tests {
                 "measure not bitwise equal"
             );
         }
+    }
+
+    /// A state ceiling turns a too-large aggregation into a structured
+    /// [`ArcadeError::Budget`] instead of an ever-growing composition.
+    #[test]
+    fn state_ceiling_aborts_aggregation() {
+        let mut def = SystemDef::new("t");
+        for n in ["a", "b", "c", "d", "e", "f"] {
+            def.add_component(BcDef::new(n, Dist::exp(0.02), Dist::exp(1.0)));
+        }
+        def.add_repair_unit(RuDef::new(
+            "r",
+            ["a", "b", "c", "d", "e", "f"],
+            RepairStrategy::Fcfs,
+        ));
+        def.set_system_down(Expr::and([
+            Expr::down("a"),
+            Expr::down("b"),
+            Expr::down("c"),
+            Expr::down("d"),
+            Expr::down("e"),
+            Expr::down("f"),
+        ]));
+        let model = SystemModel::build(&def).unwrap();
+        // Flat, unreduced composition of six components blows through a
+        // tiny ceiling long before the final model exists.
+        let opts = EngineOptions {
+            reduce_intermediate: false,
+            ..EngineOptions::new()
+        }
+        .with_max_states(16);
+        match aggregate(&model, &opts) {
+            Err(ArcadeError::Budget(e)) => {
+                assert_eq!(e.kind, ioimc::budget::BudgetKind::States);
+                assert_eq!(e.limit, 16);
+            }
+            other => panic!("expected budget abort, got {other:?}"),
+        }
+        // The same aggregation under a generous ceiling completes.
+        let ok = aggregate(&model, &EngineOptions::new().with_max_states(1_000_000));
+        assert!(ok.is_ok());
     }
 
     /// Hierarchical (grouped) plans beat flat orders on the peak size for

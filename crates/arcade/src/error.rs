@@ -21,6 +21,14 @@ pub enum ArcadeError {
     Nondeterministic(String),
     /// A numerical analysis failed.
     Analysis(String),
+    /// The evaluation exceeded a compute budget — a deadline, an explicit
+    /// cancellation, or a state/transition ceiling (see [`ioimc::budget`]).
+    /// Unlike the other variants this says nothing about the model: the
+    /// same query can succeed with a larger budget.
+    Budget(ioimc::budget::BudgetExceeded),
+    /// An evaluation panicked. The panic was contained (caught at the
+    /// session or server boundary); the message is the panic payload.
+    Internal(String),
 }
 
 impl ArcadeError {
@@ -43,6 +51,8 @@ impl fmt::Display for ArcadeError {
             Self::Build(m) => write!(f, "semantics construction failed: {m}"),
             Self::Nondeterministic(m) => write!(f, "model is not weakly deterministic: {m}"),
             Self::Analysis(m) => write!(f, "analysis failed: {m}"),
+            Self::Budget(e) => write!(f, "evaluation aborted: {e}"),
+            Self::Internal(m) => write!(f, "internal panic: {m}"),
         }
     }
 }
@@ -57,7 +67,16 @@ impl From<ioimc::ValidationError> for ArcadeError {
 
 impl From<ioimc::compose::ComposeError> for ArcadeError {
     fn from(e: ioimc::compose::ComposeError) -> Self {
-        Self::Build(e.to_string())
+        match e {
+            ioimc::compose::ComposeError::Budget(b) => Self::Budget(b),
+            other => Self::Build(other.to_string()),
+        }
+    }
+}
+
+impl From<ioimc::budget::BudgetExceeded> for ArcadeError {
+    fn from(e: ioimc::budget::BudgetExceeded) -> Self {
+        Self::Budget(e)
     }
 }
 

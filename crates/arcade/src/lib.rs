@@ -106,6 +106,7 @@ pub mod analytic;
 pub mod ast;
 pub mod build;
 pub mod cases;
+pub mod chaos;
 pub mod dist;
 pub mod engine;
 pub mod error;
@@ -118,6 +119,7 @@ pub mod printer;
 pub mod query;
 pub mod serve;
 pub mod sim;
+pub mod sync;
 
 pub use analysis::Analysis;
 pub use error::ArcadeError;

@@ -70,19 +70,24 @@
 //! # Ok::<(), arcade::ArcadeError>(())
 //! ```
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use ctmc::csl::StateFormula;
 use ctmc::measures::state_mass as mass;
 use ctmc::transient::transient_many_from_ctx;
 use ctmc::{Ctmc, MeasureContext, TransientOptions};
+use ioimc::budget::{self, Budget, BudgetExceeded};
 
 use crate::ast::SystemDef;
 use crate::build::observer::DOWN_BIT;
+use crate::chaos;
 use crate::engine::{aggregate, Aggregation, EngineOptions};
 use crate::error::ArcadeError;
 use crate::model::SystemModel;
+use crate::sync::{CellError, RetryCell};
 
 /// One dependability measure. Time-dependent variants carry their time
 /// point; a batch of them over a grid is answered by one shared sweep.
@@ -289,16 +294,30 @@ pub struct SweepResult {
 
 /// Per-configuration memo: the aggregation and everything derived from it.
 ///
-/// Every slot is a [`OnceLock`], so a `Session` shared behind an [`Arc`]
-/// can be queried from many threads at once: the first thread to need an
-/// artifact builds it while every concurrent requester **blocks on the
-/// same cell** — N simultaneous cold queries trigger exactly one
-/// aggregation (the in-flight dedup the `arcaded` server relies on). A
-/// failed aggregation is cached too: the build is deterministic, so the
-/// error is permanent for this definition and rebuilding cannot help.
+/// A `Session` shared behind an [`Arc`] can be queried from many threads
+/// at once: the first thread to need an artifact builds it while every
+/// concurrent requester **blocks on the same cell** — N simultaneous cold
+/// queries trigger exactly one aggregation (the in-flight dedup the
+/// `arcaded` server relies on).
+///
+/// The aggregation slot is a panic-safe [`RetryCell`], because a resident
+/// server must contain build failures, not wedge on them:
+///
+/// * **deterministic** errors (invalid model, nondeterminism, …) are
+///   cached as the cell's value — the build cannot be helped by retrying;
+/// * **transient** errors ([`ArcadeError::Budget`],
+///   [`ArcadeError::Internal`]) are delivered to the building caller and
+///   every blocked waiter but *not* cached, so a later request with a
+///   larger budget (or after a chaos-injected panic) rebuilds;
+/// * a builder **panic** is caught at the cell, every waiter wakes with a
+///   typed error, and the cell clears for the next request.
+///
+/// The derived slots stay [`OnceLock`]s: their builders only panic on a
+/// budget checkpoint (or injected fault), and `std`'s `OnceLock` retries
+/// after a panicked initializer, so a later request simply recomputes.
 #[derive(Debug, Clone, Default)]
 struct ConfigCache {
-    agg: OnceLock<Result<Aggregation, ArcadeError>>,
+    agg: RetryCell<Result<Arc<Aggregation>, ArcadeError>, ArcadeError>,
     steady: OnceLock<Vec<f64>>,
     down: OnceLock<Arc<[u32]>>,
     absorbing: OnceLock<Ctmc>,
@@ -464,14 +483,21 @@ impl Session {
         cfg: Config,
         opts: &EngineOptions,
         trace: Option<&TraceCells>,
-    ) -> Result<&Aggregation, ArcadeError> {
+    ) -> Result<Arc<Aggregation>, ArcadeError> {
         let cache = self.cache(cfg);
         let was_missing = cache.agg.get().is_none();
         let mut ran = false;
-        let res = cache.agg.get_or_init(|| {
+        let res = cache.agg.get_or_try_init(|| {
             ran = true;
             let t0 = std::time::Instant::now();
-            let agg = build_aggregation(&self.config_def(cfg), opts);
+            // Catch panics here (injected faults, budget checkpoints deep
+            // in refinement) so waiters blocked on this cell receive a
+            // *typed* error instead of a silent retry, and the cell's
+            // caching policy below can tell transient failures apart.
+            let agg = catch_eval(|| {
+                chaos::failpoint("session.agg");
+                build_aggregation(&self.config_def(cfg), opts)
+            });
             if let Ok(a) = &agg {
                 self.aggregations_built.fetch_add(1, Ordering::Relaxed);
                 let us = |secs: f64| (secs * 1e6) as u64;
@@ -488,7 +514,15 @@ impl Session {
                 self.states_resigned
                     .fetch_add(a.refine.states_resigned, Ordering::Relaxed);
             }
-            agg
+            match agg {
+                Ok(a) => Ok(Ok(Arc::new(a))),
+                // Transient failures are not cached: the same build can
+                // succeed later (bigger budget, fault injection over).
+                Err(e @ (ArcadeError::Budget(_) | ArcadeError::Internal(_))) => Err(e),
+                // Deterministic failures are permanent for this
+                // definition — cache them like the artifact.
+                Err(e) => Ok(Err(e)),
+            }
         });
         if let Some(t) = trace {
             if ran {
@@ -497,11 +531,17 @@ impl Session {
                 t.waited.fetch_add(1, Ordering::Relaxed);
             }
         }
-        res.as_ref().map_err(Clone::clone)
+        match res {
+            Ok(Ok(a)) => Ok(a),
+            Ok(Err(e)) | Err(CellError::Init(e)) => Err(e),
+            Err(CellError::Interrupted) => Err(ArcadeError::Internal(
+                "in-flight aggregation was interrupted; retry".into(),
+            )),
+        }
     }
 
     /// The aggregation of `cfg`, built on first use (session options).
-    fn aggregation(&self, cfg: Config) -> Result<&Aggregation, ArcadeError> {
+    fn aggregation(&self, cfg: Config) -> Result<Arc<Aggregation>, ArcadeError> {
         self.aggregation_traced(cfg, &self.opts, None)
     }
 
@@ -532,9 +572,14 @@ impl Session {
                 .opts
                 .clone()
                 .with_threads(ioimc::par::split_budget(threads, missing.len()));
+            // Carry the caller's ambient budget into the workers (the
+            // thread-local does not cross spawns by itself).
+            let budget = budget::current();
             let results = ioimc::par::par_map(missing.len(), &missing, |_, &cfg| {
-                self.aggregation_traced(cfg, &worker_opts, trace)
-                    .map(|_| ())
+                budget::scope(budget.clone(), || {
+                    self.aggregation_traced(cfg, &worker_opts, trace)
+                        .map(|_| ())
+                })
             });
             for r in results {
                 r?;
@@ -566,7 +611,7 @@ impl Session {
     /// # Errors
     ///
     /// Propagates composition/determinism/analysis errors.
-    pub fn availability_model(&self) -> Result<&Aggregation, ArcadeError> {
+    pub fn availability_model(&self) -> Result<Arc<Aggregation>, ArcadeError> {
         self.aggregation(Config::Availability)
     }
 
@@ -576,44 +621,46 @@ impl Session {
     /// # Errors
     ///
     /// Propagates composition/determinism/analysis errors.
-    pub fn reliability_model(&self) -> Result<&Aggregation, ArcadeError> {
+    pub fn reliability_model(&self) -> Result<Arc<Aggregation>, ArcadeError> {
         self.aggregation(Config::NoRepair)
     }
 
     fn down_states(&self, cfg: Config) -> Result<Arc<[u32]>, ArcadeError> {
-        let ctmc = &self.aggregation(cfg)?.ctmc;
+        let agg = self.aggregation(cfg)?;
         Ok(self
             .cache(cfg)
             .down
-            .get_or_init(|| ctmc.states_with_label(DOWN_BIT).collect())
+            .get_or_init(|| agg.ctmc.states_with_label(DOWN_BIT).collect())
             .clone())
     }
 
     fn steady(&self, cfg: Config) -> Result<&[f64], ArcadeError> {
-        let ctmc = &self.aggregation(cfg)?.ctmc;
+        let agg = self.aggregation(cfg)?;
         Ok(self.cache(cfg).steady.get_or_init(|| {
+            chaos::failpoint("session.solve");
             self.steady_solves.fetch_add(1, Ordering::Relaxed);
-            ctmc::steady::steady_state_with(ctmc, &self.opts.solver)
+            ctmc::steady::steady_state_with(&agg.ctmc, &self.opts.solver)
         }))
     }
 
     fn absorbing(&self, cfg: Config) -> Result<&Ctmc, ArcadeError> {
         let down = self.down_states(cfg)?;
-        let ctmc = &self.aggregation(cfg)?.ctmc;
+        let agg = self.aggregation(cfg)?;
         Ok(self.cache(cfg).absorbing.get_or_init(|| {
             self.absorbing_built.fetch_add(1, Ordering::Relaxed);
-            ctmc.make_absorbing(down.iter().copied())
+            agg.ctmc.make_absorbing(down.iter().copied())
         }))
     }
 
     fn mttf(&self) -> Result<f64, ArcadeError> {
         let down = self.down_states(Config::Availability)?;
-        let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+        let agg = self.aggregation(Config::Availability)?;
         Ok(*self.cache(Config::Availability).mttf.get_or_init(|| {
+            chaos::failpoint("session.solve");
             if down.is_empty() {
                 f64::INFINITY
             } else {
-                ctmc::absorbing::mean_time_to_absorption_with(ctmc, &down, &self.opts.solver)
+                ctmc::absorbing::mean_time_to_absorption_with(&agg.ctmc, &down, &self.opts.solver)
             }
         }))
     }
@@ -629,7 +676,9 @@ impl Session {
     /// [`EngineOptions::solver`], Poisson weights from the session memo).
     fn unavailability_curve(&self, ts: &[f64]) -> Result<Vec<f64>, ArcadeError> {
         let down = self.down_states(Config::Availability)?;
-        let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+        let agg = self.aggregation(Config::Availability)?;
+        let ctmc = &agg.ctmc;
+        chaos::failpoint("session.solve");
         Ok(transient_many_from_ctx(
             ctmc,
             &ctmc.initial_distribution(),
@@ -700,6 +749,102 @@ impl Session {
     /// Propagates composition/determinism/analysis errors.
     pub fn evaluate(&self, measures: &[Measure]) -> Result<Vec<f64>, ArcadeError> {
         Ok(self.evaluate_traced(measures)?.0)
+    }
+
+    /// [`Session::evaluate`] under a wall-clock deadline: the evaluation
+    /// aborts cooperatively (at composition chunks, refinement rounds,
+    /// uniformization segments, solver sweeps) once `deadline` has
+    /// elapsed, returning [`ArcadeError::Budget`] instead of running to
+    /// completion. Artifacts finished before the trip stay cached; a
+    /// partially built aggregation is discarded, and a later call — with
+    /// a larger budget — rebuilds it from scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`ArcadeError::Budget`] on deadline expiry; otherwise as
+    /// [`Session::evaluate`].
+    pub fn evaluate_deadline(
+        &self,
+        measures: &[Measure],
+        deadline: Duration,
+    ) -> Result<Vec<f64>, ArcadeError> {
+        self.evaluate_bounded(
+            measures,
+            Arc::new(Budget::unlimited().with_deadline(deadline)),
+        )
+    }
+
+    /// [`Session::evaluate`] under an explicit [`Budget`] (deadline,
+    /// state/transition ceilings, cancellation — see [`ioimc::budget`]).
+    /// The budget is installed as the ambient scope of the evaluation and
+    /// carried across its internal fan-outs; any panic escaping the
+    /// evaluation (a budget checkpoint deep in a solver, an injected
+    /// fault) is caught here and classified into [`ArcadeError::Budget`]
+    /// or [`ArcadeError::Internal`] — it never unwinds into the caller.
+    ///
+    /// Hold a clone of the `Arc` and call [`Budget::cancel`] from another
+    /// thread to abort an evaluation in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ArcadeError::Budget`] when a limit trips,
+    /// [`ArcadeError::Internal`] when the evaluation panicked; otherwise
+    /// as [`Session::evaluate`].
+    pub fn evaluate_bounded(
+        &self,
+        measures: &[Measure],
+        budget: Arc<Budget>,
+    ) -> Result<Vec<f64>, ArcadeError> {
+        let scoped = budget.clone();
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            budget::scope(Some(scoped), || self.evaluate(measures))
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(classify_panic(payload.as_ref(), Some(&budget))),
+        }
+    }
+
+    /// [`Session::sweep`] under a wall-clock deadline — the sweep
+    /// counterpart of [`Session::evaluate_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// [`ArcadeError::Budget`] on deadline expiry; otherwise as
+    /// [`Session::sweep`].
+    pub fn sweep_deadline(
+        &self,
+        measures: &[Measure],
+        grid: &ParamGrid,
+        deadline: Duration,
+    ) -> Result<SweepResult, ArcadeError> {
+        self.sweep_bounded(
+            measures,
+            grid,
+            Arc::new(Budget::unlimited().with_deadline(deadline)),
+        )
+    }
+
+    /// [`Session::sweep`] under an explicit [`Budget`] — the sweep
+    /// counterpart of [`Session::evaluate_bounded`].
+    ///
+    /// # Errors
+    ///
+    /// [`ArcadeError::Budget`] when a limit trips,
+    /// [`ArcadeError::Internal`] when the sweep panicked; otherwise as
+    /// [`Session::sweep`].
+    pub fn sweep_bounded(
+        &self,
+        measures: &[Measure],
+        grid: &ParamGrid,
+        budget: Arc<Budget>,
+    ) -> Result<SweepResult, ArcadeError> {
+        let scoped = budget.clone();
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            budget::scope(Some(scoped), || self.sweep(measures, grid))
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(classify_panic(payload.as_ref(), Some(&budget))),
+        }
     }
 
     /// Like [`Session::evaluate`], additionally reporting what this call
@@ -793,9 +938,9 @@ impl Session {
                 }
                 Measure::Mttf => self.mttf()?,
                 Measure::IntervalAvailability(t) => {
-                    let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+                    let agg = self.aggregation(Config::Availability)?;
                     1.0 - ctmc::csl::interval_down_fraction_ctx(
-                        ctmc,
+                        &agg.ctmc,
                         &StateFormula::down(),
                         *t,
                         &self.opts.solver.transient,
@@ -803,9 +948,9 @@ impl Session {
                     )
                 }
                 Measure::BoundedUntil { phi, psi, t } => {
-                    let ctmc = &self.aggregation(Config::Availability)?.ctmc;
+                    let agg = self.aggregation(Config::Availability)?;
                     ctmc::csl::until_bounded_ctx(
-                        ctmc,
+                        &agg.ctmc,
                         phi,
                         psi,
                         *t,
@@ -945,8 +1090,11 @@ impl Session {
         // aggregation per configuration.
         self.prefetch(&needed_configs(measures), None)?;
         let threads = ioimc::par::effective_threads(self.opts.threads);
+        // Per-point solves honor the caller's ambient budget too: the
+        // thread-local is re-installed inside each worker.
+        let budget = budget::current();
         let results = ioimc::par::par_map(threads, &fulls, |_, full| {
-            self.evaluate_at_full(measures, full)
+            budget::scope(budget.clone(), || self.evaluate_at_full(measures, full))
         });
         let mut values = Vec::with_capacity(results.len());
         for r in results {
@@ -1248,6 +1396,43 @@ fn sweep_sensitivities(
 fn build_aggregation(def: &SystemDef, opts: &EngineOptions) -> Result<Aggregation, ArcadeError> {
     let model = SystemModel::build(def)?;
     aggregate(&model, opts)
+}
+
+/// Runs `f`, converting any panic into a structured [`ArcadeError`] via
+/// [`classify_panic`] (with the ambient budget consulted for trips whose
+/// typed payload did not survive a scoped-thread join).
+fn catch_eval<R>(f: impl FnOnce() -> Result<R, ArcadeError>) -> Result<R, ArcadeError> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(classify_panic(
+            payload.as_ref(),
+            budget::current().as_deref(),
+        )),
+    }
+}
+
+/// Classifies a caught panic payload: a [`BudgetExceeded`] payload (or a
+/// trip recorded on `budget` — scoped-thread joins may swallow the typed
+/// payload) becomes [`ArcadeError::Budget`]; anything else becomes
+/// [`ArcadeError::Internal`] carrying the panic message.
+pub(crate) fn classify_panic(
+    payload: &(dyn std::any::Any + Send),
+    budget: Option<&Budget>,
+) -> ArcadeError {
+    if let Some(e) = payload.downcast_ref::<BudgetExceeded>() {
+        return ArcadeError::Budget(*e);
+    }
+    if let Some(e) = budget.and_then(Budget::tripped) {
+        return ArcadeError::Budget(e);
+    }
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    };
+    ArcadeError::Internal(msg)
 }
 
 #[cfg(test)]

@@ -2,13 +2,23 @@
 //!
 //! One JSON object per line out, one per line back — see
 //! [`super::protocol`] for the wire format. The client is what the
-//! `serve_smoke` CI binary and the `serve_bench` load generator use, and
-//! doubles as the reference implementation for talking to the daemon
-//! from other tooling.
+//! `serve_smoke` / `serve_chaos` CI binaries and the `serve_bench` load
+//! generator use, and doubles as the reference implementation for talking
+//! to the daemon from other tooling.
+//!
+//! For fault tolerance, [`Client::expect_ok_retry`] retries **retryable**
+//! failures — transport errors (a dropped or torn connection) and
+//! `internal_panic` responses (a contained server-side panic whose cell
+//! was cleared for rebuild) — with exponential backoff plus jitter,
+//! reconnecting as needed. Deterministic errors (`bad_request`,
+//! `unknown_model`, `model_error`, `deadline`, `budget`) are returned
+//! immediately: retrying cannot change them.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+use smallrand::SmallRng;
 
 use super::json::Json;
 use super::protocol::ProtoError;
@@ -16,6 +26,7 @@ use super::protocol::ProtoError;
 /// A persistent connection to an `arcaded` server.
 #[derive(Debug)]
 pub struct Client {
+    addr: String,
     stream: TcpStream,
     reader: BufReader<TcpStream>,
 }
@@ -30,7 +41,11 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self { stream, reader })
+        Ok(Self {
+            addr: addr.to_owned(),
+            stream,
+            reader,
+        })
     }
 
     /// Connects, retrying for up to `budget` (for racing a server that is
@@ -68,6 +83,16 @@ impl Client {
             return Err(ProtoError::with_code(
                 "io",
                 "server closed the connection".to_owned(),
+            ));
+        }
+        if !response.ends_with('\n') {
+            // A line protocol response always ends in a newline; bytes
+            // without one mean the connection died mid-response (e.g. a
+            // torn write) — a transport error, not a protocol one, so it
+            // is retryable.
+            return Err(ProtoError::with_code(
+                "io",
+                "connection closed mid-response (torn write)".to_owned(),
             ));
         }
         Json::parse(response.trim_end())
@@ -153,6 +178,9 @@ impl Client {
             "model_error",
             "oversized",
             "shutting_down",
+            "deadline",
+            "budget",
+            "internal_panic",
         ];
         let code = known
             .iter()
@@ -160,6 +188,51 @@ impl Client {
             .copied()
             .unwrap_or("error");
         Err(ProtoError::with_code(code, message.to_owned()))
+    }
+
+    /// Whether retrying `e` can plausibly succeed: transport failures
+    /// (the connection died — possibly mid-response) and contained
+    /// server-side panics (the build cell was cleared; the next attempt
+    /// rebuilds). Everything else is deterministic.
+    pub fn is_retryable(e: &ProtoError) -> bool {
+        matches!(e.code, "io" | "internal_panic")
+    }
+
+    /// Like [`Client::expect_ok`], but retries retryable failures up to
+    /// `attempts` total tries with exponential backoff (10 ms doubling,
+    /// capped at 1 s) plus uniform jitter, reconnecting after transport
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// The last error once the attempts are exhausted, or the first
+    /// non-retryable error.
+    pub fn expect_ok_retry(&mut self, request: &Json, attempts: u32) -> Result<Json, ProtoError> {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x5eed, |d| d.subsec_nanos().into());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut backoff_ms = 10u64;
+        let mut tries = 0u32;
+        loop {
+            match self.expect_ok(request) {
+                Ok(r) => return Ok(r),
+                Err(e) if tries + 1 < attempts && Self::is_retryable(&e) => {
+                    tries += 1;
+                    if e.code == "io" {
+                        // The connection is suspect (torn write, worker
+                        // death): replace it before the next try.
+                        if let Ok(fresh) = Self::connect(&self.addr) {
+                            *self = fresh;
+                        }
+                    }
+                    let jitter = rng.below(backoff_ms.max(1));
+                    std::thread::sleep(Duration::from_millis(backoff_ms + jitter));
+                    backoff_ms = (backoff_ms * 2).min(1000);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The values array of a query response as `f64`s.

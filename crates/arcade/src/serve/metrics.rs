@@ -122,6 +122,17 @@ pub struct Metrics {
     /// Query requests that found the session build already **in flight**
     /// and blocked on the shared once-cell instead of duplicating it.
     pub dedup_waits: AtomicU64,
+    /// Panics caught at a containment boundary (worker pool, dispatch,
+    /// session builder) and converted to `internal_panic` responses.
+    pub panics_caught: AtomicU64,
+    /// Requests aborted by their wall-clock deadline (`timeout_ms`).
+    pub deadline_aborts: AtomicU64,
+    /// Requests aborted by a size/cancellation budget (state or
+    /// transition ceiling, explicit cancel).
+    pub budget_aborts: AtomicU64,
+    /// Session builds re-run after an earlier in-flight attempt died
+    /// (panicked or failed transiently) — the registry's self-heal count.
+    pub retries: AtomicU64,
     /// Wall time spent parsing request lines.
     pub parse: Histogram,
     /// Wall time spent resolving/building sessions (cold builds dominate).
@@ -153,6 +164,10 @@ impl Metrics {
             ("cache_hits", load(&self.cache_hits)),
             ("cache_misses", load(&self.cache_misses)),
             ("dedup_waits", load(&self.dedup_waits)),
+            ("panics_caught", load(&self.panics_caught)),
+            ("deadline_aborts", load(&self.deadline_aborts)),
+            ("budget_aborts", load(&self.budget_aborts)),
+            ("retries", load(&self.retries)),
             (
                 "latency",
                 Json::obj([

@@ -16,11 +16,11 @@
 //!
 //! ```text
 //! → {"model":"dds","measures":["unavailability"],"times":[100,1000]}
-//! ← {"ok":true,"schema_version":1,"model":"dds","values":[...],
+//! ← {"ok":true,"schema_version":2,"model":"dds","values":[...],
 //!    "cold":false,"trace":{"built":0,"waited":0},"session":{...},
 //!    "timings":{"build_us":...,"evaluate_us":...}}
 //! → {"cmd":"stats"}
-//! ← {"ok":true,"schema_version":1,"uptime_secs":...,"server":{...},
+//! ← {"ok":true,"schema_version":2,"uptime_secs":...,"server":{...},
 //!    "models":[{"name":...,"stats":{...}}]}
 //! ```
 //!
@@ -30,7 +30,8 @@
 //!
 //! # Caching and dedup semantics
 //!
-//! Two layers, both once-cell based (see [`registry`]):
+//! Two layers, both built on panic-safe dedup cells (see [`registry`]
+//! and [`crate::sync::RetryCell`]):
 //!
 //! * one cell per model **name** — concurrent cold lookups create exactly
 //!   one [`Session`];
@@ -43,6 +44,48 @@
 //!
 //! Results served from a warm session are bitwise identical to calling
 //! [`Session::evaluate`] directly — the server adds routing, not math.
+//!
+//! # Fault containment
+//!
+//! A resident daemon must stay answerable when one request misbehaves.
+//! Four mechanisms compose, innermost first:
+//!
+//! * **Compute budgets.** A request carrying `timeout_ms` (wall-clock
+//!   deadline) and/or `max_states` (intermediate-model ceiling) runs
+//!   under an ambient cooperative [`ioimc::budget::Budget`] polled by the
+//!   aggregation and solver loops at round/segment boundaries. Tripping
+//!   answers a structured error — code `deadline` or `budget` — well
+//!   within ~2× the requested deadline, frees the worker, and does *not*
+//!   cache the half-built artifact, so a later request with a larger
+//!   budget starts fresh. The server-wide `--max-states` flag layers an
+//!   engine-level ceiling under every request (`load`-ed models cannot
+//!   blow up the daemon); the per-request field tightens it further.
+//! * **Panic isolation.** Session/registry builds run inside panic-safe
+//!   dedup cells ([`crate::sync::RetryCell`]): a panicking build answers
+//!   its own request *and* every blocked dedup waiter with a typed
+//!   `internal_panic` error, clears the cell so the next request
+//!   rebuilds, and never silently re-runs. Two outer rings — around each
+//!   dispatched request and around the worker loop — guarantee a panic
+//!   anywhere in request handling neither kills a pool worker nor drops
+//!   the connection without an answer.
+//! * **Client retry.** [`client::Client::expect_ok_retry`] retries
+//!   transport errors and `internal_panic` (and only those — everything
+//!   else is deterministic) with exponential backoff plus jitter,
+//!   reconnecting as needed.
+//! * **Chaos failpoints.** [`crate::chaos`] compiles named failpoints
+//!   into the build/solve/respond boundaries (`serve.build`,
+//!   `session.agg`, `session.solve`, `serve.respond`); armed via
+//!   `arcaded --chaos` or `ARCADE_CHAOS`, they inject panics, ambient-
+//!   deadline-aware delays and torn writes. Disarmed (the default) a
+//!   failpoint costs one relaxed atomic load. The `serve_chaos` binary
+//!   (crates/bench) drives all of this in CI and asserts the containment
+//!   contract: the daemon keeps answering, waiters unblock with typed
+//!   errors, retries succeed, and post-recovery warm answers stay
+//!   bitwise identical.
+//!
+//! The `stats` endpoint exposes the containment counters
+//! (`panics_caught`, `deadline_aborts`, `budget_aborts`, `retries`)
+//! alongside the cache and latency metrics.
 //!
 //! # Running it
 //!

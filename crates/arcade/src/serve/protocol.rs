@@ -40,6 +40,22 @@
 //! (The CSL `BoundedUntil` measure needs a formula encoding and is not
 //! exposed over the wire.)
 //!
+//! # Deadlines and compute budgets
+//!
+//! A `query` or `sweep` may carry two optional containment fields:
+//!
+//! * `"timeout_ms"` — a wall-clock deadline for the whole evaluation
+//!   (build + solve). An exceeded deadline frees the worker and answers
+//!   with the structured error code `deadline`.
+//! * `"max_states"` — a ceiling on intermediate model size during
+//!   aggregation for this request; exceeding it answers `budget`.
+//!
+//! Both ride a cooperative [`ioimc::budget::Budget`] threaded through the
+//! aggregation and solver loops — the abort is prompt (checks sit at
+//! round/segment boundaries) but not preemptive, and a half-built
+//! aggregation is **not** cached, so a later request with a larger budget
+//! starts fresh.
+//!
 //! # Sweeps
 //!
 //! A `sweep` request evaluates the same measure batch at every point of a
@@ -72,7 +88,11 @@
 //! string measures expanded across the sorted request grid in the order
 //! given). Failure: `{"ok":false,"error":{"code":...,"message":...}}`
 //! where `code` is one of `bad_json`, `bad_request`, `unknown_model`,
-//! `model_error`, `oversized`, `shutting_down`.
+//! `model_error`, `oversized`, `shutting_down`, or one of the fault
+//! containment codes: `deadline` (wall-clock deadline exceeded), `budget`
+//! (state/transition ceiling exceeded or evaluation cancelled), and
+//! `internal_panic` (a panic was caught and contained; the request may be
+//! retried — see [`super::client::Client::expect_ok_retry`]).
 
 use std::fmt;
 
@@ -128,6 +148,23 @@ impl fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
+/// Per-request containment limits carried by `query`/`sweep` requests
+/// (see the module docs, *Deadlines and compute budgets*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Limits {
+    /// Wall-clock deadline for the whole evaluation, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Ceiling on intermediate model size during aggregation.
+    pub max_states: Option<u64>,
+}
+
+impl Limits {
+    /// Whether any limit is set (i.e. a per-request budget is needed).
+    pub fn is_some(&self) -> bool {
+        self.timeout_ms.is_some() || self.max_states.is_some()
+    }
+}
+
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -138,6 +175,8 @@ pub enum Request {
         /// The expanded measure batch (strings already crossed with the
         /// request grid).
         measures: Vec<Measure>,
+        /// Per-request containment limits (deadline, state ceiling).
+        limits: Limits,
     },
     /// Evaluate a measure batch at every point of a parameter grid over
     /// a parametric model.
@@ -148,6 +187,8 @@ pub enum Request {
         measures: Vec<Measure>,
         /// The parameter grid to sweep.
         grid: ParamGrid,
+        /// Per-request containment limits (deadline, state ceiling).
+        limits: Limits,
     },
     /// Server + per-model counters.
     Stats,
@@ -194,9 +235,11 @@ impl Request {
                     .and_then(Json::as_str)
                     .ok_or_else(|| ProtoError::bad_request("query needs a string `model`"))?;
                 let measures = expand_measures(v)?;
+                let limits = parse_limits(v)?;
                 Ok(Request::Query {
                     model: model.to_owned(),
                     measures,
+                    limits,
                 })
             }
             "sweep" => {
@@ -206,10 +249,12 @@ impl Request {
                     .ok_or_else(|| ProtoError::bad_request("sweep needs a string `model`"))?;
                 let measures = expand_measures(v)?;
                 let grid = parse_grid(v)?;
+                let limits = parse_limits(v)?;
                 Ok(Request::Sweep {
                     model: model.to_owned(),
                     measures,
                     grid,
+                    limits,
                 })
             }
             "stats" => Ok(Request::Stats),
@@ -238,6 +283,32 @@ impl Request {
             ))),
         }
     }
+}
+
+/// Parses the optional `"timeout_ms"` / `"max_states"` containment
+/// fields of a `query`/`sweep` object.
+///
+/// # Errors
+///
+/// [`ProtoError`] (`bad_request`) when a field is present but not a
+/// positive integer.
+pub fn parse_limits(v: &Json) -> Result<Limits, ProtoError> {
+    let positive_int = |field: &str| -> Result<Option<u64>, ProtoError> {
+        match v.get(field) {
+            None | Some(Json::Null) => Ok(None),
+            Some(x) => x
+                .as_f64()
+                .filter(|x| x.is_finite() && *x >= 1.0 && x.fract() == 0.0)
+                .map(|x| Some(x as u64))
+                .ok_or_else(|| {
+                    ProtoError::bad_request(format!("`{field}` must be a positive integer"))
+                }),
+        }
+    };
+    Ok(Limits {
+        timeout_ms: positive_int("timeout_ms")?,
+        max_states: positive_int("max_states")?,
+    })
 }
 
 /// Expands the `"measures"` array of a query object against its
@@ -456,9 +527,15 @@ mod tests {
             r#"{"model":"dds","measures":["mttf","unavailability","reliability"],"times":[10,20]}"#,
         )
         .unwrap();
-        let Request::Query { model, measures } = r else {
+        let Request::Query {
+            model,
+            measures,
+            limits,
+        } = r
+        else {
             panic!("not a query")
         };
+        assert_eq!(limits, Limits::default());
         assert_eq!(model, "dds");
         assert_eq!(
             measures,
@@ -531,6 +608,7 @@ mod tests {
             model,
             measures,
             grid,
+            ..
         } = r
         else {
             panic!("not a sweep")
@@ -595,6 +673,47 @@ mod tests {
             let e = parse(line).unwrap_err();
             assert_eq!(e.code, "bad_request", "{line}");
             assert!(e.message.contains(needle), "{line}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn limits_parse_and_validate() {
+        let r =
+            parse(r#"{"model":"dds","measures":["mttf"],"timeout_ms":500,"max_states":100000}"#)
+                .unwrap();
+        let Request::Query { limits, .. } = r else {
+            panic!("not a query")
+        };
+        assert_eq!(
+            limits,
+            Limits {
+                timeout_ms: Some(500),
+                max_states: Some(100_000),
+            }
+        );
+        assert!(limits.is_some());
+        assert!(!Limits::default().is_some());
+
+        // Sweeps carry them too.
+        let r = parse(
+            r#"{"cmd":"sweep","model":"m","measures":["mttf"],
+                "params":["a"],"points":[[0.1]],"timeout_ms":9}"#,
+        )
+        .unwrap();
+        let Request::Sweep { limits, .. } = r else {
+            panic!("not a sweep")
+        };
+        assert_eq!(limits.timeout_ms, Some(9));
+
+        for bad in [
+            r#"{"model":"dds","measures":["mttf"],"timeout_ms":0}"#,
+            r#"{"model":"dds","measures":["mttf"],"timeout_ms":-5}"#,
+            r#"{"model":"dds","measures":["mttf"],"timeout_ms":1.5}"#,
+            r#"{"model":"dds","measures":["mttf"],"max_states":"many"}"#,
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{bad}");
+            assert!(e.message.contains("positive integer"), "{bad}");
         }
     }
 

@@ -2,15 +2,20 @@
 //!
 //! Two layers of caching back the `arcaded` server:
 //!
-//! 1. **Registry keys** — each model name owns one
-//!    `Arc<OnceLock<Result<Arc<Session>, _>>>`. Concurrent requests for a
-//!    name that is not cached yet race to the same cell; exactly one
-//!    creates the session, the rest block until it exists. The entry map
-//!    itself is behind a [`RwLock`] taken only long enough to clone the
-//!    per-key `Arc` — never across a build.
+//! 1. **Registry keys** — each model name owns one panic-safe
+//!    [`RetryCell`]. Concurrent requests for a name that is not cached yet
+//!    race to the same cell; exactly one creates the session, the rest
+//!    block until it exists. A builder that **panics** (a bug, or an
+//!    injected `serve.build` chaos fault) does not wedge the cell: every
+//!    waiter is answered with a structured `internal_panic` error and the
+//!    cell is cleared, so the next request rebuilds from scratch.
+//!    Deterministic failures (resolution, validation) *are* cached —
+//!    retrying cannot change them. The entry map itself is behind a
+//!    [`RwLock`] taken only long enough to clone the per-key `Arc` —
+//!    never across a build.
 //! 2. **Session artifacts** — the expensive work (compositional
 //!    aggregation, steady vectors, Poisson weights) is deduplicated
-//!    *inside* the shared [`Session`]: its caches are [`OnceLock`]s too,
+//!    *inside* the shared [`Session`] with the same panic-safe cells,
 //!    so N clients firing the same cold query trigger exactly one
 //!    aggregation and N−1 waiters ([`crate::query::EvalTrace`] reports
 //!    which side of that race a call was on).
@@ -22,14 +27,17 @@
 //! request must not be able to take the daemon down.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use super::protocol::ProtoError;
 use crate::ast::SystemDef;
 use crate::cases;
+use crate::chaos;
 use crate::engine::EngineOptions;
 use crate::parser::parse_system;
 use crate::query::Session;
+use crate::sync::{panic_message, CellError, RetryCell};
 
 /// Largest accepted `dds_scaled`/`rcs_stiff` family size.
 const MAX_LINEAR_SIZE: usize = 16;
@@ -38,7 +46,16 @@ const MAX_LINEAR_SIZE: usize = 16;
 /// magnitude per extra line).
 const MAX_RCS_LINES: usize = 3;
 
-type SessionCell = Arc<OnceLock<Result<Arc<Session>, ProtoError>>>;
+/// One registry entry: the panic-safe dedup cell plus an attempt counter.
+/// An attempt number above zero means an earlier in-flight build died
+/// (panicked) and this build is the registry healing itself.
+#[derive(Debug, Default)]
+struct SessionSlot {
+    cell: RetryCell<Result<Arc<Session>, ProtoError>, ProtoError>,
+    attempts: AtomicU64,
+}
+
+type SessionCell = Arc<SessionSlot>;
 
 /// The shared model registry. One per server; cheap to share via `Arc`.
 #[derive(Debug)]
@@ -114,38 +131,74 @@ impl Registry {
     /// resolution error is returned to every later request for the name
     /// (resolution is deterministic, retrying cannot help) — except for
     /// unknown names, which are **not** cached so a later `load` can
-    /// supply them.
+    /// supply them. A build that **panics** answers its own request and
+    /// every blocked waiter with `internal_panic` and leaves the cell
+    /// empty, so the next request rebuilds.
     ///
     /// # Errors
     ///
     /// `unknown_model` for names nothing resolves; `bad_request` for
     /// out-of-range built-in sizes; `model_error` when session creation
-    /// fails validation.
+    /// fails validation; `internal_panic` when the build (ours or the one
+    /// we waited on) panicked.
     pub fn session(&self, name: &str) -> Result<Arc<Session>, ProtoError> {
-        let cell = {
+        self.session_traced(name).0
+    }
+
+    /// Like [`Registry::session`], additionally reporting whether this
+    /// call re-ran a build after an earlier in-flight attempt died — the
+    /// server's `retries` counter keys off this.
+    pub fn session_traced(&self, name: &str) -> (Result<Arc<Session>, ProtoError>, bool) {
+        let slot = {
             let map = self.sessions.read().expect("session map not poisoned");
             map.get(name).cloned()
         };
-        let cell = match cell {
-            Some(c) => c,
+        let slot = match slot {
+            Some(s) => s,
             None => {
                 // Unknown names fail *before* inserting a cell, so they
                 // are never negatively cached against a future `load`.
-                self.resolve_def(name)?;
+                if let Err(e) = self.resolve_def(name) {
+                    return (Err(e), false);
+                }
                 let mut map = self.sessions.write().expect("session map not poisoned");
-                map.entry(name.to_owned())
-                    .or_insert_with(|| Arc::new(OnceLock::new()))
-                    .clone()
+                map.entry(name.to_owned()).or_default().clone()
             }
         };
-        cell.get_or_init(|| {
-            let def = self.resolve_def(name)?;
-            let session = Session::new(&def)
-                .map_err(|e| ProtoError::with_code("model_error", e.to_string()))?
-                .with_options(self.opts.clone());
-            Ok(Arc::new(session))
-        })
-        .clone()
+        let mut retried = false;
+        let built = slot.cell.get_or_try_init(|| {
+            retried = slot.attempts.fetch_add(1, Ordering::Relaxed) > 0;
+            // The panic is caught *here* (not left to the RetryCell's own
+            // unwinding path) so the builder's request gets the same typed
+            // `internal_panic` error as its waiters instead of unwinding
+            // through the worker.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                chaos::failpoint("serve.build");
+                let def = self.resolve_def(name)?;
+                let session = Session::new(&def)
+                    .map_err(|e| ProtoError::with_code("model_error", e.to_string()))?
+                    .with_options(self.opts.clone());
+                Ok(Arc::new(session))
+            })) {
+                // Deterministic outcome (success or resolution/validation
+                // error): cache it forever.
+                Ok(result) => Ok(result),
+                // Transient: typed error to everyone, cell stays empty.
+                Err(payload) => Err(ProtoError::with_code(
+                    "internal_panic",
+                    panic_message(payload.as_ref()),
+                )),
+            }
+        });
+        let result = match built {
+            Ok(cached) => cached,
+            Err(CellError::Init(e)) => Err(e),
+            Err(CellError::Interrupted) => Err(ProtoError::with_code(
+                "internal_panic",
+                "in-flight session build was interrupted; retry".to_owned(),
+            )),
+        };
+        (result, retried)
     }
 
     /// Per-model session statistics for every session that exists, sorted
@@ -154,8 +207,8 @@ impl Registry {
         let map = self.sessions.read().expect("session map not poisoned");
         let mut out: Vec<(String, crate::query::SessionStats)> = map
             .iter()
-            .filter_map(|(name, cell)| {
-                let session = cell.get()?.as_ref().ok()?;
+            .filter_map(|(name, slot)| {
+                let session = slot.cell.get()?.ok()?;
                 Some((name.clone(), session.stats()))
             })
             .collect();
@@ -329,6 +382,59 @@ mod tests {
         assert!(!Arc::ptr_eq(&before, &after));
         // Bad source is a model_error.
         assert_eq!(r.load("bad", "not arcade").unwrap_err().code, "model_error");
+    }
+
+    #[test]
+    fn panicking_build_answers_typed_and_heals() {
+        // Regression: a panic inside the session builder used to leave
+        // waiters racing to silently re-run the build with no record of
+        // the failure. Now the first request gets `internal_panic` and the
+        // second rebuilds successfully — and reports itself as a retry.
+        let _g = chaos::test_lock();
+        chaos::disarm_all();
+        chaos::arm("serve.build", chaos::Action::Panic, Some(1));
+        let r = registry();
+        let (first, retried) = r.session_traced("dds");
+        assert_eq!(first.unwrap_err().code, "internal_panic");
+        assert!(!retried, "first attempt is not a retry");
+        let (second, retried) = r.session_traced("dds");
+        assert!(second.is_ok(), "cell must heal after a panicked build");
+        assert!(retried, "the healing build counts as a retry");
+        // Warm now: no further builds, no retry flag.
+        let (third, retried) = r.session_traced("dds");
+        assert!(third.is_ok() && !retried);
+        chaos::disarm_all();
+    }
+
+    #[test]
+    fn concurrent_waiters_on_a_panicked_build_all_unblock() {
+        let _g = chaos::test_lock();
+        chaos::disarm_all();
+        chaos::arm("serve.build", chaos::Action::Panic, Some(1));
+        let r = Arc::new(registry());
+        let outcomes: Vec<Result<Arc<Session>, ProtoError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let r = Arc::clone(&r);
+                    s.spawn(move || r.session("dds_scaled(2)"))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        chaos::disarm_all();
+        // Exactly one build hit the armed panic; its builder and any
+        // waiters that blocked on it got `internal_panic`, everyone else
+        // raced past the cleared cell and rebuilt successfully. Nobody
+        // hangs, and at least the panicked builder saw the typed error.
+        let failed = outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_err_and(|e| e.code == "internal_panic"))
+            .count();
+        let succeeded = outcomes.iter().filter(|o| o.is_ok()).count();
+        assert_eq!(failed + succeeded, 6);
+        assert!(failed >= 1, "the panicked build must surface somewhere");
+        // The registry stays usable afterwards.
+        assert!(r.session("dds_scaled(2)").is_ok());
     }
 
     #[test]

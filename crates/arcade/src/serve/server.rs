@@ -20,11 +20,20 @@
 //! write fails, the worker closes the connection and moves on). Request
 //! lines are capped at [`ServerConfig::max_line_bytes`]; an oversized
 //! line gets a structured `oversized` error and the connection is closed
-//! (the remainder of the line is unreadable garbage). Evaluation itself
-//! is *not* preempted — a hard model build runs to completion once, and
-//! its result is cached for every later request; the per-request
-//! protection is the bounded pool plus the idle timeout, not a compute
-//! kill switch.
+//! (the remainder of the line is unreadable garbage).
+//!
+//! # Fault containment
+//!
+//! Evaluation is cooperatively preemptible: a request carrying
+//! `timeout_ms` / `max_states` runs under an ambient
+//! [`ioimc::budget::Budget`] that the aggregation and solver loops poll
+//! at round/segment boundaries, answering `deadline` / `budget` errors
+//! instead of wedging the worker. Panics are caught at three nested
+//! boundaries — the session/registry build cells (typed `internal_panic`
+//! to the builder *and* every dedup waiter, cell cleared for retry), the
+//! per-request dispatch, and the worker loop itself (the pool never
+//! shrinks silently). See [`super`] (crate-level *Fault containment*
+//! docs) for the full contract and the chaos failpoints that exercise it.
 //!
 //! # Shutdown
 //!
@@ -35,21 +44,30 @@
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ioimc::budget::{self, Budget, BudgetKind};
+
 use super::json::Json;
 use super::metrics::Metrics;
-use super::protocol::{ProtoError, Request};
+use super::protocol::{Limits, ProtoError, Request};
 use super::registry::Registry;
+use crate::chaos;
 use crate::engine::EngineOptions;
+use crate::error::ArcadeError;
 use crate::query::SessionStats;
+use crate::sync::panic_message;
 
 /// Protocol schema version stamped into every response envelope.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the fault-containment surface: `timeout_ms` /
+/// `max_states` request fields, the `deadline` / `budget` /
+/// `internal_panic` error codes, and the robustness counters in `stats`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -216,7 +234,16 @@ fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<TcpStream>>) {
             Ok(stream) => {
                 // Per-connection errors are already answered in-protocol
                 // where possible; anything else just closes the socket.
-                let _ = handle_connection(inner, stream);
+                // Panics that escape every inner containment boundary are
+                // caught HERE so the pool never shrinks silently — the
+                // worker drops the connection and serves the next one.
+                if std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _ = handle_connection(inner, stream);
+                }))
+                .is_err()
+                {
+                    Metrics::bump(&inner.metrics.panics_caught);
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if inner.shutdown.load(Ordering::SeqCst) {
@@ -273,7 +300,24 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> std::io::Result<()> {
                 }
                 let started = Instant::now();
                 Metrics::bump(&inner.metrics.requests);
-                let (response, stop) = dispatch(inner, &line);
+                // Second containment ring: a panic inside request handling
+                // answers *this* request with `internal_panic` and keeps
+                // the connection alive for the next one.
+                let (response, stop) =
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(inner, &line))) {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            Metrics::bump(&inner.metrics.panics_caught);
+                            (
+                                ProtoError::with_code(
+                                    "internal_panic",
+                                    panic_message(payload.as_ref()),
+                                )
+                                .to_json(),
+                                false,
+                            )
+                        }
+                    };
                 if response.get("ok") != Some(&Json::Bool(true)) {
                     Metrics::bump(&inner.metrics.errors);
                 }
@@ -382,6 +426,17 @@ fn drain_line(inner: &Inner, reader: &mut BufReader<TcpStream>) -> std::io::Resu
 fn write_response(out: &mut TcpStream, response: &Json) -> std::io::Result<()> {
     let mut text = response.to_string();
     text.push('\n');
+    if chaos::failpoint("serve.respond") == chaos::Fired::Torn {
+        // Emulate a torn write: half the response bytes, then the
+        // connection dies. The returned error closes this connection; the
+        // worker stays in the pool and serves the next one.
+        let _ = out.write_all(&text.as_bytes()[..text.len() / 2]);
+        let _ = out.flush();
+        return Err(std::io::Error::new(
+            ErrorKind::ConnectionAborted,
+            "chaos: torn write injected at serve.respond",
+        ));
+    }
     out.write_all(text.as_bytes())?;
     out.flush()
 }
@@ -425,27 +480,107 @@ fn dispatch(inner: &Inner, line: &str) -> (Json, bool) {
             inner.shutdown.store(true, Ordering::SeqCst);
             (ok_envelope(vec![("shutting_down", Json::Bool(true))]), true)
         }
-        Request::Query { model, measures } => (query_response(inner, &model, &measures), false),
+        Request::Query {
+            model,
+            measures,
+            limits,
+        } => (query_response(inner, &model, &measures, limits), false),
         Request::Sweep {
             model,
             measures,
             grid,
-        } => (sweep_response(inner, &model, &measures, &grid), false),
+            limits,
+        } => (
+            sweep_response(inner, &model, &measures, &grid, limits),
+            false,
+        ),
     }
 }
 
-fn query_response(inner: &Inner, model: &str, measures: &[crate::query::Measure]) -> Json {
+/// The per-request compute budget, when the request carries limits.
+fn request_budget(limits: Limits) -> Option<Arc<Budget>> {
+    if !limits.is_some() {
+        return None;
+    }
+    let mut b = Budget::unlimited();
+    if let Some(ms) = limits.timeout_ms {
+        b = b.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(states) = limits.max_states {
+        b = b.with_max_states(states);
+    }
+    Some(Arc::new(b))
+}
+
+/// Runs one evaluation phase with the request budget installed as the
+/// ambient budget and every panic converted to a typed [`ArcadeError`]
+/// (budget trips keep their structure; anything else becomes
+/// [`ArcadeError::Internal`]).
+fn eval_guarded<R>(
+    budget: &Option<Arc<Budget>>,
+    f: impl FnOnce() -> Result<R, ArcadeError>,
+) -> Result<R, ArcadeError> {
+    let scoped = budget.clone();
+    match std::panic::catch_unwind(AssertUnwindSafe(|| budget::scope(scoped, f))) {
+        Ok(r) => r,
+        Err(payload) => Err(crate::query::classify_panic(
+            payload.as_ref(),
+            budget.as_deref(),
+        )),
+    }
+}
+
+/// Maps an evaluation error to its wire code — `deadline` for an expired
+/// wall clock, `budget` for a size ceiling or cancellation,
+/// `internal_panic` for a contained panic, `model_error` otherwise — and
+/// bumps the matching containment counter.
+fn arcade_error_response(inner: &Inner, e: &ArcadeError) -> Json {
+    let code = match e {
+        ArcadeError::Budget(b) => {
+            if b.kind == BudgetKind::Deadline {
+                Metrics::bump(&inner.metrics.deadline_aborts);
+                "deadline"
+            } else {
+                Metrics::bump(&inner.metrics.budget_aborts);
+                "budget"
+            }
+        }
+        ArcadeError::Internal(_) => {
+            Metrics::bump(&inner.metrics.panics_caught);
+            "internal_panic"
+        }
+        _ => "model_error",
+    };
+    ProtoError::with_code(code, e.to_string()).to_json()
+}
+
+fn query_response(
+    inner: &Inner,
+    model: &str,
+    measures: &[crate::query::Measure],
+    limits: Limits,
+) -> Json {
+    let budget = request_budget(limits);
     let build_started = Instant::now();
-    let session = match inner.registry.session(model) {
+    let (session, retried) = inner.registry.session_traced(model);
+    if retried {
+        Metrics::bump(&inner.metrics.retries);
+    }
+    let session = match session {
         Ok(s) => s,
-        Err(e) => return e.to_json(),
+        Err(e) => {
+            if e.code == "internal_panic" {
+                Metrics::bump(&inner.metrics.panics_caught);
+            }
+            return e.to_json();
+        }
     };
     // Build phase: aggregate exactly the configurations the batch needs
     // (deduplicated inside the shared session), timed separately from the
     // sweeps.
-    let trace = match session.prefetch_measures(measures) {
+    let trace = match eval_guarded(&budget, || session.prefetch_measures(measures)) {
         Ok(t) => t,
-        Err(e) => return ProtoError::with_code("model_error", e.to_string()).to_json(),
+        Err(e) => return arcade_error_response(inner, &e),
     };
     let build_elapsed = build_started.elapsed();
     inner.metrics.build.record(build_elapsed);
@@ -458,9 +593,9 @@ fn query_response(inner: &Inner, model: &str, measures: &[crate::query::Measure]
         Metrics::bump(&inner.metrics.cache_hits);
     }
     let eval_started = Instant::now();
-    let values = match session.evaluate(measures) {
+    let values = match eval_guarded(&budget, || session.evaluate(measures)) {
         Ok(v) => v,
-        Err(e) => return ProtoError::with_code("model_error", e.to_string()).to_json(),
+        Err(e) => return arcade_error_response(inner, &e),
     };
     let eval_elapsed = eval_started.elapsed();
     inner.metrics.evaluate.record(eval_elapsed);
@@ -494,18 +629,29 @@ fn sweep_response(
     model: &str,
     measures: &[crate::query::Measure],
     grid: &crate::query::ParamGrid,
+    limits: Limits,
 ) -> Json {
+    let budget = request_budget(limits);
     let build_started = Instant::now();
-    let session = match inner.registry.session(model) {
+    let (session, retried) = inner.registry.session_traced(model);
+    if retried {
+        Metrics::bump(&inner.metrics.retries);
+    }
+    let session = match session {
         Ok(s) => s,
-        Err(e) => return e.to_json(),
+        Err(e) => {
+            if e.code == "internal_panic" {
+                Metrics::bump(&inner.metrics.panics_caught);
+            }
+            return e.to_json();
+        }
     };
     // Same build-phase attribution as a query: the sweep itself re-rates
     // the prefetched aggregations, so everything after this line is
     // per-point solver work.
-    let trace = match session.prefetch_measures(measures) {
+    let trace = match eval_guarded(&budget, || session.prefetch_measures(measures)) {
         Ok(t) => t,
-        Err(e) => return ProtoError::with_code("model_error", e.to_string()).to_json(),
+        Err(e) => return arcade_error_response(inner, &e),
     };
     let build_elapsed = build_started.elapsed();
     inner.metrics.build.record(build_elapsed);
@@ -518,9 +664,9 @@ fn sweep_response(
         Metrics::bump(&inner.metrics.cache_hits);
     }
     let eval_started = Instant::now();
-    let result = match session.sweep(measures, grid) {
+    let result = match eval_guarded(&budget, || session.sweep(measures, grid)) {
         Ok(r) => r,
-        Err(e) => return ProtoError::with_code("model_error", e.to_string()).to_json(),
+        Err(e) => return arcade_error_response(inner, &e),
     };
     let eval_elapsed = eval_started.elapsed();
     inner.metrics.evaluate.record(eval_elapsed);

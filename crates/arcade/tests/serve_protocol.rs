@@ -257,6 +257,105 @@ fn sweep_wire_command_roundtrips() {
 }
 
 #[test]
+fn timeout_ms_answers_deadline_and_frees_the_worker() {
+    let (handle, addr) = test_server();
+
+    // A 1 ms deadline on a combinatorial cold build: the aggregation's
+    // cooperative checkpoints must trip it long before the build would
+    // finish, and the structured answer must come back promptly.
+    let request =
+        br#"{"model":"dds_scaled(3)","measures":["steady_state_unavailability"],"timeout_ms":1}"#;
+    let t0 = std::time::Instant::now();
+    let v = raw_roundtrip(&addr, request);
+    let elapsed = t0.elapsed();
+    assert_eq!(error_code(&v), "deadline", "{v}");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "deadline answer took {elapsed:?}"
+    );
+
+    // The aborted request freed its worker (2-worker pool) and did not
+    // cache the half-built aggregation: an un-budgeted retry succeeds.
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("worker freed after deadline abort");
+    let response = client
+        .query(
+            "dds_scaled(3)",
+            Json::Arr(vec![Json::str("steady_state_unavailability")]),
+            None,
+        )
+        .expect("un-budgeted retry builds fully");
+    assert_eq!(Client::values(&response).expect("values").len(), 1);
+
+    // The abort is visible in the containment counters.
+    let stats = client.stats().expect("stats");
+    let aborts = stats
+        .get("server")
+        .and_then(|s| s.get("deadline_aborts"))
+        .and_then(Json::as_f64)
+        .expect("deadline_aborts counter");
+    assert!(aborts >= 1.0, "deadline abort not counted");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn max_states_caps_a_loaded_combinatorial_model() {
+    let (handle, addr) = test_server();
+
+    // Register a combinatorial model over the wire, exactly as an
+    // untrusted client would.
+    let source = arcade::printer::to_arcade_text(&arcade::cases::dds_scaled(2));
+    let load = Json::obj([
+        ("cmd", Json::str("load")),
+        ("name", Json::str("wire_dds")),
+        ("source", Json::str(&source)),
+    ]);
+    let mut client = Client::connect(&addr).expect("connect");
+    client.expect_ok(&load).expect("load over the wire");
+
+    // A tiny per-request state ceiling trips during aggregation with a
+    // structured `budget` error...
+    let e = client
+        .expect_ok(&Json::obj([
+            ("model", Json::str("wire_dds")),
+            (
+                "measures",
+                Json::Arr(vec![Json::str("steady_state_unavailability")]),
+            ),
+            ("max_states", Json::Num(4.0)),
+        ]))
+        .expect_err("a 4-state ceiling must trip");
+    assert_eq!(e.code, "budget", "{e}");
+
+    // ...and a generous ceiling lets the same model build fully — the
+    // tripped attempt cached nothing half-built.
+    let ok = client
+        .expect_ok(&Json::obj([
+            ("model", Json::str("wire_dds")),
+            (
+                "measures",
+                Json::Arr(vec![Json::str("steady_state_unavailability")]),
+            ),
+            ("max_states", Json::Num(1_000_000.0)),
+        ]))
+        .expect("generous ceiling builds fully");
+    assert_eq!(Client::values(&ok).expect("values").len(), 1);
+
+    let stats = client.stats().expect("stats");
+    let aborts = stats
+        .get("server")
+        .and_then(|s| s.get("budget_aborts"))
+        .and_then(Json::as_f64)
+        .expect("budget_aborts counter");
+    assert!(aborts >= 1.0, "budget abort not counted");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn shutdown_command_stops_the_server() {
     let (handle, addr) = test_server();
     let mut client = Client::connect(&addr).expect("connect");

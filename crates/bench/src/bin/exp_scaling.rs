@@ -118,6 +118,17 @@ fn main() {
     transient_threads.sort_unstable();
     transient_threads.dedup();
 
+    // The aggregation and solver hot loops carry cooperative budget
+    // checkpoints and chaos failpoints; disarmed, both reduce to one
+    // relaxed atomic load and must cost nothing measurable. Refuse to
+    // run with chaos armed (e.g. a stray ARCADE_CHAOS) — an injected
+    // delay or panic would invalidate every timing and bitwise gate
+    // below, and this assertion is what pins the "disarmed" claim in CI.
+    assert!(
+        !arcade::chaos::enabled(),
+        "chaos failpoints are armed (ARCADE_CHAOS?); scaling timings would be meaningless"
+    );
+
     println!(
         "scaling sweep on {hw} hardware threads{}",
         if smoke { " (smoke subset)" } else { "" }

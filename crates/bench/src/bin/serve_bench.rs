@@ -5,7 +5,7 @@
 //! serve_bench [--smoke] [--threads N] [--workers N]
 //! ```
 //!
-//! Three phases, all against one server started on a loopback ephemeral
+//! Four phases, all against one server started on a loopback ephemeral
 //! port inside this process (no daemon management, no port races):
 //!
 //! 1. **Cold + dedup** — 8 clients synchronize on a barrier and fire the
@@ -19,17 +19,28 @@
 //! 3. **Throughput** — 4 clients hammer mixed warm queries (DDS + RCS,
 //!    different measure batches); reports requests/s and client-side
 //!    p50/p99.
+//! 4. **Robustness** — a chaos failpoint delays one cold build
+//!    (`session.agg`) while a second client measures warm-query latency
+//!    the whole time the delayed build is in flight. Gated: the delay
+//!    demonstrably fired, and the warm p50 stays far below the injected
+//!    delay — a stuck build must not block warm traffic.
 //!
-//! `--smoke` shrinks phase 3 (CI wall clock); phases 1–2 always run in
-//! full because they carry the gates. The report is written atomically —
-//! a crashed run never leaves a truncated `BENCH_serve.json`.
+//! `--smoke` shrinks phase 3 (CI wall clock); the other phases always
+//! run in full because they carry the gates. The report is written
+//! atomically — a crashed run never leaves a truncated
+//! `BENCH_serve.json`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
-use arcade::serve::{serve, Client, Json, ServerConfig, PROTOCOL_VERSION};
+use arcade::serve::{serve, Client, Json, ServerConfig};
 use arcade_bench::write_atomic;
+
+/// Version of the `BENCH_serve.json` report layout (independent of the
+/// wire protocol's version). v2 added the `robustness` section and the
+/// containment counters inside `server`.
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One client-side request timing in microseconds.
 fn us(from: Instant) -> u64 {
@@ -244,15 +255,85 @@ fn main() {
          {throughput:.0} req/s, p50 {tp50} µs, p99 {tp99} µs"
     );
 
+    // ---- Phase 4: warm latency under a chaos-delayed cold build ---------
+    let chaos_delay_ms: u64 = 300;
+    arcade::chaos::arm(
+        "session.agg",
+        arcade::chaos::Action::Delay(chaos_delay_ms),
+        Some(1),
+    );
+    let delayed_query = Json::obj([
+        ("model", Json::str("dds_scaled(3)")),
+        (
+            "measures",
+            Json::Arr(vec![Json::str("steady_state_unavailability")]),
+        ),
+    ]);
+    let cold_done = AtomicBool::new(false);
+    let (chaos_cold_us, warm_chaos): (u64, Vec<u64>) = std::thread::scope(|s| {
+        let cold = s.spawn(|| {
+            let mut client = Client::connect(&addr).expect("connect");
+            let t0 = Instant::now();
+            client
+                .expect_ok(&delayed_query)
+                .expect("chaos-delayed cold build succeeds");
+            let wall = us(t0);
+            cold_done.store(true, Ordering::Release);
+            wall
+        });
+        // Hammer warm queries for the entire lifetime of the delayed
+        // build — this is the latency a well-behaved client sees while
+        // some other request is stuck in a slow aggregation.
+        let mut client = Client::connect(&addr).expect("connect");
+        let mut lat = Vec::new();
+        while !cold_done.load(Ordering::Acquire) || lat.is_empty() {
+            let t = Instant::now();
+            client
+                .expect_ok(&query)
+                .expect("warm query under chaos succeeds");
+            lat.push(us(t));
+        }
+        (cold.join().expect("cold client thread"), lat)
+    });
+    arcade::chaos::disarm_all();
+    let mut warm_chaos = warm_chaos;
+    warm_chaos.sort_unstable();
+    let (wc_p50, wc_p99) = (quantile(&warm_chaos, 0.50), quantile(&warm_chaos, 0.99));
+    println!(
+        "phase 4 (robustness): cold build delayed {chaos_delay_ms} ms took \
+         {chaos_cold_us} µs; {} concurrent warm queries — p50 {wc_p50} µs, p99 {wc_p99} µs",
+        warm_chaos.len()
+    );
+    assert!(
+        chaos_cold_us >= chaos_delay_ms * 1000,
+        "injected delay did not fire: delayed cold build took only {chaos_cold_us} µs"
+    );
+    assert!(
+        wc_p50 < chaos_delay_ms * 1000,
+        "warm queries blocked behind a delayed cold build: p50 {wc_p50} µs \
+         vs a {chaos_delay_ms} ms injected delay"
+    );
+
     // ---- Server-side view + report --------------------------------------
     let stats = probe.stats().expect("final stats");
     let server = stats.get("server").expect("server section").clone();
+    for counter in [
+        "panics_caught",
+        "deadline_aborts",
+        "budget_aborts",
+        "retries",
+    ] {
+        assert!(
+            server.get(counter).is_some(),
+            "stats missing robustness counter `{counter}`"
+        );
+    }
     handle.shutdown();
     handle.join();
 
     let report = Json::obj([
         ("bench", Json::str("serve")),
-        ("schema_version", Json::Num(f64::from(PROTOCOL_VERSION))),
+        ("schema_version", Json::Num(f64::from(BENCH_SCHEMA_VERSION))),
         ("smoke", Json::Bool(smoke)),
         ("workers", Json::Num(workers as f64)),
         ("engine_threads", Json::Num(threads as f64)),
@@ -285,6 +366,17 @@ fn main() {
                 ("req_per_sec", Json::Num(throughput)),
                 ("p50_us", Json::Num(tp50 as f64)),
                 ("p99_us", Json::Num(tp99 as f64)),
+            ]),
+        ),
+        (
+            "robustness",
+            Json::obj([
+                ("chaos_delay_ms", Json::Num(chaos_delay_ms as f64)),
+                ("delayed_cold_model", Json::str("dds_scaled(3)")),
+                ("delayed_cold_us", Json::Num(chaos_cold_us as f64)),
+                ("warm_reqs_during_build", Json::Num(warm_chaos.len() as f64)),
+                ("warm_p50_us", Json::Num(wc_p50 as f64)),
+                ("warm_p99_us", Json::Num(wc_p99 as f64)),
             ]),
         ),
         ("server", server),

@@ -1,0 +1,305 @@
+//! `serve_chaos` — fault-injection harness for the in-process `arcaded`
+//! server: proves the containment contract of [`arcade::serve`] holds
+//! under every injected fault class.
+//!
+//! ```text
+//! serve_chaos [--smoke]
+//! ```
+//!
+//! Boots one server on a loopback ephemeral port, then walks the fault
+//! classes with chaos failpoints armed one at a time (see
+//! [`arcade::chaos`]):
+//!
+//! * **A — registry build panic** (`serve.build=panic`): concurrent cold
+//!   clients race the same unbuilt model; every client gets an answer
+//!   (no hang), at least one sees a typed `internal_panic`, and a retry
+//!   rebuilds and succeeds.
+//! * **B — aggregation panic** (`session.agg=panic`): a panic inside the
+//!   session's build pipeline answers `internal_panic` and clears the
+//!   cell; [`Client::expect_ok_retry`] succeeds on the rebuild.
+//! * **C — deadline under a slow solve** (`session.solve=delay` +
+//!   `timeout_ms`): the injected delay cooperatively observes the
+//!   request budget, so the structured `deadline` error lands well
+//!   within 2× the requested deadline and the worker is freed; the same
+//!   query succeeds once the chaos is disarmed.
+//! * **D — torn write** (`serve.respond=torn`): the client sees a
+//!   retryable transport error, reconnects, and the retry succeeds.
+//! * **E — compute budget** (per-request `max_states` on a cold model):
+//!   aggregation trips the state ceiling, answers a structured `budget`
+//!   error, does *not* cache the half-built artifact, and an
+//!   unrestricted retry builds the model fully.
+//!
+//! Afterwards: the `stats` containment counters (`panics_caught`,
+//! `deadline_aborts`, `budget_aborts`, `retries`) must all have moved,
+//! the daemon must still answer `ping`, and a warm answer must be
+//! **bitwise identical** to a direct in-process [`Session`] evaluation —
+//! recovery restores full correctness, not just liveness.
+//!
+//! Exits non-zero (panics) on the first violated expectation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use arcade::chaos::{self, Action};
+use arcade::query::Session;
+use arcade::serve::{expand_measures, serve, Client, Json, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cold_clients = if smoke { 4 } else { 8 };
+
+    // Start from a clean slate whatever the environment says: this
+    // harness arms its own failpoints, one phase at a time.
+    chaos::disarm_all();
+
+    let config = ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let handle = serve(config).expect("start in-process server");
+    let addr = handle.local_addr().to_string();
+    println!("serve_chaos: in-process server on {addr} ({cold_clients} cold clients)");
+
+    let mut probe = Client::connect(&addr).expect("connect");
+
+    // ---- Phase A: registry build panic with concurrent cold clients -----
+    let dds_query = Json::obj([
+        ("model", Json::str("dds")),
+        (
+            "measures",
+            Json::Arr(vec![
+                Json::str("steady_state_unavailability"),
+                Json::str("mttf"),
+                Json::str("unavailability"),
+            ]),
+        ),
+        (
+            "times",
+            Json::Arr(vec![Json::Num(10.0), Json::Num(100.0), Json::Num(1000.0)]),
+        ),
+    ]);
+    chaos::arm("serve.build", Action::Panic, Some(1));
+    let barrier = Barrier::new(cold_clients);
+    let ok = AtomicU64::new(0);
+    let panicked = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..cold_clients {
+            s.spawn(|| {
+                let mut client = Client::connect(&addr).expect("connect");
+                barrier.wait();
+                match client.expect_ok(&dds_query) {
+                    Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                    Err(e) => {
+                        assert_eq!(
+                            e.code, "internal_panic",
+                            "cold client saw `{}` instead of internal_panic: {e}",
+                            e.code
+                        );
+                        panicked.fetch_add(1, Ordering::Relaxed)
+                    }
+                };
+            });
+        }
+    });
+    let (ok, panicked) = (ok.into_inner(), panicked.into_inner());
+    println!(
+        "phase A (serve.build panic, {cold_clients} cold clients): \
+         {panicked} internal_panic, {ok} succeeded"
+    );
+    assert_eq!(
+        ok + panicked,
+        cold_clients as u64,
+        "a cold client hung instead of getting an answer"
+    );
+    assert!(
+        panicked >= 1,
+        "injected build panic never surfaced as internal_panic"
+    );
+    // The panic cleared the cell: a retried request rebuilds and succeeds.
+    let recovered = probe
+        .expect_ok_retry(&dds_query, 5)
+        .expect("retry after build panic rebuilds the session");
+    let recovered_values = Client::values(&recovered).expect("values");
+    assert_eq!(
+        recovered_values.len(),
+        5,
+        "2 timeless + 1 timed kind x 3 times"
+    );
+    probe.ping().expect("daemon alive after phase A");
+
+    // ---- Phase B: aggregation panic inside the session ------------------
+    let agg_query = Json::obj([
+        ("model", Json::str("dds_scaled(2)")),
+        (
+            "measures",
+            Json::Arr(vec![Json::str("steady_state_unavailability")]),
+        ),
+    ]);
+    chaos::arm("session.agg", Action::Panic, Some(1));
+    let e = probe
+        .expect_ok(&agg_query)
+        .expect_err("injected aggregation panic must answer an error");
+    assert_eq!(e.code, "internal_panic", "{e}");
+    let rebuilt = probe
+        .expect_ok_retry(&agg_query, 5)
+        .expect("retry after aggregation panic rebuilds");
+    let rebuilt_values = Client::values(&rebuilt).expect("values");
+    println!("phase B (session.agg panic): internal_panic, then rebuilt ok");
+    probe.ping().expect("daemon alive after phase B");
+
+    // ---- Phase C: deadline trips a chaos-delayed solve ------------------
+    let timeout_ms: u64 = 200;
+    chaos::arm("session.solve", Action::Delay(10 * timeout_ms), Some(1));
+    let slow_query = Json::obj([
+        ("model", Json::str("dds_scaled(2)")),
+        (
+            "measures",
+            Json::Arr(vec![Json::obj([
+                ("kind", Json::str("unavailability")),
+                ("t", Json::Num(250.0)),
+            ])]),
+        ),
+        ("timeout_ms", Json::Num(timeout_ms as f64)),
+    ]);
+    let t0 = Instant::now();
+    let e = probe
+        .expect_ok(&slow_query)
+        .expect_err("deadline must trip under the injected solver delay");
+    let elapsed = t0.elapsed();
+    assert_eq!(e.code, "deadline", "{e}");
+    assert!(
+        elapsed < Duration::from_millis(2 * timeout_ms) + Duration::from_millis(100),
+        "deadline answered only after {elapsed:?} for a {timeout_ms} ms budget"
+    );
+    println!(
+        "phase C (session.solve delay + timeout_ms {timeout_ms}): \
+         deadline error in {elapsed:?}"
+    );
+    chaos::disarm_all();
+    // The half-solved artifact was not cached: the same query without a
+    // deadline now solves fully.
+    let solved = probe
+        .expect_ok(&Json::obj([
+            ("model", Json::str("dds_scaled(2)")),
+            (
+                "measures",
+                Json::Arr(vec![Json::obj([
+                    ("kind", Json::str("unavailability")),
+                    ("t", Json::Num(250.0)),
+                ])]),
+            ),
+        ]))
+        .expect("query succeeds once the delay is disarmed");
+    assert_eq!(Client::values(&solved).expect("values").len(), 1);
+    probe.ping().expect("daemon alive after phase C");
+
+    // ---- Phase D: torn write, client-side reconnect ---------------------
+    chaos::arm("serve.respond", Action::Torn, Some(1));
+    let e = probe
+        .roundtrip(&agg_query)
+        .map(|v| panic!("torn write still produced a full response: {v}"))
+        .expect_err("torn response must be a transport error");
+    assert_eq!(
+        e.code, "io",
+        "torn write must classify as retryable io: {e}"
+    );
+    assert!(Client::is_retryable(&e), "io must be retryable");
+    let retried = probe
+        .expect_ok_retry(&agg_query, 5)
+        .expect("retry reconnects after the torn write");
+    assert_eq!(
+        Client::values(&retried).expect("values"),
+        rebuilt_values,
+        "post-torn warm answer drifted"
+    );
+    println!("phase D (serve.respond torn): io error, reconnect + retry ok");
+    chaos::disarm_all();
+
+    // ---- Phase E: compute budget caps a cold aggregation ----------------
+    let budget_model = "dds_scaled(3)";
+    let e = probe
+        .expect_ok(&Json::obj([
+            ("model", Json::str(budget_model)),
+            (
+                "measures",
+                Json::Arr(vec![Json::str("steady_state_unavailability")]),
+            ),
+            ("max_states", Json::Num(4.0)),
+        ]))
+        .expect_err("a 4-state ceiling must trip on a combinatorial model");
+    assert_eq!(e.code, "budget", "{e}");
+    // Nothing half-built was cached: the unrestricted retry builds fully.
+    let full = probe
+        .expect_ok(&Json::obj([
+            ("model", Json::str(budget_model)),
+            (
+                "measures",
+                Json::Arr(vec![Json::str("steady_state_unavailability")]),
+            ),
+        ]))
+        .expect("unrestricted query builds the model fully");
+    assert_eq!(Client::values(&full).expect("values").len(), 1);
+    println!("phase E (max_states 4 on {budget_model}): budget error, then full build ok");
+    probe.ping().expect("daemon alive after phase E");
+
+    // ---- Containment counters must all have moved -----------------------
+    let stats = probe.stats().expect("stats");
+    let server = stats.get("server").expect("server section");
+    let counter = |name: &str| {
+        server
+            .get(name)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("stats missing {name}"))
+    };
+    assert!(counter("panics_caught") >= 2.0, "panics_caught never moved");
+    assert!(
+        counter("deadline_aborts") >= 1.0,
+        "deadline_aborts never moved"
+    );
+    assert!(counter("budget_aborts") >= 1.0, "budget_aborts never moved");
+    assert!(counter("retries") >= 1.0, "retries never moved");
+    println!(
+        "counters: panics_caught {}, deadline_aborts {}, budget_aborts {}, retries {}",
+        counter("panics_caught"),
+        counter("deadline_aborts"),
+        counter("budget_aborts"),
+        counter("retries"),
+    );
+
+    // ---- Post-recovery warm answers are bitwise identical ---------------
+    let warm = probe.expect_ok(&dds_query).expect("warm query");
+    assert_eq!(
+        warm.get("cold"),
+        Some(&Json::Bool(false)),
+        "dds must be warm after recovery"
+    );
+    let warm_values = Client::values(&warm).expect("values");
+    assert_eq!(
+        warm_values, recovered_values,
+        "warm answer drifted across the chaos run"
+    );
+    let measures = expand_measures(&dds_query).expect("expand the chaos batch");
+    let def = arcade::cases::dds();
+    let direct = Session::new(&def)
+        .expect("direct session")
+        .evaluate(&measures)
+        .expect("direct evaluate");
+    assert_eq!(direct.len(), warm_values.len());
+    for (i, (a, b)) in direct.iter().zip(&warm_values).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "measure {i}: post-recovery served value {b:e} is not bitwise \
+             identical to direct {a:e}"
+        );
+    }
+    println!(
+        "recovery: {} warm values bitwise identical to direct evaluation",
+        direct.len()
+    );
+
+    handle.shutdown();
+    handle.join();
+    println!("serve_chaos: OK");
+}

@@ -195,6 +195,10 @@ pub(crate) fn refine_worklist_blocks(
 
     loop {
         counters.rounds += 1;
+        // Cooperative cancellation at round granularity: the poll (and
+        // its potential unwind) happens on the coordinating thread only,
+        // so no signature worker can be stranded mid-fan-out.
+        ioimc::budget::checkpoint();
 
         // ---- phase 1: re-sign dirty states ----------------------------
         let t0 = Instant::now();

@@ -79,5 +79,6 @@ pub mod transient;
 
 pub use chain::{Ctmc, CtmcError, Incoming};
 pub use context::{MeasureContext, SolveCounters};
+pub use ioimc::budget;
 pub use poisson::PoissonCache;
 pub use solver::{IterativeMethod, SolverOptions, TransientOptions};

@@ -174,6 +174,9 @@ fn gauss_seidel_run(
     let exit = ctmc.exit_rates();
     let mut window_rel = f64::INFINITY;
     for sweep in 1..=budget {
+        // Cooperative cancellation once per sweep (a sweep is one pass
+        // over all transitions, on the calling thread).
+        ioimc::budget::checkpoint();
         let mut max_rel = 0.0f64;
         for i in 0..n {
             if exit[i] <= 0.0 {
@@ -245,6 +248,7 @@ fn krylov_from(ctmc: &Ctmc, opts: &SolverOptions, x0: Vec<f64>, budget: usize) -
     normalize_l1(&mut x);
     let mut used = 0usize;
     while used < budget {
+        ioimc::budget::checkpoint();
         // Arnoldi with modified Gram–Schmidt.
         let norm0 = l2_norm(&x);
         if norm0 <= 0.0 || !norm0.is_finite() {
@@ -426,6 +430,7 @@ fn power_iteration(ctmc: &Ctmc, opts: &SolverOptions) -> Vec<f64> {
     let mut pi = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
     for _ in 0..opts.max_sweeps {
+        ioimc::budget::checkpoint();
         let mut max_rel = 0.0f64;
         for i in 0..n {
             let inflow: f64 = incoming

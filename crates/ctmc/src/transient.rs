@@ -404,6 +404,9 @@ impl<'a> GridSolver<'a> {
         for &i in &order {
             let dt = ts[i] - cur_t;
             if dt > 0.0 && self.max_exit > 0.0 && !self.converged {
+                // Segment boundary: poll the ambient budget on the
+                // control thread (no sweep workers are in flight here).
+                ioimc::budget::checkpoint();
                 let (ctmc, unif, opts) = (self.ctmc, self.unif, self.opts);
                 let st = self
                     .stepper
@@ -443,6 +446,7 @@ impl<'a> GridSolver<'a> {
         for &i in &order {
             let dt = ts[i] - cur_t;
             if dt > 0.0 && !self.converged {
+                ioimc::budget::checkpoint();
                 self.converged = engine.advance(dt, self.cache, self.opts, self.counters);
                 cur_t = ts[i];
             }
@@ -610,6 +614,11 @@ impl Stepper {
             }
             if step + 1 == total {
                 break;
+            }
+            // Serial loop, no workers: a deadline unwind is safe at any
+            // step. Gate the poll so long sweeps pay ~nothing.
+            if step & 0x3FF == 0 {
+                ioimc::budget::checkpoint();
             }
             count_step(counters);
             let mut delta = 0.0f64;
@@ -1114,6 +1123,10 @@ impl AdaptiveEngine {
         // same sweep, not additional solver work units.
         count_sweep(counters);
         loop {
+            // Before each sweep (including Λ-escalation retries) the gang
+            // is parked, so a budget unwind here cannot strand a worker
+            // on the step barrier.
+            ioimc::budget::checkpoint();
             let pw = cache.get(lambda * dt);
             match self.sweep(lambda, &pw, opts, counters) {
                 Ok(steady) => return steady,
@@ -1208,6 +1221,9 @@ impl AdaptiveEngine {
             }
             if step + 1 == total {
                 break;
+            }
+            if step & 0x3FF == 0 {
+                ioimc::budget::checkpoint();
             }
             hi = st.expand(op, &cur, lambda, step_budget);
             count_step(counters);

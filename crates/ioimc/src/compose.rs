@@ -11,6 +11,7 @@ use std::fmt;
 
 use crate::alphabet::ActionId;
 use crate::automaton::{IoImc, StateId};
+use crate::budget::{self, BudgetExceeded};
 
 /// The ways two I/O-IMCs can fail to be composable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +23,11 @@ pub enum ComposeError {
     /// action id between two automata is harmless, but an internal action
     /// clashing with an input or output would silently fail to synchronize.
     SharedInternal(ActionId),
+    /// The product BFS outgrew the ambient [`crate::budget::Budget`]
+    /// (state/transition ceiling, deadline, or cancellation). Combinatorial
+    /// products explode *inside* a single composition step, so the ceiling
+    /// must bite here, not only between steps.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for ComposeError {
@@ -31,6 +37,7 @@ impl fmt::Display for ComposeError {
             Self::SharedInternal(a) => {
                 write!(f, "internal action {a} clashes with the other automaton")
             }
+            Self::Budget(e) => write!(f, "composition aborted: {e}"),
         }
     }
 }
@@ -169,8 +176,18 @@ pub fn parallel_with_pairs(
 
     let init = get_or_insert(a.initial(), b.initial(), &mut index, &mut pairs);
     debug_assert_eq!(init, 0);
+    // Poll the ambient budget every `CHECK_MASK + 1` expanded states: the
+    // product can be exponentially larger than either factor, so the
+    // state/transition ceiling (and the deadline) must be able to stop
+    // the BFS itself.
+    const CHECK_MASK: usize = 0xFFF;
+    let limited = budget::current().is_some_and(|b| b.is_limited());
     let mut next = 0usize;
     while next < pairs.len() {
+        if limited && next & CHECK_MASK == 0 {
+            budget::check_model_size(pairs.len() as u64, (inter.len() + mark.len()) as u64)
+                .map_err(ComposeError::Budget)?;
+        }
         let (sa, sb) = pairs[next];
 
         // Markovian interleaving.
@@ -245,6 +262,12 @@ pub fn parallel_with_pairs(
         next += 1;
     }
 
+    if limited {
+        // Final exact check: the last BFS chunk may have crossed a ceiling
+        // between polls.
+        budget::check_model_size(pairs.len() as u64, (inter.len() + mark.len()) as u64)
+            .map_err(ComposeError::Budget)?;
+    }
     let mut out = IoImc::from_csr_unchecked(
         0, inputs, outputs, internals, inter_off, inter, mark_off, mark, labels,
     );
@@ -380,6 +403,27 @@ mod tests {
         let a = ab.intern("a");
         let p = parallel_all(&[emitter(a, 1.0), listener(a), listener(a)]).unwrap();
         assert_eq!(p.num_states(), 3);
+    }
+
+    /// An ambient state ceiling aborts the product BFS with a structured
+    /// error instead of materializing the full product.
+    #[test]
+    fn ambient_state_ceiling_aborts_composition() {
+        use crate::budget::{scope, Budget, BudgetKind};
+        use std::sync::Arc;
+        let mut ab = Alphabet::new();
+        // 2x2 independent listeners: full product has 4 states.
+        let a = ab.intern("a");
+        let b_ = ab.intern("b");
+        let (x, y) = (listener(a), listener(b_));
+        let cap = Arc::new(Budget::unlimited().with_max_states(3));
+        let e = scope(Some(cap), || parallel(&x, &y)).unwrap_err();
+        match e {
+            ComposeError::Budget(be) => assert_eq!(be.kind, BudgetKind::States),
+            other => panic!("expected budget error, got {other:?}"),
+        }
+        // Without the ambient budget the same product composes fine.
+        assert_eq!(parallel(&x, &y).unwrap().num_states(), 4);
     }
 
     #[test]

@@ -68,6 +68,7 @@
 
 pub mod alphabet;
 pub mod automaton;
+pub mod budget;
 pub mod builder;
 pub mod compose;
 pub mod dot;
