@@ -121,9 +121,14 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    // Environment-armed chaos (testing only; a bad spec is reported and
-    // ignored so chaos can never take the daemon down by itself).
-    arcade::chaos::init_from_env();
+    // Environment-armed chaos (testing only). A malformed spec refuses
+    // startup: a daemon silently running *without* the requested faults
+    // would produce misleading chaos results.
+    match arcade::chaos::init_from_env() {
+        Ok(true) => eprintln!("arcaded: chaos failpoints armed from ARCADE_CHAOS"),
+        Ok(false) => {}
+        Err(e) => return Err(format!("ARCADE_CHAOS: {e}")),
+    }
 
     // SAFETY: registering a handler that only stores to a static atomic.
     let handler = on_signal as extern "C" fn(i32) as *const () as usize;

@@ -260,9 +260,9 @@ pub fn build_bc(def: &SystemDef, idx: usize, signals: &Signals) -> Result<IoImc,
         for a in signals.down_signals(lit)? {
             *set_mask.entry(a).or_default() |= 1 << i;
         }
-        *clear_mask
-            .entry(signals.up_signal(&lit.component)?)
-            .or_default() |= 1 << i;
+        for a in signals.clear_signals(lit)? {
+            *clear_mask.entry(a).or_default() |= 1 << i;
+        }
     }
 
     let behaviour = BcBehaviour {

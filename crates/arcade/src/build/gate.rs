@@ -192,9 +192,9 @@ fn build_gate(
                 for a in signals.down_signals(l)? {
                     *set_mask.entry(a).or_default() |= 1 << i;
                 }
-                *clear_mask
-                    .entry(signals.up_signal(&l.component)?)
-                    .or_default() |= 1 << i;
+                for a in signals.clear_signals(l)? {
+                    *clear_mask.entry(a).or_default() |= 1 << i;
+                }
             }
             Child::Gate { failed, up } => {
                 *set_mask.entry(*failed).or_default() |= 1 << i;

@@ -17,11 +17,16 @@
 //!
 //! [`BudgetExceeded`]: ioimc::budget::BudgetExceeded
 //!
-//! Compiled-in failpoints:
+//! Compiled-in failpoints ([`POINTS`]):
 //!
 //! * `serve.build` — inside the server registry's session builder,
 //! * `session.agg` — inside [`crate::query::Session`]'s aggregation build,
 //! * `session.solve` — before a session's numerical solve,
+//! * `session.shard` — at the solver-shard partition boundary inside
+//!   `ctmc::transient` (reached through the [`ioimc::failpoint`] hook,
+//!   since `ctmc` sits below this crate in the dependency graph),
+//! * `session.sweep_point` — at the per-point fan-out boundary of
+//!   [`crate::query::Session::sweep`],
 //! * `serve.respond` — before a response line is written to the socket.
 //!
 //! Arm the registry programmatically ([`arm`]) from tests and benches, via
@@ -35,11 +40,62 @@
 //!
 //! `*count` limits the fault to the first `count` hits, after which the
 //! failpoint disarms itself; without it the fault fires on every hit.
+//! [`arm_spec`] validates the **whole** spec before arming anything: a
+//! malformed clause or an unknown failpoint name is a structured
+//! [`ChaosSpecError`] and leaves the registry untouched — a typo can
+//! never silently arm nothing (or half of a spec).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Every failpoint compiled into the stack. [`arm_spec`] rejects names
+/// outside this list — an armed point nothing ever hits is
+/// indistinguishable from chaos silently off, which is exactly the bug
+/// class spec validation exists to catch.
+pub const POINTS: &[&str] = &[
+    "serve.build",
+    "session.agg",
+    "session.solve",
+    "session.shard",
+    "session.sweep_point",
+    "serve.respond",
+];
+
+/// A structured chaos-spec parse error: which clause failed and why.
+/// Rejecting beats ignoring — a daemon or bench started with a malformed
+/// `ARCADE_CHAOS`/`--chaos` spec would otherwise run *without* the faults
+/// the operator asked for and report misleading results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSpecError {
+    /// The offending clause, verbatim (`None` when the whole spec is
+    /// empty).
+    pub clause: Option<String>,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ChaosSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.clause {
+            Some(c) => write!(f, "chaos clause `{c}`: {}", self.reason),
+            None => write!(f, "chaos spec: {}", self.reason),
+        }
+    }
+}
+
+impl std::error::Error for ChaosSpecError {}
+
+impl ChaosSpecError {
+    fn new(clause: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            clause: Some(clause.into()),
+            reason: reason.into(),
+        }
+    }
+}
 
 /// What an armed failpoint does when hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +138,20 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// The bridge installed into [`ioimc::failpoint`]: lower crates (`ctmc`'s
+/// solver-shard boundary) call their ambient hook, which lands here and
+/// runs the same registry lookup every in-crate failpoint runs. `Torn` is
+/// meaningless below the wire layer and is ignored.
+fn ioimc_hook(point: &str) {
+    let _ = failpoint(point);
+}
+
 /// Arms `point` with `action`, firing at most `count` times
 /// (`None` = every hit). Replaces any previous plan for the point.
+///
+/// This programmatic entry point accepts any point name (tests fault
+/// their own ad-hoc points); only the spec parser ([`arm_spec`])
+/// validates names against [`POINTS`].
 pub fn arm(point: &str, action: Action, count: Option<u32>) {
     let mut reg = REGISTRY.lock().unwrap();
     reg.get_or_insert_with(HashMap::new).insert(
@@ -94,6 +162,10 @@ pub fn arm(point: &str, action: Action, count: Option<u32>) {
         },
     );
     ENABLED.store(true, Ordering::Relaxed);
+    // Failpoints compiled into crates below this one reach the registry
+    // through the ambient hook; keep its armed flag in lockstep.
+    ioimc::failpoint::install(ioimc_hook);
+    ioimc::failpoint::set_armed(true);
 }
 
 /// Disarms every failpoint, restoring the zero-cost path.
@@ -101,60 +173,102 @@ pub fn disarm_all() {
     let mut reg = REGISTRY.lock().unwrap();
     *reg = None;
     ENABLED.store(false, Ordering::Relaxed);
+    ioimc::failpoint::set_armed(false);
+}
+
+/// Parses one `point=action[*count]` clause (already trimmed, non-empty).
+fn parse_clause(clause: &str) -> Result<(String, Action, Option<u32>), ChaosSpecError> {
+    let (point, rhs) = clause
+        .split_once('=')
+        .ok_or_else(|| ChaosSpecError::new(clause, "missing `=` (want point=action[*count])"))?;
+    let point = point.trim();
+    if !POINTS.contains(&point) {
+        return Err(ChaosSpecError::new(
+            clause,
+            format!(
+                "unknown failpoint `{point}` (compiled-in points: {})",
+                POINTS.join(", ")
+            ),
+        ));
+    }
+    let (action_str, count) = match rhs.split_once('*') {
+        Some((a, n)) => {
+            let n: u32 = n
+                .trim()
+                .parse()
+                .map_err(|_| ChaosSpecError::new(clause, format!("bad count `{}`", n.trim())))?;
+            (a.trim(), Some(n))
+        }
+        None => (rhs.trim(), None),
+    };
+    let action = if action_str == "panic" {
+        Action::Panic
+    } else if action_str == "torn" {
+        Action::Torn
+    } else if let Some(ms) = action_str
+        .strip_prefix("delay(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        Action::Delay(
+            ms.trim()
+                .parse()
+                .map_err(|_| ChaosSpecError::new(clause, format!("bad delay `{}`", ms.trim())))?,
+        )
+    } else {
+        return Err(ChaosSpecError::new(
+            clause,
+            format!("unknown action `{action_str}` (want panic, delay(ms) or torn)"),
+        ));
+    };
+    Ok((point.to_string(), action, count))
 }
 
 /// Parses and arms a `point=action[*count],...` spec. See the module docs
-/// for the grammar.
+/// for the grammar. The **entire** spec is validated first — on any
+/// error nothing is armed, so a typo can never half-arm a fault plan.
 ///
 /// # Errors
 ///
-/// A human-readable message naming the clause that failed to parse.
-pub fn arm_spec(spec: &str) -> Result<(), String> {
-    for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
-        let (point, rhs) = clause
-            .split_once('=')
-            .ok_or_else(|| format!("chaos clause `{clause}` is missing `=`"))?;
-        let (action_str, count) = match rhs.split_once('*') {
-            Some((a, n)) => {
-                let n: u32 = n
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad count in chaos clause `{clause}`"))?;
-                (a.trim(), Some(n))
-            }
-            None => (rhs.trim(), None),
-        };
-        let action = if action_str == "panic" {
-            Action::Panic
-        } else if action_str == "torn" {
-            Action::Torn
-        } else if let Some(ms) = action_str
-            .strip_prefix("delay(")
-            .and_then(|r| r.strip_suffix(')'))
-        {
-            Action::Delay(
-                ms.trim()
-                    .parse()
-                    .map_err(|_| format!("bad delay in chaos clause `{clause}`"))?,
-            )
-        } else {
-            return Err(format!(
-                "unknown chaos action `{action_str}` (want panic, delay(ms) or torn)"
-            ));
-        };
-        arm(point.trim(), action, count);
+/// A structured [`ChaosSpecError`] naming the clause and the reason: an
+/// empty spec, a malformed clause, an unknown action, or a failpoint name
+/// outside [`POINTS`].
+pub fn arm_spec(spec: &str) -> Result<(), ChaosSpecError> {
+    let clauses: Vec<&str> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|c| !c.is_empty())
+        .collect();
+    if clauses.is_empty() {
+        return Err(ChaosSpecError {
+            clause: None,
+            reason: "empty spec arms nothing — remove it or name a failpoint".to_string(),
+        });
+    }
+    let plans: Vec<(String, Action, Option<u32>)> = clauses
+        .into_iter()
+        .map(parse_clause)
+        .collect::<Result<_, _>>()?;
+    for (point, action, count) in plans {
+        arm(&point, action, count);
     }
     Ok(())
 }
 
 /// Arms failpoints from the `ARCADE_CHAOS` environment variable, if set.
-/// Called once by the server binary; a bad spec is reported and ignored
-/// (chaos must never take the daemon down by itself).
-pub fn init_from_env() {
-    if let Ok(spec) = std::env::var("ARCADE_CHAOS") {
-        if let Err(e) = arm_spec(&spec) {
-            eprintln!("arcaded: ignoring ARCADE_CHAOS: {e}");
+/// Called once by the server binary. Returns whether anything was armed.
+///
+/// # Errors
+///
+/// A malformed spec is a startup error: the daemon refuses to run rather
+/// than silently running *without* the faults the operator asked for
+/// (misleading chaos results are worse than no daemon).
+pub fn init_from_env() -> Result<bool, ChaosSpecError> {
+    match std::env::var("ARCADE_CHAOS") {
+        Ok(spec) => {
+            arm_spec(&spec)?;
+            Ok(true)
         }
+        Err(_) => Ok(false),
     }
 }
 
@@ -279,10 +393,73 @@ mod tests {
         disarm_all();
 
         assert!(arm_spec("nonsense").is_err());
-        assert!(arm_spec("p=explode").is_err());
-        assert!(arm_spec("p=delay(x)").is_err());
-        assert!(arm_spec("p=panic*x").is_err());
+        assert!(arm_spec("serve.build=explode").is_err());
+        assert!(arm_spec("serve.build=delay(x)").is_err());
+        assert!(arm_spec("serve.build=panic*x").is_err());
         assert!(!enabled());
+    }
+
+    #[test]
+    fn empty_spec_is_a_structured_error() {
+        let _g = locked();
+        disarm_all();
+        for spec in ["", "   ", ",", " , ,"] {
+            let e = arm_spec(spec).expect_err("empty spec must be rejected");
+            assert!(e.clause.is_none(), "spec {spec:?}: {e}");
+            assert!(e.reason.contains("empty"), "spec {spec:?}: {e}");
+        }
+        assert!(!enabled(), "a rejected spec must arm nothing");
+    }
+
+    #[test]
+    fn unknown_failpoint_names_are_rejected() {
+        let _g = locked();
+        disarm_all();
+        let e = arm_spec("serve.bulid=panic").expect_err("typo'd point must be rejected");
+        assert_eq!(e.clause.as_deref(), Some("serve.bulid=panic"));
+        assert!(e.reason.contains("unknown failpoint"), "{e}");
+        assert!(
+            e.reason.contains("serve.build"),
+            "error must list valid points: {e}"
+        );
+        assert!(!enabled(), "a typo'd spec must arm nothing");
+    }
+
+    #[test]
+    fn garbage_specs_are_rejected_without_half_arming() {
+        let _g = locked();
+        disarm_all();
+        // The first clause is valid; the second is garbage. Nothing may
+        // be armed — partial arming is the silent failure mode the
+        // two-phase parse exists to prevent.
+        let e = arm_spec("serve.build=panic, =;!garbage").expect_err("garbage must be rejected");
+        assert!(e.clause.is_some(), "{e}");
+        assert!(!enabled(), "a rejected spec must not half-arm");
+        assert_eq!(failpoint("serve.build"), Fired::None);
+
+        for spec in ["===", "serve.build", "serve.build=", "serve.build=panic*"] {
+            assert!(arm_spec(spec).is_err(), "spec {spec:?} must be rejected");
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn new_points_are_armable_and_display_is_structured() {
+        let _g = locked();
+        disarm_all();
+        arm_spec("session.shard=panic*1, session.sweep_point=delay(1)").unwrap();
+        assert!(enabled());
+        assert!(
+            ioimc::failpoint::armed(),
+            "ambient hook flag must arm in lockstep"
+        );
+        disarm_all();
+        assert!(
+            !ioimc::failpoint::armed(),
+            "ambient hook flag must disarm too"
+        );
+        let e = arm_spec("session.shard=boom").unwrap_err();
+        assert!(e.to_string().contains("session.shard=boom"), "{e}");
     }
 
     #[test]

@@ -574,6 +574,33 @@ mod tests {
         );
     }
 
+    /// A cause-specific literal goes false when the down-cause changes
+    /// without the component ever coming up: repaired under a still-active
+    /// destructive dependency, the component re-fails urgently as `df`,
+    /// and `c2.down.m2` must hand over to false even though no `up` was
+    /// ever emitted in between. Reference value hand-solved from the
+    /// 7-state product chain.
+    #[test]
+    fn mode_literal_hands_over_on_df_refailure() {
+        let mut def = SystemDef::new("t");
+        def.add_component(BcDef::new("c0", Dist::exp(1.0), Dist::exp(1.0)));
+        def.add_component(
+            BcDef::new("c2", Dist::exp(1.0), Dist::exp(1.0))
+                .with_failure_modes([0.375, 0.625], [Dist::exp(1.0), Dist::exp(1.0)])
+                .with_df(Expr::down("c0"), Dist::exp(0.0013)),
+        );
+        def.add_repair_unit(RuDef::new("r0", ["c0"], RepairStrategy::Dedicated));
+        def.add_repair_unit(RuDef::new("r2", ["c2"], RepairStrategy::Dedicated));
+        def.set_system_down(Expr::down_mode("c2", 2));
+        let model = SystemModel::build(&def).unwrap();
+        let agg = aggregate(&model, &EngineOptions::new()).unwrap();
+        let u = 1.0 - measures::steady_state_availability(&agg.ctmc, 1);
+        assert!(
+            (u - 3.041_931_860_726_e-4).abs() < 1e-12,
+            "unavailability {u}"
+        );
+    }
+
     /// A spare managed by an SMU takes over when the primary fails.
     #[test]
     fn smu_keeps_system_up() {

@@ -1,0 +1,398 @@
+//! Seeded random [`SystemDef`] generation.
+//!
+//! One generator, three profiles. The property-test suites and the
+//! `fuzz_diff` differential fuzzer all draw from [`gen_system`] so the
+//! covered model space is defined in exactly one place:
+//!
+//! * [`GenConfig::syntax`] — the widest *structural* space (deep nested
+//!   gates, k-of-n, phase-type distributions, multiple failure modes,
+//!   destructive FDEPs, spares, shared repair with priorities) for
+//!   parser/printer round-trip testing.
+//! * [`GenConfig::engine`] — the same space restricted to models the
+//!   exact engine, the modular decomposition and the Monte-Carlo
+//!   simulator all accept, plus stiff rate ratios and optional rate
+//!   parameters. This is the differential-fuzzing profile.
+//! * [`GenConfig::independent`] — exponential components with dedicated
+//!   repair, each appearing exactly once in a flat gate. On this
+//!   sub-space the analytic independent-component formulas are exact,
+//!   so it backs the engine-vs-analytic law tests.
+//!
+//! Every model produced under any profile passes
+//! [`crate::model::validate`]; rates are of the form `m · 10^e` with
+//! `m < 1000`, which Rust prints shortest-exact and the parser reads
+//! back verbatim, so models also survive text round trips bit-for-bit.
+
+use smallrand::SmallRng;
+
+use crate::ast::{BcDef, OmGroup, RepairStrategy, RuDef, SmuDef, SystemDef};
+use crate::dist::Dist;
+use crate::expr::Expr;
+
+/// Knobs selecting the sub-space [`gen_system`] draws from.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Minimum number of basic components (inclusive).
+    pub min_components: usize,
+    /// Maximum number of basic components (inclusive).
+    pub max_components: usize,
+    /// Maximum nesting depth of the SYSTEM DOWN expression.
+    pub expr_depth: u32,
+    /// Allow Erlang / hypoexponential distributions.
+    pub phase_type: bool,
+    /// Allow expression-driven operational-mode groups.
+    pub om_groups: bool,
+    /// Allow components with two inherent failure modes.
+    pub multi_failure_modes: bool,
+    /// Allow destructive functional dependencies.
+    pub df: bool,
+    /// Allow a spare (active/inactive component) managed by an SMU.
+    pub spares: bool,
+    /// Allow multi-component repair units with FCFS/priority strategies
+    /// (otherwise every component gets a dedicated unit).
+    pub shared_repair: bool,
+    /// Widen the rate exponent range so failure/repair ratios span up to
+    /// ~12 orders of magnitude (stress for stiff transient solves).
+    pub stiff: bool,
+    /// Sometimes declare a rate parameter bound to a generated rate.
+    pub params: bool,
+    /// Force the SYSTEM DOWN criterion to be one flat gate mentioning
+    /// every component exactly once (the independence requirement of the
+    /// analytic evaluator).
+    pub flat_unique_criterion: bool,
+}
+
+impl GenConfig {
+    /// Widest structural space — for parser/printer round trips.
+    pub fn syntax() -> Self {
+        Self {
+            min_components: 2,
+            max_components: 6,
+            expr_depth: 3,
+            phase_type: true,
+            om_groups: true,
+            multi_failure_modes: true,
+            df: true,
+            spares: true,
+            shared_repair: true,
+            stiff: false,
+            params: false, // the textual syntax has no parameter form
+            flat_unique_criterion: false,
+        }
+    }
+
+    /// Oracle-safe space with stiff rates and parameters — for
+    /// differential fuzzing of the analysis pipeline.
+    pub fn engine() -> Self {
+        Self {
+            min_components: 2,
+            max_components: 5,
+            expr_depth: 2,
+            phase_type: true,
+            om_groups: true,
+            multi_failure_modes: true,
+            df: true,
+            spares: true,
+            shared_repair: true,
+            stiff: true,
+            params: true,
+            flat_unique_criterion: false,
+        }
+    }
+
+    /// Independent exponential components — the space where the analytic
+    /// closed forms are exact.
+    pub fn independent() -> Self {
+        Self {
+            min_components: 2,
+            max_components: 4,
+            expr_depth: 1,
+            phase_type: false,
+            om_groups: false,
+            multi_failure_modes: false,
+            df: false,
+            spares: false,
+            shared_repair: false,
+            stiff: false,
+            params: false,
+            flat_unique_criterion: true,
+        }
+    }
+}
+
+/// A rate of the form `m · 10^e`, `1 ≤ m < 1000`. Such values print
+/// shortest-exact and parse back bitwise identical, so generated models
+/// survive text round trips. The stiff profile widens `e` to
+/// `[-8, 2]`, the default keeps the classic `[-6, 2]`.
+fn gen_rate(rng: &mut SmallRng, cfg: &GenConfig) -> f64 {
+    let mantissa = f64::from(rng.range_u32(1, 999));
+    let exp = if cfg.stiff {
+        rng.range_u32(0, 11) as i32 - 8
+    } else {
+        rng.range_u32(0, 9) as i32 - 6
+    };
+    mantissa * 10f64.powi(exp)
+}
+
+/// A random distribution; exponential-only unless the profile allows
+/// phase types.
+fn gen_dist(rng: &mut SmallRng, cfg: &GenConfig) -> Dist {
+    let rate = gen_rate(rng, cfg);
+    if !cfg.phase_type {
+        return Dist::exp(rate);
+    }
+    match rng.range_u32(0, 4) {
+        0 => Dist::erlang(rng.range_u32(2, 5), rate),
+        1 => Dist::hypo([rate, rate * 2.0]),
+        _ => Dist::exp(rate),
+    }
+}
+
+/// A variant of `d` with the same phase structure but scaled rates —
+/// used for the second operational state of a mode group, where
+/// [`crate::model::validate`] requires one shared phase structure.
+fn scaled_variant(d: &Dist, factor: f64) -> Dist {
+    d.map_rates(|r| r * factor)
+}
+
+/// A random failure literal over the already-generated components;
+/// mode-specific (`.mK` / `.df`) literals only where the target
+/// component has them.
+fn gen_literal(rng: &mut SmallRng, comps: &[BcDef]) -> Expr {
+    let c = &comps[rng.range_usize(0, comps.len())];
+    if c.num_failure_modes() > 1 && rng.flip() {
+        Expr::down_mode(&c.name, rng.range_u32(1, c.num_failure_modes() as u32 + 1))
+    } else if c.df.is_some() && rng.flip() {
+        Expr::down_df(&c.name)
+    } else {
+        Expr::down(&c.name)
+    }
+}
+
+/// A random AND/OR/K-of-N expression of bounded depth.
+fn gen_expr(rng: &mut SmallRng, comps: &[BcDef], depth: u32) -> Expr {
+    if depth == 0 || rng.range_u32(0, 4) == 0 {
+        return gen_literal(rng, comps);
+    }
+    let n = rng.range_usize(2, 5);
+    let children: Vec<Expr> = (0..n).map(|_| gen_expr(rng, comps, depth - 1)).collect();
+    match rng.range_u32(0, 3) {
+        0 => Expr::and(children),
+        1 => Expr::or(children),
+        _ => Expr::k_of_n(rng.range_u32(1, n as u32 + 1), children),
+    }
+}
+
+/// Draws one random system definition from the space selected by `cfg`.
+///
+/// The result always passes [`crate::model::validate`] — spares carry
+/// their active/inactive group, repair strategies match their member
+/// counts, priority lists align, time-to-failure distributions share one
+/// phase structure per component, and expressions only reference
+/// components (and modes) that exist.
+pub fn gen_system(rng: &mut SmallRng, cfg: &GenConfig) -> SystemDef {
+    let mut def = SystemDef::new(format!("gen{}", rng.range_u32(0, 1000)));
+    let n = rng.range_usize(cfg.min_components, cfg.max_components + 1);
+
+    // Component index 1 may be a spare for index 0; decided up front so
+    // the spare gets its active/inactive group instead of a trigger.
+    let spare_idx = if cfg.spares && n >= 3 && rng.range_u32(0, 3) == 0 {
+        Some(1usize)
+    } else {
+        None
+    };
+
+    let mut comps: Vec<BcDef> = Vec::new();
+    for i in 0..n {
+        let ttf = gen_dist(rng, cfg);
+        let mut bc = BcDef::new(format!("c{i}"), ttf.clone(), gen_dist(rng, cfg));
+        if spare_idx == Some(i) {
+            // Initially inactive; cold (Never) or warm (reduced rate).
+            let inactive = if rng.flip() {
+                Dist::Never
+            } else {
+                scaled_variant(&ttf, 0.25)
+            };
+            bc = bc
+                .with_om_group(OmGroup::ActiveInactive)
+                .with_ttf([inactive, ttf]);
+        } else if cfg.om_groups && i > 0 && rng.flip() {
+            // One expression-driven group over *earlier* components only,
+            // so triggers are acyclic and never self-referencing.
+            let trigger = gen_literal(rng, &comps);
+            let group = match rng.range_u32(0, 3) {
+                0 => OmGroup::OnOff(trigger),
+                1 => OmGroup::AccessibleInaccessible(trigger),
+                _ => OmGroup::NormalDegraded(trigger),
+            };
+            let off_state = match group {
+                // `off` typically fails not at all or slower.
+                OmGroup::OnOff(_) if rng.flip() => Dist::Never,
+                OmGroup::NormalDegraded(_) => scaled_variant(&ttf, 2.0),
+                _ => scaled_variant(&ttf, 0.5),
+            };
+            let inaccessible = matches!(group, OmGroup::AccessibleInaccessible(_));
+            bc = bc.with_om_group(group).with_ttf([ttf, off_state]);
+            if inaccessible && rng.flip() {
+                bc = bc.with_inaccessible_means_down(true);
+            }
+        }
+        if cfg.multi_failure_modes && rng.flip() {
+            // k/128 is exact in binary, so p + (1-p) sums to exactly 1.
+            let p = f64::from(rng.range_u32(1, 100)) / 128.0;
+            bc = bc.with_failure_modes([p, 1.0 - p], [gen_dist(rng, cfg), gen_dist(rng, cfg)]);
+        }
+        if cfg.df && i > 0 && spare_idx != Some(i) && rng.range_u32(0, 4) == 0 {
+            bc = bc.with_df(gen_literal(rng, &comps), gen_dist(rng, cfg));
+        }
+        comps.push(bc);
+    }
+    for bc in &comps {
+        def.add_component(bc.clone());
+    }
+
+    // Repair: either a random partition into shared units, or one
+    // dedicated unit per component.
+    if cfg.shared_repair {
+        let mut names: Vec<String> = comps.iter().map(|c| c.name.clone()).collect();
+        let mut ri = 0usize;
+        while !names.is_empty() {
+            let take = rng.range_usize(1, names.len() + 1);
+            let members: Vec<String> = names.drain(..take).collect();
+            let strategy = match rng.range_u32(0, 5) {
+                0 if members.len() == 1 => RepairStrategy::Dedicated,
+                1 | 0 => RepairStrategy::Fcfs,
+                2 => RepairStrategy::PreemptivePriority,
+                3 => RepairStrategy::NonPreemptivePriority,
+                _ => RepairStrategy::Fcfs,
+            };
+            let mut ru = RuDef::new(format!("ru{ri}"), members.clone(), strategy);
+            if matches!(
+                strategy,
+                RepairStrategy::PreemptivePriority | RepairStrategy::NonPreemptivePriority
+            ) {
+                let prios: Vec<u32> = members.iter().map(|_| rng.range_u32(0, 9)).collect();
+                ru = ru.with_priorities(prios);
+            }
+            def.add_repair_unit(ru);
+            ri += 1;
+        }
+    } else {
+        for bc in &comps {
+            def.add_repair_unit(RuDef::new(
+                format!("{}.rep", bc.name),
+                [bc.name.clone()],
+                RepairStrategy::Dedicated,
+            ));
+        }
+    }
+
+    if let Some(si) = spare_idx {
+        let mut smu = SmuDef::new("smu0", comps[0].name.clone(), [comps[si].name.clone()]);
+        if rng.flip() {
+            smu = smu.with_failover(gen_dist(rng, cfg));
+        }
+        def.add_smu(smu);
+    }
+
+    let criterion = if cfg.flat_unique_criterion {
+        let lits: Vec<Expr> = comps.iter().map(|c| Expr::down(&c.name)).collect();
+        let k = (lits.len() as u32).div_ceil(2);
+        match rng.range_u32(0, 3) {
+            0 => Expr::Or(lits),
+            1 => Expr::And(lits),
+            _ => Expr::KofN(k, lits),
+        }
+    } else {
+        gen_expr(rng, &comps, cfg.expr_depth)
+    };
+    def.set_system_down(criterion);
+
+    if cfg.params && rng.flip() {
+        // Bind a parameter to component 0's base failure rate. Component 0
+        // never has OM groups, so ttf[0] is a plain generated distribution
+        // with at least one phase.
+        let base = def.components[0].ttf[0].phase_rates()[0];
+        def.add_param("lambda", base);
+    }
+    def
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::validate;
+
+    #[test]
+    fn all_profiles_generate_valid_models() {
+        for (profile, cfg) in [
+            ("syntax", GenConfig::syntax()),
+            ("engine", GenConfig::engine()),
+            ("independent", GenConfig::independent()),
+        ] {
+            for seed in 0..128u64 {
+                let mut rng = SmallRng::seed_from_u64(0xD1CE ^ seed);
+                let def = gen_system(&mut rng, &cfg);
+                validate(&def)
+                    .unwrap_or_else(|e| panic!("{profile} seed {seed}: invalid model: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::engine();
+        for seed in 0..16u64 {
+            let a = gen_system(&mut SmallRng::seed_from_u64(seed), &cfg);
+            let b = gen_system(&mut SmallRng::seed_from_u64(seed), &cfg);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn independent_profile_mentions_each_component_once_flat() {
+        let cfg = GenConfig::independent();
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(77 ^ seed);
+            let def = gen_system(&mut rng, &cfg);
+            let down = def.system_down.as_ref().expect("criterion");
+            let lits = down.literals();
+            assert_eq!(lits.len(), def.components.len(), "seed {seed}");
+            for bc in &def.components {
+                assert!(bc.om_groups.is_empty());
+                assert_eq!(bc.ttf.len(), 1);
+                assert!(matches!(bc.ttf[0], Dist::Exp(_)));
+            }
+            assert!(def.smus.is_empty());
+            assert!(def
+                .repair_units
+                .iter()
+                .all(|ru| ru.strategy == RepairStrategy::Dedicated));
+        }
+    }
+
+    #[test]
+    fn engine_profile_eventually_uses_every_feature() {
+        let cfg = GenConfig::engine();
+        let (mut spares, mut params, mut dfs, mut stiff) = (false, false, false, false);
+        for seed in 0..256u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let def = gen_system(&mut rng, &cfg);
+            spares |= !def.smus.is_empty();
+            params |= def.is_parametric();
+            dfs |= def.components.iter().any(|c| c.df.is_some());
+            let rates: Vec<f64> = def
+                .components
+                .iter()
+                .flat_map(|c| c.ttf.iter().chain(c.ttr.iter()))
+                .flat_map(|d| d.phase_rates())
+                .collect();
+            if let (Some(min), Some(max)) = (
+                rates.iter().cloned().reduce(f64::min),
+                rates.iter().cloned().reduce(f64::max),
+            ) {
+                stiff |= max / min > 1e8;
+            }
+        }
+        assert!(spares && params && dfs && stiff);
+    }
+}

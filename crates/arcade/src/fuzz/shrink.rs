@@ -1,0 +1,525 @@
+//! Delta-debugging reduction of failing [`SystemDef`]s.
+//!
+//! [`shrink_system`] takes a model and a predicate that holds on it
+//! (typically "this oracle pair disagrees on this model") and greedily
+//! applies the smallest semantic edits that keep the predicate true:
+//! dropping whole components (with reference fix-ups everywhere a name
+//! can appear), stripping features (FDEPs, mode groups, failure modes,
+//! SMUs, parameters), flattening repair strategies, simplifying the
+//! SYSTEM DOWN expression, and collapsing phase-type distributions to
+//! exponentials. Candidates are generated in a fixed order and the
+//! first accepted edit restarts the scan, so for a deterministic
+//! predicate the minimal model is a pure function of the input — the
+//! property the planted-bug regression test pins down.
+//!
+//! Candidates are always structurally valid models; a predicate built
+//! on an analysis that can fail should simply return `false` on error,
+//! which rejects the candidate and keeps shrinking sound.
+
+use crate::ast::{BcDef, OmGroup, RepairStrategy, SystemDef};
+use crate::dist::Dist;
+use crate::expr::{Expr, ModeRef};
+
+/// The result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The reduced model; the predicate still holds on it, and no single
+    /// candidate edit keeps the predicate true.
+    pub def: SystemDef,
+    /// Number of accepted edits.
+    pub steps: usize,
+    /// Number of predicate evaluations.
+    pub checks: usize,
+}
+
+/// Greedily minimizes `def` under `failing` (which must hold on `def`).
+///
+/// Deterministic: same input and same predicate behaviour produce the
+/// same minimal model, step count, and check count.
+pub fn shrink_system(
+    def: &SystemDef,
+    mut failing: impl FnMut(&SystemDef) -> bool,
+) -> ShrinkOutcome {
+    let mut cur = def.clone();
+    let mut steps = 0usize;
+    let mut checks = 0usize;
+    loop {
+        let mut advanced = false;
+        for cand in candidates(&cur) {
+            checks += 1;
+            if failing(&cand) {
+                cur = cand;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        def: cur,
+        steps,
+        checks,
+    }
+}
+
+/// All single-edit reductions of `def`, most aggressive first.
+fn candidates(def: &SystemDef) -> Vec<SystemDef> {
+    let mut out: Vec<SystemDef> = Vec::new();
+
+    // 1. Drop each component outright (the biggest single win).
+    if def.components.len() > 1 {
+        for i in 0..def.components.len() {
+            if let Some(cand) = drop_component(def, i) {
+                out.push(cand);
+            }
+        }
+    }
+
+    // 2. Strip per-component features.
+    for i in 0..def.components.len() {
+        let bc = &def.components[i];
+        if bc.df.is_some() {
+            let mut d = def.clone();
+            d.components[i].df = None;
+            d.components[i].ttr_df = None;
+            let name = bc.name.clone();
+            // `x.down.df` literals would dangle; widen them to `x.down`.
+            map_exprs(&mut d, |e| demote_mode(e, &name, MatchMode::Df));
+            out.push(d);
+        }
+        for j in 0..bc.om_groups.len() {
+            let mut d = def.clone();
+            d.components[i] = drop_om_group(bc, j);
+            if matches!(bc.om_groups[j], OmGroup::ActiveInactive) {
+                drop_spare_refs(&mut d, &bc.name);
+            }
+            out.push(d);
+        }
+        if bc.failure_mode_probs.len() > 1 {
+            let mut d = def.clone();
+            d.components[i].failure_mode_probs = vec![1.0];
+            d.components[i].ttr.truncate(1);
+            let name = bc.name.clone();
+            map_exprs(&mut d, |e| demote_mode(e, &name, MatchMode::HighModes));
+            out.push(d);
+        }
+    }
+
+    // 3. SMU reductions: drop the failover delay, then whole units.
+    for k in 0..def.smus.len() {
+        if def.smus[k].failover.is_some() {
+            let mut d = def.clone();
+            d.smus[k].failover = None;
+            out.push(d);
+        }
+        let mut d = def.clone();
+        d.smus.remove(k);
+        out.push(d);
+    }
+
+    // 4. Parameter declarations.
+    for k in 0..def.params.len() {
+        let mut d = def.clone();
+        d.params.remove(k);
+        out.push(d);
+    }
+
+    // 5. Repair-unit flattening: priorities → FCFS, shared → dedicated.
+    for k in 0..def.repair_units.len() {
+        let ru = &def.repair_units[k];
+        if matches!(
+            ru.strategy,
+            RepairStrategy::PreemptivePriority | RepairStrategy::NonPreemptivePriority
+        ) {
+            let mut d = def.clone();
+            d.repair_units[k].strategy = RepairStrategy::Fcfs;
+            d.repair_units[k].priorities.clear();
+            out.push(d);
+        }
+        if ru.components.len() > 1 {
+            let mut d = def.clone();
+            let ru = d.repair_units.remove(k);
+            for (m, comp) in ru.components.iter().enumerate() {
+                d.repair_units.insert(
+                    k + m,
+                    crate::ast::RuDef::new(
+                        format!("{}.{m}", ru.name),
+                        [comp.clone()],
+                        RepairStrategy::Dedicated,
+                    ),
+                );
+            }
+            out.push(d);
+        }
+    }
+
+    // 6. SYSTEM DOWN simplifications.
+    if let Some(root) = &def.system_down {
+        for e in expr_shrinks(root) {
+            let mut d = def.clone();
+            d.system_down = Some(e);
+            out.push(d);
+        }
+    }
+
+    // 7. Distribution collapses: phase types → exponential with the first
+    // phase rate, then rates → 1 (the gentlest edits, tried last).
+    for_each_dist_slot(def, &mut out, |d| match d {
+        Dist::Erlang(_, r) => Some(Dist::Exp(*r)),
+        Dist::Hypo(rs) => Some(Dist::Exp(rs[0])),
+        _ => None,
+    });
+    for_each_dist_slot(def, &mut out, |d| match d {
+        Dist::Exp(r) if *r != 1.0 => Some(Dist::Exp(1.0)),
+        _ => None,
+    });
+
+    out
+}
+
+/// Pushes one candidate per distribution slot that `edit` rewrites.
+fn for_each_dist_slot(
+    def: &SystemDef,
+    out: &mut Vec<SystemDef>,
+    edit: impl Fn(&Dist) -> Option<Dist>,
+) {
+    for i in 0..def.components.len() {
+        let bc = &def.components[i];
+        for j in 0..bc.ttf.len() {
+            if let Some(new) = edit(&bc.ttf[j]) {
+                let mut d = def.clone();
+                // Keep the shared-phase-structure invariant: rewrite every
+                // TTF slot of the component together.
+                for slot in &mut d.components[i].ttf {
+                    if !matches!(slot, Dist::Never) {
+                        *slot = edit(slot).unwrap_or(new.clone());
+                    }
+                }
+                out.push(d);
+                break;
+            }
+        }
+        for j in 0..bc.ttr.len() {
+            if let Some(new) = edit(&bc.ttr[j]) {
+                let mut d = def.clone();
+                d.components[i].ttr[j] = new;
+                out.push(d);
+            }
+        }
+        if let Some(ttr_df) = &bc.ttr_df {
+            if let Some(new) = edit(ttr_df) {
+                let mut d = def.clone();
+                d.components[i].ttr_df = Some(new);
+                out.push(d);
+            }
+        }
+    }
+    for k in 0..def.smus.len() {
+        if let Some(f) = &def.smus[k].failover {
+            if let Some(new) = edit(f) {
+                let mut d = def.clone();
+                d.smus[k].failover = Some(new);
+                out.push(d);
+            }
+        }
+    }
+}
+
+/// Removes component `i`, fixing every structure that can reference it.
+/// Returns `None` when the removal would leave no SYSTEM DOWN criterion.
+fn drop_component(def: &SystemDef, i: usize) -> Option<SystemDef> {
+    let name = def.components[i].name.clone();
+    let down = expr_drop_comp(def.system_down.as_ref()?, &name)?;
+
+    let mut d = def.clone();
+    d.components.remove(i);
+    d.system_down = Some(down);
+
+    // Triggers and FDEPs in the surviving components.
+    for bc in &mut d.components {
+        // Walk groups back-to-front so dropping one leaves earlier
+        // indices (and their TTF slots) stable.
+        for j in (0..bc.om_groups.len()).rev() {
+            let Some(trigger) = bc.om_groups[j].trigger() else {
+                continue;
+            };
+            match expr_drop_comp(trigger, &name) {
+                Some(t2) => {
+                    bc.om_groups[j] = match &bc.om_groups[j] {
+                        OmGroup::OnOff(_) => OmGroup::OnOff(t2),
+                        OmGroup::AccessibleInaccessible(_) => OmGroup::AccessibleInaccessible(t2),
+                        OmGroup::NormalDegraded(_) => OmGroup::NormalDegraded(t2),
+                        OmGroup::ActiveInactive => unreachable!("no trigger"),
+                    };
+                }
+                None => *bc = drop_om_group(bc, j),
+            }
+        }
+        if let Some(dep) = &bc.df {
+            match expr_drop_comp(dep, &name) {
+                Some(d2) => bc.df = Some(d2),
+                None => {
+                    bc.df = None;
+                    bc.ttr_df = None;
+                }
+            }
+        }
+    }
+
+    // Any `x.down.df` literal pointing at a component whose FDEP we just
+    // removed must widen to `x.down`.
+    let df_less: Vec<String> = d
+        .components
+        .iter()
+        .filter(|c| c.df.is_none())
+        .map(|c| c.name.clone())
+        .collect();
+    for dfn in &df_less {
+        map_exprs(&mut d, |e| demote_mode(e, dfn, MatchMode::Df));
+    }
+
+    // Repair units.
+    for ru in &mut d.repair_units {
+        if let Some(pos) = ru.components.iter().position(|c| *c == name) {
+            ru.components.remove(pos);
+            if pos < ru.priorities.len() {
+                ru.priorities.remove(pos);
+            }
+        }
+    }
+    d.repair_units.retain(|ru| !ru.components.is_empty());
+    for ru in &mut d.repair_units {
+        if ru.strategy == RepairStrategy::Dedicated && ru.components.len() != 1 {
+            ru.strategy = RepairStrategy::Fcfs;
+        }
+    }
+
+    // Spare management units.
+    d.smus.retain(|smu| smu.primary != name);
+    drop_spare_refs(&mut d, &name);
+    Some(d)
+}
+
+/// Removes `name` from every SMU's spare list; SMUs left with no spares
+/// are dropped entirely.
+fn drop_spare_refs(def: &mut SystemDef, name: &str) {
+    for smu in &mut def.smus {
+        smu.spares.retain(|s| s != name);
+    }
+    def.smus.retain(|smu| !smu.spares.is_empty());
+}
+
+/// Removes OM group `j` of `bc`, keeping the TTF entries where the
+/// dropped group sits in its initial mode (the groups enumerate
+/// operational states as a cross product, last group fastest).
+fn drop_om_group(bc: &BcDef, j: usize) -> BcDef {
+    let mut out = bc.clone();
+    let groups = bc.om_groups.len();
+    out.om_groups.remove(j);
+    let bit = groups - 1 - j;
+    let ttf: Vec<Dist> = bc
+        .ttf
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| (idx >> bit) & 1 == 0)
+        .map(|(_, d)| d.clone())
+        .collect();
+    // A malformed input TTF table falls back to a safe single entry.
+    out.ttf = if ttf.is_empty() {
+        vec![bc.ttf.first().cloned().unwrap_or(Dist::Exp(1.0))]
+    } else {
+        ttf
+    };
+    out
+}
+
+/// Which literals of a component [`demote_mode`] widens to `.down`.
+enum MatchMode {
+    /// `x.down.df` (the FDEP was removed).
+    Df,
+    /// `x.down.mK` with `K ≥ 2` (failure modes were collapsed to one).
+    HighModes,
+}
+
+/// Rewrites matching mode-specific literals of `name` to plain `.down`.
+fn demote_mode(e: &Expr, name: &str, which: MatchMode) -> Option<Expr> {
+    let mut out = e.clone();
+    demote_in_place(&mut out, name, &which);
+    Some(out)
+}
+
+fn demote_in_place(e: &mut Expr, name: &str, which: &MatchMode) {
+    match e {
+        Expr::Lit(l) => {
+            if l.component == name {
+                let demote = match (which, &l.mode) {
+                    (MatchMode::Df, ModeRef::Df) => true,
+                    (MatchMode::HighModes, ModeRef::Mode(k)) => *k >= 2,
+                    _ => false,
+                };
+                if demote {
+                    l.mode = ModeRef::Any;
+                }
+            }
+        }
+        Expr::And(cs) | Expr::Or(cs) | Expr::KofN(_, cs) | Expr::Pand(cs) => {
+            for c in cs {
+                demote_in_place(c, name, which);
+            }
+        }
+    }
+}
+
+/// Applies `f` to every expression of the definition (OM triggers,
+/// FDEPs, SYSTEM DOWN), replacing each where `f` returns `Some`.
+fn map_exprs(def: &mut SystemDef, f: impl Fn(&Expr) -> Option<Expr>) {
+    for bc in &mut def.components {
+        for g in &mut bc.om_groups {
+            let rewritten = match g {
+                OmGroup::ActiveInactive => None,
+                OmGroup::OnOff(t) => f(t).map(OmGroup::OnOff),
+                OmGroup::AccessibleInaccessible(t) => f(t).map(OmGroup::AccessibleInaccessible),
+                OmGroup::NormalDegraded(t) => f(t).map(OmGroup::NormalDegraded),
+            };
+            if let Some(g2) = rewritten {
+                *g = g2;
+            }
+        }
+        if let Some(d) = &bc.df {
+            if let Some(d2) = f(d) {
+                bc.df = Some(d2);
+            }
+        }
+    }
+    if let Some(down) = &def.system_down {
+        if let Some(d2) = f(down) {
+            def.system_down = Some(d2);
+        }
+    }
+}
+
+/// Removes every literal of `name` from the expression. `None` means the
+/// expression vanishes entirely. Gates left with one child unwrap; a
+/// k-of-n clamps `k` into range.
+fn expr_drop_comp(e: &Expr, name: &str) -> Option<Expr> {
+    match e {
+        Expr::Lit(l) => (l.component != name).then(|| e.clone()),
+        Expr::And(cs) => rebuild_gate(cs, name, Expr::And),
+        Expr::Or(cs) => rebuild_gate(cs, name, Expr::Or),
+        Expr::Pand(cs) => match rebuild_gate(cs, name, Expr::Pand) {
+            // PAND needs two children; a unary survivor is just itself.
+            Some(Expr::Pand(kept)) if kept.len() < 2 => kept.into_iter().next(),
+            other => other,
+        },
+        Expr::KofN(k, cs) => {
+            let kept: Vec<Expr> = cs.iter().filter_map(|c| expr_drop_comp(c, name)).collect();
+            match kept.len() {
+                0 => None,
+                1 => kept.into_iter().next(),
+                n => Some(Expr::KofN((*k).clamp(1, n as u32), kept)),
+            }
+        }
+    }
+}
+
+fn rebuild_gate(cs: &[Expr], name: &str, gate: impl Fn(Vec<Expr>) -> Expr) -> Option<Expr> {
+    let kept: Vec<Expr> = cs.iter().filter_map(|c| expr_drop_comp(c, name)).collect();
+    match kept.len() {
+        0 => None,
+        1 => kept.into_iter().next(),
+        _ => Some(gate(kept)),
+    }
+}
+
+/// One-step simplifications of an expression: each direct child of the
+/// root gate, the root with one child removed, and k-of-n weakened to OR.
+fn expr_shrinks(root: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    let children: &[Expr] = match root {
+        Expr::Lit(_) => return out,
+        Expr::And(cs) | Expr::Or(cs) | Expr::KofN(_, cs) | Expr::Pand(cs) => cs,
+    };
+    out.extend(children.iter().cloned());
+    if children.len() > 2 {
+        for skip in 0..children.len() {
+            let kept: Vec<Expr> = children
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let n = kept.len() as u32;
+            out.push(match root {
+                Expr::And(_) => Expr::And(kept),
+                Expr::Or(_) => Expr::Or(kept),
+                Expr::Pand(_) => Expr::Pand(kept),
+                Expr::KofN(k, _) => Expr::KofN((*k).clamp(1, n), kept),
+                Expr::Lit(_) => unreachable!(),
+            });
+        }
+    }
+    if let Expr::KofN(_, cs) = root {
+        out.push(Expr::Or(cs.clone()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::gen::{gen_system, GenConfig};
+    use crate::model::validate;
+    use smallrand::SmallRng;
+
+    /// Every candidate edit of a valid generated model is itself valid —
+    /// the guarantee that keeps shrinking from wasting predicate calls.
+    #[test]
+    fn candidates_preserve_validity() {
+        let cfg = GenConfig::engine();
+        for seed in 0..48u64 {
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+            let def = gen_system(&mut rng, &cfg);
+            validate(&def).expect("generated model valid");
+            for (ci, cand) in candidates(&def).iter().enumerate() {
+                validate(cand).unwrap_or_else(|e| {
+                    panic!("seed {seed} candidate {ci}: invalid: {e}\n{cand:#?}")
+                });
+            }
+        }
+    }
+
+    /// A predicate that only needs one component pins the model down to
+    /// that component and a trivial criterion.
+    #[test]
+    fn shrinks_to_the_single_relevant_component() {
+        let cfg = GenConfig::engine();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let def = gen_system(&mut rng, &cfg);
+        let target = def.components[0].name.clone();
+        let pred = |d: &SystemDef| d.component(&target).is_some();
+        assert!(pred(&def));
+        let outcome = shrink_system(&def, pred);
+        assert_eq!(outcome.def.components.len(), 1);
+        assert_eq!(outcome.def.components[0].name, target);
+        assert!(outcome.steps > 0);
+        assert!(outcome.checks >= outcome.steps);
+        validate(&outcome.def).expect("minimal model valid");
+    }
+
+    /// Same input, same predicate → bitwise the same minimum.
+    #[test]
+    fn shrinking_is_deterministic() {
+        let cfg = GenConfig::engine();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let def = gen_system(&mut rng, &cfg);
+        let pred = |d: &SystemDef| !d.components.is_empty();
+        let a = shrink_system(&def, pred);
+        let b = shrink_system(&def, pred);
+        assert_eq!(a.def, b.def);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.checks, b.checks);
+    }
+}

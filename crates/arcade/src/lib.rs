@@ -97,6 +97,25 @@
 //!
 //! The same engine is exposed as the `arcade sweep --json` CLI
 //! subcommand and as the `sweep` wire command of `arcaded`.
+//!
+//! # Fuzzing
+//!
+//! The repository tests itself differentially: the [`fuzz`] module holds
+//! a seeded random [`ast::SystemDef`] generator ([`fuzz::gen_system`],
+//! one model space shared by the property-test suites and the fuzzer),
+//! four oracle pairs that must agree on every model
+//! ([`fuzz::OraclePair`]: monolithic vs modular decomposition, adaptive
+//! vs exact transient, dense vs iterative steady solvers, exact vs
+//! seeded Monte-Carlo), a delta-debugging shrinker
+//! ([`fuzz::shrink_system`]) that reduces any disagreement to a minimal
+//! model, and schema-versioned [`fuzz::Evidence`] artifacts committed
+//! under `artifacts/fuzz/` so every failure replays offline from its
+//! seed. The `fuzz_diff` bench binary drives the loop in CI
+//! (`fuzz_diff --smoke`); its chaos twin `serve_chaos --smoke --seed N`
+//! walks randomized [`chaos`] failpoint/fault-class combinations against
+//! a live server and asserts the containment contract every iteration.
+//! Everything is deterministic for a fixed seed, so committed seeds
+//! cannot flake.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -111,6 +130,7 @@ pub mod dist;
 pub mod engine;
 pub mod error;
 pub mod expr;
+pub mod fuzz;
 pub mod model;
 pub mod modular;
 pub mod order;

@@ -97,8 +97,8 @@ impl Signals {
     ///
     /// `x.down` matches every failure signal of `x` (inherent modes, DF,
     /// and inaccessibility if visible); `x.down.mK` and `x.down.df` match
-    /// only the specific signal. The literal becomes false again on
-    /// `x.up`.
+    /// only the specific signal. The signals that make the literal false
+    /// again are given by [`Signals::clear_signals`].
     pub fn down_signals(&self, literal: &Literal) -> Result<Vec<ActionId>, ArcadeError> {
         let i = self.component_index(&literal.component).ok_or_else(|| {
             ArcadeError::invalid(format!("unknown component `{}`", literal.component))
@@ -127,6 +127,42 @@ impl Signals {
                 ))
             }),
         }
+    }
+
+    /// The signals that make `literal` false again.
+    ///
+    /// Always includes the component's `up`. For a cause-specific literal
+    /// (`x.down.mK`, `x.down.df`) it also includes every *other* failure
+    /// signal of the component: a component repaired under a still-active
+    /// destructive dependency (or while visibly inaccessible) re-announces
+    /// the new cause urgently without ever passing through `up`, so a
+    /// cause-specific observer must hand over on that re-announcement
+    /// instead of waiting for an `up` that never comes.
+    pub fn clear_signals(&self, literal: &Literal) -> Result<Vec<ActionId>, ArcadeError> {
+        let i = self.component_index(&literal.component).ok_or_else(|| {
+            ArcadeError::invalid(format!("unknown component `{}`", literal.component))
+        })?;
+        let mut v = vec![self.up[i]];
+        match &literal.mode {
+            ModeRef::Any => {}
+            ModeRef::Mode(k) => {
+                let j = *k as usize;
+                v.extend(
+                    self.failed_m[i]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(idx, _)| idx + 1 != j)
+                        .map(|(_, &a)| a),
+                );
+                v.extend(self.failed_df[i]);
+                v.extend(self.failed_na[i]);
+            }
+            ModeRef::Df => {
+                v.extend(self.failed_m[i].iter().copied());
+                v.extend(self.failed_na[i]);
+            }
+        }
+        Ok(v)
     }
 
     /// The `up` signal that makes any literal about the component false.

@@ -1094,6 +1094,11 @@ impl Session {
         // thread-local is re-installed inside each worker.
         let budget = budget::current();
         let results = ioimc::par::par_map(threads, &fulls, |_, full| {
+            // The sweep fan-out boundary: one hit per grid point, on the
+            // worker about to solve it. An injected panic propagates
+            // through the scoped join and is classified by
+            // `sweep_bounded` / the server's per-request ring.
+            chaos::failpoint("session.sweep_point");
             budget::scope(budget.clone(), || self.evaluate_at_full(measures, full))
         });
         let mut values = Vec::with_capacity(results.len());

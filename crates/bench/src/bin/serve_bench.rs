@@ -53,6 +53,13 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 }
 
 fn main() {
+    // Benchmarks must measure the real server: refuse to run if the
+    // environment (e.g. ARCADE_CHAOS) armed any chaos failpoint.
+    assert!(
+        !arcade::chaos::enabled(),
+        "serve_bench refuses to run with chaos failpoints armed; \
+         unset ARCADE_CHAOS"
+    );
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let flag = |name: &str| {

@@ -3,7 +3,7 @@
 //! under every injected fault class.
 //!
 //! ```text
-//! serve_chaos [--smoke]
+//! serve_chaos [--smoke] [--seed N] [--iters N]
 //! ```
 //!
 //! Boots one server on a loopback ephemeral port, then walks the fault
@@ -35,19 +35,64 @@
 //! **bitwise identical** to a direct in-process [`Session`] evaluation —
 //! recovery restores full correctness, not just liveness.
 //!
+//! With `--seed N` a **seeded randomized walk** follows the fixed one:
+//! each iteration draws a failpoint and a fault class (panic, or a delay
+//! raced against a request deadline) and a driving request that provably
+//! reaches the armed point — a transient solve for `session.shard`, a
+//! parametric sweep over `dds_parametric` for `session.sweep_point`, a
+//! freshly generated and `load`-ed model (via [`arcade::fuzz`]) for the
+//! cold-build-only `session.agg`. The first four iterations
+//! deterministically cover the two in-solver failpoints
+//! (`session.shard`, `session.sweep_point`) under both fault classes,
+//! whatever the seed. Every iteration asserts the containment contract:
+//! the structured error code matches the injected fault, the daemon
+//! still answers `ping`, the poisoned cell heals (a disarmed retry
+//! succeeds), and the matching containment counter moved. The walk ends
+//! with the same bitwise warm-vs-direct check as the fixed phases.
+//!
 //! Exits non-zero (panics) on the first violated expectation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
+use smallrand::SmallRng;
+
 use arcade::chaos::{self, Action};
+use arcade::fuzz::{gen_system, GenConfig};
+use arcade::printer::to_arcade_text;
 use arcade::query::Session;
 use arcade::serve::{expand_measures, serve, Client, Json, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut iters: u64 = 12;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs a non-negative integer"),
+                )
+            }
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--iters needs a non-negative integer")
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("usage: serve_chaos [--smoke] [--seed N] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
     let cold_clients = if smoke { 4 } else { 8 };
 
     // Start from a clean slate whatever the environment says: this
@@ -299,7 +344,278 @@ fn main() {
         direct.len()
     );
 
+    // ---- Seeded randomized walk (opt-in via --seed) ---------------------
+    if let Some(seed) = seed {
+        run_seeded(&addr, &mut probe, seed, iters);
+    }
+
     handle.shutdown();
     handle.join();
     println!("serve_chaos: OK");
+}
+
+/// Which fault class an iteration injects at its chosen failpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    /// `panic` at the point; the request must answer `internal_panic`.
+    Panic,
+    /// A long `delay` at the point raced against a short request
+    /// deadline; the request must answer `deadline` promptly.
+    Deadline,
+}
+
+/// A query on the warm `dds` model whose transient solve reaches
+/// `session.shard` and `session.solve`. The time point varies per
+/// iteration so no layer can serve a memoized answer instead of solving.
+fn timed_query(t: f64, timeout_ms: Option<u64>) -> Json {
+    let mut fields = vec![
+        ("model", Json::str("dds")),
+        (
+            "measures",
+            Json::Arr(vec![Json::obj([
+                ("kind", Json::str("unavailability")),
+                ("t", Json::Num(t)),
+            ])]),
+        ),
+    ];
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms", Json::Num(ms as f64)));
+    }
+    Json::obj(fields)
+}
+
+/// A two-point parametric sweep over `dds_parametric` that reaches
+/// `session.sweep_point`. The grid values vary per iteration.
+fn sweep_request(i: u64, timeout_ms: Option<u64>) -> Json {
+    let v0 = arcade::cases::dds::DISK_RATE * (1.0 + 0.01 * i as f64);
+    let mut fields = vec![
+        ("cmd", Json::str("sweep")),
+        ("model", Json::str("dds_parametric")),
+        (
+            "measures",
+            Json::Arr(vec![Json::str("steady_state_unavailability")]),
+        ),
+        (
+            "params",
+            Json::Arr(vec![Json::obj([
+                ("name", Json::str("disk_rate")),
+                (
+                    "values",
+                    Json::Arr(vec![Json::Num(v0), Json::Num(v0 * 1.05)]),
+                ),
+            ])]),
+        ),
+    ];
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms", Json::Num(ms as f64)));
+    }
+    Json::obj(fields)
+}
+
+fn read_counter(probe: &mut Client, name: &str) -> f64 {
+    let stats = probe.stats().expect("stats");
+    stats
+        .get("server")
+        .and_then(|s| s.get(name))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("stats missing {name}"))
+}
+
+fn run_seeded(addr: &str, probe: &mut Client, seed: u64, iters: u64) {
+    println!("seeded chaos: seed {seed}, {iters} iterations");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Deterministic coverage prefix: the two in-solver failpoints under
+    // both fault classes, whatever the seed draws afterwards.
+    let forced = [
+        ("session.shard", Fault::Panic),
+        ("session.shard", Fault::Deadline),
+        ("session.sweep_point", Fault::Panic),
+        ("session.sweep_point", Fault::Deadline),
+    ];
+    let points = [
+        "session.shard",
+        "session.sweep_point",
+        "session.solve",
+        "session.agg",
+    ];
+    let timeout_ms: u64 = 200;
+
+    for i in 0..iters {
+        let (point, fault) = if (i as usize) < forced.len() {
+            forced[i as usize]
+        } else {
+            let p = points[rng.range_usize(0, points.len())];
+            let f = if rng.flip() {
+                Fault::Panic
+            } else {
+                Fault::Deadline
+            };
+            (p, f)
+        };
+
+        // Build the driving request for this point. `session.agg` only
+        // runs on a cold build, so it gets a freshly generated model
+        // loaded under a unique name; the in-solver points run against
+        // warm models with per-iteration time points / grid values.
+        let fault_request = match point {
+            "session.sweep_point" => sweep_request(
+                i,
+                match fault {
+                    Fault::Panic => None,
+                    Fault::Deadline => Some(timeout_ms),
+                },
+            ),
+            "session.agg" => {
+                // Draw from the oracle-safe profile until the model
+                // analyzes locally: the syntax profile admits models the
+                // engine legitimately rejects (e.g. not weakly
+                // deterministic), which would make the heal check fail
+                // for a reason that has nothing to do with containment.
+                let cfg = GenConfig::engine();
+                let def = loop {
+                    let candidate = gen_system(&mut rng, &cfg);
+                    if Session::new(&candidate)
+                        .and_then(|s| {
+                            s.evaluate(&[arcade::query::Measure::SteadyStateUnavailability])
+                        })
+                        .is_ok()
+                    {
+                        break candidate;
+                    }
+                };
+                let name = format!("chaos_gen_{i}");
+                probe
+                    .expect_ok(&Json::obj([
+                        ("cmd", Json::str("load")),
+                        ("name", Json::str(name.clone())),
+                        ("source", Json::str(to_arcade_text(&def))),
+                    ]))
+                    .expect("load generated model");
+                let mut fields = vec![
+                    ("model", Json::str(name)),
+                    (
+                        "measures",
+                        Json::Arr(vec![Json::str("steady_state_unavailability")]),
+                    ),
+                ];
+                if fault == Fault::Deadline {
+                    fields.push(("timeout_ms", Json::Num(timeout_ms as f64)));
+                }
+                Json::obj(fields)
+            }
+            _ => timed_query(
+                61.0 + i as f64,
+                match fault {
+                    Fault::Panic => None,
+                    Fault::Deadline => Some(timeout_ms),
+                },
+            ),
+        };
+        // The disarmed healing request: same work, no deadline.
+        let heal_request = match point {
+            "session.sweep_point" => sweep_request(i, None),
+            "session.agg" => {
+                let mut obj = fault_request.clone();
+                if let Json::Obj(fields) = &mut obj {
+                    fields.retain(|(k, _)| k != "timeout_ms");
+                }
+                obj
+            }
+            _ => timed_query(61.0 + i as f64, None),
+        };
+
+        // Warm the target model for the in-solver deadline cases, so the
+        // short deadline races the *armed* failpoint, not a cold build.
+        // Salted time points / grid values: a prewarm at the fault
+        // request's own coordinates would let the session answer the
+        // armed request from its memo without reaching the failpoint.
+        if fault == Fault::Deadline && point != "session.agg" {
+            let prewarm = match point {
+                "session.sweep_point" => sweep_request(i + 7919, None),
+                _ => timed_query(61.25 + i as f64, None),
+            };
+            probe
+                .expect_ok_retry(&prewarm, 3)
+                .unwrap_or_else(|e| panic!("iteration {i}: prewarm failed: {e}"));
+        }
+
+        let panics_before = read_counter(probe, "panics_caught");
+        let deadlines_before = read_counter(probe, "deadline_aborts");
+        match fault {
+            Fault::Panic => {
+                chaos::arm(point, Action::Panic, Some(1));
+                // A single attempt: `internal_panic` is retryable, so a
+                // retrying call would sail past the count-1 failpoint.
+                let e = probe
+                    .expect_ok(&fault_request)
+                    .map(|_| panic!("iteration {i}: injected panic at {point} never surfaced"))
+                    .unwrap_err();
+                assert_eq!(
+                    e.code, "internal_panic",
+                    "iteration {i}: {point} panic answered `{}`: {e}",
+                    e.code
+                );
+                chaos::disarm_all();
+                let after = read_counter(probe, "panics_caught");
+                assert!(
+                    after > panics_before,
+                    "iteration {i}: panics_caught stuck at {after}"
+                );
+            }
+            Fault::Deadline => {
+                chaos::arm(point, Action::Delay(10 * timeout_ms), Some(1));
+                let t0 = Instant::now();
+                let e = probe
+                    .expect_ok(&fault_request)
+                    .map(|_| panic!("iteration {i}: delay at {point} never tripped the deadline"))
+                    .unwrap_err();
+                let elapsed = t0.elapsed();
+                assert_eq!(
+                    e.code, "deadline",
+                    "iteration {i}: {point} delay answered `{}`: {e}",
+                    e.code
+                );
+                assert!(
+                    elapsed < Duration::from_millis(2 * timeout_ms) + Duration::from_millis(200),
+                    "iteration {i}: deadline answered only after {elapsed:?}"
+                );
+                chaos::disarm_all();
+                let after = read_counter(probe, "deadline_aborts");
+                assert!(
+                    after > deadlines_before,
+                    "iteration {i}: deadline_aborts stuck at {after}"
+                );
+            }
+        }
+
+        // Containment: the daemon still answers, and the cell heals — the
+        // same work succeeds with chaos disarmed.
+        probe
+            .ping()
+            .unwrap_or_else(|e| panic!("iteration {i}: daemon dead after {point}: {e}"));
+        probe
+            .expect_ok_retry(&heal_request, 5)
+            .unwrap_or_else(|e| panic!("iteration {i}: {point} cell never healed: {e}"));
+        println!("  iteration {i}: {point} {fault:?} contained, healed");
+    }
+
+    // Post-walk recovery is full correctness, not just liveness: a warm
+    // answer is bitwise identical to a direct in-process evaluation.
+    let check_query = timed_query(42.0, None);
+    let warm = probe.expect_ok(&check_query).expect("post-walk warm query");
+    let warm_values = Client::values(&warm).expect("values");
+    let measures = expand_measures(&check_query).expect("expand");
+    let direct = Session::new(&arcade::cases::dds())
+        .expect("direct session")
+        .evaluate(&measures)
+        .expect("direct evaluate");
+    assert_eq!(direct.len(), warm_values.len());
+    for (k, (a, b)) in direct.iter().zip(&warm_values).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "measure {k}: post-seeded-walk value {b:e} vs direct {a:e}"
+        );
+    }
+    let _ = addr;
+    println!("seeded chaos: {iters} iterations contained, warm answers bitwise identical");
 }

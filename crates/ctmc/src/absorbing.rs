@@ -207,6 +207,17 @@ fn dense_hitting_time(
 /// in place. The restricted system is a strictly substochastic M-matrix
 /// (every state reaches a target), so the iteration converges
 /// monotonically from the zero start.
+///
+/// Stopping on the raw sweep-to-sweep change alone is **unsound**: for
+/// rare-failure chains the contraction factor `ρ` sits near 1 and each
+/// sweep moves `x` by a tiny fraction of the remaining error, so a small
+/// per-sweep change can coexist with an answer that is orders of
+/// magnitude too low (the differential fuzzer found MTTFs underestimated
+/// by 10^8×). The sweep therefore certifies convergence with a geometric
+/// tail bound — `ρ` estimated from consecutive sweep changes, remaining
+/// error bounded by `diff·ρ/(1−ρ)` — and if the sweep cap runs out
+/// before the bound is met, falls back to the exact dense elimination
+/// instead of returning the silently unconverged iterate.
 fn sparse_hitting_time(
     ctmc: &Ctmc,
     is_target: &[bool],
@@ -216,8 +227,10 @@ fn sparse_hitting_time(
 ) -> Vec<f64> {
     let m = restricted.len();
     let mut x = vec![0.0f64; m];
+    let mut prev_diff = f64::INFINITY;
     for _ in 0..opts.max_sweeps {
-        let mut max_rel = 0.0f64;
+        let mut diff = 0.0f64; // max absolute change this sweep
+        let mut scale = 0.0f64; // max |x_i| after this sweep
         for (i, &s) in restricted.iter().enumerate() {
             let mut acc = 1.0f64;
             for &(r, tgt) in ctmc.row(s) {
@@ -226,15 +239,25 @@ fn sparse_hitting_time(
                 }
             }
             let new = acc / ctmc.exit_rate(s);
-            let denom = new.abs().max(1e-300);
-            max_rel = max_rel.max((new - x[i]).abs() / denom);
+            diff = diff.max((new - x[i]).abs());
+            scale = scale.max(new.abs());
             x[i] = new;
         }
-        if max_rel < opts.tol {
-            break;
+        if diff == 0.0 {
+            return x; // exact fixpoint
         }
+        if prev_diff.is_finite() && diff < prev_diff {
+            let rho = diff / prev_diff;
+            if diff * rho / (1.0 - rho) <= opts.tol * scale {
+                return x;
+            }
+        }
+        prev_diff = diff;
     }
-    x
+    // The cap ran out before the tail bound certified convergence: the
+    // chain contracts too slowly for iteration (stiff or rare-failure).
+    // Solve exactly instead of returning an unconverged underestimate.
+    dense_hitting_time(ctmc, is_target, idx, restricted)
 }
 
 #[cfg(test)]

@@ -535,6 +535,12 @@ struct Stepper {
 impl Stepper {
     fn new(ctmc: &Ctmc, unif: f64, opts: &TransientOptions) -> Self {
         let n = ctmc.num_states();
+        // The solver-shard boundary: the last serial point before the
+        // stepping gang exists. Chaos faults injected here (the
+        // `session.shard` failpoint, via the ambient hook) unwind or
+        // stall on the calling thread — never inside the barrier-synced
+        // gang, where a panicking worker would deadlock its peers.
+        ioimc::failpoint::hit("session.shard");
         let (stay, inc_off, inc_p, inc_src) = prescaled_transpose(ctmc, unif);
         let workers = ioimc::par::effective_threads(opts.threads);
         let max_shards = (n / opts.shard_min.max(1)).max(1);
@@ -1001,6 +1007,11 @@ struct AdaptiveEngine {
 
 impl AdaptiveEngine {
     fn new(ctmc: &Ctmc, pi0: &[f64], opts: &TransientOptions) -> Self {
+        // The adaptive twin of the `Stepper::new` shard boundary: serial,
+        // on the control thread, before any stepping gang exists — the
+        // `session.shard` failpoint fires here on the (default) adaptive
+        // engine so chaos faults unwind without deadlocking workers.
+        ioimc::failpoint::hit("session.shard");
         let roots = (0..pi0.len() as u32).filter(|&s| pi0[s as usize] != 0.0);
         let op = WindowedOp::new(ctmc, roots);
         let max_shards = (op.n / opts.shard_min.max(1)).max(1);

@@ -72,6 +72,7 @@ pub mod budget;
 pub mod builder;
 pub mod compose;
 pub mod dot;
+pub mod failpoint;
 pub mod form;
 pub mod fxhash;
 pub mod hide;

@@ -157,34 +157,14 @@ fn reduce_then_compose_equals_compose_then_reduce() {
     }
 }
 
-/// Random series-parallel dependability models: the exact engine must
-/// agree with the analytic independent-component evaluation (valid because
-/// repair is dedicated and components appear once).
+/// Random independent dependability models from the shared
+/// [`arcade::fuzz`] generator: exponential components with dedicated
+/// repair, each appearing exactly once in a flat gate — the sub-space on
+/// which the analytic independent-component evaluation is exact. Paired
+/// with a random evaluation horizon.
 fn arb_system(rng: &mut SmallRng) -> (SystemDef, f64) {
-    let num_comps = rng.range_usize(2, 5);
-    let shape = rng.range_u32(0, 3);
+    let def = arcade::fuzz::gen_system(rng, &arcade::fuzz::GenConfig::independent());
     let t = f64::from(rng.range_u32(1, 100));
-    let mut def = SystemDef::new("prop");
-    let mut lits = Vec::new();
-    for i in 0..num_comps {
-        let name = format!("c{i}");
-        let lam = f64::from(rng.range_u32(1, 50)) * 1e-3;
-        let mu = f64::from(rng.range_u32(1, 20)) * 0.1;
-        def.add_component(BcDef::new(&name, Dist::exp(lam), Dist::exp(mu)));
-        def.add_repair_unit(RuDef::new(
-            format!("{name}.rep"),
-            [name.clone()],
-            RepairStrategy::Dedicated,
-        ));
-        lits.push(Expr::down(name));
-    }
-    let n = lits.len() as u32;
-    let expr = match shape {
-        0 => Expr::Or(lits),
-        1 => Expr::And(lits),
-        _ => Expr::KofN(n.div_ceil(2), lits),
-    };
-    def.set_system_down(expr);
     (def, t)
 }
 

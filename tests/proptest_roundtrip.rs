@@ -2,141 +2,28 @@
 //! [`SystemDef`]s survive `parse_system(&to_arcade_text(def))` exactly —
 //! distributions, operational-mode groups, failure modes, repair
 //! strategies (with priorities), SMUs with failover, and SYSTEM DOWN
-//! expressions including the `2of4(...)` shorthand. Cases come from a
-//! deterministically seeded internal generator (the workspace is
-//! dependency-free, so it plays the role of proptest).
+//! expressions including the `2of4(...)` shorthand. Models come from the
+//! shared [`arcade::fuzz`] generator under its widest structural profile
+//! ([`GenConfig::syntax`]), so the fuzzer and this suite always cover
+//! the same space.
 
 use smallrand::SmallRng;
 
-use arcade::ast::{BcDef, OmGroup, RepairStrategy, RuDef, SmuDef, SystemDef};
+use arcade::ast::{BcDef, SystemDef};
 use arcade::dist::Dist;
 use arcade::expr::Expr;
+use arcade::fuzz::{gen_system, GenConfig};
 use arcade::parser::parse_system;
 use arcade::printer::to_arcade_text;
 
 const CASES: u64 = 64;
 
-/// A random phase-type distribution with a round-trip-exact rate (Rust
-/// prints f64 shortest-exact, and the parser reads it back verbatim).
-fn arb_dist(rng: &mut SmallRng) -> Dist {
-    let rate = f64::from(rng.range_u32(1, 999)) * 10f64.powi(rng.range_u32(0, 9) as i32 - 6);
-    match rng.range_u32(0, 4) {
-        0 => Dist::exp(rate),
-        1 => Dist::erlang(rng.range_u32(2, 5), rate),
-        2 => Dist::hypo([rate, rate * 2.0]),
-        _ => Dist::exp(rate * 0.5),
-    }
-}
-
-/// A random failure literal over the generated component names;
-/// mode-specific literals only where the component has the modes.
-fn arb_literal(rng: &mut SmallRng, comps: &[BcDef]) -> Expr {
-    let c = &comps[rng.range_usize(0, comps.len())];
-    if c.num_failure_modes() > 1 && rng.flip() {
-        Expr::down_mode(&c.name, rng.range_u32(1, c.num_failure_modes() as u32 + 1))
-    } else if c.df.is_some() && rng.flip() {
-        Expr::down_df(&c.name)
-    } else {
-        Expr::down(&c.name)
-    }
-}
-
-/// A random SYSTEM DOWN expression of bounded depth over the components.
-fn arb_expr(rng: &mut SmallRng, comps: &[BcDef], depth: u32) -> Expr {
-    if depth == 0 || rng.range_u32(0, 4) == 0 {
-        return arb_literal(rng, comps);
-    }
-    let n = rng.range_usize(2, 5);
-    let children: Vec<Expr> = (0..n).map(|_| arb_expr(rng, comps, depth - 1)).collect();
-    match rng.range_u32(0, 3) {
-        0 => Expr::and(children),
-        1 => Expr::or(children),
-        _ => Expr::k_of_n(rng.range_u32(2, n as u32 + 1), children),
-    }
-}
-
-/// A random, structurally sane system definition.
-fn arb_system(rng: &mut SmallRng) -> SystemDef {
-    let mut def = SystemDef::new(format!("gen{}", rng.range_u32(0, 1000)));
-    let n = rng.range_usize(2, 6);
-    let mut comps: Vec<BcDef> = Vec::new();
-    for i in 0..n {
-        let mut bc = BcDef::new(format!("c{i}"), arb_dist(rng), arb_dist(rng));
-        // One optional expression-driven OM group (needs a trigger over an
-        // *earlier* component so the expression is well-formed).
-        if i > 0 && rng.flip() {
-            let trigger = arb_literal(rng, &comps);
-            let group = match rng.range_u32(0, 3) {
-                0 => OmGroup::OnOff(trigger),
-                1 => OmGroup::AccessibleInaccessible(trigger),
-                _ => OmGroup::NormalDegraded(trigger),
-            };
-            let inaccessible = matches!(group, OmGroup::AccessibleInaccessible(_));
-            bc = bc
-                .with_om_group(group)
-                .with_ttf([arb_dist(rng), arb_dist(rng)]);
-            if inaccessible && rng.flip() {
-                bc = bc.with_inaccessible_means_down(true);
-            }
-        }
-        // Optional two failure modes with per-mode repairs.
-        if rng.flip() {
-            let p = f64::from(rng.range_u32(1, 100)) / 128.0;
-            bc = bc.with_failure_modes([p, 1.0 - p], [arb_dist(rng), arb_dist(rng)]);
-        }
-        // Optional destructive dependency on an earlier component.
-        if i > 0 && rng.range_u32(0, 4) == 0 {
-            bc = bc.with_df(arb_literal(rng, &comps), arb_dist(rng));
-        }
-        comps.push(bc);
-    }
-    for bc in &comps {
-        def.add_component(bc.clone());
-    }
-
-    // Partition the components into repair units with random strategies.
-    let mut names: Vec<String> = comps.iter().map(|c| c.name.clone()).collect();
-    let mut ri = 0usize;
-    while !names.is_empty() {
-        let take = rng.range_usize(1, names.len() + 1);
-        let members: Vec<String> = names.drain(..take).collect();
-        let strategy = match rng.range_u32(0, 5) {
-            0 => RepairStrategy::Dedicated,
-            1 => RepairStrategy::Fcfs,
-            2 => RepairStrategy::PreemptivePriority,
-            3 => RepairStrategy::NonPreemptivePriority,
-            _ => RepairStrategy::Fcfs,
-        };
-        let mut ru = RuDef::new(format!("ru{ri}"), members.clone(), strategy);
-        if matches!(
-            strategy,
-            RepairStrategy::PreemptivePriority | RepairStrategy::NonPreemptivePriority
-        ) {
-            let prios: Vec<u32> = members.iter().map(|_| rng.range_u32(0, 9)).collect();
-            ru = ru.with_priorities(prios);
-        }
-        def.add_repair_unit(ru);
-        ri += 1;
-    }
-
-    // Occasionally one SMU over the first two components.
-    if n >= 2 && rng.range_u32(0, 3) == 0 {
-        let mut smu = SmuDef::new("smu0", "c0", ["c1"]);
-        if rng.flip() {
-            smu = smu.with_failover(arb_dist(rng));
-        }
-        def.add_smu(smu);
-    }
-
-    def.set_system_down(arb_expr(rng, &comps, 2));
-    def
-}
-
 #[test]
 fn parse_print_round_trip_reproduces_the_model() {
+    let cfg = GenConfig::syntax();
     for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(0xA11CE ^ seed);
-        let def = arb_system(&mut rng);
+        let def = gen_system(&mut rng, &cfg);
         let text = to_arcade_text(&def);
         let back = parse_system(&text)
             .unwrap_or_else(|e| panic!("seed {seed}: round trip failed: {e}\n{text}"));
